@@ -1,0 +1,79 @@
+//! End-to-end maintenance cost per policy: one full simulated run (40
+//! updates, 3 sources, dense interference), consistency checking off so
+//! the numbers reflect the algorithms, not the checker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dw_core::{Experiment, PolicyKind};
+use dw_simnet::LatencyModel;
+use dw_warehouse::SweepOptions;
+use dw_workload::StreamConfig;
+
+fn scenario(seed: u64) -> dw_workload::GeneratedScenario {
+    StreamConfig {
+        n_sources: 3,
+        initial_per_source: 100,
+        updates: 40,
+        mean_gap: 800,
+        domain: 50,
+        keyed: true,
+        seed,
+        ..Default::default()
+    }
+    .generate()
+    .unwrap()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end_run");
+    let policies: [(&str, PolicyKind); 5] = [
+        ("sweep", PolicyKind::Sweep(SweepOptions::default())),
+        (
+            "sweep_parallel",
+            PolicyKind::Sweep(SweepOptions {
+                parallel: true,
+                short_circuit_empty: false,
+            }),
+        ),
+        ("nested_sweep", PolicyKind::NestedSweep(Default::default())),
+        ("strobe", PolicyKind::Strobe),
+        ("recompute", PolicyKind::Recompute),
+    ];
+    for (name, kind) in policies {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, kind| {
+            b.iter(|| {
+                Experiment::new(scenario(5))
+                    .policy(*kind)
+                    .latency(LatencyModel::Constant(2_000))
+                    .check_consistency(false)
+                    .record_snapshots(false)
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_checker_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checker_overhead");
+    for (name, check) in [("without_checker", false), ("with_checker", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &check, |b, &check| {
+            b.iter(|| {
+                Experiment::new(scenario(6))
+                    .policy(PolicyKind::Sweep(Default::default()))
+                    .check_consistency(check)
+                    .record_snapshots(check)
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies, bench_checker_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! **E10 — §5.3 optimizations, ablated**:
+//!
+//! * *parallel sweeps* — the left and right for-loops of `ViewChange` are
+//!   independent; running them concurrently roughly halves the per-update
+//!   critical path (the paper's first observation);
+//! * *empty short-circuit* — once the in-flight `ΔV` is empty the final
+//!   change is empty, so remaining queries can be skipped (saves messages
+//!   on low-selectivity workloads).
+//!
+//! Both must preserve complete consistency — asserted on every row.
+
+use dw_bench::TableWriter;
+use dw_core::{Experiment, PolicyKind};
+use dw_simnet::LatencyModel;
+use dw_warehouse::{PipelinedSweepOptions, SweepOptions};
+use dw_workload::StreamConfig;
+
+fn main() {
+    println!("SWEEP ablation (n = 6, 3 ms links, 40 updates)\n");
+    let mut t = TableWriter::new([
+        "variant",
+        "selectivity",
+        "msgs/upd",
+        "mean stale (ms)",
+        "makespan (ms)",
+        "consistency",
+    ]);
+
+    let variants: [(&str, PolicyKind); 5] = [
+        (
+            "baseline",
+            PolicyKind::Sweep(SweepOptions {
+                parallel: false,
+                short_circuit_empty: false,
+            }),
+        ),
+        (
+            "parallel sweeps",
+            PolicyKind::Sweep(SweepOptions {
+                parallel: true,
+                short_circuit_empty: false,
+            }),
+        ),
+        (
+            "short-circuit",
+            PolicyKind::Sweep(SweepOptions {
+                parallel: false,
+                short_circuit_empty: true,
+            }),
+        ),
+        (
+            "parallel + short-circuit",
+            PolicyKind::Sweep(SweepOptions {
+                parallel: true,
+                short_circuit_empty: true,
+            }),
+        ),
+        (
+            "pipelined (unbounded)",
+            PolicyKind::PipelinedSweep(PipelinedSweepOptions { window: 0 }),
+        ),
+    ];
+
+    // Two selectivity regimes: "dense" joins (fanout ≈ 1 per hop — most
+    // deltas survive the chain) and "sparse" joins (large domain — ΔV
+    // often dies mid-sweep, where short-circuiting shines).
+    for (sel_label, domain) in [("dense", 20u64), ("sparse", 400u64)] {
+        let mut base_makespan = None;
+        for (label, kind) in variants {
+            let scenario = StreamConfig {
+                n_sources: 6,
+                initial_per_source: 20,
+                updates: 40,
+                mean_gap: 2_000,
+                domain,
+                seed: 8,
+                ..Default::default()
+            }
+            .generate()
+            .unwrap();
+            let report = Experiment::new(scenario)
+                .policy(kind)
+                .latency(LatencyModel::Constant(3_000))
+                .run()
+                .unwrap();
+            let level = report.consistency.as_ref().unwrap().level;
+            assert_eq!(level.to_string(), "complete", "{label} broke consistency");
+            let makespan = report.end_time as f64 / 1_000.0;
+            if label == "baseline" {
+                base_makespan = Some(makespan);
+            }
+            t.row([
+                label.to_string(),
+                sel_label.to_string(),
+                format!("{:.2}", report.messages_per_update()),
+                format!("{:.2}", report.metrics.mean_staleness() / 1_000.0),
+                format!(
+                    "{makespan:.1} ({:.0}%)",
+                    100.0 * makespan / base_makespan.unwrap()
+                ),
+                level.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\npaper shape check: parallel sweeps cut per-update latency toward ~half on\n\
+         long chains; short-circuiting saves messages only when joins are sparse;\n\
+         pipelining overlaps whole sweeps and collapses both staleness and makespan;\n\
+         every variant stays complete."
+    );
+}

@@ -1,0 +1,96 @@
+//! **E8 — §6.2 (termination)**: Nested SWEEP "does require that there not
+//! be a sequence of alternating updates which interfere with each other.
+//! In such a case, the algorithm will recursively oscillate between the
+//! two source relations…" We drive exactly that adversarial pattern and
+//! measure the recursion depth, then show the paper's suggested fix — a
+//! depth bound that falls back to SWEEP-style handling — keeping the depth
+//! flat at the same consistency level.
+
+use dw_bench::TableWriter;
+use dw_core::{Experiment, PolicyKind};
+use dw_simnet::LatencyModel;
+use dw_warehouse::NestedSweepOptions;
+use dw_workload::{GapKind, SourcePick, StreamConfig};
+
+fn run(updates: usize, max_depth: Option<usize>) -> (u64, u64, u64, String) {
+    // The oscillation needs updates that keep *trickling in* during the
+    // recursive sweeps: one fresh interfering update per query round-trip.
+    // With 4 ms links (8 ms RTT) and two sources alternating every 4 ms,
+    // every recursive answer finds a new update from the other end.
+    let scenario = StreamConfig {
+        n_sources: 2,
+        initial_per_source: 15,
+        updates,
+        mean_gap: 4_000,
+        gap: GapKind::Constant,
+        source_pick: SourcePick::AlternatingEnds,
+        insert_ratio: 1.0,
+        domain: 15,
+        seed: 17,
+        ..Default::default()
+    }
+    .generate()
+    .unwrap();
+    let report = Experiment::new(scenario)
+        .policy(PolicyKind::NestedSweep(NestedSweepOptions { max_depth }))
+        .latency(LatencyModel::Constant(4_000))
+        .run()
+        .unwrap();
+    (
+        report.metrics.max_recursion_depth,
+        report.metrics.depth_bound_hits,
+        report.metrics.installs,
+        report.consistency.unwrap().level.to_string(),
+    )
+}
+
+fn main() {
+    println!(
+        "Nested SWEEP oscillation under alternating interfering updates\n\
+         (two sources alternate every 4 ms against an 8 ms query RTT)\n"
+    );
+    let mut t = TableWriter::new([
+        "updates",
+        "depth bound",
+        "max depth",
+        "bound hits",
+        "installs",
+        "consistency",
+    ]);
+    let mut unbounded_depths = Vec::new();
+    for updates in [4usize, 8, 16, 32] {
+        let (d, hits, inst, level) = run(updates, None);
+        unbounded_depths.push(d);
+        t.row([
+            updates.to_string(),
+            "none".to_string(),
+            d.to_string(),
+            hits.to_string(),
+            inst.to_string(),
+            level,
+        ]);
+    }
+    for updates in [4usize, 8, 16, 32] {
+        let (d, hits, inst, level) = run(updates, Some(3));
+        t.row([
+            updates.to_string(),
+            "3".to_string(),
+            d.to_string(),
+            hits.to_string(),
+            inst.to_string(),
+            level,
+        ]);
+        assert!(d <= 3);
+    }
+    t.print();
+    assert!(
+        unbounded_depths.windows(2).all(|w| w[0] <= w[1]),
+        "unbounded recursion depth must grow with the alternating stream"
+    );
+    println!(
+        "\npaper shape check: without a bound the recursion tracks the length of the\n\
+         alternating burst (the view change keeps absorbing the interfering update);\n\
+         with the forced-termination switch the depth is pinned and updates beyond\n\
+         the bound are handled SWEEP-style — consistency stays ≥ strong either way."
+    );
+}

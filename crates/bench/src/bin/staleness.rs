@@ -1,0 +1,84 @@
+//! **E9 — quiescence & staleness**: Strobe (and ECA) install only when the
+//! unanswered-query set drains, so under sustained update streams "the
+//! materialized view trails the updated state of the data sources" —
+//! potentially forever. SWEEP installs after every update with a bounded
+//! pipeline. We sweep the update inter-arrival time and measure staleness
+//! (install time − delivery time) per update.
+
+use dw_bench::TableWriter;
+use dw_core::{Experiment, PolicyKind};
+use dw_simnet::LatencyModel;
+use dw_workload::StreamConfig;
+
+fn main() {
+    println!(
+        "staleness vs offered load (n = 3, 2 ms links, 60 updates):\n\
+         mean/max µs from warehouse delivery to view install\n"
+    );
+    let mut t = TableWriter::new([
+        "gap (µs)",
+        "policy",
+        "installs",
+        "1st install (ms)",
+        "mean stale (ms)",
+        "max stale (ms)",
+        "peak lag",
+        "mean lag",
+        "consistency",
+    ]);
+
+    for gap in [20_000u64, 5_000, 1_000, 250] {
+        for kind in [
+            PolicyKind::Sweep(Default::default()),
+            PolicyKind::PipelinedSweep(Default::default()),
+            PolicyKind::NestedSweep(Default::default()),
+            PolicyKind::Strobe,
+            PolicyKind::Recompute,
+        ] {
+            let scenario = StreamConfig {
+                n_sources: 3,
+                initial_per_source: 25,
+                updates: 60,
+                mean_gap: gap,
+                domain: 8,
+                keyed: true,
+                seed: 13,
+                ..Default::default()
+            }
+            .generate()
+            .unwrap();
+            let report = Experiment::new(scenario)
+                .policy(kind)
+                .latency(LatencyModel::Constant(2_000))
+                .run()
+                .unwrap();
+            let first_install = report
+                .installs
+                .first()
+                .map_or(f64::NAN, |r| r.at as f64 / 1_000.0);
+            let lag = report.lag_series();
+            t.row([
+                gap.to_string(),
+                report.policy.to_string(),
+                report.metrics.installs.to_string(),
+                format!("{first_install:.2}"),
+                format!("{:.2}", report.metrics.mean_staleness() / 1_000.0),
+                format!("{:.2}", report.metrics.max_staleness() as f64 / 1_000.0),
+                lag.max_lag().to_string(),
+                format!("{:.1}", lag.mean_lag()),
+                report.consistency.unwrap().level.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\npaper shape check: at low load everyone installs per update and is fresh.\n\
+         As gaps shrink below the query RTT, Strobe's quiescence requirement shows as\n\
+         its install count collapsing toward 1 — the view is FROZEN (trailing the\n\
+         sources) for the entire busy period and only catches up after the stream\n\
+         ends; under a never-quiescent stream it would never install. SWEEP keeps\n\
+         installing one update at a time throughout (complete consistency), paying\n\
+         for it with queue delay under overload — the paper's freshness-vs-cost\n\
+         trade-off, measured."
+    );
+}

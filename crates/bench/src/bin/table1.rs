@@ -1,0 +1,94 @@
+//! **E1 — Table 1**: empirical reproduction of the paper's comparison of
+//! view-maintenance algorithms. For each algorithm we *measure* (not just
+//! assert) the consistency class via the ground-truth checker, the query
+//! messages per update, whether installs wait for quiescence, and whether
+//! compensation happened locally or via extra queries.
+//!
+//! Paper's claimed rows:
+//!   ECA           Centralized  Strong    O(1)   remote comp., quiescence
+//!   Strobe        Distributed  Strong    O(n)   keys, quiescence
+//!   C-strobe      Distributed  Complete  O(n!)  keys, not scalable
+//!   SWEEP         Distributed  Complete  O(n)   local compensation
+//!   Nested SWEEP  Distributed  Strong    O(n)   local comp., non-interference
+
+use dw_bench::TableWriter;
+use dw_core::{Experiment, PolicyKind};
+use dw_simnet::LatencyModel;
+use dw_workload::StreamConfig;
+
+fn main() {
+    let n = 4;
+    let mk = |seed| {
+        StreamConfig {
+            n_sources: n,
+            initial_per_source: 30,
+            updates: 40,
+            mean_gap: 800, // dense vs 2 ms links → constant interference
+            domain: 10,
+            keyed: true,
+            seed,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap()
+    };
+
+    let policies = [
+        ("ECA", PolicyKind::Eca, "Centralized"),
+        ("Strobe", PolicyKind::Strobe, "Distributed"),
+        ("C-strobe", PolicyKind::CStrobe, "Distributed"),
+        (
+            "SWEEP",
+            PolicyKind::Sweep(Default::default()),
+            "Distributed",
+        ),
+        (
+            "Nested SWEEP",
+            PolicyKind::NestedSweep(Default::default()),
+            "Distributed",
+        ),
+        ("Recompute", PolicyKind::Recompute, "Distributed"),
+    ];
+
+    let mut t = TableWriter::new([
+        "Algorithm",
+        "Architecture",
+        "Consistency (verified)",
+        "Msgs/update",
+        "Installs",
+        "Local comp.",
+        "Comp. queries",
+        "Quiescent installs",
+    ]);
+
+    for (name, kind, arch) in policies {
+        let report = Experiment::new(mk(7))
+            .policy(kind)
+            .latency(LatencyModel::Constant(2_000))
+            .run()
+            .unwrap();
+        let cons = report.consistency.as_ref().unwrap();
+        // "Requires quiescence" shows up as batching: far fewer installs
+        // than updates under sustained load.
+        let quiescent_installs = report.metrics.installs * 2 <= report.metrics.updates_received;
+        t.row([
+            name.to_string(),
+            arch.to_string(),
+            cons.level.to_string(),
+            format!("{:.2}", report.messages_per_update()),
+            report.metrics.installs.to_string(),
+            report.metrics.local_compensations.to_string(),
+            report.metrics.compensation_queries.to_string(),
+            if quiescent_installs { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+
+    println!("Table 1 (reproduced): n = {n} sources, 40 updates, 2 ms links, dense interference\n");
+    t.print();
+    println!(
+        "\npaper shape check: SWEEP/C-strobe complete; Strobe/ECA/Nested strong;\n\
+         SWEEP msgs/update = 2(n−1) = {}; C-strobe ≫ SWEEP; only SWEEP-family\n\
+         compensates locally; ECA/Strobe/Nested install in (quiescent) batches.",
+        2 * (n - 1)
+    );
+}

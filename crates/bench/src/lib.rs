@@ -1,0 +1,11 @@
+//! # dw-bench
+//!
+//! Shared helpers for the experiment binaries (one binary per reproduced
+//! paper table/figure — see `src/bin/`) and the criterion micro-benches.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod table;
+
+pub use table::TableWriter;

@@ -1,0 +1,312 @@
+//! Thread-per-node cluster runtime.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dw_protocol::{source_node, Message, WAREHOUSE_NODE};
+use dw_relational::BaseRelation;
+use dw_simnet::{NetHandle, NodeId, Time};
+use dw_source::DataSource;
+use dw_warehouse::{InstallRecord, MaintenancePolicy, PolicyMetrics, WarehouseError};
+use dw_workload::GeneratedScenario;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// What travels through a node's inbox.
+enum Item {
+    Msg { from: NodeId, msg: Message },
+    Stop,
+}
+
+/// The live transport: cloned into every node thread.
+#[derive(Clone)]
+struct LiveNet {
+    inboxes: Vec<Sender<Item>>,
+    epoch: Instant,
+    sent: Arc<AtomicU64>,
+}
+
+impl NetHandle<Message> for LiveNet {
+    fn send(&mut self, from: NodeId, to: NodeId, msg: Message) {
+        self.sent.fetch_add(1, Ordering::SeqCst);
+        // Receiver gone ⇒ we are shutting down; drop silently.
+        let _ = self.inboxes[to].send(Item::Msg { from, msg });
+    }
+    fn now(&self) -> Time {
+        self.epoch.elapsed().as_micros() as Time
+    }
+}
+
+/// Result of a live run.
+#[derive(Debug)]
+pub struct LiveReport {
+    /// Final materialized view.
+    pub view: dw_relational::Bag,
+    /// Install history (delivery order is nondeterministic).
+    pub installs: Vec<InstallRecord>,
+    /// Policy counters.
+    pub metrics: PolicyMetrics,
+    /// Policy name.
+    pub policy: &'static str,
+    /// Whether the policy was quiescent at shutdown.
+    pub quiescent: bool,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+/// Live-run failures.
+#[derive(Debug)]
+pub enum LiveError {
+    /// The cluster did not drain within the deadline.
+    Timeout {
+        /// How long we waited.
+        waited: Duration,
+    },
+    /// A node thread failed.
+    NodeFailed {
+        /// Description of the failure.
+        what: String,
+    },
+}
+
+impl fmt::Display for LiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveError::Timeout { waited } => write!(f, "live cluster still busy after {waited:?}"),
+            LiveError::NodeFailed { what } => write!(f, "node failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+/// Run a scenario on real threads.
+///
+/// `make_policy` builds the warehouse policy from the scenario's view and
+/// the initial view contents (so callers choose SWEEP/Nested SWEEP/…).
+/// `time_scale` compresses the scenario's injection timestamps (2.0 = run
+/// twice as fast). `deadline` bounds the whole run.
+pub fn run_live(
+    scenario: &GeneratedScenario,
+    make_policy: impl FnOnce(
+        dw_relational::ViewDef,
+        dw_relational::Bag,
+    ) -> Result<Box<dyn MaintenancePolicy>, WarehouseError>,
+    time_scale: f64,
+    deadline: Duration,
+) -> Result<LiveReport, LiveError> {
+    let n = scenario.view.num_relations();
+    let refs: Vec<&dw_relational::Bag> = scenario.initial.iter().collect();
+    let initial_view =
+        dw_relational::eval_view(&scenario.view, &refs).map_err(|e| LiveError::NodeFailed {
+            what: e.to_string(),
+        })?;
+    let policy =
+        make_policy(scenario.view.clone(), initial_view).map_err(|e| LiveError::NodeFailed {
+            what: e.to_string(),
+        })?;
+
+    let started = Instant::now();
+    let sent = Arc::new(AtomicU64::new(0));
+    let processed = Arc::new(AtomicU64::new(0));
+    let wh_idle = Arc::new(AtomicBool::new(true));
+
+    let mut senders = Vec::with_capacity(n + 1);
+    let mut receivers: Vec<Receiver<Item>> = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let net = LiveNet {
+        inboxes: senders.clone(),
+        epoch: started,
+        sent: sent.clone(),
+    };
+
+    // Warehouse thread.
+    let wh_rx = receivers.remove(0);
+    let wh_net = net.clone();
+    let wh_processed = processed.clone();
+    let wh_idle_flag = wh_idle.clone();
+    let wh_handle = thread::spawn(move || -> Result<Box<dyn MaintenancePolicy>, String> {
+        let mut policy = policy;
+        let mut net = wh_net;
+        for item in wh_rx.iter() {
+            match item {
+                Item::Stop => break,
+                Item::Msg { from, msg } => {
+                    let d = dw_simnet::Delivery {
+                        at: net.now(),
+                        from,
+                        to: WAREHOUSE_NODE,
+                        msg,
+                    };
+                    policy.on_message(d, &mut net).map_err(|e| e.to_string())?;
+                    wh_idle_flag.store(policy.is_quiescent(), Ordering::SeqCst);
+                    wh_processed.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        Ok(policy)
+    });
+
+    // Source threads.
+    let mut src_handles = Vec::with_capacity(n);
+    for (i, rx) in receivers.into_iter().enumerate() {
+        let mut rel = BaseRelation::new(scenario.view.schema(i).clone());
+        rel.apply_delta(&scenario.initial[i])
+            .map_err(|e| LiveError::NodeFailed {
+                what: e.to_string(),
+            })?;
+        let mut src = DataSource::new(i, scenario.view.clone(), rel);
+        let mut src_net = net.clone();
+        let src_processed = processed.clone();
+        src_handles.push(thread::spawn(move || -> Result<(), String> {
+            for item in rx.iter() {
+                match item {
+                    Item::Stop => break,
+                    Item::Msg { from, msg } => {
+                        src.handle(from, msg, &mut src_net)
+                            .map_err(|e| e.to_string())?;
+                        src_processed.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Ok(())
+        }));
+    }
+
+    // Drive the workload from this thread (scaled real time).
+    let mut driver_net = net.clone();
+    for t in &scenario.txns {
+        let due = started + Duration::from_micros((t.at as f64 / time_scale.max(0.01)) as u64);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            thread::sleep(wait);
+        }
+        driver_net.send(
+            usize::MAX, // ENV
+            source_node(t.source),
+            Message::ApplyTxn {
+                rel: t.source,
+                delta: t.delta.clone(),
+                global: t.global,
+            },
+        );
+    }
+
+    // Wait for the cluster to drain: all sends processed + warehouse idle,
+    // stable across two polls.
+    let mut stable = 0;
+    loop {
+        if started.elapsed() > deadline {
+            for s in &senders {
+                let _ = s.send(Item::Stop);
+            }
+            return Err(LiveError::Timeout {
+                waited: started.elapsed(),
+            });
+        }
+        let drained = sent.load(Ordering::SeqCst) == processed.load(Ordering::SeqCst)
+            && wh_idle.load(Ordering::SeqCst);
+        if drained {
+            stable += 1;
+            if stable >= 3 {
+                break;
+            }
+        } else {
+            stable = 0;
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+
+    // Shut down.
+    for s in &senders {
+        let _ = s.send(Item::Stop);
+    }
+    for h in src_handles {
+        h.join()
+            .map_err(|_| LiveError::NodeFailed {
+                what: "source thread panicked".into(),
+            })?
+            .map_err(|what| LiveError::NodeFailed { what })?;
+    }
+    let policy = wh_handle
+        .join()
+        .map_err(|_| LiveError::NodeFailed {
+            what: "warehouse thread panicked".into(),
+        })?
+        .map_err(|what| LiveError::NodeFailed { what })?;
+
+    Ok(LiveReport {
+        view: policy.view().clone(),
+        installs: policy.installs().to_vec(),
+        metrics: policy.metrics().clone(),
+        policy: policy.name(),
+        quiescent: policy.is_quiescent(),
+        wall: started.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_relational::eval_view;
+    use dw_warehouse::Sweep;
+    use dw_workload::StreamConfig;
+
+    fn expected_final(s: &GeneratedScenario) -> dw_relational::Bag {
+        let mut rels = s.initial.clone();
+        for t in &s.txns {
+            rels[t.source].merge(&t.delta);
+        }
+        let refs: Vec<&dw_relational::Bag> = rels.iter().collect();
+        eval_view(&s.view, &refs).unwrap()
+    }
+
+    #[test]
+    fn sweep_converges_on_real_threads() {
+        let scenario = StreamConfig {
+            n_sources: 3,
+            updates: 15,
+            mean_gap: 1_000,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let report = run_live(
+            &scenario,
+            |view, initial| Ok(Box::new(Sweep::new(view, initial)?)),
+            20.0,
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert!(report.quiescent);
+        assert_eq!(report.view, expected_final(&scenario));
+        assert_eq!(report.metrics.updates_received, scenario.txns.len() as u64);
+    }
+
+    #[test]
+    fn installs_are_one_per_update() {
+        let scenario = StreamConfig {
+            n_sources: 2,
+            updates: 10,
+            mean_gap: 500,
+            seed: 6,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let report = run_live(
+            &scenario,
+            |view, initial| Ok(Box::new(Sweep::new(view, initial)?)),
+            20.0,
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert_eq!(report.installs.len(), scenario.txns.len());
+        assert!(report.installs.iter().all(|r| r.consumed.len() == 1));
+    }
+}

@@ -1,0 +1,124 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised while building or evaluating relational objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A schema was declared with no attributes.
+    EmptySchema {
+        /// Relation being declared.
+        relation: String,
+    },
+    /// The same attribute name appeared twice in one relation.
+    DuplicateAttribute {
+        /// Relation being declared.
+        relation: String,
+        /// Offending attribute.
+        attribute: String,
+    },
+    /// An attribute name could not be resolved.
+    UnknownAttribute {
+        /// Relation searched.
+        relation: String,
+        /// Missing attribute.
+        attribute: String,
+    },
+    /// A relation name could not be resolved within a view definition.
+    UnknownRelation {
+        /// Missing relation.
+        relation: String,
+    },
+    /// A tuple's arity did not match the schema it was used with.
+    ArityMismatch {
+        /// What was being done.
+        context: &'static str,
+        /// Arity required by the schema.
+        expected: usize,
+        /// Arity found.
+        found: usize,
+    },
+    /// Applying a delta would drive a base-relation / view count negative:
+    /// a delete referenced more copies of a tuple than exist. For a
+    /// materialized view this is the runtime signature of an
+    /// inconsistency-producing maintenance algorithm.
+    NegativeMultiplicity {
+        /// Rendered tuple.
+        tuple: String,
+        /// Count that would have resulted.
+        resulting: i64,
+    },
+    /// A view definition was structurally invalid (fewer than one relation,
+    /// wrong number of join conditions, bad projection index, …).
+    InvalidViewDef {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An operation received a partial delta for a range it cannot extend.
+    BadRange {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::EmptySchema { relation } => {
+                write!(f, "relation {relation} declared with no attributes")
+            }
+            RelationalError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => write!(f, "duplicate attribute {attribute} in relation {relation}"),
+            RelationalError::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "unknown attribute {attribute} in relation {relation}"),
+            RelationalError::UnknownRelation { relation } => {
+                write!(f, "unknown relation {relation}")
+            }
+            RelationalError::ArityMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch in {context}: expected {expected}, found {found}"
+            ),
+            RelationalError::NegativeMultiplicity { tuple, resulting } => {
+                write!(f, "multiplicity of {tuple} would become {resulting} (< 0)")
+            }
+            RelationalError::InvalidViewDef { reason } => {
+                write!(f, "invalid view definition: {reason}")
+            }
+            RelationalError::BadRange { reason } => write!(f, "bad sweep range: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelationalError::NegativeMultiplicity {
+            tuple: "(1,2)".into(),
+            resulting: -1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("(1,2)"));
+        assert!(s.contains("-1"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RelationalError::UnknownRelation {
+            relation: "R9".into(),
+        });
+    }
+}

@@ -1,0 +1,261 @@
+//! Selection predicates over tuples.
+//!
+//! Predicates reference attributes *by position* within the tuple they are
+//! evaluated against (a base-relation tuple for local selections, the
+//! concatenated chain tuple for residual selections). Name resolution
+//! happens once, in [`crate::view::ViewDefBuilder`].
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A boolean selection predicate (the `σ_SelectCond` of the view function).
+///
+/// SQL three-valued logic is collapsed to two values: any comparison
+/// involving NULL or mismatched types is *false* (so `Not` of it is true —
+/// the substrate is deliberately simple here; the maintenance algorithms
+/// only require that the predicate be a pure tuple function).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Predicate {
+    /// Always true (the default when a view has no selection).
+    True,
+    /// Always false.
+    False,
+    /// Compare attribute at `attr` with a constant.
+    Cmp {
+        /// Attribute position.
+        attr: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Constant operand.
+        value: Value,
+    },
+    /// Compare two attributes.
+    AttrCmp {
+        /// Left attribute position.
+        left: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Right attribute position.
+        right: usize,
+    },
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluate against a tuple.
+    ///
+    /// # Panics
+    /// Panics if an attribute position is out of bounds; positions are
+    /// validated at view-build time.
+    pub fn eval(&self, tuple: &Tuple) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::Cmp { attr, op, value } => tuple
+                .at(*attr)
+                .sql_cmp(value)
+                .is_some_and(|ord| op.test(ord)),
+            Predicate::AttrCmp { left, op, right } => tuple
+                .at(*left)
+                .sql_cmp(tuple.at(*right))
+                .is_some_and(|ord| op.test(ord)),
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(tuple)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(tuple)),
+            Predicate::Not(p) => !p.eval(tuple),
+        }
+    }
+
+    /// Largest attribute position referenced, if any — used for validation.
+    pub fn max_attr(&self) -> Option<usize> {
+        match self {
+            Predicate::True | Predicate::False => None,
+            Predicate::Cmp { attr, .. } => Some(*attr),
+            Predicate::AttrCmp { left, right, .. } => Some((*left).max(*right)),
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                ps.iter().filter_map(Predicate::max_attr).max()
+            }
+            Predicate::Not(p) => p.max_attr(),
+        }
+    }
+
+    /// Shift every attribute reference by `offset` — used when a
+    /// per-relation predicate is embedded into a composite-width context.
+    pub fn shifted(&self, offset: usize) -> Predicate {
+        match self {
+            Predicate::True => Predicate::True,
+            Predicate::False => Predicate::False,
+            Predicate::Cmp { attr, op, value } => Predicate::Cmp {
+                attr: attr + offset,
+                op: *op,
+                value: value.clone(),
+            },
+            Predicate::AttrCmp { left, op, right } => Predicate::AttrCmp {
+                left: left + offset,
+                op: *op,
+                right: right + offset,
+            },
+            Predicate::And(ps) => Predicate::And(ps.iter().map(|p| p.shifted(offset)).collect()),
+            Predicate::Or(ps) => Predicate::Or(ps.iter().map(|p| p.shifted(offset)).collect()),
+            Predicate::Not(p) => Predicate::Not(Box::new(p.shifted(offset))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    #[test]
+    fn constant_comparison() {
+        let p = Predicate::Cmp {
+            attr: 0,
+            op: CmpOp::Gt,
+            value: Value::Int(5),
+        };
+        assert!(p.eval(&tup![6, 0]));
+        assert!(!p.eval(&tup![5, 0]));
+    }
+
+    #[test]
+    fn attr_comparison() {
+        let p = Predicate::AttrCmp {
+            left: 0,
+            op: CmpOp::Eq,
+            right: 1,
+        };
+        assert!(p.eval(&tup![3, 3]));
+        assert!(!p.eval(&tup![3, 4]));
+    }
+
+    #[test]
+    fn mismatched_types_are_false() {
+        let p = Predicate::Cmp {
+            attr: 0,
+            op: CmpOp::Eq,
+            value: Value::str("3"),
+        };
+        assert!(!p.eval(&tup![3]));
+        // And negation flips it.
+        assert!(Predicate::Not(Box::new(p)).eval(&tup![3]));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let gt1 = Predicate::Cmp {
+            attr: 0,
+            op: CmpOp::Gt,
+            value: Value::Int(1),
+        };
+        let lt9 = Predicate::Cmp {
+            attr: 0,
+            op: CmpOp::Lt,
+            value: Value::Int(9),
+        };
+        let band = Predicate::And(vec![gt1.clone(), lt9.clone()]);
+        let bor = Predicate::Or(vec![gt1, lt9]);
+        assert!(band.eval(&tup![5]));
+        assert!(!band.eval(&tup![0]));
+        assert!(bor.eval(&tup![0]));
+        assert!(Predicate::And(vec![]).eval(&tup![0])); // vacuous truth
+        assert!(!Predicate::Or(vec![]).eval(&tup![0]));
+    }
+
+    #[test]
+    fn all_operators() {
+        use CmpOp::*;
+        let t = tup![5];
+        let mk = |op| Predicate::Cmp {
+            attr: 0,
+            op,
+            value: Value::Int(5),
+        };
+        assert!(mk(Eq).eval(&t));
+        assert!(!mk(Ne).eval(&t));
+        assert!(!mk(Lt).eval(&t));
+        assert!(mk(Le).eval(&t));
+        assert!(!mk(Gt).eval(&t));
+        assert!(mk(Ge).eval(&t));
+    }
+
+    #[test]
+    fn shifted_moves_references() {
+        let p = Predicate::AttrCmp {
+            left: 0,
+            op: CmpOp::Lt,
+            right: 1,
+        };
+        let q = p.shifted(2);
+        assert_eq!(q.max_attr(), Some(3));
+        assert!(q.eval(&tup![9, 9, 1, 2]));
+    }
+
+    #[test]
+    fn max_attr_traverses() {
+        let p = Predicate::And(vec![
+            Predicate::Cmp {
+                attr: 4,
+                op: CmpOp::Eq,
+                value: Value::Int(0),
+            },
+            Predicate::Not(Box::new(Predicate::AttrCmp {
+                left: 7,
+                op: CmpOp::Ne,
+                right: 2,
+            })),
+        ]);
+        assert_eq!(p.max_attr(), Some(7));
+        assert_eq!(Predicate::True.max_attr(), None);
+    }
+}

@@ -1,0 +1,107 @@
+//! Relation schemas and attribute resolution.
+
+use crate::error::RelationalError;
+use std::fmt;
+
+/// Schema of a single base relation: a name plus ordered attribute names.
+///
+/// The paper writes `R[A,B]` for "relation R with attributes A and B"; this
+/// type is exactly that notation.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Schema {
+    name: String,
+    attrs: Vec<String>,
+}
+
+impl Schema {
+    /// Create a schema; attribute names must be unique within the relation.
+    pub fn new(
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<Self, RelationalError> {
+        let name = name.into();
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        if attrs.is_empty() {
+            return Err(RelationalError::EmptySchema { relation: name });
+        }
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(RelationalError::DuplicateAttribute {
+                    relation: name,
+                    attribute: a.clone(),
+                });
+            }
+        }
+        Ok(Schema { name, attrs })
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ordered attribute names.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Position of an attribute by name.
+    pub fn attr_index(&self, attr: &str) -> Result<usize, RelationalError> {
+        self.attrs
+            .iter()
+            .position(|a| a == attr)
+            .ok_or_else(|| RelationalError::UnknownAttribute {
+                relation: self.name.clone(),
+                attribute: attr.to_string(),
+            })
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.name, self.attrs.join(","))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let s = Schema::new("R1", ["A", "B"]).unwrap();
+        assert_eq!(s.name(), "R1");
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.attr_index("B").unwrap(), 1);
+        assert!(s.attr_index("C").is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Schema::new("R", ["A", "A"]).unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        let err = Schema::new("R", Vec::<String>::new()).unwrap_err();
+        assert!(matches!(err, RelationalError::EmptySchema { .. }));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let s = Schema::new("R2", ["C", "D"]).unwrap();
+        assert_eq!(format!("{s}"), "R2[C,D]");
+    }
+}

@@ -1,0 +1,504 @@
+//! A small SQL SELECT parser for view definitions.
+//!
+//! The paper writes its views in SQL (§5.2):
+//!
+//! ```sql
+//! SELECT R2.D, R3.F
+//! FROM   R1, R2, R3
+//! WHERE  R1.B = R2.C AND R2.D = R3.E
+//! ```
+//!
+//! [`parse_view`] turns exactly that dialect into a validated [`ViewDef`],
+//! resolving relation names against a caller-supplied catalog of
+//! [`Schema`]s. Supported grammar:
+//!
+//! ```text
+//! query   := SELECT cols FROM rels [WHERE conj]
+//! cols    := '*' | qualified (',' qualified)*
+//! rels    := ident (',' ident)*            -- chain order
+//! conj    := pred (AND pred)*
+//! pred    := qualified op qualified        -- join (adjacent) or residual
+//!          | qualified op literal          -- pushed-down local selection
+//! op      := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+//! literal := integer | float | 'string' | TRUE | FALSE
+//! ```
+//!
+//! Keywords are case-insensitive; identifiers are case-sensitive.
+//! Attribute-attribute equality between *adjacent* chain relations becomes
+//! an equi-join condition; any other attribute-attribute comparison
+//! becomes a residual selection over the joined width.
+
+use crate::error::RelationalError;
+use crate::predicate::CmpOp;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::view::{ViewDef, ViewDefBuilder};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Op(CmpOp),
+    Comma,
+    Dot,
+    Star,
+    Kw(Kw),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kw {
+    Select,
+    From,
+    Where,
+    And,
+    True,
+    False,
+}
+
+fn err(reason: impl Into<String>) -> RelationalError {
+    RelationalError::InvalidViewDef {
+        reason: reason.into(),
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, RelationalError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' => {
+                chars.next();
+                out.push(Tok::Comma);
+            }
+            '.' => {
+                chars.next();
+                out.push(Tok::Dot);
+            }
+            '*' => {
+                chars.next();
+                out.push(Tok::Star);
+            }
+            '=' => {
+                chars.next();
+                out.push(Tok::Op(CmpOp::Eq));
+            }
+            '!' => {
+                chars.next();
+                if chars.next_if_eq(&'=').is_some() {
+                    out.push(Tok::Op(CmpOp::Ne));
+                } else {
+                    return Err(err("expected '=' after '!'"));
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.next_if_eq(&'=').is_some() {
+                    out.push(Tok::Op(CmpOp::Le));
+                } else if chars.next_if_eq(&'>').is_some() {
+                    out.push(Tok::Op(CmpOp::Ne));
+                } else {
+                    out.push(Tok::Op(CmpOp::Lt));
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.next_if_eq(&'=').is_some() {
+                    out.push(Tok::Op(CmpOp::Ge));
+                } else {
+                    out.push(Tok::Op(CmpOp::Gt));
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(c) => s.push(c),
+                        None => return Err(err("unterminated string literal")),
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                let mut is_float = false;
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        chars.next();
+                    } else if d == '.' && !is_float {
+                        // Lookahead: "1.5" is a float, "R1.B" never starts
+                        // with a digit, so a dot after digits means float.
+                        is_float = true;
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    out.push(Tok::Float(
+                        s.parse().map_err(|_| err(format!("bad float {s}")))?,
+                    ));
+                } else {
+                    out.push(Tok::Int(
+                        s.parse().map_err(|_| err(format!("bad integer {s}")))?,
+                    ));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let kw = match s.to_ascii_uppercase().as_str() {
+                    "SELECT" => Some(Kw::Select),
+                    "FROM" => Some(Kw::From),
+                    "WHERE" => Some(Kw::Where),
+                    "AND" => Some(Kw::And),
+                    "TRUE" => Some(Kw::True),
+                    "FALSE" => Some(Kw::False),
+                    _ => None,
+                };
+                out.push(kw.map(Tok::Kw).unwrap_or(Tok::Ident(s)));
+            }
+            other => return Err(err(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn expect_kw(&mut self, kw: Kw) -> Result<(), RelationalError> {
+        match self.next() {
+            Some(Tok::Kw(k)) if k == kw => Ok(()),
+            other => Err(err(format!("expected {kw:?}, got {other:?}"))),
+        }
+    }
+    fn ident(&mut self) -> Result<String, RelationalError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(err(format!("expected identifier, got {other:?}"))),
+        }
+    }
+    /// `Rel.Attr`
+    fn qualified(&mut self) -> Result<String, RelationalError> {
+        let rel = self.ident()?;
+        match self.next() {
+            Some(Tok::Dot) => {}
+            other => return Err(err(format!("expected '.', got {other:?}"))),
+        }
+        let attr = self.ident()?;
+        Ok(format!("{rel}.{attr}"))
+    }
+}
+
+/// One parsed WHERE conjunct.
+enum Pred {
+    AttrAttr(String, CmpOp, String),
+    AttrLit(String, CmpOp, Value),
+}
+
+/// Parse a SQL SELECT into a validated [`ViewDef`].
+///
+/// `catalog` supplies the schema of every relation the FROM clause may
+/// name; the FROM order defines the join-chain order.
+///
+/// ```
+/// use dw_relational::{parse_view, Schema};
+/// let catalog = [
+///     Schema::new("R1", ["A", "B"]).unwrap(),
+///     Schema::new("R2", ["C", "D"]).unwrap(),
+///     Schema::new("R3", ["E", "F"]).unwrap(),
+/// ];
+/// let view = parse_view(
+///     "SELECT R2.D, R3.F FROM R1, R2, R3 WHERE R1.B = R2.C AND R2.D = R3.E",
+///     &catalog,
+/// ).unwrap();
+/// assert_eq!(view.num_relations(), 3);
+/// assert_eq!(view.projection(), &[3, 5]);
+/// ```
+pub fn parse_view(sql: &str, catalog: &[Schema]) -> Result<ViewDef, RelationalError> {
+    let mut p = Parser {
+        toks: lex(sql)?,
+        pos: 0,
+    };
+    p.expect_kw(Kw::Select)?;
+
+    // Projection list.
+    let mut stars = false;
+    let mut proj: Vec<String> = Vec::new();
+    if matches!(p.peek(), Some(Tok::Star)) {
+        p.next();
+        stars = true;
+    } else {
+        loop {
+            proj.push(p.qualified()?);
+            if matches!(p.peek(), Some(Tok::Comma)) {
+                p.next();
+            } else {
+                break;
+            }
+        }
+    }
+
+    // FROM chain.
+    p.expect_kw(Kw::From)?;
+    let mut rel_names = Vec::new();
+    loop {
+        rel_names.push(p.ident()?);
+        if matches!(p.peek(), Some(Tok::Comma)) {
+            p.next();
+        } else {
+            break;
+        }
+    }
+
+    // WHERE conjuncts.
+    let mut preds: Vec<Pred> = Vec::new();
+    if matches!(p.peek(), Some(Tok::Kw(Kw::Where))) {
+        p.next();
+        loop {
+            let left = p.qualified()?;
+            let op = match p.next() {
+                Some(Tok::Op(op)) => op,
+                other => return Err(err(format!("expected comparison, got {other:?}"))),
+            };
+            let pred = match p.next() {
+                Some(Tok::Ident(rel)) => {
+                    match p.next() {
+                        Some(Tok::Dot) => {}
+                        other => return Err(err(format!("expected '.', got {other:?}"))),
+                    }
+                    let attr = p.ident()?;
+                    Pred::AttrAttr(left, op, format!("{rel}.{attr}"))
+                }
+                Some(Tok::Int(v)) => Pred::AttrLit(left, op, Value::Int(v)),
+                Some(Tok::Float(v)) => Pred::AttrLit(left, op, Value::float(v)),
+                Some(Tok::Str(s)) => Pred::AttrLit(left, op, Value::str(s)),
+                Some(Tok::Kw(Kw::True)) => Pred::AttrLit(left, op, Value::Bool(true)),
+                Some(Tok::Kw(Kw::False)) => Pred::AttrLit(left, op, Value::Bool(false)),
+                other => return Err(err(format!("expected operand, got {other:?}"))),
+            };
+            preds.push(pred);
+            if matches!(p.peek(), Some(Tok::Kw(Kw::And))) {
+                p.next();
+            } else {
+                break;
+            }
+        }
+    }
+    if let Some(t) = p.peek() {
+        return Err(err(format!("trailing input at {t:?}")));
+    }
+
+    // Resolve against the catalog and build.
+    let mut b = ViewDefBuilder::new();
+    let mut positions = std::collections::HashMap::new();
+    for (i, name) in rel_names.iter().enumerate() {
+        let schema = catalog.iter().find(|s| s.name() == name).ok_or_else(|| {
+            RelationalError::UnknownRelation {
+                relation: name.clone(),
+            }
+        })?;
+        positions.insert(name.clone(), i);
+        b = b.relation(schema.clone());
+    }
+    let rel_of = |q: &str| -> Result<usize, RelationalError> {
+        let (rel, _) = q.split_once('.').ok_or_else(|| err("unqualified"))?;
+        positions
+            .get(rel)
+            .copied()
+            .ok_or_else(|| RelationalError::UnknownRelation {
+                relation: rel.to_string(),
+            })
+    };
+    for pred in preds {
+        match pred {
+            Pred::AttrAttr(l, CmpOp::Eq, r) => {
+                let (li, ri) = (rel_of(&l)?, rel_of(&r)?);
+                if li.abs_diff(ri) == 1 {
+                    b = b.join(l, r);
+                } else {
+                    b = b.select_across(l, CmpOp::Eq, r);
+                }
+            }
+            Pred::AttrAttr(l, op, r) => {
+                b = b.select_across(l, op, r);
+            }
+            Pred::AttrLit(q, op, v) => {
+                b = b.select(q, op, v);
+            }
+        }
+    }
+    if !stars {
+        b = b.project(proj);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+
+    fn catalog() -> Vec<Schema> {
+        vec![
+            Schema::new("R1", ["A", "B"]).unwrap(),
+            Schema::new("R2", ["C", "D"]).unwrap(),
+            Schema::new("R3", ["E", "F"]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn paper_query_parses() {
+        let v = parse_view(
+            "SELECT R2.D, R3.F FROM R1, R2, R3 WHERE R1.B = R2.C AND R2.D = R3.E",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(v.num_relations(), 3);
+        assert_eq!(v.projection(), &[3, 5]);
+        assert_eq!(v.join_cond(0).pairs, vec![(1, 0)]);
+        assert_eq!(v.join_cond(1).pairs, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let v = parse_view("select R1.A from R1, R2 where R1.B = R2.C", &catalog()).unwrap();
+        assert_eq!(v.num_relations(), 2);
+    }
+
+    #[test]
+    fn star_projects_everything() {
+        let v = parse_view("SELECT * FROM R1, R2 WHERE R1.B = R2.C", &catalog()).unwrap();
+        assert_eq!(v.projection(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn literal_selections_push_down() {
+        let v = parse_view(
+            "SELECT R1.A FROM R1, R2 WHERE R1.B = R2.C AND R1.A > 5 AND R2.D <> 'x'",
+            &catalog(),
+        )
+        .unwrap();
+        assert_ne!(v.local_select(0), &Predicate::True);
+        assert_ne!(v.local_select(1), &Predicate::True);
+    }
+
+    #[test]
+    fn non_adjacent_equality_becomes_residual() {
+        let v = parse_view(
+            "SELECT R1.A FROM R1, R2, R3 WHERE R1.B = R2.C AND R2.D = R3.E AND R1.A = R3.F",
+            &catalog(),
+        )
+        .unwrap();
+        assert_ne!(v.residual(), &Predicate::True);
+    }
+
+    #[test]
+    fn inequality_between_attrs_is_residual() {
+        let v = parse_view(
+            "SELECT R1.A FROM R1, R2 WHERE R1.B = R2.C AND R1.A < R2.D",
+            &catalog(),
+        )
+        .unwrap();
+        assert_ne!(v.residual(), &Predicate::True);
+    }
+
+    #[test]
+    fn float_string_and_bool_literals() {
+        let v = parse_view(
+            "SELECT R1.A FROM R1 WHERE R1.A >= 1.5 AND R1.B = 'hello' AND R1.A != TRUE",
+            &catalog(),
+        )
+        .unwrap();
+        assert_ne!(v.local_select(0), &Predicate::True);
+    }
+
+    #[test]
+    fn negative_integer_literal() {
+        let v = parse_view("SELECT R1.A FROM R1 WHERE R1.A > -5", &catalog()).unwrap();
+        assert_ne!(v.local_select(0), &Predicate::True);
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let e = parse_view("SELECT R9.X FROM R9", &catalog()).unwrap_err();
+        assert!(matches!(e, RelationalError::UnknownRelation { .. }));
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let e = parse_view("SELECT R1.Z FROM R1", &catalog()).unwrap_err();
+        assert!(matches!(e, RelationalError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn syntax_errors_rejected() {
+        for bad in [
+            "FROM R1",                        // missing SELECT
+            "SELECT R1.A",                    // missing FROM
+            "SELECT R1.A FROM R1 WHERE",      // dangling WHERE
+            "SELECT R1.A FROM R1 WHERE R1.A", // incomplete predicate
+            "SELECT R1.A FROM R1 extra",      // trailing tokens
+            "SELECT R1.A FROM R1 WHERE R1.A = 'unterminated",
+            "SELECT R1 FROM R1", // unqualified projection
+        ] {
+            assert!(parse_view(bad, &catalog()).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn parsed_view_evaluates_like_builder_view() {
+        use crate::{eval_view, tup, Bag};
+        let sql = parse_view(
+            "SELECT R2.D, R3.F FROM R1, R2, R3 WHERE R1.B = R2.C AND R2.D = R3.E",
+            &catalog(),
+        )
+        .unwrap();
+        let r1 = Bag::from_tuples([tup![1, 3], tup![2, 3]]);
+        let r2 = Bag::from_tuples([tup![3, 7]]);
+        let r3 = Bag::from_tuples([tup![5, 6], tup![7, 8]]);
+        let out = eval_view(&sql, &[&r1, &r2, &r3]).unwrap();
+        assert_eq!(out, Bag::from_pairs([(tup![7, 8], 2)]));
+    }
+
+    #[test]
+    fn whitespace_and_newlines_tolerated() {
+        let v = parse_view(
+            "SELECT R2.D ,\n  R3.F\nFROM R1 , R2 , R3\nWHERE R1.B = R2.C\n  AND R2.D = R3.E",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(v.num_relations(), 3);
+    }
+}

@@ -1,0 +1,160 @@
+//! Tuples: immutable, cheaply cloneable value sequences.
+
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable tuple of scalar values.
+///
+/// Backed by `Arc<[Value]>` so that the heavy tuple traffic of join
+/// pipelines (hash-table keys, partial-delta states, message payloads)
+/// clones in O(1). Concatenation (the only structural operation the sweep
+/// algebra needs) allocates a fresh backing slice.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Arc<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// The empty tuple (width 0).
+    pub fn empty() -> Self {
+        Tuple(Arc::from(Vec::new()))
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Access one attribute by position.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of bounds — positions are resolved against a
+    /// validated schema before evaluation, so an out-of-bounds access is a
+    /// logic error, not a data error.
+    pub fn at(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+
+    /// Access one attribute, returning `None` when out of bounds.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.0.get(idx)
+    }
+
+    /// All values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Concatenate `self ++ other` (used when a sweep extends rightward).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v.into())
+    }
+
+    /// Project the tuple onto the given attribute positions.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Approximate serialized size in bytes for message accounting.
+    pub fn size_bytes(&self) -> usize {
+        4 + self.0.iter().map(Value::size_bytes).sum::<usize>()
+    }
+}
+
+fn fmt_tuple(values: &[Value], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "(")?;
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            write!(f, ",")?;
+        }
+        write!(f, "{v}")?;
+    }
+    write!(f, ")")
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_tuple(&self.0, f)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_tuple(&self.0, f)
+    }
+}
+
+/// Convenience constructor: `tup![1, "a", 2.5]`.
+#[macro_export]
+macro_rules! tup {
+    ($($v:expr),* $(,)?) => {
+        $crate::tuple::Tuple::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+impl<const N: usize> From<[Value; N]> for Tuple {
+    fn from(values: [Value; N]) -> Self {
+        Tuple::new(values.to_vec())
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = tup![1, 2];
+        let b = tup![3];
+        let c = a.concat(&b);
+        assert_eq!(c, tup![1, 2, 3]);
+        assert_eq!(c.arity(), 3);
+    }
+
+    #[test]
+    fn project_picks_positions() {
+        let t = tup![10, 20, 30, 40];
+        assert_eq!(t.project(&[3, 1]), tup![40, 20]);
+        assert_eq!(t.project(&[]), Tuple::empty());
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let t = tup!["hello", 1];
+        let u = t.clone();
+        assert_eq!(t, u);
+        // Arc-backed: same allocation.
+        assert!(std::ptr::eq(t.values().as_ptr(), u.values().as_ptr()));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", tup![1, 3]), "(1,3)");
+        assert_eq!(format!("{}", tup![7, 8]), "(7,8)");
+    }
+
+    #[test]
+    fn size_bytes_sums_values() {
+        assert_eq!(tup![1, 2].size_bytes(), 4 + 16);
+    }
+
+    #[test]
+    fn get_bounds() {
+        let t = tup![5];
+        assert_eq!(t.get(0), Some(&Value::Int(5)));
+        assert_eq!(t.get(1), None);
+    }
+}

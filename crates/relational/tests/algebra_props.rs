@@ -1,0 +1,200 @@
+//! Property-based tests of the bag/delta algebra — the identities the
+//! SWEEP correctness argument leans on. If any of these laws broke, the
+//! on-line error correction would silently corrupt views; here they are
+//! checked over thousands of random bags.
+
+use dw_relational::{
+    eval_view, extend_partial, tup, Bag, JoinSide, PartialDelta, Schema, Tuple, ViewDefBuilder,
+};
+use proptest::prelude::*;
+
+/// Arbitrary signed bag over small 2-attribute tuples. Small domains force
+/// collisions (count summation paths).
+fn arb_bag() -> impl Strategy<Value = Bag> {
+    prop::collection::vec(((0i64..6, 0i64..6), -3i64..4), 0..12)
+        .prop_map(|entries| Bag::from_pairs(entries.into_iter().map(|((a, b), c)| (tup![a, b], c))))
+}
+
+/// Arbitrary *positive* bag (a legal base-relation state).
+fn arb_relation() -> impl Strategy<Value = Bag> {
+    prop::collection::vec((0i64..6, 0i64..6), 0..12)
+        .prop_map(|tuples| Bag::from_pairs(tuples.into_iter().map(|(a, b)| (tup![a, b], 1))))
+}
+
+fn two_chain() -> dw_relational::ViewDef {
+    ViewDefBuilder::new()
+        .relation(Schema::new("R1", ["A", "B"]).unwrap())
+        .relation(Schema::new("R2", ["C", "D"]).unwrap())
+        .join("R1.B", "R2.C")
+        .build()
+        .unwrap()
+}
+
+fn join_right(view: &dw_relational::ViewDef, left: &Bag, right: &Bag) -> Bag {
+    let pd = PartialDelta::seed(view, 0, left).unwrap();
+    extend_partial(view, &pd, right, JoinSide::Right)
+        .unwrap()
+        .bag
+}
+
+proptest! {
+    // ---- Bag laws ------------------------------------------------------
+
+    #[test]
+    fn merge_is_commutative(a in arb_bag(), b in arb_bag()) {
+        prop_assert_eq!(a.plus(&b), b.plus(&a));
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_bag(), b in arb_bag(), c in arb_bag()) {
+        prop_assert_eq!(a.plus(&b).plus(&c), a.plus(&b.plus(&c)));
+    }
+
+    #[test]
+    fn negation_is_additive_inverse(a in arb_bag()) {
+        prop_assert!(a.plus(&a.negated()).is_empty());
+    }
+
+    #[test]
+    fn subtract_then_add_roundtrips(a in arb_bag(), b in arb_bag()) {
+        let mut x = a.clone();
+        x.subtract(&b);
+        x.merge(&b);
+        prop_assert_eq!(x, a);
+    }
+
+    #[test]
+    fn no_zero_counts_stored(a in arb_bag(), b in arb_bag()) {
+        let sum = a.plus(&b);
+        for (_, c) in sum.iter() {
+            prop_assert_ne!(c, 0);
+        }
+    }
+
+    #[test]
+    fn sorted_vec_is_canonical(a in arb_bag()) {
+        // Rebuilding from the sorted listing yields the same bag, and the
+        // listing is sorted.
+        let v = a.to_sorted_vec();
+        prop_assert!(v.windows(2).all(|w| w[0].0 <= w[1].0));
+        prop_assert_eq!(Bag::from_pairs(v), a);
+    }
+
+    // ---- Join laws (the §3 identities) ---------------------------------
+
+    /// (R + ΔR) ⋈ S = R ⋈ S + ΔR ⋈ S — the incremental-maintenance
+    /// identity SWEEP is built on.
+    #[test]
+    fn join_distributes_over_delta(r in arb_relation(), dr in arb_bag(), s in arb_relation()) {
+        let view = two_chain();
+        let lhs = join_right(&view, &r.plus(&dr), &s);
+        let rhs = join_right(&view, &r, &s).plus(&join_right(&view, &dr, &s));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Signs multiply through joins: (−ΔR) ⋈ S = −(ΔR ⋈ S).
+    #[test]
+    fn join_respects_negation(dr in arb_bag(), s in arb_relation()) {
+        let view = two_chain();
+        let lhs = join_right(&view, &dr.negated(), &s);
+        let rhs = join_right(&view, &dr, &s).negated();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Left and right extension orders commute on a 3-chain:
+    /// (ΔR₂ ⋈ R₃) then R₁ equals (R₁ ⋈ ΔR₂) then R₃.
+    #[test]
+    fn extension_order_commutes(r1 in arb_relation(), d2 in arb_bag(), r3 in arb_relation()) {
+        let view = ViewDefBuilder::new()
+            .relation(Schema::new("R1", ["A", "B"]).unwrap())
+            .relation(Schema::new("R2", ["C", "D"]).unwrap())
+            .relation(Schema::new("R3", ["E", "F"]).unwrap())
+            .join("R1.B", "R2.C")
+            .join("R2.D", "R3.E")
+            .build()
+            .unwrap();
+        let seed = PartialDelta::seed(&view, 1, &d2).unwrap();
+        let right_then_left = {
+            let pd = extend_partial(&view, &seed, &r3, JoinSide::Right).unwrap();
+            extend_partial(&view, &pd, &r1, JoinSide::Left).unwrap()
+        };
+        let left_then_right = {
+            let pd = extend_partial(&view, &seed, &r1, JoinSide::Left).unwrap();
+            extend_partial(&view, &pd, &r3, JoinSide::Right).unwrap()
+        };
+        prop_assert_eq!(right_then_left, left_then_right);
+    }
+
+    /// Incremental maintenance agrees with full recomputation over an
+    /// arbitrary sequence of deltas (applied one at a time).
+    #[test]
+    fn incremental_equals_recompute(
+        r1 in arb_relation(),
+        r2 in arb_relation(),
+        deltas in prop::collection::vec((prop::bool::ANY, arb_bag()), 0..6),
+    ) {
+        let view = two_chain();
+        let mut cur1 = r1.clone();
+        let mut cur2 = r2.clone();
+        let mut v = eval_view(&view, &[&cur1, &cur2]).unwrap();
+        for (left_side, d) in deltas {
+            if left_side {
+                // ΔV = ΔR1 ⋈ R2 (R2 unchanged)
+                let dv = join_right(&view, &d, &cur2);
+                v.merge(&dv);
+                cur1.merge(&d);
+            } else {
+                let pd = PartialDelta::seed(&view, 1, &d).unwrap();
+                let dv = extend_partial(&view, &pd, &cur1, JoinSide::Left).unwrap().bag;
+                v.merge(&dv);
+                cur2.merge(&d);
+            }
+            let direct = eval_view(&view, &[&cur1, &cur2]).unwrap();
+            prop_assert_eq!(&v, &direct);
+        }
+    }
+
+    /// The compensation identity of §4: for a query seeded with ΔR₂ and a
+    /// concurrent ΔR₁, the answer computed on (R₁ + ΔR₁) minus the locally
+    /// computed error term ΔR₁ ⋈ ΔR₂ equals the answer on R₁ alone.
+    #[test]
+    fn local_compensation_identity(
+        r1 in arb_relation(),
+        d1 in arb_bag(),
+        d2 in arb_bag(),
+    ) {
+        let view = two_chain();
+        let seed = PartialDelta::seed(&view, 1, &d2).unwrap();
+        // What the source returns after applying ΔR1:
+        let contaminated =
+            extend_partial(&view, &seed, &r1.plus(&d1), JoinSide::Left).unwrap().bag;
+        // Error term, computable entirely at the warehouse:
+        let error = extend_partial(&view, &seed, &d1, JoinSide::Left).unwrap().bag;
+        // Target: the answer on the pre-update state.
+        let clean = extend_partial(&view, &seed, &r1, JoinSide::Left).unwrap().bag;
+        prop_assert_eq!(contaminated.minus(&error), clean);
+    }
+
+    // ---- Projection / tuple laws ---------------------------------------
+
+    #[test]
+    fn projection_preserves_total_signed_count(a in arb_bag()) {
+        let signed_total = |b: &Bag| b.iter().map(|(_, c)| c).sum::<i64>();
+        let projected = a.map_tuples(|t| t.project(&[0]));
+        prop_assert_eq!(signed_total(&a), signed_total(&projected));
+    }
+
+    #[test]
+    fn concat_then_project_recovers_parts(
+        xs in prop::collection::vec(0i64..100, 1..5),
+        ys in prop::collection::vec(0i64..100, 1..5),
+    ) {
+        let a = Tuple::new(xs.iter().map(|&v| v.into()).collect());
+        let b = Tuple::new(ys.iter().map(|&v| v.into()).collect());
+        let c = a.concat(&b);
+        let left: Vec<usize> = (0..xs.len()).collect();
+        let right: Vec<usize> = (xs.len()..xs.len() + ys.len()).collect();
+        prop_assert_eq!(c.project(&left), a);
+        prop_assert_eq!(c.project(&right), b);
+    }
+}

@@ -1,0 +1,181 @@
+//! Link latency models.
+
+use crate::Time;
+use rand::Rng;
+
+/// How long a message spends in flight on a link.
+///
+/// All models are sampled from the simulation's seeded RNG, so a run is a
+/// pure function of `(workload, topology, seed)`. Latency controls how much
+/// *interference* the maintenance algorithms see: long query round-trips
+/// with short update inter-arrival times maximize concurrent updates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(Time),
+    /// Uniform in `[lo, hi]` (inclusive).
+    Uniform(Time, Time),
+    /// Exponential with the given mean (truncated to `10 × mean` to keep
+    /// runs finite); models heavy-tail WAN behaviour.
+    Exponential(Time),
+    /// `base + Uniform(0, jitter)` — a typical WAN profile.
+    Jittered {
+        /// Fixed propagation component.
+        base: Time,
+        /// Maximum added jitter.
+        jitter: Time,
+    },
+}
+
+impl LatencyModel {
+    /// Sample one in-flight duration.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Time {
+        match *self {
+            LatencyModel::Constant(t) => t,
+            LatencyModel::Uniform(lo, hi) => {
+                if lo >= hi {
+                    lo
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            }
+            LatencyModel::Exponential(mean) => {
+                if mean == 0 {
+                    return 0;
+                }
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let raw = -(u.ln()) * mean as f64;
+                (raw as Time).min(mean.saturating_mul(10))
+            }
+            LatencyModel::Jittered { base, jitter } => {
+                if jitter == 0 {
+                    base
+                } else {
+                    base + rng.gen_range(0..=jitter)
+                }
+            }
+        }
+    }
+
+    /// Mean of the distribution (used for reporting).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LatencyModel::Constant(t) => t as f64,
+            LatencyModel::Uniform(lo, hi) => (lo as f64 + hi as f64) / 2.0,
+            LatencyModel::Exponential(mean) => mean as f64,
+            LatencyModel::Jittered { base, jitter } => base as f64 + jitter as f64 / 2.0,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    /// 1 ms — an arbitrary but non-zero LAN-ish default.
+    fn default() -> Self {
+        LatencyModel::Constant(1_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::Constant(50);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), 50);
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let m = LatencyModel::Uniform(10, 20);
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = m.sample(&mut r);
+            assert!((10..=20).contains(&s));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate() {
+        let m = LatencyModel::Uniform(10, 10);
+        assert_eq!(m.sample(&mut rng()), 10);
+        let m = LatencyModel::Uniform(10, 5); // malformed: clamps to lo
+        assert_eq!(m.sample(&mut rng()), 10);
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let m = LatencyModel::Exponential(1_000);
+        let mut r = rng();
+        let n = 10_000;
+        let total: u64 = (0..n).map(|_| m.sample(&mut r)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((600.0..1400.0).contains(&mean), "mean was {mean}");
+    }
+
+    #[test]
+    fn exponential_truncated() {
+        let m = LatencyModel::Exponential(100);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(m.sample(&mut r) <= 1_000);
+        }
+    }
+
+    #[test]
+    fn exponential_zero_mean() {
+        assert_eq!(LatencyModel::Exponential(0).sample(&mut rng()), 0);
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let m = LatencyModel::Jittered {
+            base: 100,
+            jitter: 10,
+        };
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = m.sample(&mut r);
+            assert!((100..=110).contains(&s));
+        }
+        let m0 = LatencyModel::Jittered { base: 5, jitter: 0 };
+        assert_eq!(m0.sample(&mut r), 5);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let m = LatencyModel::Uniform(0, 1_000_000);
+        let a: Vec<Time> = {
+            let mut r = rng();
+            (0..32).map(|_| m.sample(&mut r)).collect()
+        };
+        let b: Vec<Time> = {
+            let mut r = rng();
+            (0..32).map(|_| m.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn means_reported() {
+        assert_eq!(LatencyModel::Constant(4).mean(), 4.0);
+        assert_eq!(LatencyModel::Uniform(0, 10).mean(), 5.0);
+        assert_eq!(
+            LatencyModel::Jittered {
+                base: 10,
+                jitter: 10
+            }
+            .mean(),
+            15.0
+        );
+    }
+}

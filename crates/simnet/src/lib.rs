@@ -1,0 +1,83 @@
+//! # dw-simnet
+//!
+//! A deterministic discrete-event simulator for the point-to-point message
+//! network the SWEEP paper assumes (§2): communication between each data
+//! source and the warehouse is **reliable and FIFO** — messages are never
+//! lost and are delivered in send order. Nothing is assumed about relative
+//! timing *across* links, which is exactly where concurrent-update
+//! anomalies come from; latency models make those interleavings adjustable
+//! and, with a fixed seed, perfectly reproducible.
+//!
+//! The simulator deliberately owns **only the network**: it is generic over
+//! the payload type and has no notion of actors. The orchestration layer
+//! (`dw-core`) pops [`Delivery`] events and dispatches them to typed node
+//! implementations — no trait objects, no downcasting, and every
+//! interleaving decision is visible in one place.
+//!
+//! ```
+//! use dw_simnet::{Network, Payload, ENV};
+//!
+//! #[derive(Clone, Debug)]
+//! struct Ping(u32);
+//! impl Payload for Ping {
+//!     fn size_bytes(&self) -> usize { 4 }
+//!     fn label(&self) -> &'static str { "ping" }
+//! }
+//!
+//! let mut net: Network<Ping> = Network::new(42);
+//! net.inject(10, 0, Ping(1));          // external event at t=10
+//! let d = net.next().unwrap();
+//! assert_eq!(d.at, 10);
+//! assert_eq!(d.from, ENV);
+//! net.send(0, 1, Ping(2));             // node 0 -> node 1
+//! assert!(net.next().unwrap().at >= 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod network;
+pub mod stats;
+pub mod trace;
+
+pub use latency::LatencyModel;
+pub use network::{Delivery, Network, NodeId, ENV};
+pub use stats::{LinkStats, NetStats};
+pub use trace::{TraceEvent, TraceKind};
+
+/// Logical simulation time in microseconds.
+pub type Time = u64;
+
+/// The capabilities a node needs from its transport: send a message, read
+/// the clock. [`Network`] implements it with virtual time; the `dw-livenet`
+/// crate implements it with OS threads, crossbeam channels and wall-clock
+/// time — so the *same* policy/source state machines run unchanged in both
+/// worlds.
+pub trait NetHandle<M> {
+    /// Send `msg` from `from` to `to` (reliable, FIFO per directed link).
+    fn send(&mut self, from: NodeId, to: NodeId, msg: M);
+    /// Current time in microseconds (virtual or wall-clock).
+    fn now(&self) -> Time;
+}
+
+impl<M: Payload> NetHandle<M> for Network<M> {
+    fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        Network::send(self, from, to, msg);
+    }
+    fn now(&self) -> Time {
+        Network::now(self)
+    }
+}
+
+/// Messages carried by the network. Implementations provide an approximate
+/// wire size (for the paper's message-size accounting, e.g. ECA's quadratic
+/// compensation queries) and a short label used to break statistics down by
+/// message kind (updates vs. queries vs. answers).
+pub trait Payload: Clone + std::fmt::Debug {
+    /// Approximate serialized size in bytes.
+    fn size_bytes(&self) -> usize;
+    /// Statistic bucket for this message.
+    fn label(&self) -> &'static str {
+        "msg"
+    }
+}

@@ -1,0 +1,340 @@
+//! The event-driven network core.
+
+use crate::latency::LatencyModel;
+use crate::stats::NetStats;
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::{Payload, Time};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Identifies a node. Plain indices assigned by the orchestrator.
+pub type NodeId = usize;
+
+/// Pseudo-node representing the environment: workload injections are
+/// delivered "from" `ENV` with no link semantics.
+pub const ENV: NodeId = usize::MAX;
+
+/// A message arriving at its destination.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// Delivery time; the network clock has advanced to this instant.
+    pub at: Time,
+    /// Sender (or [`ENV`] for injected events).
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// The payload.
+    pub msg: M,
+}
+
+#[derive(Debug)]
+struct PendingEvent<M> {
+    at: Time,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+// Order by (time, seq); seq is globally monotone so ties resolve in
+// insertion order, which (together with the per-link `last_delivery`
+// high-water mark) guarantees FIFO per directed link.
+impl<M> PartialEq for PendingEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for PendingEvent<M> {}
+impl<M> PartialOrd for PendingEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for PendingEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The deterministic FIFO network.
+///
+/// * `send` timestamps a message `now + latency(link)` and clamps it to the
+///   link's previous delivery time, so per-link order is preserved no
+///   matter what the latency model samples (reliable FIFO channels, §2).
+/// * `inject` schedules an external event (a source-local transaction, a
+///   control probe) at an absolute time.
+/// * `next` pops the earliest event, advances the clock, records stats and
+///   trace, and hands the delivery to the caller for dispatch.
+pub struct Network<M> {
+    heap: BinaryHeap<Reverse<PendingEvent<M>>>,
+    now: Time,
+    seq: u64,
+    default_latency: LatencyModel,
+    link_latency: HashMap<(NodeId, NodeId), LatencyModel>,
+    last_delivery: HashMap<(NodeId, NodeId), Time>,
+    stats: NetStats,
+    trace: Trace,
+    rng: ChaCha8Rng,
+}
+
+impl<M: Payload> Network<M> {
+    /// A fresh network at time 0 with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            default_latency: LatencyModel::default(),
+            link_latency: HashMap::new(),
+            last_delivery: HashMap::new(),
+            stats: NetStats::default(),
+            trace: Trace::default(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Latency model used for links with no specific override.
+    pub fn set_default_latency(&mut self, model: LatencyModel) {
+        self.default_latency = model;
+    }
+
+    /// Override the latency model of one directed link.
+    pub fn set_link_latency(&mut self, from: NodeId, to: NodeId, model: LatencyModel) {
+        self.link_latency.insert((from, to), model);
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Access the trace buffer (enable it to record).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Read the trace buffer.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Number of in-flight events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Send a message from `from` to `to` at the current time. Latency is
+    /// sampled from the link's model; delivery never reorders the link.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let model = self
+            .link_latency
+            .get(&(from, to))
+            .unwrap_or(&self.default_latency)
+            .clone();
+        let latency = model.sample(&mut self.rng);
+        let naive = self.now.saturating_add(latency);
+        let floor = self.last_delivery.get(&(from, to)).copied().unwrap_or(0);
+        let at = naive.max(floor);
+        self.last_delivery.insert((from, to), at);
+        self.trace.push(TraceEvent {
+            at: self.now,
+            kind: TraceKind::Send,
+            from,
+            to,
+            label: msg.label(),
+            bytes: msg.size_bytes(),
+        });
+        self.push(at, from, to, msg);
+    }
+
+    /// Schedule an external event (from [`ENV`]) at absolute time `at`;
+    /// times in the past are clamped to "now".
+    pub fn inject(&mut self, at: Time, to: NodeId, msg: M) {
+        let at = at.max(self.now);
+        self.push(at, ENV, to, msg);
+    }
+
+    fn push(&mut self, at: Time, from: NodeId, to: NodeId, msg: M) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(PendingEvent {
+            at,
+            seq,
+            from,
+            to,
+            msg,
+        }));
+    }
+
+    /// Pop the next delivery, advancing the clock. `None` when the network
+    /// is quiescent (no in-flight messages or scheduled injections).
+    ///
+    /// Named `next` to read like the event loop it drives; the network is
+    /// not an `Iterator` because dispatch re-entrantly sends into it.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Delivery<M>> {
+        let Reverse(ev) = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now, "time must be monotone");
+        self.now = ev.at;
+        self.stats
+            .record(ev.from, ev.to, ev.msg.label(), ev.msg.size_bytes());
+        self.trace.push(TraceEvent {
+            at: ev.at,
+            kind: TraceKind::Deliver,
+            from: ev.from,
+            to: ev.to,
+            label: ev.msg.label(),
+            bytes: ev.msg.size_bytes(),
+        });
+        Some(Delivery {
+            at: ev.at,
+            from: ev.from,
+            to: ev.to,
+            msg: ev.msg,
+        })
+    }
+
+    /// Peek at the time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(ev)| ev.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Msg(u32);
+    impl Payload for Msg {
+        fn size_bytes(&self) -> usize {
+            4
+        }
+        fn label(&self) -> &'static str {
+            "m"
+        }
+    }
+
+    #[test]
+    fn fifo_per_link_under_random_latency() {
+        let mut net: Network<Msg> = Network::new(1);
+        net.set_default_latency(LatencyModel::Uniform(0, 1_000_000));
+        for i in 0..100 {
+            net.send(0, 1, Msg(i));
+        }
+        let mut got = Vec::new();
+        while let Some(d) = net.next() {
+            got.push(d.msg.0);
+        }
+        let want: Vec<u32> = (0..100).collect();
+        assert_eq!(got, want, "link 0->1 must deliver in send order");
+    }
+
+    #[test]
+    fn cross_link_order_is_unconstrained() {
+        let mut net: Network<Msg> = Network::new(1);
+        net.set_link_latency(0, 2, LatencyModel::Constant(100));
+        net.set_link_latency(1, 2, LatencyModel::Constant(10));
+        net.send(0, 2, Msg(1)); // sent first, arrives later
+        net.send(1, 2, Msg(2));
+        assert_eq!(net.next().unwrap().msg, Msg(2));
+        assert_eq!(net.next().unwrap().msg, Msg(1));
+    }
+
+    #[test]
+    fn clock_is_monotone_and_advances() {
+        let mut net: Network<Msg> = Network::new(3);
+        net.set_default_latency(LatencyModel::Uniform(1, 50));
+        net.inject(0, 0, Msg(0));
+        net.send(0, 1, Msg(1));
+        let mut last = 0;
+        while let Some(d) = net.next() {
+            assert!(d.at >= last);
+            last = d.at;
+        }
+        assert_eq!(net.now(), last);
+    }
+
+    #[test]
+    fn inject_delivers_from_env_at_time() {
+        let mut net: Network<Msg> = Network::new(0);
+        net.inject(500, 3, Msg(9));
+        let d = net.next().unwrap();
+        assert_eq!((d.at, d.from, d.to), (500, ENV, 3));
+    }
+
+    #[test]
+    fn inject_in_past_clamped_to_now() {
+        let mut net: Network<Msg> = Network::new(0);
+        net.inject(100, 0, Msg(0));
+        net.next().unwrap();
+        net.inject(5, 0, Msg(1)); // in the past
+        assert_eq!(net.next().unwrap().at, 100);
+    }
+
+    #[test]
+    fn injections_interleave_with_messages_deterministically() {
+        let run = |seed: u64| -> Vec<u32> {
+            let mut net: Network<Msg> = Network::new(seed);
+            net.set_default_latency(LatencyModel::Uniform(0, 100));
+            net.inject(50, 0, Msg(100));
+            net.send(0, 1, Msg(1));
+            net.send(1, 0, Msg(2));
+            let mut got = Vec::new();
+            while let Some(d) = net.next() {
+                got.push(d.msg.0);
+            }
+            got
+        };
+        assert_eq!(run(9), run(9), "same seed, same schedule");
+    }
+
+    #[test]
+    fn stats_recorded_on_delivery() {
+        let mut net: Network<Msg> = Network::new(0);
+        net.send(0, 1, Msg(1));
+        assert_eq!(net.stats().total().messages, 0, "not yet delivered");
+        net.next();
+        assert_eq!(net.stats().total().messages, 1);
+        assert_eq!(net.stats().link(0, 1).bytes, 4);
+        assert_eq!(net.stats().label("m").messages, 1);
+    }
+
+    #[test]
+    fn trace_records_send_and_deliver() {
+        let mut net: Network<Msg> = Network::new(0);
+        net.trace_mut().enable(0);
+        net.send(0, 1, Msg(1));
+        net.next();
+        let kinds: Vec<TraceKind> = net.trace().events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![TraceKind::Send, TraceKind::Deliver]);
+    }
+
+    #[test]
+    fn quiescence_returns_none() {
+        let mut net: Network<Msg> = Network::new(0);
+        assert!(net.next().is_none());
+        assert_eq!(net.peek_time(), None);
+        net.send(0, 1, Msg(0));
+        assert!(net.peek_time().is_some());
+        net.next();
+        assert!(net.next().is_none());
+    }
+
+    #[test]
+    fn pending_counts_in_flight() {
+        let mut net: Network<Msg> = Network::new(0);
+        net.send(0, 1, Msg(0));
+        net.inject(10, 2, Msg(1));
+        assert_eq!(net.pending(), 2);
+        net.next();
+        assert_eq!(net.pending(), 1);
+    }
+}

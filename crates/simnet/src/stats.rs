@@ -1,0 +1,122 @@
+//! Message and byte accounting.
+//!
+//! The paper's comparison (Table 1) is in *messages per update* and, for
+//! ECA, *message size*. The network keeps exact per-link and per-label
+//! counters so experiments read these numbers directly instead of
+//! re-deriving them from traces.
+
+use crate::network::NodeId;
+use std::collections::BTreeMap;
+
+/// Counters for one directed link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Total payload bytes delivered.
+    pub bytes: u64,
+}
+
+/// Aggregated network statistics.
+///
+/// `BTreeMap`s keep iteration deterministic for golden tests and reports.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    per_link: BTreeMap<(NodeId, NodeId), LinkStats>,
+    per_label: BTreeMap<&'static str, LinkStats>,
+    total: LinkStats,
+}
+
+impl NetStats {
+    /// Record one delivered message.
+    pub fn record(&mut self, from: NodeId, to: NodeId, label: &'static str, bytes: usize) {
+        let b = bytes as u64;
+        for s in [
+            self.per_link.entry((from, to)).or_default(),
+            self.per_label.entry(label).or_default(),
+            &mut self.total,
+        ] {
+            s.messages += 1;
+            s.bytes += b;
+        }
+    }
+
+    /// Counters for a directed link.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkStats {
+        self.per_link.get(&(from, to)).copied().unwrap_or_default()
+    }
+
+    /// Counters for a message label.
+    pub fn label(&self, label: &str) -> LinkStats {
+        self.per_label.get(label).copied().unwrap_or_default()
+    }
+
+    /// Grand totals.
+    pub fn total(&self) -> LinkStats {
+        self.total
+    }
+
+    /// Iterate all links deterministically.
+    pub fn links(&self) -> impl Iterator<Item = ((NodeId, NodeId), LinkStats)> + '_ {
+        self.per_link.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterate all labels deterministically.
+    pub fn labels(&self) -> impl Iterator<Item = (&'static str, LinkStats)> + '_ {
+        self.per_label.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Snapshot-diff helper: counters accumulated since `earlier`.
+    pub fn since(&self, earlier: &NetStats) -> LinkStats {
+        LinkStats {
+            messages: self.total.messages - earlier.total.messages,
+            bytes: self.total.bytes - earlier.total.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_everywhere() {
+        let mut s = NetStats::default();
+        s.record(0, 1, "query", 100);
+        s.record(0, 1, "query", 50);
+        s.record(1, 0, "answer", 10);
+        assert_eq!(s.link(0, 1).messages, 2);
+        assert_eq!(s.link(0, 1).bytes, 150);
+        assert_eq!(s.label("query").messages, 2);
+        assert_eq!(s.label("answer").bytes, 10);
+        assert_eq!(s.total().messages, 3);
+        assert_eq!(s.total().bytes, 160);
+    }
+
+    #[test]
+    fn missing_entries_are_zero() {
+        let s = NetStats::default();
+        assert_eq!(s.link(5, 6), LinkStats::default());
+        assert_eq!(s.label("nope"), LinkStats::default());
+    }
+
+    #[test]
+    fn since_diffs_totals() {
+        let mut s = NetStats::default();
+        s.record(0, 1, "a", 5);
+        let snap = s.clone();
+        s.record(0, 1, "a", 7);
+        let d = s.since(&snap);
+        assert_eq!(d.messages, 1);
+        assert_eq!(d.bytes, 7);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut s = NetStats::default();
+        s.record(2, 0, "b", 1);
+        s.record(0, 1, "a", 1);
+        let links: Vec<_> = s.links().map(|(k, _)| k).collect();
+        assert_eq!(links, vec![(0, 1), (2, 0)]);
+    }
+}

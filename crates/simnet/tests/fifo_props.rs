@@ -1,0 +1,121 @@
+//! Property tests of the network's core guarantees: per-link FIFO under
+//! arbitrary latency models, clock monotonicity, determinism, and exact
+//! accounting — the §2 assumptions every maintenance proof rests on.
+
+use dw_simnet::{LatencyModel, Network, Payload};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug, PartialEq)]
+struct Msg {
+    from: usize,
+    seq: u32,
+}
+impl Payload for Msg {
+    fn size_bytes(&self) -> usize {
+        8
+    }
+    fn label(&self) -> &'static str {
+        "m"
+    }
+}
+
+fn arb_latency() -> impl Strategy<Value = LatencyModel> {
+    prop_oneof![
+        (0u64..100_000).prop_map(LatencyModel::Constant),
+        (0u64..1_000, 1_000u64..100_000).prop_map(|(lo, hi)| LatencyModel::Uniform(lo, hi)),
+        (1u64..50_000).prop_map(LatencyModel::Exponential),
+        (0u64..10_000, 0u64..50_000)
+            .prop_map(|(base, jitter)| LatencyModel::Jittered { base, jitter }),
+    ]
+}
+
+proptest! {
+    /// Messages on each directed link arrive in send order, whatever the
+    /// latency model samples.
+    #[test]
+    fn per_link_fifo(
+        latency in arb_latency(),
+        seed in any::<u64>(),
+        sends in prop::collection::vec((0usize..4, 0usize..4), 1..200),
+    ) {
+        let mut net: Network<Msg> = Network::new(seed);
+        net.set_default_latency(latency);
+        let mut counters = [[0u32; 4]; 4];
+        for &(from, to) in &sends {
+            let seq = counters[from][to];
+            counters[from][to] += 1;
+            net.send(from, to, Msg { from, seq });
+        }
+        let mut last_seen = std::collections::HashMap::new();
+        let mut delivered = 0;
+        while let Some(d) = net.next() {
+            let key = (d.from, d.to);
+            let expect = last_seen.entry(key).or_insert(0u32);
+            prop_assert_eq!(d.msg.seq, *expect, "link {:?} reordered", key);
+            *expect += 1;
+            delivered += 1;
+        }
+        prop_assert_eq!(delivered, sends.len());
+    }
+
+    /// The clock never runs backwards, and deliveries never precede their
+    /// injection times.
+    #[test]
+    fn clock_monotone_and_injections_honored(
+        latency in arb_latency(),
+        seed in any::<u64>(),
+        injections in prop::collection::vec((0u64..1_000_000, 0usize..3), 1..50),
+    ) {
+        let mut net: Network<Msg> = Network::new(seed);
+        net.set_default_latency(latency);
+        for (i, &(at, node)) in injections.iter().enumerate() {
+            net.inject(at, node, Msg { from: node, seq: i as u32 });
+        }
+        let mut last = 0;
+        while let Some(d) = net.next() {
+            prop_assert!(d.at >= last);
+            let (at, _) = injections[d.msg.seq as usize];
+            prop_assert!(d.at >= at.min(1_000_000));
+            last = d.at;
+        }
+    }
+
+    /// Identical seeds and inputs produce identical delivery schedules.
+    #[test]
+    fn deterministic_schedules(
+        latency in arb_latency(),
+        seed in any::<u64>(),
+        sends in prop::collection::vec((0usize..3, 0usize..3), 1..60),
+    ) {
+        let run = || {
+            let mut net: Network<Msg> = Network::new(seed);
+            net.set_default_latency(latency.clone());
+            for (i, &(from, to)) in sends.iter().enumerate() {
+                net.send(from, to, Msg { from, seq: i as u32 });
+            }
+            let mut out = Vec::new();
+            while let Some(d) = net.next() {
+                out.push((d.at, d.from, d.to, d.msg.seq));
+            }
+            out
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Stats account for exactly the delivered messages and bytes.
+    #[test]
+    fn stats_exact(
+        seed in any::<u64>(),
+        sends in prop::collection::vec((0usize..3, 0usize..3), 0..60),
+    ) {
+        let mut net: Network<Msg> = Network::new(seed);
+        for (i, &(from, to)) in sends.iter().enumerate() {
+            net.send(from, to, Msg { from, seq: i as u32 });
+        }
+        while net.next().is_some() {}
+        prop_assert_eq!(net.stats().total().messages, sends.len() as u64);
+        prop_assert_eq!(net.stats().total().bytes, 8 * sends.len() as u64);
+        let by_links: u64 = net.stats().links().map(|(_, s)| s.messages).sum();
+        prop_assert_eq!(by_links, sends.len() as u64);
+    }
+}

@@ -1,0 +1,549 @@
+//! The per-source update & query server (paper Figure 3).
+
+use dw_protocol::{source_node, Message, SourceIndex, SourceUpdate, UpdateId, WAREHOUSE_NODE};
+use dw_relational::{
+    extend_partial, extend_partial_indexed, BaseRelation, JoinIndex, Predicate, RelationalError,
+    ViewDef,
+};
+use dw_simnet::{NetHandle, NodeId};
+use std::fmt;
+
+/// Errors a data source can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// Underlying relational failure (bad transaction, arity mismatch…).
+    Relational(RelationalError),
+    /// A message arrived that this node cannot service.
+    UnexpectedMessage {
+        /// Which source.
+        source: SourceIndex,
+        /// Label of the offending message.
+        label: &'static str,
+    },
+    /// A transaction was routed to the wrong source.
+    WrongRelation {
+        /// This source's chain position.
+        source: SourceIndex,
+        /// The relation the transaction targeted.
+        target: SourceIndex,
+    },
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::Relational(e) => write!(f, "relational error at source: {e}"),
+            SourceError::UnexpectedMessage { source, label } => {
+                write!(f, "source {source} cannot service message {label:?}")
+            }
+            SourceError::WrongRelation { source, target } => {
+                write!(
+                    f,
+                    "transaction for relation {target} routed to source {source}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+impl From<RelationalError> for SourceError {
+    fn from(e: RelationalError) -> Self {
+        SourceError::Relational(e)
+    }
+}
+
+/// One autonomous data source holding base relation `R_i`.
+///
+/// The two processes of the paper's Figure 3 (`SendUpdates`,
+/// `ProcessQuery`) collapse into one event handler because the simulator
+/// already serializes the node's events — which is exactly the paper's
+/// sequential-service assumption.
+pub struct DataSource {
+    index: SourceIndex,
+    view: ViewDef,
+    relation: BaseRelation,
+    next_seq: u64,
+    txns_applied: u64,
+    /// Incrementally maintained join indexes (left-neighbor key,
+    /// right-neighbor key), when enabled.
+    indexes: Option<SourceIndexes>,
+}
+
+/// The two join indexes a chain source can be probed through: one for
+/// queries extending a partial *rightward into* this relation (keyed on
+/// this relation's side of the left join condition) and one for leftward
+/// extension.
+struct SourceIndexes {
+    /// Serves `JoinSide::Right` extensions (this relation is the right
+    /// neighbor); `None` when this is the leftmost relation.
+    as_right_neighbor: Option<JoinIndex>,
+    /// Serves `JoinSide::Left` extensions; `None` when rightmost.
+    as_left_neighbor: Option<JoinIndex>,
+}
+
+impl DataSource {
+    /// Create source `index` with its initial relation contents.
+    pub fn new(index: SourceIndex, view: ViewDef, relation: BaseRelation) -> Self {
+        DataSource {
+            index,
+            view,
+            relation,
+            next_seq: 0,
+            txns_applied: 0,
+            indexes: None,
+        }
+    }
+
+    /// Create with maintained join indexes: queries are answered through
+    /// incrementally maintained hash indexes instead of re-hashing the
+    /// relation per request. Requires the relation to carry no pushed-down
+    /// local selection (the general path handles those).
+    pub fn with_indexes(
+        index: SourceIndex,
+        view: ViewDef,
+        relation: BaseRelation,
+    ) -> Result<Self, RelationalError> {
+        if view.local_select(index) != &Predicate::True {
+            return Err(RelationalError::BadRange {
+                reason: format!(
+                    "indexed source {} would bypass its local selection",
+                    view.schema(index).name()
+                ),
+            });
+        }
+        let as_right_neighbor = (index > 0).then(|| {
+            // Join condition between (index-1, index): our side is `r`.
+            let keys: Vec<usize> = view
+                .join_cond(index - 1)
+                .pairs
+                .iter()
+                .map(|&(_, r)| r)
+                .collect();
+            let mut ix = JoinIndex::new(keys);
+            ix.apply_delta(relation.bag());
+            ix
+        });
+        let as_left_neighbor = (index + 1 < view.num_relations()).then(|| {
+            let keys: Vec<usize> = view
+                .join_cond(index)
+                .pairs
+                .iter()
+                .map(|&(l, _)| l)
+                .collect();
+            let mut ix = JoinIndex::new(keys);
+            ix.apply_delta(relation.bag());
+            ix
+        });
+        Ok(DataSource {
+            index,
+            view,
+            relation,
+            next_seq: 0,
+            txns_applied: 0,
+            indexes: Some(SourceIndexes {
+                as_right_neighbor,
+                as_left_neighbor,
+            }),
+        })
+    }
+
+    /// Are maintained join indexes active?
+    pub fn is_indexed(&self) -> bool {
+        self.indexes.is_some()
+    }
+
+    /// Chain position of this source.
+    pub fn index(&self) -> SourceIndex {
+        self.index
+    }
+
+    /// Current relation contents (test/inspection hook).
+    pub fn relation(&self) -> &BaseRelation {
+        &self.relation
+    }
+
+    /// Number of transactions applied so far.
+    pub fn txns_applied(&self) -> u64 {
+        self.txns_applied
+    }
+
+    /// Service one delivered event.
+    ///
+    /// * `ApplyTxn` — execute the transaction atomically against `R_i` and
+    ///   forward the delta to the warehouse (process `SendUpdates`).
+    /// * `SweepQuery` — `ΔV ← ComputeJoin(ΔV, R_i)`, reply to the
+    ///   warehouse (process `ProcessQuery`).
+    /// * `DumpQuery` — ship the current contents (recompute baseline).
+    pub fn handle(
+        &mut self,
+        _from: NodeId,
+        msg: Message,
+        net: &mut dyn NetHandle<Message>,
+    ) -> Result<(), SourceError> {
+        match msg {
+            Message::ApplyTxn { rel, delta, global } => {
+                if rel != self.index {
+                    return Err(SourceError::WrongRelation {
+                        source: self.index,
+                        target: rel,
+                    });
+                }
+                self.relation.apply_delta(&delta)?;
+                if let Some(ix) = self.indexes.as_mut() {
+                    if let Some(i) = ix.as_right_neighbor.as_mut() {
+                        i.apply_delta(&delta);
+                    }
+                    if let Some(i) = ix.as_left_neighbor.as_mut() {
+                        i.apply_delta(&delta);
+                    }
+                }
+                self.txns_applied += 1;
+                let id = UpdateId {
+                    source: self.index,
+                    seq: self.next_seq,
+                };
+                self.next_seq += 1;
+                net.send(
+                    source_node(self.index),
+                    WAREHOUSE_NODE,
+                    Message::Update(SourceUpdate { id, delta, global }),
+                );
+                Ok(())
+            }
+            Message::SweepQuery(q) => {
+                // Use the maintained index when one serves this side.
+                let chosen = self.indexes.as_ref().and_then(|ix| match q.side {
+                    dw_relational::JoinSide::Right => ix.as_right_neighbor.as_ref(),
+                    dw_relational::JoinSide::Left => ix.as_left_neighbor.as_ref(),
+                });
+                let widened = match chosen {
+                    Some(ix) => extend_partial_indexed(&self.view, &q.partial, ix, q.side)?,
+                    None => extend_partial(&self.view, &q.partial, self.relation.bag(), q.side)?,
+                };
+                net.send(
+                    source_node(self.index),
+                    WAREHOUSE_NODE,
+                    Message::SweepAnswer(dw_protocol::SweepAnswer {
+                        qid: q.qid,
+                        partial: widened,
+                    }),
+                );
+                Ok(())
+            }
+            Message::DumpQuery { qid } => {
+                net.send(
+                    source_node(self.index),
+                    WAREHOUSE_NODE,
+                    Message::DumpAnswer {
+                        qid,
+                        relation: self.relation.bag().clone(),
+                    },
+                );
+                Ok(())
+            }
+            other => Err(SourceError::UnexpectedMessage {
+                source: self.index,
+                label: dw_simnet::Payload::label(&other),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_protocol::SweepQuery;
+    use dw_relational::{tup, Bag, JoinSide, PartialDelta, Schema, ViewDefBuilder};
+    use dw_simnet::{Network, ENV};
+
+    fn view() -> ViewDef {
+        ViewDefBuilder::new()
+            .relation(Schema::new("R1", ["A", "B"]).unwrap())
+            .relation(Schema::new("R2", ["C", "D"]).unwrap())
+            .join("R1.B", "R2.C")
+            .build()
+            .unwrap()
+    }
+
+    fn source1() -> DataSource {
+        let rel = BaseRelation::from_tuples(
+            Schema::new("R2", ["C", "D"]).unwrap(),
+            [tup![3, 7], tup![4, 8]],
+        )
+        .unwrap();
+        DataSource::new(1, view(), rel)
+    }
+
+    #[test]
+    fn txn_applies_and_forwards_update() {
+        let mut net: Network<Message> = Network::new(0);
+        let mut src = source1();
+        let delta = Bag::from_pairs([(tup![9, 9], 1)]);
+        src.handle(
+            ENV,
+            Message::ApplyTxn {
+                rel: 1,
+                delta: delta.clone(),
+                global: None,
+            },
+            &mut net,
+        )
+        .unwrap();
+        assert_eq!(src.relation().bag().count(&tup![9, 9]), 1);
+        assert_eq!(src.txns_applied(), 1);
+        let d = net.next().unwrap();
+        assert_eq!(d.to, WAREHOUSE_NODE);
+        match d.msg {
+            Message::Update(u) => {
+                assert_eq!(u.id, UpdateId { source: 1, seq: 0 });
+                assert_eq!(u.delta, delta);
+            }
+            other => panic!("expected Update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seq_numbers_increment() {
+        let mut net: Network<Message> = Network::new(0);
+        let mut src = source1();
+        for i in 0..3i64 {
+            src.handle(
+                ENV,
+                Message::ApplyTxn {
+                    rel: 1,
+                    delta: Bag::from_pairs([(tup![100 + i, 0], 1)]),
+                    global: None,
+                },
+                &mut net,
+            )
+            .unwrap();
+        }
+        let seqs: Vec<u64> = std::iter::from_fn(|| net.next())
+            .filter_map(|d| match d.msg {
+                Message::Update(u) => Some(u.id.seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn invalid_txn_rejected_and_not_forwarded() {
+        let mut net: Network<Message> = Network::new(0);
+        let mut src = source1();
+        let res = src.handle(
+            ENV,
+            Message::ApplyTxn {
+                rel: 1,
+                delta: Bag::from_pairs([(tup![1, 1], -1)]), // absent tuple
+                global: None,
+            },
+            &mut net,
+        );
+        assert!(matches!(res, Err(SourceError::Relational(_))));
+        assert!(net.next().is_none());
+    }
+
+    #[test]
+    fn wrong_relation_rejected() {
+        let mut net: Network<Message> = Network::new(0);
+        let mut src = source1();
+        let res = src.handle(
+            ENV,
+            Message::ApplyTxn {
+                rel: 0,
+                delta: Bag::new(),
+                global: None,
+            },
+            &mut net,
+        );
+        assert!(matches!(res, Err(SourceError::WrongRelation { .. })));
+    }
+
+    #[test]
+    fn sweep_query_computes_join_and_replies() {
+        let mut net: Network<Message> = Network::new(0);
+        let mut src = source1();
+        // ΔV over R1 = {+(1,3)}; extend right into R2.
+        let q = SweepQuery {
+            qid: 42,
+            partial: PartialDelta {
+                lo: 0,
+                hi: 0,
+                bag: Bag::from_tuples([tup![1, 3]]),
+            },
+            side: JoinSide::Right,
+        };
+        src.handle(WAREHOUSE_NODE, Message::SweepQuery(q), &mut net)
+            .unwrap();
+        let d = net.next().unwrap();
+        match d.msg {
+            Message::SweepAnswer(a) => {
+                assert_eq!(a.qid, 42);
+                assert_eq!(a.partial.bag, Bag::from_tuples([tup![1, 3, 3, 7]]));
+                assert_eq!((a.partial.lo, a.partial.hi), (0, 1));
+            }
+            other => panic!("expected SweepAnswer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dump_query_ships_contents() {
+        let mut net: Network<Message> = Network::new(0);
+        let mut src = source1();
+        src.handle(WAREHOUSE_NODE, Message::DumpQuery { qid: 7 }, &mut net)
+            .unwrap();
+        match net.next().unwrap().msg {
+            Message::DumpAnswer { qid, relation } => {
+                assert_eq!(qid, 7);
+                assert_eq!(relation, src.relation().bag().clone());
+            }
+            other => panic!("expected DumpAnswer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unexpected_message_is_an_error() {
+        let mut net: Network<Message> = Network::new(0);
+        let mut src = source1();
+        let res = src.handle(
+            WAREHOUSE_NODE,
+            Message::DumpAnswer {
+                qid: 0,
+                relation: Bag::new(),
+            },
+            &mut net,
+        );
+        assert!(matches!(res, Err(SourceError::UnexpectedMessage { .. })));
+    }
+}
+
+#[cfg(test)]
+mod indexed_tests {
+    use super::*;
+    use dw_protocol::SweepQuery;
+    use dw_relational::{tup, Bag, JoinSide, PartialDelta, Schema, ViewDefBuilder};
+    use dw_simnet::{Network, ENV};
+
+    fn view3() -> ViewDef {
+        ViewDefBuilder::new()
+            .relation(Schema::new("R1", ["A", "B"]).unwrap())
+            .relation(Schema::new("R2", ["C", "D"]).unwrap())
+            .relation(Schema::new("R3", ["E", "F"]).unwrap())
+            .join("R1.B", "R2.C")
+            .join("R2.D", "R3.E")
+            .build()
+            .unwrap()
+    }
+
+    fn mid_source(indexed: bool) -> DataSource {
+        let rel = BaseRelation::from_tuples(
+            Schema::new("R2", ["C", "D"]).unwrap(),
+            [tup![3, 5], tup![3, 7], tup![4, 5]],
+        )
+        .unwrap();
+        if indexed {
+            DataSource::with_indexes(1, view3(), rel).unwrap()
+        } else {
+            DataSource::new(1, view3(), rel)
+        }
+    }
+
+    fn answer_of(src: &mut DataSource, q: SweepQuery) -> PartialDelta {
+        let mut net: Network<Message> = Network::new(0);
+        src.handle(WAREHOUSE_NODE, Message::SweepQuery(q), &mut net)
+            .unwrap();
+        match net.next().unwrap().msg {
+            Message::SweepAnswer(a) => a.partial,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn indexed_answers_match_plain_both_sides() {
+        let mut plain = mid_source(false);
+        let mut fast = mid_source(true);
+        assert!(fast.is_indexed());
+        // Rightward into R2 (R2 is right neighbor of R1).
+        let q_right = SweepQuery {
+            qid: 1,
+            partial: PartialDelta {
+                lo: 0,
+                hi: 0,
+                bag: Bag::from_tuples([tup![1, 3], tup![9, 4]]),
+            },
+            side: JoinSide::Right,
+        };
+        assert_eq!(
+            answer_of(&mut plain, q_right.clone()),
+            answer_of(&mut fast, q_right)
+        );
+        // Leftward into R2 (R2 is left neighbor of R3).
+        let q_left = SweepQuery {
+            qid: 2,
+            partial: PartialDelta {
+                lo: 2,
+                hi: 2,
+                bag: Bag::from_tuples([tup![5, 6]]),
+            },
+            side: JoinSide::Left,
+        };
+        assert_eq!(
+            answer_of(&mut plain, q_left.clone()),
+            answer_of(&mut fast, q_left)
+        );
+    }
+
+    #[test]
+    fn indexes_track_transactions() {
+        let mut plain = mid_source(false);
+        let mut fast = mid_source(true);
+        let delta = Bag::from_pairs([(tup![3, 5], -1), (tup![8, 5], 1)]);
+        for src in [&mut plain, &mut fast] {
+            let mut net: Network<Message> = Network::new(0);
+            src.handle(
+                ENV,
+                Message::ApplyTxn {
+                    rel: 1,
+                    delta: delta.clone(),
+                    global: None,
+                },
+                &mut net,
+            )
+            .unwrap();
+        }
+        let q = SweepQuery {
+            qid: 3,
+            partial: PartialDelta {
+                lo: 0,
+                hi: 0,
+                bag: Bag::from_tuples([tup![1, 3], tup![2, 8]]),
+            },
+            side: JoinSide::Right,
+        };
+        assert_eq!(answer_of(&mut plain, q.clone()), answer_of(&mut fast, q));
+    }
+
+    #[test]
+    fn indexed_with_local_selection_rejected() {
+        let v = ViewDefBuilder::new()
+            .relation(Schema::new("R1", ["A", "B"]).unwrap())
+            .relation(Schema::new("R2", ["C", "D"]).unwrap())
+            .join("R1.B", "R2.C")
+            .select("R1.A", dw_relational::CmpOp::Gt, 0)
+            .build()
+            .unwrap();
+        let rel = BaseRelation::new(Schema::new("R1", ["A", "B"]).unwrap());
+        assert!(DataSource::with_indexes(0, v, rel).is_err());
+    }
+
+    #[test]
+    fn end_sources_have_one_index() {
+        let rel = BaseRelation::new(Schema::new("R1", ["A", "B"]).unwrap());
+        let src = DataSource::with_indexes(0, view3(), rel).unwrap();
+        // Leftmost: only serves leftward extension (as left neighbor).
+        assert!(src.is_indexed());
+    }
+}

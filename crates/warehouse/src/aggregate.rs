@@ -1,0 +1,282 @@
+//! Aggregate views over the materialized SPJ view — the extension the
+//! paper's §2 gestures at ("it is possible to model the data warehouse
+//! using more complex view functions such as aggregates").
+//!
+//! An [`AggregateView`] maintains `GROUP BY`-style summaries — `COUNT(*)`,
+//! `SUM(col)`, `AVG(col)` — **incrementally from the same `ΔV` stream the
+//! maintenance policies install**, never re-scanning the base view. COUNT
+//! and SUM are self-maintainable under both inserts and deletes thanks to
+//! the signed-count algebra (a deleted derivation simply contributes a
+//! negative multiplicity); AVG is derived as SUM/COUNT. MIN/MAX are *not*
+//! offered: they are not self-maintainable under deletes without auxiliary
+//! per-group state, which is exactly the boundary the self-maintenance
+//! literature (\[GJM96], \[QGMW96] in the paper's related work) draws.
+
+use crate::error::WarehouseError;
+use dw_relational::{Bag, Tuple, Value};
+use std::collections::HashMap;
+
+/// An aggregate function over a view column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFn {
+    /// `COUNT(*)` — total multiplicity of the group.
+    Count,
+    /// `SUM(col)` over an integer or float column (position in the view
+    /// tuple).
+    Sum(usize),
+    /// `AVG(col)` = SUM(col)/COUNT — derived, never stored.
+    Avg(usize),
+}
+
+/// Definition of an aggregate view: grouping columns plus aggregates, all
+/// referencing positions within the *maintained view's* tuples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AggregateViewDef {
+    /// Grouping key positions (may be empty: one global group).
+    pub group_by: Vec<usize>,
+    /// Aggregates, in output order.
+    pub aggregates: Vec<AggFn>,
+}
+
+#[derive(Clone, Debug, Default, PartialEq)]
+struct GroupState {
+    count: i64,
+    /// One accumulator per `Sum`/`Avg` column (deduplicated by position).
+    sums: Vec<f64>,
+}
+
+/// An incrementally maintained aggregate view.
+#[derive(Clone, Debug)]
+pub struct AggregateView {
+    def: AggregateViewDef,
+    /// Distinct summed columns, in first-mention order.
+    sum_cols: Vec<usize>,
+    groups: HashMap<Vec<Value>, GroupState>,
+}
+
+impl AggregateView {
+    /// Empty aggregate view (over an initially empty base view). To start
+    /// from a populated view, follow with `apply_delta(initial_view)`.
+    pub fn new(def: AggregateViewDef) -> Self {
+        let mut sum_cols = Vec::new();
+        for a in &def.aggregates {
+            if let AggFn::Sum(c) | AggFn::Avg(c) = a {
+                if !sum_cols.contains(c) {
+                    sum_cols.push(*c);
+                }
+            }
+        }
+        AggregateView {
+            def,
+            sum_cols,
+            groups: HashMap::new(),
+        }
+    }
+
+    /// Build from a full view state (equivalent to `new` + one delta).
+    pub fn from_view(def: AggregateViewDef, view: &Bag) -> Result<Self, WarehouseError> {
+        let mut agg = AggregateView::new(def);
+        agg.apply_delta(view)?;
+        Ok(agg)
+    }
+
+    /// Number of live groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn numeric(v: &Value) -> Result<f64, WarehouseError> {
+        match v {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(f.get()),
+            other => Err(WarehouseError::Precondition {
+                reason: format!("SUM/AVG over non-numeric value {other:?}"),
+            }),
+        }
+    }
+
+    /// Fold one installed view change into the aggregates.
+    ///
+    /// Groups whose count returns to zero are dropped (their sums must be
+    /// consistent — enforced by construction since every contribution
+    /// enters and leaves with the same tuple values).
+    pub fn apply_delta(&mut self, delta: &Bag) -> Result<(), WarehouseError> {
+        for (t, c) in delta.iter() {
+            let key: Vec<Value> = self.def.group_by.iter().map(|&g| t.at(g).clone()).collect();
+            let sums: Vec<f64> = self
+                .sum_cols
+                .iter()
+                .map(|&col| Self::numeric(t.at(col)))
+                .collect::<Result<_, _>>()?;
+            let entry = self
+                .groups
+                .entry(key.clone())
+                .or_insert_with(|| GroupState {
+                    count: 0,
+                    sums: vec![0.0; self.sum_cols.len()],
+                });
+            entry.count += c;
+            for (acc, v) in entry.sums.iter_mut().zip(&sums) {
+                *acc += c as f64 * v;
+            }
+            if entry.count == 0 {
+                self.groups.remove(&key);
+            } else if entry.count < 0 {
+                return Err(WarehouseError::InconsistentInstall {
+                    tuple: format!("group {key:?}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// `COUNT(*)` of a group (0 when absent).
+    pub fn count(&self, key: &[Value]) -> i64 {
+        self.groups.get(key).map_or(0, |g| g.count)
+    }
+
+    /// Value of aggregate `idx` (per the definition order) for a group.
+    pub fn aggregate(&self, key: &[Value], idx: usize) -> Option<f64> {
+        let g = self.groups.get(key)?;
+        Some(match self.def.aggregates[idx] {
+            AggFn::Count => g.count as f64,
+            AggFn::Sum(col) => g.sums[self.sum_pos(col)],
+            AggFn::Avg(col) => g.sums[self.sum_pos(col)] / g.count as f64,
+        })
+    }
+
+    fn sum_pos(&self, col: usize) -> usize {
+        self.sum_cols
+            .iter()
+            .position(|&c| c == col)
+            .expect("registered at construction")
+    }
+
+    /// Materialize the aggregate view as a bag of
+    /// `(group_key… , aggregate…)` tuples, each at multiplicity 1. Floats
+    /// are emitted as `Value::Float`; COUNT as `Value::Int`.
+    pub fn snapshot(&self) -> Bag {
+        let mut out = Bag::new();
+        for (key, g) in &self.groups {
+            let mut vals = key.clone();
+            for a in &self.def.aggregates {
+                vals.push(match a {
+                    AggFn::Count => Value::Int(g.count),
+                    AggFn::Sum(col) => Value::float(g.sums[self.sum_pos(*col)]),
+                    AggFn::Avg(col) => Value::float(g.sums[self.sum_pos(*col)] / g.count as f64),
+                });
+            }
+            out.add(Tuple::new(vals), 1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_relational::tup;
+
+    fn def() -> AggregateViewDef {
+        AggregateViewDef {
+            group_by: vec![0],
+            aggregates: vec![AggFn::Count, AggFn::Sum(1), AggFn::Avg(1)],
+        }
+    }
+
+    #[test]
+    fn count_sum_avg_incremental() {
+        let mut agg = AggregateView::new(def());
+        agg.apply_delta(&Bag::from_pairs([
+            (tup![1, 10], 2), // group 1: two derivations of value 10
+            (tup![1, 20], 1),
+            (tup![2, 5], 1),
+        ]))
+        .unwrap();
+        let g1 = vec![Value::Int(1)];
+        assert_eq!(agg.count(&g1), 3);
+        assert_eq!(agg.aggregate(&g1, 1), Some(40.0)); // 2·10 + 20
+        assert_eq!(agg.aggregate(&g1, 2), Some(40.0 / 3.0));
+        assert_eq!(agg.num_groups(), 2);
+    }
+
+    #[test]
+    fn deletes_subtract_and_empty_groups_vanish() {
+        let mut agg = AggregateView::new(def());
+        agg.apply_delta(&Bag::from_pairs([(tup![1, 10], 2)]))
+            .unwrap();
+        agg.apply_delta(&Bag::from_pairs([(tup![1, 10], -1)]))
+            .unwrap();
+        assert_eq!(agg.count(&[Value::Int(1)]), 1);
+        agg.apply_delta(&Bag::from_pairs([(tup![1, 10], -1)]))
+            .unwrap();
+        assert_eq!(agg.num_groups(), 0);
+        assert_eq!(agg.aggregate(&[Value::Int(1)], 0), None);
+    }
+
+    #[test]
+    fn negative_group_count_is_inconsistency() {
+        let mut agg = AggregateView::new(def());
+        let res = agg.apply_delta(&Bag::from_pairs([(tup![1, 10], -1)]));
+        assert!(matches!(
+            res,
+            Err(WarehouseError::InconsistentInstall { .. })
+        ));
+    }
+
+    #[test]
+    fn non_numeric_sum_rejected() {
+        let mut agg = AggregateView::new(AggregateViewDef {
+            group_by: vec![],
+            aggregates: vec![AggFn::Sum(0)],
+        });
+        let res = agg.apply_delta(&Bag::from_pairs([(tup!["text"], 1)]));
+        assert!(matches!(res, Err(WarehouseError::Precondition { .. })));
+    }
+
+    #[test]
+    fn global_group() {
+        let mut agg = AggregateView::new(AggregateViewDef {
+            group_by: vec![],
+            aggregates: vec![AggFn::Count],
+        });
+        agg.apply_delta(&Bag::from_pairs([(tup![1, 1], 3), (tup![2, 2], 4)]))
+            .unwrap();
+        assert_eq!(agg.count(&[]), 7);
+    }
+
+    #[test]
+    fn snapshot_shape() {
+        let mut agg = AggregateView::new(def());
+        agg.apply_delta(&Bag::from_pairs([(tup![1, 10], 2)]))
+            .unwrap();
+        let snap = agg.snapshot();
+        assert_eq!(snap.distinct_len(), 1);
+        let (t, c) = snap.iter().next().unwrap();
+        assert_eq!(c, 1);
+        assert_eq!(t.at(0), &Value::Int(1)); // group key
+        assert_eq!(t.at(1), &Value::Int(2)); // count
+        assert_eq!(t.at(2), &Value::float(20.0)); // sum
+        assert_eq!(t.at(3), &Value::float(10.0)); // avg
+    }
+
+    #[test]
+    fn from_view_equals_new_plus_delta() {
+        let base = Bag::from_pairs([(tup![1, 10], 1), (tup![2, 20], 3)]);
+        let a = AggregateView::from_view(def(), &base).unwrap();
+        let mut b = AggregateView::new(def());
+        b.apply_delta(&base).unwrap();
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn float_columns() {
+        let mut agg = AggregateView::new(AggregateViewDef {
+            group_by: vec![0],
+            aggregates: vec![AggFn::Sum(1)],
+        });
+        agg.apply_delta(&Bag::from_pairs([(tup![1, 1.5], 1), (tup![1, 2.5], 1)]))
+            .unwrap();
+        assert_eq!(agg.aggregate(&[Value::Int(1)], 0), Some(4.0));
+    }
+}

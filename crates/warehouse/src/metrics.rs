@@ -1,0 +1,130 @@
+//! Per-policy counters and staleness accounting.
+
+use dw_simnet::Time;
+
+/// Counters every policy maintains. Message *totals* live in
+/// [`dw_simnet::NetStats`]; these are the algorithm-level quantities the
+/// paper's analysis talks about (queries per update, compensations,
+/// recursion depth, staleness).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PolicyMetrics {
+    /// Updates delivered to the warehouse.
+    pub updates_received: u64,
+    /// Incremental queries sent to sources.
+    pub queries_sent: u64,
+    /// Answers received from sources.
+    pub answers_received: u64,
+    /// View installs performed.
+    pub installs: u64,
+    /// Times a concurrent update's error term was compensated *locally*
+    /// (SWEEP family — the paper's headline mechanism).
+    pub local_compensations: u64,
+    /// Compensating *queries* sent to sources (ECA / C-strobe — what SWEEP
+    /// avoids).
+    pub compensation_queries: u64,
+    /// Deepest recursion reached (Nested SWEEP frame stack; 1 = no
+    /// recursion).
+    pub max_recursion_depth: u64,
+    /// Times recursion was refused because the depth bound was hit
+    /// (Nested SWEEP forced-termination switch).
+    pub depth_bound_hits: u64,
+    /// Per-update staleness samples: install time − delivery time, in
+    /// simulation microseconds.
+    staleness: Vec<Time>,
+}
+
+impl PolicyMetrics {
+    /// Record that an update delivered at `delivered` was incorporated into
+    /// the view at `installed`.
+    pub fn record_staleness(&mut self, delivered: Time, installed: Time) {
+        self.staleness.push(installed.saturating_sub(delivered));
+    }
+
+    /// All staleness samples.
+    pub fn staleness_samples(&self) -> &[Time] {
+        &self.staleness
+    }
+
+    /// Mean staleness in microseconds (0 when no samples).
+    pub fn mean_staleness(&self) -> f64 {
+        if self.staleness.is_empty() {
+            return 0.0;
+        }
+        self.staleness.iter().sum::<u64>() as f64 / self.staleness.len() as f64
+    }
+
+    /// Maximum staleness observed.
+    pub fn max_staleness(&self) -> Time {
+        self.staleness.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Staleness percentile `p ∈ [0, 100]` (nearest-rank; 0 when empty).
+    pub fn staleness_percentile(&self, p: f64) -> Time {
+        if self.staleness.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.staleness.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Queries per update actually observed (the Table 1 column).
+    pub fn queries_per_update(&self) -> f64 {
+        if self.updates_received == 0 {
+            return 0.0;
+        }
+        self.queries_sent as f64 / self.updates_received as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staleness_stats() {
+        let mut m = PolicyMetrics::default();
+        m.record_staleness(10, 30);
+        m.record_staleness(20, 30);
+        assert_eq!(m.staleness_samples(), &[20, 10]);
+        assert_eq!(m.mean_staleness(), 15.0);
+        assert_eq!(m.max_staleness(), 20);
+    }
+
+    #[test]
+    fn empty_staleness_is_zero() {
+        let m = PolicyMetrics::default();
+        assert_eq!(m.mean_staleness(), 0.0);
+        assert_eq!(m.max_staleness(), 0);
+    }
+
+    #[test]
+    fn saturating_on_clock_skew() {
+        let mut m = PolicyMetrics::default();
+        m.record_staleness(50, 40); // install "before" delivery: clamp to 0
+        assert_eq!(m.max_staleness(), 0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut m = PolicyMetrics::default();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            m.record_staleness(0, v);
+        }
+        assert_eq!(m.staleness_percentile(50.0), 50);
+        assert_eq!(m.staleness_percentile(95.0), 100);
+        assert_eq!(m.staleness_percentile(100.0), 100);
+        assert_eq!(m.staleness_percentile(0.0), 10);
+        assert_eq!(PolicyMetrics::default().staleness_percentile(50.0), 0);
+    }
+
+    #[test]
+    fn queries_per_update_ratio() {
+        let mut m = PolicyMetrics::default();
+        assert_eq!(m.queries_per_update(), 0.0);
+        m.updates_received = 4;
+        m.queries_sent = 12;
+        assert_eq!(m.queries_per_update(), 3.0);
+    }
+}

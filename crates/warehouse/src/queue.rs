@@ -1,0 +1,191 @@
+//! The `UpdateMessageQueue` of the paper's Figures 4 and 6.
+
+use dw_protocol::{SourceIndex, SourceUpdate, UpdateId};
+use dw_relational::Bag;
+use dw_simnet::Time;
+use std::collections::VecDeque;
+
+/// A queued update with its warehouse delivery time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PendingUpdate {
+    /// The update.
+    pub update: SourceUpdate,
+    /// When `LogUpdates` appended it.
+    pub arrived_at: Time,
+}
+
+/// FIFO queue of updates awaiting view-change processing, with the two
+/// lookups the algorithms need:
+///
+/// * SWEEP checks `∃ ΔR_j ∈ UpdateMessageQueue` and **merges without
+///   removing** — the interfering update is compensated now but still
+///   processed individually later ([`UpdateQueue::merged_from_source`]).
+/// * Nested SWEEP **removes** the interfering updates because it folds them
+///   into the current composite view change
+///   ([`UpdateQueue::take_from_source`]).
+#[derive(Clone, Debug, Default)]
+pub struct UpdateQueue {
+    q: VecDeque<PendingUpdate>,
+}
+
+impl UpdateQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        UpdateQueue::default()
+    }
+
+    /// Append a freshly delivered update (process `LogUpdates`).
+    pub fn push(&mut self, update: SourceUpdate, arrived_at: Time) {
+        self.q.push_back(PendingUpdate { update, arrived_at });
+    }
+
+    /// Remove and return the oldest update (process `UpdateView`).
+    pub fn pop(&mut self) -> Option<PendingUpdate> {
+        self.q.pop_front()
+    }
+
+    /// Peek at the head without removing it.
+    pub fn peek(&self) -> Option<&PendingUpdate> {
+        self.q.front()
+    }
+
+    /// Number of queued updates.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Merge the deltas of every queued update from source `j` **without
+    /// removing them** (SWEEP's compensation; the paper notes multiple
+    /// interfering `ΔR_j` "can be merged into a single `ΔR_j`").
+    /// Returns an empty bag when none are queued.
+    pub fn merged_from_source(&self, j: SourceIndex) -> Bag {
+        let mut out = Bag::new();
+        for p in &self.q {
+            if p.update.id.source == j {
+                out.merge(&p.update.delta);
+            }
+        }
+        out
+    }
+
+    /// Remove every queued update from source `j`, returning their merged
+    /// delta and `(id, arrival time)` pairs in queue order (Nested SWEEP's
+    /// `Remove ΔR_j from UpdateMessageQueue`).
+    pub fn take_from_source(&mut self, j: SourceIndex) -> (Bag, Vec<(UpdateId, Time)>) {
+        let mut merged = Bag::new();
+        let mut ids = Vec::new();
+        self.q.retain(|p| {
+            if p.update.id.source == j {
+                merged.merge(&p.update.delta);
+                ids.push((p.update.id, p.arrived_at));
+                false
+            } else {
+                true
+            }
+        });
+        (merged, ids)
+    }
+
+    /// Does the queue hold any update from source `j`?
+    pub fn has_from_source(&self, j: SourceIndex) -> bool {
+        self.q.iter().any(|p| p.update.id.source == j)
+    }
+
+    /// Iterate pending updates in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &PendingUpdate> {
+        self.q.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_relational::tup;
+
+    fn upd(source: SourceIndex, seq: u64, v: i64) -> SourceUpdate {
+        SourceUpdate {
+            id: UpdateId { source, seq },
+            delta: Bag::from_pairs([(tup![v], 1)]),
+            global: None,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = UpdateQueue::new();
+        q.push(upd(0, 0, 1), 10);
+        q.push(upd(1, 0, 2), 20);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().update.id.source, 0);
+        assert_eq!(q.pop().unwrap().update.id.source, 1);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn merged_from_source_keeps_entries() {
+        let mut q = UpdateQueue::new();
+        q.push(upd(2, 0, 5), 1);
+        q.push(upd(1, 0, 6), 2);
+        q.push(upd(2, 1, 7), 3);
+        let m = q.merged_from_source(2);
+        assert_eq!(m.count(&tup![5]), 1);
+        assert_eq!(m.count(&tup![7]), 1);
+        assert_eq!(q.len(), 3, "merge must not remove");
+    }
+
+    #[test]
+    fn merged_deltas_can_cancel() {
+        let mut q = UpdateQueue::new();
+        q.push(
+            SourceUpdate {
+                id: UpdateId { source: 0, seq: 0 },
+                delta: Bag::from_pairs([(tup![1], 1)]),
+                global: None,
+            },
+            0,
+        );
+        q.push(
+            SourceUpdate {
+                id: UpdateId { source: 0, seq: 1 },
+                delta: Bag::from_pairs([(tup![1], -1)]),
+                global: None,
+            },
+            1,
+        );
+        assert!(q.merged_from_source(0).is_empty());
+    }
+
+    #[test]
+    fn take_from_source_removes_in_order() {
+        let mut q = UpdateQueue::new();
+        q.push(upd(2, 0, 5), 1);
+        q.push(upd(1, 0, 6), 2);
+        q.push(upd(2, 1, 7), 3);
+        let (m, ids) = q.take_from_source(2);
+        assert_eq!(m.count(&tup![5]), 1);
+        assert_eq!(
+            ids,
+            vec![
+                (UpdateId { source: 2, seq: 0 }, 1),
+                (UpdateId { source: 2, seq: 1 }, 3)
+            ]
+        );
+        assert_eq!(q.len(), 1);
+        assert!(!q.has_from_source(2));
+        assert!(q.has_from_source(1));
+    }
+
+    #[test]
+    fn empty_lookups() {
+        let q = UpdateQueue::new();
+        assert!(q.merged_from_source(0).is_empty());
+        assert!(!q.has_from_source(0));
+        assert!(q.is_empty());
+        assert!(q.peek().is_none());
+    }
+}

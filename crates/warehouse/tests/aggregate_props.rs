@@ -1,0 +1,99 @@
+//! Property: the aggregate view is *self-maintainable* — folding any
+//! sequence of deltas incrementally equals recomputing the aggregates from
+//! the final view state, for COUNT/SUM/AVG with arbitrary groupings, as
+//! long as the running view state stays non-negative.
+
+use dw_relational::{tup, Bag};
+use dw_warehouse::{AggFn, AggregateView, AggregateViewDef};
+use proptest::prelude::*;
+
+/// Deltas that keep a running view state legal: each step inserts a few
+/// tuples and deletes only tuples currently present.
+fn arb_delta_sequence() -> impl Strategy<Value = Vec<Bag>> {
+    // Encode as abstract ops; materialize against a shadow state.
+    prop::collection::vec(
+        prop::collection::vec((prop::bool::ANY, 0i64..4, 0i64..50), 1..5),
+        0..12,
+    )
+    .prop_map(|steps| {
+        let mut shadow: Vec<(i64, i64)> = Vec::new();
+        let mut out = Vec::new();
+        for step in steps {
+            let mut delta = Bag::new();
+            for (insert, g, v) in step {
+                if insert || shadow.is_empty() {
+                    shadow.push((g, v));
+                    delta.add(tup![g, v], 1);
+                } else {
+                    let idx = (g as usize + v as usize) % shadow.len();
+                    let (dg, dv) = shadow.swap_remove(idx);
+                    delta.add(tup![dg, dv], -1);
+                }
+            }
+            if !delta.is_empty() {
+                out.push(delta);
+            }
+        }
+        out
+    })
+}
+
+fn defs() -> Vec<AggregateViewDef> {
+    vec![
+        AggregateViewDef {
+            group_by: vec![0],
+            aggregates: vec![AggFn::Count, AggFn::Sum(1), AggFn::Avg(1)],
+        },
+        AggregateViewDef {
+            group_by: vec![],
+            aggregates: vec![AggFn::Count, AggFn::Sum(1)],
+        },
+        AggregateViewDef {
+            group_by: vec![1, 0],
+            aggregates: vec![AggFn::Count],
+        },
+    ]
+}
+
+proptest! {
+    #[test]
+    fn incremental_equals_recompute(deltas in arb_delta_sequence()) {
+        for def in defs() {
+            let mut incremental = AggregateView::new(def.clone());
+            let mut state = Bag::new();
+            for d in &deltas {
+                incremental.apply_delta(d).unwrap();
+                state.merge(d);
+                prop_assert!(state.all_positive(), "generator produced bad state");
+            }
+            let recomputed = AggregateView::from_view(def, &state).unwrap();
+            prop_assert_eq!(incremental.snapshot(), recomputed.snapshot());
+        }
+    }
+
+    #[test]
+    fn group_counts_match_view_multiplicity(deltas in arb_delta_sequence()) {
+        let def = AggregateViewDef {
+            group_by: vec![0],
+            aggregates: vec![AggFn::Count],
+        };
+        let mut agg = AggregateView::new(def);
+        let mut state = Bag::new();
+        for d in &deltas {
+            agg.apply_delta(d).unwrap();
+            state.merge(d);
+        }
+        // COUNT per group = sum of multiplicities of that group's tuples.
+        use std::collections::HashMap;
+        let mut expect: HashMap<i64, i64> = HashMap::new();
+        for (t, c) in state.iter() {
+            if let dw_relational::Value::Int(g) = t.at(0) {
+                *expect.entry(*g).or_default() += c;
+            }
+        }
+        expect.retain(|_, c| *c != 0);
+        for (g, c) in expect {
+            prop_assert_eq!(agg.count(&[dw_relational::Value::Int(g)]), c);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # dw-workload
+//!
+//! Deterministic workload generation for warehouse experiments: chain-view
+//! scenarios with configurable source counts, initial population, join
+//! selectivity (domain size + zipf skew), insert/delete mixes, single
+//! updates vs. source-local transaction batches, and the adversarial
+//! alternating-interference pattern of the paper's §6.2.
+//!
+//! Generators maintain shadow copies of every relation so the emitted
+//! transaction streams are always *valid* (deletes reference live tuples) —
+//! the same assumption the paper makes of autonomous sources.
+
+#![warn(missing_docs)]
+
+pub mod scenario;
+pub mod skew;
+pub mod stream;
+
+pub use scenario::{GeneratedScenario, ScheduledTxn};
+pub use skew::Zipf;
+pub use stream::{GapKind, SourcePick, StreamConfig};

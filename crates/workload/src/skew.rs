@@ -1,0 +1,102 @@
+//! Zipf-skewed value sampling.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `{0, 1, …, n−1}`: `P(k) ∝ 1/(k+1)^θ`.
+///
+/// `θ = 0` degenerates to uniform; `θ ≈ 1` is the classic heavy skew used
+/// to stress join hot spots. Implemented with a precomputed CDF and binary
+/// search — exact, no rejection, deterministic under a seeded RNG.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over a domain of size `n ≥ 1`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n >= 1, "domain must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one value in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let (min, max) = (
+            *counts.iter().min().unwrap() as f64,
+            *counts.iter().max().unwrap() as f64,
+        );
+        assert!(max / min < 1.3, "counts {counts:?} not roughly uniform");
+    }
+
+    #[test]
+    fn skewed_when_theta_one() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut zero = 0u32;
+        let n = 10_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 0 {
+                zero += 1;
+            }
+        }
+        // P(0) ≈ 1/H_100 ≈ 0.19.
+        let p = zero as f64 / n as f64;
+        assert!((0.14..0.25).contains(&p), "P(0) was {p}");
+    }
+
+    #[test]
+    fn samples_in_domain() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn singleton_domain() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain must be non-empty")]
+    fn empty_domain_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,451 @@
+//! The main stream generator.
+
+use crate::scenario::{GeneratedScenario, ScheduledTxn};
+use crate::skew::Zipf;
+use dw_protocol::GlobalPart;
+use dw_relational::{tup, Bag, KeySpec, RelationalError, Schema, Tuple, ViewDefBuilder};
+use dw_simnet::Time;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Inter-arrival time distribution for transactions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GapKind {
+    /// Poisson process: exponential gaps with the given mean.
+    Exponential,
+    /// Fixed gaps.
+    Constant,
+    /// Uniform in `[0, 2·mean]`.
+    Uniform,
+}
+
+/// How the target source of each transaction is chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourcePick {
+    /// Uniformly at random.
+    Uniform,
+    /// Cyclic `0, 1, …, n−1, 0, …`.
+    RoundRobin,
+    /// Alternate between the two chain *ends* — the §6.2 adversarial
+    /// pattern that keeps Nested SWEEP oscillating.
+    AlternatingEnds,
+}
+
+/// Configuration of a generated workload.
+///
+/// The generated chain uses one relation per source, each with schema
+/// `R{i+1}[K, A, B]`: `K` is a unique key (counter), `A`/`B` are join
+/// attributes joined as `R{i}.B = R{i+1}.A`, with values drawn
+/// Zipf(θ)-skewed from `0..domain`. When `keyed` is set the projection
+/// retains every `K` (the Strobe-family requirement); otherwise it projects
+/// the chain's end attributes only, which SWEEP supports and Strobe must
+/// reject.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Number of sources / chain relations (`n ≥ 1`).
+    pub n_sources: usize,
+    /// Initial tuples per relation.
+    pub initial_per_source: usize,
+    /// Join-attribute domain size (smaller → denser joins).
+    pub domain: u64,
+    /// Zipf skew of join values (0 = uniform).
+    pub zipf_theta: f64,
+    /// Number of transactions to generate.
+    pub updates: usize,
+    /// Mean inter-arrival gap (µs).
+    pub mean_gap: Time,
+    /// Gap distribution.
+    pub gap: GapKind,
+    /// Probability a tuple-level change is an insert (vs. delete).
+    pub insert_ratio: f64,
+    /// Tuples per transaction (1 = single update transactions; >1 =
+    /// source-local transactions, update type 2 of §2).
+    pub batch_size: usize,
+    /// Retain all keys in the projection (Strobe-compatible).
+    pub keyed: bool,
+    /// Target-source selection.
+    pub source_pick: SourcePick,
+    /// Every k-th transaction becomes a *global transaction* (update type
+    /// 3 of §2) spanning [`StreamConfig::global_span`] consecutive sources
+    /// — 0 disables global transactions.
+    pub global_every: usize,
+    /// Sources spanned by each global transaction (≥ 2 to be meaningful,
+    /// clamped to `n_sources`).
+    pub global_span: usize,
+    /// RNG seed — same seed, same scenario.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            n_sources: 3,
+            initial_per_source: 50,
+            domain: 16,
+            zipf_theta: 0.0,
+            updates: 40,
+            mean_gap: 2_000,
+            gap: GapKind::Exponential,
+            insert_ratio: 0.6,
+            batch_size: 1,
+            keyed: true,
+            source_pick: SourcePick::Uniform,
+            global_every: 0,
+            global_span: 2,
+            seed: 42,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Generate the scenario (view, keys, initial data, transaction
+    /// stream). Deterministic in the config.
+    pub fn generate(&self) -> Result<GeneratedScenario, RelationalError> {
+        assert!(self.n_sources >= 1);
+        assert!(self.batch_size >= 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let zipf = Zipf::new(self.domain.max(1) as usize, self.zipf_theta);
+
+        // --- View definition ------------------------------------------
+        let mut b = ViewDefBuilder::new();
+        for i in 0..self.n_sources {
+            b = b.relation(Schema::new(format!("R{}", i + 1), ["K", "A", "B"])?);
+        }
+        for i in 0..self.n_sources.saturating_sub(1) {
+            b = b.join(format!("R{}.B", i + 1), format!("R{}.A", i + 2));
+        }
+        if self.keyed {
+            let mut proj: Vec<String> = (0..self.n_sources)
+                .map(|i| format!("R{}.K", i + 1))
+                .collect();
+            proj.push(format!("R{}.B", self.n_sources));
+            b = b.project(proj);
+        } else {
+            b = b.project(["R1.A".to_string(), format!("R{}.B", self.n_sources)]);
+        }
+        let view = b.build()?;
+        let keys = KeySpec::new(vec![vec![0]; self.n_sources]);
+
+        // --- Initial contents + shadow state --------------------------
+        let mut shadow: Vec<Vec<Tuple>> = Vec::with_capacity(self.n_sources);
+        let mut next_key: Vec<i64> = vec![0; self.n_sources];
+        let mut initial = Vec::with_capacity(self.n_sources);
+        for key_counter in next_key.iter_mut().take(self.n_sources) {
+            let mut bag = Bag::new();
+            let mut live = Vec::new();
+            for _ in 0..self.initial_per_source {
+                let t = tup![
+                    *key_counter,
+                    zipf.sample(&mut rng) as i64,
+                    zipf.sample(&mut rng) as i64
+                ];
+                *key_counter += 1;
+                bag.add(t.clone(), 1);
+                live.push(t);
+            }
+            initial.push(bag);
+            shadow.push(live);
+        }
+
+        // --- Transaction stream ---------------------------------------
+        let mut txns = Vec::with_capacity(self.updates);
+        let mut now: Time = 0;
+        let mut rr = 0usize;
+        let mut next_gid: u64 = 0;
+        for k in 0..self.updates {
+            now += self.sample_gap(&mut rng);
+            // Global transactions: one multi-source transaction whose
+            // parts commit "simultaneously" at `global_span` consecutive
+            // sources, tagged with a shared gid.
+            if self.global_every > 0 && k % self.global_every == self.global_every - 1 {
+                let span = self.global_span.clamp(2, self.n_sources);
+                if span >= 2 {
+                    let start = rng.gen_range(0..=self.n_sources - span);
+                    let gid = next_gid;
+                    next_gid += 1;
+                    for part_src in start..start + span {
+                        let t = tup![
+                            next_key[part_src],
+                            zipf.sample(&mut rng) as i64,
+                            zipf.sample(&mut rng) as i64
+                        ];
+                        next_key[part_src] += 1;
+                        shadow[part_src].push(t.clone());
+                        txns.push(ScheduledTxn {
+                            at: now,
+                            source: part_src,
+                            delta: Bag::from_pairs([(t, 1)]),
+                            global: Some(GlobalPart {
+                                gid,
+                                parts: span as u32,
+                            }),
+                        });
+                    }
+                    continue;
+                }
+            }
+            let source = match self.source_pick {
+                SourcePick::Uniform => rng.gen_range(0..self.n_sources),
+                SourcePick::RoundRobin => {
+                    let s = rr;
+                    rr = (rr + 1) % self.n_sources;
+                    s
+                }
+                SourcePick::AlternatingEnds => {
+                    if k % 2 == 0 {
+                        0
+                    } else {
+                        self.n_sources - 1
+                    }
+                }
+            };
+            let mut delta = Bag::new();
+            for _ in 0..self.batch_size {
+                let do_insert =
+                    shadow[source].is_empty() || rng.gen_range(0.0..1.0) < self.insert_ratio;
+                if do_insert {
+                    let t = tup![
+                        next_key[source],
+                        zipf.sample(&mut rng) as i64,
+                        zipf.sample(&mut rng) as i64
+                    ];
+                    next_key[source] += 1;
+                    shadow[source].push(t.clone());
+                    delta.add(t, 1);
+                } else {
+                    let idx = rng.gen_range(0..shadow[source].len());
+                    let t = shadow[source].swap_remove(idx);
+                    delta.add(t, -1);
+                }
+            }
+            if delta.is_empty() {
+                continue; // insert+delete of the same tuple cancelled out
+            }
+            txns.push(ScheduledTxn {
+                at: now,
+                source,
+                delta,
+                global: None,
+            });
+        }
+        Ok(GeneratedScenario {
+            view,
+            keys,
+            initial,
+            txns,
+        })
+    }
+
+    fn sample_gap(&self, rng: &mut ChaCha8Rng) -> Time {
+        match self.gap {
+            GapKind::Constant => self.mean_gap,
+            GapKind::Uniform => {
+                if self.mean_gap == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=self.mean_gap * 2)
+                }
+            }
+            GapKind::Exponential => {
+                if self.mean_gap == 0 {
+                    return 0;
+                }
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let raw = -(u.ln()) * self.mean_gap as f64;
+                (raw as Time).min(self.mean_gap * 10)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_relational::BaseRelation;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = StreamConfig::default();
+        let a = cfg.generate().unwrap();
+        let b = cfg.generate().unwrap();
+        assert_eq!(a.txns, b.txns);
+        assert_eq!(a.initial, b.initial);
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let a = StreamConfig::default().generate().unwrap();
+        let b = StreamConfig {
+            seed: 7,
+            ..StreamConfig::default()
+        }
+        .generate()
+        .unwrap();
+        assert_ne!(a.txns, b.txns);
+    }
+
+    #[test]
+    fn txns_are_valid_against_shadow_state() {
+        // Replaying the generated stream against real BaseRelations must
+        // never hit a negative multiplicity.
+        let cfg = StreamConfig {
+            updates: 200,
+            insert_ratio: 0.4, // delete-heavy
+            ..StreamConfig::default()
+        };
+        let s = cfg.generate().unwrap();
+        let mut rels: Vec<BaseRelation> = s
+            .initial
+            .iter()
+            .enumerate()
+            .map(|(i, bag)| {
+                let mut r = BaseRelation::new(s.view.schema(i).clone());
+                r.apply_delta(bag).unwrap();
+                r
+            })
+            .collect();
+        for t in &s.txns {
+            rels[t.source].apply_delta(&t.delta).unwrap();
+        }
+    }
+
+    #[test]
+    fn times_are_monotone() {
+        let s = StreamConfig {
+            updates: 100,
+            gap: GapKind::Exponential,
+            ..StreamConfig::default()
+        }
+        .generate()
+        .unwrap();
+        assert!(s.txns.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn keyed_view_accepts_keyspec() {
+        let s = StreamConfig {
+            keyed: true,
+            ..StreamConfig::default()
+        }
+        .generate()
+        .unwrap();
+        assert!(s.keys.view_key_map(&s.view).is_ok());
+    }
+
+    #[test]
+    fn unkeyed_view_rejects_keyspec() {
+        let s = StreamConfig {
+            keyed: false,
+            ..StreamConfig::default()
+        }
+        .generate()
+        .unwrap();
+        assert!(
+            s.keys.view_key_map(&s.view).is_err(),
+            "projection drops keys; Strobe must be rejected"
+        );
+    }
+
+    #[test]
+    fn alternating_ends_pattern() {
+        let s = StreamConfig {
+            n_sources: 4,
+            updates: 6,
+            source_pick: SourcePick::AlternatingEnds,
+            insert_ratio: 1.0,
+            ..StreamConfig::default()
+        }
+        .generate()
+        .unwrap();
+        let sources: Vec<usize> = s.txns.iter().map(|t| t.source).collect();
+        assert_eq!(sources, vec![0, 3, 0, 3, 0, 3]);
+    }
+
+    #[test]
+    fn batch_size_makes_source_local_txns() {
+        let s = StreamConfig {
+            batch_size: 5,
+            insert_ratio: 1.0,
+            updates: 3,
+            ..StreamConfig::default()
+        }
+        .generate()
+        .unwrap();
+        for t in &s.txns {
+            assert_eq!(t.delta.distinct_len(), 5);
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let s = StreamConfig {
+            n_sources: 3,
+            updates: 6,
+            source_pick: SourcePick::RoundRobin,
+            insert_ratio: 1.0,
+            ..StreamConfig::default()
+        }
+        .generate()
+        .unwrap();
+        let sources: Vec<usize> = s.txns.iter().map(|t| t.source).collect();
+        assert_eq!(sources, vec![0, 1, 2, 0, 1, 2]);
+    }
+}
+
+#[cfg(test)]
+mod global_tests {
+    use super::*;
+
+    #[test]
+    fn global_txns_generated_with_shared_gid() {
+        let s = StreamConfig {
+            n_sources: 4,
+            updates: 12,
+            global_every: 3,
+            global_span: 2,
+            insert_ratio: 1.0,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let globals: Vec<_> = s.txns.iter().filter(|t| t.global.is_some()).collect();
+        assert!(!globals.is_empty());
+        // Each gid appears exactly `parts` times, at one timestamp, on
+        // distinct consecutive sources.
+        use std::collections::HashMap;
+        let mut by_gid: HashMap<u64, Vec<_>> = HashMap::new();
+        for t in globals {
+            by_gid.entry(t.global.unwrap().gid).or_default().push(t);
+        }
+        for parts in by_gid.values() {
+            assert_eq!(parts.len(), parts[0].global.unwrap().parts as usize);
+            assert!(parts.windows(2).all(|w| w[0].at == w[1].at));
+            assert!(parts.windows(2).all(|w| w[1].source == w[0].source + 1));
+        }
+    }
+
+    #[test]
+    fn global_spans_clamped_to_chain() {
+        let s = StreamConfig {
+            n_sources: 2,
+            updates: 6,
+            global_every: 2,
+            global_span: 10, // clamped to 2
+            insert_ratio: 1.0,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        for t in &s.txns {
+            if let Some(g) = t.global {
+                assert_eq!(g.parts, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        let s = StreamConfig::default().generate().unwrap();
+        assert!(s.txns.iter().all(|t| t.global.is_none()));
+    }
+}

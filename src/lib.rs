@@ -1,0 +1,77 @@
+//! # dwsweep
+//!
+//! A from-scratch Rust implementation of **“Efficient View Maintenance at
+//! Data Warehouses”** (Agrawal, El Abbadi, Singh, Yurek — SIGMOD 1997): the
+//! **SWEEP** and **Nested SWEEP** incremental view-maintenance algorithms
+//! for a data warehouse fed by multiple autonomous distributed sources,
+//! plus the baselines the paper compares against (ECA, Strobe, C-strobe,
+//! full recompute), a deterministic distributed-systems simulator, a
+//! thread-based live runtime, workload generators, and a consistency
+//! checker that classifies every run on the paper's hierarchy
+//! (convergent ⊂ weak ⊂ strong ⊂ complete).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dwsweep::prelude::*;
+//!
+//! // A 3-source chain view with keyed relations and a mixed workload.
+//! let scenario = StreamConfig {
+//!     n_sources: 3,
+//!     updates: 20,
+//!     mean_gap: 500,          // dense updates → heavy interference
+//!     ..Default::default()
+//! }
+//! .generate()
+//! .unwrap();
+//!
+//! // Maintain it with SWEEP over 1 ms links and verify consistency.
+//! let report = Experiment::new(scenario)
+//!     .policy(PolicyKind::Sweep(Default::default()))
+//!     .run()
+//!     .unwrap();
+//!
+//! assert!(report.quiescent);
+//! assert_eq!(report.messages_per_update(), 4.0); // 2(n−1)
+//! assert_eq!(report.consistency.unwrap().level, ConsistencyLevel::Complete);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Role |
+//! |---|---|---|
+//! | [`relational`] | `dw-relational` | bag algebra, SPJ chain views, deltas |
+//! | [`simnet`] | `dw-simnet` | deterministic FIFO network simulator |
+//! | [`protocol`] | `dw-protocol` | source ↔ warehouse messages |
+//! | [`source`] | `dw-source` | the update & query server (paper Fig. 3) |
+//! | [`warehouse`] | `dw-warehouse` | SWEEP, Nested SWEEP, ECA, Strobe, C-strobe, Recompute |
+//! | [`consistency`] | `dw-consistency` | ground truth + classification |
+//! | [`workload`] | `dw-workload` | scenario/stream generators |
+//! | [`livenet`] | `dw-livenet` | thread-per-node live runtime |
+//! | [`core`] | `dw-core` | experiments and reports |
+
+#![warn(missing_docs)]
+
+pub use dw_consistency as consistency;
+pub use dw_core as core;
+pub use dw_livenet as livenet;
+pub use dw_protocol as protocol;
+pub use dw_relational as relational;
+pub use dw_simnet as simnet;
+pub use dw_source as source;
+pub use dw_warehouse as warehouse;
+pub use dw_workload as workload;
+
+/// One-line import for applications.
+pub mod prelude {
+    pub use dw_consistency::{ConsistencyLevel, ConsistencyReport, Recorder};
+    pub use dw_core::{CoreError, Experiment, PolicyKind, RunReport};
+    pub use dw_relational::{
+        tup, Bag, BaseRelation, CmpOp, KeySpec, Schema, Tuple, Value, ViewDef, ViewDefBuilder,
+    };
+    pub use dw_simnet::{LatencyModel, Network, Time};
+    pub use dw_warehouse::{
+        MaintenancePolicy, NestedSweep, NestedSweepOptions, Sweep, SweepOptions,
+    };
+    pub use dw_workload::{GapKind, GeneratedScenario, ScheduledTxn, SourcePick, StreamConfig};
+}

@@ -1,0 +1,176 @@
+//! Property-based schedule exploration: thousands of random workloads ×
+//! latency models × seeds, asserting the paper's headline guarantees hold
+//! on *every* interleaving the simulator can produce:
+//!
+//! * SWEEP is completely consistent;
+//! * Nested SWEEP is at least strongly consistent;
+//! * both converge to the ground-truth view;
+//! * message cost per update is exactly `2(n−1)` for SWEEP and never more
+//!   for Nested SWEEP.
+
+use dwsweep::prelude::*;
+use proptest::prelude::*;
+
+fn arb_latency() -> impl Strategy<Value = LatencyModel> {
+    prop_oneof![
+        (100u64..10_000).prop_map(LatencyModel::Constant),
+        (100u64..3_000, 3_000u64..10_000).prop_map(|(lo, hi)| LatencyModel::Uniform(lo, hi)),
+        (200u64..5_000).prop_map(LatencyModel::Exponential),
+        (100u64..2_000, 1u64..5_000)
+            .prop_map(|(base, jitter)| LatencyModel::Jittered { base, jitter }),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = StreamConfig> {
+    (
+        2usize..6,     // n_sources
+        5usize..40,    // initial_per_source
+        4u64..40,      // domain
+        1usize..25,    // updates
+        50u64..20_000, // mean_gap
+        0.1f64..0.9,   // insert_ratio
+        1usize..4,     // batch_size
+        any::<u64>(),  // seed
+    )
+        .prop_map(
+            |(n_sources, initial, domain, updates, mean_gap, insert_ratio, batch, seed)| {
+                StreamConfig {
+                    n_sources,
+                    initial_per_source: initial,
+                    domain,
+                    updates,
+                    mean_gap,
+                    insert_ratio,
+                    batch_size: batch,
+                    keyed: true,
+                    seed,
+                    ..Default::default()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn sweep_complete_on_random_schedules(
+        cfg in arb_config(),
+        latency in arb_latency(),
+        net_seed in any::<u64>(),
+    ) {
+        let n = cfg.n_sources;
+        let scenario = cfg.generate().unwrap();
+        let updates = scenario.txn_count() as f64;
+        let report = Experiment::new(scenario)
+            .policy(PolicyKind::Sweep(Default::default()))
+            .latency(latency)
+            .seed(net_seed)
+            .run()
+            .unwrap();
+        prop_assert!(report.quiescent);
+        prop_assert_eq!(
+            report.consistency.as_ref().unwrap().level,
+            ConsistencyLevel::Complete,
+            "detail: {}", report.consistency.as_ref().unwrap().detail
+        );
+        if updates > 0.0 {
+            prop_assert_eq!(report.messages_per_update(), (2 * (n - 1)) as f64);
+        }
+    }
+
+    #[test]
+    fn nested_sweep_strong_on_random_schedules(
+        cfg in arb_config(),
+        latency in arb_latency(),
+        net_seed in any::<u64>(),
+    ) {
+        let n = cfg.n_sources;
+        let scenario = cfg.generate().unwrap();
+        let report = Experiment::new(scenario)
+            .policy(PolicyKind::NestedSweep(Default::default()))
+            .latency(latency)
+            .seed(net_seed)
+            .event_cap(2_000_000)
+            .run()
+            .unwrap();
+        prop_assert!(report.quiescent);
+        let level = report.consistency.as_ref().unwrap().level;
+        prop_assert!(
+            level >= ConsistencyLevel::Strong,
+            "got {level}: {}",
+            report.consistency.as_ref().unwrap().detail
+        );
+        // Amortization bound: never worse than SWEEP.
+        if report.metrics.updates_received > 0 {
+            prop_assert!(report.messages_per_update() <= (2 * (n - 1)) as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sweep_parallel_equals_sequential(
+        cfg in arb_config(),
+        latency in arb_latency(),
+        net_seed in any::<u64>(),
+    ) {
+        let seq = Experiment::new(cfg.generate().unwrap())
+            .policy(PolicyKind::Sweep(SweepOptions { parallel: false, short_circuit_empty: false }))
+            .latency(latency.clone())
+            .seed(net_seed)
+            .run()
+            .unwrap();
+        let par = Experiment::new(cfg.generate().unwrap())
+            .policy(PolicyKind::Sweep(SweepOptions { parallel: true, short_circuit_empty: false }))
+            .latency(latency)
+            .seed(net_seed)
+            .run()
+            .unwrap();
+        prop_assert_eq!(&seq.view, &par.view);
+        prop_assert_eq!(
+            par.consistency.as_ref().unwrap().level,
+            ConsistencyLevel::Complete
+        );
+    }
+
+    #[test]
+    fn pipelined_sweep_complete_on_random_schedules(
+        cfg in arb_config(),
+        latency in arb_latency(),
+        net_seed in any::<u64>(),
+        window in 0usize..5,
+    ) {
+        use dwsweep::warehouse::PipelinedSweepOptions;
+        let scenario = cfg.generate().unwrap();
+        let report = Experiment::new(scenario)
+            .policy(PolicyKind::PipelinedSweep(PipelinedSweepOptions { window }))
+            .latency(latency)
+            .seed(net_seed)
+            .run()
+            .unwrap();
+        prop_assert!(report.quiescent);
+        prop_assert_eq!(
+            report.consistency.as_ref().unwrap().level,
+            ConsistencyLevel::Complete,
+            "window {}: {}", window, report.consistency.as_ref().unwrap().detail
+        );
+    }
+
+    #[test]
+    fn short_circuit_preserves_completeness(
+        cfg in arb_config(),
+        net_seed in any::<u64>(),
+    ) {
+        let report = Experiment::new(cfg.generate().unwrap())
+            .policy(PolicyKind::Sweep(SweepOptions { parallel: false, short_circuit_empty: true }))
+            .seed(net_seed)
+            .run()
+            .unwrap();
+        prop_assert_eq!(
+            report.consistency.as_ref().unwrap().level,
+            ConsistencyLevel::Complete
+        );
+    }
+}
