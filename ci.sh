@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: offline release build, full test suite, and clippy with
+# warnings denied. The workspace has zero external dependencies, so
+# everything here must pass with the registry unreachable.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"

@@ -1,8 +1,9 @@
 //! End-to-end maintenance cost per policy: one full simulated run (40
 //! updates, 3 sources, dense interference), consistency checking off so
-//! the numbers reflect the algorithms, not the checker.
+//! the numbers reflect the algorithms, not the checker. Run with
+//! `cargo bench --bench policies`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dw_bench::Bench;
 use dw_core::{Experiment, PolicyKind};
 use dw_simnet::LatencyModel;
 use dw_warehouse::SweepOptions;
@@ -23,8 +24,7 @@ fn scenario(seed: u64) -> dw_workload::GeneratedScenario {
     .unwrap()
 }
 
-fn bench_policies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end_run");
+fn bench_policies(b: &Bench) {
     let policies: [(&str, PolicyKind); 5] = [
         ("sweep", PolicyKind::Sweep(SweepOptions::default())),
         (
@@ -39,41 +39,33 @@ fn bench_policies(c: &mut Criterion) {
         ("recompute", PolicyKind::Recompute),
     ];
     for (name, kind) in policies {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, kind| {
-            b.iter(|| {
-                Experiment::new(scenario(5))
-                    .policy(*kind)
-                    .latency(LatencyModel::Constant(2_000))
-                    .check_consistency(false)
-                    .record_snapshots(false)
-                    .run()
-                    .unwrap()
-            })
+        b.run(&format!("end_to_end_run/{name}"), || {
+            Experiment::new(scenario(5))
+                .policy(kind)
+                .latency(LatencyModel::Constant(2_000))
+                .check_consistency(false)
+                .record_snapshots(false)
+                .run()
+                .unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_checker_overhead(c: &mut Criterion) {
-    let mut g = c.benchmark_group("checker_overhead");
+fn bench_checker_overhead(b: &Bench) {
     for (name, check) in [("without_checker", false), ("with_checker", true)] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &check, |b, &check| {
-            b.iter(|| {
-                Experiment::new(scenario(6))
-                    .policy(PolicyKind::Sweep(Default::default()))
-                    .check_consistency(check)
-                    .record_snapshots(check)
-                    .run()
-                    .unwrap()
-            })
+        b.run(&format!("checker_overhead/{name}"), || {
+            Experiment::new(scenario(6))
+                .policy(PolicyKind::Sweep(Default::default()))
+                .check_consistency(check)
+                .record_snapshots(check)
+                .run()
+                .unwrap()
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_policies, bench_checker_overhead
+fn main() {
+    let b = Bench::with_samples(10);
+    bench_policies(&b);
+    bench_checker_overhead(&b);
 }
-criterion_main!(benches);

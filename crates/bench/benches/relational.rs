@@ -1,14 +1,14 @@
 //! Micro-benchmarks of the relational substrate: the hash-join extension
 //! step (`ComputeJoin` — the hot loop of every sweep), delta merging, full
-//! view evaluation, and projection/finalize.
+//! view evaluation, projection/finalize, and maintained join indexes vs.
+//! per-query rehashing. Run with `cargo bench --bench relational`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dw_bench::Bench;
 use dw_relational::{
     extend_partial, extend_partial_indexed, tup, Bag, JoinIndex, JoinSide, PartialDelta, Schema,
     ViewDefBuilder,
 };
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use dw_rng::Rng64;
 
 fn chain_view(n: usize) -> dw_relational::ViewDef {
     let mut b = ViewDefBuilder::new();
@@ -21,73 +21,60 @@ fn chain_view(n: usize) -> dw_relational::ViewDef {
     b.build().unwrap()
 }
 
-fn random_bag(rng: &mut ChaCha8Rng, rows: usize, domain: i64) -> Bag {
+fn random_bag(rng: &mut Rng64, rows: usize, domain: i64) -> Bag {
     Bag::from_tuples(
-        (0..rows).map(|k| tup![k as i64, rng.gen_range(0..domain), rng.gen_range(0..domain)]),
+        (0..rows).map(|k| tup![k as i64, rng.i64_in(0, domain), rng.i64_in(0, domain)]),
     )
 }
 
-fn bench_extend(c: &mut Criterion) {
-    let mut g = c.benchmark_group("extend_partial");
+fn bench_extend(b: &Bench) {
     for rows in [100usize, 1_000, 10_000] {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         let view = chain_view(2);
         let neighbor = random_bag(&mut rng, rows, (rows / 4).max(1) as i64);
         let delta = random_bag(&mut rng, 64, (rows / 4).max(1) as i64);
         let pd = PartialDelta::seed(&view, 0, &delta).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
-            b.iter(|| extend_partial(&view, &pd, &neighbor, JoinSide::Right).unwrap())
+        b.run(&format!("extend_partial/{rows}"), || {
+            extend_partial(&view, &pd, &neighbor, JoinSide::Right).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_bag_merge(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bag_merge");
+fn bench_bag_merge(b: &Bench) {
     for rows in [1_000usize, 10_000] {
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Rng64::new(2);
         let a = random_bag(&mut rng, rows, 1_000);
         let b2 = random_bag(&mut rng, rows, 1_000);
-        g.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
-            b.iter(|| a.plus(&b2))
-        });
+        b.run(&format!("bag_merge/{rows}"), || a.plus(&b2));
     }
-    g.finish();
 }
 
-fn bench_eval_view(c: &mut Criterion) {
-    let mut g = c.benchmark_group("eval_view");
+fn bench_eval_view(b: &Bench) {
     for n in [2usize, 4, 8] {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Rng64::new(3);
         let view = chain_view(n);
         let rels: Vec<Bag> = (0..n).map(|_| random_bag(&mut rng, 500, 500)).collect();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let refs: Vec<&Bag> = rels.iter().collect();
-                dw_relational::eval_view(&view, &refs).unwrap()
-            })
+        b.run(&format!("eval_view/{n}"), || {
+            let refs: Vec<&Bag> = rels.iter().collect();
+            dw_relational::eval_view(&view, &refs).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_finalize(c: &mut Criterion) {
+fn bench_finalize(b: &Bench) {
     let view = ViewDefBuilder::new()
         .relation(Schema::new("R1", ["K", "A", "B"]).unwrap())
         .project(["R1.B"])
         .build()
         .unwrap();
-    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let mut rng = Rng64::new(4);
     let pd = PartialDelta::seed(&view, 0, &random_bag(&mut rng, 10_000, 100)).unwrap();
-    c.bench_function("finalize_project_10k", |b| {
-        b.iter(|| pd.finalize(&view).unwrap())
-    });
+    b.run("finalize_project_10k", || pd.finalize(&view).unwrap());
 }
 
-fn bench_indexed_vs_plain(c: &mut Criterion) {
-    let mut g = c.benchmark_group("source_query_service");
+fn bench_indexed_vs_plain(b: &Bench) {
     for rows in [1_000usize, 10_000] {
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rng = Rng64::new(5);
         let view = chain_view(2);
         let relation = random_bag(&mut rng, rows, (rows / 4).max(1) as i64);
         // Index R2 on its join key (R2.A, position 1 of [K,A,B]).
@@ -95,20 +82,20 @@ fn bench_indexed_vs_plain(c: &mut Criterion) {
         index.apply_delta(&relation);
         let delta = random_bag(&mut rng, 8, (rows / 4).max(1) as i64);
         let pd = PartialDelta::seed(&view, 0, &delta).unwrap();
-        g.bench_with_input(BenchmarkId::new("rehash_per_query", rows), &rows, |b, _| {
-            b.iter(|| extend_partial(&view, &pd, &relation, JoinSide::Right).unwrap())
+        b.run(&format!("source_query/rehash_per_query/{rows}"), || {
+            extend_partial(&view, &pd, &relation, JoinSide::Right).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("maintained_index", rows), &rows, |b, _| {
-            b.iter(|| extend_partial_indexed(&view, &pd, &index, JoinSide::Right).unwrap())
+        b.run(&format!("source_query/maintained_index/{rows}"), || {
+            extend_partial_indexed(&view, &pd, &index, JoinSide::Right).unwrap()
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_extend, bench_bag_merge, bench_eval_view, bench_finalize,
-        bench_indexed_vs_plain
+fn main() {
+    let b = Bench::default();
+    bench_extend(&b);
+    bench_bag_merge(&b);
+    bench_eval_view(&b);
+    bench_finalize(&b);
+    bench_indexed_vs_plain(&b);
 }
-criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! **E12 — the price of earning reliable FIFO**: SWEEP behind the
+//! reliability transport while the network drops, duplicates, and reorders
+//! messages. The paper (§2) assumes the channel contract; here it is
+//! *implemented*, so the contract's cost becomes measurable: wire traffic
+//! inflates with retransmissions and staleness grows as lost legs wait out
+//! retransmission timeouts — while the *logical* message count stays at the
+//! paper's 2(n−1) per update and consistency stays complete at every loss
+//! rate.
+
+use dw_bench::TableWriter;
+use dw_core::{Experiment, PolicyKind};
+use dw_simnet::{FaultPlan, LatencyModel, LinkFaults};
+use dw_workload::StreamConfig;
+
+fn main() {
+    println!(
+        "fault sweep (n = 3, 2 ms links, 40 updates, SWEEP + reliability transport;\n\
+         each loss rate also duplicates 2% and reorders 2% of messages)\n"
+    );
+    let mut t = TableWriter::new([
+        "loss",
+        "dropped",
+        "retx",
+        "phys msgs",
+        "logical msgs",
+        "inflation",
+        "overhead (B)",
+        "logical msgs/upd",
+        "mean stale (ms)",
+        "makespan (ms)",
+        "consistency",
+    ]);
+
+    for loss in [0.0, 0.01, 0.05, 0.10, 0.20] {
+        let scenario = StreamConfig {
+            n_sources: 3,
+            initial_per_source: 30,
+            updates: 40,
+            mean_gap: 2_000,
+            domain: 20,
+            seed: 12,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let plan = FaultPlan::default().uniform(LinkFaults {
+            drop_rate: loss,
+            dup_rate: if loss > 0.0 { 0.02 } else { 0.0 },
+            reorder_rate: if loss > 0.0 { 0.02 } else { 0.0 },
+            reorder_window: 4_000,
+        });
+        let report = Experiment::new(scenario)
+            .policy(PolicyKind::Sweep(Default::default()))
+            .latency(LatencyModel::Constant(2_000))
+            .faults(plan)
+            .transport_auto()
+            .run()
+            .unwrap();
+        let level = report.consistency.as_ref().unwrap().level;
+        assert_eq!(
+            level.to_string(),
+            "complete",
+            "loss {loss}: transport failed to protect SWEEP"
+        );
+        assert!(report.quiescent, "loss {loss}: transport failed to drain");
+        t.row([
+            format!("{:.0}%", loss * 100.0),
+            report.net.fault_counters().dropped.to_string(),
+            report.net.retransmitted().messages.to_string(),
+            report.net.total().messages.to_string(),
+            report.net.logical_total().messages.to_string(),
+            format!("{:.3}", report.net.inflation()),
+            report.transport_overhead_bytes().to_string(),
+            format!("{:.2}", report.logical_messages_per_update()),
+            format!("{:.2}", report.metrics.mean_staleness() / 1_000.0),
+            format!("{:.1}", report.end_time as f64 / 1_000.0),
+            level.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper shape check: logical msgs/update pins at 2(n−1) = 4 whatever the\n\
+         loss rate — faults inflate the wire (retx, acks), never the algorithm;\n\
+         staleness and makespan grow with loss as lost legs wait out RTOs; SWEEP\n\
+         stays complete at every rate because the transport restores §2's channel\n\
+         contract."
+    );
+}

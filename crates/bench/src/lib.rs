@@ -1,11 +1,14 @@
 //! # dw-bench
 //!
 //! Shared helpers for the experiment binaries (one binary per reproduced
-//! paper table/figure — see `src/bin/`) and the criterion micro-benches.
+//! paper table/figure — see `src/bin/`) and the dependency-free
+//! micro-benches under `benches/`.
 
 #![warn(missing_docs)]
 
 pub mod model;
 pub mod table;
+pub mod timing;
 
 pub use table::TableWriter;
+pub use timing::{Bench, Measurement};

@@ -1,0 +1,137 @@
+//! A minimal micro-bench harness on `std::time::Instant` — no external
+//! benchmarking framework, so the whole workspace builds offline. Each
+//! measurement runs a warmup, then times `samples` batches and reports the
+//! median batch time per iteration (the median is robust to scheduler
+//! noise, which is all the precision these comparative numbers need).
+
+use std::time::Instant;
+
+/// Result of one measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest batch, ns per iteration.
+    pub min_ns: f64,
+    /// Slowest batch, ns per iteration.
+    pub max_ns: f64,
+    /// Iterations per batch.
+    pub iters: u32,
+    /// Batches timed.
+    pub samples: u32,
+}
+
+impl Measurement {
+    /// Human-readable time per iteration (auto-scaled unit).
+    pub fn per_iter(&self) -> String {
+        format_ns(self.median_ns)
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Micro-bench runner: fixed sample count, auto-chosen batch size.
+#[derive(Clone, Copy, Debug)]
+pub struct Bench {
+    samples: u32,
+    min_batch_ns: u64,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench {
+            samples: 15,
+            min_batch_ns: 5_000_000, // 5 ms per batch
+        }
+    }
+}
+
+impl Bench {
+    /// A runner taking `samples` timed batches per measurement.
+    pub fn with_samples(samples: u32) -> Self {
+        Bench {
+            samples: samples.max(3),
+            ..Default::default()
+        }
+    }
+
+    /// Measure `f`, printing one aligned report line under `name`.
+    pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) -> Measurement {
+        let m = self.measure(&mut f);
+        println!(
+            "{name:<44} {:>12}/iter  (iters/batch {}, {} samples, min {} max {})",
+            m.per_iter(),
+            m.iters,
+            m.samples,
+            format_ns(m.min_ns),
+            format_ns(m.max_ns),
+        );
+        m
+    }
+
+    fn measure<T>(&self, f: &mut impl FnMut() -> T) -> Measurement {
+        // Warmup + batch sizing: grow the batch until one takes at least
+        // `min_batch_ns`, so short functions aren't lost in timer noise.
+        let mut iters: u32 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos() as u64;
+            if elapsed >= self.min_batch_ns || iters >= 1 << 20 {
+                break;
+            }
+            // Aim past the threshold with headroom.
+            let factor = (self.min_batch_ns / elapsed.max(1)).clamp(2, 16) as u32;
+            iters = iters.saturating_mul(factor);
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        Measurement {
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: *per_iter.last().unwrap(),
+            iters,
+            samples: self.samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let m = Bench::with_samples(3).run("noop_sum", || (0..100u64).sum::<u64>());
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+    }
+
+    #[test]
+    fn units_scale() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with("s"));
+    }
+}

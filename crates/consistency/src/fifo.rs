@@ -1,0 +1,208 @@
+//! Channel-contract verification.
+//!
+//! The paper's §2 assumes each source's updates reach the warehouse over a
+//! reliable FIFO channel: exactly once, in per-source sequence order. With
+//! fault injection in the simulator that assumption is earned by the
+//! reliability transport rather than granted — and this module checks it,
+//! directly against the warehouse delivery log. Every update stream must
+//! arrive gap-free and monotone per source; a drop shows up as a gap, a
+//! duplicate as a repeat, a reordering as a regression.
+
+use dw_protocol::UpdateId;
+use dw_simnet::Time;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One breach of the per-source exactly-once in-order contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FifoViolation {
+    /// Sequence numbers were skipped — an update was lost (or is still
+    /// in flight at the end of the run).
+    Gap {
+        /// Source whose stream has the hole.
+        source: usize,
+        /// First missing sequence number.
+        expected: u64,
+        /// Sequence number that actually arrived.
+        got: u64,
+        /// Delivery time of the out-of-contract update.
+        at: Time,
+    },
+    /// An already-delivered sequence number arrived again.
+    Duplicate {
+        /// Source whose stream repeated.
+        source: usize,
+        /// The repeated sequence number.
+        seq: u64,
+        /// Delivery time of the repeat.
+        at: Time,
+    },
+}
+
+impl fmt::Display for FifoViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FifoViolation::Gap {
+                source,
+                expected,
+                got,
+                at,
+            } => write!(
+                f,
+                "source {source}: expected seq {expected}, got {got} at t={at}"
+            ),
+            FifoViolation::Duplicate { source, seq, at } => {
+                write!(f, "source {source}: seq {seq} delivered again at t={at}")
+            }
+        }
+    }
+}
+
+/// Outcome of checking a delivery log against the FIFO contract.
+#[derive(Clone, Debug, Default)]
+pub struct FifoReport {
+    /// Every breach, in delivery order.
+    pub violations: Vec<FifoViolation>,
+    /// Updates checked.
+    pub checked: u64,
+}
+
+impl FifoReport {
+    /// True when the log honors the contract everywhere.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of gap violations (lost or overtaken updates).
+    pub fn gaps(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| matches!(v, FifoViolation::Gap { .. }))
+            .count()
+    }
+
+    /// Number of duplicate deliveries.
+    pub fn duplicates(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| matches!(v, FifoViolation::Duplicate { .. }))
+            .count()
+    }
+}
+
+/// Check a warehouse delivery log — `(update id, delivery time)` in
+/// delivery order — against the §2 channel contract: per source, sequence
+/// numbers start at 0 and advance by exactly 1.
+///
+/// An update arriving *behind* schedule (its seq was already passed) is a
+/// duplicate; one arriving *ahead* of schedule is a gap. A reordered pair
+/// therefore reports both — the early arrival opens a gap and the late one
+/// lands on an already-passed number.
+pub fn verify_fifo(log: &[(UpdateId, Time)]) -> FifoReport {
+    let mut next: HashMap<usize, u64> = HashMap::new();
+    let mut report = FifoReport::default();
+    for &(id, at) in log {
+        report.checked += 1;
+        let cursor = next.entry(id.source).or_insert(0);
+        if id.seq == *cursor {
+            *cursor += 1;
+        } else if id.seq > *cursor {
+            report.violations.push(FifoViolation::Gap {
+                source: id.source,
+                expected: *cursor,
+                got: id.seq,
+                at,
+            });
+            *cursor = id.seq + 1;
+        } else {
+            report.violations.push(FifoViolation::Duplicate {
+                source: id.source,
+                seq: id.seq,
+                at,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(source: usize, seq: u64) -> UpdateId {
+        UpdateId { source, seq }
+    }
+
+    #[test]
+    fn clean_interleaved_log_passes() {
+        let log = vec![
+            (id(0, 0), 10),
+            (id(1, 0), 11),
+            (id(0, 1), 12),
+            (id(1, 1), 13),
+            (id(0, 2), 14),
+        ];
+        let r = verify_fifo(&log);
+        assert!(r.ok());
+        assert_eq!(r.checked, 5);
+    }
+
+    #[test]
+    fn gap_is_reported() {
+        let log = vec![(id(0, 0), 1), (id(0, 2), 2)];
+        let r = verify_fifo(&log);
+        assert_eq!(r.gaps(), 1);
+        assert_eq!(
+            r.violations[0],
+            FifoViolation::Gap {
+                source: 0,
+                expected: 1,
+                got: 2,
+                at: 2
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_is_reported() {
+        let log = vec![(id(0, 0), 1), (id(0, 1), 2), (id(0, 1), 3)];
+        let r = verify_fifo(&log);
+        assert_eq!(r.duplicates(), 1);
+        assert_eq!(r.gaps(), 0);
+    }
+
+    #[test]
+    fn reorder_reports_gap_then_duplicate() {
+        let log = vec![(id(0, 1), 1), (id(0, 0), 2)];
+        let r = verify_fifo(&log);
+        assert_eq!(r.gaps(), 1);
+        assert_eq!(r.duplicates(), 1);
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn sources_are_independent() {
+        // Source 1 misbehaving says nothing about source 0.
+        let log = vec![(id(0, 0), 1), (id(1, 3), 2), (id(0, 1), 3)];
+        let r = verify_fifo(&log);
+        assert_eq!(r.gaps(), 1);
+        assert!(matches!(
+            r.violations[0],
+            FifoViolation::Gap { source: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn empty_log_is_ok() {
+        assert!(verify_fifo(&[]).ok());
+    }
+
+    #[test]
+    fn violations_display() {
+        let log = vec![(id(0, 1), 5), (id(0, 1), 6)];
+        let r = verify_fifo(&log);
+        let texts: Vec<String> = r.violations.iter().map(|v| v.to_string()).collect();
+        assert!(texts[0].contains("expected seq 0"));
+        assert!(texts[1].contains("delivered again"));
+    }
+}

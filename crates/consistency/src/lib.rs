@@ -27,9 +27,11 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod fifo;
 pub mod lag;
 pub mod truth;
 
 pub use checker::{classify, ConsistencyLevel, ConsistencyReport};
+pub use fifo::{verify_fifo, FifoReport, FifoViolation};
 pub use lag::LagSeries;
 pub use truth::Recorder;

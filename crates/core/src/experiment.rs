@@ -2,15 +2,19 @@
 
 use crate::report::RunReport;
 use dw_consistency::{classify, Recorder};
-use dw_protocol::{node_source, source_node, Message, WAREHOUSE_NODE};
+use dw_protocol::{
+    node_source, source_node, Endpoint, Message, TransportConfig, TransportNet, UpdateId,
+    WAREHOUSE_NODE,
+};
 use dw_relational::{eval_view, Bag, RelationalError};
-use dw_simnet::{LatencyModel, Network, NodeId};
+use dw_simnet::{Delivery, FaultPlan, LatencyModel, NetHandle, Network, NodeId, Time};
 use dw_source::{DataSource, EcaSite, SourceError};
 use dw_warehouse::{
     CStrobe, Eca, MaintenancePolicy, NestedSweep, NestedSweepOptions, PipelinedSweep,
     PipelinedSweepOptions, Recompute, Strobe, Sweep, SweepOptions, WarehouseError,
 };
 use dw_workload::GeneratedScenario;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Which maintenance algorithm to run.
@@ -117,6 +121,8 @@ pub struct Experiment {
     trace: bool,
     event_cap: u64,
     indexed_sources: bool,
+    faults: FaultPlan,
+    transport: Option<TransportConfig>,
 }
 
 impl Experiment {
@@ -134,6 +140,8 @@ impl Experiment {
             trace: false,
             event_cap: 10_000_000,
             indexed_sources: false,
+            faults: FaultPlan::default(),
+            transport: None,
         }
     }
 
@@ -182,7 +190,7 @@ impl Experiment {
     /// Answer queries through incrementally maintained join indexes at the
     /// sources instead of per-query hashing (requires selection-free
     /// relations; behaviourally identical, measured in the `policies`
-    /// criterion bench).
+    /// micro-bench).
     pub fn indexed_sources(mut self, on: bool) -> Self {
         self.indexed_sources = on;
         self
@@ -191,6 +199,30 @@ impl Experiment {
     /// Abort the run after this many deliveries (oscillation guard).
     pub fn event_cap(mut self, cap: u64) -> Self {
         self.event_cap = cap;
+        self
+    }
+
+    /// Install a fault plan: drops, duplicates, reordering, partitions,
+    /// node crashes. Without [`Experiment::transport`] the maintenance
+    /// policies see the raw faulted network — useful for demonstrating
+    /// that the paper's consistency claims genuinely depend on reliable
+    /// FIFO channels.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Run every node behind the reliability transport, restoring the
+    /// exactly-once in-order contract over whatever the fault plan does.
+    pub fn transport(mut self, cfg: TransportConfig) -> Self {
+        self.transport = Some(cfg);
+        self
+    }
+
+    /// Enable the transport with timing derived from the experiment's
+    /// latency model (RTO ≈ three round trips).
+    pub fn transport_auto(mut self) -> Self {
+        self.transport = Some(TransportConfig::for_latency_mean(self.latency.mean()));
         self
     }
 
@@ -236,8 +268,30 @@ impl Experiment {
         for (from, to, l) in &self.link_overrides {
             net.set_link_latency(*from, *to, l.clone());
         }
+        net.set_faults(self.faults.clone());
         if self.trace {
             net.trace_mut().enable(0);
+        }
+
+        // One transport endpoint per node, each with its own jitter
+        // stream derived from the run seed.
+        let node_count = if self.policy.single_site() { 2 } else { n + 1 };
+        let mut endpoints: Option<HashMap<NodeId, Endpoint>> = self.transport.map(|cfg| {
+            (0..node_count)
+                .map(|node| {
+                    (
+                        node,
+                        Endpoint::new(node, cfg, self.seed ^ (node as u64).wrapping_mul(0x9E37)),
+                    )
+                })
+                .collect()
+        });
+        if endpoints.is_some() {
+            // A restarting node must be told it restarted: the transport
+            // re-arms its timers and resyncs with every peer.
+            for c in self.faults.crashes() {
+                net.inject(c.up_at, c.node, Message::Restart);
+            }
         }
 
         // Topology.
@@ -285,16 +339,21 @@ impl Experiment {
             );
         }
 
-        // Dispatch loop.
+        // Dispatch loop. With the transport enabled, each raw delivery
+        // first passes through the destination's endpoint — which consumes
+        // transport frames/acks/timers and emits application messages
+        // exactly-once, in-order — and the node's own sends are wrapped so
+        // they go back out through the same endpoint.
         let mut events: u64 = 0;
-        let mut delivery_log: Vec<(dw_protocol::UpdateId, dw_simnet::Time)> = Vec::new();
-        while let Some(d) = net.next() {
-            events += 1;
-            if events > self.event_cap {
-                return Err(CoreError::EventCapExceeded {
-                    cap: self.event_cap,
-                });
-            }
+        let mut delivery_log: Vec<(UpdateId, Time)> = Vec::new();
+        let dispatch = |d: Delivery<Message>,
+                            net: &mut dyn NetHandle<Message>,
+                            policy: &mut Box<dyn MaintenancePolicy>,
+                            eca_site: &mut Option<EcaSite>,
+                            sources: &mut Vec<DataSource>,
+                            recorder: &mut Option<Recorder>,
+                            delivery_log: &mut Vec<(UpdateId, Time)>|
+         -> Result<(), CoreError> {
             if d.to == WAREHOUSE_NODE {
                 if let Message::Update(u) = &d.msg {
                     delivery_log.push((u.id, d.at));
@@ -302,24 +361,71 @@ impl Experiment {
                         rec.record_delivery(u.id, d.at, u.delta.clone());
                     }
                 }
-                policy.on_message(d, &mut net)?;
+                policy.on_message(d, net)?;
             } else if let Some(site) = eca_site.as_mut() {
                 if d.to != source_node(0) {
                     return Err(CoreError::NoSuchNode { node: d.to });
                 }
-                site.handle(d.from, d.msg, &mut net)?;
+                site.handle(d.from, d.msg, net)?;
             } else {
                 let idx = node_source(d.to);
                 let src = sources
                     .get_mut(idx)
                     .ok_or(CoreError::NoSuchNode { node: d.to })?;
-                src.handle(d.from, d.msg, &mut net)?;
+                src.handle(d.from, d.msg, net)?;
+            }
+            Ok(())
+        };
+        while let Some(d) = net.next() {
+            events += 1;
+            if events > self.event_cap {
+                return Err(CoreError::EventCapExceeded {
+                    cap: self.event_cap,
+                });
+            }
+            match endpoints.as_mut() {
+                Some(eps) => {
+                    let to = d.to;
+                    let app_deliveries = eps
+                        .get_mut(&to)
+                        .ok_or(CoreError::NoSuchNode { node: to })?
+                        .on_delivery(d, &mut net);
+                    for appd in app_deliveries {
+                        let ep = eps.get_mut(&to).expect("endpoint exists");
+                        let mut tnet = TransportNet::new(ep, &mut net);
+                        dispatch(
+                            appd,
+                            &mut tnet,
+                            &mut policy,
+                            &mut eca_site,
+                            &mut sources,
+                            &mut recorder,
+                            &mut delivery_log,
+                        )?;
+                    }
+                }
+                None => dispatch(
+                    d,
+                    &mut net,
+                    &mut policy,
+                    &mut eca_site,
+                    &mut sources,
+                    &mut recorder,
+                    &mut delivery_log,
+                )?,
             }
         }
 
         let consistency = recorder
             .as_ref()
             .map(|rec| classify(rec, policy.installs(), policy.view()));
+
+        // Quiescence means the policy has no sweep in flight AND the
+        // transport has drained: no unacked frames, no reorder buffers,
+        // no pending resync.
+        let transport_quiescent = endpoints
+            .as_ref()
+            .is_none_or(|eps| eps.values().all(Endpoint::is_quiescent));
 
         Ok(RunReport {
             policy: policy.name(),
@@ -328,7 +434,7 @@ impl Experiment {
             metrics: policy.metrics().clone(),
             net: net.stats().clone(),
             consistency,
-            quiescent: policy.is_quiescent(),
+            quiescent: policy.is_quiescent() && transport_quiescent,
             end_time: net.now(),
             events,
             trace: net.trace().events().to_vec(),

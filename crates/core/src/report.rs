@@ -64,6 +64,55 @@ impl RunReport {
         self.query_messages() as f64 / self.metrics.updates_received as f64
     }
 
+    /// Query/answer round trips counted *logically* — each message once at
+    /// send time, however often the fault layer and the transport made the
+    /// wire repeat it. Under faults this is the number the paper's
+    /// `2(n−1)` claim (E6) is about; on a clean run it equals
+    /// [`RunReport::query_messages`].
+    pub fn logical_query_messages(&self) -> u64 {
+        [
+            "query",
+            "answer",
+            "eca_query",
+            "eca_answer",
+            "dump_query",
+            "dump_answer",
+        ]
+        .iter()
+        .map(|l| self.net.label_logical(l).messages)
+        .sum()
+    }
+
+    /// Logical query/answer messages per processed update — the Table 1
+    /// column, robust to retransmission inflation.
+    pub fn logical_messages_per_update(&self) -> f64 {
+        if self.metrics.updates_received == 0 {
+            return 0.0;
+        }
+        self.logical_query_messages() as f64 / self.metrics.updates_received as f64
+    }
+
+    /// Bytes the reliability transport added to the wire: retransmitted
+    /// frames plus ack/resync control traffic. Zero when the transport is
+    /// off or the network is clean enough to never retransmit.
+    pub fn transport_overhead_bytes(&self) -> u64 {
+        self.net.retransmitted().bytes
+            + ["ack", "resync", "resync_ack"]
+                .iter()
+                .map(|l| self.net.label(l).bytes)
+                .sum::<u64>()
+    }
+
+    /// Messages the reliability transport added to the wire (see
+    /// [`RunReport::transport_overhead_bytes`]).
+    pub fn transport_overhead_messages(&self) -> u64 {
+        self.net.retransmitted().messages
+            + ["ack", "resync", "resync_ack"]
+                .iter()
+                .map(|l| self.net.label(l).messages)
+                .sum::<u64>()
+    }
+
     /// View lag over time — how far the view trails the delivered updates
     /// (the §3 "trailing" phenomenon, quantified).
     pub fn lag_series(&self) -> LagSeries {

@@ -1,6 +1,5 @@
 //! Thread-per-node cluster runtime.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use dw_protocol::{source_node, Message, WAREHOUSE_NODE};
 use dw_relational::BaseRelation;
 use dw_simnet::{NetHandle, NodeId, Time};
@@ -9,6 +8,7 @@ use dw_warehouse::{InstallRecord, MaintenancePolicy, PolicyMetrics, WarehouseErr
 use dw_workload::GeneratedScenario;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -115,7 +115,7 @@ pub fn run_live(
     let mut senders = Vec::with_capacity(n + 1);
     let mut receivers: Vec<Receiver<Item>> = Vec::with_capacity(n + 1);
     for _ in 0..=n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(rx);
     }

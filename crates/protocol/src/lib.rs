@@ -21,8 +21,12 @@
 
 #![warn(missing_docs)]
 
+pub mod transport;
+
 use dw_relational::{Bag, PartialDelta};
 use dw_simnet::{NodeId, Payload};
+
+pub use transport::{Endpoint, TransportConfig, TransportNet};
 
 /// Chain position of a data source, `0..n` (the paper's subscript `i`).
 pub type SourceIndex = usize;
@@ -178,6 +182,54 @@ pub enum Message {
         /// Current relation contents (all counts positive).
         relation: Bag,
     },
+    /// Transport: a sequenced envelope around an application message.
+    /// Frames are what actually crosses an unreliable link; the receiver
+    /// unwraps them exactly-once and in-order (see [`transport`]).
+    Frame {
+        /// Per-directed-link monotone sequence number.
+        seq: u64,
+        /// True on retransmission — counted as physical, not logical
+        /// traffic.
+        retransmit: bool,
+        /// The application message being carried.
+        inner: Box<Message>,
+    },
+    /// Transport: cumulative acknowledgement — "I have received every
+    /// frame with `seq < cum` from you".
+    Ack {
+        /// The receiver's next expected sequence number.
+        cum: u64,
+    },
+    /// Transport: crash-recovery handshake. The sender (typically a
+    /// restarted source) tells the peer its receive cursor so both sides
+    /// can prune acknowledged frames and retransmit the rest.
+    Resync {
+        /// The sender's next expected sequence number for the peer's
+        /// stream.
+        recv_cum: u64,
+    },
+    /// Transport: reply to [`Message::Resync`], carrying the responder's
+    /// own receive cursor.
+    ResyncAck {
+        /// The responder's next expected sequence number for the
+        /// requester's stream.
+        recv_cum: u64,
+    },
+    /// Transport: self-addressed retransmission timer (never crosses a
+    /// link).
+    RetxTick {
+        /// The peer whose outbox this timer guards.
+        peer: NodeId,
+    },
+    /// Transport: self-addressed resync retry timer (never crosses a
+    /// link).
+    ResyncTick {
+        /// The peer whose resync handshake this timer guards.
+        peer: NodeId,
+    },
+    /// ENV → node: the node restarts after a crash window. The transport
+    /// re-arms its timers and initiates resync with every peer.
+    Restart,
 }
 
 impl Payload for Message {
@@ -205,6 +257,14 @@ impl Payload for Message {
             Message::EcaAnswer(a) => a.result.size_bytes(),
             Message::DumpQuery { .. } => 8,
             Message::DumpAnswer { relation, .. } => relation.size_bytes(),
+            // seq + flag on top of the carried message (its own header
+            // included — a frame is a real second header on the wire).
+            Message::Frame { inner, .. } => 12 + inner.size_bytes(),
+            Message::Ack { .. } => 8,
+            Message::Resync { .. } => 8,
+            Message::ResyncAck { .. } => 8,
+            // Timer ticks and restarts never cross a link.
+            Message::RetxTick { .. } | Message::ResyncTick { .. } | Message::Restart => 0,
         }
     }
 
@@ -218,7 +278,19 @@ impl Payload for Message {
             Message::EcaAnswer(_) => "eca_answer",
             Message::DumpQuery { .. } => "dump_query",
             Message::DumpAnswer { .. } => "dump_answer",
+            // Frames keep the carried message's bucket so per-label
+            // statistics stay meaningful with the transport on.
+            Message::Frame { inner, .. } => inner.label(),
+            Message::Ack { .. } => "ack",
+            Message::Resync { .. } => "resync",
+            Message::ResyncAck { .. } => "resync_ack",
+            Message::RetxTick { .. } | Message::ResyncTick { .. } => "tick",
+            Message::Restart => "restart",
         }
+    }
+
+    fn is_retransmit(&self) -> bool {
+        matches!(self, Message::Frame { retransmit: true, .. })
     }
 }
 

@@ -5,8 +5,7 @@
 //! [`crate::eval::extend_partial`] does) costs `O(|R|)` per query. A
 //! [`JoinIndex`] maintains the hash table incrementally as transactions
 //! apply, so query service drops to `O(|ΔV| + |matches|)` — the classic
-//! maintained-index trade-off, measured in the `relational` criterion
-//! bench group.
+//! maintained-index trade-off, measured in the `relational` micro-bench.
 
 use crate::bag::Bag;
 use crate::error::RelationalError;

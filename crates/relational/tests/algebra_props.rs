@@ -2,23 +2,32 @@
 //! SWEEP correctness argument leans on. If any of these laws broke, the
 //! on-line error correction would silently corrupt views; here they are
 //! checked over thousands of random bags.
+//!
+//! Each property runs a seeded loop of random cases, so a failure prints
+//! the offending case seed and replays exactly — no external
+//! property-testing framework needed.
 
 use dw_relational::{
     eval_view, extend_partial, tup, Bag, JoinSide, PartialDelta, Schema, Tuple, ViewDefBuilder,
 };
-use proptest::prelude::*;
+use dw_rng::Rng64;
+
+const CASES: u64 = 128;
 
 /// Arbitrary signed bag over small 2-attribute tuples. Small domains force
 /// collisions (count summation paths).
-fn arb_bag() -> impl Strategy<Value = Bag> {
-    prop::collection::vec(((0i64..6, 0i64..6), -3i64..4), 0..12)
-        .prop_map(|entries| Bag::from_pairs(entries.into_iter().map(|((a, b), c)| (tup![a, b], c))))
+fn arb_bag(r: &mut Rng64) -> Bag {
+    let n = r.usize_below(12);
+    Bag::from_pairs((0..n).map(|_| {
+        let (a, b) = (r.i64_in(0, 6), r.i64_in(0, 6));
+        (tup![a, b], r.i64_in(-3, 4))
+    }))
 }
 
 /// Arbitrary *positive* bag (a legal base-relation state).
-fn arb_relation() -> impl Strategy<Value = Bag> {
-    prop::collection::vec((0i64..6, 0i64..6), 0..12)
-        .prop_map(|tuples| Bag::from_pairs(tuples.into_iter().map(|(a, b)| (tup![a, b], 1))))
+fn arb_relation(r: &mut Rng64) -> Bag {
+    let n = r.usize_below(12);
+    Bag::from_pairs((0..n).map(|_| (tup![r.i64_in(0, 6), r.i64_in(0, 6)], 1)))
 }
 
 fn two_chain() -> dw_relational::ViewDef {
@@ -37,74 +46,115 @@ fn join_right(view: &dw_relational::ViewDef, left: &Bag, right: &Bag) -> Bag {
         .bag
 }
 
-proptest! {
-    // ---- Bag laws ------------------------------------------------------
+// ---- Bag laws ----------------------------------------------------------
 
-    #[test]
-    fn merge_is_commutative(a in arb_bag(), b in arb_bag()) {
-        prop_assert_eq!(a.plus(&b), b.plus(&a));
+#[test]
+fn merge_is_commutative() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(case);
+        let (a, b) = (arb_bag(&mut r), arb_bag(&mut r));
+        assert_eq!(a.plus(&b), b.plus(&a), "case {case}");
     }
+}
 
-    #[test]
-    fn merge_is_associative(a in arb_bag(), b in arb_bag(), c in arb_bag()) {
-        prop_assert_eq!(a.plus(&b).plus(&c), a.plus(&b.plus(&c)));
+#[test]
+fn merge_is_associative() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(100 + case);
+        let (a, b, c) = (arb_bag(&mut r), arb_bag(&mut r), arb_bag(&mut r));
+        assert_eq!(a.plus(&b).plus(&c), a.plus(&b.plus(&c)), "case {case}");
     }
+}
 
-    #[test]
-    fn negation_is_additive_inverse(a in arb_bag()) {
-        prop_assert!(a.plus(&a.negated()).is_empty());
+#[test]
+fn negation_is_additive_inverse() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(200 + case);
+        let a = arb_bag(&mut r);
+        assert!(a.plus(&a.negated()).is_empty(), "case {case}");
     }
+}
 
-    #[test]
-    fn subtract_then_add_roundtrips(a in arb_bag(), b in arb_bag()) {
+#[test]
+fn subtract_then_add_roundtrips() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(300 + case);
+        let (a, b) = (arb_bag(&mut r), arb_bag(&mut r));
         let mut x = a.clone();
         x.subtract(&b);
         x.merge(&b);
-        prop_assert_eq!(x, a);
+        assert_eq!(x, a, "case {case}");
     }
+}
 
-    #[test]
-    fn no_zero_counts_stored(a in arb_bag(), b in arb_bag()) {
-        let sum = a.plus(&b);
+#[test]
+fn no_zero_counts_stored() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(400 + case);
+        let sum = arb_bag(&mut r).plus(&arb_bag(&mut r));
         for (_, c) in sum.iter() {
-            prop_assert_ne!(c, 0);
+            assert_ne!(c, 0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn sorted_vec_is_canonical(a in arb_bag()) {
-        // Rebuilding from the sorted listing yields the same bag, and the
-        // listing is sorted.
+#[test]
+fn sorted_vec_is_canonical() {
+    // Rebuilding from the sorted listing yields the same bag, and the
+    // listing is sorted.
+    for case in 0..CASES {
+        let mut r = Rng64::new(500 + case);
+        let a = arb_bag(&mut r);
         let v = a.to_sorted_vec();
-        prop_assert!(v.windows(2).all(|w| w[0].0 <= w[1].0));
-        prop_assert_eq!(Bag::from_pairs(v), a);
+        assert!(v.windows(2).all(|w| w[0].0 <= w[1].0), "case {case}");
+        assert_eq!(Bag::from_pairs(v), a, "case {case}");
     }
+}
 
-    // ---- Join laws (the §3 identities) ---------------------------------
+// ---- Join laws (the §3 identities) -------------------------------------
 
-    /// (R + ΔR) ⋈ S = R ⋈ S + ΔR ⋈ S — the incremental-maintenance
-    /// identity SWEEP is built on.
-    #[test]
-    fn join_distributes_over_delta(r in arb_relation(), dr in arb_bag(), s in arb_relation()) {
+/// (R + ΔR) ⋈ S = R ⋈ S + ΔR ⋈ S — the incremental-maintenance identity
+/// SWEEP is built on.
+#[test]
+fn join_distributes_over_delta() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(600 + case);
+        let (r, dr, s) = (
+            arb_relation(&mut rng),
+            arb_bag(&mut rng),
+            arb_relation(&mut rng),
+        );
         let view = two_chain();
         let lhs = join_right(&view, &r.plus(&dr), &s);
         let rhs = join_right(&view, &r, &s).plus(&join_right(&view, &dr, &s));
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "case {case}");
     }
+}
 
-    /// Signs multiply through joins: (−ΔR) ⋈ S = −(ΔR ⋈ S).
-    #[test]
-    fn join_respects_negation(dr in arb_bag(), s in arb_relation()) {
+/// Signs multiply through joins: (−ΔR) ⋈ S = −(ΔR ⋈ S).
+#[test]
+fn join_respects_negation() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(700 + case);
+        let (dr, s) = (arb_bag(&mut rng), arb_relation(&mut rng));
         let view = two_chain();
         let lhs = join_right(&view, &dr.negated(), &s);
         let rhs = join_right(&view, &dr, &s).negated();
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "case {case}");
     }
+}
 
-    /// Left and right extension orders commute on a 3-chain:
-    /// (ΔR₂ ⋈ R₃) then R₁ equals (R₁ ⋈ ΔR₂) then R₃.
-    #[test]
-    fn extension_order_commutes(r1 in arb_relation(), d2 in arb_bag(), r3 in arb_relation()) {
+/// Left and right extension orders commute on a 3-chain:
+/// (ΔR₂ ⋈ R₃) then R₁ equals (R₁ ⋈ ΔR₂) then R₃.
+#[test]
+fn extension_order_commutes() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(800 + case);
+        let (r1, d2, r3) = (
+            arb_relation(&mut rng),
+            arb_bag(&mut rng),
+            arb_relation(&mut rng),
+        );
         let view = ViewDefBuilder::new()
             .relation(Schema::new("R1", ["A", "B"]).unwrap())
             .relation(Schema::new("R2", ["C", "D"]).unwrap())
@@ -122,22 +172,23 @@ proptest! {
             let pd = extend_partial(&view, &seed, &r1, JoinSide::Left).unwrap();
             extend_partial(&view, &pd, &r3, JoinSide::Right).unwrap()
         };
-        prop_assert_eq!(right_then_left, left_then_right);
+        assert_eq!(right_then_left, left_then_right, "case {case}");
     }
+}
 
-    /// Incremental maintenance agrees with full recomputation over an
-    /// arbitrary sequence of deltas (applied one at a time).
-    #[test]
-    fn incremental_equals_recompute(
-        r1 in arb_relation(),
-        r2 in arb_relation(),
-        deltas in prop::collection::vec((prop::bool::ANY, arb_bag()), 0..6),
-    ) {
+/// Incremental maintenance agrees with full recomputation over an
+/// arbitrary sequence of deltas (applied one at a time).
+#[test]
+fn incremental_equals_recompute() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(900 + case);
         let view = two_chain();
-        let mut cur1 = r1.clone();
-        let mut cur2 = r2.clone();
+        let mut cur1 = arb_relation(&mut rng);
+        let mut cur2 = arb_relation(&mut rng);
         let mut v = eval_view(&view, &[&cur1, &cur2]).unwrap();
-        for (left_side, d) in deltas {
+        for _ in 0..rng.usize_below(6) {
+            let left_side = rng.chance(0.5);
+            let d = arb_bag(&mut rng);
             if left_side {
                 // ΔV = ΔR1 ⋈ R2 (R2 unchanged)
                 let dv = join_right(&view, &d, &cur2);
@@ -145,56 +196,69 @@ proptest! {
                 cur1.merge(&d);
             } else {
                 let pd = PartialDelta::seed(&view, 1, &d).unwrap();
-                let dv = extend_partial(&view, &pd, &cur1, JoinSide::Left).unwrap().bag;
+                let dv = extend_partial(&view, &pd, &cur1, JoinSide::Left)
+                    .unwrap()
+                    .bag;
                 v.merge(&dv);
                 cur2.merge(&d);
             }
             let direct = eval_view(&view, &[&cur1, &cur2]).unwrap();
-            prop_assert_eq!(&v, &direct);
+            assert_eq!(&v, &direct, "case {case}");
         }
     }
+}
 
-    /// The compensation identity of §4: for a query seeded with ΔR₂ and a
-    /// concurrent ΔR₁, the answer computed on (R₁ + ΔR₁) minus the locally
-    /// computed error term ΔR₁ ⋈ ΔR₂ equals the answer on R₁ alone.
-    #[test]
-    fn local_compensation_identity(
-        r1 in arb_relation(),
-        d1 in arb_bag(),
-        d2 in arb_bag(),
-    ) {
+/// The compensation identity of §4: for a query seeded with ΔR₂ and a
+/// concurrent ΔR₁, the answer computed on (R₁ + ΔR₁) minus the locally
+/// computed error term ΔR₁ ⋈ ΔR₂ equals the answer on R₁ alone.
+#[test]
+fn local_compensation_identity() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(1_000 + case);
+        let (r1, d1, d2) = (
+            arb_relation(&mut rng),
+            arb_bag(&mut rng),
+            arb_bag(&mut rng),
+        );
         let view = two_chain();
         let seed = PartialDelta::seed(&view, 1, &d2).unwrap();
         // What the source returns after applying ΔR1:
-        let contaminated =
-            extend_partial(&view, &seed, &r1.plus(&d1), JoinSide::Left).unwrap().bag;
+        let contaminated = extend_partial(&view, &seed, &r1.plus(&d1), JoinSide::Left)
+            .unwrap()
+            .bag;
         // Error term, computable entirely at the warehouse:
         let error = extend_partial(&view, &seed, &d1, JoinSide::Left).unwrap().bag;
         // Target: the answer on the pre-update state.
         let clean = extend_partial(&view, &seed, &r1, JoinSide::Left).unwrap().bag;
-        prop_assert_eq!(contaminated.minus(&error), clean);
+        assert_eq!(contaminated.minus(&error), clean, "case {case}");
     }
+}
 
-    // ---- Projection / tuple laws ---------------------------------------
+// ---- Projection / tuple laws -------------------------------------------
 
-    #[test]
-    fn projection_preserves_total_signed_count(a in arb_bag()) {
+#[test]
+fn projection_preserves_total_signed_count() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(1_100 + case);
+        let a = arb_bag(&mut r);
         let signed_total = |b: &Bag| b.iter().map(|(_, c)| c).sum::<i64>();
         let projected = a.map_tuples(|t| t.project(&[0]));
-        prop_assert_eq!(signed_total(&a), signed_total(&projected));
+        assert_eq!(signed_total(&a), signed_total(&projected), "case {case}");
     }
+}
 
-    #[test]
-    fn concat_then_project_recovers_parts(
-        xs in prop::collection::vec(0i64..100, 1..5),
-        ys in prop::collection::vec(0i64..100, 1..5),
-    ) {
+#[test]
+fn concat_then_project_recovers_parts() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(1_200 + case);
+        let xs: Vec<i64> = (0..1 + r.usize_below(4)).map(|_| r.i64_in(0, 100)).collect();
+        let ys: Vec<i64> = (0..1 + r.usize_below(4)).map(|_| r.i64_in(0, 100)).collect();
         let a = Tuple::new(xs.iter().map(|&v| v.into()).collect());
         let b = Tuple::new(ys.iter().map(|&v| v.into()).collect());
         let c = a.concat(&b);
         let left: Vec<usize> = (0..xs.len()).collect();
         let right: Vec<usize> = (xs.len()..xs.len() + ys.len()).collect();
-        prop_assert_eq!(c.project(&left), a);
-        prop_assert_eq!(c.project(&right), b);
+        assert_eq!(c.project(&left), a, "case {case}");
+        assert_eq!(c.project(&right), b, "case {case}");
     }
 }

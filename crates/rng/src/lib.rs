@@ -1,0 +1,240 @@
+//! # dw-rng
+//!
+//! A tiny, dependency-free, seeded pseudo-random number generator for the
+//! whole workspace: **xoshiro256++** state-initialized with **SplitMix64**
+//! (the initialization the xoshiro authors recommend). Every simulation,
+//! workload generator and randomized test in `dwsweep` draws from this one
+//! generator, so a run is a pure function of its seed and the workspace
+//! builds fully offline — no registry access, no `rand` crate.
+//!
+//! The statistical quality bar here is "drive a discrete-event simulator
+//! and randomized property tests", not cryptography; xoshiro256++ passes
+//! BigCrush and is more than adequate.
+//!
+//! ```
+//! use dw_rng::Rng64;
+//!
+//! let mut rng = Rng64::new(42);
+//! let a = rng.next_u64();
+//! let b = rng.u64_below(10);      // 0..10
+//! let c = rng.i64_in(-5, 5);      // -5..5 (half-open)
+//! let d = rng.f64();              // [0, 1)
+//! assert!(b < 10 && (-5..5).contains(&c) && (0.0..1.0).contains(&d));
+//! assert_eq!(Rng64::new(42).next_u64(), a, "same seed, same stream");
+//! ```
+
+#![warn(missing_docs)]
+
+/// SplitMix64 step — used to expand a 64-bit seed into generator state and
+/// to derive independent streams from a parent seed.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded xoshiro256++ generator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Build from a 64-bit seed (SplitMix64-expanded, per the xoshiro
+    /// reference implementation).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 { s }
+    }
+
+    /// Derive an independent child generator; deterministic in `(self
+    /// state, stream)`. Used to give each node / link its own stream
+    /// without the streams marching in lockstep.
+    pub fn fork(&mut self, stream: u64) -> Rng64 {
+        let mix = self.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        Rng64::new(mix)
+    }
+
+    /// Next raw 64 bits (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+
+    /// Uniform in `0..n` (empty range yields 0). Uses Lemire's widening
+    /// multiply; the modulo bias is at most 2⁻⁶⁴·n — irrelevant here.
+    #[inline]
+    pub fn u64_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in the inclusive range `lo..=hi` (`lo > hi` clamps to `lo`).
+    #[inline]
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            return lo;
+        }
+        lo + self.u64_below(hi - lo + 1)
+    }
+
+    /// Uniform in `0..n`.
+    #[inline]
+    pub fn usize_below(&mut self, n: usize) -> usize {
+        self.u64_below(n as u64) as usize
+    }
+
+    /// Uniform in the half-open range `lo..hi` (`lo >= hi` clamps to `lo`).
+    #[inline]
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        if lo >= hi {
+            return lo;
+        }
+        lo.wrapping_add(self.u64_below((hi - lo) as u64) as i64)
+    }
+
+    /// Uniform float in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial: true with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Exponentially distributed value with the given `mean`, truncated at
+    /// `10 × mean` to keep simulated schedules finite.
+    #[inline]
+    pub fn exponential(&mut self, mean: u64) -> u64 {
+        if mean == 0 {
+            return 0;
+        }
+        let u = self.f64().max(f64::EPSILON);
+        let raw = -(u.ln()) * mean as f64;
+        (raw as u64).min(mean.saturating_mul(10))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..32).scan(Rng64::new(7), |r, _| Some(r.next_u64())).collect();
+        let b: Vec<u64> = (0..32).scan(Rng64::new(7), |r, _| Some(r.next_u64())).collect();
+        assert_eq!(a, b);
+        let c: Vec<u64> = (0..32).scan(Rng64::new(8), |r, _| Some(r.next_u64())).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = Rng64::new(1);
+        for _ in 0..10_000 {
+            assert!(r.u64_below(17) < 17);
+            let v = r.u64_in(5, 9);
+            assert!((5..=9).contains(&v));
+            let i = r.i64_in(-3, 4);
+            assert!((-3..4).contains(&i));
+            let f = r.f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges() {
+        let mut r = Rng64::new(2);
+        assert_eq!(r.u64_below(0), 0);
+        assert_eq!(r.u64_in(9, 3), 9);
+        assert_eq!(r.i64_in(4, 4), 4);
+        assert_eq!(r.usize_below(1), 0);
+    }
+
+    #[test]
+    fn chance_edges_and_rough_frequency() {
+        let mut r = Rng64::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        let hits = (0..20_000).filter(|_| r.chance(0.25)).count();
+        let p = hits as f64 / 20_000.0;
+        assert!((0.22..0.28).contains(&p), "P was {p}");
+    }
+
+    #[test]
+    fn f64_mean_is_half() {
+        let mut r = Rng64::new(4);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| r.f64()).sum();
+        let mean = total / n as f64;
+        assert!((0.48..0.52).contains(&mean), "mean was {mean}");
+    }
+
+    #[test]
+    fn u64_below_roughly_uniform() {
+        let mut r = Rng64::new(5);
+        let mut counts = [0u32; 8];
+        for _ in 0..40_000 {
+            counts[r.usize_below(8)] += 1;
+        }
+        let (min, max) = (
+            *counts.iter().min().unwrap() as f64,
+            *counts.iter().max().unwrap() as f64,
+        );
+        assert!(max / min < 1.15, "counts {counts:?}");
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let mut r = Rng64::new(6);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| r.exponential(1_000)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((850.0..1150.0).contains(&mean), "mean was {mean}");
+        assert_eq!(r.exponential(0), 0);
+    }
+
+    #[test]
+    fn forked_streams_diverge() {
+        let mut parent = Rng64::new(9);
+        let mut a = parent.fork(0);
+        let mut b = parent.fork(1);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+}

@@ -1,7 +1,7 @@
 //! Link latency models.
 
 use crate::Time;
-use rand::Rng;
+use dw_rng::Rng64;
 
 /// How long a message spends in flight on a link.
 ///
@@ -29,31 +29,12 @@ pub enum LatencyModel {
 
 impl LatencyModel {
     /// Sample one in-flight duration.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> Time {
+    pub fn sample(&self, rng: &mut Rng64) -> Time {
         match *self {
             LatencyModel::Constant(t) => t,
-            LatencyModel::Uniform(lo, hi) => {
-                if lo >= hi {
-                    lo
-                } else {
-                    rng.gen_range(lo..=hi)
-                }
-            }
-            LatencyModel::Exponential(mean) => {
-                if mean == 0 {
-                    return 0;
-                }
-                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                let raw = -(u.ln()) * mean as f64;
-                (raw as Time).min(mean.saturating_mul(10))
-            }
-            LatencyModel::Jittered { base, jitter } => {
-                if jitter == 0 {
-                    base
-                } else {
-                    base + rng.gen_range(0..=jitter)
-                }
-            }
+            LatencyModel::Uniform(lo, hi) => rng.u64_in(lo, hi),
+            LatencyModel::Exponential(mean) => rng.exponential(mean),
+            LatencyModel::Jittered { base, jitter } => base + rng.u64_in(0, jitter),
         }
     }
 
@@ -78,11 +59,9 @@ impl Default for LatencyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
-    fn rng() -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(7)
+    fn rng() -> Rng64 {
+        Rng64::new(7)
     }
 
     #[test]

@@ -1,12 +1,19 @@
 //! # dw-simnet
 //!
 //! A deterministic discrete-event simulator for the point-to-point message
-//! network the SWEEP paper assumes (§2): communication between each data
-//! source and the warehouse is **reliable and FIFO** — messages are never
-//! lost and are delivered in send order. Nothing is assumed about relative
-//! timing *across* links, which is exactly where concurrent-update
-//! anomalies come from; latency models make those interleavings adjustable
-//! and, with a fixed seed, perfectly reproducible.
+//! network the SWEEP paper assumes (§2): by default, communication between
+//! each data source and the warehouse is **reliable and FIFO** — messages
+//! are never lost and are delivered in send order. Nothing is assumed
+//! about relative timing *across* links, which is exactly where
+//! concurrent-update anomalies come from; latency models make those
+//! interleavings adjustable and, with a fixed seed, perfectly
+//! reproducible.
+//!
+//! Install a [`FaultPlan`] and that contract is deliberately broken —
+//! drops, duplicates, bounded reordering, partitions, node crashes — so
+//! the reliability transport in `dw-protocol` has something real to earn
+//! the paper's assumption back from. Fault schedules are seeded and
+//! deterministic like everything else.
 //!
 //! The simulator deliberately owns **only the network**: it is generic over
 //! the payload type and has no notion of actors. The orchestration layer
@@ -35,14 +42,16 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod latency;
 pub mod network;
 pub mod stats;
 pub mod trace;
 
+pub use fault::{Crash, FaultPlan, LinkFaults, Outage};
 pub use latency::LatencyModel;
 pub use network::{Delivery, Network, NodeId, ENV};
-pub use stats::{LinkStats, NetStats};
+pub use stats::{FaultCounters, LinkStats, NetStats};
 pub use trace::{TraceEvent, TraceKind};
 
 /// Logical simulation time in microseconds.
@@ -50,12 +59,19 @@ pub type Time = u64;
 
 /// The capabilities a node needs from its transport: send a message, read
 /// the clock. [`Network`] implements it with virtual time; the `dw-livenet`
-/// crate implements it with OS threads, crossbeam channels and wall-clock
-/// time — so the *same* policy/source state machines run unchanged in both
-/// worlds.
+/// crate implements it with OS threads, `std::sync::mpsc` channels and
+/// wall-clock time — so the *same* policy/source state machines run
+/// unchanged in both worlds.
 pub trait NetHandle<M> {
     /// Send `msg` from `from` to `to` (reliable, FIFO per directed link).
     fn send(&mut self, from: NodeId, to: NodeId, msg: M);
+    /// Schedule `msg` for `delay` µs from now. A self-addressed message
+    /// (`from == to`) is a timer tick — the reliability transport's
+    /// retransmission timeouts. Implementations without a scheduler may
+    /// fall back to immediate delivery (the default).
+    fn send_after(&mut self, from: NodeId, to: NodeId, msg: M, _delay: Time) {
+        self.send(from, to, msg);
+    }
     /// Current time in microseconds (virtual or wall-clock).
     fn now(&self) -> Time;
 }
@@ -63,6 +79,9 @@ pub trait NetHandle<M> {
 impl<M: Payload> NetHandle<M> for Network<M> {
     fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
         Network::send(self, from, to, msg);
+    }
+    fn send_after(&mut self, from: NodeId, to: NodeId, msg: M, delay: Time) {
+        Network::send_after(self, from, to, msg, delay);
     }
     fn now(&self) -> Time {
         Network::now(self)
@@ -79,5 +98,10 @@ pub trait Payload: Clone + std::fmt::Debug {
     /// Statistic bucket for this message.
     fn label(&self) -> &'static str {
         "msg"
+    }
+    /// True for transport retransmissions: counted as physical but not
+    /// logical traffic, so retry overhead is separable in [`NetStats`].
+    fn is_retransmit(&self) -> bool {
+        false
     }
 }

@@ -11,6 +11,14 @@ pub enum TraceKind {
     Send,
     /// A message was delivered to its destination.
     Deliver,
+    /// The fault layer randomly dropped a send.
+    Drop,
+    /// The fault layer scheduled a second copy of a send.
+    Duplicate,
+    /// A send skipped the FIFO clamp and may arrive out of order.
+    Reorder,
+    /// A send or delivery was lost to a partition window or crashed node.
+    Outage,
 }
 
 /// One trace record.
@@ -35,6 +43,10 @@ impl fmt::Display for TraceEvent {
         let arrow = match self.kind {
             TraceKind::Send => "->",
             TraceKind::Deliver => "=>",
+            TraceKind::Drop => "-x",
+            TraceKind::Duplicate => "=2",
+            TraceKind::Reorder => "~>",
+            TraceKind::Outage => "!x",
         };
         write!(
             f,

@@ -1,9 +1,15 @@
-//! Property tests of the network's core guarantees: per-link FIFO under
-//! arbitrary latency models, clock monotonicity, determinism, and exact
-//! accounting — the §2 assumptions every maintenance proof rests on.
+//! Randomized property tests of the network's core guarantees: per-link
+//! FIFO under arbitrary latency models, clock monotonicity, determinism,
+//! exact accounting — the §2 assumptions every maintenance proof rests on
+//! — plus the fault layer's own invariants (drops/dups/reorders are
+//! counted exactly, and a faulted network never invents messages).
+//!
+//! Each property runs a seeded loop of random cases (seeds 0..N), so a
+//! failure prints the offending case seed and replays exactly — no
+//! external property-testing framework needed.
 
-use dw_simnet::{LatencyModel, Network, Payload};
-use proptest::prelude::*;
+use dw_rng::Rng64;
+use dw_simnet::{FaultPlan, LatencyModel, LinkFaults, Network, Payload};
 
 #[derive(Clone, Debug, PartialEq)]
 struct Msg {
@@ -19,77 +25,109 @@ impl Payload for Msg {
     }
 }
 
-fn arb_latency() -> impl Strategy<Value = LatencyModel> {
-    prop_oneof![
-        (0u64..100_000).prop_map(LatencyModel::Constant),
-        (0u64..1_000, 1_000u64..100_000).prop_map(|(lo, hi)| LatencyModel::Uniform(lo, hi)),
-        (1u64..50_000).prop_map(LatencyModel::Exponential),
-        (0u64..10_000, 0u64..50_000)
-            .prop_map(|(base, jitter)| LatencyModel::Jittered { base, jitter }),
-    ]
+fn arb_latency(r: &mut Rng64) -> LatencyModel {
+    match r.usize_below(4) {
+        0 => LatencyModel::Constant(r.u64_below(100_000)),
+        1 => LatencyModel::Uniform(r.u64_below(1_000), 1_000 + r.u64_below(99_000)),
+        2 => LatencyModel::Exponential(1 + r.u64_below(50_000)),
+        _ => LatencyModel::Jittered {
+            base: r.u64_below(10_000),
+            jitter: r.u64_below(50_000),
+        },
+    }
 }
 
-proptest! {
-    /// Messages on each directed link arrive in send order, whatever the
-    /// latency model samples.
-    #[test]
-    fn per_link_fifo(
-        latency in arb_latency(),
-        seed in any::<u64>(),
-        sends in prop::collection::vec((0usize..4, 0usize..4), 1..200),
-    ) {
-        let mut net: Network<Msg> = Network::new(seed);
+const CASES: u64 = 64;
+
+/// Messages on each directed link arrive in send order, whatever the
+/// latency model samples.
+#[test]
+fn per_link_fifo() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(case);
+        let latency = arb_latency(&mut r);
+        let n_sends = 1 + r.usize_below(200);
+        let mut net: Network<Msg> = Network::new(r.next_u64());
         net.set_default_latency(latency);
         let mut counters = [[0u32; 4]; 4];
-        for &(from, to) in &sends {
+        let mut n = 0usize;
+        for _ in 0..n_sends {
+            let (from, to) = (r.usize_below(4), r.usize_below(4));
             let seq = counters[from][to];
             counters[from][to] += 1;
             net.send(from, to, Msg { from, seq });
+            n += 1;
         }
         let mut last_seen = std::collections::HashMap::new();
         let mut delivered = 0;
         while let Some(d) = net.next() {
             let key = (d.from, d.to);
             let expect = last_seen.entry(key).or_insert(0u32);
-            prop_assert_eq!(d.msg.seq, *expect, "link {:?} reordered", key);
+            assert_eq!(d.msg.seq, *expect, "case {case}: link {key:?} reordered");
             *expect += 1;
             delivered += 1;
         }
-        prop_assert_eq!(delivered, sends.len());
+        assert_eq!(delivered, n, "case {case}");
     }
+}
 
-    /// The clock never runs backwards, and deliveries never precede their
-    /// injection times.
-    #[test]
-    fn clock_monotone_and_injections_honored(
-        latency in arb_latency(),
-        seed in any::<u64>(),
-        injections in prop::collection::vec((0u64..1_000_000, 0usize..3), 1..50),
-    ) {
-        let mut net: Network<Msg> = Network::new(seed);
+/// The clock never runs backwards, and deliveries never precede their
+/// injection times.
+#[test]
+fn clock_monotone_and_injections_honored() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(1_000 + case);
+        let latency = arb_latency(&mut r);
+        let n_inj = 1 + r.usize_below(50);
+        let injections: Vec<(u64, usize)> = (0..n_inj)
+            .map(|_| (r.u64_below(1_000_000), r.usize_below(3)))
+            .collect();
+        let mut net: Network<Msg> = Network::new(r.next_u64());
         net.set_default_latency(latency);
         for (i, &(at, node)) in injections.iter().enumerate() {
-            net.inject(at, node, Msg { from: node, seq: i as u32 });
+            net.inject(
+                at,
+                node,
+                Msg {
+                    from: node,
+                    seq: i as u32,
+                },
+            );
         }
         let mut last = 0;
         while let Some(d) = net.next() {
-            prop_assert!(d.at >= last);
+            assert!(d.at >= last, "case {case}: clock ran backwards");
             let (at, _) = injections[d.msg.seq as usize];
-            prop_assert!(d.at >= at.min(1_000_000));
+            assert!(d.at >= at.min(1_000_000), "case {case}: early delivery");
             last = d.at;
         }
     }
+}
 
-    /// Identical seeds and inputs produce identical delivery schedules.
-    #[test]
-    fn deterministic_schedules(
-        latency in arb_latency(),
-        seed in any::<u64>(),
-        sends in prop::collection::vec((0usize..3, 0usize..3), 1..60),
-    ) {
+/// Identical seeds and inputs produce identical delivery schedules — with
+/// and without a fault plan.
+#[test]
+fn deterministic_schedules() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(2_000 + case);
+        let latency = arb_latency(&mut r);
+        let seed = r.next_u64();
+        let n_sends = 1 + r.usize_below(60);
+        let sends: Vec<(usize, usize)> = (0..n_sends)
+            .map(|_| (r.usize_below(3), r.usize_below(3)))
+            .collect();
+        let faulty = r.chance(0.5);
         let run = || {
             let mut net: Network<Msg> = Network::new(seed);
             net.set_default_latency(latency.clone());
+            if faulty {
+                net.set_faults(FaultPlan::default().uniform(LinkFaults {
+                    drop_rate: 0.2,
+                    dup_rate: 0.2,
+                    reorder_rate: 0.2,
+                    reorder_window: 10_000,
+                }));
+            }
             for (i, &(from, to)) in sends.iter().enumerate() {
                 net.send(from, to, Msg { from, seq: i as u32 });
             }
@@ -99,23 +137,97 @@ proptest! {
             }
             out
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}: schedule must replay");
     }
+}
 
-    /// Stats account for exactly the delivered messages and bytes.
-    #[test]
-    fn stats_exact(
-        seed in any::<u64>(),
-        sends in prop::collection::vec((0usize..3, 0usize..3), 0..60),
-    ) {
-        let mut net: Network<Msg> = Network::new(seed);
-        for (i, &(from, to)) in sends.iter().enumerate() {
+/// Stats account for exactly the delivered messages and bytes.
+#[test]
+fn stats_exact() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(3_000 + case);
+        let n_sends = r.usize_below(60);
+        let mut net: Network<Msg> = Network::new(r.next_u64());
+        for i in 0..n_sends {
+            // Distinct endpoints: a self-addressed message is a timer
+            // tick, which by design is not traffic.
+            let from = r.usize_below(3);
+            let to = (from + 1 + r.usize_below(2)) % 3;
             net.send(from, to, Msg { from, seq: i as u32 });
         }
         while net.next().is_some() {}
-        prop_assert_eq!(net.stats().total().messages, sends.len() as u64);
-        prop_assert_eq!(net.stats().total().bytes, 8 * sends.len() as u64);
+        assert_eq!(net.stats().total().messages, n_sends as u64, "case {case}");
+        assert_eq!(net.stats().total().bytes, 8 * n_sends as u64, "case {case}");
         let by_links: u64 = net.stats().links().map(|(_, s)| s.messages).sum();
-        prop_assert_eq!(by_links, sends.len() as u64);
+        assert_eq!(by_links, n_sends as u64, "case {case}");
+        assert_eq!(
+            net.stats().logical_total().messages,
+            n_sends as u64,
+            "case {case}: clean runs have no inflation"
+        );
+    }
+}
+
+/// Under drop/dup faults, the accounting identities hold: every send is
+/// logical, and `delivered = sent − dropped + duplicated` (a faulted
+/// network never invents or silently leaks messages).
+#[test]
+fn fault_accounting_identity() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(4_000 + case);
+        let n_sends = 1 + r.usize_below(300);
+        let drop_rate = r.f64() * 0.5;
+        let dup_rate = r.f64() * 0.5;
+        let mut net: Network<Msg> = Network::new(r.next_u64());
+        net.set_faults(FaultPlan::default().uniform(LinkFaults {
+            drop_rate,
+            dup_rate,
+            reorder_rate: 0.0,
+            reorder_window: 0,
+        }));
+        for i in 0..n_sends {
+            let (from, to) = (r.usize_below(3), 3 + r.usize_below(2));
+            net.send(from, to, Msg { from, seq: i as u32 });
+        }
+        let mut delivered = 0u64;
+        while net.next().is_some() {
+            delivered += 1;
+        }
+        let s = net.stats();
+        let f = s.fault_counters();
+        assert_eq!(s.total().messages, delivered, "case {case}");
+        assert_eq!(
+            s.logical_total().messages,
+            n_sends as u64,
+            "case {case}: every first send is logical"
+        );
+        assert_eq!(
+            s.total().messages,
+            n_sends as u64 - f.dropped + f.duplicated,
+            "case {case}: delivered = sent - dropped + duplicated"
+        );
+    }
+}
+
+/// Reordering faults never lose or duplicate messages — they only permute
+/// delivery order.
+#[test]
+fn reorder_is_lossless() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(5_000 + case);
+        let n_sends = 1 + r.usize_below(200);
+        let mut net: Network<Msg> = Network::new(r.next_u64());
+        net.set_default_latency(LatencyModel::Constant(100));
+        net.set_faults(FaultPlan::default().reorder(r.f64(), 50_000));
+        for i in 0..n_sends {
+            net.send(0, 1, Msg { from: 0, seq: i as u32 });
+        }
+        let mut got: Vec<u32> = Vec::new();
+        while let Some(d) = net.next() {
+            got.push(d.msg.seq);
+        }
+        got.sort_unstable();
+        let want: Vec<u32> = (0..n_sends as u32).collect();
+        assert_eq!(got, want, "case {case}: reorder must be a permutation");
     }
 }

@@ -1,41 +1,41 @@
 //! Property: the aggregate view is *self-maintainable* — folding any
 //! sequence of deltas incrementally equals recomputing the aggregates from
 //! the final view state, for COUNT/SUM/AVG with arbitrary groupings, as
-//! long as the running view state stays non-negative.
+//! long as the running view state stays non-negative. Seeded random loops;
+//! a failure message names the case seed for exact replay.
 
 use dw_relational::{tup, Bag};
+use dw_rng::Rng64;
 use dw_warehouse::{AggFn, AggregateView, AggregateViewDef};
-use proptest::prelude::*;
+
+const CASES: u64 = 96;
 
 /// Deltas that keep a running view state legal: each step inserts a few
-/// tuples and deletes only tuples currently present.
-fn arb_delta_sequence() -> impl Strategy<Value = Vec<Bag>> {
-    // Encode as abstract ops; materialize against a shadow state.
-    prop::collection::vec(
-        prop::collection::vec((prop::bool::ANY, 0i64..4, 0i64..50), 1..5),
-        0..12,
-    )
-    .prop_map(|steps| {
-        let mut shadow: Vec<(i64, i64)> = Vec::new();
-        let mut out = Vec::new();
-        for step in steps {
-            let mut delta = Bag::new();
-            for (insert, g, v) in step {
-                if insert || shadow.is_empty() {
-                    shadow.push((g, v));
-                    delta.add(tup![g, v], 1);
-                } else {
-                    let idx = (g as usize + v as usize) % shadow.len();
-                    let (dg, dv) = shadow.swap_remove(idx);
-                    delta.add(tup![dg, dv], -1);
-                }
-            }
-            if !delta.is_empty() {
-                out.push(delta);
+/// tuples and deletes only tuples currently present (materialized against a
+/// shadow state so deletions always hit live tuples).
+fn arb_delta_sequence(r: &mut Rng64) -> Vec<Bag> {
+    let steps = r.usize_below(12);
+    let mut shadow: Vec<(i64, i64)> = Vec::new();
+    let mut out = Vec::new();
+    for _ in 0..steps {
+        let ops = 1 + r.usize_below(4);
+        let mut delta = Bag::new();
+        for _ in 0..ops {
+            let (insert, g, v) = (r.chance(0.5), r.i64_in(0, 4), r.i64_in(0, 50));
+            if insert || shadow.is_empty() {
+                shadow.push((g, v));
+                delta.add(tup![g, v], 1);
+            } else {
+                let idx = (g as usize + v as usize) % shadow.len();
+                let (dg, dv) = shadow.swap_remove(idx);
+                delta.add(tup![dg, dv], -1);
             }
         }
-        out
-    })
+        if !delta.is_empty() {
+            out.push(delta);
+        }
+    }
+    out
 }
 
 fn defs() -> Vec<AggregateViewDef> {
@@ -55,24 +55,33 @@ fn defs() -> Vec<AggregateViewDef> {
     ]
 }
 
-proptest! {
-    #[test]
-    fn incremental_equals_recompute(deltas in arb_delta_sequence()) {
+#[test]
+fn incremental_equals_recompute() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(case);
+        let deltas = arb_delta_sequence(&mut r);
         for def in defs() {
             let mut incremental = AggregateView::new(def.clone());
             let mut state = Bag::new();
             for d in &deltas {
                 incremental.apply_delta(d).unwrap();
                 state.merge(d);
-                prop_assert!(state.all_positive(), "generator produced bad state");
+                assert!(
+                    state.all_positive(),
+                    "case {case}: generator produced bad state"
+                );
             }
             let recomputed = AggregateView::from_view(def, &state).unwrap();
-            prop_assert_eq!(incremental.snapshot(), recomputed.snapshot());
+            assert_eq!(incremental.snapshot(), recomputed.snapshot(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn group_counts_match_view_multiplicity(deltas in arb_delta_sequence()) {
+#[test]
+fn group_counts_match_view_multiplicity() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(10_000 + case);
+        let deltas = arb_delta_sequence(&mut r);
         let def = AggregateViewDef {
             group_by: vec![0],
             aggregates: vec![AggFn::Count],
@@ -93,7 +102,11 @@ proptest! {
         }
         expect.retain(|_, c| *c != 0);
         for (g, c) in expect {
-            prop_assert_eq!(agg.count(&[dw_relational::Value::Int(g)]), c);
+            assert_eq!(
+                agg.count(&[dw_relational::Value::Int(g)]),
+                c,
+                "case {case}"
+            );
         }
     }
 }

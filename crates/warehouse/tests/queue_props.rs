@@ -1,10 +1,13 @@
 //! Property tests of the update message queue — the structure both SWEEP
-//! variants' compensation correctness rests on.
+//! variants' compensation correctness rests on. Seeded random loops; a
+//! failure message names the case seed for exact replay.
 
 use dw_protocol::{SourceUpdate, UpdateId};
 use dw_relational::{tup, Bag};
+use dw_rng::Rng64;
 use dw_warehouse::UpdateQueue;
-use proptest::prelude::*;
+
+const CASES: u64 = 128;
 
 fn upd(source: usize, seq: u64, v: i64, c: i64) -> SourceUpdate {
     SourceUpdate {
@@ -14,15 +17,27 @@ fn upd(source: usize, seq: u64, v: i64, c: i64) -> SourceUpdate {
     }
 }
 
-proptest! {
-    /// Pops come out in push order regardless of sources.
-    #[test]
-    fn fifo_order_preserved(entries in prop::collection::vec((0usize..4, -2i64..3), 0..40)) {
+/// Random (source, count) entry stream; counts are non-zero in [-2, 2].
+fn arb_entries(r: &mut Rng64, n_sources: usize, max_len: usize) -> Vec<(usize, i64)> {
+    let n = r.usize_below(max_len);
+    (0..n)
+        .map(|_| {
+            let c = r.i64_in(-2, 3);
+            (r.usize_below(n_sources), if c == 0 { 1 } else { c })
+        })
+        .collect()
+}
+
+/// Pops come out in push order regardless of sources.
+#[test]
+fn fifo_order_preserved() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(case);
+        let entries = arb_entries(&mut r, 4, 40);
         let mut q = UpdateQueue::new();
         let mut seqs = [0u64; 4];
         let mut expect = Vec::new();
         for (i, &(source, c)) in entries.iter().enumerate() {
-            let c = if c == 0 { 1 } else { c };
             let u = upd(source, seqs[source], i as i64, c);
             seqs[source] += 1;
             expect.push(u.id);
@@ -32,35 +47,41 @@ proptest! {
         while let Some(p) = q.pop() {
             got.push(p.update.id);
         }
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}");
     }
+}
 
-    /// merged_from_source equals the sum of that source's queued deltas and
-    /// leaves the queue untouched; take_from_source removes exactly them.
-    #[test]
-    fn merge_and_take_agree(entries in prop::collection::vec((0usize..3, -2i64..3), 0..30)) {
+/// merged_from_source equals the sum of that source's queued deltas and
+/// leaves the queue untouched; take_from_source removes exactly them.
+#[test]
+fn merge_and_take_agree() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(1_000 + case);
+        let entries = arb_entries(&mut r, 3, 30);
         let mut q = UpdateQueue::new();
         let mut seqs = [0u64; 3];
         let mut manual = [Bag::new(), Bag::new(), Bag::new()];
         for (i, &(source, c)) in entries.iter().enumerate() {
-            let c = if c == 0 { 1 } else { c };
             manual[source].add(tup![i as i64], c);
             q.push(upd(source, seqs[source], i as i64, c), i as u64);
             seqs[source] += 1;
         }
         let before_len = q.len();
-        for s in 0..3 {
-            prop_assert_eq!(q.merged_from_source(s), manual[s].clone());
+        for (s, bag) in manual.iter().enumerate() {
+            assert_eq!(&q.merged_from_source(s), bag, "case {case}");
         }
-        prop_assert_eq!(q.len(), before_len, "merge must not consume");
+        assert_eq!(q.len(), before_len, "case {case}: merge must not consume");
 
         let (taken, ids) = q.take_from_source(1);
-        prop_assert_eq!(taken, manual[1].clone());
-        prop_assert!(ids.windows(2).all(|w| w[0].0.seq < w[1].0.seq));
-        prop_assert!(!q.has_from_source(1));
-        prop_assert_eq!(q.len() + ids.len(), before_len);
+        assert_eq!(taken, manual[1], "case {case}");
+        assert!(
+            ids.windows(2).all(|w| w[0].0.seq < w[1].0.seq),
+            "case {case}"
+        );
+        assert!(!q.has_from_source(1), "case {case}");
+        assert_eq!(q.len() + ids.len(), before_len, "case {case}");
         // Other sources untouched.
-        prop_assert_eq!(q.merged_from_source(0), manual[0].clone());
-        prop_assert_eq!(q.merged_from_source(2), manual[2].clone());
+        assert_eq!(q.merged_from_source(0), manual[0], "case {case}");
+        assert_eq!(q.merged_from_source(2), manual[2], "case {case}");
     }
 }

@@ -12,10 +12,12 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod scenario;
 pub mod skew;
 pub mod stream;
 
+pub use faults::FaultScenarioConfig;
 pub use scenario::{GeneratedScenario, ScheduledTxn};
 pub use skew::Zipf;
 pub use stream::{GapKind, SourcePick, StreamConfig};

@@ -1,6 +1,6 @@
 //! Zipf-skewed value sampling.
 
-use rand::Rng;
+use dw_rng::Rng64;
 
 /// A Zipf(θ) sampler over `{0, 1, …, n−1}`: `P(k) ∝ 1/(k+1)^θ`.
 ///
@@ -35,8 +35,8 @@ impl Zipf {
     }
 
     /// Draw one value in `0..n`.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.gen_range(0.0..1.0);
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        let u = rng.f64();
         self.cdf.partition_point(|&c| c < u) as u64
     }
 }
@@ -44,13 +44,11 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
     #[test]
     fn uniform_when_theta_zero() {
         let z = Zipf::new(10, 0.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         let mut counts = [0u32; 10];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng) as usize] += 1;
@@ -65,7 +63,7 @@ mod tests {
     #[test]
     fn skewed_when_theta_one() {
         let z = Zipf::new(100, 1.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Rng64::new(2);
         let mut zero = 0u32;
         let n = 10_000;
         for _ in 0..n {
@@ -81,7 +79,7 @@ mod tests {
     #[test]
     fn samples_in_domain() {
         let z = Zipf::new(3, 2.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Rng64::new(3);
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < 3);
         }
@@ -90,7 +88,7 @@ mod tests {
     #[test]
     fn singleton_domain() {
         let z = Zipf::new(1, 1.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = Rng64::new(4);
         assert_eq!(z.sample(&mut rng), 0);
     }
 

@@ -4,9 +4,8 @@ use crate::scenario::{GeneratedScenario, ScheduledTxn};
 use crate::skew::Zipf;
 use dw_protocol::GlobalPart;
 use dw_relational::{tup, Bag, KeySpec, RelationalError, Schema, Tuple, ViewDefBuilder};
+use dw_rng::Rng64;
 use dw_simnet::Time;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
 /// Inter-arrival time distribution for transactions.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -103,7 +102,7 @@ impl StreamConfig {
     pub fn generate(&self) -> Result<GeneratedScenario, RelationalError> {
         assert!(self.n_sources >= 1);
         assert!(self.batch_size >= 1);
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut rng = Rng64::new(self.seed);
         let zipf = Zipf::new(self.domain.max(1) as usize, self.zipf_theta);
 
         // --- View definition ------------------------------------------
@@ -160,7 +159,7 @@ impl StreamConfig {
             if self.global_every > 0 && k % self.global_every == self.global_every - 1 {
                 let span = self.global_span.clamp(2, self.n_sources);
                 if span >= 2 {
-                    let start = rng.gen_range(0..=self.n_sources - span);
+                    let start = rng.usize_below(self.n_sources - span + 1);
                     let gid = next_gid;
                     next_gid += 1;
                     for part_src in start..start + span {
@@ -185,7 +184,7 @@ impl StreamConfig {
                 }
             }
             let source = match self.source_pick {
-                SourcePick::Uniform => rng.gen_range(0..self.n_sources),
+                SourcePick::Uniform => rng.usize_below(self.n_sources),
                 SourcePick::RoundRobin => {
                     let s = rr;
                     rr = (rr + 1) % self.n_sources;
@@ -201,8 +200,7 @@ impl StreamConfig {
             };
             let mut delta = Bag::new();
             for _ in 0..self.batch_size {
-                let do_insert =
-                    shadow[source].is_empty() || rng.gen_range(0.0..1.0) < self.insert_ratio;
+                let do_insert = shadow[source].is_empty() || rng.chance(self.insert_ratio);
                 if do_insert {
                     let t = tup![
                         next_key[source],
@@ -213,7 +211,7 @@ impl StreamConfig {
                     shadow[source].push(t.clone());
                     delta.add(t, 1);
                 } else {
-                    let idx = rng.gen_range(0..shadow[source].len());
+                    let idx = rng.usize_below(shadow[source].len());
                     let t = shadow[source].swap_remove(idx);
                     delta.add(t, -1);
                 }
@@ -236,24 +234,17 @@ impl StreamConfig {
         })
     }
 
-    fn sample_gap(&self, rng: &mut ChaCha8Rng) -> Time {
+    fn sample_gap(&self, rng: &mut Rng64) -> Time {
         match self.gap {
             GapKind::Constant => self.mean_gap,
             GapKind::Uniform => {
                 if self.mean_gap == 0 {
                     0
                 } else {
-                    rng.gen_range(0..=self.mean_gap * 2)
+                    rng.u64_in(0, self.mean_gap * 2)
                 }
             }
-            GapKind::Exponential => {
-                if self.mean_gap == 0 {
-                    return 0;
-                }
-                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                let raw = -(u.ln()) * self.mean_gap as f64;
-                (raw as Time).min(self.mean_gap * 10)
-            }
+            GapKind::Exponential => rng.exponential(self.mean_gap),
         }
     }
 }

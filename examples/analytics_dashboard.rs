@@ -7,8 +7,8 @@
 use dwsweep::prelude::*;
 use dwsweep::relational::parse_view;
 use dwsweep::warehouse::{AggFn, AggregateView, AggregateViewDef};
+use dwsweep::rng::Rng64;
 use dwsweep::workload::ScheduledTxn;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     // --- Catalog + SQL view definition ---------------------------------
@@ -26,15 +26,15 @@ fn main() {
 
     // --- Workload: a stream of sales against 3 regions ------------------
     let regions = Bag::from_tuples((0..3i64).map(|r| tup![r, 100 + r]));
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let mut rng = Rng64::new(7);
     let mut txns = Vec::new();
     let mut live: Vec<Tuple> = Vec::new();
     let mut t = 0u64;
     for sale_id in 0..50i64 {
-        t += rng.gen_range(300..2_500);
-        if sale_id > 10 && rng.gen_bool(0.25) && !live.is_empty() {
+        t += rng.u64_in(300, 2_500);
+        if sale_id > 10 && rng.chance(0.25) && !live.is_empty() {
             // A refund: delete a previous sale.
-            let idx = rng.gen_range(0..live.len());
+            let idx = rng.usize_below(live.len());
             let victim = live.swap_remove(idx);
             txns.push(ScheduledTxn {
                 at: t,
@@ -43,7 +43,7 @@ fn main() {
                 global: None,
             });
         } else {
-            let tup = tup![sale_id, rng.gen_range(0..3i64), rng.gen_range(10..500i64)];
+            let tup = tup![sale_id, rng.i64_in(0, 3), rng.i64_in(10, 500)];
             live.push(tup.clone());
             txns.push(ScheduledTxn {
                 at: t,

@@ -1,5 +1,5 @@
 //! Live cluster: the same SWEEP state machine, but on OS threads with real
-//! crossbeam channels instead of the deterministic simulator — one thread
+//! OS channels instead of the deterministic simulator — one thread
 //! per data source plus one for the warehouse, racing for real.
 //!
 //! Run with: `cargo run --example live_cluster`

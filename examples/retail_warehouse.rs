@@ -14,8 +14,8 @@
 //! Run with: `cargo run --example retail_warehouse`
 
 use dwsweep::prelude::*;
+use dwsweep::rng::Rng64;
 use dwsweep::workload::ScheduledTxn;
-use rand::{Rng, SeedableRng};
 
 fn build_scenario(seed: u64) -> GeneratedScenario {
     let view = ViewDefBuilder::new()
@@ -28,7 +28,7 @@ fn build_scenario(seed: u64) -> GeneratedScenario {
         .build()
         .unwrap();
 
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     const PRODUCTS: i64 = 12;
     const SUPPLIERS: i64 = 4;
 
@@ -43,15 +43,11 @@ fn build_scenario(seed: u64) -> GeneratedScenario {
     let mut order_id = 0i64;
     let mut live_orders: Vec<Tuple> = Vec::new();
     for _ in 0..60 {
-        t += rng.gen_range(200..2_000);
-        let roll: f64 = rng.gen();
+        t += rng.u64_in(200, 2_000);
+        let roll: f64 = rng.f64();
         if roll < 0.75 || live_orders.is_empty() {
             // New order.
-            let o = tup![
-                order_id,
-                rng.gen_range(0..100i64),
-                rng.gen_range(0..PRODUCTS)
-            ];
+            let o = tup![order_id, rng.i64_in(0, 100), rng.i64_in(0, PRODUCTS)];
             order_id += 1;
             live_orders.push(o.clone());
             txns.push(ScheduledTxn {
@@ -62,7 +58,7 @@ fn build_scenario(seed: u64) -> GeneratedScenario {
             });
         } else if roll < 0.9 {
             // Order cancelled.
-            let idx = rng.gen_range(0..live_orders.len());
+            let idx = rng.usize_below(live_orders.len());
             let o = live_orders.swap_remove(idx);
             txns.push(ScheduledTxn {
                 at: t,
@@ -74,7 +70,7 @@ fn build_scenario(seed: u64) -> GeneratedScenario {
             // Catalog churn: a product is recategorized — a *modify*,
             // modeled per the paper as delete + insert in one source-local
             // transaction.
-            let p = rng.gen_range(0..PRODUCTS);
+            let p = rng.i64_in(0, PRODUCTS);
             let old = tup![p, p % 5, p % SUPPLIERS];
             let new = tup![p, (p % 5 + 1) % 5, p % SUPPLIERS];
             // Only valid the first time for each product; guard by testing

@@ -57,6 +57,7 @@ pub use dw_core as core;
 pub use dw_livenet as livenet;
 pub use dw_protocol as protocol;
 pub use dw_relational as relational;
+pub use dw_rng as rng;
 pub use dw_simnet as simnet;
 pub use dw_source as source;
 pub use dw_warehouse as warehouse;
@@ -64,14 +65,17 @@ pub use dw_workload as workload;
 
 /// One-line import for applications.
 pub mod prelude {
-    pub use dw_consistency::{ConsistencyLevel, ConsistencyReport, Recorder};
+    pub use dw_consistency::{verify_fifo, ConsistencyLevel, ConsistencyReport, Recorder};
     pub use dw_core::{CoreError, Experiment, PolicyKind, RunReport};
+    pub use dw_protocol::TransportConfig;
     pub use dw_relational::{
         tup, Bag, BaseRelation, CmpOp, KeySpec, Schema, Tuple, Value, ViewDef, ViewDefBuilder,
     };
-    pub use dw_simnet::{LatencyModel, Network, Time};
+    pub use dw_simnet::{Crash, FaultPlan, LatencyModel, LinkFaults, Network, Outage, Time};
     pub use dw_warehouse::{
         MaintenancePolicy, NestedSweep, NestedSweepOptions, Sweep, SweepOptions,
     };
-    pub use dw_workload::{GapKind, GeneratedScenario, ScheduledTxn, SourcePick, StreamConfig};
+    pub use dw_workload::{
+        FaultScenarioConfig, GapKind, GeneratedScenario, ScheduledTxn, SourcePick, StreamConfig,
+    };
 }

@@ -1,4 +1,4 @@
-//! Property-based schedule exploration: thousands of random workloads ×
+//! Property-based schedule exploration: hundreds of random workloads ×
 //! latency models × seeds, asserting the paper's headline guarantees hold
 //! on *every* interleaving the simulator can produce:
 //!
@@ -6,62 +6,54 @@
 //! * Nested SWEEP is at least strongly consistent;
 //! * both converge to the ground-truth view;
 //! * message cost per update is exactly `2(n−1)` for SWEEP and never more
-//!   for Nested SWEEP.
+//!   for Nested SWEEP;
+//! * and — with the reliability transport in front of a faulty network
+//!   (drops ≥ 10%, duplication, reordering, a source crash/restart) — all
+//!   of the above still hold, on hundreds of seeded fault schedules.
+//!
+//! Seeded random loops; every failure message names the case seed for
+//! exact replay.
 
+use dw_rng::Rng64;
 use dwsweep::prelude::*;
-use proptest::prelude::*;
 
-fn arb_latency() -> impl Strategy<Value = LatencyModel> {
-    prop_oneof![
-        (100u64..10_000).prop_map(LatencyModel::Constant),
-        (100u64..3_000, 3_000u64..10_000).prop_map(|(lo, hi)| LatencyModel::Uniform(lo, hi)),
-        (200u64..5_000).prop_map(LatencyModel::Exponential),
-        (100u64..2_000, 1u64..5_000)
-            .prop_map(|(base, jitter)| LatencyModel::Jittered { base, jitter }),
-    ]
+/// Random latency model spanning all four families.
+fn arb_latency(r: &mut Rng64) -> LatencyModel {
+    match r.usize_below(4) {
+        0 => LatencyModel::Constant(r.u64_in(100, 10_000)),
+        1 => LatencyModel::Uniform(r.u64_in(100, 3_000), r.u64_in(3_000, 10_000)),
+        2 => LatencyModel::Exponential(r.u64_in(200, 5_000)),
+        _ => LatencyModel::Jittered {
+            base: r.u64_in(100, 2_000),
+            jitter: r.u64_in(1, 5_000),
+        },
+    }
 }
 
-fn arb_config() -> impl Strategy<Value = StreamConfig> {
-    (
-        2usize..6,     // n_sources
-        5usize..40,    // initial_per_source
-        4u64..40,      // domain
-        1usize..25,    // updates
-        50u64..20_000, // mean_gap
-        0.1f64..0.9,   // insert_ratio
-        1usize..4,     // batch_size
-        any::<u64>(),  // seed
-    )
-        .prop_map(
-            |(n_sources, initial, domain, updates, mean_gap, insert_ratio, batch, seed)| {
-                StreamConfig {
-                    n_sources,
-                    initial_per_source: initial,
-                    domain,
-                    updates,
-                    mean_gap,
-                    insert_ratio,
-                    batch_size: batch,
-                    keyed: true,
-                    seed,
-                    ..Default::default()
-                }
-            },
-        )
+fn arb_config(r: &mut Rng64) -> StreamConfig {
+    StreamConfig {
+        n_sources: 2 + r.usize_below(4),
+        initial_per_source: 5 + r.usize_below(35),
+        domain: r.u64_in(4, 39),
+        updates: 1 + r.usize_below(24),
+        mean_gap: r.u64_in(50, 20_000),
+        insert_ratio: 0.1 + r.f64() * 0.8,
+        batch_size: 1 + r.usize_below(3),
+        keyed: true,
+        seed: r.next_u64(),
+        ..Default::default()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        ..ProptestConfig::default()
-    })]
+const CASES: u64 = 48;
 
-    #[test]
-    fn sweep_complete_on_random_schedules(
-        cfg in arb_config(),
-        latency in arb_latency(),
-        net_seed in any::<u64>(),
-    ) {
+#[test]
+fn sweep_complete_on_random_schedules() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(case);
+        let cfg = arb_config(&mut r);
+        let latency = arb_latency(&mut r);
+        let net_seed = r.next_u64();
         let n = cfg.n_sources;
         let scenario = cfg.generate().unwrap();
         let updates = scenario.txn_count() as f64;
@@ -71,106 +63,266 @@ proptest! {
             .seed(net_seed)
             .run()
             .unwrap();
-        prop_assert!(report.quiescent);
-        prop_assert_eq!(
+        assert!(report.quiescent, "case {case}");
+        assert_eq!(
             report.consistency.as_ref().unwrap().level,
             ConsistencyLevel::Complete,
-            "detail: {}", report.consistency.as_ref().unwrap().detail
+            "case {case}: {}",
+            report.consistency.as_ref().unwrap().detail
         );
         if updates > 0.0 {
-            prop_assert_eq!(report.messages_per_update(), (2 * (n - 1)) as f64);
+            assert_eq!(
+                report.messages_per_update(),
+                (2 * (n - 1)) as f64,
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn nested_sweep_strong_on_random_schedules(
-        cfg in arb_config(),
-        latency in arb_latency(),
-        net_seed in any::<u64>(),
-    ) {
+#[test]
+fn nested_sweep_strong_on_random_schedules() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(1_000 + case);
+        let cfg = arb_config(&mut r);
+        let latency = arb_latency(&mut r);
+        let net_seed = r.next_u64();
         let n = cfg.n_sources;
-        let scenario = cfg.generate().unwrap();
-        let report = Experiment::new(scenario)
+        let report = Experiment::new(cfg.generate().unwrap())
             .policy(PolicyKind::NestedSweep(Default::default()))
             .latency(latency)
             .seed(net_seed)
             .event_cap(2_000_000)
             .run()
             .unwrap();
-        prop_assert!(report.quiescent);
+        assert!(report.quiescent, "case {case}");
         let level = report.consistency.as_ref().unwrap().level;
-        prop_assert!(
+        assert!(
             level >= ConsistencyLevel::Strong,
-            "got {level}: {}",
+            "case {case}: got {level}: {}",
             report.consistency.as_ref().unwrap().detail
         );
         // Amortization bound: never worse than SWEEP.
         if report.metrics.updates_received > 0 {
-            prop_assert!(report.messages_per_update() <= (2 * (n - 1)) as f64 + 1e-9);
+            assert!(
+                report.messages_per_update() <= (2 * (n - 1)) as f64 + 1e-9,
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn sweep_parallel_equals_sequential(
-        cfg in arb_config(),
-        latency in arb_latency(),
-        net_seed in any::<u64>(),
-    ) {
+#[test]
+fn sweep_parallel_equals_sequential() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(2_000 + case);
+        let cfg = arb_config(&mut r);
+        let latency = arb_latency(&mut r);
+        let net_seed = r.next_u64();
         let seq = Experiment::new(cfg.generate().unwrap())
-            .policy(PolicyKind::Sweep(SweepOptions { parallel: false, short_circuit_empty: false }))
+            .policy(PolicyKind::Sweep(SweepOptions {
+                parallel: false,
+                short_circuit_empty: false,
+            }))
             .latency(latency.clone())
             .seed(net_seed)
             .run()
             .unwrap();
         let par = Experiment::new(cfg.generate().unwrap())
-            .policy(PolicyKind::Sweep(SweepOptions { parallel: true, short_circuit_empty: false }))
+            .policy(PolicyKind::Sweep(SweepOptions {
+                parallel: true,
+                short_circuit_empty: false,
+            }))
             .latency(latency)
             .seed(net_seed)
             .run()
             .unwrap();
-        prop_assert_eq!(&seq.view, &par.view);
-        prop_assert_eq!(
+        assert_eq!(&seq.view, &par.view, "case {case}");
+        assert_eq!(
             par.consistency.as_ref().unwrap().level,
-            ConsistencyLevel::Complete
+            ConsistencyLevel::Complete,
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn pipelined_sweep_complete_on_random_schedules(
-        cfg in arb_config(),
-        latency in arb_latency(),
-        net_seed in any::<u64>(),
-        window in 0usize..5,
-    ) {
+#[test]
+fn pipelined_sweep_complete_on_random_schedules() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(3_000 + case);
+        let cfg = arb_config(&mut r);
+        let latency = arb_latency(&mut r);
+        let net_seed = r.next_u64();
+        let window = r.usize_below(5);
         use dwsweep::warehouse::PipelinedSweepOptions;
-        let scenario = cfg.generate().unwrap();
-        let report = Experiment::new(scenario)
+        let report = Experiment::new(cfg.generate().unwrap())
             .policy(PolicyKind::PipelinedSweep(PipelinedSweepOptions { window }))
             .latency(latency)
             .seed(net_seed)
             .run()
             .unwrap();
-        prop_assert!(report.quiescent);
-        prop_assert_eq!(
+        assert!(report.quiescent, "case {case}");
+        assert_eq!(
             report.consistency.as_ref().unwrap().level,
             ConsistencyLevel::Complete,
-            "window {}: {}", window, report.consistency.as_ref().unwrap().detail
+            "case {case} (window {window}): {}",
+            report.consistency.as_ref().unwrap().detail
         );
     }
+}
 
-    #[test]
-    fn short_circuit_preserves_completeness(
-        cfg in arb_config(),
-        net_seed in any::<u64>(),
-    ) {
+#[test]
+fn short_circuit_preserves_completeness() {
+    for case in 0..CASES {
+        let mut r = Rng64::new(4_000 + case);
+        let cfg = arb_config(&mut r);
+        let net_seed = r.next_u64();
         let report = Experiment::new(cfg.generate().unwrap())
-            .policy(PolicyKind::Sweep(SweepOptions { parallel: false, short_circuit_empty: true }))
+            .policy(PolicyKind::Sweep(SweepOptions {
+                parallel: false,
+                short_circuit_empty: true,
+            }))
             .seed(net_seed)
             .run()
             .unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             report.consistency.as_ref().unwrap().level,
-            ConsistencyLevel::Complete
+            ConsistencyLevel::Complete,
+            "case {case}"
         );
+    }
+}
+
+// ---- Fault schedules: the guarantees survive an adversarial network ----
+
+/// A deliberately hostile fault plan: every link drops ≥ 10% and
+/// duplicates messages, some reorder, and one source crashes and restarts
+/// mid-run. The reliability transport must make this indistinguishable
+/// (up to timing) from a clean network.
+fn hostile_plan(r: &mut Rng64, n_sources: usize) -> FaultPlan {
+    let mut plan = FaultPlan::default().uniform(LinkFaults {
+        drop_rate: 0.10 + r.f64() * 0.10,
+        dup_rate: 0.02 + r.f64() * 0.08,
+        reorder_rate: r.f64() * 0.05,
+        reorder_window: 3_000,
+    });
+    // One source crash/restart (node 0 is the warehouse; sources are 1..=n).
+    let victim = 1 + r.usize_below(n_sources);
+    let down_at = r.u64_in(500, 20_000);
+    let up_at = down_at + r.u64_in(5_000, 60_000);
+    plan = plan.crash(victim, down_at, up_at);
+    plan
+}
+
+/// Small-but-interfering workload for fault runs (kept modest so hundreds
+/// of schedules stay fast).
+fn fault_config(r: &mut Rng64) -> StreamConfig {
+    StreamConfig {
+        n_sources: 2 + r.usize_below(3),
+        initial_per_source: 5 + r.usize_below(10),
+        domain: r.u64_in(6, 20),
+        updates: 2 + r.usize_below(8),
+        mean_gap: r.u64_in(300, 4_000),
+        keyed: true,
+        seed: r.next_u64(),
+        ..Default::default()
+    }
+}
+
+const FAULT_CASES: u64 = 128;
+
+#[test]
+fn sweep_complete_on_fault_schedules() {
+    for case in 0..FAULT_CASES {
+        let mut r = Rng64::new(0xFA_0000 + case);
+        let cfg = fault_config(&mut r);
+        let plan = hostile_plan(&mut r, cfg.n_sources);
+        let report = Experiment::new(cfg.generate().unwrap())
+            .policy(PolicyKind::Sweep(Default::default()))
+            .latency(LatencyModel::Constant(r.u64_in(500, 3_000)))
+            .seed(r.next_u64())
+            .faults(plan)
+            .transport_auto()
+            .run()
+            .unwrap();
+        assert!(report.quiescent, "case {case}");
+        assert_eq!(
+            report.consistency.as_ref().unwrap().level,
+            ConsistencyLevel::Complete,
+            "case {case}: {}",
+            report.consistency.as_ref().unwrap().detail
+        );
+        // The transport restored the channel contract end to end…
+        let fifo = verify_fifo(&report.delivery_log);
+        assert!(fifo.ok(), "case {case}: {:?}", fifo.violations);
+        // …and the logical cost per update is still the paper's 2(n−1).
+        if report.metrics.updates_received > 0 {
+            assert_eq!(
+                report.logical_messages_per_update(),
+                (2 * (cfg.n_sources - 1)) as f64,
+                "case {case}"
+            );
+        }
+        // View state is a legal bag: no negative multiplicities.
+        assert!(report.view.all_positive(), "case {case}");
+    }
+}
+
+#[test]
+fn nested_sweep_strong_on_fault_schedules() {
+    for case in 0..FAULT_CASES {
+        let mut r = Rng64::new(0xFB_0000 + case);
+        let cfg = fault_config(&mut r);
+        let plan = hostile_plan(&mut r, cfg.n_sources);
+        let report = Experiment::new(cfg.generate().unwrap())
+            .policy(PolicyKind::NestedSweep(Default::default()))
+            .latency(LatencyModel::Constant(r.u64_in(500, 3_000)))
+            .seed(r.next_u64())
+            .faults(plan)
+            .transport_auto()
+            .run()
+            .unwrap();
+        assert!(report.quiescent, "case {case}");
+        let level = report.consistency.as_ref().unwrap().level;
+        assert!(
+            level >= ConsistencyLevel::Strong,
+            "case {case}: got {level}: {}",
+            report.consistency.as_ref().unwrap().detail
+        );
+        assert!(
+            verify_fifo(&report.delivery_log).ok(),
+            "case {case}: channel contract breached"
+        );
+        assert!(report.view.all_positive(), "case {case}");
+    }
+}
+
+/// The scenario *generator* (dw-workload's FaultScenarioConfig) also only
+/// produces schedules the transport can survive.
+#[test]
+fn generated_fault_scenarios_preserve_completeness() {
+    for case in 0..32u64 {
+        let mut r = Rng64::new(0xFC_0000 + case);
+        let cfg = fault_config(&mut r);
+        let plan = FaultScenarioConfig {
+            n_nodes: cfg.n_sources + 1,
+            ..Default::default()
+        }
+        .generate(case);
+        let report = Experiment::new(cfg.generate().unwrap())
+            .policy(PolicyKind::Sweep(Default::default()))
+            .latency(LatencyModel::Constant(2_000))
+            .faults(plan)
+            .transport_auto()
+            .run()
+            .unwrap();
+        assert!(report.quiescent, "case {case}");
+        assert_eq!(
+            report.consistency.as_ref().unwrap().level,
+            ConsistencyLevel::Complete,
+            "case {case}: {}",
+            report.consistency.as_ref().unwrap().detail
+        );
+        assert!(report.view.all_positive(), "case {case}");
     }
 }
