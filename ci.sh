@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 gate: offline release build, full test suite, and clippy with
-# warnings denied. The workspace has zero external dependencies, so
-# everything here must pass with the registry unreachable.
+# Tier-1 gate: offline release build, full test suite, formatting, docs,
+# clippy with warnings denied, and the perf-regression gate against the
+# committed BENCH_report.json baseline. The workspace has zero external
+# dependencies, so everything here must pass with the registry
+# unreachable.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
 
 echo "==> cargo build --release"
 cargo build --release --workspace
@@ -15,5 +20,11 @@ cargo test -q --workspace
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> perf gate (vs committed BENCH_report.json)"
+cargo run -q --release -p dw-bench --bin perf_gate
 
 echo "==> ci.sh: all green"

@@ -16,7 +16,8 @@ use dw_warehouse::{PipelinedSweepOptions, SweepOptions};
 use dw_workload::StreamConfig;
 
 fn main() {
-    println!("SWEEP ablation (n = 6, 3 ms links, 40 updates)\n");
+    let updates = dw_bench::pick(dw_bench::smoke(), 12, 40);
+    println!("SWEEP ablation (n = 6, 3 ms links, {updates} updates)\n");
     let mut t = TableWriter::new([
         "variant",
         "selectivity",
@@ -70,7 +71,7 @@ fn main() {
             let scenario = StreamConfig {
                 n_sources: 6,
                 initial_per_source: 20,
-                updates: 40,
+                updates,
                 mean_gap: 2_000,
                 domain,
                 seed: 8,

@@ -14,9 +14,11 @@ use dw_simnet::LatencyModel;
 use dw_workload::{GapKind, StreamConfig};
 
 fn main() {
+    let smoke = dw_bench::smoke();
     let n = 4usize;
     let latency = 2_000u64;
-    let updates = 400;
+    let updates = dw_bench::pick(smoke, 80, 400);
+    let gaps: &[u64] = dw_bench::pick(smoke, &[50_000, 10_000], &[50_000, 20_000, 10_000, 6_000]);
     println!(
         "analytical model vs simulation: n = {n}, L = {latency} µs, {updates} updates, \
          Poisson arrivals\n"
@@ -32,7 +34,7 @@ fn main() {
         "nested m/u meas",
     ]);
 
-    for mean_gap in [50_000u64, 20_000, 10_000, 6_000] {
+    for &mean_gap in gaps {
         // mean_gap is the aggregate inter-arrival; per-source rate:
         let lambda = 1.0 / (mean_gap as f64 * n as f64);
         let scenario = |seed| {

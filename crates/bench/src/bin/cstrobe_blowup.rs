@@ -10,11 +10,11 @@ use dw_core::{Experiment, PolicyKind};
 use dw_simnet::LatencyModel;
 use dw_workload::StreamConfig;
 
-fn run(n: usize, gap: u64, kind: PolicyKind) -> (f64, String) {
+fn run(n: usize, gap: u64, kind: PolicyKind, updates: usize) -> (f64, String) {
     let scenario = StreamConfig {
         n_sources: n,
         initial_per_source: 25,
-        updates: 30,
+        updates,
         mean_gap: gap,
         domain: 8,
         keyed: true,
@@ -37,7 +37,10 @@ fn run(n: usize, gap: u64, kind: PolicyKind) -> (f64, String) {
 }
 
 fn main() {
-    println!("C-strobe query blow-up vs SWEEP's flat n−1 (30 updates, 2 ms links)\n");
+    let smoke = dw_bench::smoke();
+    let ns: &[usize] = dw_bench::pick(smoke, &[3, 4], &[3, 4, 5, 6]);
+    let updates = dw_bench::pick(smoke, 12, 30);
+    println!("C-strobe query blow-up vs SWEEP's flat n−1 ({updates} updates, 2 ms links)\n");
     let mut t = TableWriter::new([
         "n",
         "interference",
@@ -48,10 +51,10 @@ fn main() {
         "ratio",
     ]);
 
-    for n in [3usize, 4, 5, 6] {
+    for &n in ns {
         for (label, gap) in [("sparse", 60_000u64), ("dense", 600u64)] {
-            let (sweep_q, sweep_c) = run(n, gap, PolicyKind::Sweep(Default::default()));
-            let (cs_q, cs_c) = run(n, gap, PolicyKind::CStrobe);
+            let (sweep_q, sweep_c) = run(n, gap, PolicyKind::Sweep(Default::default()), updates);
+            let (cs_q, cs_c) = run(n, gap, PolicyKind::CStrobe, updates);
             t.row([
                 n.to_string(),
                 label.to_string(),

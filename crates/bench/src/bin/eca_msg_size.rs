@@ -20,8 +20,9 @@ fn main() {
         "terms/query",
     ]);
 
+    let ks: &[usize] = dw_bench::pick(dw_bench::smoke(), &[1, 4, 16], &[1, 2, 4, 8, 16, 32]);
     let mut prev_bpq = 0.0;
-    for k in [1usize, 2, 4, 8, 16, 32] {
+    for &k in ks {
         let scenario = StreamConfig {
             n_sources: 2,
             initial_per_source: 20,

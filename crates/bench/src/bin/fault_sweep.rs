@@ -13,8 +13,11 @@ use dw_simnet::{FaultPlan, LatencyModel, LinkFaults};
 use dw_workload::StreamConfig;
 
 fn main() {
+    let smoke = dw_bench::smoke();
+    let losses: &[f64] = dw_bench::pick(smoke, &[0.0, 0.05, 0.20], &[0.0, 0.01, 0.05, 0.10, 0.20]);
+    let updates = dw_bench::pick(smoke, 15, 40);
     println!(
-        "fault sweep (n = 3, 2 ms links, 40 updates, SWEEP + reliability transport;\n\
+        "fault sweep (n = 3, 2 ms links, {updates} updates, SWEEP + reliability transport;\n\
          each loss rate also duplicates 2% and reorders 2% of messages)\n"
     );
     let mut t = TableWriter::new([
@@ -31,11 +34,11 @@ fn main() {
         "consistency",
     ]);
 
-    for loss in [0.0, 0.01, 0.05, 0.10, 0.20] {
+    for &loss in losses {
         let scenario = StreamConfig {
             n_sources: 3,
             initial_per_source: 30,
-            updates: 40,
+            updates,
             mean_gap: 2_000,
             domain: 20,
             seed: 12,

@@ -57,8 +57,9 @@ fn main() {
         "installs",
         "consistency",
     ]);
+    let bursts: &[usize] = dw_bench::pick(dw_bench::smoke(), &[4, 8], &[4, 8, 16, 32]);
     let mut unbounded_depths = Vec::new();
-    for updates in [4usize, 8, 16, 32] {
+    for &updates in bursts {
         let (d, hits, inst, level) = run(updates, None);
         unbounded_depths.push(d);
         t.row([
@@ -70,7 +71,7 @@ fn main() {
             level,
         ]);
     }
-    for updates in [4usize, 8, 16, 32] {
+    for &updates in bursts {
         let (d, hits, inst, level) = run(updates, Some(3));
         t.row([
             updates.to_string(),

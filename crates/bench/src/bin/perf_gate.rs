@@ -1,0 +1,66 @@
+//! **The CI perf-regression gate.** Re-runs the E1/E6/E12 scenarios in
+//! the same mode as the committed `BENCH_report.json` and diffs fresh
+//! against baseline (see `dw_bench::perf::gate` for the exact rules):
+//!
+//! * exact invariants — E6 messages/update on the `2(n−1)` line, E12
+//!   complete consistency, drained, logically pinned to `2(n−1)`;
+//! * no consistency downgrades against the baseline;
+//! * no >25 % regressions on tracked ratios (messages/update, installs,
+//!   staleness p95, wire inflation).
+//!
+//! Wall-clock is printed for comparison but never gated — the simulator
+//! is deterministic in *virtual* time only.
+//!
+//! Usage: `perf_gate [BASELINE]` (default `BENCH_report.json`).
+//! Exit code 0 = gate passes, 1 = violations (listed on stderr).
+//! Re-baseline intentionally changed numbers with `perf_report --smoke`.
+
+use dw_bench::perf::{self, PerfReport};
+
+fn main() {
+    let path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_report.json".to_string());
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("cannot read baseline {path}: {e} — generate it with perf_report")
+    });
+    let baseline = PerfReport::from_text(&text)
+        .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+
+    let smoke = baseline.mode == "smoke";
+    println!(
+        "perf gate: re-running E1/E6/E12 in {} mode against {path}",
+        baseline.mode
+    );
+    let fresh = perf::collect(smoke);
+
+    for (phase, fresh_ms) in &fresh.phase_wall_ms {
+        let base_ms = baseline
+            .phase_wall_ms
+            .iter()
+            .find(|(p, _)| p == phase)
+            .map(|(_, ms)| *ms);
+        match base_ms {
+            Some(base_ms) => println!(
+                "  {phase}: {fresh_ms:.0} ms wall-clock (baseline {base_ms:.0} ms, informational)"
+            ),
+            None => println!("  {phase}: {fresh_ms:.0} ms wall-clock (no baseline)"),
+        }
+    }
+
+    let violations = perf::gate(&baseline, &fresh);
+    if violations.is_empty() {
+        println!(
+            "perf gate OK: invariants hold, no consistency downgrades, all tracked \
+             ratios within {:.0}%",
+            perf::RATIO_TOLERANCE * 100.0
+        );
+    } else {
+        eprintln!("perf gate FAILED ({} violations):", violations.len());
+        for v in &violations {
+            eprintln!("  FAIL {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,49 @@
+//! **E13 — the perf baseline**: run the invariant-bearing experiments
+//! (E1 Table 1, E6 message linearity, E12 faults + transport) and write a
+//! machine-readable `BENCH_report.json`. The committed copy is the
+//! baseline `perf_gate` diffs against in CI.
+//!
+//! Usage: `perf_report [--smoke] [PATH]`
+//!
+//! `--smoke` shrinks the workloads (the committed baseline uses it so the
+//! CI gate stays fast); `PATH` defaults to `BENCH_report.json` in the
+//! current directory. The simulator is deterministic in virtual time, so
+//! everything except the `phase_wall_ms` block is byte-stable across runs
+//! and machines.
+
+use dw_bench::perf;
+
+fn main() {
+    let smoke = dw_bench::smoke();
+    let path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_report.json".to_string());
+
+    let report = perf::collect(smoke);
+    let violations = perf::invariant_violations(&report);
+    if !violations.is_empty() {
+        eprintln!("refusing to write a baseline that breaks invariants:");
+        for v in &violations {
+            eprintln!("  FAIL {v}");
+        }
+        std::process::exit(1);
+    }
+
+    std::fs::write(&path, report.to_json().render())
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+
+    println!(
+        "wrote {path} (mode = {}, {} E1 rows, {} E6 rows, {} E12 rows)",
+        report.mode,
+        report.e1.len(),
+        report.e6.len(),
+        report.e12.len()
+    );
+    for (phase, ms) in &report.phase_wall_ms {
+        println!("  {phase}: {ms:.0} ms wall-clock");
+    }
+    println!(
+        "invariants verified: E6 exactly 2(n\u{2212}1); E12 complete & drained at every loss rate"
+    );
+}

@@ -11,8 +11,11 @@ use dw_simnet::LatencyModel;
 use dw_workload::StreamConfig;
 
 fn main() {
+    let smoke = dw_bench::smoke();
+    let gaps: &[u64] = dw_bench::pick(smoke, &[20_000, 1_000], &[20_000, 5_000, 1_000, 250]);
+    let updates = dw_bench::pick(smoke, 20, 60);
     println!(
-        "staleness vs offered load (n = 3, 2 ms links, 60 updates):\n\
+        "staleness vs offered load (n = 3, 2 ms links, {updates} updates):\n\
          mean/max µs from warehouse delivery to view install\n"
     );
     let mut t = TableWriter::new([
@@ -27,7 +30,7 @@ fn main() {
         "consistency",
     ]);
 
-    for gap in [20_000u64, 5_000, 1_000, 250] {
+    for &gap in gaps {
         for kind in [
             PolicyKind::Sweep(Default::default()),
             PolicyKind::PipelinedSweep(Default::default()),
@@ -38,7 +41,7 @@ fn main() {
             let scenario = StreamConfig {
                 n_sources: 3,
                 initial_per_source: 25,
-                updates: 60,
+                updates,
                 mean_gap: gap,
                 domain: 8,
                 keyed: true,

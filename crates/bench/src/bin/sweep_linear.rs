@@ -9,6 +9,9 @@ use dw_simnet::LatencyModel;
 use dw_workload::StreamConfig;
 
 fn main() {
+    let smoke = dw_bench::smoke();
+    let ns: &[usize] = dw_bench::pick(smoke, &[2, 4, 8], &[2, 3, 4, 6, 8, 12, 16]);
+    let updates = dw_bench::pick(smoke, 10, 25);
     println!("SWEEP message linearity: queries per update vs n, sparse and dense\n");
     let mut t = TableWriter::new([
         "n",
@@ -19,7 +22,7 @@ fn main() {
         "consistency",
     ]);
 
-    for n in [2usize, 3, 4, 6, 8, 12, 16] {
+    for &n in ns {
         let mut cells = vec![n.to_string(), (2 * (n - 1)).to_string()];
         let mut comp = 0;
         let mut level = String::new();
@@ -29,7 +32,7 @@ fn main() {
             let scenario = StreamConfig {
                 n_sources: n,
                 initial_per_source: 15,
-                updates: 25,
+                updates,
                 mean_gap: gap,
                 domain: 15,
                 seed: 21,

@@ -18,11 +18,12 @@ use dw_workload::StreamConfig;
 
 fn main() {
     let n = 4;
+    let updates = dw_bench::pick(dw_bench::smoke(), 12, 40);
     let mk = |seed| {
         StreamConfig {
             n_sources: n,
             initial_per_source: 30,
-            updates: 40,
+            updates,
             mean_gap: 800, // dense vs 2 ms links → constant interference
             domain: 10,
             keyed: true,
@@ -83,7 +84,7 @@ fn main() {
         ]);
     }
 
-    println!("Table 1 (reproduced): n = {n} sources, 40 updates, 2 ms links, dense interference\n");
+    println!("Table 1 (reproduced): n = {n} sources, {updates} updates, 2 ms links, dense interference\n");
     t.print();
     println!(
         "\npaper shape check: SWEEP/C-strobe complete; Strobe/ECA/Nested strong;\n\

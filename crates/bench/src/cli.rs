@@ -1,0 +1,21 @@
+//! Tiny command-line conveniences shared by every experiment binary.
+
+/// True when `--smoke` was passed on the command line.
+///
+/// Every experiment binary accepts `--smoke`: it shrinks the workload
+/// (fewer sweep points, shorter update streams) while preserving every
+/// invariant the full run asserts — `2(n−1)` messages per update,
+/// consistency levels, monotone growth shapes. Without the flag the
+/// binaries produce byte-identical output to before the flag existed.
+pub fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// Pick the smoke or the full variant of a workload parameter.
+pub fn pick<T>(smoke: bool, smoke_value: T, full_value: T) -> T {
+    if smoke {
+        smoke_value
+    } else {
+        full_value
+    }
+}

@@ -6,9 +6,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod json;
 pub mod model;
+pub mod perf;
 pub mod table;
 pub mod timing;
 
+pub use cli::{pick, smoke};
 pub use table::TableWriter;
 pub use timing::{Bench, Measurement};

@@ -1,0 +1,934 @@
+//! The perf-report / perf-gate pipeline.
+//!
+//! [`collect`] re-runs the three invariant-bearing experiments —
+//! **E1** (Table 1 algorithm comparison), **E6** (SWEEP's `2(n−1)` message
+//! linearity) and **E12** (reliable-FIFO earned under faults) — and
+//! condenses each into typed rows: messages per update, installs,
+//! staleness percentiles, consistency level, plus wall-clock per phase.
+//! The result serializes to `BENCH_report.json` (see [`crate::json`]),
+//! which is committed as the baseline the CI gate diffs against.
+//!
+//! [`gate`] is the pure checker the `perf_gate` binary (and its tests)
+//! run over a `(baseline, fresh)` pair. It fails on:
+//!
+//! * **invariant breaks** in the fresh run — any E6 row off the exact
+//!   `2(n−1)` line, any E12 row that is not `complete` and quiescent or
+//!   whose *logical* messages per update leave `2(n−1)`;
+//! * **consistency downgrades** — a row whose verified consistency level
+//!   is weaker than the committed baseline's;
+//! * **>25 % regressions on tracked ratios** — messages/update and
+//!   staleness p95 (higher is worse), installs (lower is worse), wire
+//!   inflation under faults (higher is worse).
+//!
+//! Wall-clock numbers are recorded but deliberately **not** gated: the
+//! simulator is deterministic in virtual time, while host time depends on
+//! the machine. Everything the gate enforces is exact.
+
+use crate::json::{self, Json};
+use dw_core::{Experiment, PolicyKind, RunReport};
+use dw_simnet::{FaultPlan, LatencyModel, LinkFaults};
+use dw_workload::StreamConfig;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Schema version stamped into the report; bump when row fields change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Relative regression tolerance on tracked ratios (25 %).
+pub const RATIO_TOLERANCE: f64 = 0.25;
+
+/// Tolerance for "exact" float comparisons after a JSON round trip.
+const EXACT_EPS: f64 = 1e-9;
+
+/// One algorithm row of the E1 (Table 1) phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct E1Row {
+    /// Algorithm name as printed in Table 1.
+    pub policy: String,
+    /// Verified consistency level ("complete", "strong", …).
+    pub consistency: String,
+    /// Query/answer messages per processed update.
+    pub msgs_per_update: f64,
+    /// Number of view installs.
+    pub installs: u64,
+    /// Updates the warehouse processed.
+    pub updates: u64,
+    /// Local (warehouse-side) compensations.
+    pub local_compensations: u64,
+    /// Compensating queries sent to sources.
+    pub compensation_queries: u64,
+    /// Staleness percentiles, µs from delivery to install.
+    pub stale_p50_us: u64,
+    /// 95th percentile staleness (µs).
+    pub stale_p95_us: u64,
+    /// 99th percentile staleness (µs).
+    pub stale_p99_us: u64,
+}
+
+/// One chain-length row of the E6 (message linearity) phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct E6Row {
+    /// Number of data sources in the chain.
+    pub n: u64,
+    /// The paper's exact prediction: `2(n−1)`.
+    pub expected_msgs_per_update: f64,
+    /// Measured messages/update with sparse (non-interfering) updates.
+    pub sparse_msgs_per_update: f64,
+    /// Measured messages/update with dense (interfering) updates.
+    pub dense_msgs_per_update: f64,
+    /// Local compensations in the dense run.
+    pub dense_compensations: u64,
+    /// Verified consistency level of the dense run.
+    pub consistency: String,
+}
+
+/// One loss-rate row of the E12 (faults + transport) phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct E12Row {
+    /// Link loss probability in percent.
+    pub loss_pct: f64,
+    /// Logical (send-once) query/answer messages per update.
+    pub logical_msgs_per_update: f64,
+    /// The invariant the row must pin to: `2(n−1)`.
+    pub expected_msgs_per_update: f64,
+    /// Physical wire messages over logical messages (≥ 1).
+    pub inflation: f64,
+    /// Verified consistency level.
+    pub consistency: String,
+    /// Whether the run drained to quiescence.
+    pub quiescent: bool,
+    /// Staleness percentiles, µs from delivery to install.
+    pub stale_p50_us: u64,
+    /// 95th percentile staleness (µs).
+    pub stale_p95_us: u64,
+    /// 99th percentile staleness (µs).
+    pub stale_p99_us: u64,
+}
+
+/// The full report: one entry per phase plus host wall-clock timings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfReport {
+    /// "smoke" or "full".
+    pub mode: String,
+    /// E1 — Table 1 rows.
+    pub e1: Vec<E1Row>,
+    /// E6 — message-linearity rows.
+    pub e6: Vec<E6Row>,
+    /// E12 — fault-sweep rows.
+    pub e12: Vec<E12Row>,
+    /// Host wall-clock per phase, milliseconds. Informational only.
+    pub phase_wall_ms: Vec<(String, f64)>,
+}
+
+fn stale_percentiles(report: &RunReport) -> (u64, u64, u64) {
+    (
+        report.metrics.staleness_percentile(50.0),
+        report.metrics.staleness_percentile(95.0),
+        report.metrics.staleness_percentile(99.0),
+    )
+}
+
+/// Run the E1/E6/E12 scenarios and build the report.
+///
+/// Smoke mode shrinks the workload (fewer sweep points, shorter streams)
+/// but keeps the scenario *shapes* — every invariant the gate enforces
+/// holds in both modes (asserted by the smoke-vs-full agreement test).
+pub fn collect(smoke: bool) -> PerfReport {
+    let mut phase_wall_ms = Vec::new();
+
+    let t0 = Instant::now();
+    let e1 = collect_e1(smoke);
+    phase_wall_ms.push(("E1".to_string(), t0.elapsed().as_secs_f64() * 1e3));
+
+    let t0 = Instant::now();
+    let e6 = collect_e6(smoke);
+    phase_wall_ms.push(("E6".to_string(), t0.elapsed().as_secs_f64() * 1e3));
+
+    let t0 = Instant::now();
+    let e12 = collect_e12(smoke);
+    phase_wall_ms.push(("E12".to_string(), t0.elapsed().as_secs_f64() * 1e3));
+
+    PerfReport {
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        e1,
+        e6,
+        e12,
+        phase_wall_ms,
+    }
+}
+
+/// E1 — the Table 1 comparison (`table1` binary's scenario).
+fn collect_e1(smoke: bool) -> Vec<E1Row> {
+    let n = 4;
+    let updates = crate::pick(smoke, 12, 40);
+    let policies: [(&str, PolicyKind); 6] = [
+        ("ECA", PolicyKind::Eca),
+        ("Strobe", PolicyKind::Strobe),
+        ("C-strobe", PolicyKind::CStrobe),
+        ("SWEEP", PolicyKind::Sweep(Default::default())),
+        ("Nested SWEEP", PolicyKind::NestedSweep(Default::default())),
+        ("Recompute", PolicyKind::Recompute),
+    ];
+    policies
+        .into_iter()
+        .map(|(name, kind)| {
+            let scenario = StreamConfig {
+                n_sources: n,
+                initial_per_source: 30,
+                updates,
+                mean_gap: 800,
+                domain: 10,
+                keyed: true,
+                seed: 7,
+                ..Default::default()
+            }
+            .generate()
+            .unwrap();
+            let report = Experiment::new(scenario)
+                .policy(kind)
+                .latency(LatencyModel::Constant(2_000))
+                .run()
+                .unwrap();
+            let (stale_p50_us, stale_p95_us, stale_p99_us) = stale_percentiles(&report);
+            E1Row {
+                policy: name.to_string(),
+                consistency: report.consistency.as_ref().unwrap().level.to_string(),
+                msgs_per_update: report.messages_per_update(),
+                installs: report.metrics.installs,
+                updates: report.metrics.updates_received,
+                local_compensations: report.metrics.local_compensations,
+                compensation_queries: report.metrics.compensation_queries,
+                stale_p50_us,
+                stale_p95_us,
+                stale_p99_us,
+            }
+        })
+        .collect()
+}
+
+/// E6 — SWEEP's message linearity (`sweep_linear` binary's scenario).
+fn collect_e6(smoke: bool) -> Vec<E6Row> {
+    let ns: &[usize] = crate::pick(smoke, &[2, 4, 8], &[2, 3, 4, 6, 8, 12, 16]);
+    let updates = crate::pick(smoke, 10, 25);
+    ns.iter()
+        .map(|&n| {
+            let mut sparse = 0.0;
+            let mut dense = 0.0;
+            let mut dense_compensations = 0;
+            let mut consistency = String::new();
+            for gap in [50_000u64, 300] {
+                let scenario = StreamConfig {
+                    n_sources: n,
+                    initial_per_source: 15,
+                    updates,
+                    mean_gap: gap,
+                    domain: 15,
+                    seed: 21,
+                    ..Default::default()
+                }
+                .generate()
+                .unwrap();
+                let report = Experiment::new(scenario)
+                    .policy(PolicyKind::Sweep(Default::default()))
+                    .latency(LatencyModel::Constant(1_500))
+                    .run()
+                    .unwrap();
+                if gap == 300 {
+                    dense = report.messages_per_update();
+                    dense_compensations = report.metrics.local_compensations;
+                    consistency = report.consistency.as_ref().unwrap().level.to_string();
+                } else {
+                    sparse = report.messages_per_update();
+                }
+            }
+            E6Row {
+                n: n as u64,
+                expected_msgs_per_update: (2 * (n - 1)) as f64,
+                sparse_msgs_per_update: sparse,
+                dense_msgs_per_update: dense,
+                dense_compensations,
+                consistency,
+            }
+        })
+        .collect()
+}
+
+/// E12 — faults + reliability transport (`fault_sweep` binary's scenario).
+fn collect_e12(smoke: bool) -> Vec<E12Row> {
+    let losses: &[f64] = crate::pick(smoke, &[0.0, 0.05, 0.20], &[0.0, 0.01, 0.05, 0.10, 0.20]);
+    let updates = crate::pick(smoke, 15, 40);
+    let n = 3usize;
+    losses
+        .iter()
+        .map(|&loss| {
+            let scenario = StreamConfig {
+                n_sources: n,
+                initial_per_source: 30,
+                updates,
+                mean_gap: 2_000,
+                domain: 20,
+                seed: 12,
+                ..Default::default()
+            }
+            .generate()
+            .unwrap();
+            let plan = FaultPlan::default().uniform(LinkFaults {
+                drop_rate: loss,
+                dup_rate: if loss > 0.0 { 0.02 } else { 0.0 },
+                reorder_rate: if loss > 0.0 { 0.02 } else { 0.0 },
+                reorder_window: 4_000,
+            });
+            let report = Experiment::new(scenario)
+                .policy(PolicyKind::Sweep(Default::default()))
+                .latency(LatencyModel::Constant(2_000))
+                .faults(plan)
+                .transport_auto()
+                .run()
+                .unwrap();
+            let (stale_p50_us, stale_p95_us, stale_p99_us) = stale_percentiles(&report);
+            E12Row {
+                loss_pct: loss * 100.0,
+                logical_msgs_per_update: report.logical_messages_per_update(),
+                expected_msgs_per_update: (2 * (n - 1)) as f64,
+                inflation: report.net.inflation(),
+                consistency: report.consistency.as_ref().unwrap().level.to_string(),
+                quiescent: report.quiescent,
+                stale_p50_us,
+                stale_p95_us,
+                stale_p99_us,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- JSON
+
+impl PerfReport {
+    /// Serialize to the `BENCH_report.json` document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+            ("mode", Json::Str(self.mode.clone())),
+            (
+                "e1_table1",
+                Json::Arr(self.e1.iter().map(e1_to_json).collect()),
+            ),
+            (
+                "e6_sweep_linear",
+                Json::Arr(self.e6.iter().map(e6_to_json).collect()),
+            ),
+            (
+                "e12_fault_sweep",
+                Json::Arr(self.e12.iter().map(e12_to_json).collect()),
+            ),
+            (
+                "phase_wall_ms",
+                Json::Obj(
+                    self.phase_wall_ms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse a report back from JSON, validating the schema version.
+    pub fn from_json(doc: &Json) -> Result<PerfReport, String> {
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {version} != supported {SCHEMA_VERSION}; re-baseline"
+            ));
+        }
+        let mode = doc
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or("missing mode")?
+            .to_string();
+        let e1 = doc
+            .get("e1_table1")
+            .and_then(Json::as_arr)
+            .ok_or("missing e1_table1")?
+            .iter()
+            .map(e1_from_json)
+            .collect::<Result<_, _>>()?;
+        let e6 = doc
+            .get("e6_sweep_linear")
+            .and_then(Json::as_arr)
+            .ok_or("missing e6_sweep_linear")?
+            .iter()
+            .map(e6_from_json)
+            .collect::<Result<_, _>>()?;
+        let e12 = doc
+            .get("e12_fault_sweep")
+            .and_then(Json::as_arr)
+            .ok_or("missing e12_fault_sweep")?
+            .iter()
+            .map(e12_from_json)
+            .collect::<Result<_, _>>()?;
+        let phase_wall_ms = match doc.get("phase_wall_ms") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| {
+                    v.as_num()
+                        .map(|ms| (k.clone(), ms))
+                        .ok_or_else(|| format!("bad phase_wall_ms entry {k}"))
+                })
+                .collect::<Result<_, _>>()?,
+            _ => return Err("missing phase_wall_ms".to_string()),
+        };
+        Ok(PerfReport {
+            mode,
+            e1,
+            e6,
+            e12,
+            phase_wall_ms,
+        })
+    }
+
+    /// Parse from raw file contents.
+    pub fn from_text(text: &str) -> Result<PerfReport, String> {
+        PerfReport::from_json(&json::parse(text)?)
+    }
+}
+
+fn num(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing number {key}"))
+}
+
+fn uint(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing integer {key}"))
+}
+
+fn string(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string {key}"))
+}
+
+fn e1_to_json(r: &E1Row) -> Json {
+    Json::obj(vec![
+        ("policy", Json::Str(r.policy.clone())),
+        ("consistency", Json::Str(r.consistency.clone())),
+        ("msgs_per_update", Json::Num(r.msgs_per_update)),
+        ("installs", Json::Num(r.installs as f64)),
+        ("updates", Json::Num(r.updates as f64)),
+        (
+            "local_compensations",
+            Json::Num(r.local_compensations as f64),
+        ),
+        (
+            "compensation_queries",
+            Json::Num(r.compensation_queries as f64),
+        ),
+        ("stale_p50_us", Json::Num(r.stale_p50_us as f64)),
+        ("stale_p95_us", Json::Num(r.stale_p95_us as f64)),
+        ("stale_p99_us", Json::Num(r.stale_p99_us as f64)),
+    ])
+}
+
+fn e1_from_json(doc: &Json) -> Result<E1Row, String> {
+    Ok(E1Row {
+        policy: string(doc, "policy")?,
+        consistency: string(doc, "consistency")?,
+        msgs_per_update: num(doc, "msgs_per_update")?,
+        installs: uint(doc, "installs")?,
+        updates: uint(doc, "updates")?,
+        local_compensations: uint(doc, "local_compensations")?,
+        compensation_queries: uint(doc, "compensation_queries")?,
+        stale_p50_us: uint(doc, "stale_p50_us")?,
+        stale_p95_us: uint(doc, "stale_p95_us")?,
+        stale_p99_us: uint(doc, "stale_p99_us")?,
+    })
+}
+
+fn e6_to_json(r: &E6Row) -> Json {
+    Json::obj(vec![
+        ("n", Json::Num(r.n as f64)),
+        (
+            "expected_msgs_per_update",
+            Json::Num(r.expected_msgs_per_update),
+        ),
+        (
+            "sparse_msgs_per_update",
+            Json::Num(r.sparse_msgs_per_update),
+        ),
+        ("dense_msgs_per_update", Json::Num(r.dense_msgs_per_update)),
+        (
+            "dense_compensations",
+            Json::Num(r.dense_compensations as f64),
+        ),
+        ("consistency", Json::Str(r.consistency.clone())),
+    ])
+}
+
+fn e6_from_json(doc: &Json) -> Result<E6Row, String> {
+    Ok(E6Row {
+        n: uint(doc, "n")?,
+        expected_msgs_per_update: num(doc, "expected_msgs_per_update")?,
+        sparse_msgs_per_update: num(doc, "sparse_msgs_per_update")?,
+        dense_msgs_per_update: num(doc, "dense_msgs_per_update")?,
+        dense_compensations: uint(doc, "dense_compensations")?,
+        consistency: string(doc, "consistency")?,
+    })
+}
+
+fn e12_to_json(r: &E12Row) -> Json {
+    Json::obj(vec![
+        ("loss_pct", Json::Num(r.loss_pct)),
+        (
+            "logical_msgs_per_update",
+            Json::Num(r.logical_msgs_per_update),
+        ),
+        (
+            "expected_msgs_per_update",
+            Json::Num(r.expected_msgs_per_update),
+        ),
+        ("inflation", Json::Num(r.inflation)),
+        ("consistency", Json::Str(r.consistency.clone())),
+        ("quiescent", Json::Bool(r.quiescent)),
+        ("stale_p50_us", Json::Num(r.stale_p50_us as f64)),
+        ("stale_p95_us", Json::Num(r.stale_p95_us as f64)),
+        ("stale_p99_us", Json::Num(r.stale_p99_us as f64)),
+    ])
+}
+
+fn e12_from_json(doc: &Json) -> Result<E12Row, String> {
+    Ok(E12Row {
+        loss_pct: num(doc, "loss_pct")?,
+        logical_msgs_per_update: num(doc, "logical_msgs_per_update")?,
+        expected_msgs_per_update: num(doc, "expected_msgs_per_update")?,
+        inflation: num(doc, "inflation")?,
+        consistency: string(doc, "consistency")?,
+        quiescent: doc
+            .get("quiescent")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool quiescent")?,
+        stale_p50_us: uint(doc, "stale_p50_us")?,
+        stale_p95_us: uint(doc, "stale_p95_us")?,
+        stale_p99_us: uint(doc, "stale_p99_us")?,
+    })
+}
+
+// ---------------------------------------------------------------- gate
+
+fn level_rank(level: &str) -> i32 {
+    match level {
+        "complete" => 4,
+        "strong" => 3,
+        "weak" => 2,
+        "convergent" => 1,
+        _ => 0,
+    }
+}
+
+fn check_downgrade(violations: &mut Vec<String>, what: &str, baseline: &str, fresh: &str) {
+    if level_rank(fresh) < level_rank(baseline) {
+        violations.push(format!(
+            "{what}: consistency downgraded from '{baseline}' to '{fresh}'"
+        ));
+    }
+}
+
+/// Flag `fresh` if it regressed more than [`RATIO_TOLERANCE`] relative to
+/// `baseline`. `higher_is_worse` picks the bad direction. Zero baselines
+/// only flag when the fresh value moved off zero in the bad direction by
+/// more than a unit (ratios against zero are meaningless).
+fn check_ratio(
+    violations: &mut Vec<String>,
+    what: &str,
+    baseline: f64,
+    fresh: f64,
+    higher_is_worse: bool,
+) {
+    let (base, new) = if higher_is_worse {
+        (baseline, fresh)
+    } else {
+        (fresh, baseline)
+    };
+    let bad = if base.abs() < EXACT_EPS {
+        new > 1.0
+    } else {
+        (new - base) / base > RATIO_TOLERANCE
+    };
+    if bad {
+        violations.push(format!(
+            "{what}: {fresh} vs baseline {baseline} ({} by more than {:.0}%)",
+            if higher_is_worse { "up" } else { "down" },
+            RATIO_TOLERANCE * 100.0
+        ));
+    }
+}
+
+/// Check the exact invariants on a single report (no baseline needed):
+/// E6 rows on the `2(n−1)` line, E12 complete + quiescent + logically
+/// pinned.
+pub fn invariant_violations(report: &PerfReport) -> Vec<String> {
+    let mut v = Vec::new();
+    for row in &report.e6 {
+        let expect = (2 * (row.n - 1)) as f64;
+        if (row.expected_msgs_per_update - expect).abs() > EXACT_EPS {
+            v.push(format!(
+                "E6 n={}: recorded expectation {} != 2(n-1) = {expect}",
+                row.n, row.expected_msgs_per_update
+            ));
+        }
+        for (label, measured) in [
+            ("sparse", row.sparse_msgs_per_update),
+            ("dense", row.dense_msgs_per_update),
+        ] {
+            if (measured - expect).abs() > EXACT_EPS {
+                v.push(format!(
+                    "E6 n={} ({label}): msgs/update {measured} != 2(n-1) = {expect}",
+                    row.n
+                ));
+            }
+        }
+        if row.consistency != "complete" {
+            v.push(format!(
+                "E6 n={}: consistency '{}' != 'complete'",
+                row.n, row.consistency
+            ));
+        }
+    }
+    for row in &report.e12 {
+        if (row.logical_msgs_per_update - row.expected_msgs_per_update).abs() > EXACT_EPS {
+            v.push(format!(
+                "E12 loss={}%: logical msgs/update {} != 2(n-1) = {}",
+                row.loss_pct, row.logical_msgs_per_update, row.expected_msgs_per_update
+            ));
+        }
+        if row.consistency != "complete" {
+            v.push(format!(
+                "E12 loss={}%: consistency '{}' != 'complete'",
+                row.loss_pct, row.consistency
+            ));
+        }
+        if !row.quiescent {
+            v.push(format!("E12 loss={}%: run did not drain", row.loss_pct));
+        }
+    }
+    v
+}
+
+/// Diff a fresh report against the committed baseline. Returns the list
+/// of violations; empty means the gate passes. Wall-clock is never
+/// compared here — see the module docs.
+pub fn gate(baseline: &PerfReport, fresh: &PerfReport) -> Vec<String> {
+    let mut v = Vec::new();
+    if baseline.mode != fresh.mode {
+        v.push(format!(
+            "mode mismatch: baseline '{}' vs fresh '{}' — rerun with the matching mode",
+            baseline.mode, fresh.mode
+        ));
+        return v;
+    }
+
+    v.extend(invariant_violations(fresh));
+
+    for base_row in &baseline.e1 {
+        let Some(row) = fresh.e1.iter().find(|r| r.policy == base_row.policy) else {
+            v.push(format!(
+                "E1: policy '{}' missing from fresh report",
+                base_row.policy
+            ));
+            continue;
+        };
+        let what = format!("E1 {}", row.policy);
+        check_downgrade(&mut v, &what, &base_row.consistency, &row.consistency);
+        check_ratio(
+            &mut v,
+            &format!("{what} msgs/update"),
+            base_row.msgs_per_update,
+            row.msgs_per_update,
+            true,
+        );
+        check_ratio(
+            &mut v,
+            &format!("{what} installs"),
+            base_row.installs as f64,
+            row.installs as f64,
+            false,
+        );
+        check_ratio(
+            &mut v,
+            &format!("{what} staleness p95"),
+            base_row.stale_p95_us as f64,
+            row.stale_p95_us as f64,
+            true,
+        );
+    }
+
+    for base_row in &baseline.e6 {
+        let Some(row) = fresh.e6.iter().find(|r| r.n == base_row.n) else {
+            v.push(format!("E6: n={} missing from fresh report", base_row.n));
+            continue;
+        };
+        check_downgrade(
+            &mut v,
+            &format!("E6 n={}", row.n),
+            &base_row.consistency,
+            &row.consistency,
+        );
+    }
+
+    for base_row in &baseline.e12 {
+        let Some(row) = fresh
+            .e12
+            .iter()
+            .find(|r| (r.loss_pct - base_row.loss_pct).abs() < EXACT_EPS)
+        else {
+            v.push(format!(
+                "E12: loss={}% missing from fresh report",
+                base_row.loss_pct
+            ));
+            continue;
+        };
+        let what = format!("E12 loss={}%", row.loss_pct);
+        check_downgrade(&mut v, &what, &base_row.consistency, &row.consistency);
+        check_ratio(
+            &mut v,
+            &format!("{what} wire inflation"),
+            base_row.inflation,
+            row.inflation,
+            true,
+        );
+        check_ratio(
+            &mut v,
+            &format!("{what} staleness p95"),
+            base_row.stale_p95_us as f64,
+            row.stale_p95_us as f64,
+            true,
+        );
+    }
+
+    v
+}
+
+// ----------------------------------------------------- invariant digest
+
+/// The mode-independent facts of a report: what must agree between a
+/// `--smoke` run and a full run even though the workloads differ in size.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantDigest {
+    /// Verified consistency level per E1 policy.
+    pub e1_levels: Vec<(String, String)>,
+    /// Every E6 row sits exactly on the `2(n−1)` line.
+    pub e6_exact: bool,
+    /// Distinct consistency levels across E6 rows.
+    pub e6_levels: BTreeSet<String>,
+    /// Every E12 row pins logical msgs/update to `2(n−1)` and drains.
+    pub e12_pinned: bool,
+    /// Distinct consistency levels across E12 rows.
+    pub e12_levels: BTreeSet<String>,
+}
+
+impl InvariantDigest {
+    /// Extract the digest from a report.
+    pub fn of(report: &PerfReport) -> InvariantDigest {
+        InvariantDigest {
+            e1_levels: report
+                .e1
+                .iter()
+                .map(|r| (r.policy.clone(), r.consistency.clone()))
+                .collect(),
+            e6_exact: report.e6.iter().all(|r| {
+                let expect = (2 * (r.n - 1)) as f64;
+                (r.sparse_msgs_per_update - expect).abs() < EXACT_EPS
+                    && (r.dense_msgs_per_update - expect).abs() < EXACT_EPS
+            }),
+            e6_levels: report.e6.iter().map(|r| r.consistency.clone()).collect(),
+            e12_pinned: report.e12.iter().all(|r| {
+                (r.logical_msgs_per_update - r.expected_msgs_per_update).abs() < EXACT_EPS
+                    && r.quiescent
+            }),
+            e12_levels: report.e12.iter().map(|r| r.consistency.clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built healthy report matching the shapes `collect` emits.
+    fn healthy() -> PerfReport {
+        PerfReport {
+            mode: "smoke".to_string(),
+            e1: vec![
+                E1Row {
+                    policy: "SWEEP".to_string(),
+                    consistency: "complete".to_string(),
+                    msgs_per_update: 6.0,
+                    installs: 12,
+                    updates: 12,
+                    local_compensations: 9,
+                    compensation_queries: 0,
+                    stale_p50_us: 12_000,
+                    stale_p95_us: 20_000,
+                    stale_p99_us: 21_000,
+                },
+                E1Row {
+                    policy: "Strobe".to_string(),
+                    consistency: "strong".to_string(),
+                    msgs_per_update: 6.5,
+                    installs: 3,
+                    updates: 12,
+                    local_compensations: 0,
+                    compensation_queries: 4,
+                    stale_p50_us: 30_000,
+                    stale_p95_us: 55_000,
+                    stale_p99_us: 60_000,
+                },
+            ],
+            e6: vec![
+                E6Row {
+                    n: 2,
+                    expected_msgs_per_update: 2.0,
+                    sparse_msgs_per_update: 2.0,
+                    dense_msgs_per_update: 2.0,
+                    dense_compensations: 3,
+                    consistency: "complete".to_string(),
+                },
+                E6Row {
+                    n: 8,
+                    expected_msgs_per_update: 14.0,
+                    sparse_msgs_per_update: 14.0,
+                    dense_msgs_per_update: 14.0,
+                    dense_compensations: 40,
+                    consistency: "complete".to_string(),
+                },
+            ],
+            e12: vec![E12Row {
+                loss_pct: 5.0,
+                logical_msgs_per_update: 4.0,
+                expected_msgs_per_update: 4.0,
+                inflation: 1.2,
+                consistency: "complete".to_string(),
+                quiescent: true,
+                stale_p50_us: 14_000,
+                stale_p95_us: 80_000,
+                stale_p99_us: 90_000,
+            }],
+            phase_wall_ms: vec![("E1".to_string(), 12.5)],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let report = healthy();
+        let text = report.to_json().render();
+        let back = PerfReport::from_text(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn schema_version_mismatch_rejected() {
+        let mut doc = healthy().to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields[0].1 = Json::Num(999.0);
+        }
+        let err = PerfReport::from_json(&doc).unwrap_err();
+        assert!(err.contains("re-baseline"), "{err}");
+    }
+
+    #[test]
+    fn clean_report_passes_gate() {
+        assert_eq!(gate(&healthy(), &healthy()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn injected_message_linearity_violation_fails_gate() {
+        // The acceptance demo: a run whose SWEEP stops being 2(n−1) —
+        // say a regression starts sending one extra query per update —
+        // must be caught even if the baseline is healthy.
+        let mut fresh = healthy();
+        fresh.e6[1].dense_msgs_per_update = 16.0; // 2(n−1) = 14 for n = 8
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations.iter().any(|v| v.contains("2(n-1)")),
+            "expected a 2(n-1) violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn consistency_downgrade_fails_gate() {
+        let mut fresh = healthy();
+        fresh.e12[0].consistency = "strong".to_string();
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("downgraded") || v.contains("!= 'complete'")),
+            "expected a downgrade violation, got {violations:?}"
+        );
+
+        let mut fresh = healthy();
+        fresh.e1[1].consistency = "weak".to_string();
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("downgraded from 'strong' to 'weak'")),
+            "got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn ratio_regression_fails_gate_and_improvement_passes() {
+        // >25% more messages per update: fail.
+        let mut fresh = healthy();
+        fresh.e1[1].msgs_per_update = healthy().e1[1].msgs_per_update * 1.3;
+        assert!(!gate(&healthy(), &fresh).is_empty());
+
+        // >25% fewer installs (view goes stale): fail.
+        let mut fresh = healthy();
+        fresh.e1[0].installs = 8;
+        assert!(!gate(&healthy(), &fresh).is_empty());
+
+        // Staleness p95 blow-up under faults: fail.
+        let mut fresh = healthy();
+        fresh.e12[0].stale_p95_us = 120_000;
+        assert!(!gate(&healthy(), &fresh).is_empty());
+
+        // Improvements in the good direction never trip the gate.
+        let mut fresh = healthy();
+        fresh.e1[1].msgs_per_update = 4.0;
+        fresh.e1[0].installs = 24;
+        fresh.e12[0].stale_p95_us = 10_000;
+        fresh.e12[0].inflation = 1.0;
+        assert_eq!(gate(&healthy(), &fresh), Vec::<String>::new());
+    }
+
+    #[test]
+    fn wall_clock_is_not_gated() {
+        let mut fresh = healthy();
+        fresh.phase_wall_ms = vec![("E1".to_string(), 1e9)];
+        assert_eq!(gate(&healthy(), &fresh), Vec::<String>::new());
+    }
+
+    #[test]
+    fn mode_mismatch_fails_gate() {
+        let mut fresh = healthy();
+        fresh.mode = "full".to_string();
+        let violations = gate(&healthy(), &fresh);
+        assert!(violations.iter().any(|v| v.contains("mode mismatch")));
+    }
+
+    #[test]
+    fn missing_row_fails_gate() {
+        let mut fresh = healthy();
+        fresh.e6.pop();
+        let violations = gate(&healthy(), &fresh);
+        assert!(violations.iter().any(|v| v.contains("missing")));
+    }
+}

@@ -1,0 +1,27 @@
+//! `--smoke` must be a faithful miniature: the shrunken workloads have to
+//! reproduce every *exact* invariant of the full runs — `2(n−1)` messages
+//! per update on every E6 row, complete consistency and logical pinning on
+//! every E12 row, and the same verified consistency level per E1 policy —
+//! otherwise a fast CI gate would be guarding a different algorithm than
+//! the one the paper experiments exercise.
+
+use dw_bench::perf::{self, InvariantDigest};
+
+#[test]
+fn smoke_and_full_agree_on_exact_invariants() {
+    let smoke = perf::collect(true);
+    let full = perf::collect(false);
+
+    assert_eq!(smoke.mode, "smoke");
+    assert_eq!(full.mode, "full");
+    // Smoke really is a subset, not a copy.
+    assert!(smoke.e6.len() < full.e6.len());
+    assert!(smoke.e12.len() < full.e12.len());
+
+    // Neither mode may break an exact invariant…
+    assert_eq!(perf::invariant_violations(&smoke), Vec::<String>::new());
+    assert_eq!(perf::invariant_violations(&full), Vec::<String>::new());
+
+    // …and the mode-independent digests must agree bit for bit.
+    assert_eq!(InvariantDigest::of(&smoke), InvariantDigest::of(&full));
+}

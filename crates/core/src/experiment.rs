@@ -123,6 +123,7 @@ pub struct Experiment {
     indexed_sources: bool,
     faults: FaultPlan,
     transport: Option<TransportConfig>,
+    obs: dw_obs::Obs,
 }
 
 impl Experiment {
@@ -142,7 +143,16 @@ impl Experiment {
             indexed_sources: false,
             faults: FaultPlan::default(),
             transport: None,
+            obs: dw_obs::Obs::off(),
         }
+    }
+
+    /// Attach an observability recorder: the policy, sources, network and
+    /// transport endpoints all emit spans/counters/histograms into it,
+    /// stamped in virtual time (traces are byte-deterministic per seed).
+    pub fn observe(mut self, obs: dw_obs::Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Choose the maintenance policy.
@@ -262,8 +272,10 @@ impl Experiment {
             PolicyKind::Recompute => Box::new(Recompute::new(view_def.clone(), initial_view)?),
         };
         policy.set_record_snapshots(self.record_snapshots);
+        policy.set_observer(self.obs.clone());
 
         let mut net: Network<Message> = Network::new(self.seed);
+        net.set_observer(self.obs.clone());
         net.set_default_latency(self.latency.clone());
         for (from, to, l) in &self.link_overrides {
             net.set_link_latency(*from, *to, l.clone());
@@ -276,13 +288,14 @@ impl Experiment {
         // One transport endpoint per node, each with its own jitter
         // stream derived from the run seed.
         let node_count = if self.policy.single_site() { 2 } else { n + 1 };
+        let obs = &self.obs;
         let mut endpoints: Option<HashMap<NodeId, Endpoint>> = self.transport.map(|cfg| {
             (0..node_count)
                 .map(|node| {
-                    (
-                        node,
-                        Endpoint::new(node, cfg, self.seed ^ (node as u64).wrapping_mul(0x9E37)),
-                    )
+                    let mut ep =
+                        Endpoint::new(node, cfg, self.seed ^ (node as u64).wrapping_mul(0x9E37));
+                    ep.set_observer(obs.clone());
+                    (node, ep)
                 })
                 .collect()
         });
@@ -309,11 +322,13 @@ impl Experiment {
             for i in 0..n {
                 let mut r = dw_relational::BaseRelation::new(view_def.schema(i).clone());
                 r.apply_delta(&scenario.initial[i])?;
-                sources.push(if self.indexed_sources {
+                let mut src = if self.indexed_sources {
                     DataSource::with_indexes(i, view_def.clone(), r)?
                 } else {
                     DataSource::new(i, view_def.clone(), r)
-                });
+                };
+                src.set_observer(self.obs.clone());
+                sources.push(src);
             }
         }
 
@@ -347,12 +362,12 @@ impl Experiment {
         let mut events: u64 = 0;
         let mut delivery_log: Vec<(UpdateId, Time)> = Vec::new();
         let dispatch = |d: Delivery<Message>,
-                            net: &mut dyn NetHandle<Message>,
-                            policy: &mut Box<dyn MaintenancePolicy>,
-                            eca_site: &mut Option<EcaSite>,
-                            sources: &mut Vec<DataSource>,
-                            recorder: &mut Option<Recorder>,
-                            delivery_log: &mut Vec<(UpdateId, Time)>|
+                        net: &mut dyn NetHandle<Message>,
+                        policy: &mut Box<dyn MaintenancePolicy>,
+                        eca_site: &mut Option<EcaSite>,
+                        sources: &mut Vec<DataSource>,
+                        recorder: &mut Option<Recorder>,
+                        delivery_log: &mut Vec<(UpdateId, Time)>|
          -> Result<(), CoreError> {
             if d.to == WAREHOUSE_NODE {
                 if let Message::Update(u) = &d.msg {

@@ -52,7 +52,11 @@ fn sweep_stays_complete_under_faults_with_transport() {
     );
     assert_eq!(report.metrics.installs, report.metrics.updates_received);
     let fifo = verify_fifo(&report.delivery_log);
-    assert!(fifo.ok(), "channel contract breached: {:?}", fifo.violations);
+    assert!(
+        fifo.ok(),
+        "channel contract breached: {:?}",
+        fifo.violations
+    );
 }
 
 #[test]

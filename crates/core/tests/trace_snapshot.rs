@@ -1,0 +1,99 @@
+//! Observability snapshot tests: the `dw-obs` layer records in *virtual*
+//! time, so two runs of the same seeded scenario must produce
+//! byte-identical rendered traces — and attaching the recorder must not
+//! change what the experiment computes.
+
+use dw_core::{Experiment, PolicyKind, RunReport};
+use dw_obs::Obs;
+use dw_simnet::LatencyModel;
+use dw_workload::StreamConfig;
+
+fn run(policy: PolicyKind, obs: Obs) -> RunReport {
+    let scenario = StreamConfig {
+        n_sources: 3,
+        initial_per_source: 15,
+        updates: 12,
+        mean_gap: 900,
+        domain: 10,
+        seed: 42,
+        ..Default::default()
+    }
+    .generate()
+    .unwrap();
+    Experiment::new(scenario)
+        .policy(policy)
+        .latency(LatencyModel::Constant(2_000))
+        .observe(obs)
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn seeded_sweep_traces_are_byte_identical() {
+    let render = || {
+        let (obs, rec) = Obs::trace();
+        run(PolicyKind::Sweep(Default::default()), obs);
+        let rec = rec.lock().unwrap();
+        rec.render()
+    };
+    let first = render();
+    let second = render();
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "virtual-time traces must be deterministic");
+}
+
+#[test]
+fn sweep_trace_contains_expected_spans_and_counters() {
+    let (obs, rec) = Obs::trace();
+    let report = run(PolicyKind::Sweep(Default::default()), obs);
+    let rec = rec.lock().unwrap();
+    let text = rec.render();
+
+    // One "sweep" span per processed update, one hop span per query leg.
+    assert!(text.contains("== spans =="));
+    assert!(text.contains("sweep ["));
+    assert!(
+        text.contains("  sweep.hop ["),
+        "hops nest under the sweep span"
+    );
+    assert!(text.contains("== histograms =="));
+    assert!(text.contains("sweep:"), "span durations feed a histogram");
+    assert!(text.contains("net.queue_delay:"));
+
+    // Span accounting matches the report's own counters.
+    let sweeps = rec.histogram("sweep").map_or(0, |h| h.count());
+    assert_eq!(sweeps, report.metrics.updates_received);
+    let hops = rec.histogram("sweep.hop").map_or(0, |h| h.count());
+    assert_eq!(hops, report.metrics.queries_sent);
+    assert_eq!(
+        rec.counter("sweep.compensations"),
+        report.metrics.local_compensations
+    );
+}
+
+#[test]
+fn nested_sweep_traces_are_deterministic_and_labeled() {
+    let render = || {
+        let (obs, rec) = Obs::trace();
+        run(PolicyKind::NestedSweep(Default::default()), obs);
+        let rec = rec.lock().unwrap();
+        rec.render()
+    };
+    let first = render();
+    assert_eq!(first, render());
+    assert!(first.contains("nested_sweep ["));
+}
+
+#[test]
+fn observer_does_not_change_results() {
+    let silent = run(PolicyKind::Sweep(Default::default()), Obs::off());
+    let (obs, _rec) = Obs::trace();
+    let observed = run(PolicyKind::Sweep(Default::default()), obs);
+    assert_eq!(silent.view, observed.view);
+    assert_eq!(silent.end_time, observed.end_time);
+    assert_eq!(silent.events, observed.events);
+    assert_eq!(
+        silent.metrics.local_compensations,
+        observed.metrics.local_compensations
+    );
+}

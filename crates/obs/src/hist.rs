@@ -1,0 +1,322 @@
+//! Fixed-layout log-linear histogram (HDR-lite).
+//!
+//! The bucket layout is *static* — it does not depend on the data — so two
+//! histograms can always be merged bucket-by-bucket and a histogram built
+//! from a concatenation of sample streams equals the merge of per-stream
+//! histograms (see the property tests).
+//!
+//! Layout: values `0..64` get width-1 buckets (exact); beyond that each
+//! power-of-two range is split into 64 sub-buckets, so the recorded value
+//! of any sample is under-estimated by at most 1/64 (~1.6%). `count`,
+//! `sum`, `min` and `max` are tracked exactly, which keeps means and
+//! maxima byte-identical to an exact implementation.
+
+/// Sub-buckets per power-of-two range. Values below `SUBS` are exact.
+const SUBS: u64 = 64;
+/// log2(SUBS).
+const SUBS_LOG2: u32 = 6;
+
+/// A mergeable log-linear histogram over `u64` samples.
+///
+/// Percentiles use the nearest-rank definition and report the lower edge
+/// of the selected bucket, clamped into `[min, max]` so single-sample and
+/// boundary queries are exact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Bucket counts, lazily grown (all-zero tails are never allocated).
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a value.
+    fn index_of(v: u64) -> usize {
+        if v < SUBS * 2 {
+            // Values 0..128 are exact: the first two "ranges" have width-1
+            // buckets and the index equals the value.
+            v as usize
+        } else {
+            let h = 63 - v.leading_zeros(); // floor(log2 v), >= SUBS_LOG2+1
+            let sub = (v >> (h - SUBS_LOG2)) - SUBS; // 0..SUBS
+            (SUBS + (h - SUBS_LOG2) as u64 * SUBS + sub) as usize
+        }
+    }
+
+    /// Lower edge (smallest value) of a bucket.
+    fn lower_edge(idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < SUBS * 2 {
+            idx
+        } else {
+            let g = (idx - SUBS) / SUBS; // power-of-two group, >= 1
+            let sub = (idx - SUBS) % SUBS;
+            (SUBS + sub) << g
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = Self::index_of(v);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one. Equivalent to having
+    /// recorded both sample streams into a single histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact minimum, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Nearest-rank percentile (`p` in `0..=100`), or `None` when empty.
+    ///
+    /// The rank is `ceil(p/100 * count)` clamped to `[1, count]`; the
+    /// result is the lower edge of the bucket holding that rank, clamped
+    /// into `[min, max]`. Values below 128 are bucket-exact.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::lower_edge(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// One-line summary: `count min mean p50 p95 p99 max`, deterministic.
+    pub fn summary(&self) -> String {
+        match self.count {
+            0 => "count=0".to_string(),
+            _ => format!(
+                "count={} min={} mean={:.1} p50={} p95={} p99={} max={}",
+                self.count,
+                self.min,
+                self.mean().unwrap(),
+                self.percentile(50.0).unwrap(),
+                self.percentile(95.0).unwrap(),
+                self.percentile(99.0).unwrap(),
+                self.max
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.summary(), "count=0");
+    }
+
+    #[test]
+    fn single_sample_all_percentiles() {
+        let mut h = Histogram::new();
+        h.record(7_777);
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(7_777), "p={p}");
+        }
+        assert_eq!(h.min(), Some(7_777));
+        assert_eq!(h.max(), Some(7_777));
+        assert_eq!(h.mean(), Some(7_777.0));
+    }
+
+    #[test]
+    fn p0_and_p100_boundaries() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50] {
+            h.record(v);
+        }
+        // p=0 clamps the rank to 1 -> min; p=100 -> max.
+        assert_eq!(h.percentile(0.0), Some(10));
+        assert_eq!(h.percentile(100.0), Some(50));
+        // Out-of-range p is clamped rather than panicking.
+        assert_eq!(h.percentile(-5.0), Some(10));
+        assert_eq!(h.percentile(250.0), Some(50));
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        // Every value below 128 has its own bucket.
+        let mut h = Histogram::new();
+        for v in 0..128u64 {
+            h.record(v);
+        }
+        for v in 0..128u64 {
+            // Aim between ranks so float rounding can't tip the ceil.
+            let rank_p = (v as f64 + 0.5) / 128.0 * 100.0;
+            assert_eq!(h.percentile(rank_p), Some(v));
+        }
+    }
+
+    #[test]
+    fn decade_samples_match_exact_nearest_rank() {
+        // The staleness test vector this histogram replaces: 10..=100.
+        let mut h = Histogram::new();
+        for v in (10..=100u64).step_by(10) {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), Some(50));
+        assert_eq!(h.percentile(95.0), Some(100));
+        assert_eq!(h.percentile(0.0), Some(10));
+        assert_eq!(h.mean(), Some(55.0));
+    }
+
+    #[test]
+    fn bucket_edges_round_trip() {
+        // Lower edges must map back to their own bucket, and indexing must
+        // be monotone across edges.
+        let mut prev = 0;
+        for idx in 0..1000usize {
+            let edge = Histogram::lower_edge(idx);
+            assert_eq!(Histogram::index_of(edge), idx, "edge {edge}");
+            assert!(idx == 0 || edge > prev);
+            prev = edge;
+        }
+        // Power-of-two boundaries land on their own bucket's lower edge.
+        for pow in [128u64, 256, 1 << 20, 1 << 40, 1 << 63] {
+            let idx = Histogram::index_of(pow);
+            assert_eq!(Histogram::lower_edge(idx), pow);
+            // The value just below belongs to the previous bucket.
+            assert!(Histogram::index_of(pow - 1) < idx);
+        }
+        // Extremes don't panic and stay ordered.
+        assert!(Histogram::index_of(u64::MAX) >= Histogram::index_of(1 << 63));
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        for v in [100u64, 129, 1_000, 65_537, 1 << 33, u64::MAX / 3] {
+            let edge = Histogram::lower_edge(Histogram::index_of(v));
+            assert!(edge <= v);
+            // Under-estimate by at most 1/64.
+            assert!((v - edge) as f64 <= v as f64 / 64.0, "v={v} edge={edge}");
+        }
+    }
+
+    /// xorshift step, enough randomness for a property test without
+    /// depending on dw-rng (dw-obs sits below every other crate).
+    fn next(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    #[test]
+    fn merge_equals_concatenation_seeded_property() {
+        for seed in 1..=20u64 {
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut parts = vec![Histogram::new(), Histogram::new(), Histogram::new()];
+            let mut all = Histogram::new();
+            let n = 50 + (next(&mut s) % 200) as usize;
+            for _ in 0..n {
+                let which = (next(&mut s) % 3) as usize;
+                // Mix magnitudes: small exact values and large bucketed ones.
+                let v = match next(&mut s) % 3 {
+                    0 => next(&mut s) % 64,
+                    1 => next(&mut s) % 100_000,
+                    _ => next(&mut s),
+                };
+                parts[which].record(v);
+                all.record(v);
+            }
+            let mut merged = Histogram::new();
+            for p in &parts {
+                merged.merge(p);
+            }
+            assert_eq!(merged, all, "seed {seed}");
+            // And the summaries (percentiles included) agree too.
+            assert_eq!(merged.summary(), all.summary(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+}

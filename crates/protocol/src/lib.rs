@@ -290,7 +290,13 @@ impl Payload for Message {
     }
 
     fn is_retransmit(&self) -> bool {
-        matches!(self, Message::Frame { retransmit: true, .. })
+        matches!(
+            self,
+            Message::Frame {
+                retransmit: true,
+                ..
+            }
+        )
     }
 }
 

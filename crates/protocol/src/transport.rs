@@ -106,6 +106,7 @@ pub struct Endpoint {
     rng: Rng64,
     peers: HashMap<NodeId, PeerState>,
     retransmits: u64,
+    obs: dw_obs::Obs,
 }
 
 impl Endpoint {
@@ -117,7 +118,15 @@ impl Endpoint {
             rng: Rng64::new(seed),
             peers: HashMap::new(),
             retransmits: 0,
+            obs: dw_obs::Obs::off(),
         }
+    }
+
+    /// Attach an observability recorder: retransmission counts, the RTO
+    /// backoff trajectory (`transport.rto`), and armed-timer delays
+    /// (`transport.retx_delay`). `Obs::off()` detaches.
+    pub fn set_observer(&mut self, obs: dw_obs::Obs) {
+        self.obs = obs;
     }
 
     fn peer(&mut self, peer: NodeId) -> &mut PeerState {
@@ -272,6 +281,7 @@ impl Endpoint {
         state.timer_armed = true;
         state.oldest_at_arm = *state.outbox.keys().next().expect("outbox non-empty");
         let delay = state.rto_cur.saturating_add(jitter);
+        self.obs.observe("transport.retx_delay", delay);
         net.send_after(node, node, Message::RetxTick { peer }, delay);
     }
 
@@ -299,8 +309,12 @@ impl Endpoint {
             .map(|(&seq, msg)| (seq, msg.clone()))
             .collect();
         state.rto_cur = state.rto_cur.saturating_mul(2).min(rto_max);
+        // The backed-off RTO that will govern the *next* wait on this peer.
+        let rto_next = state.rto_cur;
+        self.obs.observe("transport.rto", rto_next);
         for (seq, msg) in frames {
             self.retransmits += 1;
+            self.obs.add("transport.retransmits", 1);
             net.send(
                 node,
                 peer,
@@ -327,6 +341,7 @@ impl Endpoint {
             state.rto_cur = rto;
             state.resync_pending = true;
             let recv_cum = state.recv_next;
+            self.obs.add("transport.resyncs", 1);
             net.send(node, peer, Message::Resync { recv_cum });
             self.arm_resync(peer, net);
         }
@@ -423,9 +438,9 @@ impl Endpoint {
     /// True when nothing is pending anywhere: all frames acknowledged,
     /// no reorder buffers holding data, no resync in flight.
     pub fn is_quiescent(&self) -> bool {
-        self.peers.values().all(|s| {
-            s.outbox.is_empty() && s.reorder.is_empty() && !s.resync_pending
-        })
+        self.peers
+            .values()
+            .all(|s| s.outbox.is_empty() && s.reorder.is_empty() && !s.resync_pending)
     }
 
     /// The node this endpoint belongs to.
@@ -583,11 +598,7 @@ mod tests {
         for seed in 0..10 {
             let mut net: Network<Message> = Network::new(seed);
             net.set_default_latency(LatencyModel::Constant(1_000));
-            net.set_faults(
-                FaultPlan::default()
-                    .crash(1, 5_000, 150_000)
-                    .drop_rate(0.1),
-            );
+            net.set_faults(FaultPlan::default().crash(1, 5_000, 150_000).drop_rate(0.1));
             let cfg = TransportConfig::for_latency_mean(1_000.0);
             let mut eps = [
                 Endpoint::new(0, cfg, seed ^ 0xA),
@@ -613,7 +624,10 @@ mod tests {
                 }
             }
             assert_eq!(got, (0..20).collect::<Vec<_>>(), "seed {seed}");
-            assert!(eps[0].is_quiescent() && eps[1].is_quiescent(), "seed {seed}");
+            assert!(
+                eps[0].is_quiescent() && eps[1].is_quiescent(),
+                "seed {seed}"
+            );
         }
     }
 
@@ -635,11 +649,15 @@ mod tests {
             eps[0].send(1, update(0, 0), &mut net);
             let mut injected = false;
             let mut sent_rest = false;
-            net.inject(2_000, 0, Message::ApplyTxn {
-                rel: 0,
-                delta: Bag::new(),
-                global: None,
-            });
+            net.inject(
+                2_000,
+                0,
+                Message::ApplyTxn {
+                    rel: 0,
+                    delta: Bag::new(),
+                    global: None,
+                },
+            );
             net.inject(100_000, 0, Message::Restart);
             let mut got = Vec::new();
             let mut steps = 0u64;

@@ -127,6 +127,20 @@ pub fn extend_partial(
     neighbor: &Bag,
     side: JoinSide,
 ) -> Result<PartialDelta, RelationalError> {
+    extend_partial_observed(view, partial, neighbor, side, &dw_obs::Obs::off())
+}
+
+/// [`extend_partial`] with instrumentation: records the hash-join's build
+/// input (`join.build_rows`), probe input (`join.probe_rows`), and output
+/// (`join.out_rows`) sizes into the recorder behind `obs`. With
+/// `Obs::off()` this *is* `extend_partial`.
+pub fn extend_partial_observed(
+    view: &ViewDef,
+    partial: &PartialDelta,
+    neighbor: &Bag,
+    side: JoinSide,
+    obs: &dw_obs::Obs,
+) -> Result<PartialDelta, RelationalError> {
     let (nbr_idx, cond_idx) = match side {
         JoinSide::Left => {
             if partial.lo == 0 {
@@ -172,6 +186,7 @@ pub fn extend_partial(
     // Hash the (selected) neighbor on its join key, then probe with the
     // partial delta. Neighbor tuples must match the neighbor schema arity.
     let mut table: HashMap<Vec<Value>, Vec<(&Tuple, i64)>> = HashMap::new();
+    let mut built = 0u64;
     for (t, c) in neighbor.iter() {
         if t.arity() != nbr_schema.arity() {
             return Err(RelationalError::ArityMismatch {
@@ -185,6 +200,7 @@ pub fn extend_partial(
         }
         let key: Vec<Value> = nbr_keys.iter().map(|&k| t.at(k).clone()).collect();
         table.entry(key).or_default().push((t, c));
+        built += 1;
     }
 
     let mut out = Bag::new();
@@ -199,6 +215,12 @@ pub fn extend_partial(
                 out.add(joined, pc * nc);
             }
         }
+    }
+
+    if obs.enabled() {
+        obs.observe("join.build_rows", built);
+        obs.observe("join.probe_rows", partial.bag.distinct_len() as u64);
+        obs.observe("join.out_rows", out.distinct_len() as u64);
     }
 
     Ok(PartialDelta {

@@ -42,7 +42,7 @@ pub mod view;
 
 pub use bag::Bag;
 pub use error::RelationalError;
-pub use eval::{eval_view, extend_partial, JoinSide, PartialDelta};
+pub use eval::{eval_view, extend_partial, extend_partial_observed, JoinSide, PartialDelta};
 pub use index::{extend_partial_indexed, JoinIndex};
 pub use key::KeySpec;
 pub use predicate::{CmpOp, Predicate};

@@ -215,11 +215,7 @@ fn incremental_equals_recompute() {
 fn local_compensation_identity() {
     for case in 0..CASES {
         let mut rng = Rng64::new(1_000 + case);
-        let (r1, d1, d2) = (
-            arb_relation(&mut rng),
-            arb_bag(&mut rng),
-            arb_bag(&mut rng),
-        );
+        let (r1, d1, d2) = (arb_relation(&mut rng), arb_bag(&mut rng), arb_bag(&mut rng));
         let view = two_chain();
         let seed = PartialDelta::seed(&view, 1, &d2).unwrap();
         // What the source returns after applying ΔR1:
@@ -227,9 +223,13 @@ fn local_compensation_identity() {
             .unwrap()
             .bag;
         // Error term, computable entirely at the warehouse:
-        let error = extend_partial(&view, &seed, &d1, JoinSide::Left).unwrap().bag;
+        let error = extend_partial(&view, &seed, &d1, JoinSide::Left)
+            .unwrap()
+            .bag;
         // Target: the answer on the pre-update state.
-        let clean = extend_partial(&view, &seed, &r1, JoinSide::Left).unwrap().bag;
+        let clean = extend_partial(&view, &seed, &r1, JoinSide::Left)
+            .unwrap()
+            .bag;
         assert_eq!(contaminated.minus(&error), clean, "case {case}");
     }
 }
@@ -251,8 +251,12 @@ fn projection_preserves_total_signed_count() {
 fn concat_then_project_recovers_parts() {
     for case in 0..CASES {
         let mut r = Rng64::new(1_200 + case);
-        let xs: Vec<i64> = (0..1 + r.usize_below(4)).map(|_| r.i64_in(0, 100)).collect();
-        let ys: Vec<i64> = (0..1 + r.usize_below(4)).map(|_| r.i64_in(0, 100)).collect();
+        let xs: Vec<i64> = (0..1 + r.usize_below(4))
+            .map(|_| r.i64_in(0, 100))
+            .collect();
+        let ys: Vec<i64> = (0..1 + r.usize_below(4))
+            .map(|_| r.i64_in(0, 100))
+            .collect();
         let a = Tuple::new(xs.iter().map(|&v| v.into()).collect());
         let b = Tuple::new(ys.iter().map(|&v| v.into()).collect());
         let c = a.concat(&b);

@@ -68,10 +68,7 @@ impl Rng64 {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let [s0, s1, s2, s3] = self.s;
-        let result = s0
-            .wrapping_add(s3)
-            .rotate_left(23)
-            .wrapping_add(s0);
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
         let t = s1 << 17;
         let mut s = [s0, s1, s2, s3];
         s[2] ^= s[0];
@@ -155,10 +152,16 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a: Vec<u64> = (0..32).scan(Rng64::new(7), |r, _| Some(r.next_u64())).collect();
-        let b: Vec<u64> = (0..32).scan(Rng64::new(7), |r, _| Some(r.next_u64())).collect();
+        let a: Vec<u64> = (0..32)
+            .scan(Rng64::new(7), |r, _| Some(r.next_u64()))
+            .collect();
+        let b: Vec<u64> = (0..32)
+            .scan(Rng64::new(7), |r, _| Some(r.next_u64()))
+            .collect();
         assert_eq!(a, b);
-        let c: Vec<u64> = (0..32).scan(Rng64::new(8), |r, _| Some(r.next_u64())).collect();
+        let c: Vec<u64> = (0..32)
+            .scan(Rng64::new(8), |r, _| Some(r.next_u64()))
+            .collect();
         assert_ne!(a, c);
     }
 

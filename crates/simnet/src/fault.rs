@@ -269,7 +269,10 @@ mod tests {
         assert!(!plan.node_down(3, 999));
         assert!(plan.node_down(3, 1_000));
         assert!(plan.node_down(3, 1_999));
-        assert!(!plan.node_down(3, 2_000), "node is up at the restart instant");
+        assert!(
+            !plan.node_down(3, 2_000),
+            "node is up at the restart instant"
+        );
         assert!(!plan.node_down(2, 1_500));
         assert_eq!(plan.crashes().len(), 1);
         assert!(!plan.is_trivial());

@@ -89,6 +89,7 @@ pub struct Network<M> {
     stats: NetStats,
     trace: Trace,
     rng: Rng64,
+    obs: dw_obs::Obs,
 }
 
 impl<M: Payload> Network<M> {
@@ -105,7 +106,15 @@ impl<M: Payload> Network<M> {
             stats: NetStats::default(),
             trace: Trace::default(),
             rng: Rng64::new(seed),
+            obs: dw_obs::Obs::off(),
         }
+    }
+
+    /// Attach an observability recorder; the network records per-link
+    /// queueing delay (FIFO-clamp slack) into the `net.queue_delay`
+    /// histogram. `Obs::off()` detaches.
+    pub fn set_observer(&mut self, obs: dw_obs::Obs) {
+        self.obs = obs;
     }
 
     /// Current simulation time.
@@ -178,7 +187,8 @@ impl<M: Payload> Network<M> {
         // send time: a drop later recovered by a retransmission is still
         // one logical message.
         if !msg.is_retransmit() {
-            self.stats.record_logical_send(msg.label(), msg.size_bytes());
+            self.stats
+                .record_logical_send(msg.label(), msg.size_bytes());
         }
         let faults = self.faults.link_faults(from, to);
 
@@ -224,6 +234,9 @@ impl<M: Payload> Network<M> {
             let floor = self.last_delivery.get(&(from, to)).copied().unwrap_or(0);
             let at = naive.max(floor);
             self.last_delivery.insert((from, to), at);
+            // Queueing delay: how long the FIFO clamp held this message
+            // behind earlier traffic on the same link.
+            self.obs.observe("net.queue_delay", at - naive);
             at
         };
 

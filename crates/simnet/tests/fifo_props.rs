@@ -129,7 +129,14 @@ fn deterministic_schedules() {
                 }));
             }
             for (i, &(from, to)) in sends.iter().enumerate() {
-                net.send(from, to, Msg { from, seq: i as u32 });
+                net.send(
+                    from,
+                    to,
+                    Msg {
+                        from,
+                        seq: i as u32,
+                    },
+                );
             }
             let mut out = Vec::new();
             while let Some(d) = net.next() {
@@ -153,7 +160,14 @@ fn stats_exact() {
             // tick, which by design is not traffic.
             let from = r.usize_below(3);
             let to = (from + 1 + r.usize_below(2)) % 3;
-            net.send(from, to, Msg { from, seq: i as u32 });
+            net.send(
+                from,
+                to,
+                Msg {
+                    from,
+                    seq: i as u32,
+                },
+            );
         }
         while net.next().is_some() {}
         assert_eq!(net.stats().total().messages, n_sends as u64, "case {case}");
@@ -187,7 +201,14 @@ fn fault_accounting_identity() {
         }));
         for i in 0..n_sends {
             let (from, to) = (r.usize_below(3), 3 + r.usize_below(2));
-            net.send(from, to, Msg { from, seq: i as u32 });
+            net.send(
+                from,
+                to,
+                Msg {
+                    from,
+                    seq: i as u32,
+                },
+            );
         }
         let mut delivered = 0u64;
         while net.next().is_some() {
@@ -220,7 +241,14 @@ fn reorder_is_lossless() {
         net.set_default_latency(LatencyModel::Constant(100));
         net.set_faults(FaultPlan::default().reorder(r.f64(), 50_000));
         for i in 0..n_sends {
-            net.send(0, 1, Msg { from: 0, seq: i as u32 });
+            net.send(
+                0,
+                1,
+                Msg {
+                    from: 0,
+                    seq: i as u32,
+                },
+            );
         }
         let mut got: Vec<u32> = Vec::new();
         while let Some(d) = net.next() {

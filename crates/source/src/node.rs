@@ -1,9 +1,10 @@
 //! The per-source update & query server (paper Figure 3).
 
+use dw_obs::Obs;
 use dw_protocol::{source_node, Message, SourceIndex, SourceUpdate, UpdateId, WAREHOUSE_NODE};
 use dw_relational::{
-    extend_partial, extend_partial_indexed, BaseRelation, JoinIndex, Predicate, RelationalError,
-    ViewDef,
+    extend_partial_indexed, extend_partial_observed, BaseRelation, JoinIndex, Predicate,
+    RelationalError, ViewDef,
 };
 use dw_simnet::{NetHandle, NodeId};
 use std::fmt;
@@ -69,6 +70,8 @@ pub struct DataSource {
     /// Incrementally maintained join indexes (left-neighbor key,
     /// right-neighbor key), when enabled.
     indexes: Option<SourceIndexes>,
+    /// Observability handle (no-op unless a recorder is attached).
+    obs: Obs,
 }
 
 /// The two join indexes a chain source can be probed through: one for
@@ -93,7 +96,14 @@ impl DataSource {
             next_seq: 0,
             txns_applied: 0,
             indexes: None,
+            obs: Obs::off(),
         }
+    }
+
+    /// Attach an observability recorder: per-query join build/probe sizes
+    /// are recorded when answering sweep queries. `Obs::off()` detaches.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Create with maintained join indexes: queries are answered through
@@ -146,6 +156,7 @@ impl DataSource {
                 as_right_neighbor,
                 as_left_neighbor,
             }),
+            obs: Obs::off(),
         })
     }
 
@@ -220,8 +231,17 @@ impl DataSource {
                 });
                 let widened = match chosen {
                     Some(ix) => extend_partial_indexed(&self.view, &q.partial, ix, q.side)?,
-                    None => extend_partial(&self.view, &q.partial, self.relation.bag(), q.side)?,
+                    None => extend_partial_observed(
+                        &self.view,
+                        &q.partial,
+                        self.relation.bag(),
+                        q.side,
+                        &self.obs,
+                    )?,
                 };
+                self.obs.add("source.queries_served", 1);
+                self.obs
+                    .observe("source.answer_rows", widened.bag.distinct_len() as u64);
                 net.send(
                     source_node(self.index),
                     WAREHOUSE_NODE,

@@ -1,5 +1,6 @@
 //! Per-policy counters and staleness accounting.
 
+use dw_obs::Histogram;
 use dw_simnet::Time;
 
 /// Counters every policy maintains. Message *totals* live in
@@ -28,45 +29,39 @@ pub struct PolicyMetrics {
     /// Times recursion was refused because the depth bound was hit
     /// (Nested SWEEP forced-termination switch).
     pub depth_bound_hits: u64,
-    /// Per-update staleness samples: install time − delivery time, in
-    /// simulation microseconds.
-    staleness: Vec<Time>,
+    /// Per-update staleness: install time − delivery time, in simulation
+    /// microseconds. Log-linear buckets; `count`/`sum`/`min`/`max` exact.
+    staleness: Histogram,
 }
 
 impl PolicyMetrics {
     /// Record that an update delivered at `delivered` was incorporated into
     /// the view at `installed`.
     pub fn record_staleness(&mut self, delivered: Time, installed: Time) {
-        self.staleness.push(installed.saturating_sub(delivered));
+        self.staleness.record(installed.saturating_sub(delivered));
     }
 
-    /// All staleness samples.
-    pub fn staleness_samples(&self) -> &[Time] {
+    /// The full staleness distribution.
+    pub fn staleness_histogram(&self) -> &Histogram {
         &self.staleness
     }
 
-    /// Mean staleness in microseconds (0 when no samples).
+    /// Mean staleness in microseconds (0 when no samples). Exact: the
+    /// histogram tracks the sample sum outside its buckets.
     pub fn mean_staleness(&self) -> f64 {
-        if self.staleness.is_empty() {
-            return 0.0;
-        }
-        self.staleness.iter().sum::<u64>() as f64 / self.staleness.len() as f64
+        self.staleness.mean().unwrap_or(0.0)
     }
 
-    /// Maximum staleness observed.
+    /// Maximum staleness observed (exact).
     pub fn max_staleness(&self) -> Time {
-        self.staleness.iter().copied().max().unwrap_or(0)
+        self.staleness.max().unwrap_or(0)
     }
 
-    /// Staleness percentile `p ∈ [0, 100]` (nearest-rank; 0 when empty).
+    /// Staleness percentile `p ∈ [0, 100]` (nearest rank over histogram
+    /// buckets — values below 128 µs exact, ≤1/64 low otherwise; 0 when
+    /// empty).
     pub fn staleness_percentile(&self, p: f64) -> Time {
-        if self.staleness.is_empty() {
-            return 0;
-        }
-        let mut sorted = self.staleness.clone();
-        sorted.sort_unstable();
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.clamp(1, sorted.len()) - 1]
+        self.staleness.percentile(p).unwrap_or(0)
     }
 
     /// Queries per update actually observed (the Table 1 column).
@@ -87,7 +82,7 @@ mod tests {
         let mut m = PolicyMetrics::default();
         m.record_staleness(10, 30);
         m.record_staleness(20, 30);
-        assert_eq!(m.staleness_samples(), &[20, 10]);
+        assert_eq!(m.staleness_histogram().count(), 2);
         assert_eq!(m.mean_staleness(), 15.0);
         assert_eq!(m.max_staleness(), 20);
     }

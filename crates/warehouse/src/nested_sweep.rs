@@ -30,6 +30,7 @@ use crate::metrics::PolicyMetrics;
 use crate::policy::MaintenancePolicy;
 use crate::queue::{PendingUpdate, UpdateQueue};
 use crate::view::MaterializedView;
+use dw_obs::{Obs, SpanId};
 use dw_protocol::{source_node, Message, SweepQuery, UpdateId, WAREHOUSE_NODE};
 use dw_relational::{extend_partial, Bag, JoinSide, PartialDelta, ViewDef};
 use dw_simnet::{Delivery, NetHandle, Time};
@@ -50,8 +51,8 @@ struct Frame {
     left: usize,
     source: usize,
     right: usize,
-    /// In-flight query, if any: `(qid, j, side, TempView)`.
-    pending: Option<(u64, usize, JoinSide, PartialDelta)>,
+    /// In-flight query, if any: `(qid, j, side, TempView, hop span)`.
+    pending: Option<(u64, usize, JoinSide, PartialDelta, SpanId)>,
 }
 
 impl Frame {
@@ -101,6 +102,10 @@ pub struct NestedSweep {
     opts: NestedSweepOptions,
     next_qid: u64,
     active: Option<Active>,
+    /// Observability handle (no-op unless a recorder is attached).
+    obs: Obs,
+    /// Open `nested_sweep` span for the batch currently being processed.
+    cur_span: SpanId,
 }
 
 impl NestedSweep {
@@ -125,6 +130,8 @@ impl NestedSweep {
             opts,
             next_qid: 0,
             active: None,
+            obs: Obs::off(),
+            cur_span: SpanId::NONE,
         })
     }
 
@@ -144,10 +151,15 @@ impl NestedSweep {
         dv: &PartialDelta,
         j: usize,
         side: JoinSide,
-    ) -> u64 {
+    ) -> (u64, SpanId) {
         let qid = self.next_qid;
         self.next_qid += 1;
         self.metrics.queries_sent += 1;
+        let hop = self
+            .obs
+            .span_start("nested_sweep.hop", net.now(), self.cur_span);
+        self.obs
+            .observe("nested_sweep.query_rows", dv.bag.distinct_len() as u64);
         net.send(
             WAREHOUSE_NODE,
             source_node(j),
@@ -157,7 +169,7 @@ impl NestedSweep {
                 side,
             }),
         );
-        qid
+        (qid, hop)
     }
 
     /// Pop the queue head and start the outer `ViewChange(ΔR, 1, i, n)`.
@@ -167,6 +179,11 @@ impl NestedSweep {
             return Ok(());
         };
         let i = update.id.source;
+        self.cur_span = self.obs.span_start("nested_sweep", net.now(), SpanId::NONE);
+        self.obs.observe(
+            "nested_sweep.delta_rows",
+            update.delta.distinct_len() as u64,
+        );
         let frame = Frame::new(&self.view_def, i, 0, self.n() - 1, &update.delta)?;
         let mut active = Active {
             stack: vec![frame],
@@ -193,9 +210,9 @@ impl NestedSweep {
             match top.next_target() {
                 Some((j, side)) => {
                     let dv = top.dv.clone();
-                    let qid = self.send_query(net, &dv, j, side);
+                    let (qid, hop) = self.send_query(net, &dv, j, side);
                     let top = active.stack.last_mut().expect("frame present");
-                    top.pending = Some((qid, j, side, dv));
+                    top.pending = Some((qid, j, side, dv, hop));
                     return Ok(());
                 }
                 None => {
@@ -238,6 +255,12 @@ impl NestedSweep {
         }
         let frame = active.stack.into_iter().next().expect("one frame");
         let final_bag = frame.dv.finalize(&self.view_def)?;
+        self.obs
+            .observe("nested_sweep.install_rows", final_bag.distinct_len() as u64);
+        self.obs
+            .observe("nested_sweep.batch_updates", active.consumed.len() as u64);
+        self.obs.span_end(self.cur_span, net.now());
+        self.cur_span = SpanId::NONE;
         self.view.install(&final_bag)?;
         self.metrics.installs += 1;
         let now = net.now();
@@ -270,7 +293,8 @@ impl NestedSweep {
                 return Err(WarehouseError::UnknownQuery { qid });
             }
         }
-        let (_, j, side, temp) = top.pending.take().expect("checked above");
+        let (_, j, side, temp, hop) = top.pending.take().expect("checked above");
+        self.obs.span_end(hop, net.now());
         top.dv = partial;
         let depth = active.stack.len();
         let top = active.stack.last_mut().expect("active implies frames");
@@ -283,6 +307,8 @@ impl NestedSweep {
                 let err = extend_partial(&self.view_def, &temp, &merged, side)?;
                 top.dv.bag.subtract(&err.bag);
                 self.metrics.local_compensations += 1;
+                self.obs.add("nested_sweep.compensations", 1);
+                self.obs.add("nested_sweep.recursions", 1);
                 active.consumed.extend(infos);
                 let (left, source, right) = match side {
                     JoinSide::Left => (j, j, top.source),
@@ -302,8 +328,12 @@ impl NestedSweep {
                 top.dv.bag.subtract(&err.bag);
                 self.metrics.local_compensations += 1;
                 self.metrics.depth_bound_hits += 1;
+                self.obs.add("nested_sweep.compensations", 1);
+                self.obs.add("nested_sweep.depth_bound_hits", 1);
             }
         }
+        self.obs
+            .observe("nested_sweep.depth", active.stack.len() as u64);
 
         self.pump(net, &mut active)?;
         self.finish_or_park(net, active)
@@ -358,6 +388,10 @@ impl MaintenancePolicy for NestedSweep {
 
     fn set_record_snapshots(&mut self, record: bool) {
         self.record_snapshots = record;
+    }
+
+    fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 }
 

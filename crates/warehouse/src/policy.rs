@@ -39,4 +39,8 @@ pub trait MaintenancePolicy: Send {
     /// Enable/disable view snapshots in [`InstallRecord`]s (enabled by
     /// default; disable for big benchmark runs).
     fn set_record_snapshots(&mut self, record: bool);
+
+    /// Attach an observability recorder. Policies that don't emit spans
+    /// keep the no-op default; `Obs::off()` detaches.
+    fn set_observer(&mut self, _obs: dw_obs::Obs) {}
 }

@@ -30,6 +30,7 @@ use crate::metrics::PolicyMetrics;
 use crate::policy::MaintenancePolicy;
 use crate::queue::{PendingUpdate, UpdateQueue};
 use crate::view::MaterializedView;
+use dw_obs::{Obs, SpanId};
 use dw_protocol::{source_node, GlobalPart, Message, SweepQuery, UpdateId, WAREHOUSE_NODE};
 use dw_relational::{extend_partial, Bag, JoinSide, PartialDelta, Tuple, Value, ViewDef};
 use dw_simnet::{Delivery, NetHandle, Time};
@@ -57,6 +58,8 @@ struct Leg {
     j: usize,
     /// Direction of this leg.
     side: JoinSide,
+    /// Open `sweep.hop` span for the in-flight query round-trip.
+    hop: SpanId,
 }
 
 #[derive(Clone, Debug)]
@@ -105,6 +108,10 @@ pub struct Sweep {
     /// Finalized view changes buffered while a global transaction is
     /// incomplete — flushed as one atomic install.
     hold: Option<Hold>,
+    /// Observability handle (no-op unless a recorder is attached).
+    obs: Obs,
+    /// Open `sweep` span for the update currently being processed.
+    cur_span: SpanId,
 }
 
 #[derive(Debug, Default)]
@@ -129,6 +136,8 @@ impl Sweep {
             global_tags: HashMap::new(),
             pending_globals: HashMap::new(),
             hold: None,
+            obs: Obs::off(),
+            cur_span: SpanId::NONE,
         })
     }
 
@@ -152,16 +161,21 @@ impl Sweep {
         self.view_def.num_relations()
     }
 
+    /// Send one source query; opens a `sweep.hop` span covering the query
+    /// round-trip (closed when the answer is consumed).
     fn send_query(
         &mut self,
         net: &mut dyn NetHandle<Message>,
         dv: &PartialDelta,
         j: usize,
         side: JoinSide,
-    ) -> u64 {
+    ) -> (u64, SpanId) {
         let qid = self.next_qid;
         self.next_qid += 1;
         self.metrics.queries_sent += 1;
+        let hop = self.obs.span_start("sweep.hop", net.now(), self.cur_span);
+        self.obs
+            .observe("sweep.query_rows", dv.bag.distinct_len() as u64);
         net.send(
             WAREHOUSE_NODE,
             source_node(j),
@@ -171,7 +185,7 @@ impl Sweep {
                 side,
             }),
         );
-        qid
+        (qid, hop)
     }
 
     /// The support of a delta: every distinct tuple at multiplicity `+1`.
@@ -186,6 +200,9 @@ impl Sweep {
             return Ok(());
         };
         let i = update.id.source;
+        self.cur_span = self.obs.span_start("sweep", net.now(), SpanId::NONE);
+        self.obs
+            .observe("sweep.delta_rows", update.delta.distinct_len() as u64);
         let seeded = PartialDelta::seed(&self.view_def, i, &update.delta)?;
 
         // Degenerate chains and filtered-out updates need no queries.
@@ -209,8 +226,8 @@ impl Sweep {
                 hi: i,
                 bag: Self::support(&seeded.bag),
             };
-            let lqid = self.send_query(net, &left_dv, i - 1, JoinSide::Left);
-            let rqid = self.send_query(net, &right_dv, i + 1, JoinSide::Right);
+            let (lqid, lhop) = self.send_query(net, &left_dv, i - 1, JoinSide::Left);
+            let (rqid, rhop) = self.send_query(net, &right_dv, i + 1, JoinSide::Right);
             self.state = State::Par {
                 upd: update.id,
                 delivered_at: arrived_at,
@@ -221,6 +238,7 @@ impl Sweep {
                     qid: lqid,
                     j: i - 1,
                     side: JoinSide::Left,
+                    hop: lhop,
                 }),
                 right: LegSlot::Running(Leg {
                     temp: right_dv.clone(),
@@ -228,6 +246,7 @@ impl Sweep {
                     qid: rqid,
                     j: i + 1,
                     side: JoinSide::Right,
+                    hop: rhop,
                 }),
             };
             return Ok(());
@@ -239,7 +258,7 @@ impl Sweep {
         } else {
             (i + 1, JoinSide::Right)
         };
-        let qid = self.send_query(net, &seeded, j, side);
+        let (qid, hop) = self.send_query(net, &seeded, j, side);
         self.state = State::Seq {
             upd: update.id,
             delivered_at: arrived_at,
@@ -250,6 +269,7 @@ impl Sweep {
                 qid,
                 j,
                 side,
+                hop,
             },
         };
         Ok(())
@@ -271,6 +291,9 @@ impl Sweep {
         let err = extend_partial(&self.view_def, temp, &merged, side)?;
         dv.bag.subtract(&err.bag);
         self.metrics.local_compensations += 1;
+        self.obs.add("sweep.compensations", 1);
+        self.obs
+            .observe("sweep.comp_rows", err.bag.distinct_len() as u64);
         Ok(())
     }
 
@@ -281,6 +304,10 @@ impl Sweep {
         delivered_at: Time,
         final_bag: Bag,
     ) -> Result<(), WarehouseError> {
+        self.obs
+            .observe("sweep.install_rows", final_bag.distinct_len() as u64);
+        self.obs.span_end(self.cur_span, net.now());
+        self.cur_span = SpanId::NONE;
         // Global-transaction bookkeeping (type 3 updates, per the paper's
         // §2 pointer to [ZGMW96]): a part's view change is computed like
         // any other update's, but installs are *held* until every part of
@@ -343,6 +370,7 @@ impl Sweep {
         else {
             unreachable!("seq_answer outside Seq state");
         };
+        self.obs.span_end(leg.hop, net.now());
         leg.dv = partial;
         let (j, side) = (leg.j, leg.side);
         let temp = leg.temp.clone();
@@ -363,7 +391,9 @@ impl Sweep {
         match next {
             Some((nj, nside)) => {
                 leg.temp = leg.dv.clone();
-                leg.qid = self.send_query(net, &leg.dv, nj, nside);
+                let (qid, hop) = self.send_query(net, &leg.dv, nj, nside);
+                leg.qid = qid;
+                leg.hop = hop;
                 leg.j = nj;
                 leg.side = nside;
                 self.state = State::Seq {
@@ -418,6 +448,7 @@ impl Sweep {
         else {
             unreachable!()
         };
+        self.obs.span_end(leg.hop, net.now());
         leg.dv = partial;
         let (j, side) = (leg.j, leg.side);
         let temp = leg.temp.clone();
@@ -433,8 +464,9 @@ impl Sweep {
             Some(nj) => {
                 leg.temp = leg.dv.clone();
                 let dv = leg.dv.clone();
-                let qid = self.send_query(net, &dv, nj, side);
+                let (qid, hop) = self.send_query(net, &dv, nj, side);
                 leg.qid = qid;
+                leg.hop = hop;
                 leg.j = nj;
                 let slot_ref = if use_left { &mut left } else { &mut right };
                 *slot_ref = LegSlot::Running(leg);
@@ -564,6 +596,10 @@ impl MaintenancePolicy for Sweep {
 
     fn set_record_snapshots(&mut self, record: bool) {
         self.record_snapshots = record;
+    }
+
+    fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 }
 

@@ -102,11 +102,7 @@ fn group_counts_match_view_multiplicity() {
         }
         expect.retain(|_, c| *c != 0);
         for (g, c) in expect {
-            assert_eq!(
-                agg.count(&[dw_relational::Value::Int(g)]),
-                c,
-                "case {case}"
-            );
+            assert_eq!(agg.count(&[dw_relational::Value::Int(g)]), c, "case {case}");
         }
     }
 }

@@ -57,7 +57,10 @@ impl Default for FaultScenarioConfig {
 impl FaultScenarioConfig {
     /// Generate one fault plan. Deterministic in `(self, seed)`.
     pub fn generate(&self, seed: u64) -> FaultPlan {
-        assert!(self.n_nodes >= 2, "need a warehouse and at least one source");
+        assert!(
+            self.n_nodes >= 2,
+            "need a warehouse and at least one source"
+        );
         let mut rng = Rng64::new(seed ^ 0xFA17_5EED);
         let mut plan = FaultPlan::default().uniform(LinkFaults {
             drop_rate: rng.f64() * self.max_drop_rate,
@@ -89,13 +92,19 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let cfg = FaultScenarioConfig::default();
-        assert_eq!(format!("{:?}", cfg.generate(7)), format!("{:?}", cfg.generate(7)));
+        assert_eq!(
+            format!("{:?}", cfg.generate(7)),
+            format!("{:?}", cfg.generate(7))
+        );
     }
 
     #[test]
     fn different_seeds_differ() {
         let cfg = FaultScenarioConfig::default();
-        assert_ne!(format!("{:?}", cfg.generate(1)), format!("{:?}", cfg.generate(2)));
+        assert_ne!(
+            format!("{:?}", cfg.generate(1)),
+            format!("{:?}", cfg.generate(2))
+        );
     }
 
     #[test]

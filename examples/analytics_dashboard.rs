@@ -6,8 +6,8 @@
 
 use dwsweep::prelude::*;
 use dwsweep::relational::parse_view;
-use dwsweep::warehouse::{AggFn, AggregateView, AggregateViewDef};
 use dwsweep::rng::Rng64;
+use dwsweep::warehouse::{AggFn, AggregateView, AggregateViewDef};
 use dwsweep::workload::ScheduledTxn;
 
 fn main() {
