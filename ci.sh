@@ -9,6 +9,15 @@ cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
 
+echo "==> README crate table covers every workspace crate"
+for d in crates/*/; do
+  c="dw-$(basename "$d")"
+  if ! grep -Eq "^\| \`$c\`" README.md; then
+    echo "FAIL: $c is missing from the README crate-map table" >&2
+    exit 1
+  fi
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -16,7 +16,8 @@ use dw_warehouse::{PipelinedSweepOptions, SweepOptions};
 use dw_workload::StreamConfig;
 
 fn main() {
-    let updates = dw_bench::pick(dw_bench::smoke(), 12, 40);
+    let args = dw_bench::BenchArgs::parse();
+    let updates = args.pick(12, 40);
     println!("SWEEP ablation (n = 6, 3 ms links, {updates} updates)\n");
     let mut t = TableWriter::new([
         "variant",

@@ -13,9 +13,9 @@ use dw_simnet::{FaultPlan, LatencyModel, LinkFaults};
 use dw_workload::StreamConfig;
 
 fn main() {
-    let smoke = dw_bench::smoke();
-    let losses: &[f64] = dw_bench::pick(smoke, &[0.0, 0.05, 0.20], &[0.0, 0.01, 0.05, 0.10, 0.20]);
-    let updates = dw_bench::pick(smoke, 15, 40);
+    let args = dw_bench::BenchArgs::parse();
+    let losses: &[f64] = args.pick(&[0.0, 0.05, 0.20], &[0.0, 0.01, 0.05, 0.10, 0.20]);
+    let updates = args.pick(15, 40);
     println!(
         "fault sweep (n = 3, 2 ms links, {updates} updates, SWEEP + reliability transport;\n\
          each loss rate also duplicates 2% and reorders 2% of messages)\n"

@@ -71,7 +71,7 @@ fn run(label: &str, gap: u64) -> Vec<String> {
 fn main() {
     // `--smoke` accepted for uniformity: the worked example is already
     // minimal, so smoke and full coincide.
-    let _ = dw_bench::smoke();
+    let _ = dw_bench::BenchArgs::parse();
     println!("Figure 5 (reproduced): V = Π[D,F](R1 ⋈ R2 ⋈ R3)");
     println!("updates: ΔR2 = +(3,5);  ΔR3 = −(7,8);  ΔR1 = −(2,3)\n");
 

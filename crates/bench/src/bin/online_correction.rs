@@ -13,7 +13,7 @@ use dw_workload::{GeneratedScenario, ScheduledTxn};
 fn main() {
     // `--smoke` accepted for uniformity: the Figure 2 timeline is already
     // minimal, so smoke and full coincide.
-    let _ = dw_bench::smoke();
+    let _ = dw_bench::BenchArgs::parse();
     let view = ViewDefBuilder::new()
         .relation(Schema::new("R1", ["A", "B"]).unwrap())
         .relation(Schema::new("R2", ["C", "D"]).unwrap())

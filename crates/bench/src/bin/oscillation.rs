@@ -57,7 +57,8 @@ fn main() {
         "installs",
         "consistency",
     ]);
-    let bursts: &[usize] = dw_bench::pick(dw_bench::smoke(), &[4, 8], &[4, 8, 16, 32]);
+    let args = dw_bench::BenchArgs::parse();
+    let bursts: &[usize] = args.pick(&[4, 8], &[4, 8, 16, 32]);
     let mut unbounded_depths = Vec::new();
     for &updates in bursts {
         let (d, hits, inst, level) = run(updates, None);

@@ -1,4 +1,4 @@
-//! **The CI perf-regression gate.** Re-runs the E1/E6/E12 scenarios in
+//! **The CI perf-regression gate.** Re-runs the E1/E6/E12/E14 scenarios in
 //! the same mode as the committed `BENCH_report.json` and diffs fresh
 //! against baseline (see `dw_bench::perf::gate` for the exact rules):
 //!
@@ -18,10 +18,7 @@
 use dw_bench::perf::{self, PerfReport};
 
 fn main() {
-    let path = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with("--"))
-        .unwrap_or_else(|| "BENCH_report.json".to_string());
+    let path = dw_bench::BenchArgs::parse().positional_or("BENCH_report.json");
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         panic!("cannot read baseline {path}: {e} — generate it with perf_report")
     });
@@ -30,7 +27,7 @@ fn main() {
 
     let smoke = baseline.mode == "smoke";
     println!(
-        "perf gate: re-running E1/E6/E12 in {} mode against {path}",
+        "perf gate: re-running E1/E6/E12/E14 in {} mode against {path}",
         baseline.mode
     );
     let fresh = perf::collect(smoke);

@@ -1,7 +1,7 @@
 //! **E13 — the perf baseline**: run the invariant-bearing experiments
-//! (E1 Table 1, E6 message linearity, E12 faults + transport) and write a
-//! machine-readable `BENCH_report.json`. The committed copy is the
-//! baseline `perf_gate` diffs against in CI.
+//! (E1 Table 1, E6 message linearity, E12 faults + transport, E14
+//! multi-view sharing) and write a machine-readable `BENCH_report.json`.
+//! The committed copy is the baseline `perf_gate` diffs against in CI.
 //!
 //! Usage: `perf_report [--smoke] [PATH]`
 //!
@@ -14,13 +14,10 @@
 use dw_bench::perf;
 
 fn main() {
-    let smoke = dw_bench::smoke();
-    let path = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with("--"))
-        .unwrap_or_else(|| "BENCH_report.json".to_string());
+    let args = dw_bench::BenchArgs::parse();
+    let path = args.positional_or("BENCH_report.json");
 
-    let report = perf::collect(smoke);
+    let report = perf::collect(args.smoke);
     let violations = perf::invariant_violations(&report);
     if !violations.is_empty() {
         eprintln!("refusing to write a baseline that breaks invariants:");
@@ -34,16 +31,17 @@ fn main() {
         .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
 
     println!(
-        "wrote {path} (mode = {}, {} E1 rows, {} E6 rows, {} E12 rows)",
+        "wrote {path} (mode = {}, {} E1 rows, {} E6 rows, {} E12 rows, {} E14 rows)",
         report.mode,
         report.e1.len(),
         report.e6.len(),
-        report.e12.len()
+        report.e12.len(),
+        report.e14.len()
     );
     for (phase, ms) in &report.phase_wall_ms {
         println!("  {phase}: {ms:.0} ms wall-clock");
     }
     println!(
-        "invariants verified: E6 exactly 2(n\u{2212}1); E12 complete & drained at every loss rate"
+        "invariants verified: E6 exactly 2(n\u{2212}1); E12 complete & drained at every loss rate; E14 shared sweep view-count independent"
     );
 }

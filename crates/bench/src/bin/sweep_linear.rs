@@ -9,9 +9,9 @@ use dw_simnet::LatencyModel;
 use dw_workload::StreamConfig;
 
 fn main() {
-    let smoke = dw_bench::smoke();
-    let ns: &[usize] = dw_bench::pick(smoke, &[2, 4, 8], &[2, 3, 4, 6, 8, 12, 16]);
-    let updates = dw_bench::pick(smoke, 10, 25);
+    let args = dw_bench::BenchArgs::parse();
+    let ns: &[usize] = args.pick(&[2, 4, 8], &[2, 3, 4, 6, 8, 12, 16]);
+    let updates = args.pick(10, 25);
     println!("SWEEP message linearity: queries per update vs n, sparse and dense\n");
     let mut t = TableWriter::new([
         "n",

@@ -18,7 +18,8 @@ use dw_workload::StreamConfig;
 
 fn main() {
     let n = 4;
-    let updates = dw_bench::pick(dw_bench::smoke(), 12, 40);
+    let args = dw_bench::BenchArgs::parse();
+    let updates = args.pick(12, 40);
     let mk = |seed| {
         StreamConfig {
             n_sources: n,

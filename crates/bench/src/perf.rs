@@ -1,8 +1,9 @@
 //! The perf-report / perf-gate pipeline.
 //!
-//! [`collect`] re-runs the three invariant-bearing experiments —
+//! [`collect`] re-runs the four invariant-bearing experiments —
 //! **E1** (Table 1 algorithm comparison), **E6** (SWEEP's `2(n−1)` message
-//! linearity) and **E12** (reliable-FIFO earned under faults) — and
+//! linearity), **E12** (reliable-FIFO earned under faults) and **E14**
+//! (shared-sweep cost independent of view count) — and
 //! condenses each into typed rows: messages per update, installs,
 //! staleness percentiles, consistency level, plus wall-clock per phase.
 //! The result serializes to `BENCH_report.json` (see [`crate::json`]),
@@ -13,7 +14,9 @@
 //!
 //! * **invariant breaks** in the fresh run — any E6 row off the exact
 //!   `2(n−1)` line, any E12 row that is not `complete` and quiescent or
-//!   whose *logical* messages per update leave `2(n−1)`;
+//!   whose *logical* messages per update leave `2(n−1)`, any E14 row
+//!   whose shared sweep leaves the `2(n−1)` line (it must not scale with
+//!   view count) or whose naive baseline leaves `V·2(n−1)`;
 //! * **consistency downgrades** — a row whose verified consistency level
 //!   is weaker than the committed baseline's;
 //! * **>25 % regressions on tracked ratios** — messages/update and
@@ -25,14 +28,16 @@
 //! the machine. Everything the gate enforces is exact.
 
 use crate::json::{self, Json};
-use dw_core::{Experiment, PolicyKind, RunReport};
+use dw_core::{Experiment, MultiViewExperiment, PolicyKind, RunReport};
+use dw_multiview::SchedulerMode;
 use dw_simnet::{FaultPlan, LatencyModel, LinkFaults};
-use dw_workload::StreamConfig;
+use dw_workload::{MultiViewConfig, StreamConfig};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// Schema version stamped into the report; bump when row fields change.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2 added the E14 multi-view block.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Relative regression tolerance on tracked ratios (25 %).
 pub const RATIO_TOLERANCE: f64 = 0.25;
@@ -105,6 +110,35 @@ pub struct E12Row {
     pub stale_p99_us: u64,
 }
 
+/// One view-count row of the E14 (multi-view shared sweep) phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct E14Row {
+    /// Number of registered full-span views.
+    pub views: u64,
+    /// Number of data sources in the base chain.
+    pub n: u64,
+    /// The shared-sweep prediction: `2(n−1)`, independent of `views`.
+    pub expected_shared: f64,
+    /// Measured messages/update in shared mode.
+    pub shared_msgs_per_update: f64,
+    /// The naive prediction: `V·2(n−1)`.
+    pub expected_naive: f64,
+    /// Measured messages/update with one dedicated sweep per view.
+    pub naive_msgs_per_update: f64,
+    /// naive / shared — the amortization factor (≈ `views`).
+    pub sharing_ratio: f64,
+    /// Weakest per-view consistency level in the shared run.
+    pub min_consistency: String,
+    /// Cross-view mutual consistency held at the end of the shared run.
+    pub mutual_agreement: bool,
+    /// Staleness percentiles across all views, µs delivery → install.
+    pub stale_p50_us: u64,
+    /// 95th percentile staleness (µs).
+    pub stale_p95_us: u64,
+    /// 99th percentile staleness (µs).
+    pub stale_p99_us: u64,
+}
+
 /// The full report: one entry per phase plus host wall-clock timings.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PerfReport {
@@ -116,6 +150,8 @@ pub struct PerfReport {
     pub e6: Vec<E6Row>,
     /// E12 — fault-sweep rows.
     pub e12: Vec<E12Row>,
+    /// E14 — multi-view shared-sweep rows.
+    pub e14: Vec<E14Row>,
     /// Host wall-clock per phase, milliseconds. Informational only.
     pub phase_wall_ms: Vec<(String, f64)>,
 }
@@ -128,7 +164,7 @@ fn stale_percentiles(report: &RunReport) -> (u64, u64, u64) {
     )
 }
 
-/// Run the E1/E6/E12 scenarios and build the report.
+/// Run the E1/E6/E12/E14 scenarios and build the report.
 ///
 /// Smoke mode shrinks the workload (fewer sweep points, shorter streams)
 /// but keeps the scenario *shapes* — every invariant the gate enforces
@@ -148,11 +184,16 @@ pub fn collect(smoke: bool) -> PerfReport {
     let e12 = collect_e12(smoke);
     phase_wall_ms.push(("E12".to_string(), t0.elapsed().as_secs_f64() * 1e3));
 
+    let t0 = Instant::now();
+    let e14 = collect_e14(smoke);
+    phase_wall_ms.push(("E14".to_string(), t0.elapsed().as_secs_f64() * 1e3));
+
     PerfReport {
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         e1,
         e6,
         e12,
+        e14,
         phase_wall_ms,
     }
 }
@@ -301,6 +342,60 @@ fn collect_e12(smoke: bool) -> Vec<E12Row> {
         .collect()
 }
 
+/// E14 — shared-sweep amortization (`multiview` binary's scenario). All
+/// views are full-span so the invariants are exact: shared mode must sit
+/// on `2(n−1)` whatever the view count, naive mode on `V·2(n−1)`.
+fn collect_e14(smoke: bool) -> Vec<E14Row> {
+    let n = 4usize;
+    let view_counts: &[usize] = crate::pick(smoke, &[1, 3, 6], &[1, 2, 4, 8]);
+    let updates = crate::pick(smoke, 12, 30);
+    view_counts
+        .iter()
+        .map(|&views| {
+            let cfg = MultiViewConfig {
+                stream: StreamConfig {
+                    n_sources: n,
+                    initial_per_source: 20,
+                    updates,
+                    mean_gap: 800,
+                    domain: 10,
+                    seed: 31,
+                    ..Default::default()
+                },
+                n_views: views,
+                view_seed: 0xE14 ^ views as u64,
+                full_span: true,
+            };
+            let shared = MultiViewExperiment::new(cfg.generate().unwrap())
+                .latency(LatencyModel::Constant(2_000))
+                .run()
+                .unwrap();
+            let naive = MultiViewExperiment::new(cfg.generate().unwrap())
+                .mode(SchedulerMode::Naive)
+                .latency(LatencyModel::Constant(2_000))
+                .run()
+                .unwrap();
+            E14Row {
+                views: views as u64,
+                n: n as u64,
+                expected_shared: (2 * (n - 1)) as f64,
+                shared_msgs_per_update: shared.messages_per_update(),
+                expected_naive: (views * 2 * (n - 1)) as f64,
+                naive_msgs_per_update: naive.messages_per_update(),
+                sharing_ratio: naive.messages_per_update() / shared.messages_per_update(),
+                min_consistency: shared
+                    .min_consistency()
+                    .map(|l| l.to_string())
+                    .unwrap_or_default(),
+                mutual_agreement: shared.mutual.as_ref().is_some_and(|m| m.final_agreement),
+                stale_p50_us: shared.staleness_percentile(50.0).unwrap_or(0),
+                stale_p95_us: shared.staleness_percentile(95.0).unwrap_or(0),
+                stale_p99_us: shared.staleness_percentile(99.0).unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------- JSON
 
 impl PerfReport {
@@ -320,6 +415,10 @@ impl PerfReport {
             (
                 "e12_fault_sweep",
                 Json::Arr(self.e12.iter().map(e12_to_json).collect()),
+            ),
+            (
+                "e14_multiview",
+                Json::Arr(self.e14.iter().map(e14_to_json).collect()),
             ),
             (
                 "phase_wall_ms",
@@ -370,6 +469,13 @@ impl PerfReport {
             .iter()
             .map(e12_from_json)
             .collect::<Result<_, _>>()?;
+        let e14 = doc
+            .get("e14_multiview")
+            .and_then(Json::as_arr)
+            .ok_or("missing e14_multiview")?
+            .iter()
+            .map(e14_from_json)
+            .collect::<Result<_, _>>()?;
         let phase_wall_ms = match doc.get("phase_wall_ms") {
             Some(Json::Obj(fields)) => fields
                 .iter()
@@ -386,6 +492,7 @@ impl PerfReport {
             e1,
             e6,
             e12,
+            e14,
             phase_wall_ms,
         })
     }
@@ -519,6 +626,46 @@ fn e12_from_json(doc: &Json) -> Result<E12Row, String> {
     })
 }
 
+fn e14_to_json(r: &E14Row) -> Json {
+    Json::obj(vec![
+        ("views", Json::Num(r.views as f64)),
+        ("n", Json::Num(r.n as f64)),
+        ("expected_shared", Json::Num(r.expected_shared)),
+        (
+            "shared_msgs_per_update",
+            Json::Num(r.shared_msgs_per_update),
+        ),
+        ("expected_naive", Json::Num(r.expected_naive)),
+        ("naive_msgs_per_update", Json::Num(r.naive_msgs_per_update)),
+        ("sharing_ratio", Json::Num(r.sharing_ratio)),
+        ("min_consistency", Json::Str(r.min_consistency.clone())),
+        ("mutual_agreement", Json::Bool(r.mutual_agreement)),
+        ("stale_p50_us", Json::Num(r.stale_p50_us as f64)),
+        ("stale_p95_us", Json::Num(r.stale_p95_us as f64)),
+        ("stale_p99_us", Json::Num(r.stale_p99_us as f64)),
+    ])
+}
+
+fn e14_from_json(doc: &Json) -> Result<E14Row, String> {
+    Ok(E14Row {
+        views: uint(doc, "views")?,
+        n: uint(doc, "n")?,
+        expected_shared: num(doc, "expected_shared")?,
+        shared_msgs_per_update: num(doc, "shared_msgs_per_update")?,
+        expected_naive: num(doc, "expected_naive")?,
+        naive_msgs_per_update: num(doc, "naive_msgs_per_update")?,
+        sharing_ratio: num(doc, "sharing_ratio")?,
+        min_consistency: string(doc, "min_consistency")?,
+        mutual_agreement: doc
+            .get("mutual_agreement")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool mutual_agreement")?,
+        stale_p50_us: uint(doc, "stale_p50_us")?,
+        stale_p95_us: uint(doc, "stale_p95_us")?,
+        stale_p99_us: uint(doc, "stale_p99_us")?,
+    })
+}
+
 // ---------------------------------------------------------------- gate
 
 fn level_rank(level: &str) -> i32 {
@@ -617,6 +764,42 @@ pub fn invariant_violations(report: &PerfReport) -> Vec<String> {
             v.push(format!("E12 loss={}%: run did not drain", row.loss_pct));
         }
     }
+    for row in &report.e14 {
+        let shared_expect = (2 * (row.n - 1)) as f64;
+        let naive_expect = (row.views * 2 * (row.n - 1)) as f64;
+        if (row.expected_shared - shared_expect).abs() > EXACT_EPS
+            || (row.expected_naive - naive_expect).abs() > EXACT_EPS
+        {
+            v.push(format!(
+                "E14 V={}: recorded expectations ({}, {}) != (2(n-1), V*2(n-1)) = ({shared_expect}, {naive_expect})",
+                row.views, row.expected_shared, row.expected_naive
+            ));
+        }
+        if (row.shared_msgs_per_update - shared_expect).abs() > EXACT_EPS {
+            v.push(format!(
+                "E14 V={}: shared msgs/update {} != 2(n-1) = {shared_expect} — shared sweep must not scale with view count",
+                row.views, row.shared_msgs_per_update
+            ));
+        }
+        if (row.naive_msgs_per_update - naive_expect).abs() > EXACT_EPS {
+            v.push(format!(
+                "E14 V={}: naive msgs/update {} != V*2(n-1) = {naive_expect}",
+                row.views, row.naive_msgs_per_update
+            ));
+        }
+        if level_rank(&row.min_consistency) < level_rank("strong") {
+            v.push(format!(
+                "E14 V={}: weakest view consistency '{}' below 'strong'",
+                row.views, row.min_consistency
+            ));
+        }
+        if !row.mutual_agreement {
+            v.push(format!(
+                "E14 V={}: views disagree on shared sources after drain",
+                row.views
+            ));
+        }
+    }
     v
 }
 
@@ -711,6 +894,30 @@ pub fn gate(baseline: &PerfReport, fresh: &PerfReport) -> Vec<String> {
         );
     }
 
+    for base_row in &baseline.e14 {
+        let Some(row) = fresh.e14.iter().find(|r| r.views == base_row.views) else {
+            v.push(format!(
+                "E14: V={} missing from fresh report",
+                base_row.views
+            ));
+            continue;
+        };
+        let what = format!("E14 V={}", row.views);
+        check_downgrade(
+            &mut v,
+            &what,
+            &base_row.min_consistency,
+            &row.min_consistency,
+        );
+        check_ratio(
+            &mut v,
+            &format!("{what} staleness p95"),
+            base_row.stale_p95_us as f64,
+            row.stale_p95_us as f64,
+            true,
+        );
+    }
+
     v
 }
 
@@ -730,6 +937,11 @@ pub struct InvariantDigest {
     pub e12_pinned: bool,
     /// Distinct consistency levels across E12 rows.
     pub e12_levels: BTreeSet<String>,
+    /// Every E14 row keeps shared cost on `2(n−1)` (view-count
+    /// independent), naive cost on `V·2(n−1)`, and mutual agreement.
+    pub e14_flat: bool,
+    /// Distinct weakest-view consistency levels across E14 rows.
+    pub e14_levels: BTreeSet<String>,
 }
 
 impl InvariantDigest {
@@ -752,6 +964,17 @@ impl InvariantDigest {
                     && r.quiescent
             }),
             e12_levels: report.e12.iter().map(|r| r.consistency.clone()).collect(),
+            e14_flat: report.e14.iter().all(|r| {
+                (r.shared_msgs_per_update - (2 * (r.n - 1)) as f64).abs() < EXACT_EPS
+                    && (r.naive_msgs_per_update - (r.views * 2 * (r.n - 1)) as f64).abs()
+                        < EXACT_EPS
+                    && r.mutual_agreement
+            }),
+            e14_levels: report
+                .e14
+                .iter()
+                .map(|r| r.min_consistency.clone())
+                .collect(),
         }
     }
 }
@@ -818,6 +1041,20 @@ mod tests {
                 stale_p50_us: 14_000,
                 stale_p95_us: 80_000,
                 stale_p99_us: 90_000,
+            }],
+            e14: vec![E14Row {
+                views: 3,
+                n: 4,
+                expected_shared: 6.0,
+                shared_msgs_per_update: 6.0,
+                expected_naive: 18.0,
+                naive_msgs_per_update: 18.0,
+                sharing_ratio: 3.0,
+                min_consistency: "strong".to_string(),
+                mutual_agreement: true,
+                stale_p50_us: 9_000,
+                stale_p95_us: 30_000,
+                stale_p99_us: 34_000,
             }],
             phase_wall_ms: vec![("E1".to_string(), 12.5)],
         }
@@ -907,6 +1144,49 @@ mod tests {
         fresh.e12[0].stale_p95_us = 10_000;
         fresh.e12[0].inflation = 1.0;
         assert_eq!(gate(&healthy(), &fresh), Vec::<String>::new());
+    }
+
+    #[test]
+    fn shared_sweep_losing_view_independence_fails_gate() {
+        // The new E14 rule: shared sweep drifting off 2(n−1) — e.g. a
+        // regression that stops reusing the per-hop answer across views
+        // and starts paying per view — must trip the gate even against a
+        // healthy baseline.
+        let mut fresh = healthy();
+        fresh.e14[0].shared_msgs_per_update = 10.0;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("must not scale with view count")),
+            "expected a view-count-independence violation, got {violations:?}"
+        );
+
+        let mut fresh = healthy();
+        fresh.e14[0].mutual_agreement = false;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations.iter().any(|v| v.contains("disagree")),
+            "expected a mutual-agreement violation, got {violations:?}"
+        );
+
+        let mut fresh = healthy();
+        fresh.e14[0].min_consistency = "convergent".to_string();
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations.iter().any(|v| v.contains("below 'strong'")),
+            "expected a consistency-floor violation, got {violations:?}"
+        );
+
+        let mut fresh = healthy();
+        fresh.e14.clear();
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("E14") && v.contains("missing")),
+            "expected a missing-row violation, got {violations:?}"
+        );
     }
 
     #[test]

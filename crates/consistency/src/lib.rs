@@ -29,9 +29,11 @@
 pub mod checker;
 pub mod fifo;
 pub mod lag;
+pub mod multi;
 pub mod truth;
 
 pub use checker::{classify, ConsistencyLevel, ConsistencyReport};
 pub use fifo::{verify_fifo, FifoReport, FifoViolation};
 pub use lag::LagSeries;
+pub use multi::{mutual_consistency, remap_installs, MutualReport, ViewLog};
 pub use truth::Recorder;

@@ -76,6 +76,9 @@ pub enum CoreError {
         /// The offending destination.
         node: NodeId,
     },
+    /// A multi-view scheduler failure that is not a relational or
+    /// warehouse error (unknown view id, busy view, …).
+    Multi(String),
 }
 
 impl fmt::Display for CoreError {
@@ -88,6 +91,7 @@ impl fmt::Display for CoreError {
                 write!(f, "event cap of {cap} exceeded (livelock or oscillation)")
             }
             CoreError::NoSuchNode { node } => write!(f, "delivery to unknown node {node}"),
+            CoreError::Multi(msg) => f.write_str(msg),
         }
     }
 }

@@ -23,7 +23,9 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod multi_experiment;
 pub mod report;
 
 pub use experiment::{CoreError, Experiment, PolicyKind};
+pub use multi_experiment::{MultiViewExperiment, MultiViewReport, ViewOutcome};
 pub use report::RunReport;

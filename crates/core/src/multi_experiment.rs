@@ -1,0 +1,612 @@
+//! Multi-view experiment harness: many registered views, one scheduler.
+//!
+//! Mirrors [`Experiment`](crate::Experiment) but drives a
+//! [`MaintenanceScheduler`] instead of a single maintenance policy: the
+//! scenario carries a *base chain* plus a set of span views
+//! ([`dw_workload::MultiViewScenario`]), every view is registered before
+//! the stream starts, and the run reports per-view outcomes (final bag,
+//! install log, metrics, consistency level) plus cross-view mutual
+//! consistency and the shared-vs-naive message accounting E14 measures.
+
+use crate::experiment::CoreError;
+use dw_consistency::{
+    classify, mutual_consistency, remap_installs, ConsistencyLevel, ConsistencyReport,
+    MutualReport, Recorder, ViewLog,
+};
+use dw_multiview::{MaintenanceScheduler, MvError, SchedulerMode, ViewId};
+use dw_protocol::{
+    node_source, source_node, Endpoint, Message, TransportConfig, TransportNet, UpdateId,
+    WAREHOUSE_NODE,
+};
+use dw_relational::{eval_view, Bag};
+use dw_simnet::{Delivery, FaultPlan, LatencyModel, NetHandle, NetStats, Network, NodeId, Time};
+use dw_source::DataSource;
+use dw_warehouse::{InstallRecord, PolicyMetrics};
+use dw_workload::{MultiViewScenario, ViewPolicy};
+use std::collections::HashMap;
+
+/// A configured multi-view experiment: scenario × scheduler mode ×
+/// network profile.
+pub struct MultiViewExperiment {
+    scenario: MultiViewScenario,
+    mode: SchedulerMode,
+    latency: LatencyModel,
+    link_overrides: Vec<(NodeId, NodeId, LatencyModel)>,
+    seed: u64,
+    check_consistency: bool,
+    record_snapshots: bool,
+    event_cap: u64,
+    faults: FaultPlan,
+    transport: Option<TransportConfig>,
+    obs: dw_obs::Obs,
+}
+
+impl MultiViewExperiment {
+    /// New experiment over a multi-view scenario, defaulting to the
+    /// shared-sweep scheduler, 1 ms constant links, consistency checking
+    /// on.
+    pub fn new(scenario: MultiViewScenario) -> Self {
+        MultiViewExperiment {
+            scenario,
+            mode: SchedulerMode::Shared,
+            latency: LatencyModel::Constant(1_000),
+            link_overrides: Vec::new(),
+            seed: 0,
+            check_consistency: true,
+            record_snapshots: true,
+            event_cap: 10_000_000,
+            faults: FaultPlan::default(),
+            transport: None,
+            obs: dw_obs::Obs::off(),
+        }
+    }
+
+    /// Choose shared-sweep or the naive per-view baseline.
+    pub fn mode(mut self, mode: SchedulerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Attach an observability recorder (scheduler spans/counters, plus
+    /// network and transport instrumentation).
+    pub fn observe(mut self, obs: dw_obs::Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Default latency model for every link.
+    pub fn latency(mut self, l: LatencyModel) -> Self {
+        self.latency = l;
+        self
+    }
+
+    /// Override one directed link's latency.
+    pub fn link_latency(mut self, from: NodeId, to: NodeId, l: LatencyModel) -> Self {
+        self.link_overrides.push((from, to, l));
+        self
+    }
+
+    /// Network RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disable ground-truth tracking and classification (for big runs).
+    pub fn check_consistency(mut self, on: bool) -> Self {
+        self.check_consistency = on;
+        self
+    }
+
+    /// Disable per-install view snapshots (for big runs).
+    pub fn record_snapshots(mut self, on: bool) -> Self {
+        self.record_snapshots = on;
+        self
+    }
+
+    /// Abort the run after this many deliveries (oscillation guard).
+    pub fn event_cap(mut self, cap: u64) -> Self {
+        self.event_cap = cap;
+        self
+    }
+
+    /// Install a fault plan (drops, duplicates, reordering, partitions,
+    /// crashes). Pair with [`MultiViewExperiment::transport`] to restore
+    /// the reliable-FIFO contract the scheduler assumes.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Run every node behind the reliability transport.
+    pub fn transport(mut self, cfg: TransportConfig) -> Self {
+        self.transport = Some(cfg);
+        self
+    }
+
+    /// Enable the transport with timing derived from the experiment's
+    /// latency model (RTO ≈ three round trips).
+    pub fn transport_auto(mut self) -> Self {
+        self.transport = Some(TransportConfig::for_latency_mean(self.latency.mean()));
+        self
+    }
+
+    /// Run to network quiescence and report.
+    pub fn run(self) -> Result<MultiViewReport, CoreError> {
+        let scenario = &self.scenario;
+        let base = scenario.base.clone();
+        let n = base.num_relations();
+
+        let mut sched = MaintenanceScheduler::new(base.clone(), self.mode)?;
+        sched.set_record_snapshots(self.record_snapshots);
+        sched.set_observer(self.obs.clone());
+
+        // Register every view with its correct initial contents; build a
+        // per-view recorder over the view's *local* definition (span
+        // coordinates), fed only with in-span deliveries.
+        let mut ids: Vec<ViewId> = Vec::new();
+        let mut recorders: Vec<Option<Recorder>> = Vec::new();
+        for spec in &scenario.views {
+            let local = spec.compile(&base)?;
+            let refs: Vec<&Bag> = scenario.initial[spec.lo..=spec.hi].iter().collect();
+            let initial_view = eval_view(&local, &refs)?;
+            ids.push(sched.register(spec, initial_view)?);
+            recorders.push(self.check_consistency.then(|| {
+                Recorder::new(local.clone(), scenario.initial[spec.lo..=spec.hi].to_vec())
+            }));
+        }
+        let spans: Vec<(usize, usize)> = scenario.views.iter().map(|s| (s.lo, s.hi)).collect();
+
+        let mut net: Network<Message> = Network::new(self.seed);
+        net.set_observer(self.obs.clone());
+        net.set_default_latency(self.latency.clone());
+        for (from, to, l) in &self.link_overrides {
+            net.set_link_latency(*from, *to, l.clone());
+        }
+        net.set_faults(self.faults.clone());
+
+        let node_count = n + 1;
+        let obs = &self.obs;
+        let mut endpoints: Option<HashMap<NodeId, Endpoint>> = self.transport.map(|cfg| {
+            (0..node_count)
+                .map(|node| {
+                    let mut ep =
+                        Endpoint::new(node, cfg, self.seed ^ (node as u64).wrapping_mul(0x9E37));
+                    ep.set_observer(obs.clone());
+                    (node, ep)
+                })
+                .collect()
+        });
+        if endpoints.is_some() {
+            for c in self.faults.crashes() {
+                net.inject(c.up_at, c.node, Message::Restart);
+            }
+        }
+
+        let mut sources: Vec<DataSource> = Vec::new();
+        for i in 0..n {
+            let mut r = dw_relational::BaseRelation::new(base.schema(i).clone());
+            r.apply_delta(&scenario.initial[i])?;
+            let mut src = DataSource::new(i, base.clone(), r);
+            src.set_observer(self.obs.clone());
+            sources.push(src);
+        }
+
+        for t in &scenario.txns {
+            net.inject(
+                t.at,
+                source_node(t.source),
+                Message::ApplyTxn {
+                    rel: t.source,
+                    delta: t.delta.clone(),
+                    global: t.global,
+                },
+            );
+        }
+
+        let mut events: u64 = 0;
+        let mut delivery_log: Vec<(UpdateId, Time)> = Vec::new();
+        let dispatch = |d: Delivery<Message>,
+                        net: &mut dyn NetHandle<Message>,
+                        sched: &mut MaintenanceScheduler,
+                        sources: &mut Vec<DataSource>,
+                        recorders: &mut Vec<Option<Recorder>>,
+                        delivery_log: &mut Vec<(UpdateId, Time)>|
+         -> Result<(), CoreError> {
+            if d.to == WAREHOUSE_NODE {
+                if let Message::Update(u) = &d.msg {
+                    delivery_log.push((u.id, d.at));
+                    // Each view's ground truth sees only in-span updates,
+                    // with the source index shifted into span coordinates.
+                    for (v, rec) in recorders.iter_mut().enumerate() {
+                        let (lo, hi) = spans[v];
+                        if let Some(rec) = rec.as_mut() {
+                            if lo <= u.id.source && u.id.source <= hi {
+                                let local_id = UpdateId {
+                                    source: u.id.source - lo,
+                                    seq: u.id.seq,
+                                };
+                                rec.record_delivery(local_id, d.at, u.delta.clone());
+                            }
+                        }
+                    }
+                }
+                sched.on_message(d, net)?;
+            } else {
+                let idx = node_source(d.to);
+                let src = sources
+                    .get_mut(idx)
+                    .ok_or(CoreError::NoSuchNode { node: d.to })?;
+                src.handle(d.from, d.msg, net)?;
+            }
+            Ok(())
+        };
+        while let Some(d) = net.next() {
+            events += 1;
+            if events > self.event_cap {
+                return Err(CoreError::EventCapExceeded {
+                    cap: self.event_cap,
+                });
+            }
+            match endpoints.as_mut() {
+                Some(eps) => {
+                    let to = d.to;
+                    let app_deliveries = eps
+                        .get_mut(&to)
+                        .ok_or(CoreError::NoSuchNode { node: to })?
+                        .on_delivery(d, &mut net);
+                    for appd in app_deliveries {
+                        let ep = eps.get_mut(&to).expect("endpoint exists");
+                        let mut tnet = TransportNet::new(ep, &mut net);
+                        dispatch(
+                            appd,
+                            &mut tnet,
+                            &mut sched,
+                            &mut sources,
+                            &mut recorders,
+                            &mut delivery_log,
+                        )?;
+                    }
+                }
+                None => dispatch(
+                    d,
+                    &mut net,
+                    &mut sched,
+                    &mut sources,
+                    &mut recorders,
+                    &mut delivery_log,
+                )?,
+            }
+        }
+
+        // Per-view outcomes: classify each install log (shifted into span
+        // coordinates) against the view's own recorder.
+        let mut views: Vec<ViewOutcome> = Vec::new();
+        for (v, &id) in ids.iter().enumerate() {
+            let installs = sched.views().install_log(id)?.to_vec();
+            let bag = sched.views().view_bag(id)?.clone();
+            let consistency = recorders[v].as_ref().map(|rec| {
+                let local_installs = remap_installs(&installs, spans[v].0);
+                classify(rec, &local_installs, &bag)
+            });
+            views.push(ViewOutcome {
+                name: sched.views().name(id)?.to_string(),
+                lo: spans[v].0,
+                hi: spans[v].1,
+                policy: sched.views().policy(id)?,
+                view: bag,
+                installs,
+                metrics: sched.views().metrics(id)?.clone(),
+                consistency,
+            });
+        }
+
+        let mutual = self.check_consistency.then(|| {
+            let logs: Vec<ViewLog<'_>> = views
+                .iter()
+                .map(|o| ViewLog {
+                    name: &o.name,
+                    lo: o.lo,
+                    hi: o.hi,
+                    installs: &o.installs,
+                })
+                .collect();
+            mutual_consistency(&logs)
+        });
+
+        let transport_quiescent = endpoints
+            .as_ref()
+            .is_none_or(|eps| eps.values().all(Endpoint::is_quiescent));
+
+        Ok(MultiViewReport {
+            mode: self.mode,
+            views,
+            scheduler_metrics: sched.metrics().clone(),
+            mutual,
+            net: net.stats().clone(),
+            quiescent: sched.is_quiescent() && transport_quiescent,
+            end_time: net.now(),
+            events,
+            delivery_log,
+        })
+    }
+}
+
+impl From<MvError> for CoreError {
+    fn from(e: MvError) -> Self {
+        match e {
+            MvError::Relational(e) => CoreError::Relational(e),
+            MvError::Warehouse(e) => CoreError::Warehouse(e),
+            other => CoreError::Multi(other.to_string()),
+        }
+    }
+}
+
+/// One registered view's end-of-run state.
+#[derive(Clone, Debug)]
+pub struct ViewOutcome {
+    /// Display name from the spec.
+    pub name: String,
+    /// First chain relation of the span.
+    pub lo: usize,
+    /// Last chain relation of the span (inclusive).
+    pub hi: usize,
+    /// The view's maintenance cadence.
+    pub policy: ViewPolicy,
+    /// Final materialized contents.
+    pub view: Bag,
+    /// Install log, consumed ids in **global** chain coordinates.
+    pub installs: Vec<InstallRecord>,
+    /// Per-view counters (installs, staleness histogram, …).
+    pub metrics: PolicyMetrics,
+    /// Consistency classification against the view's own ground truth
+    /// (when checking was enabled).
+    pub consistency: Option<ConsistencyReport>,
+}
+
+/// Everything observable from one multi-view run.
+#[derive(Clone, Debug)]
+pub struct MultiViewReport {
+    /// Scheduler mode that ran.
+    pub mode: SchedulerMode,
+    /// Per-view outcomes, in registration order.
+    pub views: Vec<ViewOutcome>,
+    /// Aggregate scheduler counters (updates, queries, answers,
+    /// compensations; installs are per view).
+    pub scheduler_metrics: PolicyMetrics,
+    /// Cross-view mutual consistency (when checking was enabled).
+    pub mutual: Option<MutualReport>,
+    /// Network-level accounting.
+    pub net: NetStats,
+    /// Scheduler and transport both drained at the end of the run.
+    pub quiescent: bool,
+    /// Simulation time at the end of the run (µs).
+    pub end_time: Time,
+    /// Deliveries processed.
+    pub events: u64,
+    /// Warehouse delivery log `(update, delivery time)` in delivery order.
+    pub delivery_log: Vec<(UpdateId, Time)>,
+}
+
+impl MultiViewReport {
+    /// Query/answer round-trip messages (excludes the update stream).
+    pub fn query_messages(&self) -> u64 {
+        ["query", "answer"]
+            .iter()
+            .map(|l| self.net.label(l).messages)
+            .sum()
+    }
+
+    /// Query/answer messages per warehouse-received update — the E14
+    /// column. Shared mode stays on `≤ 2(n−1)` regardless of view count;
+    /// naive mode scales with it.
+    pub fn messages_per_update(&self) -> f64 {
+        if self.scheduler_metrics.updates_received == 0 {
+            return 0.0;
+        }
+        self.query_messages() as f64 / self.scheduler_metrics.updates_received as f64
+    }
+
+    /// Query/answer messages counted once at send time, however often
+    /// the fault layer repeated them on the wire.
+    pub fn logical_query_messages(&self) -> u64 {
+        ["query", "answer"]
+            .iter()
+            .map(|l| self.net.label_logical(l).messages)
+            .sum()
+    }
+
+    /// Logical query/answer messages per update — robust to
+    /// retransmission inflation under faults.
+    pub fn logical_messages_per_update(&self) -> f64 {
+        if self.scheduler_metrics.updates_received == 0 {
+            return 0.0;
+        }
+        self.logical_query_messages() as f64 / self.scheduler_metrics.updates_received as f64
+    }
+
+    /// The weakest per-view consistency level (None when checking was
+    /// off). The run is as good as its worst view.
+    pub fn min_consistency(&self) -> Option<ConsistencyLevel> {
+        self.views
+            .iter()
+            .map(|v| v.consistency.as_ref().map(|c| c.level))
+            .collect::<Option<Vec<_>>>()
+            .and_then(|levels| levels.into_iter().min())
+    }
+
+    /// p-th percentile staleness across *all* views' installs (µs);
+    /// `None` when no view installed anything.
+    pub fn staleness_percentile(&self, p: f64) -> Option<Time> {
+        let mut merged = dw_obs::Histogram::new();
+        for v in &self.views {
+            merged.merge(v.metrics.staleness_histogram());
+        }
+        merged.percentile(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_workload::{MultiViewConfig, StreamConfig, ViewSpec};
+
+    fn config(n_views: usize, seed: u64) -> MultiViewConfig {
+        MultiViewConfig {
+            stream: StreamConfig {
+                n_sources: 4,
+                updates: 20,
+                initial_per_source: 12,
+                domain: 8,
+                mean_gap: 500,
+                seed,
+                ..Default::default()
+            },
+            n_views,
+            view_seed: seed ^ 0xABCD,
+            full_span: false,
+        }
+    }
+
+    #[test]
+    fn every_view_converges_and_mutual_holds() {
+        let scenario = config(4, 1).generate().unwrap();
+        let report = MultiViewExperiment::new(scenario).run().unwrap();
+        assert!(report.quiescent);
+        assert_eq!(report.views.len(), 4);
+        for v in &report.views {
+            let c = v.consistency.as_ref().unwrap();
+            assert!(
+                c.level >= ConsistencyLevel::Convergent,
+                "view '{}' classified {}: {}",
+                v.name,
+                c.level,
+                c.detail
+            );
+        }
+        let mutual = report.mutual.unwrap();
+        assert!(mutual.final_agreement, "{}", mutual.detail);
+    }
+
+    #[test]
+    fn sweep_cadence_views_are_complete() {
+        // Pure-SWEEP full-span views walk every delivered state.
+        let mut cfg = config(3, 2);
+        cfg.full_span = true;
+        let scenario = cfg.generate().unwrap();
+        let report = MultiViewExperiment::new(scenario).run().unwrap();
+        for v in &report.views {
+            if v.policy == ViewPolicy::Sweep {
+                assert_eq!(
+                    v.consistency.as_ref().unwrap().level,
+                    ConsistencyLevel::Complete,
+                    "view '{}'",
+                    v.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_cost_is_view_count_independent() {
+        for views in [1usize, 3, 6] {
+            let mut cfg = config(views, 3);
+            cfg.full_span = true;
+            let report = MultiViewExperiment::new(cfg.generate().unwrap())
+                .run()
+                .unwrap();
+            // 4 sources → 2(n−1) = 6 per update, whatever `views` is.
+            assert!(
+                (report.messages_per_update() - 6.0).abs() < 1e-9,
+                "{views} views: {}",
+                report.messages_per_update()
+            );
+        }
+    }
+
+    #[test]
+    fn naive_cost_scales_with_view_count() {
+        let mut cfg = config(3, 4);
+        cfg.full_span = true;
+        let scenario = cfg.generate().unwrap();
+        let shared = MultiViewExperiment::new(scenario.clone()).run().unwrap();
+        let naive = MultiViewExperiment::new(scenario)
+            .mode(SchedulerMode::Naive)
+            .run()
+            .unwrap();
+        assert!((shared.messages_per_update() - 6.0).abs() < 1e-9);
+        assert!((naive.messages_per_update() - 18.0).abs() < 1e-9);
+        // Identical final contents per view.
+        for (s, n) in shared.views.iter().zip(naive.views.iter()) {
+            assert_eq!(s.view, n.view, "view '{}'", s.name);
+        }
+    }
+
+    #[test]
+    fn jittered_links_still_converge() {
+        let scenario = config(5, 5).generate().unwrap();
+        let report = MultiViewExperiment::new(scenario)
+            .latency(LatencyModel::Jittered {
+                base: 800,
+                jitter: 600,
+            })
+            .seed(99)
+            .run()
+            .unwrap();
+        assert!(report.quiescent);
+        assert!(report.min_consistency().unwrap() >= ConsistencyLevel::Convergent);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let r1 = MultiViewExperiment::new(config(4, 6).generate().unwrap())
+            .seed(7)
+            .run()
+            .unwrap();
+        let r2 = MultiViewExperiment::new(config(4, 6).generate().unwrap())
+            .seed(7)
+            .run()
+            .unwrap();
+        assert_eq!(r1.events, r2.events);
+        assert_eq!(r1.end_time, r2.end_time);
+        for (a, b) in r1.views.iter().zip(r2.views.iter()) {
+            assert_eq!(a.view, b.view);
+        }
+    }
+
+    #[test]
+    fn empty_view_set_drains_harmlessly() {
+        let mut scenario = config(1, 8).generate().unwrap();
+        scenario.views.clear();
+        let report = MultiViewExperiment::new(scenario).run().unwrap();
+        assert!(report.quiescent);
+        assert_eq!(report.query_messages(), 0);
+        assert_eq!(report.messages_per_update(), 0.0);
+    }
+
+    #[test]
+    fn staleness_percentiles_are_reported() {
+        let scenario = config(3, 9).generate().unwrap();
+        let report = MultiViewExperiment::new(scenario).run().unwrap();
+        let p50 = report.staleness_percentile(50.0).unwrap();
+        let p95 = report.staleness_percentile(95.0).unwrap();
+        assert!(p50 <= p95);
+    }
+
+    #[test]
+    fn handwritten_specs_roundtrip() {
+        let mut scenario = config(1, 10).generate().unwrap();
+        scenario.views = vec![
+            ViewSpec::full("all", 4),
+            ViewSpec {
+                lo: 1,
+                hi: 2,
+                ..ViewSpec::full("mid", 4)
+            },
+        ];
+        let report = MultiViewExperiment::new(scenario).run().unwrap();
+        assert_eq!(report.views[0].name, "all");
+        assert_eq!(report.views[1].lo, 1);
+        assert!(report.min_consistency().unwrap() >= ConsistencyLevel::Convergent);
+    }
+}

@@ -1,0 +1,46 @@
+//! # dw-multiview
+//!
+//! The multi-view warehouse layer: many SPJ views, one sweep.
+//!
+//! The paper maintains a single view `V = Π σ (R_1 ⋈ … ⋈ R_n)`. A real
+//! warehouse hosts **many** views over overlapping source sets, and
+//! maintaining each one independently repeats the same source
+//! round-trips. This crate adds:
+//!
+//! * a [`ViewRegistry`] — register/deregister SPJ views at runtime, each
+//!   a contiguous span `[lo, hi]` of one shared base chain with its own
+//!   selections, projection, and maintenance cadence
+//!   ([`dw_workload::ViewPolicy`]: SWEEP, Nested-SWEEP-style batching,
+//!   or deferred refresh);
+//! * a [`MaintenanceScheduler`] — on arrival of `ΔR_j` it fans out to
+//!   every registered view referencing `R_j` and executes a **shared
+//!   sweep**: one two-leg pass over the *union* of the affected spans,
+//!   issuing a single incremental query per source hop. Each view peels
+//!   its own delta off the shared pass by snapshotting the in-flight
+//!   partials at its span endpoints and merging them on the pivot
+//!   relation's columns; per-view σ/Π are applied at the warehouse.
+//!   The paper's on-line error correction (§4) runs once per hop on the
+//!   shared partial, so every view inherits it.
+//!
+//! The message-cost win (experiment E14): a shared sweep costs at most
+//! `2(n−1)` messages per update **regardless of how many views**
+//! reference `R_j`, where naive per-view maintenance costs `V·2(n−1)`.
+//!
+//! ## Why span snapshots are sound
+//!
+//! The base chain carries no selections and an identity projection, so
+//! every query/answer and every compensation happens on *unfiltered*
+//! join tuples. Selection commutes with join, and bag subtraction
+//! distributes over filtering — so filtering the compensated span
+//! partial per view yields exactly what a dedicated per-view SWEEP
+//! would have computed. The FIFO channel argument (§5) is per-hop and
+//! does not care which sweep the hop belongs to.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod registry;
+mod scheduler;
+
+pub use registry::{MvError, ViewId, ViewRegistry};
+pub use scheduler::{MaintenanceScheduler, SchedulerMode};

@@ -1,0 +1,405 @@
+//! The runtime view registry: per-view materialized state, policy
+//! cadence, metrics and install logs, keyed by stable [`ViewId`]s.
+
+use dw_protocol::UpdateId;
+use dw_relational::{Bag, RelationalError, ViewDef};
+use dw_simnet::Time;
+use dw_warehouse::{InstallRecord, MaterializedView, PolicyMetrics, WarehouseError};
+use dw_workload::{ViewPolicy, ViewSpec};
+use std::fmt;
+
+/// Errors raised by the multi-view layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MvError {
+    /// A relational failure (bad span, bad projection, arity mismatch…).
+    Relational(RelationalError),
+    /// A warehouse failure (negative install, unexpected message…).
+    Warehouse(WarehouseError),
+    /// The [`ViewId`] does not name a registered view.
+    UnknownView {
+        /// The offending id's slot index.
+        index: usize,
+    },
+    /// The view cannot be deregistered while a sweep that feeds it is
+    /// in flight.
+    ViewBusy {
+        /// The view's display name.
+        name: String,
+    },
+}
+
+impl fmt::Display for MvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MvError::Relational(e) => write!(f, "{e}"),
+            MvError::Warehouse(e) => write!(f, "{e}"),
+            MvError::UnknownView { index } => write!(f, "no registered view in slot {index}"),
+            MvError::ViewBusy { name } => {
+                write!(
+                    f,
+                    "view '{name}' has a sweep in flight; drain before deregistering"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MvError {}
+
+impl From<RelationalError> for MvError {
+    fn from(e: RelationalError) -> Self {
+        MvError::Relational(e)
+    }
+}
+
+impl From<WarehouseError> for MvError {
+    fn from(e: WarehouseError) -> Self {
+        MvError::Warehouse(e)
+    }
+}
+
+/// Stable handle to a registered view. Ids are never reused within one
+/// registry, so a dangling handle fails loudly instead of aliasing a
+/// newer view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewId(usize);
+
+impl ViewId {
+    /// The underlying slot index (stable for the registry's lifetime).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "view#{}", self.0)
+    }
+}
+
+/// Everything the scheduler keeps per registered view.
+pub(crate) struct ViewRuntime {
+    pub(crate) name: String,
+    pub(crate) lo: usize,
+    pub(crate) hi: usize,
+    /// The compiled span-local definition (selections, projection).
+    pub(crate) local: ViewDef,
+    pub(crate) policy: ViewPolicy,
+    pub(crate) view: MaterializedView,
+    pub(crate) metrics: PolicyMetrics,
+    /// Install log in *global* chain coordinates (consumed ids carry the
+    /// base-chain source index).
+    pub(crate) install_log: Vec<InstallRecord>,
+    /// Accumulated-but-uninstalled delta (NestedSweep / Deferred).
+    pub(crate) pending_delta: Bag,
+    pub(crate) pending_consumed: Vec<(UpdateId, Time)>,
+    pub(crate) since_flush: usize,
+    pub(crate) record_snapshots: bool,
+}
+
+impl ViewRuntime {
+    /// Fold one finalized per-update delta into the view according to
+    /// the policy cadence. Empty deltas are still *consumed* so install
+    /// logs keep the per-source prefix discipline.
+    pub(crate) fn apply_delta(
+        &mut self,
+        delta: &Bag,
+        upd: UpdateId,
+        delivered_at: Time,
+        now: Time,
+    ) -> Result<(), WarehouseError> {
+        match self.policy {
+            ViewPolicy::Sweep => {
+                self.view.install(delta)?;
+                self.metrics.installs += 1;
+                self.metrics.record_staleness(delivered_at, now);
+                self.install_log.push(InstallRecord {
+                    at: now,
+                    consumed: vec![upd],
+                    view_after: self.record_snapshots.then(|| self.view.bag().clone()),
+                });
+            }
+            ViewPolicy::NestedSweep | ViewPolicy::Deferred { .. } => {
+                self.pending_delta.merge(delta);
+                self.pending_consumed.push((upd, delivered_at));
+                self.since_flush += 1;
+                if let ViewPolicy::Deferred { batch } = self.policy {
+                    if self.since_flush >= batch {
+                        self.flush(now)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Install whatever has accumulated (no-op when nothing is pending).
+    pub(crate) fn flush(&mut self, now: Time) -> Result<(), WarehouseError> {
+        if self.pending_consumed.is_empty() {
+            return Ok(());
+        }
+        self.view.install(&self.pending_delta)?;
+        self.metrics.installs += 1;
+        for &(_, delivered) in &self.pending_consumed {
+            self.metrics.record_staleness(delivered, now);
+        }
+        self.install_log.push(InstallRecord {
+            at: now,
+            consumed: self.pending_consumed.iter().map(|&(id, _)| id).collect(),
+            view_after: self.record_snapshots.then(|| self.view.bag().clone()),
+        });
+        self.pending_delta = Bag::new();
+        self.pending_consumed.clear();
+        self.since_flush = 0;
+        Ok(())
+    }
+}
+
+/// The registry: a slab of registered views over one shared base chain.
+///
+/// Slots are never reused, so [`ViewId`]s stay unambiguous for the
+/// registry's lifetime; a deregistered id fails with
+/// [`MvError::UnknownView`].
+pub struct ViewRegistry {
+    base: ViewDef,
+    slots: Vec<Option<ViewRuntime>>,
+}
+
+impl ViewRegistry {
+    /// New empty registry over `base` — which must be selection-free
+    /// with an identity projection (per-view σ/Π live in the specs).
+    pub fn new(base: ViewDef) -> Result<ViewRegistry, MvError> {
+        for k in 0..base.num_relations() {
+            if base.local_select(k) != &dw_relational::Predicate::True {
+                return Err(MvError::Relational(RelationalError::BadRange {
+                    reason: format!(
+                        "base chain relation {} carries a local selection; \
+                         per-view selections belong in the ViewSpec",
+                        base.schema(k).name()
+                    ),
+                }));
+            }
+        }
+        if base.projection().len() != base.total_arity() {
+            return Err(MvError::Relational(RelationalError::BadRange {
+                reason: "base chain must keep the identity projection".to_string(),
+            }));
+        }
+        Ok(ViewRegistry {
+            base,
+            slots: Vec::new(),
+        })
+    }
+
+    /// The shared base chain.
+    pub fn base(&self) -> &ViewDef {
+        &self.base
+    }
+
+    /// Register a view. `initial` must be the view's correct current
+    /// contents (at experiment start: the span evaluation of the initial
+    /// base relations; at a mid-run quiescent point: the span evaluation
+    /// of the sources' current state).
+    pub fn register(&mut self, spec: &ViewSpec, initial: Bag) -> Result<ViewId, MvError> {
+        let local = spec.compile(&self.base)?;
+        let view = MaterializedView::new(initial)?;
+        let id = ViewId(self.slots.len());
+        self.slots.push(Some(ViewRuntime {
+            name: spec.name.clone(),
+            lo: spec.lo,
+            hi: spec.hi,
+            local,
+            policy: spec.policy,
+            view,
+            metrics: PolicyMetrics::default(),
+            install_log: Vec::new(),
+            pending_delta: Bag::new(),
+            pending_consumed: Vec::new(),
+            since_flush: 0,
+            record_snapshots: true,
+        }));
+        Ok(id)
+    }
+
+    /// Remove a view. The scheduler's wrapper refuses while the view has
+    /// a sweep in flight; the bare registry removal always succeeds for
+    /// a live id.
+    pub fn deregister(&mut self, id: ViewId) -> Result<(), MvError> {
+        let slot = self
+            .slots
+            .get_mut(id.0)
+            .ok_or(MvError::UnknownView { index: id.0 })?;
+        if slot.take().is_none() {
+            return Err(MvError::UnknownView { index: id.0 });
+        }
+        Ok(())
+    }
+
+    /// Live view ids, in registration order.
+    pub fn ids(&self) -> Vec<ViewId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| ViewId(i)))
+            .collect()
+    }
+
+    /// Number of live views.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when no views are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Live views whose span contains base relation `j`.
+    pub fn affected_by(&self, j: usize) -> Vec<ViewId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Some(rt) if rt.lo <= j && j <= rt.hi => Some(ViewId(i)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    pub(crate) fn runtime(&self, id: ViewId) -> Result<&ViewRuntime, MvError> {
+        self.slots
+            .get(id.0)
+            .and_then(|s| s.as_ref())
+            .ok_or(MvError::UnknownView { index: id.0 })
+    }
+
+    pub(crate) fn runtime_mut(&mut self, id: ViewId) -> Result<&mut ViewRuntime, MvError> {
+        self.slots
+            .get_mut(id.0)
+            .and_then(|s| s.as_mut())
+            .ok_or(MvError::UnknownView { index: id.0 })
+    }
+
+    pub(crate) fn runtimes_mut(&mut self) -> impl Iterator<Item = &mut ViewRuntime> {
+        self.slots.iter_mut().filter_map(|s| s.as_mut())
+    }
+
+    /// Display name of a view.
+    pub fn name(&self, id: ViewId) -> Result<&str, MvError> {
+        Ok(&self.runtime(id)?.name)
+    }
+
+    /// The `[lo, hi]` base-chain span of a view.
+    pub fn span(&self, id: ViewId) -> Result<(usize, usize), MvError> {
+        let rt = self.runtime(id)?;
+        Ok((rt.lo, rt.hi))
+    }
+
+    /// The view's maintenance cadence.
+    pub fn policy(&self, id: ViewId) -> Result<ViewPolicy, MvError> {
+        Ok(self.runtime(id)?.policy)
+    }
+
+    /// The compiled span-local definition.
+    pub fn local_def(&self, id: ViewId) -> Result<&ViewDef, MvError> {
+        Ok(&self.runtime(id)?.local)
+    }
+
+    /// Current materialized contents.
+    pub fn view_bag(&self, id: ViewId) -> Result<&Bag, MvError> {
+        Ok(self.runtime(id)?.view.bag())
+    }
+
+    /// Per-view metrics (installs, staleness histogram, …).
+    pub fn metrics(&self, id: ViewId) -> Result<&PolicyMetrics, MvError> {
+        Ok(&self.runtime(id)?.metrics)
+    }
+
+    /// Per-view install log. Consumed [`UpdateId`]s are in *global*
+    /// chain coordinates; shift `source` by `-lo` to replay against a
+    /// span-local recorder.
+    pub fn install_log(&self, id: ViewId) -> Result<&[InstallRecord], MvError> {
+        Ok(&self.runtime(id)?.install_log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_relational::{tup, Schema, ViewDefBuilder};
+
+    fn base3() -> ViewDef {
+        ViewDefBuilder::new()
+            .relation(Schema::new("R1", ["A", "B"]).unwrap())
+            .relation(Schema::new("R2", ["C", "D"]).unwrap())
+            .relation(Schema::new("R3", ["E", "F"]).unwrap())
+            .join("R1.B", "R2.C")
+            .join("R2.D", "R3.E")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ids_are_stable_across_deregistration() {
+        let mut reg = ViewRegistry::new(base3()).unwrap();
+        let a = reg.register(&ViewSpec::full("A", 3), Bag::new()).unwrap();
+        let b = reg.register(&ViewSpec::full("B", 3), Bag::new()).unwrap();
+        reg.deregister(a).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.name(b).unwrap(), "B");
+        assert!(matches!(reg.runtime(a), Err(MvError::UnknownView { .. })));
+        // Slot is not reused.
+        let c = reg.register(&ViewSpec::full("C", 3), Bag::new()).unwrap();
+        assert_ne!(a.index(), c.index());
+    }
+
+    #[test]
+    fn affected_by_filters_on_span() {
+        let mut reg = ViewRegistry::new(base3()).unwrap();
+        let full = reg
+            .register(&ViewSpec::full("full", 3), Bag::new())
+            .unwrap();
+        let left = reg
+            .register(
+                &ViewSpec {
+                    lo: 0,
+                    hi: 1,
+                    ..ViewSpec::full("left", 3)
+                },
+                Bag::new(),
+            )
+            .unwrap();
+        let right = reg
+            .register(
+                &ViewSpec {
+                    lo: 2,
+                    hi: 2,
+                    ..ViewSpec::full("right", 3)
+                },
+                Bag::new(),
+            )
+            .unwrap();
+        assert_eq!(reg.affected_by(0), vec![full, left]);
+        assert_eq!(reg.affected_by(1), vec![full, left]);
+        assert_eq!(reg.affected_by(2), vec![full, right]);
+    }
+
+    #[test]
+    fn base_with_projection_rejected() {
+        let projected = ViewDefBuilder::new()
+            .relation(Schema::new("R1", ["A", "B"]).unwrap())
+            .relation(Schema::new("R2", ["C", "D"]).unwrap())
+            .join("R1.B", "R2.C")
+            .project(["R1.A"])
+            .build()
+            .unwrap();
+        assert!(ViewRegistry::new(projected).is_err());
+    }
+
+    #[test]
+    fn negative_initial_contents_rejected() {
+        let mut reg = ViewRegistry::new(base3()).unwrap();
+        let bad = Bag::from_pairs([(tup![1, 2, 2, 3, 3, 4], -1)]);
+        assert!(reg.register(&ViewSpec::full("neg", 3), bad).is_err());
+    }
+}

@@ -1,0 +1,961 @@
+//! The shared-sweep maintenance scheduler.
+//!
+//! On arrival of `ΔR_j` the scheduler computes the set of registered
+//! views whose span contains `j` and runs **one** two-leg sweep over the
+//! *union* of the affected spans `[L, R]` (contiguous, because every
+//! affected span contains `j`):
+//!
+//! * the **left leg** carries the true delta and hops `j−1, …, L`;
+//! * the **right leg** carries the delta's *support* (each distinct
+//!   tuple at `+1`, §5.3's parallel-sweep trick) and hops `j+1, …, R`;
+//! * after each hop's answer, the paper's on-line error correction (§4)
+//!   subtracts `ΔR_k ⋈ Temp` for every queued concurrent update from
+//!   the hop source — once, on the shared partial;
+//! * a view with span `[lo, hi]` **snapshots** the left partial the
+//!   moment it reaches `lo` and the right partial the moment it reaches
+//!   `hi`; its own delta is the pivot-merge of its two snapshots
+//!   (equating the shared `ΔR_j` columns, multiplying counts), filtered
+//!   by its selections, then finalized through its residual predicate
+//!   and projection.
+//!
+//! Message cost: at most `R − L ≤ n−1` queries (plus answers) per
+//! update — `≤ 2(n−1)` messages **regardless of the number of views**.
+//! [`SchedulerMode::Naive`] instead runs one dedicated sweep per
+//! affected view (the `V·2(n−1)` baseline E14 measures against).
+//!
+//! Installs follow each view's [`ViewPolicy`] cadence: `Sweep` installs
+//! every update immediately (complete consistency); `NestedSweep`
+//! accumulates while work is in flight and installs at drain;
+//! `Deferred { batch }` installs every `batch` relevant updates and at
+//! drain (both strong consistency — consumed sets grow by whole
+//! delivery-order batches).
+//!
+//! Global transactions (update type 3) are out of scope for the
+//! multi-view layer — tags on incoming updates are ignored.
+
+use crate::registry::{MvError, ViewId, ViewRegistry};
+use dw_obs::{Obs, SpanId};
+use dw_protocol::{source_node, Message, SweepQuery, UpdateId, WAREHOUSE_NODE};
+use dw_relational::{
+    extend_partial, Bag, JoinSide, PartialDelta, Predicate, RelationalError, Tuple, Value, ViewDef,
+};
+use dw_simnet::{Delivery, NetHandle, Time};
+use dw_warehouse::{PendingUpdate, PolicyMetrics, UpdateQueue, WarehouseError};
+use dw_workload::ViewSpec;
+use std::collections::{HashMap, VecDeque};
+
+/// How the scheduler turns one update into sweeps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerMode {
+    /// One shared sweep over the union of the affected spans; every
+    /// affected view reuses the per-hop answers. `≤ 2(n−1)` messages
+    /// per update, independent of view count.
+    #[default]
+    Shared,
+    /// One dedicated sweep per affected view — the naive baseline,
+    /// `V·2(n−1)` messages per update for `V` full-span views.
+    Naive,
+}
+
+impl SchedulerMode {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerMode::Shared => "shared-sweep",
+            SchedulerMode::Naive => "naive-per-view",
+        }
+    }
+}
+
+/// One unit of sweep work: an update, the span to cover, and the views
+/// fed by it.
+struct SweepTask {
+    upd: UpdateId,
+    delivered_at: Time,
+    /// The updated base relation (chain index).
+    j: usize,
+    delta: Bag,
+    /// Span to sweep (union of affected spans in shared mode; the one
+    /// view's own span in naive mode).
+    lo: usize,
+    hi: usize,
+    views: Vec<ViewId>,
+}
+
+struct Leg {
+    /// The partial this leg has built so far (post-compensation).
+    dv: PartialDelta,
+    /// Pre-hop copy used to compute the compensation term.
+    temp: PartialDelta,
+    qid: u64,
+    /// The hop currently in flight.
+    j: usize,
+    side: JoinSide,
+    hop: SpanId,
+}
+
+enum LegSlot {
+    Running(Leg),
+    Done,
+}
+
+struct ActiveSweep {
+    task: SweepTask,
+    left: LegSlot,
+    right: LegSlot,
+    /// Per-view left partials, captured the moment the left leg reached
+    /// the view's `lo` (post-compensation for that hop).
+    left_snaps: Vec<(ViewId, PartialDelta)>,
+    /// Per-view right partials, captured at each view's `hi`.
+    right_snaps: Vec<(ViewId, PartialDelta)>,
+}
+
+/// The multi-view maintenance scheduler: owns the registry, the update
+/// queue, and the shared-sweep state machine. Speaks the same
+/// `SweepQuery`/`SweepAnswer` protocol as single-view SWEEP, so the
+/// unmodified `dw_source::DataSource` serves it.
+pub struct MaintenanceScheduler {
+    base: ViewDef,
+    registry: ViewRegistry,
+    mode: SchedulerMode,
+    queue: UpdateQueue,
+    pending_tasks: VecDeque<SweepTask>,
+    active: Option<ActiveSweep>,
+    next_qid: u64,
+    /// Aggregate metrics (updates, queries, answers, compensations);
+    /// per-view installs/staleness live in the registry.
+    metrics: PolicyMetrics,
+    record_snapshots: bool,
+    obs: Obs,
+    cur_span: SpanId,
+}
+
+impl MaintenanceScheduler {
+    /// New scheduler over a selection-free, identity-projection base
+    /// chain.
+    pub fn new(base: ViewDef, mode: SchedulerMode) -> Result<Self, MvError> {
+        let registry = ViewRegistry::new(base.clone())?;
+        Ok(MaintenanceScheduler {
+            base,
+            registry,
+            mode,
+            queue: UpdateQueue::new(),
+            pending_tasks: VecDeque::new(),
+            active: None,
+            next_qid: 0,
+            metrics: PolicyMetrics::default(),
+            record_snapshots: true,
+            obs: Obs::off(),
+            cur_span: SpanId::NONE,
+        })
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> SchedulerMode {
+        self.mode
+    }
+
+    /// Register a view. `initial` must be the view's correct current
+    /// contents — at start-up the span evaluation of the initial base
+    /// relations; mid-run, call at a quiescent point
+    /// ([`MaintenanceScheduler::is_quiescent`]) with the span evaluation
+    /// of the sources' current state. The view participates in every
+    /// sweep started after registration.
+    pub fn register(&mut self, spec: &ViewSpec, initial: Bag) -> Result<ViewId, MvError> {
+        let id = self.registry.register(spec, initial)?;
+        self.registry.runtime_mut(id)?.record_snapshots = self.record_snapshots;
+        Ok(id)
+    }
+
+    /// Deregister a view. Fails with [`MvError::ViewBusy`] while a sweep
+    /// feeding the view is in flight or queued — drain first.
+    pub fn deregister(&mut self, id: ViewId) -> Result<(), MvError> {
+        let busy = self
+            .active
+            .as_ref()
+            .is_some_and(|a| a.task.views.contains(&id))
+            || self.pending_tasks.iter().any(|t| t.views.contains(&id));
+        if busy {
+            return Err(MvError::ViewBusy {
+                name: self.registry.name(id)?.to_string(),
+            });
+        }
+        self.registry.deregister(id)
+    }
+
+    /// Read access to the registry (per-view bags, metrics, logs).
+    pub fn views(&self) -> &ViewRegistry {
+        &self.registry
+    }
+
+    /// Aggregate scheduler metrics. `installs` stays zero here — install
+    /// counts are per view in the registry.
+    pub fn metrics(&self) -> &PolicyMetrics {
+        &self.metrics
+    }
+
+    /// No sweep in flight, no queued work. Policy-pending batches are
+    /// flushed the moment this becomes true, so quiescent ⇒ installed.
+    pub fn is_quiescent(&self) -> bool {
+        self.active.is_none() && self.pending_tasks.is_empty() && self.queue.is_empty()
+    }
+
+    /// Toggle per-install view snapshots in the install logs (needed by
+    /// the consistency checker; costly for big runs).
+    pub fn set_record_snapshots(&mut self, record: bool) {
+        self.record_snapshots = record;
+        for rt in self.registry.runtimes_mut() {
+            rt.record_snapshots = record;
+        }
+    }
+
+    /// Attach an observability recorder: `mv.sweep`/`mv.hop` spans plus
+    /// `mv.shared_queries`/`mv.naive_queries`/`mv.compensations`
+    /// counters. Per-view staleness histograms live in the registry's
+    /// [`PolicyMetrics`].
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Handle one warehouse delivery.
+    pub fn on_message(
+        &mut self,
+        delivery: Delivery<Message>,
+        net: &mut dyn NetHandle<Message>,
+    ) -> Result<(), MvError> {
+        match delivery.msg {
+            Message::Update(u) => {
+                self.metrics.updates_received += 1;
+                for id in self.registry.affected_by(u.id.source) {
+                    self.registry.runtime_mut(id)?.metrics.updates_received += 1;
+                }
+                self.queue.push(u, delivery.at);
+                if self.active.is_none() {
+                    self.start_next(net)?;
+                }
+                Ok(())
+            }
+            Message::SweepAnswer(a) => {
+                self.metrics.answers_received += 1;
+                self.on_answer(net, a.qid, a.partial)
+            }
+            other => Err(MvError::Warehouse(WarehouseError::UnexpectedMessage {
+                policy: self.mode.name(),
+                label: dw_simnet::Payload::label(&other),
+            })),
+        }
+    }
+
+    /// Pull work until a sweep is in flight or everything has drained.
+    fn start_next(&mut self, net: &mut dyn NetHandle<Message>) -> Result<(), MvError> {
+        debug_assert!(self.active.is_none());
+        loop {
+            if let Some(task) = self.pending_tasks.pop_front() {
+                if self.begin_task(net, task)? {
+                    return Ok(());
+                }
+                continue; // completed inline (no queries needed)
+            }
+            let Some(PendingUpdate { update, arrived_at }) = self.queue.pop() else {
+                // Fully drained: install policy-pending batches.
+                let now = net.now();
+                for rt in self.registry.runtimes_mut() {
+                    rt.flush(now)?;
+                }
+                return Ok(());
+            };
+            let j = update.id.source;
+            let affected = self.registry.affected_by(j);
+            if affected.is_empty() {
+                continue; // no registered view references R_j
+            }
+            match self.mode {
+                SchedulerMode::Shared => {
+                    let mut lo = j;
+                    let mut hi = j;
+                    for &v in &affected {
+                        let (vlo, vhi) = self.registry.span(v)?;
+                        lo = lo.min(vlo);
+                        hi = hi.max(vhi);
+                    }
+                    self.pending_tasks.push_back(SweepTask {
+                        upd: update.id,
+                        delivered_at: arrived_at,
+                        j,
+                        delta: update.delta.clone(),
+                        lo,
+                        hi,
+                        views: affected,
+                    });
+                }
+                SchedulerMode::Naive => {
+                    for v in affected {
+                        let (lo, hi) = self.registry.span(v)?;
+                        self.pending_tasks.push_back(SweepTask {
+                            upd: update.id,
+                            delivered_at: arrived_at,
+                            j,
+                            delta: update.delta.clone(),
+                            lo,
+                            hi,
+                            views: vec![v],
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Seed both legs, snapshot span-endpoint views, fire the first
+    /// queries. Returns `false` when the task completed without any
+    /// queries (single-relation span).
+    fn begin_task(
+        &mut self,
+        net: &mut dyn NetHandle<Message>,
+        task: SweepTask,
+    ) -> Result<bool, MvError> {
+        let j = task.j;
+        self.cur_span = self.obs.span_start("mv.sweep", net.now(), SpanId::NONE);
+        self.obs.observe("mv.fanout_views", task.views.len() as u64);
+        let left_seed = PartialDelta::seed(&self.base, j, &task.delta)?;
+        let right_seed = PartialDelta {
+            lo: j,
+            hi: j,
+            bag: support(&left_seed.bag),
+        };
+        let mut active = ActiveSweep {
+            left: LegSlot::Done,
+            right: LegSlot::Done,
+            left_snaps: Vec::new(),
+            right_snaps: Vec::new(),
+            task,
+        };
+        snapshot(&self.registry, &mut active, j, JoinSide::Left, &left_seed)?;
+        snapshot(&self.registry, &mut active, j, JoinSide::Right, &right_seed)?;
+        if j > active.task.lo {
+            let (qid, hop) = self.send_query(net, &left_seed, j - 1, JoinSide::Left);
+            active.left = LegSlot::Running(Leg {
+                temp: left_seed.clone(),
+                dv: left_seed,
+                qid,
+                j: j - 1,
+                side: JoinSide::Left,
+                hop,
+            });
+        }
+        if j < active.task.hi {
+            let (qid, hop) = self.send_query(net, &right_seed, j + 1, JoinSide::Right);
+            active.right = LegSlot::Running(Leg {
+                temp: right_seed.clone(),
+                dv: right_seed,
+                qid,
+                j: j + 1,
+                side: JoinSide::Right,
+                hop,
+            });
+        }
+        if matches!(
+            (&active.left, &active.right),
+            (LegSlot::Done, LegSlot::Done)
+        ) {
+            self.finish_task(net, active)?;
+            return Ok(false);
+        }
+        self.active = Some(active);
+        Ok(true)
+    }
+
+    fn send_query(
+        &mut self,
+        net: &mut dyn NetHandle<Message>,
+        dv: &PartialDelta,
+        j: usize,
+        side: JoinSide,
+    ) -> (u64, SpanId) {
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        self.metrics.queries_sent += 1;
+        self.obs.add(
+            match self.mode {
+                SchedulerMode::Shared => "mv.shared_queries",
+                SchedulerMode::Naive => "mv.naive_queries",
+            },
+            1,
+        );
+        let hop = self.obs.span_start("mv.hop", net.now(), self.cur_span);
+        net.send(
+            WAREHOUSE_NODE,
+            source_node(j),
+            Message::SweepQuery(SweepQuery {
+                qid,
+                partial: dv.clone(),
+                side,
+            }),
+        );
+        (qid, hop)
+    }
+
+    /// Local on-line error correction (§4) on the shared partial:
+    /// subtract `ΔR_j ⋈ Temp` for every queued concurrent update from
+    /// the hop source. Runs once per hop; every view downstream of the
+    /// hop inherits the corrected partial.
+    fn compensate(
+        &mut self,
+        dv: &mut PartialDelta,
+        temp: &PartialDelta,
+        j: usize,
+        side: JoinSide,
+    ) -> Result<(), MvError> {
+        let merged = self.queue.merged_from_source(j);
+        if merged.is_empty() {
+            return Ok(());
+        }
+        let err = extend_partial(&self.base, temp, &merged, side)?;
+        dv.bag.subtract(&err.bag);
+        self.metrics.local_compensations += 1;
+        self.obs.add("mv.compensations", 1);
+        Ok(())
+    }
+
+    fn on_answer(
+        &mut self,
+        net: &mut dyn NetHandle<Message>,
+        qid: u64,
+        partial: PartialDelta,
+    ) -> Result<(), MvError> {
+        let Some(mut active) = self.active.take() else {
+            return Err(MvError::Warehouse(WarehouseError::UnknownQuery { qid }));
+        };
+        let use_left = matches!(&active.left, LegSlot::Running(l) if l.qid == qid);
+        let use_right = matches!(&active.right, LegSlot::Running(r) if r.qid == qid);
+        if !use_left && !use_right {
+            self.active = Some(active);
+            return Err(MvError::Warehouse(WarehouseError::UnknownQuery { qid }));
+        }
+        let slot = if use_left {
+            &mut active.left
+        } else {
+            &mut active.right
+        };
+        let LegSlot::Running(mut leg) = std::mem::replace(slot, LegSlot::Done) else {
+            unreachable!()
+        };
+        self.obs.span_end(leg.hop, net.now());
+        leg.dv = partial;
+        let (k, side) = (leg.j, leg.side);
+        let temp = leg.temp.clone();
+        self.compensate(&mut leg.dv, &temp, k, side)?;
+        // Views whose span ends exactly at this hop peel off the shared
+        // partial *after* this hop's compensation.
+        snapshot(&self.registry, &mut active, k, side, &leg.dv)?;
+        let next = match side {
+            JoinSide::Left if k > active.task.lo => Some(k - 1),
+            JoinSide::Left => None,
+            JoinSide::Right if k < active.task.hi => Some(k + 1),
+            JoinSide::Right => None,
+        };
+        if let Some(nj) = next {
+            leg.temp = leg.dv.clone();
+            let dv = leg.dv.clone();
+            let (nqid, hop) = self.send_query(net, &dv, nj, side);
+            leg.qid = nqid;
+            leg.hop = hop;
+            leg.j = nj;
+            let slot = if use_left {
+                &mut active.left
+            } else {
+                &mut active.right
+            };
+            *slot = LegSlot::Running(leg);
+        }
+        if matches!(
+            (&active.left, &active.right),
+            (LegSlot::Done, LegSlot::Done)
+        ) {
+            self.finish_task(net, active)?;
+            return self.start_next(net);
+        }
+        self.active = Some(active);
+        Ok(())
+    }
+
+    /// Both legs done: merge each view's snapshots on the pivot columns,
+    /// apply its σ/residual/Π, and install per its cadence.
+    fn finish_task(
+        &mut self,
+        net: &mut dyn NetHandle<Message>,
+        active: ActiveSweep,
+    ) -> Result<(), MvError> {
+        let now = net.now();
+        let task = active.task;
+        for &v in &task.views {
+            let left = active
+                .left_snaps
+                .iter()
+                .find(|(id, _)| *id == v)
+                .map(|(_, p)| p)
+                .expect("left leg visited every affected span start");
+            let right = active
+                .right_snaps
+                .iter()
+                .find(|(id, _)| *id == v)
+                .map(|(_, p)| p)
+                .expect("right leg visited every affected span end");
+            let merged = merge_pivot(&self.base, task.j, left, right);
+            let rt = self.registry.runtime_mut(v)?;
+            let delta = finalize_for_view(&rt.local, &merged)?;
+            rt.apply_delta(&delta, task.upd, task.delivered_at, now)?;
+        }
+        self.obs.span_end(self.cur_span, net.now());
+        self.cur_span = SpanId::NONE;
+        Ok(())
+    }
+}
+
+/// The support of a delta: every distinct tuple at multiplicity `+1`
+/// (§5.3 — the right leg counts join multiplicities only; the true
+/// counts re-enter at merge time from the left leg).
+fn support(bag: &Bag) -> Bag {
+    Bag::from_pairs(bag.iter().map(|(t, _)| (t.clone(), 1)))
+}
+
+/// Record `partial` for every task view whose span endpoint is exactly
+/// the hop that just completed. At the seed hop (`k == j`) this captures
+/// views that need no leg on that side.
+fn snapshot(
+    registry: &ViewRegistry,
+    active: &mut ActiveSweep,
+    k: usize,
+    side: JoinSide,
+    partial: &PartialDelta,
+) -> Result<(), MvError> {
+    for &v in &active.task.views {
+        let (lo, hi) = registry.span(v)?;
+        match side {
+            JoinSide::Left if lo == k => active.left_snaps.push((v, partial.clone())),
+            JoinSide::Right if hi == k => active.right_snaps.push((v, partial.clone())),
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Glue a view's two snapshots on the pivot relation `R_j`'s columns:
+/// hash the right snapshot by its leading `w_j` columns, probe with the
+/// left snapshot's trailing `w_j` columns, output `left ++ right-tail`
+/// at the product of the counts. The left snapshot carries true
+/// multiplicities, the right the support — so the product is the true
+/// count of the glued tuple (sweep's §5.3 merge, span-generalized).
+fn merge_pivot(
+    base: &ViewDef,
+    j: usize,
+    left: &PartialDelta,
+    right: &PartialDelta,
+) -> PartialDelta {
+    debug_assert_eq!(left.hi, j);
+    debug_assert_eq!(right.lo, j);
+    let w_j = base.schema(j).arity();
+    let left_width: usize = (left.lo..=left.hi).map(|k| base.schema(k).arity()).sum();
+    let shared_off = left_width - w_j;
+
+    let mut by_key: HashMap<Vec<Value>, Vec<(&Tuple, i64)>> = HashMap::new();
+    for (t, c) in right.bag.iter() {
+        let key: Vec<Value> = (0..w_j).map(|k| t.at(k).clone()).collect();
+        by_key.entry(key).or_default().push((t, c));
+    }
+    let mut out = Bag::new();
+    for (lt, lc) in left.bag.iter() {
+        let key: Vec<Value> = (0..w_j).map(|k| lt.at(shared_off + k).clone()).collect();
+        if let Some(matches) = by_key.get(&key) {
+            for &(rt, rc) in matches {
+                let tail = Tuple::new(rt.values()[w_j..].to_vec());
+                out.add(lt.concat(&tail), lc * rc);
+            }
+        }
+    }
+    PartialDelta {
+        lo: left.lo,
+        hi: right.hi,
+        bag: out,
+    }
+}
+
+/// Apply a view's own σ (per-relation selections, shifted to span-tuple
+/// offsets), then its residual predicate and projection. Sound because
+/// the shared sweep ran on unfiltered tuples and selection commutes
+/// with join; subtraction (compensation) distributes over the filter.
+fn finalize_for_view(local: &ViewDef, merged: &PartialDelta) -> Result<Bag, RelationalError> {
+    let mut bag = merged.bag.clone();
+    for r in 0..local.num_relations() {
+        let sel = local.local_select(r);
+        if sel != &Predicate::True {
+            let shifted = sel.shifted(local.offset(r));
+            bag = bag.filter(|t| shifted.eval(t));
+        }
+    }
+    PartialDelta {
+        lo: 0,
+        hi: local.num_relations() - 1,
+        bag,
+    }
+    .finalize(local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_protocol::node_source;
+    use dw_relational::{eval_view, tup, CmpOp, Schema, ViewDefBuilder};
+    use dw_simnet::Network;
+    use dw_source::DataSource;
+    use dw_workload::ViewPolicy;
+
+    fn base3() -> ViewDef {
+        ViewDefBuilder::new()
+            .relation(Schema::new("R1", ["A", "B"]).unwrap())
+            .relation(Schema::new("R2", ["C", "D"]).unwrap())
+            .relation(Schema::new("R3", ["E", "F"]).unwrap())
+            .join("R1.B", "R2.C")
+            .join("R2.D", "R3.E")
+            .build()
+            .unwrap()
+    }
+
+    fn initial3() -> Vec<Bag> {
+        vec![
+            Bag::from_tuples([tup![1, 3], tup![2, 3], tup![2, 5]]),
+            Bag::from_tuples([tup![3, 5], tup![5, 7], tup![3, 7]]),
+            Bag::from_tuples([tup![5, 9], tup![7, 9], tup![7, 11]]),
+        ]
+    }
+
+    fn specs() -> Vec<ViewSpec> {
+        vec![
+            ViewSpec::full("full", 3),
+            ViewSpec {
+                lo: 0,
+                hi: 1,
+                selects: vec![(1, 1, CmpOp::Ge, Value::Int(6))],
+                ..ViewSpec::full("left-pair", 3)
+            },
+            ViewSpec {
+                lo: 1,
+                hi: 2,
+                projection: Some(vec!["R2.C".to_string(), "R3.F".to_string()]),
+                ..ViewSpec::full("right-pair", 3)
+            },
+            ViewSpec {
+                lo: 1,
+                hi: 1,
+                ..ViewSpec::full("solo", 3)
+            },
+        ]
+    }
+
+    /// Build sources over the base chain, register every spec with its
+    /// correct initial contents, inject `txns`, run to quiescence, and
+    /// return (scheduler, shadow relations after all txns).
+    fn run(
+        mode: SchedulerMode,
+        view_specs: &[ViewSpec],
+        txns: &[(Time, usize, Bag)],
+    ) -> (MaintenanceScheduler, Vec<Bag>) {
+        let base = base3();
+        let initial = initial3();
+        let mut sched = MaintenanceScheduler::new(base.clone(), mode).unwrap();
+        for spec in view_specs {
+            let local = spec.compile(&base).unwrap();
+            let refs: Vec<&Bag> = initial[spec.lo..=spec.hi].iter().collect();
+            sched
+                .register(spec, eval_view(&local, &refs).unwrap())
+                .unwrap();
+        }
+        let mut net: Network<Message> = Network::new(7);
+        let mut sources: Vec<DataSource> = (0..3)
+            .map(|i| {
+                let mut r = dw_relational::BaseRelation::new(base.schema(i).clone());
+                r.apply_delta(&initial[i]).unwrap();
+                DataSource::new(i, base.clone(), r)
+            })
+            .collect();
+        let mut shadows = initial;
+        for &(at, src, ref delta) in txns {
+            shadows[src].merge(delta);
+            net.inject(
+                at,
+                source_node(src),
+                Message::ApplyTxn {
+                    rel: src,
+                    delta: delta.clone(),
+                    global: None,
+                },
+            );
+        }
+        while let Some(d) = net.next() {
+            if d.to == WAREHOUSE_NODE {
+                sched.on_message(d, &mut net).unwrap();
+            } else {
+                sources[node_source(d.to)]
+                    .handle(d.from, d.msg, &mut net)
+                    .unwrap();
+            }
+        }
+        assert!(sched.is_quiescent());
+        (sched, shadows)
+    }
+
+    /// Dense, interfering transactions hitting every source.
+    fn interfering_txns() -> Vec<(Time, usize, Bag)> {
+        vec![
+            (100, 1, Bag::from_tuples([tup![7, 9]])),
+            (150, 0, Bag::from_tuples([tup![4, 7]])),
+            (200, 2, Bag::from_tuples([tup![9, 13]])),
+            (260, 1, Bag::from_pairs([(tup![3, 5], -1)])),
+            (300, 0, Bag::from_tuples([tup![6, 3]])),
+            (340, 2, Bag::from_pairs([(tup![5, 9], -1)])),
+        ]
+    }
+
+    #[test]
+    fn every_view_lands_on_ground_truth() {
+        for mode in [SchedulerMode::Shared, SchedulerMode::Naive] {
+            let (sched, shadows) = run(mode, &specs(), &interfering_txns());
+            for (spec, id) in specs().iter().zip(sched.views().ids()) {
+                let local = spec.compile(sched.views().base()).unwrap();
+                let refs: Vec<&Bag> = shadows[spec.lo..=spec.hi].iter().collect();
+                let truth = eval_view(&local, &refs).unwrap();
+                assert_eq!(
+                    sched.views().view_bag(id).unwrap(),
+                    &truth,
+                    "{mode:?} view '{}'",
+                    spec.name
+                );
+                assert!(sched.views().view_bag(id).unwrap().all_positive());
+            }
+        }
+    }
+
+    #[test]
+    fn shared_mode_message_cost_is_span_bounded() {
+        // All four views are registered; the union span is the full
+        // chain, so each update costs exactly 2(n−1) = 4 messages no
+        // matter that four views were maintained.
+        let (sched, _) = run(SchedulerMode::Shared, &specs(), &interfering_txns());
+        let n_txns = interfering_txns().len() as u64;
+        assert_eq!(sched.metrics().queries_sent, 2 * n_txns);
+        assert_eq!(sched.metrics().answers_received, 2 * n_txns);
+    }
+
+    #[test]
+    fn naive_mode_scales_with_view_count() {
+        // Three full-span views: every update pays 3 × 2(n−1).
+        let views: Vec<ViewSpec> = (0..3).map(|v| ViewSpec::full(format!("V{v}"), 3)).collect();
+        let txns = interfering_txns();
+        let (naive, _) = run(SchedulerMode::Naive, &views, &txns);
+        let (shared, _) = run(SchedulerMode::Shared, &views, &txns);
+        let n_txns = txns.len() as u64;
+        assert_eq!(naive.metrics().queries_sent, 3 * 2 * n_txns);
+        assert_eq!(shared.metrics().queries_sent, 2 * n_txns);
+        // Same final contents either way.
+        for id in shared.views().ids() {
+            assert_eq!(
+                shared.views().view_bag(id).unwrap(),
+                naive.views().view_bag(id).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn single_relation_view_needs_no_queries() {
+        let solo = vec![ViewSpec {
+            lo: 1,
+            hi: 1,
+            ..ViewSpec::full("solo", 3)
+        }];
+        let txns = vec![(100u64, 1usize, Bag::from_tuples([tup![7, 9]]))];
+        let (sched, shadows) = run(SchedulerMode::Shared, &solo, &txns);
+        assert_eq!(sched.metrics().queries_sent, 0);
+        let id = sched.views().ids()[0];
+        assert_eq!(sched.views().view_bag(id).unwrap(), &shadows[1]);
+        assert_eq!(sched.views().metrics(id).unwrap().installs, 1);
+    }
+
+    #[test]
+    fn updates_outside_every_span_are_skipped() {
+        let right_only = vec![ViewSpec {
+            lo: 2,
+            hi: 2,
+            ..ViewSpec::full("r3-only", 3)
+        }];
+        let txns = vec![
+            (100u64, 0usize, Bag::from_tuples([tup![4, 7]])),
+            (200, 2, Bag::from_tuples([tup![9, 13]])),
+        ];
+        let (sched, shadows) = run(SchedulerMode::Shared, &right_only, &txns);
+        assert_eq!(sched.metrics().updates_received, 2);
+        assert_eq!(sched.metrics().queries_sent, 0);
+        let id = sched.views().ids()[0];
+        assert_eq!(sched.views().view_bag(id).unwrap(), &shadows[2]);
+        // Only the in-span update was consumed.
+        assert_eq!(sched.views().install_log(id).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn policy_cadence_batches_installs() {
+        let mut batched = ViewSpec::full("batched", 3);
+        batched.policy = ViewPolicy::Deferred { batch: 3 };
+        let (sched, shadows) = run(
+            SchedulerMode::Shared,
+            &[batched.clone()],
+            &interfering_txns(),
+        );
+        let id = sched.views().ids()[0];
+        // 6 updates at batch 3 → exactly 2 installs, still ground truth.
+        assert_eq!(sched.views().metrics(id).unwrap().installs, 2);
+        let refs: Vec<&Bag> = shadows.iter().collect();
+        let truth = eval_view(&batched.compile(sched.views().base()).unwrap(), &refs).unwrap();
+        assert_eq!(sched.views().view_bag(id).unwrap(), &truth);
+        // Every install consumed a whole delivery-order batch.
+        let log = sched.views().install_log(id).unwrap();
+        assert_eq!(log.len(), 2);
+        assert!(log.iter().all(|rec| rec.consumed.len() == 3));
+    }
+
+    #[test]
+    fn deregister_refused_mid_sweep_then_allowed_at_drain() {
+        let base = base3();
+        let initial = initial3();
+        let mut sched = MaintenanceScheduler::new(base.clone(), SchedulerMode::Shared).unwrap();
+        let spec = ViewSpec::full("full", 3);
+        let refs: Vec<&Bag> = initial.iter().collect();
+        let full = spec.compile(&base).unwrap();
+        let id = sched
+            .register(&spec, eval_view(&full, &refs).unwrap())
+            .unwrap();
+        let mut net: Network<Message> = Network::new(0);
+        let mut sources: Vec<DataSource> = (0..3)
+            .map(|i| {
+                let mut r = dw_relational::BaseRelation::new(base.schema(i).clone());
+                r.apply_delta(&initial[i]).unwrap();
+                DataSource::new(i, base.clone(), r)
+            })
+            .collect();
+        net.inject(
+            100,
+            source_node(1),
+            Message::ApplyTxn {
+                rel: 1,
+                delta: Bag::from_tuples([tup![7, 9]]),
+                global: None,
+            },
+        );
+        let mut refused = false;
+        while let Some(d) = net.next() {
+            if d.to == WAREHOUSE_NODE {
+                sched.on_message(d, &mut net).unwrap();
+                if !sched.is_quiescent() && !refused {
+                    assert!(matches!(
+                        sched.deregister(id),
+                        Err(MvError::ViewBusy { .. })
+                    ));
+                    refused = true;
+                }
+            } else {
+                sources[node_source(d.to)]
+                    .handle(d.from, d.msg, &mut net)
+                    .unwrap();
+            }
+        }
+        assert!(refused, "the sweep should have been observed in flight");
+        assert!(sched.is_quiescent());
+        sched.deregister(id).unwrap();
+        assert!(sched.views().is_empty());
+    }
+
+    #[test]
+    fn mid_run_registration_at_quiescent_point() {
+        let base = base3();
+        let initial = initial3();
+        let mut sched = MaintenanceScheduler::new(base.clone(), SchedulerMode::Shared).unwrap();
+        let full_spec = ViewSpec::full("early", 3);
+        let full = full_spec.compile(&base).unwrap();
+        let refs: Vec<&Bag> = initial.iter().collect();
+        sched
+            .register(&full_spec, eval_view(&full, &refs).unwrap())
+            .unwrap();
+
+        let mut net: Network<Message> = Network::new(3);
+        let mut sources: Vec<DataSource> = (0..3)
+            .map(|i| {
+                let mut r = dw_relational::BaseRelation::new(base.schema(i).clone());
+                r.apply_delta(&initial[i]).unwrap();
+                DataSource::new(i, base.clone(), r)
+            })
+            .collect();
+        let mut shadows = initial;
+
+        // Phase 1: one update drains.
+        let d1 = Bag::from_tuples([tup![7, 9]]);
+        shadows[1].merge(&d1);
+        net.inject(
+            100,
+            source_node(1),
+            Message::ApplyTxn {
+                rel: 1,
+                delta: d1,
+                global: None,
+            },
+        );
+        while let Some(d) = net.next() {
+            if d.to == WAREHOUSE_NODE {
+                sched.on_message(d, &mut net).unwrap();
+            } else {
+                sources[node_source(d.to)]
+                    .handle(d.from, d.msg, &mut net)
+                    .unwrap();
+            }
+        }
+        assert!(sched.is_quiescent());
+
+        // Quiescent: register a late view seeded from the *current*
+        // source state.
+        let late_spec = ViewSpec {
+            lo: 0,
+            hi: 1,
+            ..ViewSpec::full("late", 3)
+        };
+        let late = late_spec.compile(&base).unwrap();
+        let refs: Vec<&Bag> = shadows[0..=1].iter().collect();
+        let late_id = sched
+            .register(&late_spec, eval_view(&late, &refs).unwrap())
+            .unwrap();
+
+        // Phase 2: more updates; the late view tracks them.
+        let d2 = Bag::from_tuples([tup![6, 3]]);
+        shadows[0].merge(&d2);
+        net.inject(
+            10_000,
+            source_node(0),
+            Message::ApplyTxn {
+                rel: 0,
+                delta: d2,
+                global: None,
+            },
+        );
+        while let Some(d) = net.next() {
+            if d.to == WAREHOUSE_NODE {
+                sched.on_message(d, &mut net).unwrap();
+            } else {
+                sources[node_source(d.to)]
+                    .handle(d.from, d.msg, &mut net)
+                    .unwrap();
+            }
+        }
+        assert!(sched.is_quiescent());
+        let refs: Vec<&Bag> = shadows[0..=1].iter().collect();
+        assert_eq!(
+            sched.views().view_bag(late_id).unwrap(),
+            &eval_view(&late, &refs).unwrap()
+        );
+    }
+}

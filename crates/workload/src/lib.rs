@@ -13,11 +13,13 @@
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod multiview;
 pub mod scenario;
 pub mod skew;
 pub mod stream;
 
 pub use faults::FaultScenarioConfig;
+pub use multiview::{MultiViewConfig, MultiViewScenario, ViewPolicy, ViewSpec};
 pub use scenario::{GeneratedScenario, ScheduledTxn};
 pub use skew::Zipf;
 pub use stream::{GapKind, SourcePick, StreamConfig};

@@ -47,6 +47,7 @@
 //! | [`warehouse`] | `dw-warehouse` | SWEEP, Nested SWEEP, ECA, Strobe, C-strobe, Recompute |
 //! | [`consistency`] | `dw-consistency` | ground truth + classification |
 //! | [`workload`] | `dw-workload` | scenario/stream generators |
+//! | [`multiview`] | `dw-multiview` | view registry + shared-sweep scheduler |
 //! | [`livenet`] | `dw-livenet` | thread-per-node live runtime |
 //! | [`core`] | `dw-core` | experiments and reports |
 
@@ -55,6 +56,7 @@
 pub use dw_consistency as consistency;
 pub use dw_core as core;
 pub use dw_livenet as livenet;
+pub use dw_multiview as multiview;
 pub use dw_protocol as protocol;
 pub use dw_relational as relational;
 pub use dw_rng as rng;
@@ -65,8 +67,15 @@ pub use dw_workload as workload;
 
 /// One-line import for applications.
 pub mod prelude {
-    pub use dw_consistency::{verify_fifo, ConsistencyLevel, ConsistencyReport, Recorder};
-    pub use dw_core::{CoreError, Experiment, PolicyKind, RunReport};
+    pub use dw_consistency::{
+        mutual_consistency, verify_fifo, ConsistencyLevel, ConsistencyReport, MutualReport,
+        Recorder, ViewLog,
+    };
+    pub use dw_core::{
+        CoreError, Experiment, MultiViewExperiment, MultiViewReport, PolicyKind, RunReport,
+        ViewOutcome,
+    };
+    pub use dw_multiview::{MaintenanceScheduler, SchedulerMode, ViewId, ViewRegistry};
     pub use dw_protocol::TransportConfig;
     pub use dw_relational::{
         tup, Bag, BaseRelation, CmpOp, KeySpec, Schema, Tuple, Value, ViewDef, ViewDefBuilder,
@@ -76,6 +85,7 @@ pub mod prelude {
         MaintenancePolicy, NestedSweep, NestedSweepOptions, Sweep, SweepOptions,
     };
     pub use dw_workload::{
-        FaultScenarioConfig, GapKind, GeneratedScenario, ScheduledTxn, SourcePick, StreamConfig,
+        FaultScenarioConfig, GapKind, GeneratedScenario, MultiViewConfig, MultiViewScenario,
+        ScheduledTxn, SourcePick, StreamConfig, ViewPolicy, ViewSpec,
     };
 }

@@ -297,6 +297,48 @@ fn nested_sweep_strong_on_fault_schedules() {
     }
 }
 
+/// A multi-view warehouse behind the transport on the same adversarial
+/// network: random view sets (random spans, mixed Sweep / Nested SWEEP /
+/// deferred policies) under drops, duplication, reordering, and a source
+/// crash/restart. Every registered view must still drain, converge to its
+/// own ground truth, and agree with its siblings on the shared sources.
+#[test]
+fn multiview_shared_sweep_converges_on_fault_schedules() {
+    for case in 0..FAULT_CASES {
+        let mut r = Rng64::new(0xFD_0000 + case);
+        let cfg = fault_config(&mut r);
+        let plan = hostile_plan(&mut r, cfg.n_sources);
+        let mv = MultiViewConfig {
+            stream: cfg,
+            n_views: 1 + r.usize_below(3),
+            view_seed: r.next_u64(),
+            full_span: false,
+        };
+        let report = MultiViewExperiment::new(mv.generate().unwrap())
+            .latency(LatencyModel::Constant(r.u64_in(500, 3_000)))
+            .seed(r.next_u64())
+            .faults(plan)
+            .transport_auto()
+            .run()
+            .unwrap();
+        assert!(report.quiescent, "case {case}");
+        for v in &report.views {
+            let c = v.consistency.as_ref().unwrap();
+            assert!(
+                c.level >= ConsistencyLevel::Convergent,
+                "case {case}: view {} got {}: {}",
+                v.name,
+                c.level,
+                c.detail
+            );
+            assert!(v.view.all_positive(), "case {case}: view {}", v.name);
+        }
+        if let Some(m) = &report.mutual {
+            assert!(m.final_agreement, "case {case}: {}", m.detail);
+        }
+    }
+}
+
 /// The scenario *generator* (dw-workload's FaultScenarioConfig) also only
 /// produces schedules the transport can survive.
 #[test]
