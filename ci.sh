@@ -18,6 +18,13 @@ for d in crates/*/; do
   fi
 done
 
+echo "==> engine boundary: adapters stay out of the queue's batching internals"
+if grep -rn "merged_from_source\|take_from_source" \
+    crates/warehouse/src crates/multiview/src crates/livenet/src; then
+  echo "FAIL: sweep adapters must go through dw-engine (fold_same_source), not the queue internals" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

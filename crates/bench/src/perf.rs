@@ -1,9 +1,11 @@
 //! The perf-report / perf-gate pipeline.
 //!
-//! [`collect`] re-runs the four invariant-bearing experiments —
+//! [`collect`] re-runs the five invariant-bearing experiments —
 //! **E1** (Table 1 algorithm comparison), **E6** (SWEEP's `2(n−1)` message
-//! linearity), **E12** (reliable-FIFO earned under faults) and **E14**
-//! (shared-sweep cost independent of view count) — and
+//! linearity), **E12** (reliable-FIFO earned under faults), **E14**
+//! (shared-sweep cost independent of view count) and **E15**
+//! (cross-update batching amortizes the sweep over queued same-source
+//! updates) — and
 //! condenses each into typed rows: messages per update, installs,
 //! staleness percentiles, consistency level, plus wall-clock per phase.
 //! The result serializes to `BENCH_report.json` (see [`crate::json`]),
@@ -16,7 +18,10 @@
 //!   `2(n−1)` line, any E12 row that is not `complete` and quiescent or
 //!   whose *logical* messages per update leave `2(n−1)`, any E14 row
 //!   whose shared sweep leaves the `2(n−1)` line (it must not scale with
-//!   view count) or whose naive baseline leaves `V·2(n−1)`;
+//!   view count) or whose naive baseline leaves `V·2(n−1)`, any E15 row
+//!   whose sweep count under a saturated same-source queue leaves the
+//!   exact `1 + ⌈(U−1)/k⌉` batching schedule or whose message cost rises
+//!   with the batch width;
 //! * **consistency downgrades** — a row whose verified consistency level
 //!   is weaker than the committed baseline's;
 //! * **>25 % regressions on tracked ratios** — messages/update and
@@ -36,8 +41,9 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// Schema version stamped into the report; bump when row fields change.
-/// v2 added the E14 multi-view block.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v2 added the E14 multi-view block; v3 the E15 cross-update batching
+/// block.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Relative regression tolerance on tracked ratios (25 %).
 pub const RATIO_TOLERANCE: f64 = 0.25;
@@ -139,6 +145,44 @@ pub struct E14Row {
     pub stale_p99_us: u64,
 }
 
+/// One batch-width row of the E15 (cross-update batching) phase.
+///
+/// The workload saturates the warehouse queue with updates from a single
+/// mid-chain source (burst arrivals far faster than a sweep round trip),
+/// so the sweep count is fully determined: the first update sweeps alone
+/// and every later sweep folds exactly `k` queued updates —
+/// `1 + ⌈(U−1)/k⌉` sweeps for `U` updates, messages/update falling toward
+/// the `2(n−1)/k` amortization floor as `k` grows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct E15Row {
+    /// Batch width `k` (1 = batching off).
+    pub batch: u64,
+    /// Number of data sources in the base chain.
+    pub n: u64,
+    /// Burst updates the warehouse processed (`U`).
+    pub updates: u64,
+    /// Shared sweeps actually run (= installs per view).
+    pub sweeps: u64,
+    /// The exact prediction: `2(n−1) · (1 + ⌈(U−1)/k⌉) / U`.
+    pub expected_msgs_per_update: f64,
+    /// Measured query/answer messages per update.
+    pub msgs_per_update: f64,
+    /// The steady-state amortization floor: `2(n−1)/k`.
+    pub amortized_floor: f64,
+    /// Weakest per-view consistency level.
+    pub min_consistency: String,
+    /// Cross-view mutual consistency held at the end of the run.
+    pub mutual_agreement: bool,
+    /// Whether the run drained to quiescence.
+    pub quiescent: bool,
+    /// Staleness percentiles across all views, µs delivery → install.
+    pub stale_p50_us: u64,
+    /// 95th percentile staleness (µs).
+    pub stale_p95_us: u64,
+    /// 99th percentile staleness (µs).
+    pub stale_p99_us: u64,
+}
+
 /// The full report: one entry per phase plus host wall-clock timings.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PerfReport {
@@ -152,6 +196,8 @@ pub struct PerfReport {
     pub e12: Vec<E12Row>,
     /// E14 — multi-view shared-sweep rows.
     pub e14: Vec<E14Row>,
+    /// E15 — cross-update batching rows.
+    pub e15: Vec<E15Row>,
     /// Host wall-clock per phase, milliseconds. Informational only.
     pub phase_wall_ms: Vec<(String, f64)>,
 }
@@ -188,12 +234,17 @@ pub fn collect(smoke: bool) -> PerfReport {
     let e14 = collect_e14(smoke);
     phase_wall_ms.push(("E14".to_string(), t0.elapsed().as_secs_f64() * 1e3));
 
+    let t0 = Instant::now();
+    let e15 = collect_e15(smoke);
+    phase_wall_ms.push(("E15".to_string(), t0.elapsed().as_secs_f64() * 1e3));
+
     PerfReport {
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         e1,
         e6,
         e12,
         e14,
+        e15,
         phase_wall_ms,
     }
 }
@@ -396,6 +447,87 @@ fn collect_e14(smoke: bool) -> Vec<E14Row> {
         .collect()
 }
 
+/// E15 — cross-update batching (`batching` binary's scenario). Every
+/// update comes from one mid-chain source, injected back-to-back far
+/// faster than a sweep round trip, so the queue stays saturated while a
+/// sweep is in flight — the regime batching amortizes. The sweep count is
+/// then exact: the first update sweeps alone, every later sweep folds
+/// `k` queued updates, and messages/update is pinned to
+/// `2(n−1)·(1 + ⌈(U−1)/k⌉)/U`.
+fn collect_e15(smoke: bool) -> Vec<E15Row> {
+    let n = 5usize;
+    let batches: &[usize] = crate::pick(smoke, &[1, 4], &[1, 2, 4, 8]);
+    let scenario = burst_scenario(n, crate::pick(smoke, 60, 150));
+    batches
+        .iter()
+        .map(|&k| {
+            let report = MultiViewExperiment::new(scenario.clone())
+                .batch(k)
+                .latency(LatencyModel::Constant(2_000))
+                .run()
+                .unwrap();
+            let updates = report.scheduler_metrics.updates_received;
+            let sweeps = report.views[0].installs.len() as u64;
+            let expected_sweeps = 1 + (updates - 1).div_ceil(k as u64);
+            E15Row {
+                batch: k as u64,
+                n: n as u64,
+                updates,
+                sweeps,
+                expected_msgs_per_update: (2 * (n - 1)) as f64 * expected_sweeps as f64
+                    / updates as f64,
+                msgs_per_update: report.messages_per_update(),
+                amortized_floor: (2 * (n - 1)) as f64 / k as f64,
+                min_consistency: report
+                    .min_consistency()
+                    .map(|l| l.to_string())
+                    .unwrap_or_default(),
+                mutual_agreement: report.mutual.as_ref().is_some_and(|m| m.final_agreement),
+                quiescent: report.quiescent,
+                stale_p50_us: report.staleness_percentile(50.0).unwrap_or(0),
+                stale_p95_us: report.staleness_percentile(95.0).unwrap_or(0),
+                stale_p99_us: report.staleness_percentile(99.0).unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
+/// The E15 workload: two full-span SWEEP views over an `n`-source chain,
+/// with the generated stream reshaped into a single-source burst — only
+/// updates from the middle source, re-stamped 10 µs apart so every one
+/// of them is queued before the first sweep's round trip completes.
+pub fn burst_scenario(n: usize, updates: usize) -> dw_workload::MultiViewScenario {
+    let cfg = MultiViewConfig {
+        stream: StreamConfig {
+            n_sources: n,
+            initial_per_source: 20,
+            updates,
+            mean_gap: 500,
+            domain: 10,
+            seed: 15,
+            ..Default::default()
+        },
+        n_views: 2,
+        view_seed: 0xE15,
+        full_span: true,
+    };
+    let mut scenario = cfg.generate().unwrap();
+    scenario.views = vec![
+        dw_workload::ViewSpec::full("burst-a", n),
+        dw_workload::ViewSpec::full("burst-b", n),
+    ];
+    let burst_source = n / 2;
+    scenario.txns.retain(|t| t.source == burst_source);
+    for (i, t) in scenario.txns.iter_mut().enumerate() {
+        t.at = 1 + 10 * i as u64;
+    }
+    assert!(
+        scenario.txns.len() > 1,
+        "burst workload needs at least two updates from source {burst_source}"
+    );
+    scenario
+}
+
 // ---------------------------------------------------------------- JSON
 
 impl PerfReport {
@@ -419,6 +551,10 @@ impl PerfReport {
             (
                 "e14_multiview",
                 Json::Arr(self.e14.iter().map(e14_to_json).collect()),
+            ),
+            (
+                "e15_batching",
+                Json::Arr(self.e15.iter().map(e15_to_json).collect()),
             ),
             (
                 "phase_wall_ms",
@@ -476,6 +612,13 @@ impl PerfReport {
             .iter()
             .map(e14_from_json)
             .collect::<Result<_, _>>()?;
+        let e15 = doc
+            .get("e15_batching")
+            .and_then(Json::as_arr)
+            .ok_or("missing e15_batching")?
+            .iter()
+            .map(e15_from_json)
+            .collect::<Result<_, _>>()?;
         let phase_wall_ms = match doc.get("phase_wall_ms") {
             Some(Json::Obj(fields)) => fields
                 .iter()
@@ -493,6 +636,7 @@ impl PerfReport {
             e6,
             e12,
             e14,
+            e15,
             phase_wall_ms,
         })
     }
@@ -666,6 +810,51 @@ fn e14_from_json(doc: &Json) -> Result<E14Row, String> {
     })
 }
 
+fn e15_to_json(r: &E15Row) -> Json {
+    Json::obj(vec![
+        ("batch", Json::Num(r.batch as f64)),
+        ("n", Json::Num(r.n as f64)),
+        ("updates", Json::Num(r.updates as f64)),
+        ("sweeps", Json::Num(r.sweeps as f64)),
+        (
+            "expected_msgs_per_update",
+            Json::Num(r.expected_msgs_per_update),
+        ),
+        ("msgs_per_update", Json::Num(r.msgs_per_update)),
+        ("amortized_floor", Json::Num(r.amortized_floor)),
+        ("min_consistency", Json::Str(r.min_consistency.clone())),
+        ("mutual_agreement", Json::Bool(r.mutual_agreement)),
+        ("quiescent", Json::Bool(r.quiescent)),
+        ("stale_p50_us", Json::Num(r.stale_p50_us as f64)),
+        ("stale_p95_us", Json::Num(r.stale_p95_us as f64)),
+        ("stale_p99_us", Json::Num(r.stale_p99_us as f64)),
+    ])
+}
+
+fn e15_from_json(doc: &Json) -> Result<E15Row, String> {
+    Ok(E15Row {
+        batch: uint(doc, "batch")?,
+        n: uint(doc, "n")?,
+        updates: uint(doc, "updates")?,
+        sweeps: uint(doc, "sweeps")?,
+        expected_msgs_per_update: num(doc, "expected_msgs_per_update")?,
+        msgs_per_update: num(doc, "msgs_per_update")?,
+        amortized_floor: num(doc, "amortized_floor")?,
+        min_consistency: string(doc, "min_consistency")?,
+        mutual_agreement: doc
+            .get("mutual_agreement")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool mutual_agreement")?,
+        quiescent: doc
+            .get("quiescent")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool quiescent")?,
+        stale_p50_us: uint(doc, "stale_p50_us")?,
+        stale_p95_us: uint(doc, "stale_p95_us")?,
+        stale_p99_us: uint(doc, "stale_p99_us")?,
+    })
+}
+
 // ---------------------------------------------------------------- gate
 
 fn level_rank(level: &str) -> i32 {
@@ -800,6 +989,65 @@ pub fn invariant_violations(report: &PerfReport) -> Vec<String> {
             ));
         }
     }
+    for row in &report.e15 {
+        if row.batch == 0 || row.updates < 2 {
+            v.push(format!(
+                "E15 k={}: degenerate row ({} updates)",
+                row.batch, row.updates
+            ));
+            continue;
+        }
+        let expected_sweeps = 1 + (row.updates - 1).div_ceil(row.batch);
+        if row.sweeps != expected_sweeps {
+            v.push(format!(
+                "E15 k={}: {} sweeps for {} saturated same-source updates != 1 + ceil((U-1)/k) = {expected_sweeps} — batching did not fold the queue",
+                row.batch, row.sweeps, row.updates
+            ));
+        }
+        let expect = (2 * (row.n - 1)) as f64 * expected_sweeps as f64 / row.updates as f64;
+        if (row.expected_msgs_per_update - expect).abs() > EXACT_EPS {
+            v.push(format!(
+                "E15 k={}: recorded expectation {} != 2(n-1)*(1+ceil((U-1)/k))/U = {expect}",
+                row.batch, row.expected_msgs_per_update
+            ));
+        }
+        if (row.msgs_per_update - expect).abs() > EXACT_EPS {
+            v.push(format!(
+                "E15 k={}: msgs/update {} != {expect}",
+                row.batch, row.msgs_per_update
+            ));
+        }
+        let floor = (2 * (row.n - 1)) as f64 / row.batch as f64;
+        if (row.amortized_floor - floor).abs() > EXACT_EPS {
+            v.push(format!(
+                "E15 k={}: recorded floor {} != 2(n-1)/k = {floor}",
+                row.batch, row.amortized_floor
+            ));
+        }
+        if level_rank(&row.min_consistency) < level_rank("strong") {
+            v.push(format!(
+                "E15 k={}: weakest view consistency '{}' below 'strong'",
+                row.batch, row.min_consistency
+            ));
+        }
+        if !row.mutual_agreement {
+            v.push(format!(
+                "E15 k={}: views disagree on shared sources after drain",
+                row.batch
+            ));
+        }
+        if !row.quiescent {
+            v.push(format!("E15 k={}: run did not drain", row.batch));
+        }
+    }
+    for pair in report.e15.windows(2) {
+        if pair[1].msgs_per_update > pair[0].msgs_per_update + EXACT_EPS {
+            v.push(format!(
+                "E15: msgs/update rose from {} (k={}) to {} (k={}) — widening the batch must never cost messages",
+                pair[0].msgs_per_update, pair[0].batch, pair[1].msgs_per_update, pair[1].batch
+            ));
+        }
+    }
     v
 }
 
@@ -918,6 +1166,37 @@ pub fn gate(baseline: &PerfReport, fresh: &PerfReport) -> Vec<String> {
         );
     }
 
+    for base_row in &baseline.e15 {
+        let Some(row) = fresh.e15.iter().find(|r| r.batch == base_row.batch) else {
+            v.push(format!(
+                "E15: k={} missing from fresh report",
+                base_row.batch
+            ));
+            continue;
+        };
+        let what = format!("E15 k={}", row.batch);
+        check_downgrade(
+            &mut v,
+            &what,
+            &base_row.min_consistency,
+            &row.min_consistency,
+        );
+        check_ratio(
+            &mut v,
+            &format!("{what} msgs/update"),
+            base_row.msgs_per_update,
+            row.msgs_per_update,
+            true,
+        );
+        check_ratio(
+            &mut v,
+            &format!("{what} staleness p95"),
+            base_row.stale_p95_us as f64,
+            row.stale_p95_us as f64,
+            true,
+        );
+    }
+
     v
 }
 
@@ -942,6 +1221,11 @@ pub struct InvariantDigest {
     pub e14_flat: bool,
     /// Distinct weakest-view consistency levels across E14 rows.
     pub e14_levels: BTreeSet<String>,
+    /// Every E15 row sits on the exact `1 + ⌈(U−1)/k⌉` batching
+    /// schedule, drains, and keeps mutual agreement.
+    pub e15_amortized: bool,
+    /// Distinct weakest-view consistency levels across E15 rows.
+    pub e15_levels: BTreeSet<String>,
 }
 
 impl InvariantDigest {
@@ -972,6 +1256,22 @@ impl InvariantDigest {
             }),
             e14_levels: report
                 .e14
+                .iter()
+                .map(|r| r.min_consistency.clone())
+                .collect(),
+            e15_amortized: report.e15.iter().all(|r| {
+                r.batch > 0
+                    && r.updates > 0
+                    && r.sweeps == 1 + (r.updates - 1).div_ceil(r.batch)
+                    && (r.msgs_per_update
+                        - (2 * (r.n - 1)) as f64 * r.sweeps as f64 / r.updates as f64)
+                        .abs()
+                        < EXACT_EPS
+                    && r.mutual_agreement
+                    && r.quiescent
+            }),
+            e15_levels: report
+                .e15
                 .iter()
                 .map(|r| r.min_consistency.clone())
                 .collect(),
@@ -1056,6 +1356,38 @@ mod tests {
                 stale_p95_us: 30_000,
                 stale_p99_us: 34_000,
             }],
+            e15: vec![
+                E15Row {
+                    batch: 1,
+                    n: 5,
+                    updates: 25,
+                    sweeps: 25,
+                    expected_msgs_per_update: 8.0,
+                    msgs_per_update: 8.0,
+                    amortized_floor: 8.0,
+                    min_consistency: "complete".to_string(),
+                    mutual_agreement: true,
+                    quiescent: true,
+                    stale_p50_us: 90_000,
+                    stale_p95_us: 180_000,
+                    stale_p99_us: 195_000,
+                },
+                E15Row {
+                    batch: 4,
+                    n: 5,
+                    updates: 25,
+                    sweeps: 7,
+                    expected_msgs_per_update: 8.0 * 7.0 / 25.0,
+                    msgs_per_update: 8.0 * 7.0 / 25.0,
+                    amortized_floor: 2.0,
+                    min_consistency: "strong".to_string(),
+                    mutual_agreement: true,
+                    quiescent: true,
+                    stale_p50_us: 60_000,
+                    stale_p95_us: 120_000,
+                    stale_p99_us: 130_000,
+                },
+            ],
             phase_wall_ms: vec![("E1".to_string(), 12.5)],
         }
     }
@@ -1185,6 +1517,53 @@ mod tests {
             violations
                 .iter()
                 .any(|v| v.contains("E14") && v.contains("missing")),
+            "expected a missing-row violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn broken_batching_amortization_fails_gate() {
+        // A regression that stops folding the queue — every queued update
+        // still pays its own sweep — breaks the exact sweep-count
+        // schedule even against a healthy baseline.
+        let mut fresh = healthy();
+        fresh.e15[1].sweeps = 25;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("did not fold the queue")),
+            "expected a fold violation, got {violations:?}"
+        );
+
+        // Message cost rising with the batch width is flagged even when
+        // each row is internally consistent with its own sweep count.
+        let mut fresh = healthy();
+        fresh.e15[1].sweeps = 29;
+        fresh.e15[1].msgs_per_update = 8.0 * 29.0 / 25.0;
+        fresh.e15[1].expected_msgs_per_update = 8.0 * 29.0 / 25.0;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations.iter().any(|v| v.contains("must never cost")),
+            "expected a monotonicity violation, got {violations:?}"
+        );
+
+        // Batched installs may skip states (strong) but never weaker.
+        let mut fresh = healthy();
+        fresh.e15[1].min_consistency = "weak".to_string();
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations.iter().any(|v| v.contains("below 'strong'")),
+            "expected a consistency-floor violation, got {violations:?}"
+        );
+
+        let mut fresh = healthy();
+        fresh.e15.remove(1);
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("E15") && v.contains("missing")),
             "expected a missing-row violation, got {violations:?}"
         );
     }

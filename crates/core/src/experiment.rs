@@ -1,20 +1,17 @@
 //! Experiment construction and the dispatch loop.
 
 use crate::report::RunReport;
+use crate::runner::{NetProfile, SimHarness};
 use dw_consistency::{classify, Recorder};
-use dw_protocol::{
-    node_source, source_node, Endpoint, Message, TransportConfig, TransportNet, UpdateId,
-    WAREHOUSE_NODE,
-};
+use dw_protocol::{node_source, source_node, Message, TransportConfig, UpdateId, WAREHOUSE_NODE};
 use dw_relational::{eval_view, Bag, RelationalError};
-use dw_simnet::{Delivery, FaultPlan, LatencyModel, NetHandle, Network, NodeId, Time};
+use dw_simnet::{FaultPlan, LatencyModel, NodeId, Time};
 use dw_source::{DataSource, EcaSite, SourceError};
 use dw_warehouse::{
     CStrobe, Eca, MaintenancePolicy, NestedSweep, NestedSweepOptions, PipelinedSweep,
     PipelinedSweepOptions, Recompute, Strobe, Sweep, SweepOptions, WarehouseError,
 };
 use dw_workload::GeneratedScenario;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Which maintenance algorithm to run.
@@ -278,38 +275,18 @@ impl Experiment {
         policy.set_record_snapshots(self.record_snapshots);
         policy.set_observer(self.obs.clone());
 
-        let mut net: Network<Message> = Network::new(self.seed);
-        net.set_observer(self.obs.clone());
-        net.set_default_latency(self.latency.clone());
-        for (from, to, l) in &self.link_overrides {
-            net.set_link_latency(*from, *to, l.clone());
-        }
-        net.set_faults(self.faults.clone());
-        if self.trace {
-            net.trace_mut().enable(0);
-        }
-
-        // One transport endpoint per node, each with its own jitter
-        // stream derived from the run seed.
         let node_count = if self.policy.single_site() { 2 } else { n + 1 };
-        let obs = &self.obs;
-        let mut endpoints: Option<HashMap<NodeId, Endpoint>> = self.transport.map(|cfg| {
-            (0..node_count)
-                .map(|node| {
-                    let mut ep =
-                        Endpoint::new(node, cfg, self.seed ^ (node as u64).wrapping_mul(0x9E37));
-                    ep.set_observer(obs.clone());
-                    (node, ep)
-                })
-                .collect()
-        });
-        if endpoints.is_some() {
-            // A restarting node must be told it restarted: the transport
-            // re-arms its timers and resyncs with every peer.
-            for c in self.faults.crashes() {
-                net.inject(c.up_at, c.node, Message::Restart);
-            }
-        }
+        let profile = NetProfile {
+            latency: self.latency,
+            link_overrides: self.link_overrides,
+            seed: self.seed,
+            faults: self.faults,
+            transport: self.transport,
+            event_cap: self.event_cap,
+            trace: self.trace,
+            obs: self.obs.clone(),
+        };
+        let mut harness = SimHarness::new(&profile, node_count);
 
         // Topology.
         let mut sources: Vec<DataSource> = Vec::new();
@@ -347,7 +324,7 @@ impl Experiment {
             } else {
                 source_node(t.source)
             };
-            net.inject(
+            harness.net.inject(
                 t.at,
                 node,
                 Message::ApplyTxn {
@@ -358,21 +335,8 @@ impl Experiment {
             );
         }
 
-        // Dispatch loop. With the transport enabled, each raw delivery
-        // first passes through the destination's endpoint — which consumes
-        // transport frames/acks/timers and emits application messages
-        // exactly-once, in-order — and the node's own sends are wrapped so
-        // they go back out through the same endpoint.
-        let mut events: u64 = 0;
         let mut delivery_log: Vec<(UpdateId, Time)> = Vec::new();
-        let dispatch = |d: Delivery<Message>,
-                        net: &mut dyn NetHandle<Message>,
-                        policy: &mut Box<dyn MaintenancePolicy>,
-                        eca_site: &mut Option<EcaSite>,
-                        sources: &mut Vec<DataSource>,
-                        recorder: &mut Option<Recorder>,
-                        delivery_log: &mut Vec<(UpdateId, Time)>|
-         -> Result<(), CoreError> {
+        harness.drive(|d, net| {
             if d.to == WAREHOUSE_NODE {
                 if let Message::Update(u) = &d.msg {
                     delivery_log.push((u.id, d.at));
@@ -394,46 +358,7 @@ impl Experiment {
                 src.handle(d.from, d.msg, net)?;
             }
             Ok(())
-        };
-        while let Some(d) = net.next() {
-            events += 1;
-            if events > self.event_cap {
-                return Err(CoreError::EventCapExceeded {
-                    cap: self.event_cap,
-                });
-            }
-            match endpoints.as_mut() {
-                Some(eps) => {
-                    let to = d.to;
-                    let app_deliveries = eps
-                        .get_mut(&to)
-                        .ok_or(CoreError::NoSuchNode { node: to })?
-                        .on_delivery(d, &mut net);
-                    for appd in app_deliveries {
-                        let ep = eps.get_mut(&to).expect("endpoint exists");
-                        let mut tnet = TransportNet::new(ep, &mut net);
-                        dispatch(
-                            appd,
-                            &mut tnet,
-                            &mut policy,
-                            &mut eca_site,
-                            &mut sources,
-                            &mut recorder,
-                            &mut delivery_log,
-                        )?;
-                    }
-                }
-                None => dispatch(
-                    d,
-                    &mut net,
-                    &mut policy,
-                    &mut eca_site,
-                    &mut sources,
-                    &mut recorder,
-                    &mut delivery_log,
-                )?,
-            }
-        }
+        })?;
 
         let consistency = recorder
             .as_ref()
@@ -442,21 +367,19 @@ impl Experiment {
         // Quiescence means the policy has no sweep in flight AND the
         // transport has drained: no unacked frames, no reorder buffers,
         // no pending resync.
-        let transport_quiescent = endpoints
-            .as_ref()
-            .is_none_or(|eps| eps.values().all(Endpoint::is_quiescent));
+        let transport_quiescent = harness.transport_quiescent();
 
         Ok(RunReport {
             policy: policy.name(),
             view: policy.view().clone(),
             installs: policy.installs().to_vec(),
             metrics: policy.metrics().clone(),
-            net: net.stats().clone(),
+            net: harness.net.stats().clone(),
             consistency,
             quiescent: policy.is_quiescent() && transport_quiescent,
-            end_time: net.now(),
-            events,
-            trace: net.trace().events().to_vec(),
+            end_time: harness.net.now(),
+            events: harness.events,
+            trace: harness.net.trace().events().to_vec(),
             delivery_log,
         })
     }

@@ -25,6 +25,7 @@
 pub mod experiment;
 pub mod multi_experiment;
 pub mod report;
+mod runner;
 
 pub use experiment::{CoreError, Experiment, PolicyKind};
 pub use multi_experiment::{MultiViewExperiment, MultiViewReport, ViewOutcome};

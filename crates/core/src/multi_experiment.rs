@@ -9,27 +9,25 @@
 //! consistency and the shared-vs-naive message accounting E14 measures.
 
 use crate::experiment::CoreError;
+use crate::runner::{NetProfile, SimHarness};
 use dw_consistency::{
     classify, mutual_consistency, remap_installs, ConsistencyLevel, ConsistencyReport,
     MutualReport, Recorder, ViewLog,
 };
-use dw_multiview::{MaintenanceScheduler, MvError, SchedulerMode, ViewId};
-use dw_protocol::{
-    node_source, source_node, Endpoint, Message, TransportConfig, TransportNet, UpdateId,
-    WAREHOUSE_NODE,
-};
+use dw_multiview::{EngineOptions, MaintenanceScheduler, MvError, SchedulerMode, ViewId};
+use dw_protocol::{node_source, source_node, Message, TransportConfig, UpdateId, WAREHOUSE_NODE};
 use dw_relational::{eval_view, Bag};
-use dw_simnet::{Delivery, FaultPlan, LatencyModel, NetHandle, NetStats, Network, NodeId, Time};
+use dw_simnet::{FaultPlan, LatencyModel, NetStats, NodeId, Time};
 use dw_source::DataSource;
 use dw_warehouse::{InstallRecord, PolicyMetrics};
 use dw_workload::{MultiViewScenario, ViewPolicy};
-use std::collections::HashMap;
 
 /// A configured multi-view experiment: scenario × scheduler mode ×
 /// network profile.
 pub struct MultiViewExperiment {
     scenario: MultiViewScenario,
     mode: SchedulerMode,
+    opts: EngineOptions,
     latency: LatencyModel,
     link_overrides: Vec<(NodeId, NodeId, LatencyModel)>,
     seed: u64,
@@ -49,6 +47,7 @@ impl MultiViewExperiment {
         MultiViewExperiment {
             scenario,
             mode: SchedulerMode::Shared,
+            opts: EngineOptions::default(),
             latency: LatencyModel::Constant(1_000),
             link_overrides: Vec::new(),
             seed: 0,
@@ -64,6 +63,15 @@ impl MultiViewExperiment {
     /// Choose shared-sweep or the naive per-view baseline.
     pub fn mode(mut self, mode: SchedulerMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Enable cross-update batching: one shared sweep folds up to `k`
+    /// queued same-source updates (shared mode only; `1` disables). The
+    /// E15 experiment measures messages/update falling toward
+    /// `2(n−1)/k` under bursty arrivals.
+    pub fn batch(mut self, k: usize) -> Self {
+        self.opts.batch = k;
         self
     }
 
@@ -137,7 +145,7 @@ impl MultiViewExperiment {
         let base = scenario.base.clone();
         let n = base.num_relations();
 
-        let mut sched = MaintenanceScheduler::new(base.clone(), self.mode)?;
+        let mut sched = MaintenanceScheduler::with_options(base.clone(), self.mode, self.opts)?;
         sched.set_record_snapshots(self.record_snapshots);
         sched.set_observer(self.obs.clone());
 
@@ -157,31 +165,17 @@ impl MultiViewExperiment {
         }
         let spans: Vec<(usize, usize)> = scenario.views.iter().map(|s| (s.lo, s.hi)).collect();
 
-        let mut net: Network<Message> = Network::new(self.seed);
-        net.set_observer(self.obs.clone());
-        net.set_default_latency(self.latency.clone());
-        for (from, to, l) in &self.link_overrides {
-            net.set_link_latency(*from, *to, l.clone());
-        }
-        net.set_faults(self.faults.clone());
-
-        let node_count = n + 1;
-        let obs = &self.obs;
-        let mut endpoints: Option<HashMap<NodeId, Endpoint>> = self.transport.map(|cfg| {
-            (0..node_count)
-                .map(|node| {
-                    let mut ep =
-                        Endpoint::new(node, cfg, self.seed ^ (node as u64).wrapping_mul(0x9E37));
-                    ep.set_observer(obs.clone());
-                    (node, ep)
-                })
-                .collect()
-        });
-        if endpoints.is_some() {
-            for c in self.faults.crashes() {
-                net.inject(c.up_at, c.node, Message::Restart);
-            }
-        }
+        let profile = NetProfile {
+            latency: self.latency,
+            link_overrides: self.link_overrides,
+            seed: self.seed,
+            faults: self.faults,
+            transport: self.transport,
+            event_cap: self.event_cap,
+            trace: false,
+            obs: self.obs.clone(),
+        };
+        let mut harness = SimHarness::new(&profile, n + 1);
 
         let mut sources: Vec<DataSource> = Vec::new();
         for i in 0..n {
@@ -193,7 +187,7 @@ impl MultiViewExperiment {
         }
 
         for t in &scenario.txns {
-            net.inject(
+            harness.net.inject(
                 t.at,
                 source_node(t.source),
                 Message::ApplyTxn {
@@ -204,15 +198,8 @@ impl MultiViewExperiment {
             );
         }
 
-        let mut events: u64 = 0;
         let mut delivery_log: Vec<(UpdateId, Time)> = Vec::new();
-        let dispatch = |d: Delivery<Message>,
-                        net: &mut dyn NetHandle<Message>,
-                        sched: &mut MaintenanceScheduler,
-                        sources: &mut Vec<DataSource>,
-                        recorders: &mut Vec<Option<Recorder>>,
-                        delivery_log: &mut Vec<(UpdateId, Time)>|
-         -> Result<(), CoreError> {
+        harness.drive(|d, net| {
             if d.to == WAREHOUSE_NODE {
                 if let Message::Update(u) = &d.msg {
                     delivery_log.push((u.id, d.at));
@@ -240,44 +227,7 @@ impl MultiViewExperiment {
                 src.handle(d.from, d.msg, net)?;
             }
             Ok(())
-        };
-        while let Some(d) = net.next() {
-            events += 1;
-            if events > self.event_cap {
-                return Err(CoreError::EventCapExceeded {
-                    cap: self.event_cap,
-                });
-            }
-            match endpoints.as_mut() {
-                Some(eps) => {
-                    let to = d.to;
-                    let app_deliveries = eps
-                        .get_mut(&to)
-                        .ok_or(CoreError::NoSuchNode { node: to })?
-                        .on_delivery(d, &mut net);
-                    for appd in app_deliveries {
-                        let ep = eps.get_mut(&to).expect("endpoint exists");
-                        let mut tnet = TransportNet::new(ep, &mut net);
-                        dispatch(
-                            appd,
-                            &mut tnet,
-                            &mut sched,
-                            &mut sources,
-                            &mut recorders,
-                            &mut delivery_log,
-                        )?;
-                    }
-                }
-                None => dispatch(
-                    d,
-                    &mut net,
-                    &mut sched,
-                    &mut sources,
-                    &mut recorders,
-                    &mut delivery_log,
-                )?,
-            }
-        }
+        })?;
 
         // Per-view outcomes: classify each install log (shifted into span
         // coordinates) against the view's own recorder.
@@ -314,19 +264,17 @@ impl MultiViewExperiment {
             mutual_consistency(&logs)
         });
 
-        let transport_quiescent = endpoints
-            .as_ref()
-            .is_none_or(|eps| eps.values().all(Endpoint::is_quiescent));
+        let transport_quiescent = harness.transport_quiescent();
 
         Ok(MultiViewReport {
             mode: self.mode,
             views,
             scheduler_metrics: sched.metrics().clone(),
             mutual,
-            net: net.stats().clone(),
+            net: harness.net.stats().clone(),
             quiescent: sched.is_quiescent() && transport_quiescent,
-            end_time: net.now(),
-            events,
+            end_time: harness.net.now(),
+            events: harness.events,
             delivery_log,
         })
     }

@@ -1,0 +1,129 @@
+//! The shared simulation drive loop.
+//!
+//! [`Experiment`](crate::Experiment) and
+//! [`MultiViewExperiment`](crate::MultiViewExperiment) differ only in
+//! *who* sits at the warehouse node; the network profile, the optional
+//! reliability-transport endpoints, the event-capped dispatch loop, and
+//! the drain accounting are identical. This module owns that machinery
+//! once: harnesses describe their network as a [`NetProfile`], build a
+//! [`SimHarness`], inject their workload, and hand [`SimHarness::drive`]
+//! a closure that routes one *application* delivery to the right node.
+
+use crate::experiment::CoreError;
+use dw_protocol::{Endpoint, Message, TransportConfig, TransportNet};
+use dw_simnet::{Delivery, FaultPlan, LatencyModel, NetHandle, Network, NodeId};
+use std::collections::HashMap;
+
+/// Everything that shapes the simulated network, independent of which
+/// warehouse policy runs on it.
+pub(crate) struct NetProfile {
+    pub latency: LatencyModel,
+    pub link_overrides: Vec<(NodeId, NodeId, LatencyModel)>,
+    pub seed: u64,
+    pub faults: FaultPlan,
+    pub transport: Option<TransportConfig>,
+    pub event_cap: u64,
+    pub trace: bool,
+    pub obs: dw_obs::Obs,
+}
+
+/// A configured network plus (optionally) one reliability-transport
+/// endpoint per node, ready to drive to quiescence.
+pub(crate) struct SimHarness {
+    pub net: Network<Message>,
+    endpoints: Option<HashMap<NodeId, Endpoint>>,
+    event_cap: u64,
+    /// Deliveries processed so far.
+    pub events: u64,
+}
+
+impl SimHarness {
+    /// Build the network and endpoints for `node_count` nodes
+    /// (warehouse + sources).
+    pub fn new(profile: &NetProfile, node_count: usize) -> SimHarness {
+        let mut net: Network<Message> = Network::new(profile.seed);
+        net.set_observer(profile.obs.clone());
+        net.set_default_latency(profile.latency.clone());
+        for (from, to, l) in &profile.link_overrides {
+            net.set_link_latency(*from, *to, l.clone());
+        }
+        net.set_faults(profile.faults.clone());
+        if profile.trace {
+            net.trace_mut().enable(0);
+        }
+
+        // One transport endpoint per node, each with its own jitter
+        // stream derived from the run seed.
+        let endpoints: Option<HashMap<NodeId, Endpoint>> = profile.transport.map(|cfg| {
+            (0..node_count)
+                .map(|node| {
+                    let mut ep =
+                        Endpoint::new(node, cfg, profile.seed ^ (node as u64).wrapping_mul(0x9E37));
+                    ep.set_observer(profile.obs.clone());
+                    (node, ep)
+                })
+                .collect()
+        });
+        if endpoints.is_some() {
+            // A restarting node must be told it restarted: the transport
+            // re-arms its timers and resyncs with every peer.
+            for c in profile.faults.crashes() {
+                net.inject(c.up_at, c.node, Message::Restart);
+            }
+        }
+
+        SimHarness {
+            net,
+            endpoints,
+            event_cap: profile.event_cap,
+            events: 0,
+        }
+    }
+
+    /// Pump the network until quiescence. With the transport enabled,
+    /// each raw delivery first passes through the destination's endpoint
+    /// — which consumes transport frames/acks/timers and emits
+    /// application messages exactly-once, in-order — and the node's own
+    /// sends are wrapped so they go back out through the same endpoint.
+    pub fn drive(
+        &mut self,
+        mut dispatch: impl FnMut(
+            Delivery<Message>,
+            &mut dyn NetHandle<Message>,
+        ) -> Result<(), CoreError>,
+    ) -> Result<(), CoreError> {
+        while let Some(d) = self.net.next() {
+            self.events += 1;
+            if self.events > self.event_cap {
+                return Err(CoreError::EventCapExceeded {
+                    cap: self.event_cap,
+                });
+            }
+            match self.endpoints.as_mut() {
+                Some(eps) => {
+                    let to = d.to;
+                    let app_deliveries = eps
+                        .get_mut(&to)
+                        .ok_or(CoreError::NoSuchNode { node: to })?
+                        .on_delivery(d, &mut self.net);
+                    for appd in app_deliveries {
+                        let ep = eps.get_mut(&to).expect("endpoint exists");
+                        let mut tnet = TransportNet::new(ep, &mut self.net);
+                        dispatch(appd, &mut tnet)?;
+                    }
+                }
+                None => dispatch(d, &mut self.net)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// True when every transport endpoint has drained (trivially true
+    /// without a transport): no unacked frames, no reorder buffers, no
+    /// pending resync.
+    pub fn transport_quiescent(&self) -> bool {
+        self.endpoints
+            .as_ref()
+            .is_none_or(|eps| eps.values().all(Endpoint::is_quiescent))
+    }
+}

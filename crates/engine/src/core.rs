@@ -1,0 +1,666 @@
+//! The canonical sweep mechanism.
+//!
+//! Everything the four executors used to duplicate lives here, once:
+//!
+//! * [`EngineCore`] — qid allocation, query emission, the on-line error
+//!   correction `ΔV ← ΔV − ΔR_j ⋈ TempView` (§4) against the FIFO update
+//!   queue, sweep/hop span bookkeeping, and aggregate metrics;
+//! * [`Leg`]/[`LegSlot`] — one directional hop chain (plain SWEEP's
+//!   sequential walk, §5.3's parallel legs, the multiview shared sweep's
+//!   two legs);
+//! * [`Frame`] — one suspended or running `ViewChange(ΔR, Left, Source,
+//!   Right)` call (Nested SWEEP's dovetailing stack, Figure 6);
+//! * [`merge_pivot`]/[`support`] — §5.3's parallel-sweep merge,
+//!   generalized to arbitrary spans;
+//! * [`InstallSink`] — atomic install with staleness accounting and the
+//!   install log the consistency checker reads;
+//! * [`SweepPolicy`]/[`dispatch`] — the strategy hook: adapters decide
+//!   *which* hops to take and *when* to install, the engine routes
+//!   deliveries and keeps the shared counters honest.
+//!
+//! Observability: the engine emits its own `engine.hop` span nested under
+//! the adapter's hop span, bumps `engine.compensations` next to the
+//! adapter's counter, and records fold widths into the
+//! `engine.batch_size` histogram. Adapter-visible span names are
+//! caller-supplied through [`SpanLabels`], so existing trace snapshots
+//! stay stable.
+
+use crate::error::WarehouseError;
+use crate::install::InstallRecord;
+use crate::metrics::PolicyMetrics;
+use crate::queue::UpdateQueue;
+use crate::view::MaterializedView;
+use dw_obs::{Obs, SpanId};
+use dw_protocol::{source_node, Message, SourceUpdate, SweepQuery, UpdateId, WAREHOUSE_NODE};
+use dw_relational::{extend_partial, Bag, JoinSide, PartialDelta, Tuple, Value, ViewDef};
+use dw_simnet::{Delivery, NetHandle, Time};
+use std::collections::HashMap;
+
+/// The span and counter names an adapter wants the engine to emit on its
+/// behalf, so each executor keeps its historical trace vocabulary
+/// (`sweep.hop`, `nested_sweep.hop`, `mv.hop`, …) while the mechanism
+/// lives in one place.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanLabels {
+    /// Top-level span opened per unit of sweep work (`"sweep"`,
+    /// `"nested_sweep"`, `"mv.sweep"`).
+    pub sweep: &'static str,
+    /// Per-hop span (`"sweep.hop"`, …), parented under [`SpanLabels::sweep`].
+    pub hop: &'static str,
+    /// Counter bumped on every local compensation.
+    pub compensations: &'static str,
+    /// Optional histogram of outgoing query payload rows.
+    pub query_rows: Option<&'static str>,
+    /// Optional histogram of compensation error-term rows.
+    pub comp_rows: Option<&'static str>,
+    /// Optional counter bumped once per query sent (the scheduler's
+    /// `mv.shared_queries` / `mv.naive_queries`).
+    pub query_counter: Option<&'static str>,
+}
+
+/// A hop's span pair: the adapter-named outer span and the engine's own
+/// `engine.hop` span nested inside it.
+#[derive(Clone, Copy, Debug)]
+pub struct HopSpan {
+    /// The adapter-visible hop span ([`SpanLabels::hop`]).
+    pub outer: SpanId,
+    /// The engine's `engine.hop` span, child of `outer`.
+    pub inner: SpanId,
+}
+
+impl HopSpan {
+    /// A hop span that records nothing.
+    pub const NONE: HopSpan = HopSpan {
+        outer: SpanId::NONE,
+        inner: SpanId::NONE,
+    };
+}
+
+/// The shared sweep mechanism: query plumbing, compensation, metrics,
+/// and span bookkeeping. Strategies ([`SweepPolicy`] impls) own one.
+pub struct EngineCore {
+    /// The (base) view definition sweeps evaluate against.
+    pub view: ViewDef,
+    /// The paper's `UpdateMessageQueue`.
+    pub queue: UpdateQueue,
+    /// Aggregate counters shared by every strategy.
+    pub metrics: PolicyMetrics,
+    /// Observability handle (no-op unless a recorder is attached).
+    pub obs: Obs,
+    /// Adapter-visible span/counter names.
+    pub labels: SpanLabels,
+    /// The open top-level sweep span, [`SpanId::NONE`] when idle.
+    pub cur_span: SpanId,
+    /// Fold width stamped onto outgoing [`SweepQuery`] envelopes: how
+    /// many queued updates the current sweep services (1 unless
+    /// cross-update batching folded more in).
+    pub batch: u32,
+    next_qid: u64,
+}
+
+impl EngineCore {
+    /// A fresh core over `view` emitting `labels`.
+    pub fn new(view: ViewDef, labels: SpanLabels) -> Self {
+        EngineCore {
+            view,
+            queue: UpdateQueue::new(),
+            metrics: PolicyMetrics::default(),
+            obs: Obs::off(),
+            labels,
+            cur_span: SpanId::NONE,
+            batch: 1,
+            next_qid: 0,
+        }
+    }
+
+    /// Chain length.
+    pub fn n(&self) -> usize {
+        self.view.num_relations()
+    }
+
+    /// Attach an observability recorder.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Open the top-level sweep span for a new unit of work.
+    pub fn begin_sweep(&mut self, now: Time) {
+        self.cur_span = self.obs.span_start(self.labels.sweep, now, SpanId::NONE);
+    }
+
+    /// Close the top-level sweep span.
+    pub fn end_sweep(&mut self, now: Time) {
+        self.obs.span_end(self.cur_span, now);
+        self.cur_span = SpanId::NONE;
+    }
+
+    /// Allocate a qid, account the query, open its hop spans, and send
+    /// `dv` to source `j` for a one-hop join extension on `side`.
+    pub fn send_query(
+        &mut self,
+        net: &mut dyn NetHandle<Message>,
+        dv: &PartialDelta,
+        j: usize,
+        side: JoinSide,
+    ) -> (u64, HopSpan) {
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        self.metrics.queries_sent += 1;
+        if let Some(counter) = self.labels.query_counter {
+            self.obs.add(counter, 1);
+        }
+        let outer = self
+            .obs
+            .span_start(self.labels.hop, net.now(), self.cur_span);
+        let inner = self.obs.span_start("engine.hop", net.now(), outer);
+        if let Some(hist) = self.labels.query_rows {
+            self.obs.observe(hist, dv.bag.distinct_len() as u64);
+        }
+        net.send(
+            WAREHOUSE_NODE,
+            source_node(j),
+            Message::SweepQuery(SweepQuery {
+                qid,
+                partial: dv.clone(),
+                side,
+                batch: self.batch,
+            }),
+        );
+        (qid, HopSpan { outer, inner })
+    }
+
+    /// Close a hop's span pair (inner first, then the adapter span).
+    pub fn end_hop(&mut self, hop: HopSpan, now: Time) {
+        self.obs.span_end(hop.inner, now);
+        self.obs.span_end(hop.outer, now);
+    }
+
+    /// The paper's on-line error correction (§4): subtract
+    /// `ΔR_j ⋈ TempView` for every queued concurrent update from the hop
+    /// source, **without removing** them from the queue (plain SWEEP —
+    /// the interfering updates still get their own sweeps later).
+    pub fn compensate(
+        &mut self,
+        dv: &mut PartialDelta,
+        temp: &PartialDelta,
+        j: usize,
+        side: JoinSide,
+    ) -> Result<(), WarehouseError> {
+        let merged = self.queue.merged_from_source(j);
+        if merged.is_empty() {
+            return Ok(());
+        }
+        let err = extend_partial(&self.view, temp, &merged, side)?;
+        self.apply_compensation(dv, &err);
+        Ok(())
+    }
+
+    /// Nested SWEEP's variant (Figure 6): compensate **and remove** the
+    /// interfering updates, returning their merged delta and ids so the
+    /// caller can fold them into the current composite view change.
+    /// Returns `None` when no update from `j` is queued.
+    #[allow(clippy::type_complexity)]
+    pub fn compensate_consuming(
+        &mut self,
+        dv: &mut PartialDelta,
+        temp: &PartialDelta,
+        j: usize,
+        side: JoinSide,
+    ) -> Result<Option<(Bag, Vec<(UpdateId, Time)>)>, WarehouseError> {
+        if !self.queue.has_from_source(j) {
+            return Ok(None);
+        }
+        let (merged, infos) = self.queue.take_from_source(j);
+        let err = extend_partial(&self.view, temp, &merged, side)?;
+        self.apply_compensation(dv, &err);
+        Ok(Some((merged, infos)))
+    }
+
+    fn apply_compensation(&mut self, dv: &mut PartialDelta, err: &PartialDelta) {
+        dv.bag.subtract(&err.bag);
+        self.metrics.local_compensations += 1;
+        self.obs.add(self.labels.compensations, 1);
+        self.obs.add("engine.compensations", 1);
+        if let Some(hist) = self.labels.comp_rows {
+            self.obs.observe(hist, err.bag.distinct_len() as u64);
+        }
+    }
+
+    /// Record how many queued updates one completed unit of sweep work
+    /// serviced (1 for plain SWEEP; k when batching folded k updates).
+    pub fn record_batch(&mut self, k: usize) {
+        self.obs.observe("engine.batch_size", k as u64);
+    }
+
+    /// Cross-update batching entry point: remove up to `extra` additional
+    /// queued updates from source `j` (oldest first) and return their
+    /// merged delta plus `(id, arrival time)` pairs, for folding into a
+    /// sweep that is about to start. With `extra == 0` this is a no-op —
+    /// plain one-update-per-sweep behavior.
+    pub fn fold_same_source(&mut self, j: usize, extra: usize) -> (Bag, Vec<(UpdateId, Time)>) {
+        self.queue.take_from_source_bounded(j, extra)
+    }
+}
+
+/// One directional hop chain: the partial built so far, its pre-hop copy
+/// (the compensation `TempView`), and the in-flight query.
+pub struct Leg {
+    /// The partial this leg has built so far (post-compensation).
+    pub dv: PartialDelta,
+    /// Pre-hop copy used to compute the compensation term.
+    pub temp: PartialDelta,
+    /// The in-flight query's id.
+    pub qid: u64,
+    /// The source currently being queried.
+    pub j: usize,
+    /// Which side the leg extends.
+    pub side: JoinSide,
+    /// The in-flight hop's spans.
+    pub hop: HopSpan,
+}
+
+impl Leg {
+    /// Fire the leg's first query: send `dv` to source `j`, keeping a
+    /// copy as the compensation `TempView`.
+    pub fn launch(
+        core: &mut EngineCore,
+        net: &mut dyn NetHandle<Message>,
+        dv: PartialDelta,
+        j: usize,
+        side: JoinSide,
+    ) -> Leg {
+        let (qid, hop) = core.send_query(net, &dv, j, side);
+        Leg {
+            temp: dv.clone(),
+            dv,
+            qid,
+            j,
+            side,
+            hop,
+        }
+    }
+
+    /// Fire the next hop: snapshot the current partial as the new
+    /// `TempView` and query source `nj` on `nside`.
+    pub fn advance(
+        &mut self,
+        core: &mut EngineCore,
+        net: &mut dyn NetHandle<Message>,
+        nj: usize,
+        nside: JoinSide,
+    ) {
+        self.temp = self.dv.clone();
+        let dv = self.dv.clone();
+        let (qid, hop) = core.send_query(net, &dv, nj, nside);
+        self.qid = qid;
+        self.j = nj;
+        self.side = nside;
+        self.hop = hop;
+    }
+}
+
+/// A leg's slot in a two-leg (parallel / shared) sweep.
+pub enum LegSlot {
+    /// The leg has a query in flight.
+    Running(Leg),
+    /// The leg finished; its final partial is kept for merging.
+    Done(PartialDelta),
+}
+
+/// One suspended or running `ViewChange(ΔR, Left, Source, Right)` call
+/// (Nested SWEEP's recursion frame, Figure 6).
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// The composite partial built so far.
+    pub dv: PartialDelta,
+    /// Left bound of the frame's chain segment.
+    pub left: usize,
+    /// The seeding source.
+    pub source: usize,
+    /// Right bound of the frame's chain segment.
+    pub right: usize,
+    /// In-flight query, if any: `(qid, j, side, TempView, hop spans)`.
+    pub pending: Option<(u64, usize, JoinSide, PartialDelta, HopSpan)>,
+}
+
+impl Frame {
+    /// Seed a frame from `delta` at `source`, covering `[left, right]`.
+    pub fn new(
+        view: &ViewDef,
+        source: usize,
+        left: usize,
+        right: usize,
+        delta: &Bag,
+    ) -> Result<Self, WarehouseError> {
+        Ok(Frame {
+            dv: PartialDelta::seed(view, source, delta)?,
+            left,
+            source,
+            right,
+            pending: None,
+        })
+    }
+
+    /// The next source to query given the current coverage, or `None`
+    /// when the frame's range is fully covered.
+    pub fn next_target(&self) -> Option<(usize, JoinSide)> {
+        if self.dv.lo > self.left {
+            Some((self.dv.lo - 1, JoinSide::Left))
+        } else if self.dv.hi < self.right {
+            Some((self.dv.hi + 1, JoinSide::Right))
+        } else {
+            None
+        }
+    }
+}
+
+/// The support of a delta: every distinct tuple at multiplicity `+1`
+/// (§5.3 — the right leg counts join multiplicities only; the true
+/// counts re-enter at merge time from the left leg).
+pub fn support(bag: &Bag) -> Bag {
+    Bag::from_pairs(bag.iter().map(|(t, _)| (t.clone(), 1)))
+}
+
+/// Glue two leg partials on the pivot relation `R_j`'s columns: hash the
+/// right partial by its leading `w_j` columns, probe with the left
+/// partial's trailing `w_j` columns, output `left ++ right-tail` at the
+/// product of the counts. The left partial carries true multiplicities,
+/// the right the support — so the product is the true count of the glued
+/// tuple (§5.3's parallel-sweep merge, span-generalized).
+pub fn merge_pivot(
+    base: &ViewDef,
+    j: usize,
+    left: &PartialDelta,
+    right: &PartialDelta,
+) -> PartialDelta {
+    debug_assert_eq!(left.hi, j);
+    debug_assert_eq!(right.lo, j);
+    let w_j = base.schema(j).arity();
+    let left_width: usize = (left.lo..=left.hi).map(|k| base.schema(k).arity()).sum();
+    let shared_off = left_width - w_j;
+
+    let mut by_key: HashMap<Vec<Value>, Vec<(&Tuple, i64)>> = HashMap::new();
+    for (t, c) in right.bag.iter() {
+        let key: Vec<Value> = (0..w_j).map(|k| t.at(k).clone()).collect();
+        by_key.entry(key).or_default().push((t, c));
+    }
+    let mut out = Bag::new();
+    for (lt, lc) in left.bag.iter() {
+        let key: Vec<Value> = (0..w_j).map(|k| lt.at(shared_off + k).clone()).collect();
+        if let Some(matches) = by_key.get(&key) {
+            for &(rt, rc) in matches {
+                let tail = Tuple::new(rt.values()[w_j..].to_vec());
+                out.add(lt.concat(&tail), lc * rc);
+            }
+        }
+    }
+    PartialDelta {
+        lo: left.lo,
+        hi: right.hi,
+        bag: out,
+    }
+}
+
+/// The install side of the engine: the materialized view, its install
+/// log, and the staleness accounting every install owes the metrics.
+pub struct InstallSink {
+    view: MaterializedView,
+    log: Vec<InstallRecord>,
+    /// Whether install records capture full view snapshots (needed by
+    /// the consistency checker; costly for big runs).
+    pub record_snapshots: bool,
+}
+
+impl InstallSink {
+    /// A sink over the correct initial view contents.
+    pub fn new(initial: Bag) -> Result<Self, WarehouseError> {
+        Ok(InstallSink {
+            view: MaterializedView::new(initial)?,
+            log: Vec::new(),
+            record_snapshots: true,
+        })
+    }
+
+    /// The current view contents.
+    pub fn bag(&self) -> &Bag {
+        self.view.bag()
+    }
+
+    /// The install history.
+    pub fn log(&self) -> &[InstallRecord] {
+        &self.log
+    }
+
+    /// Atomically install `delta`, account one install plus staleness
+    /// for every consumed update, and append the install record.
+    pub fn install(
+        &mut self,
+        metrics: &mut PolicyMetrics,
+        delta: &Bag,
+        consumed: &[(UpdateId, Time)],
+        now: Time,
+    ) -> Result<(), WarehouseError> {
+        self.view.install(delta)?;
+        metrics.installs += 1;
+        for &(_, delivered_at) in consumed {
+            metrics.record_staleness(delivered_at, now);
+        }
+        self.log.push(InstallRecord {
+            at: now,
+            consumed: consumed.iter().map(|&(id, _)| id).collect(),
+            view_after: self.record_snapshots.then(|| self.view.bag().clone()),
+        });
+        Ok(())
+    }
+}
+
+/// The strategy hook: what distinguishes plain SWEEP, Nested SWEEP, and
+/// the multiview shared sweep once the mechanism lives in
+/// [`EngineCore`]. Implementors decide which hops to take and when to
+/// install; [`dispatch`] routes deliveries and keeps the shared counters.
+pub trait SweepPolicy {
+    /// The adapter's error type (`WarehouseError`, or a wrapper of it).
+    type Err: From<WarehouseError>;
+
+    /// Short policy name for error reports.
+    fn name(&self) -> &'static str;
+
+    /// The mechanism this strategy drives.
+    fn core(&mut self) -> &mut EngineCore;
+
+    /// Strategy-specific bookkeeping on update arrival (global-txn tags,
+    /// per-view counters), before the update is queued.
+    fn note_update(&mut self, _u: &SourceUpdate) -> Result<(), Self::Err> {
+        Ok(())
+    }
+
+    /// An update was queued: start work if the strategy is idle.
+    fn kick(&mut self, net: &mut dyn NetHandle<Message>) -> Result<(), Self::Err>;
+
+    /// A sweep answer arrived.
+    fn on_answer(
+        &mut self,
+        qid: u64,
+        partial: PartialDelta,
+        net: &mut dyn NetHandle<Message>,
+    ) -> Result<(), Self::Err>;
+}
+
+/// Route one warehouse delivery into a strategy: updates are counted,
+/// noted, queued, and the strategy kicked; answers are counted and
+/// forwarded; anything else is rejected.
+pub fn dispatch<P: SweepPolicy + ?Sized>(
+    policy: &mut P,
+    delivery: Delivery<Message>,
+    net: &mut dyn NetHandle<Message>,
+) -> Result<(), P::Err> {
+    match delivery.msg {
+        Message::Update(u) => {
+            policy.core().metrics.updates_received += 1;
+            policy.note_update(&u)?;
+            policy.core().queue.push(u, delivery.at);
+            policy.kick(net)
+        }
+        Message::SweepAnswer(a) => {
+            policy.core().metrics.answers_received += 1;
+            policy.on_answer(a.qid, a.partial, net)
+        }
+        other => Err(WarehouseError::UnexpectedMessage {
+            policy: policy.name(),
+            label: dw_simnet::Payload::label(&other),
+        }
+        .into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_relational::{tup, Schema, ViewDefBuilder};
+    use dw_simnet::Network;
+
+    const LABELS: SpanLabels = SpanLabels {
+        sweep: "t.sweep",
+        hop: "t.hop",
+        compensations: "t.comp",
+        query_rows: None,
+        comp_rows: None,
+        query_counter: None,
+    };
+
+    fn chain3() -> ViewDef {
+        ViewDefBuilder::new()
+            .relation(Schema::new("R1", ["A", "B"]).unwrap())
+            .relation(Schema::new("R2", ["C", "D"]).unwrap())
+            .relation(Schema::new("R3", ["E", "F"]).unwrap())
+            .join("R1.B", "R2.C")
+            .join("R2.D", "R3.E")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn send_query_stamps_qid_and_batch() {
+        let mut net: Network<Message> = Network::new(0);
+        let mut core = EngineCore::new(chain3(), LABELS);
+        core.batch = 3;
+        let dv =
+            PartialDelta::seed(&core.view.clone(), 1, &Bag::from_tuples([tup![3, 5]])).unwrap();
+        let (qid, _) = core.send_query(&mut net, &dv, 0, JoinSide::Left);
+        assert_eq!(qid, 0);
+        let (qid, _) = core.send_query(&mut net, &dv, 2, JoinSide::Right);
+        assert_eq!(qid, 1);
+        assert_eq!(core.metrics.queries_sent, 2);
+        let Message::SweepQuery(q) = net.next().unwrap().msg else {
+            panic!()
+        };
+        assert_eq!(q.batch, 3);
+    }
+
+    #[test]
+    fn compensate_subtracts_queued_interference() {
+        let mut core = EngineCore::new(chain3(), LABELS);
+        // ΔR2 = +(3,5) swept left; TempView carries it. A queued
+        // concurrent ΔR1 = +(2,3) must be cancelled out of the answer.
+        let temp =
+            PartialDelta::seed(&core.view.clone(), 1, &Bag::from_tuples([tup![3, 5]])).unwrap();
+        core.queue.push(
+            SourceUpdate {
+                id: UpdateId { source: 0, seq: 0 },
+                delta: Bag::from_tuples([tup![2, 3]]),
+                global: None,
+            },
+            0,
+        );
+        let mut dv = PartialDelta {
+            lo: 0,
+            hi: 1,
+            bag: Bag::from_tuples([tup![1, 3, 3, 5], tup![2, 3, 3, 5]]),
+        };
+        core.compensate(&mut dv, &temp, 0, JoinSide::Left).unwrap();
+        assert_eq!(dv.bag, Bag::from_tuples([tup![1, 3, 3, 5]]));
+        assert_eq!(core.metrics.local_compensations, 1);
+        assert_eq!(core.queue.len(), 1, "plain compensation must not remove");
+    }
+
+    #[test]
+    fn compensate_consuming_removes_and_returns() {
+        let mut core = EngineCore::new(chain3(), LABELS);
+        let temp =
+            PartialDelta::seed(&core.view.clone(), 1, &Bag::from_tuples([tup![3, 5]])).unwrap();
+        core.queue.push(
+            SourceUpdate {
+                id: UpdateId { source: 0, seq: 0 },
+                delta: Bag::from_tuples([tup![2, 3]]),
+                global: None,
+            },
+            7,
+        );
+        let mut dv = PartialDelta {
+            lo: 0,
+            hi: 1,
+            bag: Bag::from_tuples([tup![1, 3, 3, 5], tup![2, 3, 3, 5]]),
+        };
+        let taken = core
+            .compensate_consuming(&mut dv, &temp, 0, JoinSide::Left)
+            .unwrap()
+            .expect("update was queued");
+        assert_eq!(taken.1, vec![(UpdateId { source: 0, seq: 0 }, 7)]);
+        assert!(core.queue.is_empty());
+        // A second call finds nothing.
+        assert!(core
+            .compensate_consuming(&mut dv, &temp, 0, JoinSide::Left)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn merge_pivot_glues_on_shared_columns() {
+        let base = chain3();
+        // Left covers [0,1] with true counts, right covers [1,2] with
+        // support counts; pivot at j=1 (R2's two columns are shared).
+        let left = PartialDelta {
+            lo: 0,
+            hi: 1,
+            bag: Bag::from_pairs([(tup![1, 3, 3, 5], 2)]),
+        };
+        let right = PartialDelta {
+            lo: 1,
+            hi: 2,
+            bag: Bag::from_pairs([(tup![3, 5, 5, 6], 1), (tup![3, 5, 5, 7], 1)]),
+        };
+        let merged = merge_pivot(&base, 1, &left, &right);
+        assert_eq!((merged.lo, merged.hi), (0, 2));
+        assert_eq!(
+            merged.bag,
+            Bag::from_pairs([(tup![1, 3, 3, 5, 5, 6], 2), (tup![1, 3, 3, 5, 5, 7], 2)])
+        );
+    }
+
+    #[test]
+    fn support_flattens_counts() {
+        let b = Bag::from_pairs([(tup![1], 4), (tup![2], 1)]);
+        assert_eq!(support(&b), Bag::from_pairs([(tup![1], 1), (tup![2], 1)]));
+    }
+
+    #[test]
+    fn install_sink_accounts_staleness_per_consumed_update() {
+        let mut sink = InstallSink::new(Bag::new()).unwrap();
+        let mut metrics = PolicyMetrics::default();
+        sink.install(
+            &mut metrics,
+            &Bag::from_tuples([tup![1]]),
+            &[
+                (UpdateId { source: 0, seq: 0 }, 10),
+                (UpdateId { source: 1, seq: 0 }, 30),
+            ],
+            100,
+        )
+        .unwrap();
+        assert_eq!(metrics.installs, 1);
+        assert_eq!(metrics.max_staleness(), 90);
+        assert_eq!(sink.log().len(), 1);
+        assert_eq!(sink.log()[0].consumed.len(), 2);
+        assert_eq!(sink.bag(), &Bag::from_tuples([tup![1]]));
+    }
+}

@@ -91,6 +91,30 @@ impl UpdateQueue {
         (merged, ids)
     }
 
+    /// Remove up to `max` queued updates from source `j` (oldest first),
+    /// returning their merged delta and `(id, arrival time)` pairs in
+    /// queue order. The bounded form of [`UpdateQueue::take_from_source`],
+    /// used by cross-update batching to fold a capped number of queued
+    /// same-source updates into one sweep.
+    pub fn take_from_source_bounded(
+        &mut self,
+        j: SourceIndex,
+        max: usize,
+    ) -> (Bag, Vec<(UpdateId, Time)>) {
+        let mut merged = Bag::new();
+        let mut ids = Vec::new();
+        self.q.retain(|p| {
+            if p.update.id.source == j && ids.len() < max {
+                merged.merge(&p.update.delta);
+                ids.push((p.update.id, p.arrived_at));
+                false
+            } else {
+                true
+            }
+        });
+        (merged, ids)
+    }
+
     /// Does the queue hold any update from source `j`?
     pub fn has_from_source(&self, j: SourceIndex) -> bool {
         self.q.iter().any(|p| p.update.id.source == j)

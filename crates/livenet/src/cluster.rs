@@ -1,42 +1,22 @@
-//! Thread-per-node cluster runtime.
+//! Thread-per-node cluster runtime — a thin adapter over the engine's
+//! live transport.
+//!
+//! The threads, channels, injection pacing and drain detection all live
+//! in [`dw_engine::run_cluster`]; this module only knows how to wrap the
+//! repo's actors ([`MaintenancePolicy`] warehouses, [`DataSource`]s) as
+//! engine [`NodeRunner`]s and how to fold a drained cluster into a
+//! [`LiveReport`].
 
+use dw_engine::{run_cluster, NodeRunner, ThreadNet};
 use dw_protocol::{source_node, Message, WAREHOUSE_NODE};
 use dw_relational::BaseRelation;
-use dw_simnet::{NetHandle, NodeId, Time};
+use dw_simnet::{NodeId, Time};
 use dw_source::DataSource;
 use dw_warehouse::{InstallRecord, MaintenancePolicy, PolicyMetrics, WarehouseError};
 use dw_workload::GeneratedScenario;
-use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
-use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// What travels through a node's inbox.
-enum Item {
-    Msg { from: NodeId, msg: Message },
-    Stop,
-}
-
-/// The live transport: cloned into every node thread.
-#[derive(Clone)]
-struct LiveNet {
-    inboxes: Vec<Sender<Item>>,
-    epoch: Instant,
-    sent: Arc<AtomicU64>,
-}
-
-impl NetHandle<Message> for LiveNet {
-    fn send(&mut self, from: NodeId, to: NodeId, msg: Message) {
-        self.sent.fetch_add(1, Ordering::SeqCst);
-        // Receiver gone ⇒ we are shutting down; drop silently.
-        let _ = self.inboxes[to].send(Item::Msg { from, msg });
-    }
-    fn now(&self) -> Time {
-        self.epoch.elapsed().as_micros() as Time
-    }
-}
+pub use dw_engine::LiveError;
 
 /// Result of a live run.
 #[derive(Debug)]
@@ -55,31 +35,47 @@ pub struct LiveReport {
     pub wall: Duration,
 }
 
-/// Live-run failures.
-#[derive(Debug)]
-pub enum LiveError {
-    /// The cluster did not drain within the deadline.
-    Timeout {
-        /// How long we waited.
-        waited: Duration,
-    },
-    /// A node thread failed.
-    NodeFailed {
-        /// Description of the failure.
-        what: String,
-    },
-}
+/// The warehouse node: any [`MaintenancePolicy`] behind the engine's
+/// runner face. The drain detector polls [`NodeRunner::is_idle`], which
+/// forwards the policy's own quiescence.
+struct PolicyRunner(Box<dyn MaintenancePolicy>);
 
-impl fmt::Display for LiveError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            LiveError::Timeout { waited } => write!(f, "live cluster still busy after {waited:?}"),
-            LiveError::NodeFailed { what } => write!(f, "node failed: {what}"),
-        }
+impl NodeRunner for PolicyRunner {
+    fn handle(
+        &mut self,
+        from: NodeId,
+        at: Time,
+        msg: Message,
+        net: &mut ThreadNet,
+    ) -> Result<(), String> {
+        let d = dw_simnet::Delivery {
+            at,
+            from,
+            to: WAREHOUSE_NODE,
+            msg,
+        };
+        self.0.on_message(d, net).map_err(|e| e.to_string())
+    }
+
+    fn is_idle(&self) -> bool {
+        self.0.is_quiescent()
     }
 }
 
-impl std::error::Error for LiveError {}
+/// A source node: the unmodified [`DataSource`] state machine.
+struct SourceRunner(DataSource);
+
+impl NodeRunner for SourceRunner {
+    fn handle(
+        &mut self,
+        from: NodeId,
+        _at: Time,
+        msg: Message,
+        net: &mut ThreadNet,
+    ) -> Result<(), String> {
+        self.0.handle(from, msg, net).map_err(|e| e.to_string())
+    }
+}
 
 /// Run a scenario on real threads.
 ///
@@ -107,137 +103,40 @@ pub fn run_live(
             what: e.to_string(),
         })?;
 
-    let started = Instant::now();
-    let sent = Arc::new(AtomicU64::new(0));
-    let processed = Arc::new(AtomicU64::new(0));
-    let wh_idle = Arc::new(AtomicBool::new(true));
-
-    let mut senders = Vec::with_capacity(n + 1);
-    let mut receivers: Vec<Receiver<Item>> = Vec::with_capacity(n + 1);
-    for _ in 0..=n {
-        let (tx, rx) = channel();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-    let net = LiveNet {
-        inboxes: senders.clone(),
-        epoch: started,
-        sent: sent.clone(),
-    };
-
-    // Warehouse thread.
-    let wh_rx = receivers.remove(0);
-    let wh_net = net.clone();
-    let wh_processed = processed.clone();
-    let wh_idle_flag = wh_idle.clone();
-    let wh_handle = thread::spawn(move || -> Result<Box<dyn MaintenancePolicy>, String> {
-        let mut policy = policy;
-        let mut net = wh_net;
-        for item in wh_rx.iter() {
-            match item {
-                Item::Stop => break,
-                Item::Msg { from, msg } => {
-                    let d = dw_simnet::Delivery {
-                        at: net.now(),
-                        from,
-                        to: WAREHOUSE_NODE,
-                        msg,
-                    };
-                    policy.on_message(d, &mut net).map_err(|e| e.to_string())?;
-                    wh_idle_flag.store(policy.is_quiescent(), Ordering::SeqCst);
-                    wh_processed.fetch_add(1, Ordering::SeqCst);
-                }
-            }
-        }
-        Ok(policy)
-    });
-
-    // Source threads.
-    let mut src_handles = Vec::with_capacity(n);
-    for (i, rx) in receivers.into_iter().enumerate() {
+    let mut sources = Vec::with_capacity(n);
+    for i in 0..n {
         let mut rel = BaseRelation::new(scenario.view.schema(i).clone());
         rel.apply_delta(&scenario.initial[i])
             .map_err(|e| LiveError::NodeFailed {
                 what: e.to_string(),
             })?;
-        let mut src = DataSource::new(i, scenario.view.clone(), rel);
-        let mut src_net = net.clone();
-        let src_processed = processed.clone();
-        src_handles.push(thread::spawn(move || -> Result<(), String> {
-            for item in rx.iter() {
-                match item {
-                    Item::Stop => break,
-                    Item::Msg { from, msg } => {
-                        src.handle(from, msg, &mut src_net)
-                            .map_err(|e| e.to_string())?;
-                        src_processed.fetch_add(1, Ordering::SeqCst);
-                    }
-                }
-            }
-            Ok(())
-        }));
+        sources.push(SourceRunner(DataSource::new(i, scenario.view.clone(), rel)));
     }
 
-    // Drive the workload from this thread (scaled real time).
-    let mut driver_net = net.clone();
-    for t in &scenario.txns {
-        let due = started + Duration::from_micros((t.at as f64 / time_scale.max(0.01)) as u64);
-        if let Some(wait) = due.checked_duration_since(Instant::now()) {
-            thread::sleep(wait);
-        }
-        driver_net.send(
-            usize::MAX, // ENV
-            source_node(t.source),
-            Message::ApplyTxn {
-                rel: t.source,
-                delta: t.delta.clone(),
-                global: t.global,
-            },
-        );
-    }
+    let injections: Vec<(Time, NodeId, Message)> = scenario
+        .txns
+        .iter()
+        .map(|t| {
+            (
+                t.at,
+                source_node(t.source),
+                Message::ApplyTxn {
+                    rel: t.source,
+                    delta: t.delta.clone(),
+                    global: t.global,
+                },
+            )
+        })
+        .collect();
 
-    // Wait for the cluster to drain: all sends processed + warehouse idle,
-    // stable across two polls.
-    let mut stable = 0;
-    loop {
-        if started.elapsed() > deadline {
-            for s in &senders {
-                let _ = s.send(Item::Stop);
-            }
-            return Err(LiveError::Timeout {
-                waited: started.elapsed(),
-            });
-        }
-        let drained = sent.load(Ordering::SeqCst) == processed.load(Ordering::SeqCst)
-            && wh_idle.load(Ordering::SeqCst);
-        if drained {
-            stable += 1;
-            if stable >= 3 {
-                break;
-            }
-        } else {
-            stable = 0;
-        }
-        thread::sleep(Duration::from_millis(2));
-    }
-
-    // Shut down.
-    for s in &senders {
-        let _ = s.send(Item::Stop);
-    }
-    for h in src_handles {
-        h.join()
-            .map_err(|_| LiveError::NodeFailed {
-                what: "source thread panicked".into(),
-            })?
-            .map_err(|what| LiveError::NodeFailed { what })?;
-    }
-    let policy = wh_handle
-        .join()
-        .map_err(|_| LiveError::NodeFailed {
-            what: "warehouse thread panicked".into(),
-        })?
-        .map_err(|what| LiveError::NodeFailed { what })?;
+    let outcome = run_cluster(
+        PolicyRunner(policy),
+        sources,
+        injections,
+        time_scale,
+        deadline,
+    )?;
+    let policy = outcome.warehouse.0;
 
     Ok(LiveReport {
         view: policy.view().clone(),
@@ -245,7 +144,7 @@ pub fn run_live(
         metrics: policy.metrics().clone(),
         policy: policy.name(),
         quiescent: policy.is_quiescent(),
-        wall: started.elapsed(),
+        wall: outcome.wall,
     })
 }
 

@@ -42,5 +42,6 @@
 mod registry;
 mod scheduler;
 
+pub use dw_engine::EngineOptions;
 pub use registry::{MvError, ViewId, ViewRegistry};
 pub use scheduler::{MaintenanceScheduler, SchedulerMode};

@@ -98,31 +98,34 @@ pub(crate) struct ViewRuntime {
 }
 
 impl ViewRuntime {
-    /// Fold one finalized per-update delta into the view according to
-    /// the policy cadence. Empty deltas are still *consumed* so install
-    /// logs keep the per-source prefix discipline.
+    /// Fold one finalized sweep delta into the view according to the
+    /// policy cadence. `consumed` lists the update(s) the sweep serviced
+    /// (one entry unless cross-update batching folded several in), in
+    /// per-source delivery order. Empty deltas are still *consumed* so
+    /// install logs keep the per-source prefix discipline.
     pub(crate) fn apply_delta(
         &mut self,
         delta: &Bag,
-        upd: UpdateId,
-        delivered_at: Time,
+        consumed: &[(UpdateId, Time)],
         now: Time,
     ) -> Result<(), WarehouseError> {
         match self.policy {
             ViewPolicy::Sweep => {
                 self.view.install(delta)?;
                 self.metrics.installs += 1;
-                self.metrics.record_staleness(delivered_at, now);
+                for &(_, delivered_at) in consumed {
+                    self.metrics.record_staleness(delivered_at, now);
+                }
                 self.install_log.push(InstallRecord {
                     at: now,
-                    consumed: vec![upd],
+                    consumed: consumed.iter().map(|&(id, _)| id).collect(),
                     view_after: self.record_snapshots.then(|| self.view.bag().clone()),
                 });
             }
             ViewPolicy::NestedSweep | ViewPolicy::Deferred { .. } => {
                 self.pending_delta.merge(delta);
-                self.pending_consumed.push((upd, delivered_at));
-                self.since_flush += 1;
+                self.pending_consumed.extend_from_slice(consumed);
+                self.since_flush += consumed.len();
                 if let ViewPolicy::Deferred { batch } = self.policy {
                     if self.since_flush >= batch {
                         self.flush(now)?;

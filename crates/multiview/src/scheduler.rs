@@ -23,6 +23,16 @@
 //! [`SchedulerMode::Naive`] instead runs one dedicated sweep per
 //! affected view (the `V·2(n−1)` baseline E14 measures against).
 //!
+//! **Cross-update batching** ([`EngineOptions::batch`] > 1, shared mode
+//! only): when the sweep for `ΔR_j` starts, up to `batch − 1` further
+//! queued updates *from the same source* are folded into it
+//! Nested-SWEEP-style — their deltas merge into one composite seed, the
+//! whole batch pays one `2(n−1)`-message sweep, and every affected view
+//! consumes all k updates in one delta. Message cost per update falls
+//! toward `2(n−1)/k` under bursty arrivals (experiment E15); installs
+//! consume whole per-source delivery-order batches, so consistency is
+//! strong rather than complete.
+//!
 //! Installs follow each view's [`ViewPolicy`] cadence: `Sweep` installs
 //! every update immediately (complete consistency); `NestedSweep`
 //! accumulates while work is in flight and installs at drain;
@@ -32,17 +42,41 @@
 //!
 //! Global transactions (update type 3) are out of scope for the
 //! multi-view layer — tags on incoming updates are ignored.
+//!
+//! [`ViewPolicy`]: dw_workload::ViewPolicy
 
 use crate::registry::{MvError, ViewId, ViewRegistry};
-use dw_obs::{Obs, SpanId};
-use dw_protocol::{source_node, Message, SweepQuery, UpdateId, WAREHOUSE_NODE};
-use dw_relational::{
-    extend_partial, Bag, JoinSide, PartialDelta, Predicate, RelationalError, Tuple, Value, ViewDef,
+use dw_engine::{
+    dispatch, merge_pivot, support, EngineCore, EngineOptions, Leg, LegSlot, PendingUpdate,
+    SpanLabels, SweepPolicy,
 };
+use dw_obs::Obs;
+use dw_protocol::{Message, SourceUpdate, UpdateId};
+use dw_relational::{Bag, JoinSide, PartialDelta, Predicate, RelationalError, ViewDef};
 use dw_simnet::{Delivery, NetHandle, Time};
-use dw_warehouse::{PendingUpdate, PolicyMetrics, UpdateQueue, WarehouseError};
+use dw_warehouse::PolicyMetrics;
 use dw_workload::ViewSpec;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+/// The scheduler's trace vocabulary in shared mode.
+const SHARED_LABELS: SpanLabels = SpanLabels {
+    sweep: "mv.sweep",
+    hop: "mv.hop",
+    compensations: "mv.compensations",
+    query_rows: None,
+    comp_rows: None,
+    query_counter: Some("mv.shared_queries"),
+};
+
+/// The scheduler's trace vocabulary in naive per-view mode.
+const NAIVE_LABELS: SpanLabels = SpanLabels {
+    sweep: "mv.sweep",
+    hop: "mv.hop",
+    compensations: "mv.compensations",
+    query_rows: None,
+    comp_rows: None,
+    query_counter: Some("mv.naive_queries"),
+};
 
 /// How the scheduler turns one update into sweeps.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -67,11 +101,12 @@ impl SchedulerMode {
     }
 }
 
-/// One unit of sweep work: an update, the span to cover, and the views
-/// fed by it.
+/// One unit of sweep work: the batch of updates it services, the span to
+/// cover, and the views fed by it.
 struct SweepTask {
-    upd: UpdateId,
-    delivered_at: Time,
+    /// The updates this sweep folds together, in per-source delivery
+    /// order. One entry unless cross-update batching folded more in.
+    consumed: Vec<(UpdateId, Time)>,
     /// The updated base relation (chain index).
     j: usize,
     delta: Bag,
@@ -80,23 +115,6 @@ struct SweepTask {
     lo: usize,
     hi: usize,
     views: Vec<ViewId>,
-}
-
-struct Leg {
-    /// The partial this leg has built so far (post-compensation).
-    dv: PartialDelta,
-    /// Pre-hop copy used to compute the compensation term.
-    temp: PartialDelta,
-    qid: u64,
-    /// The hop currently in flight.
-    j: usize,
-    side: JoinSide,
-    hop: SpanId,
-}
-
-enum LegSlot {
-    Running(Leg),
-    Done,
 }
 
 struct ActiveSweep {
@@ -115,44 +133,54 @@ struct ActiveSweep {
 /// `SweepQuery`/`SweepAnswer` protocol as single-view SWEEP, so the
 /// unmodified `dw_source::DataSource` serves it.
 pub struct MaintenanceScheduler {
-    base: ViewDef,
+    core: EngineCore,
     registry: ViewRegistry,
     mode: SchedulerMode,
-    queue: UpdateQueue,
+    opts: EngineOptions,
     pending_tasks: VecDeque<SweepTask>,
     active: Option<ActiveSweep>,
-    next_qid: u64,
-    /// Aggregate metrics (updates, queries, answers, compensations);
-    /// per-view installs/staleness live in the registry.
-    metrics: PolicyMetrics,
     record_snapshots: bool,
-    obs: Obs,
-    cur_span: SpanId,
 }
 
 impl MaintenanceScheduler {
     /// New scheduler over a selection-free, identity-projection base
-    /// chain.
+    /// chain, with default options (no batching).
     pub fn new(base: ViewDef, mode: SchedulerMode) -> Result<Self, MvError> {
+        Self::with_options(base, mode, EngineOptions::default())
+    }
+
+    /// New scheduler with explicit engine options. Only
+    /// [`EngineOptions::batch`] is read here (shared mode only); the
+    /// SWEEP/Nested-SWEEP knobs are inert for the scheduler.
+    pub fn with_options(
+        base: ViewDef,
+        mode: SchedulerMode,
+        opts: EngineOptions,
+    ) -> Result<Self, MvError> {
         let registry = ViewRegistry::new(base.clone())?;
+        let labels = match mode {
+            SchedulerMode::Shared => SHARED_LABELS,
+            SchedulerMode::Naive => NAIVE_LABELS,
+        };
         Ok(MaintenanceScheduler {
-            base,
+            core: EngineCore::new(base, labels),
             registry,
             mode,
-            queue: UpdateQueue::new(),
+            opts,
             pending_tasks: VecDeque::new(),
             active: None,
-            next_qid: 0,
-            metrics: PolicyMetrics::default(),
             record_snapshots: true,
-            obs: Obs::off(),
-            cur_span: SpanId::NONE,
         })
     }
 
     /// The configured mode.
     pub fn mode(&self) -> SchedulerMode {
         self.mode
+    }
+
+    /// The configured engine options.
+    pub fn options(&self) -> EngineOptions {
+        self.opts
     }
 
     /// Register a view. `initial` must be the view's correct current
@@ -191,13 +219,13 @@ impl MaintenanceScheduler {
     /// Aggregate scheduler metrics. `installs` stays zero here — install
     /// counts are per view in the registry.
     pub fn metrics(&self) -> &PolicyMetrics {
-        &self.metrics
+        &self.core.metrics
     }
 
     /// No sweep in flight, no queued work. Policy-pending batches are
     /// flushed the moment this becomes true, so quiescent ⇒ installed.
     pub fn is_quiescent(&self) -> bool {
-        self.active.is_none() && self.pending_tasks.is_empty() && self.queue.is_empty()
+        self.active.is_none() && self.pending_tasks.is_empty() && self.core.queue.is_empty()
     }
 
     /// Toggle per-install view snapshots in the install logs (needed by
@@ -214,7 +242,7 @@ impl MaintenanceScheduler {
     /// counters. Per-view staleness histograms live in the registry's
     /// [`PolicyMetrics`].
     pub fn set_observer(&mut self, obs: Obs) {
-        self.obs = obs;
+        self.core.set_observer(obs);
     }
 
     /// Handle one warehouse delivery.
@@ -223,27 +251,7 @@ impl MaintenanceScheduler {
         delivery: Delivery<Message>,
         net: &mut dyn NetHandle<Message>,
     ) -> Result<(), MvError> {
-        match delivery.msg {
-            Message::Update(u) => {
-                self.metrics.updates_received += 1;
-                for id in self.registry.affected_by(u.id.source) {
-                    self.registry.runtime_mut(id)?.metrics.updates_received += 1;
-                }
-                self.queue.push(u, delivery.at);
-                if self.active.is_none() {
-                    self.start_next(net)?;
-                }
-                Ok(())
-            }
-            Message::SweepAnswer(a) => {
-                self.metrics.answers_received += 1;
-                self.on_answer(net, a.qid, a.partial)
-            }
-            other => Err(MvError::Warehouse(WarehouseError::UnexpectedMessage {
-                policy: self.mode.name(),
-                label: dw_simnet::Payload::label(&other),
-            })),
-        }
+        dispatch(self, delivery, net)
     }
 
     /// Pull work until a sweep is in flight or everything has drained.
@@ -256,7 +264,7 @@ impl MaintenanceScheduler {
                 }
                 continue; // completed inline (no queries needed)
             }
-            let Some(PendingUpdate { update, arrived_at }) = self.queue.pop() else {
+            let Some(PendingUpdate { update, arrived_at }) = self.core.queue.pop() else {
                 // Fully drained: install policy-pending batches.
                 let now = net.now();
                 for rt in self.registry.runtimes_mut() {
@@ -278,11 +286,20 @@ impl MaintenanceScheduler {
                         lo = lo.min(vlo);
                         hi = hi.max(vhi);
                     }
+                    // Cross-update batching: fold up to batch−1 further
+                    // queued updates from the same source into this sweep.
+                    let mut delta = update.delta.clone();
+                    let mut consumed = vec![(update.id, arrived_at)];
+                    let extra = self.opts.batch_width() - 1;
+                    if extra > 0 {
+                        let (folded, infos) = self.core.fold_same_source(j, extra);
+                        delta.merge(&folded);
+                        consumed.extend(infos);
+                    }
                     self.pending_tasks.push_back(SweepTask {
-                        upd: update.id,
-                        delivered_at: arrived_at,
+                        consumed,
                         j,
-                        delta: update.delta.clone(),
+                        delta,
                         lo,
                         hi,
                         views: affected,
@@ -292,8 +309,7 @@ impl MaintenanceScheduler {
                     for v in affected {
                         let (lo, hi) = self.registry.span(v)?;
                         self.pending_tasks.push_back(SweepTask {
-                            upd: update.id,
-                            delivered_at: arrived_at,
+                            consumed: vec![(update.id, arrived_at)],
                             j,
                             delta: update.delta.clone(),
                             lo,
@@ -315,17 +331,20 @@ impl MaintenanceScheduler {
         task: SweepTask,
     ) -> Result<bool, MvError> {
         let j = task.j;
-        self.cur_span = self.obs.span_start("mv.sweep", net.now(), SpanId::NONE);
-        self.obs.observe("mv.fanout_views", task.views.len() as u64);
-        let left_seed = PartialDelta::seed(&self.base, j, &task.delta)?;
+        self.core.batch = task.consumed.len() as u32;
+        self.core.begin_sweep(net.now());
+        self.core
+            .obs
+            .observe("mv.fanout_views", task.views.len() as u64);
+        let left_seed = PartialDelta::seed(&self.core.view, j, &task.delta)?;
         let right_seed = PartialDelta {
             lo: j,
             hi: j,
             bag: support(&left_seed.bag),
         };
         let mut active = ActiveSweep {
-            left: LegSlot::Done,
-            right: LegSlot::Done,
+            left: LegSlot::Done(left_seed.clone()),
+            right: LegSlot::Done(right_seed.clone()),
             left_snaps: Vec::new(),
             right_snaps: Vec::new(),
             task,
@@ -333,30 +352,26 @@ impl MaintenanceScheduler {
         snapshot(&self.registry, &mut active, j, JoinSide::Left, &left_seed)?;
         snapshot(&self.registry, &mut active, j, JoinSide::Right, &right_seed)?;
         if j > active.task.lo {
-            let (qid, hop) = self.send_query(net, &left_seed, j - 1, JoinSide::Left);
-            active.left = LegSlot::Running(Leg {
-                temp: left_seed.clone(),
-                dv: left_seed,
-                qid,
-                j: j - 1,
-                side: JoinSide::Left,
-                hop,
-            });
+            active.left = LegSlot::Running(Leg::launch(
+                &mut self.core,
+                net,
+                left_seed,
+                j - 1,
+                JoinSide::Left,
+            ));
         }
         if j < active.task.hi {
-            let (qid, hop) = self.send_query(net, &right_seed, j + 1, JoinSide::Right);
-            active.right = LegSlot::Running(Leg {
-                temp: right_seed.clone(),
-                dv: right_seed,
-                qid,
-                j: j + 1,
-                side: JoinSide::Right,
-                hop,
-            });
+            active.right = LegSlot::Running(Leg::launch(
+                &mut self.core,
+                net,
+                right_seed,
+                j + 1,
+                JoinSide::Right,
+            ));
         }
         if matches!(
             (&active.left, &active.right),
-            (LegSlot::Done, LegSlot::Done)
+            (LegSlot::Done(_), LegSlot::Done(_))
         ) {
             self.finish_task(net, active)?;
             return Ok(false);
@@ -365,86 +380,39 @@ impl MaintenanceScheduler {
         Ok(true)
     }
 
-    fn send_query(
-        &mut self,
-        net: &mut dyn NetHandle<Message>,
-        dv: &PartialDelta,
-        j: usize,
-        side: JoinSide,
-    ) -> (u64, SpanId) {
-        let qid = self.next_qid;
-        self.next_qid += 1;
-        self.metrics.queries_sent += 1;
-        self.obs.add(
-            match self.mode {
-                SchedulerMode::Shared => "mv.shared_queries",
-                SchedulerMode::Naive => "mv.naive_queries",
-            },
-            1,
-        );
-        let hop = self.obs.span_start("mv.hop", net.now(), self.cur_span);
-        net.send(
-            WAREHOUSE_NODE,
-            source_node(j),
-            Message::SweepQuery(SweepQuery {
-                qid,
-                partial: dv.clone(),
-                side,
-            }),
-        );
-        (qid, hop)
-    }
-
-    /// Local on-line error correction (§4) on the shared partial:
-    /// subtract `ΔR_j ⋈ Temp` for every queued concurrent update from
-    /// the hop source. Runs once per hop; every view downstream of the
-    /// hop inherits the corrected partial.
-    fn compensate(
-        &mut self,
-        dv: &mut PartialDelta,
-        temp: &PartialDelta,
-        j: usize,
-        side: JoinSide,
-    ) -> Result<(), MvError> {
-        let merged = self.queue.merged_from_source(j);
-        if merged.is_empty() {
-            return Ok(());
-        }
-        let err = extend_partial(&self.base, temp, &merged, side)?;
-        dv.bag.subtract(&err.bag);
-        self.metrics.local_compensations += 1;
-        self.obs.add("mv.compensations", 1);
-        Ok(())
-    }
-
-    fn on_answer(
+    fn answer(
         &mut self,
         net: &mut dyn NetHandle<Message>,
         qid: u64,
         partial: PartialDelta,
     ) -> Result<(), MvError> {
         let Some(mut active) = self.active.take() else {
-            return Err(MvError::Warehouse(WarehouseError::UnknownQuery { qid }));
+            return Err(MvError::Warehouse(
+                dw_warehouse::WarehouseError::UnknownQuery { qid },
+            ));
         };
         let use_left = matches!(&active.left, LegSlot::Running(l) if l.qid == qid);
         let use_right = matches!(&active.right, LegSlot::Running(r) if r.qid == qid);
         if !use_left && !use_right {
             self.active = Some(active);
-            return Err(MvError::Warehouse(WarehouseError::UnknownQuery { qid }));
+            return Err(MvError::Warehouse(
+                dw_warehouse::WarehouseError::UnknownQuery { qid },
+            ));
         }
         let slot = if use_left {
             &mut active.left
         } else {
             &mut active.right
         };
-        let LegSlot::Running(mut leg) = std::mem::replace(slot, LegSlot::Done) else {
+        let LegSlot::Running(mut leg) = std::mem::replace(slot, LegSlot::Done(partial.clone()))
+        else {
             unreachable!()
         };
-        self.obs.span_end(leg.hop, net.now());
+        self.core.end_hop(leg.hop, net.now());
         leg.dv = partial;
         let (k, side) = (leg.j, leg.side);
         let temp = leg.temp.clone();
-        self.compensate(&mut leg.dv, &temp, k, side)?;
+        self.core.compensate(&mut leg.dv, &temp, k, side)?;
         // Views whose span ends exactly at this hop peel off the shared
         // partial *after* this hop's compensation.
         snapshot(&self.registry, &mut active, k, side, &leg.dv)?;
@@ -454,23 +422,21 @@ impl MaintenanceScheduler {
             JoinSide::Right if k < active.task.hi => Some(k + 1),
             JoinSide::Right => None,
         };
-        if let Some(nj) = next {
-            leg.temp = leg.dv.clone();
-            let dv = leg.dv.clone();
-            let (nqid, hop) = self.send_query(net, &dv, nj, side);
-            leg.qid = nqid;
-            leg.hop = hop;
-            leg.j = nj;
-            let slot = if use_left {
-                &mut active.left
-            } else {
-                &mut active.right
-            };
-            *slot = LegSlot::Running(leg);
+        let slot = if use_left {
+            &mut active.left
+        } else {
+            &mut active.right
+        };
+        match next {
+            Some(nj) => {
+                leg.advance(&mut self.core, net, nj, side);
+                *slot = LegSlot::Running(leg);
+            }
+            None => *slot = LegSlot::Done(leg.dv),
         }
         if matches!(
             (&active.left, &active.right),
-            (LegSlot::Done, LegSlot::Done)
+            (LegSlot::Done(_), LegSlot::Done(_))
         ) {
             self.finish_task(net, active)?;
             return self.start_next(net);
@@ -501,22 +467,51 @@ impl MaintenanceScheduler {
                 .find(|(id, _)| *id == v)
                 .map(|(_, p)| p)
                 .expect("right leg visited every affected span end");
-            let merged = merge_pivot(&self.base, task.j, left, right);
+            let merged = merge_pivot(&self.core.view, task.j, left, right);
             let rt = self.registry.runtime_mut(v)?;
             let delta = finalize_for_view(&rt.local, &merged)?;
-            rt.apply_delta(&delta, task.upd, task.delivered_at, now)?;
+            rt.apply_delta(&delta, &task.consumed, now)?;
         }
-        self.obs.span_end(self.cur_span, net.now());
-        self.cur_span = SpanId::NONE;
+        self.core.record_batch(task.consumed.len());
+        self.core.end_sweep(net.now());
+        self.core.batch = 1;
         Ok(())
     }
 }
 
-/// The support of a delta: every distinct tuple at multiplicity `+1`
-/// (§5.3 — the right leg counts join multiplicities only; the true
-/// counts re-enter at merge time from the left leg).
-fn support(bag: &Bag) -> Bag {
-    Bag::from_pairs(bag.iter().map(|(t, _)| (t.clone(), 1)))
+impl SweepPolicy for MaintenanceScheduler {
+    type Err = MvError;
+
+    fn name(&self) -> &'static str {
+        self.mode.name()
+    }
+
+    fn core(&mut self) -> &mut EngineCore {
+        &mut self.core
+    }
+
+    fn note_update(&mut self, u: &SourceUpdate) -> Result<(), MvError> {
+        for id in self.registry.affected_by(u.id.source) {
+            self.registry.runtime_mut(id)?.metrics.updates_received += 1;
+        }
+        Ok(())
+    }
+
+    fn kick(&mut self, net: &mut dyn NetHandle<Message>) -> Result<(), MvError> {
+        if self.active.is_none() {
+            self.start_next(net)?;
+        }
+        Ok(())
+    }
+
+    fn on_answer(
+        &mut self,
+        qid: u64,
+        partial: PartialDelta,
+        net: &mut dyn NetHandle<Message>,
+    ) -> Result<(), MvError> {
+        self.answer(net, qid, partial)
+    }
 }
 
 /// Record `partial` for every task view whose span endpoint is exactly
@@ -538,46 +533,6 @@ fn snapshot(
         }
     }
     Ok(())
-}
-
-/// Glue a view's two snapshots on the pivot relation `R_j`'s columns:
-/// hash the right snapshot by its leading `w_j` columns, probe with the
-/// left snapshot's trailing `w_j` columns, output `left ++ right-tail`
-/// at the product of the counts. The left snapshot carries true
-/// multiplicities, the right the support — so the product is the true
-/// count of the glued tuple (sweep's §5.3 merge, span-generalized).
-fn merge_pivot(
-    base: &ViewDef,
-    j: usize,
-    left: &PartialDelta,
-    right: &PartialDelta,
-) -> PartialDelta {
-    debug_assert_eq!(left.hi, j);
-    debug_assert_eq!(right.lo, j);
-    let w_j = base.schema(j).arity();
-    let left_width: usize = (left.lo..=left.hi).map(|k| base.schema(k).arity()).sum();
-    let shared_off = left_width - w_j;
-
-    let mut by_key: HashMap<Vec<Value>, Vec<(&Tuple, i64)>> = HashMap::new();
-    for (t, c) in right.bag.iter() {
-        let key: Vec<Value> = (0..w_j).map(|k| t.at(k).clone()).collect();
-        by_key.entry(key).or_default().push((t, c));
-    }
-    let mut out = Bag::new();
-    for (lt, lc) in left.bag.iter() {
-        let key: Vec<Value> = (0..w_j).map(|k| lt.at(shared_off + k).clone()).collect();
-        if let Some(matches) = by_key.get(&key) {
-            for &(rt, rc) in matches {
-                let tail = Tuple::new(rt.values()[w_j..].to_vec());
-                out.add(lt.concat(&tail), lc * rc);
-            }
-        }
-    }
-    PartialDelta {
-        lo: left.lo,
-        hi: right.hi,
-        bag: out,
-    }
 }
 
 /// Apply a view's own σ (per-relation selections, shifted to span-tuple
@@ -604,8 +559,8 @@ fn finalize_for_view(local: &ViewDef, merged: &PartialDelta) -> Result<Bag, Rela
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dw_protocol::node_source;
-    use dw_relational::{eval_view, tup, CmpOp, Schema, ViewDefBuilder};
+    use dw_protocol::{node_source, source_node, WAREHOUSE_NODE};
+    use dw_relational::{eval_view, tup, CmpOp, Schema, Value, ViewDefBuilder};
     use dw_simnet::Network;
     use dw_source::DataSource;
     use dw_workload::ViewPolicy;
@@ -660,9 +615,18 @@ mod tests {
         view_specs: &[ViewSpec],
         txns: &[(Time, usize, Bag)],
     ) -> (MaintenanceScheduler, Vec<Bag>) {
+        run_with_options(mode, EngineOptions::default(), view_specs, txns)
+    }
+
+    fn run_with_options(
+        mode: SchedulerMode,
+        opts: EngineOptions,
+        view_specs: &[ViewSpec],
+        txns: &[(Time, usize, Bag)],
+    ) -> (MaintenanceScheduler, Vec<Bag>) {
         let base = base3();
         let initial = initial3();
-        let mut sched = MaintenanceScheduler::new(base.clone(), mode).unwrap();
+        let mut sched = MaintenanceScheduler::with_options(base.clone(), mode, opts).unwrap();
         for spec in view_specs {
             let local = spec.compile(&base).unwrap();
             let refs: Vec<&Bag> = initial[spec.lo..=spec.hi].iter().collect();
@@ -819,6 +783,48 @@ mod tests {
         let log = sched.views().install_log(id).unwrap();
         assert_eq!(log.len(), 2);
         assert!(log.iter().all(|rec| rec.consumed.len() == 3));
+    }
+
+    #[test]
+    fn cross_update_batching_folds_queued_same_source_updates() {
+        // Three same-source updates injected back-to-back: with batch 4
+        // the first sweep starts on ΔR2(1) while the other two queue; the
+        // second sweep folds them both. Ground truth must still hold and
+        // the query count must drop from 3·2(n−1)=12 to 2·2(n−1)... no —
+        // to 2 sweeps × 4 = 8. Without batching it is 12.
+        let views = vec![ViewSpec::full("full", 3)];
+        let txns = vec![
+            (100u64, 1usize, Bag::from_tuples([tup![7, 9]])),
+            (101, 1, Bag::from_tuples([tup![9, 5]])),
+            (102, 1, Bag::from_pairs([(tup![3, 7], -1)])),
+        ];
+        let (plain, _) = run(SchedulerMode::Shared, &views, &txns);
+        assert_eq!(plain.metrics().queries_sent, 3 * 2);
+        let (batched, shadows) = run_with_options(
+            SchedulerMode::Shared,
+            EngineOptions {
+                batch: 4,
+                ..Default::default()
+            },
+            &views,
+            &txns,
+        );
+        // First sweep: 1 update; second sweep: the 2 queued folded.
+        assert_eq!(batched.metrics().queries_sent, 2 * 2);
+        let id = batched.views().ids()[0];
+        let refs: Vec<&Bag> = shadows.iter().collect();
+        let full = ViewSpec::full("full", 3)
+            .compile(batched.views().base())
+            .unwrap();
+        assert_eq!(
+            batched.views().view_bag(id).unwrap(),
+            &eval_view(&full, &refs).unwrap()
+        );
+        // The folded install consumed both updates at once.
+        let log = batched.views().install_log(id).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].consumed.len(), 1);
+        assert_eq!(log[1].consumed.len(), 2);
     }
 
     #[test]

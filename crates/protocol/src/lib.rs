@@ -96,6 +96,11 @@ pub struct SweepQuery {
     pub partial: PartialDelta,
     /// Side on which the receiving source's relation joins.
     pub side: JoinSide,
+    /// How many queued updates the issuing sweep folded into this
+    /// partial (cross-update batching); `1` for a plain per-update
+    /// sweep. Informational for sources — the join they compute is the
+    /// same either way.
+    pub batch: u32,
 }
 
 /// Answer to a [`SweepQuery`]: the widened partial delta.
@@ -372,6 +377,7 @@ mod tests {
                 bag: Bag::new(),
             },
             side: JoinSide::Right,
+            batch: 1,
         });
         let full = Message::SweepQuery(SweepQuery {
             qid: 0,
@@ -381,6 +387,7 @@ mod tests {
                 bag: Bag::from_tuples((0..100).map(|i| tup![i, i])),
             },
             side: JoinSide::Right,
+            batch: 1,
         });
         assert!(full.size_bytes() > empty.size_bytes() + 1000);
     }

@@ -395,6 +395,7 @@ mod tests {
                 bag: Bag::from_tuples([tup![1, 3]]),
             },
             side: JoinSide::Right,
+            batch: 1,
         };
         src.handle(WAREHOUSE_NODE, Message::SweepQuery(q), &mut net)
             .unwrap();
@@ -495,6 +496,7 @@ mod indexed_tests {
                 bag: Bag::from_tuples([tup![1, 3], tup![9, 4]]),
             },
             side: JoinSide::Right,
+            batch: 1,
         };
         assert_eq!(
             answer_of(&mut plain, q_right.clone()),
@@ -509,6 +511,7 @@ mod indexed_tests {
                 bag: Bag::from_tuples([tup![5, 6]]),
             },
             side: JoinSide::Left,
+            batch: 1,
         };
         assert_eq!(
             answer_of(&mut plain, q_left.clone()),
@@ -542,6 +545,7 @@ mod indexed_tests {
                 bag: Bag::from_tuples([tup![1, 3], tup![2, 8]]),
             },
             side: JoinSide::Right,
+            batch: 1,
         };
         assert_eq!(answer_of(&mut plain, q.clone()), answer_of(&mut fast, q));
     }

@@ -138,6 +138,7 @@ impl CStrobe {
                     qid,
                     partial: q.pd.clone(),
                     side,
+                    batch: 1,
                 }),
             );
             return Ok(Err((qid, q)));

@@ -22,17 +22,16 @@
 pub mod aggregate;
 pub mod cstrobe;
 pub mod eca;
-pub mod error;
-pub mod install;
-pub mod metrics;
 pub mod nested_sweep;
 pub mod pipelined;
-pub mod policy;
-pub mod queue;
 pub mod recompute;
 pub mod strobe;
 pub mod sweep;
-pub mod view;
+
+// The mechanism layer (errors, install log, metrics, the policy trait, the
+// update queue, the materialized view) lives in `dw-engine`; re-export the
+// modules so `dw_warehouse::error::...`-style paths keep resolving.
+pub use dw_engine::{error, install, metrics, policy, queue, view};
 
 pub use aggregate::{AggFn, AggregateView, AggregateViewDef};
 pub use cstrobe::CStrobe;

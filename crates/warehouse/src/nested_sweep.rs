@@ -23,67 +23,32 @@
 //! implements the paper's "easily modified to force termination" switch:
 //! at the bound, the update is compensated SWEEP-style (left in the queue,
 //! no recursion) and [`PolicyMetrics::depth_bound_hits`] is incremented.
+//!
+//! The mechanism — hop plumbing, both compensation flavors, install — is
+//! [`dw_engine`]'s; this module keeps only the strategy: the [`Frame`]
+//! stack discipline and the dovetailing decision.
 
 use crate::error::WarehouseError;
 use crate::install::InstallRecord;
 use crate::metrics::PolicyMetrics;
 use crate::policy::MaintenancePolicy;
-use crate::queue::{PendingUpdate, UpdateQueue};
-use crate::view::MaterializedView;
-use dw_obs::{Obs, SpanId};
-use dw_protocol::{source_node, Message, SweepQuery, UpdateId, WAREHOUSE_NODE};
-use dw_relational::{extend_partial, Bag, JoinSide, PartialDelta, ViewDef};
+use crate::queue::PendingUpdate;
+pub use dw_engine::NestedSweepOptions;
+use dw_engine::{dispatch, EngineCore, Frame, InstallSink, SpanLabels, SweepPolicy};
+use dw_obs::Obs;
+use dw_protocol::{Message, UpdateId};
+use dw_relational::{Bag, JoinSide, PartialDelta, ViewDef};
 use dw_simnet::{Delivery, NetHandle, Time};
 
-/// Tunables for Nested SWEEP.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub struct NestedSweepOptions {
-    /// Maximum recursion depth (frame-stack size). `None` reproduces the
-    /// paper's unbounded recursion; `Some(d)` forces termination by
-    /// falling back to SWEEP-style compensation beyond depth `d`.
-    pub max_depth: Option<usize>,
-}
-
-/// One suspended or running `ViewChange(ΔR, Left, Source, Right)` call.
-#[derive(Clone, Debug)]
-struct Frame {
-    dv: PartialDelta,
-    left: usize,
-    source: usize,
-    right: usize,
-    /// In-flight query, if any: `(qid, j, side, TempView, hop span)`.
-    pending: Option<(u64, usize, JoinSide, PartialDelta, SpanId)>,
-}
-
-impl Frame {
-    fn new(
-        view: &ViewDef,
-        source: usize,
-        left: usize,
-        right: usize,
-        delta: &Bag,
-    ) -> Result<Self, WarehouseError> {
-        Ok(Frame {
-            dv: PartialDelta::seed(view, source, delta)?,
-            left,
-            source,
-            right,
-            pending: None,
-        })
-    }
-
-    /// The next source to query given the current coverage, or `None` when
-    /// the frame's range is fully covered.
-    fn next_target(&self) -> Option<(usize, JoinSide)> {
-        if self.dv.lo > self.left {
-            Some((self.dv.lo - 1, JoinSide::Left))
-        } else if self.dv.hi < self.right {
-            Some((self.dv.hi + 1, JoinSide::Right))
-        } else {
-            None
-        }
-    }
-}
+/// Nested SWEEP's historical trace vocabulary.
+const LABELS: SpanLabels = SpanLabels {
+    sweep: "nested_sweep",
+    hop: "nested_sweep.hop",
+    compensations: "nested_sweep.compensations",
+    query_rows: Some("nested_sweep.query_rows"),
+    comp_rows: None,
+    query_counter: None,
+};
 
 #[derive(Debug)]
 struct Active {
@@ -93,19 +58,10 @@ struct Active {
 
 /// The Nested SWEEP warehouse policy.
 pub struct NestedSweep {
-    view_def: ViewDef,
-    view: MaterializedView,
-    queue: UpdateQueue,
-    metrics: PolicyMetrics,
-    install_log: Vec<InstallRecord>,
-    record_snapshots: bool,
+    core: EngineCore,
+    sink: InstallSink,
     opts: NestedSweepOptions,
-    next_qid: u64,
     active: Option<Active>,
-    /// Observability handle (no-op unless a recorder is attached).
-    obs: Obs,
-    /// Open `nested_sweep` span for the batch currently being processed.
-    cur_span: SpanId,
 }
 
 impl NestedSweep {
@@ -121,17 +77,10 @@ impl NestedSweep {
         opts: NestedSweepOptions,
     ) -> Result<Self, WarehouseError> {
         Ok(NestedSweep {
-            view_def,
-            view: MaterializedView::new(initial_view)?,
-            queue: UpdateQueue::new(),
-            metrics: PolicyMetrics::default(),
-            install_log: Vec::new(),
-            record_snapshots: true,
+            core: EngineCore::new(view_def, LABELS),
+            sink: InstallSink::new(initial_view)?,
             opts,
-            next_qid: 0,
             active: None,
-            obs: Obs::off(),
-            cur_span: SpanId::NONE,
         })
     }
 
@@ -141,55 +90,24 @@ impl NestedSweep {
         self.active.as_ref().map_or(0, |a| a.stack.len())
     }
 
-    fn n(&self) -> usize {
-        self.view_def.num_relations()
-    }
-
-    fn send_query(
-        &mut self,
-        net: &mut dyn NetHandle<Message>,
-        dv: &PartialDelta,
-        j: usize,
-        side: JoinSide,
-    ) -> (u64, SpanId) {
-        let qid = self.next_qid;
-        self.next_qid += 1;
-        self.metrics.queries_sent += 1;
-        let hop = self
-            .obs
-            .span_start("nested_sweep.hop", net.now(), self.cur_span);
-        self.obs
-            .observe("nested_sweep.query_rows", dv.bag.distinct_len() as u64);
-        net.send(
-            WAREHOUSE_NODE,
-            source_node(j),
-            Message::SweepQuery(SweepQuery {
-                qid,
-                partial: dv.clone(),
-                side,
-            }),
-        );
-        (qid, hop)
-    }
-
     /// Pop the queue head and start the outer `ViewChange(ΔR, 1, i, n)`.
     fn start_next(&mut self, net: &mut dyn NetHandle<Message>) -> Result<(), WarehouseError> {
         debug_assert!(self.active.is_none());
-        let Some(PendingUpdate { update, arrived_at }) = self.queue.pop() else {
+        let Some(PendingUpdate { update, arrived_at }) = self.core.queue.pop() else {
             return Ok(());
         };
         let i = update.id.source;
-        self.cur_span = self.obs.span_start("nested_sweep", net.now(), SpanId::NONE);
-        self.obs.observe(
+        self.core.begin_sweep(net.now());
+        self.core.obs.observe(
             "nested_sweep.delta_rows",
             update.delta.distinct_len() as u64,
         );
-        let frame = Frame::new(&self.view_def, i, 0, self.n() - 1, &update.delta)?;
+        let frame = Frame::new(&self.core.view, i, 0, self.core.n() - 1, &update.delta)?;
         let mut active = Active {
             stack: vec![frame],
             consumed: vec![(update.id, arrived_at)],
         };
-        self.metrics.max_recursion_depth = self.metrics.max_recursion_depth.max(1);
+        self.core.metrics.max_recursion_depth = self.core.metrics.max_recursion_depth.max(1);
         self.pump(net, &mut active)?;
         self.finish_or_park(net, active)
     }
@@ -210,7 +128,7 @@ impl NestedSweep {
             match top.next_target() {
                 Some((j, side)) => {
                     let dv = top.dv.clone();
-                    let (qid, hop) = self.send_query(net, &dv, j, side);
+                    let (qid, hop) = self.core.send_query(net, &dv, j, side);
                     let top = active.stack.last_mut().expect("frame present");
                     top.pending = Some((qid, j, side, dv, hop));
                     return Ok(());
@@ -254,29 +172,26 @@ impl NestedSweep {
             return Ok(());
         }
         let frame = active.stack.into_iter().next().expect("one frame");
-        let final_bag = frame.dv.finalize(&self.view_def)?;
-        self.obs
+        let final_bag = frame.dv.finalize(&self.core.view)?;
+        self.core
+            .obs
             .observe("nested_sweep.install_rows", final_bag.distinct_len() as u64);
-        self.obs
+        self.core
+            .obs
             .observe("nested_sweep.batch_updates", active.consumed.len() as u64);
-        self.obs.span_end(self.cur_span, net.now());
-        self.cur_span = SpanId::NONE;
-        self.view.install(&final_bag)?;
-        self.metrics.installs += 1;
-        let now = net.now();
-        for &(_, delivered_at) in &active.consumed {
-            self.metrics.record_staleness(delivered_at, now);
-        }
-        self.install_log.push(InstallRecord {
-            at: now,
-            consumed: active.consumed.iter().map(|&(id, _)| id).collect(),
-            view_after: self.record_snapshots.then(|| self.view.bag().clone()),
-        });
+        self.core.end_sweep(net.now());
+        self.core.record_batch(active.consumed.len());
+        self.sink.install(
+            &mut self.core.metrics,
+            &final_bag,
+            &active.consumed,
+            net.now(),
+        )?;
         self.active = None;
         self.start_next(net)
     }
 
-    fn on_answer(
+    fn answer(
         &mut self,
         net: &mut dyn NetHandle<Message>,
         qid: u64,
@@ -294,49 +209,74 @@ impl NestedSweep {
             }
         }
         let (_, j, side, temp, hop) = top.pending.take().expect("checked above");
-        self.obs.span_end(hop, net.now());
+        self.core.end_hop(hop, net.now());
         top.dv = partial;
         let depth = active.stack.len();
         let top = active.stack.last_mut().expect("active implies frames");
 
-        if self.queue.has_from_source(j) {
+        if self.core.queue.has_from_source(j) {
             let depth_ok = self.opts.max_depth.is_none_or(|d| depth < d);
             if depth_ok {
                 // Figure 6: remove, compensate, recurse.
-                let (merged, infos) = self.queue.take_from_source(j);
-                let err = extend_partial(&self.view_def, &temp, &merged, side)?;
-                top.dv.bag.subtract(&err.bag);
-                self.metrics.local_compensations += 1;
-                self.obs.add("nested_sweep.compensations", 1);
-                self.obs.add("nested_sweep.recursions", 1);
+                let (merged, infos) = self
+                    .core
+                    .compensate_consuming(&mut top.dv, &temp, j, side)?
+                    .expect("has_from_source checked above");
+                self.core.obs.add("nested_sweep.recursions", 1);
                 active.consumed.extend(infos);
                 let (left, source, right) = match side {
                     JoinSide::Left => (j, j, top.source),
                     JoinSide::Right => (top.left, j, j),
                 };
-                let child = Frame::new(&self.view_def, source, left, right, &merged)?;
+                let child = Frame::new(&self.core.view, source, left, right, &merged)?;
                 active.stack.push(child);
-                self.metrics.max_recursion_depth = self
+                self.core.metrics.max_recursion_depth = self
+                    .core
                     .metrics
                     .max_recursion_depth
                     .max(active.stack.len() as u64);
             } else {
                 // Forced termination: SWEEP-style compensation, update
                 // stays queued for its own (bounded) round later.
-                let merged = self.queue.merged_from_source(j);
-                let err = extend_partial(&self.view_def, &temp, &merged, side)?;
-                top.dv.bag.subtract(&err.bag);
-                self.metrics.local_compensations += 1;
-                self.metrics.depth_bound_hits += 1;
-                self.obs.add("nested_sweep.compensations", 1);
-                self.obs.add("nested_sweep.depth_bound_hits", 1);
+                self.core.compensate(&mut top.dv, &temp, j, side)?;
+                self.core.metrics.depth_bound_hits += 1;
+                self.core.obs.add("nested_sweep.depth_bound_hits", 1);
             }
         }
-        self.obs
+        self.core
+            .obs
             .observe("nested_sweep.depth", active.stack.len() as u64);
 
         self.pump(net, &mut active)?;
         self.finish_or_park(net, active)
+    }
+}
+
+impl SweepPolicy for NestedSweep {
+    type Err = WarehouseError;
+
+    fn name(&self) -> &'static str {
+        "nested-sweep"
+    }
+
+    fn core(&mut self) -> &mut EngineCore {
+        &mut self.core
+    }
+
+    fn kick(&mut self, net: &mut dyn NetHandle<Message>) -> Result<(), WarehouseError> {
+        if self.active.is_none() {
+            self.start_next(net)?;
+        }
+        Ok(())
+    }
+
+    fn on_answer(
+        &mut self,
+        qid: u64,
+        partial: PartialDelta,
+        net: &mut dyn NetHandle<Message>,
+    ) -> Result<(), WarehouseError> {
+        self.answer(net, qid, partial)
     }
 }
 
@@ -350,55 +290,38 @@ impl MaintenancePolicy for NestedSweep {
         delivery: Delivery<Message>,
         net: &mut dyn NetHandle<Message>,
     ) -> Result<(), WarehouseError> {
-        match delivery.msg {
-            Message::Update(u) => {
-                self.metrics.updates_received += 1;
-                self.queue.push(u, delivery.at);
-                if self.active.is_none() {
-                    self.start_next(net)?;
-                }
-                Ok(())
-            }
-            Message::SweepAnswer(a) => {
-                self.metrics.answers_received += 1;
-                self.on_answer(net, a.qid, a.partial)
-            }
-            other => Err(WarehouseError::UnexpectedMessage {
-                policy: self.name(),
-                label: dw_simnet::Payload::label(&other),
-            }),
-        }
+        dispatch(self, delivery, net)
     }
 
     fn view(&self) -> &Bag {
-        self.view.bag()
+        self.sink.bag()
     }
 
     fn installs(&self) -> &[InstallRecord] {
-        &self.install_log
+        self.sink.log()
     }
 
     fn metrics(&self) -> &PolicyMetrics {
-        &self.metrics
+        &self.core.metrics
     }
 
     fn is_quiescent(&self) -> bool {
-        self.active.is_none() && self.queue.is_empty()
+        self.active.is_none() && self.core.queue.is_empty()
     }
 
     fn set_record_snapshots(&mut self, record: bool) {
-        self.record_snapshots = record;
+        self.sink.record_snapshots = record;
     }
 
     fn set_observer(&mut self, obs: Obs) {
-        self.obs = obs;
+        self.core.set_observer(obs);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dw_protocol::{SourceUpdate, SweepAnswer};
+    use dw_protocol::{source_node, SourceUpdate, SweepAnswer, WAREHOUSE_NODE};
     use dw_relational::{tup, Schema, ViewDefBuilder};
     use dw_simnet::{Network, ENV};
 
@@ -604,7 +527,7 @@ mod tests {
         // Depth bound: no recursion, update still queued.
         assert_eq!(wh.depth(), 1);
         assert_eq!(wh.metrics().depth_bound_hits, 1);
-        assert!(!wh.queue.is_empty());
+        assert!(!wh.core.queue.is_empty());
     }
 
     #[test]

@@ -138,6 +138,7 @@ impl PipelinedSweep {
                 qid,
                 partial: flight.dv.clone(),
                 side: flight.side,
+                batch: 1,
             }),
         );
         self.flights.insert(qid, flight);

@@ -137,6 +137,7 @@ impl Strobe {
                 qid,
                 partial: pd.clone(),
                 side,
+                batch: 1,
             }),
         );
         qid

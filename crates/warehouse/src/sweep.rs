@@ -23,46 +23,38 @@
 //! * `short_circuit_empty` — when the partial `ΔV` becomes empty the final
 //!   view change is necessarily empty, so remaining queries are skipped.
 //!   (Off by default: the paper always completes the sweep.)
+//!
+//! The mechanism — query plumbing, hop spans, compensation, install —
+//! lives in [`dw_engine`]; this module is the *strategy*: the
+//! one-update-at-a-time state machine plus the global-transaction hold
+//! logic, driving an [`EngineCore`] through the [`SweepPolicy`] hook.
 
 use crate::error::WarehouseError;
 use crate::install::InstallRecord;
 use crate::metrics::PolicyMetrics;
 use crate::policy::MaintenancePolicy;
-use crate::queue::{PendingUpdate, UpdateQueue};
-use crate::view::MaterializedView;
-use dw_obs::{Obs, SpanId};
-use dw_protocol::{source_node, GlobalPart, Message, SweepQuery, UpdateId, WAREHOUSE_NODE};
-use dw_relational::{extend_partial, Bag, JoinSide, PartialDelta, Tuple, Value, ViewDef};
+use crate::queue::PendingUpdate;
+pub use dw_engine::SweepOptions;
+use dw_engine::{
+    dispatch, merge_pivot, support, EngineCore, InstallSink, Leg, LegSlot, SpanLabels, SweepPolicy,
+};
+use dw_obs::Obs;
+use dw_protocol::{GlobalPart, Message, SourceUpdate, UpdateId};
+use dw_relational::{Bag, JoinSide, PartialDelta};
 use dw_simnet::{Delivery, NetHandle, Time};
 use std::collections::HashMap;
 
-/// Tunables for the SWEEP policy.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct SweepOptions {
-    /// Run the left and right sweeps in parallel (§5.3).
-    pub parallel: bool,
-    /// Stop querying once the in-flight `ΔV` is empty.
-    pub short_circuit_empty: bool,
-}
+/// SWEEP's historical trace vocabulary, emitted by the engine on the
+/// adapter's behalf.
+const LABELS: SpanLabels = SpanLabels {
+    sweep: "sweep",
+    hop: "sweep.hop",
+    compensations: "sweep.compensations",
+    query_rows: Some("sweep.query_rows"),
+    comp_rows: Some("sweep.comp_rows"),
+    query_counter: None,
+};
 
-/// One in-flight directional sweep (used by both modes).
-#[derive(Clone, Debug)]
-struct Leg {
-    /// Current partial view change.
-    dv: PartialDelta,
-    /// `TempView`: the partial as it was when the pending query was sent.
-    temp: PartialDelta,
-    /// Query id awaited.
-    qid: u64,
-    /// Source the query went to.
-    j: usize,
-    /// Direction of this leg.
-    side: JoinSide,
-    /// Open `sweep.hop` span for the in-flight query round-trip.
-    hop: SpanId,
-}
-
-#[derive(Clone, Debug)]
 enum State {
     Idle,
     /// Sequential: one leg at a time, left phase then right phase.
@@ -82,24 +74,11 @@ enum State {
     },
 }
 
-#[derive(Clone, Debug)]
-enum LegSlot {
-    /// Still querying.
-    Running(Leg),
-    /// Finished with this partial.
-    Done(PartialDelta),
-}
-
 /// The SWEEP warehouse policy.
 pub struct Sweep {
-    view_def: ViewDef,
-    view: MaterializedView,
-    queue: UpdateQueue,
-    metrics: PolicyMetrics,
-    install_log: Vec<InstallRecord>,
-    record_snapshots: bool,
+    core: EngineCore,
+    sink: InstallSink,
     opts: SweepOptions,
-    next_qid: u64,
     state: State,
     /// Global-transaction tags of queued/processing updates (type 3).
     global_tags: HashMap<UpdateId, GlobalPart>,
@@ -108,42 +87,34 @@ pub struct Sweep {
     /// Finalized view changes buffered while a global transaction is
     /// incomplete — flushed as one atomic install.
     hold: Option<Hold>,
-    /// Observability handle (no-op unless a recorder is attached).
-    obs: Obs,
-    /// Open `sweep` span for the update currently being processed.
-    cur_span: SpanId,
 }
 
 #[derive(Debug, Default)]
 struct Hold {
     accum: Bag,
-    consumed: Vec<(UpdateId, dw_simnet::Time)>,
+    consumed: Vec<(UpdateId, Time)>,
 }
 
 impl Sweep {
     /// Create the policy over `view_def` with the correct initial view.
-    pub fn new(view_def: ViewDef, initial_view: Bag) -> Result<Self, WarehouseError> {
+    pub fn new(
+        view_def: dw_relational::ViewDef,
+        initial_view: Bag,
+    ) -> Result<Self, WarehouseError> {
         Ok(Sweep {
-            view_def,
-            view: MaterializedView::new(initial_view)?,
-            queue: UpdateQueue::new(),
-            metrics: PolicyMetrics::default(),
-            install_log: Vec::new(),
-            record_snapshots: true,
+            core: EngineCore::new(view_def, LABELS),
+            sink: InstallSink::new(initial_view)?,
             opts: SweepOptions::default(),
-            next_qid: 0,
             state: State::Idle,
             global_tags: HashMap::new(),
             pending_globals: HashMap::new(),
             hold: None,
-            obs: Obs::off(),
-            cur_span: SpanId::NONE,
         })
     }
 
     /// Create with explicit options.
     pub fn with_options(
-        view_def: ViewDef,
+        view_def: dw_relational::ViewDef,
         initial_view: Bag,
         opts: SweepOptions,
     ) -> Result<Self, WarehouseError> {
@@ -154,60 +125,25 @@ impl Sweep {
 
     /// Pending update queue length (observability hook).
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
-    }
-
-    fn n(&self) -> usize {
-        self.view_def.num_relations()
-    }
-
-    /// Send one source query; opens a `sweep.hop` span covering the query
-    /// round-trip (closed when the answer is consumed).
-    fn send_query(
-        &mut self,
-        net: &mut dyn NetHandle<Message>,
-        dv: &PartialDelta,
-        j: usize,
-        side: JoinSide,
-    ) -> (u64, SpanId) {
-        let qid = self.next_qid;
-        self.next_qid += 1;
-        self.metrics.queries_sent += 1;
-        let hop = self.obs.span_start("sweep.hop", net.now(), self.cur_span);
-        self.obs
-            .observe("sweep.query_rows", dv.bag.distinct_len() as u64);
-        net.send(
-            WAREHOUSE_NODE,
-            source_node(j),
-            Message::SweepQuery(SweepQuery {
-                qid,
-                partial: dv.clone(),
-                side,
-            }),
-        );
-        (qid, hop)
-    }
-
-    /// The support of a delta: every distinct tuple at multiplicity `+1`.
-    fn support(bag: &Bag) -> Bag {
-        Bag::from_pairs(bag.iter().map(|(t, _)| (t.clone(), 1)))
+        self.core.queue.len()
     }
 
     /// Begin the view change for the queue head.
     fn start_next(&mut self, net: &mut dyn NetHandle<Message>) -> Result<(), WarehouseError> {
-        let Some(PendingUpdate { update, arrived_at }) = self.queue.pop() else {
+        let Some(PendingUpdate { update, arrived_at }) = self.core.queue.pop() else {
             self.state = State::Idle;
             return Ok(());
         };
         let i = update.id.source;
-        self.cur_span = self.obs.span_start("sweep", net.now(), SpanId::NONE);
-        self.obs
+        self.core.begin_sweep(net.now());
+        self.core
+            .obs
             .observe("sweep.delta_rows", update.delta.distinct_len() as u64);
-        let seeded = PartialDelta::seed(&self.view_def, i, &update.delta)?;
+        let seeded = PartialDelta::seed(&self.core.view, i, &update.delta)?;
 
         // Degenerate chains and filtered-out updates need no queries.
-        if self.n() == 1 {
-            let final_bag = seeded.finalize(&self.view_def)?;
+        if self.core.n() == 1 {
+            let final_bag = seeded.finalize(&self.core.view)?;
             return self.install(net, update.id, arrived_at, final_bag);
         }
         if self.opts.short_circuit_empty && seeded.bag.is_empty() {
@@ -215,39 +151,24 @@ impl Sweep {
         }
 
         let has_left = i > 0;
-        let has_right = i + 1 < self.n();
+        let has_right = i + 1 < self.core.n();
 
         if self.opts.parallel && has_left && has_right {
             // Left leg carries the true delta; right leg carries the
             // support so multiplicities are counted once at merge time.
-            let left_dv = seeded.clone();
             let right_dv = PartialDelta {
                 lo: i,
                 hi: i,
-                bag: Self::support(&seeded.bag),
+                bag: support(&seeded.bag),
             };
-            let (lqid, lhop) = self.send_query(net, &left_dv, i - 1, JoinSide::Left);
-            let (rqid, rhop) = self.send_query(net, &right_dv, i + 1, JoinSide::Right);
+            let left = Leg::launch(&mut self.core, net, seeded, i - 1, JoinSide::Left);
+            let right = Leg::launch(&mut self.core, net, right_dv, i + 1, JoinSide::Right);
             self.state = State::Par {
                 upd: update.id,
                 delivered_at: arrived_at,
                 i,
-                left: LegSlot::Running(Leg {
-                    temp: left_dv.clone(),
-                    dv: left_dv,
-                    qid: lqid,
-                    j: i - 1,
-                    side: JoinSide::Left,
-                    hop: lhop,
-                }),
-                right: LegSlot::Running(Leg {
-                    temp: right_dv.clone(),
-                    dv: right_dv,
-                    qid: rqid,
-                    j: i + 1,
-                    side: JoinSide::Right,
-                    hop: rhop,
-                }),
+                left: LegSlot::Running(left),
+                right: LegSlot::Running(right),
             };
             return Ok(());
         }
@@ -258,42 +179,13 @@ impl Sweep {
         } else {
             (i + 1, JoinSide::Right)
         };
-        let (qid, hop) = self.send_query(net, &seeded, j, side);
+        let leg = Leg::launch(&mut self.core, net, seeded, j, side);
         self.state = State::Seq {
             upd: update.id,
             delivered_at: arrived_at,
             i,
-            leg: Leg {
-                temp: seeded.clone(),
-                dv: seeded,
-                qid,
-                j,
-                side,
-                hop,
-            },
+            leg,
         };
-        Ok(())
-    }
-
-    /// Local on-line error correction (§4): subtract
-    /// `ΔR_j ⋈ TempView` for every queued concurrent update from `j`.
-    fn compensate(
-        &mut self,
-        dv: &mut PartialDelta,
-        temp: &PartialDelta,
-        j: usize,
-        side: JoinSide,
-    ) -> Result<(), WarehouseError> {
-        let merged = self.queue.merged_from_source(j);
-        if merged.is_empty() {
-            return Ok(());
-        }
-        let err = extend_partial(&self.view_def, temp, &merged, side)?;
-        dv.bag.subtract(&err.bag);
-        self.metrics.local_compensations += 1;
-        self.obs.add("sweep.compensations", 1);
-        self.obs
-            .observe("sweep.comp_rows", err.bag.distinct_len() as u64);
         Ok(())
     }
 
@@ -304,10 +196,11 @@ impl Sweep {
         delivered_at: Time,
         final_bag: Bag,
     ) -> Result<(), WarehouseError> {
-        self.obs
+        self.core
+            .obs
             .observe("sweep.install_rows", final_bag.distinct_len() as u64);
-        self.obs.span_end(self.cur_span, net.now());
-        self.cur_span = SpanId::NONE;
+        self.core.end_sweep(net.now());
+        self.core.record_batch(1);
         // Global-transaction bookkeeping (type 3 updates, per the paper's
         // §2 pointer to [ZGMW96]): a part's view change is computed like
         // any other update's, but installs are *held* until every part of
@@ -327,35 +220,27 @@ impl Sweep {
             hold.consumed.push((upd, delivered_at));
             if !must_hold {
                 let hold = self.hold.take().expect("just inserted");
-                self.view.install(&hold.accum)?;
-                self.metrics.installs += 1;
-                let now = net.now();
-                for &(_, d) in &hold.consumed {
-                    self.metrics.record_staleness(d, now);
-                }
-                self.install_log.push(InstallRecord {
-                    at: now,
-                    consumed: hold.consumed.iter().map(|&(id, _)| id).collect(),
-                    view_after: self.record_snapshots.then(|| self.view.bag().clone()),
-                });
+                self.sink.install(
+                    &mut self.core.metrics,
+                    &hold.accum,
+                    &hold.consumed,
+                    net.now(),
+                )?;
             }
         } else {
-            self.view.install(&final_bag)?;
-            self.metrics.installs += 1;
-            self.metrics.record_staleness(delivered_at, net.now());
-            self.install_log.push(InstallRecord {
-                at: net.now(),
-                consumed: vec![upd],
-                view_after: self.record_snapshots.then(|| self.view.bag().clone()),
-            });
+            self.sink.install(
+                &mut self.core.metrics,
+                &final_bag,
+                &[(upd, delivered_at)],
+                net.now(),
+            )?;
         }
         self.state = State::Idle;
         // Immediately begin the next queued update (no quiescence needed).
         self.start_next(net)
     }
 
-    /// Handle an answer in sequential mode. Returns the final bag when the
-    /// whole sweep is complete.
+    /// Handle an answer in sequential mode.
     fn seq_answer(
         &mut self,
         net: &mut dyn NetHandle<Message>,
@@ -370,11 +255,11 @@ impl Sweep {
         else {
             unreachable!("seq_answer outside Seq state");
         };
-        self.obs.span_end(leg.hop, net.now());
+        self.core.end_hop(leg.hop, net.now());
         leg.dv = partial;
         let (j, side) = (leg.j, leg.side);
         let temp = leg.temp.clone();
-        self.compensate(&mut leg.dv, &temp, j, side)?;
+        self.core.compensate(&mut leg.dv, &temp, j, side)?;
 
         if self.opts.short_circuit_empty && leg.dv.bag.is_empty() {
             return self.install(net, upd, delivered_at, Bag::new());
@@ -383,19 +268,14 @@ impl Sweep {
         // Advance the sweep: continue left, then switch to right, then done.
         let next = match side {
             JoinSide::Left if j > 0 => Some((j - 1, JoinSide::Left)),
-            JoinSide::Left if i + 1 < self.n() => Some((i + 1, JoinSide::Right)),
+            JoinSide::Left if i + 1 < self.core.n() => Some((i + 1, JoinSide::Right)),
             JoinSide::Left => None,
-            JoinSide::Right if j + 1 < self.n() => Some((j + 1, JoinSide::Right)),
+            JoinSide::Right if j + 1 < self.core.n() => Some((j + 1, JoinSide::Right)),
             JoinSide::Right => None,
         };
         match next {
             Some((nj, nside)) => {
-                leg.temp = leg.dv.clone();
-                let (qid, hop) = self.send_query(net, &leg.dv, nj, nside);
-                leg.qid = qid;
-                leg.hop = hop;
-                leg.j = nj;
-                leg.side = nside;
+                leg.advance(&mut self.core, net, nj, nside);
                 self.state = State::Seq {
                     upd,
                     delivered_at,
@@ -405,7 +285,7 @@ impl Sweep {
                 Ok(())
             }
             None => {
-                let final_bag = leg.dv.finalize(&self.view_def)?;
+                let final_bag = leg.dv.finalize(&self.core.view)?;
                 self.install(net, upd, delivered_at, final_bag)
             }
         }
@@ -448,26 +328,21 @@ impl Sweep {
         else {
             unreachable!()
         };
-        self.obs.span_end(leg.hop, net.now());
+        self.core.end_hop(leg.hop, net.now());
         leg.dv = partial;
         let (j, side) = (leg.j, leg.side);
         let temp = leg.temp.clone();
-        self.compensate(&mut leg.dv, &temp, j, side)?;
+        self.core.compensate(&mut leg.dv, &temp, j, side)?;
         // Advance this leg only.
         let next = match side {
             JoinSide::Left if j > 0 => Some(j - 1),
             JoinSide::Left => None,
-            JoinSide::Right if j + 1 < self.n() => Some(j + 1),
+            JoinSide::Right if j + 1 < self.core.n() => Some(j + 1),
             JoinSide::Right => None,
         };
         match next {
             Some(nj) => {
-                leg.temp = leg.dv.clone();
-                let dv = leg.dv.clone();
-                let (qid, hop) = self.send_query(net, &dv, nj, side);
-                leg.qid = qid;
-                leg.hop = hop;
-                leg.j = nj;
+                leg.advance(&mut self.core, net, nj, side);
                 let slot_ref = if use_left { &mut left } else { &mut right };
                 *slot_ref = LegSlot::Running(leg);
             }
@@ -478,8 +353,10 @@ impl Sweep {
         }
 
         if let (LegSlot::Done(l), LegSlot::Done(r)) = (&left, &right) {
-            let merged = merge_parallel(&self.view_def, i, l, r)?;
-            let final_bag = merged.finalize(&self.view_def)?;
+            // §5.3's merge is the span-generalized pivot merge with the
+            // pivot at the updated relation.
+            let merged = merge_pivot(&self.core.view, i, l, r);
+            let final_bag = merged.finalize(&self.core.view)?;
             return self.install(net, upd, delivered_at, final_bag);
         }
         self.state = State::Par {
@@ -493,44 +370,48 @@ impl Sweep {
     }
 }
 
-/// Merge the two halves of a parallel sweep (§5.3:
-/// `ΔV = ΔV_left ⋈ ΔV_right`): equate the shared `ΔR_i` columns and glue.
-/// The left half covers `[0..=i]` with true multiplicities; the right half
-/// covers `[i..=n-1]` seeded from the support, so the product of counts is
-/// the correct multiplicity.
-fn merge_parallel(
-    view: &ViewDef,
-    i: usize,
-    left: &PartialDelta,
-    right: &PartialDelta,
-) -> Result<PartialDelta, WarehouseError> {
-    debug_assert_eq!((left.lo, left.hi), (0, i));
-    debug_assert_eq!((right.lo, right.hi), (i, view.num_relations() - 1));
-    let w_i = view.schema(i).arity();
-    let left_width: usize = (0..=i).map(|k| view.schema(k).arity()).sum();
-    let shared_off = left_width - w_i;
+impl SweepPolicy for Sweep {
+    type Err = WarehouseError;
 
-    use std::collections::HashMap;
-    let mut by_key: HashMap<Vec<Value>, Vec<(&Tuple, i64)>> = HashMap::new();
-    for (t, c) in right.bag.iter() {
-        let key: Vec<Value> = (0..w_i).map(|k| t.at(k).clone()).collect();
-        by_key.entry(key).or_default().push((t, c));
+    fn name(&self) -> &'static str {
+        "sweep"
     }
-    let mut out = Bag::new();
-    for (lt, lc) in left.bag.iter() {
-        let key: Vec<Value> = (0..w_i).map(|k| lt.at(shared_off + k).clone()).collect();
-        if let Some(matches) = by_key.get(&key) {
-            for &(rt, rc) in matches {
-                let tail = Tuple::new(rt.values()[w_i..].to_vec());
-                out.add(lt.concat(&tail), lc * rc);
+
+    fn core(&mut self) -> &mut EngineCore {
+        &mut self.core
+    }
+
+    fn note_update(&mut self, u: &SourceUpdate) -> Result<(), WarehouseError> {
+        if let Some(g) = u.global {
+            self.global_tags.insert(u.id, g);
+        }
+        Ok(())
+    }
+
+    fn kick(&mut self, net: &mut dyn NetHandle<Message>) -> Result<(), WarehouseError> {
+        if matches!(self.state, State::Idle) {
+            self.start_next(net)?;
+        }
+        Ok(())
+    }
+
+    fn on_answer(
+        &mut self,
+        qid: u64,
+        partial: PartialDelta,
+        net: &mut dyn NetHandle<Message>,
+    ) -> Result<(), WarehouseError> {
+        match &self.state {
+            State::Seq { leg, .. } => {
+                if leg.qid != qid {
+                    return Err(WarehouseError::UnknownQuery { qid });
+                }
+                self.seq_answer(net, partial)
             }
+            State::Par { .. } => self.par_answer(net, qid, partial),
+            State::Idle => Err(WarehouseError::UnknownQuery { qid }),
         }
     }
-    Ok(PartialDelta {
-        lo: 0,
-        hi: view.num_relations() - 1,
-        bag: out,
-    })
 }
 
 impl MaintenancePolicy for Sweep {
@@ -543,71 +424,42 @@ impl MaintenancePolicy for Sweep {
         delivery: Delivery<Message>,
         net: &mut dyn NetHandle<Message>,
     ) -> Result<(), WarehouseError> {
-        match delivery.msg {
-            Message::Update(u) => {
-                self.metrics.updates_received += 1;
-                if let Some(g) = u.global {
-                    self.global_tags.insert(u.id, g);
-                }
-                self.queue.push(u, delivery.at);
-                if matches!(self.state, State::Idle) {
-                    self.start_next(net)?;
-                }
-                Ok(())
-            }
-            Message::SweepAnswer(a) => {
-                self.metrics.answers_received += 1;
-                match &self.state {
-                    State::Seq { leg, .. } => {
-                        if leg.qid != a.qid {
-                            return Err(WarehouseError::UnknownQuery { qid: a.qid });
-                        }
-                        self.seq_answer(net, a.partial)
-                    }
-                    State::Par { .. } => self.par_answer(net, a.qid, a.partial),
-                    State::Idle => Err(WarehouseError::UnknownQuery { qid: a.qid }),
-                }
-            }
-            other => Err(WarehouseError::UnexpectedMessage {
-                policy: self.name(),
-                label: dw_simnet::Payload::label(&other),
-            }),
-        }
+        dispatch(self, delivery, net)
     }
 
     fn view(&self) -> &Bag {
-        self.view.bag()
+        self.sink.bag()
     }
 
     fn installs(&self) -> &[InstallRecord] {
-        &self.install_log
+        self.sink.log()
     }
 
     fn metrics(&self) -> &PolicyMetrics {
-        &self.metrics
+        &self.core.metrics
     }
 
     fn is_quiescent(&self) -> bool {
         matches!(self.state, State::Idle)
-            && self.queue.is_empty()
+            && self.core.queue.is_empty()
             && self.hold.is_none()
             && self.pending_globals.is_empty()
     }
 
     fn set_record_snapshots(&mut self, record: bool) {
-        self.record_snapshots = record;
+        self.sink.record_snapshots = record;
     }
 
     fn set_observer(&mut self, obs: Obs) {
-        self.obs = obs;
+        self.core.set_observer(obs);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dw_protocol::{SourceUpdate, SweepAnswer};
-    use dw_relational::{tup, Schema, ViewDefBuilder};
+    use dw_protocol::{source_node, SweepAnswer, WAREHOUSE_NODE};
+    use dw_relational::{tup, Schema, ViewDef, ViewDefBuilder};
     use dw_simnet::{Network, ENV};
 
     fn paper_view() -> ViewDef {

@@ -45,6 +45,7 @@
 //! | [`protocol`] | `dw-protocol` | source ↔ warehouse messages |
 //! | [`source`] | `dw-source` | the update & query server (paper Fig. 3) |
 //! | [`warehouse`] | `dw-warehouse` | SWEEP, Nested SWEEP, ECA, Strobe, C-strobe, Recompute |
+//! | [`engine`] | `dw-engine` | the one transport-blind sweep loop every executor adapts |
 //! | [`consistency`] | `dw-consistency` | ground truth + classification |
 //! | [`workload`] | `dw-workload` | scenario/stream generators |
 //! | [`multiview`] | `dw-multiview` | view registry + shared-sweep scheduler |
@@ -55,6 +56,7 @@
 
 pub use dw_consistency as consistency;
 pub use dw_core as core;
+pub use dw_engine as engine;
 pub use dw_livenet as livenet;
 pub use dw_multiview as multiview;
 pub use dw_protocol as protocol;

@@ -339,6 +339,50 @@ fn multiview_shared_sweep_converges_on_fault_schedules() {
     }
 }
 
+/// Cross-update batching under hostile faults: the unified engine folding
+/// up to 4 queued same-source updates into one shared sweep must preserve
+/// every guarantee the unbatched scheduler has — drain, per-view
+/// convergence, mutual agreement, legal bags — on adversarial networks
+/// (drops, duplication, reordering, a source crash/restart) behind the
+/// reliability transport.
+#[test]
+fn multiview_batched_sweep_converges_on_fault_schedules() {
+    for case in 0..32u64 {
+        let mut r = Rng64::new(0xFE_0000 + case);
+        let cfg = fault_config(&mut r);
+        let plan = hostile_plan(&mut r, cfg.n_sources);
+        let mv = MultiViewConfig {
+            stream: cfg,
+            n_views: 1 + r.usize_below(3),
+            view_seed: r.next_u64(),
+            full_span: false,
+        };
+        let report = MultiViewExperiment::new(mv.generate().unwrap())
+            .batch(4)
+            .latency(LatencyModel::Constant(r.u64_in(500, 3_000)))
+            .seed(r.next_u64())
+            .faults(plan)
+            .transport_auto()
+            .run()
+            .unwrap();
+        assert!(report.quiescent, "case {case}");
+        for v in &report.views {
+            let c = v.consistency.as_ref().unwrap();
+            assert!(
+                c.level >= ConsistencyLevel::Convergent,
+                "case {case}: view {} got {}: {}",
+                v.name,
+                c.level,
+                c.detail
+            );
+            assert!(v.view.all_positive(), "case {case}: view {}", v.name);
+        }
+        if let Some(m) = &report.mutual {
+            assert!(m.final_agreement, "case {case}: {}", m.detail);
+        }
+    }
+}
+
 /// The scenario *generator* (dw-workload's FaultScenarioConfig) also only
 /// produces schedules the transport can survive.
 #[test]
