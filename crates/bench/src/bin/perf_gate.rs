@@ -1,11 +1,13 @@
-//! **The CI perf-regression gate.** Re-runs the E1/E6/E12/E14/E15
+//! **The CI perf-regression gate.** Re-runs the E1/E6/E12/E14/E15/E16
 //! scenarios in the same mode as the committed `BENCH_report.json` and
 //! diffs fresh against baseline (see `dw_bench::perf::gate` for the
 //! exact rules):
 //!
 //! * exact invariants — E6 messages/update on the `2(n−1)` line, E12
 //!   complete consistency, drained, logically pinned to `2(n−1)`, E15
-//!   batching on the exact `1 + ⌈(U−1)/k⌉` sweep schedule;
+//!   batching on the exact `1 + ⌈(U−1)/k⌉` sweep schedule, E16 σ
+//!   pushdown never inflating the answers (and visibly shrinking them
+//!   on the selective workload);
 //! * no consistency downgrades against the baseline;
 //! * no >25 % regressions on tracked ratios (messages/update, installs,
 //!   staleness p95, wire inflation).
@@ -29,7 +31,7 @@ fn main() {
 
     let smoke = baseline.mode == "smoke";
     println!(
-        "perf gate: re-running E1/E6/E12/E14/E15 in {} mode against {path}",
+        "perf gate: re-running E1/E6/E12/E14/E15/E16 in {} mode against {path}",
         baseline.mode
     );
     let fresh = perf::collect(smoke);

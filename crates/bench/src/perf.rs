@@ -1,11 +1,12 @@
 //! The perf-report / perf-gate pipeline.
 //!
-//! [`collect`] re-runs the five invariant-bearing experiments —
+//! [`collect`] re-runs the six invariant-bearing experiments —
 //! **E1** (Table 1 algorithm comparison), **E6** (SWEEP's `2(n−1)` message
 //! linearity), **E12** (reliable-FIFO earned under faults), **E14**
-//! (shared-sweep cost independent of view count) and **E15**
+//! (shared-sweep cost independent of view count), **E15**
 //! (cross-update batching amortizes the sweep over queued same-source
-//! updates) — and
+//! updates) and **E16** (σ query pushdown shrinks the answers selective
+//! views pull off the wire) — and
 //! condenses each into typed rows: messages per update, installs,
 //! staleness percentiles, consistency level, plus wall-clock per phase.
 //! The result serializes to `BENCH_report.json` (see [`crate::json`]),
@@ -21,7 +22,9 @@
 //!   view count) or whose naive baseline leaves `V·2(n−1)`, any E15 row
 //!   whose sweep count under a saturated same-source queue leaves the
 //!   exact `1 + ⌈(U−1)/k⌉` batching schedule or whose message cost rises
-//!   with the batch width;
+//!   with the batch width, any E16 row where pushdown ships *more*
+//!   answer bytes than the unpushed run, changes the query/answer hop
+//!   count, or fails to show a reduction on the selective workload;
 //! * **consistency downgrades** — a row whose verified consistency level
 //!   is weaker than the committed baseline's;
 //! * **>25 % regressions on tracked ratios** — messages/update and
@@ -35,15 +38,16 @@
 use crate::json::{self, Json};
 use dw_core::{Experiment, MultiViewExperiment, PolicyKind, RunReport};
 use dw_multiview::SchedulerMode;
+use dw_relational::{CmpOp, Value};
 use dw_simnet::{FaultPlan, LatencyModel, LinkFaults};
-use dw_workload::{MultiViewConfig, StreamConfig};
+use dw_workload::{MultiViewConfig, StreamConfig, ViewSpec};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// Schema version stamped into the report; bump when row fields change.
 /// v2 added the E14 multi-view block; v3 the E15 cross-update batching
-/// block.
-pub const SCHEMA_VERSION: u64 = 3;
+/// block; v4 the E16 σ-pushdown block.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Relative regression tolerance on tracked ratios (25 %).
 pub const RATIO_TOLERANCE: f64 = 0.25;
@@ -183,6 +187,48 @@ pub struct E15Row {
     pub stale_p99_us: u64,
 }
 
+/// One selectivity row of the E16 (σ query pushdown) phase.
+///
+/// Each row runs the *same* seeded multi-view scenario twice — pushdown
+/// off, then on — and compares the wire. Pushdown is a transport
+/// optimization, so the hop structure is pinned (identical query/answer
+/// message counts) and the answers can only shrink; on the selective
+/// workload they *must* shrink, and on the σ-free control the two runs
+/// must be byte-identical.
+#[derive(Clone, Debug, PartialEq)]
+pub struct E16Row {
+    /// Workload label: "none" (σ-free control), "keep-all" (a pushed σ
+    /// every tuple satisfies) or "selective" (σ keeps a small fraction).
+    pub label: String,
+    /// Number of data sources in the base chain.
+    pub n: u64,
+    /// Number of registered views.
+    pub views: u64,
+    /// Updates the warehouse processed.
+    pub updates: u64,
+    /// Query/answer messages without pushdown.
+    pub query_msgs_plain: u64,
+    /// Query/answer messages with pushdown — must equal the plain count.
+    pub query_msgs_pushed: u64,
+    /// Query bytes without pushdown.
+    pub query_bytes_plain: u64,
+    /// Query bytes with pushdown (partials shrink, predicates ride along).
+    pub query_bytes_pushed: u64,
+    /// Answer bytes without pushdown — the tuples-on-wire baseline.
+    pub answer_bytes_plain: u64,
+    /// Answer bytes with pushdown — never more than the plain run.
+    pub answer_bytes_pushed: u64,
+    /// `100·(plain − pushed)/plain` answer-byte reduction (0 when the
+    /// plain run shipped nothing).
+    pub answer_reduction_pct: f64,
+    /// Weakest per-view consistency level across *both* runs.
+    pub min_consistency: String,
+    /// Cross-view mutual consistency held in both runs.
+    pub mutual_agreement: bool,
+    /// Both runs drained to quiescence.
+    pub quiescent: bool,
+}
+
 /// The full report: one entry per phase plus host wall-clock timings.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PerfReport {
@@ -198,6 +244,8 @@ pub struct PerfReport {
     pub e14: Vec<E14Row>,
     /// E15 — cross-update batching rows.
     pub e15: Vec<E15Row>,
+    /// E16 — σ-pushdown rows.
+    pub e16: Vec<E16Row>,
     /// Host wall-clock per phase, milliseconds. Informational only.
     pub phase_wall_ms: Vec<(String, f64)>,
 }
@@ -210,7 +258,7 @@ fn stale_percentiles(report: &RunReport) -> (u64, u64, u64) {
     )
 }
 
-/// Run the E1/E6/E12/E14 scenarios and build the report.
+/// Run the E1–E16 scenarios and build the report.
 ///
 /// Smoke mode shrinks the workload (fewer sweep points, shorter streams)
 /// but keeps the scenario *shapes* — every invariant the gate enforces
@@ -238,6 +286,10 @@ pub fn collect(smoke: bool) -> PerfReport {
     let e15 = collect_e15(smoke);
     phase_wall_ms.push(("E15".to_string(), t0.elapsed().as_secs_f64() * 1e3));
 
+    let t0 = Instant::now();
+    let e16 = collect_e16(smoke);
+    phase_wall_ms.push(("E16".to_string(), t0.elapsed().as_secs_f64() * 1e3));
+
     PerfReport {
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         e1,
@@ -245,6 +297,7 @@ pub fn collect(smoke: bool) -> PerfReport {
         e12,
         e14,
         e15,
+        e16,
         phase_wall_ms,
     }
 }
@@ -528,6 +581,110 @@ pub fn burst_scenario(n: usize, updates: usize) -> dw_workload::MultiViewScenari
     scenario
 }
 
+/// E16 — σ query pushdown (`pushdown` binary's scenario). Each row runs
+/// the same seeded two-view workload with pushdown off and on. The hop
+/// structure is pinned — pushdown rewrites payloads, never the message
+/// count — so the comparison isolates bytes: the σ-free control must be
+/// byte-identical, a σ every tuple satisfies must leave the answers
+/// untouched, and the selective σ must visibly shrink them.
+fn collect_e16(smoke: bool) -> Vec<E16Row> {
+    let n = 4usize;
+    let views = 2usize;
+    let updates = crate::pick(smoke, 10, 25);
+    let cases: [(&str, Option<i64>); 3] = [
+        ("none", None),
+        ("keep-all", Some(0)),
+        ("selective", Some(7)),
+    ];
+    cases
+        .into_iter()
+        .map(|(label, threshold)| {
+            let scenario = selective_scenario(n, updates, views, threshold);
+            let plain = MultiViewExperiment::new(scenario.clone())
+                .latency(LatencyModel::Constant(2_000))
+                .run()
+                .unwrap();
+            let pushed = MultiViewExperiment::new(scenario)
+                .pushdown(true)
+                .latency(LatencyModel::Constant(2_000))
+                .run()
+                .unwrap();
+            let (pq, pa) = (plain.net.label("query"), plain.net.label("answer"));
+            let (uq, ua) = (pushed.net.label("query"), pushed.net.label("answer"));
+            let reduction = if pa.bytes == 0 {
+                0.0
+            } else {
+                100.0 * (pa.bytes - ua.bytes) as f64 / pa.bytes as f64
+            };
+            E16Row {
+                label: label.to_string(),
+                n: n as u64,
+                views: views as u64,
+                updates: plain.scheduler_metrics.updates_received,
+                query_msgs_plain: pq.messages + pa.messages,
+                query_msgs_pushed: uq.messages + ua.messages,
+                query_bytes_plain: pq.bytes,
+                query_bytes_pushed: uq.bytes,
+                answer_bytes_plain: pa.bytes,
+                answer_bytes_pushed: ua.bytes,
+                answer_reduction_pct: reduction,
+                min_consistency: plain
+                    .min_consistency()
+                    .min(pushed.min_consistency())
+                    .map(|l| l.to_string())
+                    .unwrap_or_default(),
+                mutual_agreement: plain.mutual.as_ref().is_some_and(|m| m.final_agreement)
+                    && pushed.mutual.as_ref().is_some_and(|m| m.final_agreement),
+                quiescent: plain.quiescent && pushed.quiescent,
+            }
+        })
+        .collect()
+}
+
+/// The E16 workload: `views` full-span SWEEP views over an `n`-source
+/// chain. With `threshold = Some(t)`, view `v` selects
+/// `B >= t + v` on *every* span relation — every relation carries a σ
+/// from every view, so the pushed predicate is the OR-union
+/// `B >= t ∨ B >= t+1 ∨ …` (= `B >= t`, join values live in
+/// `0..domain`). `None` leaves the views selection-free, the control
+/// where pushdown must be a wire no-op.
+pub fn selective_scenario(
+    n: usize,
+    updates: usize,
+    views: usize,
+    threshold: Option<i64>,
+) -> dw_workload::MultiViewScenario {
+    let cfg = MultiViewConfig {
+        stream: StreamConfig {
+            n_sources: n,
+            initial_per_source: 20,
+            updates,
+            mean_gap: 800,
+            domain: 10,
+            seed: 0xE16,
+            ..Default::default()
+        },
+        n_views: views,
+        view_seed: 0xE16,
+        full_span: true,
+    };
+    let mut scenario = cfg.generate().unwrap();
+    scenario.views = (0..views)
+        .map(|v| {
+            let mut spec = ViewSpec::full(format!("sel-{v}"), n);
+            if let Some(t) = threshold {
+                for k in 0..n {
+                    let attr = scenario.base.schema(k).arity() - 1;
+                    spec.selects
+                        .push((k, attr, CmpOp::Ge, Value::Int(t + v as i64)));
+                }
+            }
+            spec
+        })
+        .collect();
+    scenario
+}
+
 // ---------------------------------------------------------------- JSON
 
 impl PerfReport {
@@ -555,6 +712,10 @@ impl PerfReport {
             (
                 "e15_batching",
                 Json::Arr(self.e15.iter().map(e15_to_json).collect()),
+            ),
+            (
+                "e16_pushdown",
+                Json::Arr(self.e16.iter().map(e16_to_json).collect()),
             ),
             (
                 "phase_wall_ms",
@@ -619,6 +780,13 @@ impl PerfReport {
             .iter()
             .map(e15_from_json)
             .collect::<Result<_, _>>()?;
+        let e16 = doc
+            .get("e16_pushdown")
+            .and_then(Json::as_arr)
+            .ok_or("missing e16_pushdown")?
+            .iter()
+            .map(e16_from_json)
+            .collect::<Result<_, _>>()?;
         let phase_wall_ms = match doc.get("phase_wall_ms") {
             Some(Json::Obj(fields)) => fields
                 .iter()
@@ -637,6 +805,7 @@ impl PerfReport {
             e12,
             e14,
             e15,
+            e16,
             phase_wall_ms,
         })
     }
@@ -855,6 +1024,53 @@ fn e15_from_json(doc: &Json) -> Result<E15Row, String> {
     })
 }
 
+fn e16_to_json(r: &E16Row) -> Json {
+    Json::obj(vec![
+        ("label", Json::Str(r.label.clone())),
+        ("n", Json::Num(r.n as f64)),
+        ("views", Json::Num(r.views as f64)),
+        ("updates", Json::Num(r.updates as f64)),
+        ("query_msgs_plain", Json::Num(r.query_msgs_plain as f64)),
+        ("query_msgs_pushed", Json::Num(r.query_msgs_pushed as f64)),
+        ("query_bytes_plain", Json::Num(r.query_bytes_plain as f64)),
+        ("query_bytes_pushed", Json::Num(r.query_bytes_pushed as f64)),
+        ("answer_bytes_plain", Json::Num(r.answer_bytes_plain as f64)),
+        (
+            "answer_bytes_pushed",
+            Json::Num(r.answer_bytes_pushed as f64),
+        ),
+        ("answer_reduction_pct", Json::Num(r.answer_reduction_pct)),
+        ("min_consistency", Json::Str(r.min_consistency.clone())),
+        ("mutual_agreement", Json::Bool(r.mutual_agreement)),
+        ("quiescent", Json::Bool(r.quiescent)),
+    ])
+}
+
+fn e16_from_json(doc: &Json) -> Result<E16Row, String> {
+    Ok(E16Row {
+        label: string(doc, "label")?,
+        n: uint(doc, "n")?,
+        views: uint(doc, "views")?,
+        updates: uint(doc, "updates")?,
+        query_msgs_plain: uint(doc, "query_msgs_plain")?,
+        query_msgs_pushed: uint(doc, "query_msgs_pushed")?,
+        query_bytes_plain: uint(doc, "query_bytes_plain")?,
+        query_bytes_pushed: uint(doc, "query_bytes_pushed")?,
+        answer_bytes_plain: uint(doc, "answer_bytes_plain")?,
+        answer_bytes_pushed: uint(doc, "answer_bytes_pushed")?,
+        answer_reduction_pct: num(doc, "answer_reduction_pct")?,
+        min_consistency: string(doc, "min_consistency")?,
+        mutual_agreement: doc
+            .get("mutual_agreement")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool mutual_agreement")?,
+        quiescent: doc
+            .get("quiescent")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool quiescent")?,
+    })
+}
+
 // ---------------------------------------------------------------- gate
 
 fn level_rank(level: &str) -> i32 {
@@ -1048,6 +1264,77 @@ pub fn invariant_violations(report: &PerfReport) -> Vec<String> {
             ));
         }
     }
+    for row in &report.e16 {
+        if row.query_msgs_pushed != row.query_msgs_plain {
+            v.push(format!(
+                "E16 {}: pushdown changed the query/answer hop count ({} vs {}) — it must rewrite payloads, never the message structure",
+                row.label, row.query_msgs_pushed, row.query_msgs_plain
+            ));
+        }
+        if row.answer_bytes_pushed > row.answer_bytes_plain {
+            v.push(format!(
+                "E16 {}: pushdown shipped {} answer bytes vs {} unpushed — a pushed σ must never ship more tuples",
+                row.label, row.answer_bytes_pushed, row.answer_bytes_plain
+            ));
+        }
+        let expect_pct = if row.answer_bytes_plain == 0 {
+            0.0
+        } else {
+            100.0 * (row.answer_bytes_plain as f64 - row.answer_bytes_pushed as f64)
+                / row.answer_bytes_plain as f64
+        };
+        if (row.answer_reduction_pct - expect_pct).abs() > EXACT_EPS {
+            v.push(format!(
+                "E16 {}: recorded reduction {}% != {expect_pct}%",
+                row.label, row.answer_reduction_pct
+            ));
+        }
+        // σ-free views collapse the pushed predicate to True, which is
+        // never sent: the runs must be byte-identical.
+        if row.label == "none"
+            && (row.query_bytes_pushed != row.query_bytes_plain
+                || row.answer_bytes_pushed != row.answer_bytes_plain)
+        {
+            v.push(format!(
+                "E16 {}: σ-free control diverged on the wire (query {} vs {}, answer {} vs {})",
+                row.label,
+                row.query_bytes_pushed,
+                row.query_bytes_plain,
+                row.answer_bytes_pushed,
+                row.answer_bytes_plain
+            ));
+        }
+        // A σ every tuple satisfies rides the queries but filters
+        // nothing: the answers must not move.
+        if row.label == "keep-all" && row.answer_bytes_pushed != row.answer_bytes_plain {
+            v.push(format!(
+                "E16 {}: a σ every tuple satisfies changed the answers ({} vs {} bytes)",
+                row.label, row.answer_bytes_pushed, row.answer_bytes_plain
+            ));
+        }
+        // The headline: selective σ must show a measurable reduction.
+        if row.label == "selective" && row.answer_bytes_pushed >= row.answer_bytes_plain {
+            v.push(format!(
+                "E16 {}: no measurable reduction ({} vs {} answer bytes) — the pushed σ filtered nothing",
+                row.label, row.answer_bytes_pushed, row.answer_bytes_plain
+            ));
+        }
+        if level_rank(&row.min_consistency) < level_rank("strong") {
+            v.push(format!(
+                "E16 {}: weakest view consistency '{}' below 'strong'",
+                row.label, row.min_consistency
+            ));
+        }
+        if !row.mutual_agreement {
+            v.push(format!(
+                "E16 {}: views disagree on shared sources after drain",
+                row.label
+            ));
+        }
+        if !row.quiescent {
+            v.push(format!("E16 {}: a run did not drain", row.label));
+        }
+    }
     v
 }
 
@@ -1197,6 +1484,37 @@ pub fn gate(baseline: &PerfReport, fresh: &PerfReport) -> Vec<String> {
         );
     }
 
+    for base_row in &baseline.e16 {
+        let Some(row) = fresh.e16.iter().find(|r| r.label == base_row.label) else {
+            v.push(format!(
+                "E16: label '{}' missing from fresh report",
+                base_row.label
+            ));
+            continue;
+        };
+        let what = format!("E16 {}", row.label);
+        check_downgrade(
+            &mut v,
+            &what,
+            &base_row.min_consistency,
+            &row.min_consistency,
+        );
+        check_ratio(
+            &mut v,
+            &format!("{what} pushed answer bytes"),
+            base_row.answer_bytes_pushed as f64,
+            row.answer_bytes_pushed as f64,
+            true,
+        );
+        check_ratio(
+            &mut v,
+            &format!("{what} answer reduction"),
+            base_row.answer_reduction_pct,
+            row.answer_reduction_pct,
+            false,
+        );
+    }
+
     v
 }
 
@@ -1226,6 +1544,11 @@ pub struct InvariantDigest {
     pub e15_amortized: bool,
     /// Distinct weakest-view consistency levels across E15 rows.
     pub e15_levels: BTreeSet<String>,
+    /// Every E16 row keeps the hop count pinned and never inflates the
+    /// answers, and the selective row strictly shrinks them.
+    pub e16_reduced: bool,
+    /// Distinct weakest-view consistency levels across E16 rows.
+    pub e16_levels: BTreeSet<String>,
 }
 
 impl InvariantDigest {
@@ -1272,6 +1595,18 @@ impl InvariantDigest {
             }),
             e15_levels: report
                 .e15
+                .iter()
+                .map(|r| r.min_consistency.clone())
+                .collect(),
+            e16_reduced: report.e16.iter().all(|r| {
+                r.query_msgs_pushed == r.query_msgs_plain
+                    && r.answer_bytes_pushed <= r.answer_bytes_plain
+                    && (r.label != "selective" || r.answer_bytes_pushed < r.answer_bytes_plain)
+                    && r.mutual_agreement
+                    && r.quiescent
+            }),
+            e16_levels: report
+                .e16
                 .iter()
                 .map(|r| r.min_consistency.clone())
                 .collect(),
@@ -1386,6 +1721,40 @@ mod tests {
                     stale_p50_us: 60_000,
                     stale_p95_us: 120_000,
                     stale_p99_us: 130_000,
+                },
+            ],
+            e16: vec![
+                E16Row {
+                    label: "none".to_string(),
+                    n: 4,
+                    views: 2,
+                    updates: 10,
+                    query_msgs_plain: 60,
+                    query_msgs_pushed: 60,
+                    query_bytes_plain: 5_000,
+                    query_bytes_pushed: 5_000,
+                    answer_bytes_plain: 8_000,
+                    answer_bytes_pushed: 8_000,
+                    answer_reduction_pct: 0.0,
+                    min_consistency: "strong".to_string(),
+                    mutual_agreement: true,
+                    quiescent: true,
+                },
+                E16Row {
+                    label: "selective".to_string(),
+                    n: 4,
+                    views: 2,
+                    updates: 10,
+                    query_msgs_plain: 60,
+                    query_msgs_pushed: 60,
+                    query_bytes_plain: 5_000,
+                    query_bytes_pushed: 4_200,
+                    answer_bytes_plain: 8_000,
+                    answer_bytes_pushed: 3_000,
+                    answer_reduction_pct: 100.0 * 5_000.0 / 8_000.0,
+                    min_consistency: "strong".to_string(),
+                    mutual_agreement: true,
+                    quiescent: true,
                 },
             ],
             phase_wall_ms: vec![("E1".to_string(), 12.5)],
@@ -1564,6 +1933,79 @@ mod tests {
             violations
                 .iter()
                 .any(|v| v.contains("E15") && v.contains("missing")),
+            "expected a missing-row violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn pushdown_inflating_the_wire_fails_gate() {
+        // A regression that ships *more* tuples under pushdown — say the
+        // source stops filtering but the warehouse still pays the
+        // predicate bytes — must be caught against a healthy baseline.
+        let mut fresh = healthy();
+        fresh.e16[1].answer_bytes_pushed = 9_000;
+        fresh.e16[1].answer_reduction_pct = 100.0 * -1_000.0 / 8_000.0;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("must never ship more tuples")),
+            "expected an answer-inflation violation, got {violations:?}"
+        );
+
+        // Pushdown silently degrading to a no-op on the selective
+        // workload kills the headline reduction.
+        let mut fresh = healthy();
+        fresh.e16[1].answer_bytes_pushed = 8_000;
+        fresh.e16[1].query_bytes_pushed = 5_100;
+        fresh.e16[1].answer_reduction_pct = 0.0;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("no measurable reduction")),
+            "expected a no-reduction violation, got {violations:?}"
+        );
+
+        // Pushdown must never change the hop structure.
+        let mut fresh = healthy();
+        fresh.e16[1].query_msgs_pushed = 72;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("changed the query/answer hop count")),
+            "expected a hop-structure violation, got {violations:?}"
+        );
+
+        // The σ-free control must stay byte-identical in both directions.
+        let mut fresh = healthy();
+        fresh.e16[0].answer_bytes_pushed = 7_000;
+        fresh.e16[0].answer_reduction_pct = 100.0 * 1_000.0 / 8_000.0;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("σ-free control diverged")),
+            "expected a control-divergence violation, got {violations:?}"
+        );
+
+        // Filtered sweeps must not weaken the consistency floor.
+        let mut fresh = healthy();
+        fresh.e16[1].min_consistency = "convergent".to_string();
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations.iter().any(|v| v.contains("below 'strong'")),
+            "expected a consistency-floor violation, got {violations:?}"
+        );
+
+        let mut fresh = healthy();
+        fresh.e16.remove(1);
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("E16") && v.contains("missing")),
             "expected a missing-row violation, got {violations:?}"
         );
     }

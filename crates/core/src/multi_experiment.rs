@@ -75,6 +75,16 @@ impl MultiViewExperiment {
         self
     }
 
+    /// Push per-view selection predicates down to the sources: sweep
+    /// queries carry the affected views' σ over the target relation and
+    /// sources filter before joining, so only qualifying tuples travel
+    /// back. Final views and install sequences are identical either way;
+    /// the E16 experiment measures the tuples-on-wire reduction.
+    pub fn pushdown(mut self, on: bool) -> Self {
+        self.opts.pushdown = on;
+        self
+    }
+
     /// Attach an observability recorder (scheduler spans/counters, plus
     /// network and transport instrumentation).
     pub fn observe(mut self, obs: dw_obs::Obs) -> Self {

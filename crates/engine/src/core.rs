@@ -32,7 +32,9 @@ use crate::queue::UpdateQueue;
 use crate::view::MaterializedView;
 use dw_obs::{Obs, SpanId};
 use dw_protocol::{source_node, Message, SourceUpdate, SweepQuery, UpdateId, WAREHOUSE_NODE};
-use dw_relational::{extend_partial, Bag, JoinSide, PartialDelta, Tuple, Value, ViewDef};
+use dw_relational::{
+    extend_partial, Bag, JoinSide, PartialDelta, Predicate, Tuple, Value, ViewDef,
+};
 use dw_simnet::{Delivery, NetHandle, Time};
 use std::collections::HashMap;
 
@@ -95,6 +97,15 @@ pub struct EngineCore {
     /// many queued updates the current sweep services (1 unless
     /// cross-update batching folded more in).
     pub batch: u32,
+    /// Per-relation σ pushed to the sources for the *current* sweep,
+    /// indexed by chain position (empty when pushdown is off — the
+    /// default for every adapter that never sets it).
+    /// [`EngineCore::send_query`] attaches `push_preds[j]` to the
+    /// outgoing query, and both compensation paths apply the *same*
+    /// predicate to the queued `ΔR_j` — the error term must match what
+    /// the source actually answered with, or the subtraction removes
+    /// tuples the answer never contained.
+    pub push_preds: Vec<Option<Predicate>>,
     next_qid: u64,
 }
 
@@ -109,8 +120,14 @@ impl EngineCore {
             labels,
             cur_span: SpanId::NONE,
             batch: 1,
+            push_preds: Vec::new(),
             next_qid: 0,
         }
+    }
+
+    /// The σ pushed to source `j` in the current sweep, if any.
+    pub fn push_pred(&self, j: usize) -> Option<&Predicate> {
+        self.push_preds.get(j).and_then(|p| p.as_ref())
     }
 
     /// Chain length.
@@ -164,6 +181,7 @@ impl EngineCore {
                 partial: dv.clone(),
                 side,
                 batch: self.batch,
+                pred: self.push_pred(j).cloned(),
             }),
         );
         (qid, HopSpan { outer, inner })
@@ -186,7 +204,10 @@ impl EngineCore {
         j: usize,
         side: JoinSide,
     ) -> Result<(), WarehouseError> {
-        let merged = self.queue.merged_from_source(j);
+        let mut merged = self.queue.merged_from_source(j);
+        if let Some(pred) = self.push_pred(j) {
+            merged = merged.filter(|t| pred.eval(t));
+        }
         if merged.is_empty() {
             return Ok(());
         }
@@ -211,8 +232,20 @@ impl EngineCore {
             return Ok(None);
         }
         let (merged, infos) = self.queue.take_from_source(j);
-        let err = extend_partial(&self.view, temp, &merged, side)?;
-        self.apply_compensation(dv, &err);
+        // The error term sees the σ the source answered under; the
+        // *unfiltered* merged delta is what the caller folds into the
+        // composite change. When the interfering inserts and deletes
+        // cancel outright there is nothing to subtract — skip the join
+        // (no spurious compensation is accounted) but still hand the
+        // consumed ids back so they reach the install record.
+        let filtered = match self.push_pred(j) {
+            Some(pred) => merged.filter(|t| pred.eval(t)),
+            None => merged.clone(),
+        };
+        if !filtered.is_empty() {
+            let err = extend_partial(&self.view, temp, &filtered, side)?;
+            self.apply_compensation(dv, &err);
+        }
         Ok(Some((merged, infos)))
     }
 
@@ -612,6 +645,106 @@ mod tests {
             .compensate_consuming(&mut dv, &temp, 0, JoinSide::Left)
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn compensate_consuming_cancelling_pair_consumes_without_compensating() {
+        let mut core = EngineCore::new(chain3(), LABELS);
+        let temp =
+            PartialDelta::seed(&core.view.clone(), 1, &Bag::from_tuples([tup![3, 5]])).unwrap();
+        // Queued insert/delete of the same tuple cancel to an empty
+        // merged delta: nothing to subtract, no compensation accounted,
+        // but both ids must still come back for the install record.
+        core.queue.push(
+            SourceUpdate {
+                id: UpdateId { source: 0, seq: 0 },
+                delta: Bag::from_tuples([tup![2, 3]]),
+                global: None,
+            },
+            1,
+        );
+        core.queue.push(
+            SourceUpdate {
+                id: UpdateId { source: 0, seq: 1 },
+                delta: Bag::from_pairs([(tup![2, 3], -1)]),
+                global: None,
+            },
+            2,
+        );
+        let mut dv = PartialDelta {
+            lo: 0,
+            hi: 1,
+            bag: Bag::from_tuples([tup![1, 3, 3, 5], tup![2, 3, 3, 5]]),
+        };
+        let before = dv.bag.clone();
+        let (merged, infos) = core
+            .compensate_consuming(&mut dv, &temp, 0, JoinSide::Left)
+            .unwrap()
+            .expect("updates were queued");
+        assert!(merged.is_empty());
+        assert_eq!(infos.len(), 2);
+        assert_eq!(dv.bag, before, "empty merged delta must not touch dv");
+        assert_eq!(core.metrics.local_compensations, 0);
+        assert!(core.queue.is_empty());
+    }
+
+    #[test]
+    fn pushed_predicate_rides_the_query_and_filters_compensation() {
+        use dw_relational::{CmpOp, Predicate};
+        let mut net: Network<Message> = Network::new(0);
+        let mut core = EngineCore::new(chain3(), LABELS);
+        // σ_{B >= 3} pushed for R1 (chain position 0).
+        let sigma = Predicate::Cmp {
+            attr: 1,
+            op: CmpOp::Ge,
+            value: Value::Int(3),
+        };
+        core.push_preds = vec![Some(sigma.clone()), None, None];
+        let dv =
+            PartialDelta::seed(&core.view.clone(), 1, &Bag::from_tuples([tup![3, 5]])).unwrap();
+        let (_, _) = core.send_query(&mut net, &dv, 0, JoinSide::Left);
+        let Message::SweepQuery(q) = net.next().unwrap().msg else {
+            panic!()
+        };
+        assert_eq!(q.pred, Some(sigma));
+        // Queried source 1 instead would carry no predicate.
+        let (_, _) = core.send_query(&mut net, &dv, 1, JoinSide::Right);
+        let Message::SweepQuery(q) = net.next().unwrap().msg else {
+            panic!()
+        };
+        assert_eq!(q.pred, None);
+
+        // Compensation symmetry: a queued ΔR1 tuple failing the pushed σ
+        // must NOT be subtracted — the filtered source answer never
+        // contained its extensions.
+        let temp = dv.clone();
+        core.queue.push(
+            SourceUpdate {
+                id: UpdateId { source: 0, seq: 0 },
+                delta: Bag::from_tuples([tup![2, 2]]), // B=2 fails σ
+                global: None,
+            },
+            0,
+        );
+        core.queue.push(
+            SourceUpdate {
+                id: UpdateId { source: 0, seq: 1 },
+                delta: Bag::from_tuples([tup![2, 3]]), // B=3 passes σ
+                global: None,
+            },
+            0,
+        );
+        let mut dv = PartialDelta {
+            lo: 0,
+            hi: 1,
+            bag: Bag::from_tuples([tup![1, 3, 3, 5], tup![2, 3, 3, 5]]),
+        };
+        core.compensate(&mut dv, &temp, 0, JoinSide::Left).unwrap();
+        // Only the qualifying interferer was cancelled; (2,2) joins
+        // nothing here anyway, but the point is the subtraction used the
+        // σ-filtered merged delta.
+        assert_eq!(dv.bag, Bag::from_tuples([tup![1, 3, 3, 5]]));
+        assert_eq!(core.metrics.local_compensations, 1);
     }
 
     #[test]

@@ -43,6 +43,14 @@ pub struct EngineOptions {
     /// change, Nested-SWEEP-style, paying `2(n−1)` messages per batch
     /// instead of per update. `1` disables batching (the default).
     pub batch: usize,
+    /// Push per-view selection predicates down to the sources: each
+    /// sweep query carries the union of the affected views' σ over the
+    /// target relation, the source filters before joining, and the
+    /// compensation term applies the same predicate (multiview scheduler
+    /// only; single-view executors already evaluate their σ source-side
+    /// through the shipped view definition). Off by default — the wire
+    /// behavior is then bit-identical to the pre-pushdown engine.
+    pub pushdown: bool,
 }
 
 impl Default for EngineOptions {
@@ -52,6 +60,7 @@ impl Default for EngineOptions {
             short_circuit_empty: false,
             max_depth: None,
             batch: 1,
+            pushdown: false,
         }
     }
 }
@@ -92,6 +101,7 @@ mod tests {
         assert!(!o.parallel && !o.short_circuit_empty);
         assert_eq!(o.max_depth, None);
         assert_eq!(o.batch_width(), 1);
+        assert!(!o.pushdown);
     }
 
     #[test]

@@ -95,7 +95,8 @@ impl UpdateQueue {
     /// returning their merged delta and `(id, arrival time)` pairs in
     /// queue order. The bounded form of [`UpdateQueue::take_from_source`],
     /// used by cross-update batching to fold a capped number of queued
-    /// same-source updates into one sweep.
+    /// same-source updates into one sweep. Stops scanning as soon as the
+    /// bound is hit; every unmatched update keeps its queue position.
     pub fn take_from_source_bounded(
         &mut self,
         j: SourceIndex,
@@ -103,15 +104,22 @@ impl UpdateQueue {
     ) -> (Bag, Vec<(UpdateId, Time)>) {
         let mut merged = Bag::new();
         let mut ids = Vec::new();
-        self.q.retain(|p| {
-            if p.update.id.source == j && ids.len() < max {
+        let mut taken = Vec::new();
+        for (pos, p) in self.q.iter().enumerate() {
+            if ids.len() >= max {
+                break;
+            }
+            if p.update.id.source == j {
                 merged.merge(&p.update.delta);
                 ids.push((p.update.id, p.arrived_at));
-                false
-            } else {
-                true
+                taken.push(pos);
             }
-        });
+        }
+        // Remove back-to-front so earlier indices stay valid; relative
+        // order of everything left is untouched.
+        for pos in taken.into_iter().rev() {
+            self.q.remove(pos);
+        }
         (merged, ids)
     }
 
@@ -202,6 +210,90 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert!(!q.has_from_source(2));
         assert!(q.has_from_source(1));
+    }
+
+    #[test]
+    fn take_cancelling_pair_yields_empty_bag_but_both_ids() {
+        // An insert/delete pair from the same source cancels: the merged
+        // delta must carry no zero-count residue, while both updates are
+        // still consumed (their ids flow into install records).
+        let mut q = UpdateQueue::new();
+        q.push(
+            SourceUpdate {
+                id: UpdateId { source: 0, seq: 0 },
+                delta: Bag::from_pairs([(tup![1], 1)]),
+                global: None,
+            },
+            0,
+        );
+        q.push(
+            SourceUpdate {
+                id: UpdateId { source: 0, seq: 1 },
+                delta: Bag::from_pairs([(tup![1], -1)]),
+                global: None,
+            },
+            1,
+        );
+        let (m, ids) = q.take_from_source(0);
+        assert!(m.is_empty(), "cancelling pair left zero-count residue");
+        assert_eq!(m.distinct_len(), 0);
+        assert_eq!(ids.len(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bounded_take_stops_at_bound_and_preserves_positions() {
+        let mut q = UpdateQueue::new();
+        q.push(upd(2, 0, 5), 1);
+        q.push(upd(1, 0, 6), 2);
+        q.push(upd(2, 1, 7), 3);
+        q.push(upd(2, 2, 8), 4);
+        q.push(upd(1, 1, 9), 5);
+        let (m, ids) = q.take_from_source_bounded(2, 2);
+        assert_eq!(m.count(&tup![5]), 1);
+        assert_eq!(m.count(&tup![7]), 1);
+        assert_eq!(m.count(&tup![8]), 0, "third match is beyond the bound");
+        assert_eq!(
+            ids,
+            vec![
+                (UpdateId { source: 2, seq: 0 }, 1),
+                (UpdateId { source: 2, seq: 1 }, 3)
+            ]
+        );
+        // Updates past the bound keep their exact queue positions.
+        let left: Vec<UpdateId> = q.iter().map(|p| p.update.id).collect();
+        assert_eq!(
+            left,
+            vec![
+                UpdateId { source: 1, seq: 0 },
+                UpdateId { source: 2, seq: 2 },
+                UpdateId { source: 1, seq: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn bounded_take_cancelling_pair_prunes_zeros() {
+        let mut q = UpdateQueue::new();
+        q.push(
+            SourceUpdate {
+                id: UpdateId { source: 3, seq: 0 },
+                delta: Bag::from_pairs([(tup![4], 2)]),
+                global: None,
+            },
+            0,
+        );
+        q.push(
+            SourceUpdate {
+                id: UpdateId { source: 3, seq: 1 },
+                delta: Bag::from_pairs([(tup![4], -2)]),
+                global: None,
+            },
+            1,
+        );
+        let (m, ids) = q.take_from_source_bounded(3, 8);
+        assert!(m.is_empty());
+        assert_eq!(ids.len(), 2);
     }
 
     #[test]

@@ -150,8 +150,9 @@ impl MaintenanceScheduler {
     }
 
     /// New scheduler with explicit engine options. Only
-    /// [`EngineOptions::batch`] is read here (shared mode only); the
-    /// SWEEP/Nested-SWEEP knobs are inert for the scheduler.
+    /// [`EngineOptions::batch`] (shared mode only) and
+    /// [`EngineOptions::pushdown`] are read here; the SWEEP/Nested-SWEEP
+    /// knobs are inert for the scheduler.
     pub fn with_options(
         base: ViewDef,
         mode: SchedulerMode,
@@ -332,11 +333,19 @@ impl MaintenanceScheduler {
     ) -> Result<bool, MvError> {
         let j = task.j;
         self.core.batch = task.consumed.len() as u32;
+        if self.opts.pushdown {
+            self.core.push_preds = self.derive_push_preds(&task)?;
+        }
         self.core.begin_sweep(net.now());
         self.core
             .obs
             .observe("mv.fanout_views", task.views.len() as u64);
-        let left_seed = PartialDelta::seed(&self.core.view, j, &task.delta)?;
+        let mut left_seed = PartialDelta::seed(&self.core.view, j, &task.delta)?;
+        // Seed tuples failing every task view's σ over R_j die at every
+        // view's finalize; drop them here so they never ride a query.
+        if let Some(pred) = self.core.push_pred(j) {
+            left_seed.bag = left_seed.bag.filter(|t| pred.eval(t));
+        }
         let right_seed = PartialDelta {
             lo: j,
             hi: j,
@@ -475,7 +484,52 @@ impl MaintenanceScheduler {
         self.core.record_batch(task.consumed.len());
         self.core.end_sweep(net.now());
         self.core.batch = 1;
+        self.core.push_preds.clear();
         Ok(())
+    }
+
+    /// Derive the σ pushed to each source for `task`: for chain position
+    /// `k`, the union (OR) of the task views' relation-local selections
+    /// at `k`, taken over the views whose span contains `k`. A view with
+    /// no selection there contributes `True`, which collapses the union
+    /// to "no filter" (`None`) — pushing a vacuous predicate would only
+    /// fatten the query. With a single affected view this degenerates to
+    /// exactly that view's own σ.
+    ///
+    /// Soundness: a source tuple dropped by the union fails *every*
+    /// affected view's σ over that relation, so [`finalize_for_view`]
+    /// would have filtered each of its join extensions anyway — the
+    /// pushed filter only changes what travels, never what installs.
+    fn derive_push_preds(&self, task: &SweepTask) -> Result<Vec<Option<Predicate>>, MvError> {
+        let mut preds: Vec<Option<Predicate>> = vec![None; self.core.n()];
+        for (k, slot) in preds.iter_mut().enumerate() {
+            if k < task.lo || k > task.hi {
+                continue;
+            }
+            let mut disjuncts = Vec::new();
+            let mut any_true = false;
+            for &v in &task.views {
+                let (lo, hi) = self.registry.span(v)?;
+                if k < lo || k > hi {
+                    continue;
+                }
+                let sel = self.registry.local_def(v)?.local_select(k - lo);
+                if sel == &Predicate::True {
+                    any_true = true;
+                    break;
+                }
+                disjuncts.push(sel.clone());
+            }
+            if any_true || disjuncts.is_empty() {
+                continue;
+            }
+            *slot = Some(if disjuncts.len() == 1 {
+                disjuncts.pop().expect("len checked")
+            } else {
+                Predicate::Or(disjuncts)
+            });
+        }
+        Ok(preds)
     }
 }
 
@@ -825,6 +879,120 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert_eq!(log[0].consumed.len(), 1);
         assert_eq!(log[1].consumed.len(), 2);
+    }
+
+    #[test]
+    fn derive_push_preds_unions_selects_and_collapses_true() {
+        let base = base3();
+        let initial = initial3();
+        let mut sched = MaintenanceScheduler::with_options(
+            base.clone(),
+            SchedulerMode::Shared,
+            EngineOptions {
+                pushdown: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let left_pair = ViewSpec {
+            lo: 0,
+            hi: 1,
+            selects: vec![(1, 1, CmpOp::Ge, Value::Int(6))],
+            ..ViewSpec::full("lp", 3)
+        };
+        let mid = ViewSpec {
+            lo: 1,
+            hi: 2,
+            selects: vec![(1, 0, CmpOp::Le, Value::Int(9))],
+            ..ViewSpec::full("mid", 3)
+        };
+        let mut ids = Vec::new();
+        for spec in [&left_pair, &mid] {
+            let local = spec.compile(&base).unwrap();
+            let refs: Vec<&Bag> = initial[spec.lo..=spec.hi].iter().collect();
+            ids.push(
+                sched
+                    .register(spec, eval_view(&local, &refs).unwrap())
+                    .unwrap(),
+            );
+        }
+        let task = SweepTask {
+            consumed: Vec::new(),
+            j: 1,
+            delta: Bag::new(),
+            lo: 0,
+            hi: 2,
+            views: ids.clone(),
+        };
+        let preds = sched.derive_push_preds(&task).unwrap();
+        // R1: only left-pair's span contains it and it has no σ there —
+        // True collapses the union to "no filter". Same for R3 via mid.
+        assert_eq!(preds[0], None);
+        assert_eq!(preds[2], None);
+        // R2: both views select on it → the union is their OR.
+        match &preds[1] {
+            Some(Predicate::Or(ds)) => assert_eq!(ds.len(), 2),
+            other => panic!("expected Or of two selects, got {other:?}"),
+        }
+
+        // A single affected view degenerates to exactly its own σ.
+        let solo_task = SweepTask {
+            consumed: Vec::new(),
+            j: 1,
+            delta: Bag::new(),
+            lo: 0,
+            hi: 1,
+            views: vec![ids[0]],
+        };
+        let solo = sched.derive_push_preds(&solo_task).unwrap();
+        assert_eq!(
+            solo[1].as_ref(),
+            Some(sched.registry.local_def(ids[0]).unwrap().local_select(1)),
+            "one affected view pushes exactly its own σ"
+        );
+    }
+
+    #[test]
+    fn pushdown_matches_unpushed_views_and_install_sequences() {
+        for mode in [SchedulerMode::Shared, SchedulerMode::Naive] {
+            let (plain, shadows) = run(mode, &specs(), &interfering_txns());
+            let (pushed, _) = run_with_options(
+                mode,
+                EngineOptions {
+                    pushdown: true,
+                    ..Default::default()
+                },
+                &specs(),
+                &interfering_txns(),
+            );
+            // Same message *count* — pushdown changes payloads, not the
+            // number of hops.
+            assert_eq!(plain.metrics().queries_sent, pushed.metrics().queries_sent);
+            for (spec, id) in specs().iter().zip(plain.views().ids()) {
+                assert_eq!(
+                    plain.views().view_bag(id).unwrap(),
+                    pushed.views().view_bag(id).unwrap(),
+                    "{mode:?} view '{}' diverged under pushdown",
+                    spec.name
+                );
+                // Ground truth still holds for the pushed run.
+                let local = spec.compile(pushed.views().base()).unwrap();
+                let refs: Vec<&Bag> = shadows[spec.lo..=spec.hi].iter().collect();
+                assert_eq!(
+                    pushed.views().view_bag(id).unwrap(),
+                    &eval_view(&local, &refs).unwrap()
+                );
+                // Identical install sequences: same consumed ids, same
+                // post-install snapshots, in the same order.
+                let a = plain.views().install_log(id).unwrap();
+                let b = pushed.views().install_log(id).unwrap();
+                assert_eq!(a.len(), b.len());
+                for (ra, rb) in a.iter().zip(b) {
+                    assert_eq!(ra.consumed, rb.consumed);
+                    assert_eq!(ra.view_after, rb.view_after);
+                }
+            }
+        }
     }
 
     #[test]

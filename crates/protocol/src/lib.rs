@@ -23,7 +23,7 @@
 
 pub mod transport;
 
-use dw_relational::{Bag, PartialDelta};
+use dw_relational::{Bag, PartialDelta, Predicate};
 use dw_simnet::{NodeId, Payload};
 
 pub use transport::{Endpoint, TransportConfig, TransportNet};
@@ -101,6 +101,12 @@ pub struct SweepQuery {
     /// sweep. Informational for sources — the join they compute is the
     /// same either way.
     pub batch: u32,
+    /// Optional σ pushed down to the receiving source: apply this
+    /// predicate to the local base relation *before* joining, so only
+    /// qualifying tuples travel back. `None` means join against the
+    /// full relation (the pre-pushdown wire behavior). The predicate
+    /// references attributes by position within the receiving relation.
+    pub pred: Option<Predicate>,
 }
 
 /// Answer to a [`SweepQuery`]: the widened partial delta.
@@ -243,7 +249,9 @@ impl Payload for Message {
         HDR + match self {
             Message::ApplyTxn { delta, .. } => delta.size_bytes(),
             Message::Update(u) => u.delta.size_bytes(),
-            Message::SweepQuery(q) => q.partial.bag.size_bytes() + 16,
+            Message::SweepQuery(q) => {
+                q.partial.bag.size_bytes() + 16 + q.pred.as_ref().map_or(0, Predicate::size_bytes)
+            }
             Message::SweepAnswer(a) => a.partial.bag.size_bytes() + 16,
             Message::EcaQuery(q) => q
                 .terms
@@ -378,6 +386,7 @@ mod tests {
             },
             side: JoinSide::Right,
             batch: 1,
+            pred: None,
         });
         let full = Message::SweepQuery(SweepQuery {
             qid: 0,
@@ -388,6 +397,7 @@ mod tests {
             },
             side: JoinSide::Right,
             batch: 1,
+            pred: None,
         });
         assert!(full.size_bytes() > empty.size_bytes() + 1000);
     }

@@ -56,10 +56,14 @@ impl fmt::Display for CmpOp {
 
 /// A boolean selection predicate (the `σ_SelectCond` of the view function).
 ///
-/// SQL three-valued logic is collapsed to two values: any comparison
-/// involving NULL or mismatched types is *false* (so `Not` of it is true —
-/// the substrate is deliberately simple here; the maintenance algorithms
-/// only require that the predicate be a pure tuple function).
+/// Evaluation follows SQL three-valued logic: a comparison involving NULL
+/// or mismatched types is UNKNOWN, UNKNOWN propagates through `Not`
+/// (`NOT UNKNOWN = UNKNOWN`), and `And`/`Or` use Kleene semantics. A
+/// tuple is *selected* only when the predicate is definitely true
+/// ([`Predicate::eval`] is `eval3() == Some(true)`), so UNKNOWN never
+/// selects — even under negation. This matters for query pushdown:
+/// warehouse-side and source-side evaluation of the same σ must agree
+/// tuple-for-tuple, NULLs included.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Predicate {
     /// Always true (the default when a view has no selection).
@@ -93,26 +97,68 @@ pub enum Predicate {
 }
 
 impl Predicate {
-    /// Evaluate against a tuple.
+    /// Evaluate against a tuple: true iff the predicate is *definitely*
+    /// true under three-valued logic (UNKNOWN never selects).
     ///
     /// # Panics
     /// Panics if an attribute position is out of bounds; positions are
     /// validated at view-build time.
     pub fn eval(&self, tuple: &Tuple) -> bool {
+        self.eval3(tuple) == Some(true)
+    }
+
+    /// Three-valued evaluation: `Some(true)` / `Some(false)` /
+    /// `None` (UNKNOWN — a comparison touched NULL or mismatched types).
+    ///
+    /// Kleene semantics: `And` is false if any conjunct is false, else
+    /// UNKNOWN if any is UNKNOWN; `Or` is true if any disjunct is true,
+    /// else UNKNOWN if any is UNKNOWN; `Not` maps UNKNOWN to UNKNOWN.
+    ///
+    /// # Panics
+    /// Panics if an attribute position is out of bounds; positions are
+    /// validated at view-build time.
+    pub fn eval3(&self, tuple: &Tuple) -> Option<bool> {
         match self {
-            Predicate::True => true,
-            Predicate::False => false,
-            Predicate::Cmp { attr, op, value } => tuple
-                .at(*attr)
-                .sql_cmp(value)
-                .is_some_and(|ord| op.test(ord)),
+            Predicate::True => Some(true),
+            Predicate::False => Some(false),
+            Predicate::Cmp { attr, op, value } => {
+                tuple.at(*attr).sql_cmp(value).map(|ord| op.test(ord))
+            }
             Predicate::AttrCmp { left, op, right } => tuple
                 .at(*left)
                 .sql_cmp(tuple.at(*right))
-                .is_some_and(|ord| op.test(ord)),
-            Predicate::And(ps) => ps.iter().all(|p| p.eval(tuple)),
-            Predicate::Or(ps) => ps.iter().any(|p| p.eval(tuple)),
-            Predicate::Not(p) => !p.eval(tuple),
+                .map(|ord| op.test(ord)),
+            Predicate::And(ps) => {
+                let mut unknown = false;
+                for p in ps {
+                    match p.eval3(tuple) {
+                        Some(false) => return Some(false),
+                        None => unknown = true,
+                        Some(true) => {}
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(true)
+                }
+            }
+            Predicate::Or(ps) => {
+                let mut unknown = false;
+                for p in ps {
+                    match p.eval3(tuple) {
+                        Some(true) => return Some(true),
+                        None => unknown = true,
+                        Some(false) => {}
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            Predicate::Not(p) => p.eval3(tuple).map(|b| !b),
         }
     }
 
@@ -126,6 +172,22 @@ impl Predicate {
                 ps.iter().filter_map(Predicate::max_attr).max()
             }
             Predicate::Not(p) => p.max_attr(),
+        }
+    }
+
+    /// Rough serialized size in bytes, for network-cost accounting when
+    /// a predicate rides on a query message: one tag byte per node plus
+    /// the operand widths (attribute positions as u32, constants per
+    /// [`Value::size_bytes`]).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Predicate::True | Predicate::False => 1,
+            Predicate::Cmp { value, .. } => 1 + 4 + 1 + value.size_bytes(),
+            Predicate::AttrCmp { .. } => 1 + 4 + 1 + 4,
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                1 + ps.iter().map(Predicate::size_bytes).sum::<usize>()
+            }
+            Predicate::Not(p) => 1 + p.size_bytes(),
         }
     }
 
@@ -180,15 +242,95 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_types_are_false() {
+    fn mismatched_types_are_unknown_and_never_select() {
         let p = Predicate::Cmp {
             attr: 0,
             op: CmpOp::Eq,
             value: Value::str("3"),
         };
+        assert_eq!(p.eval3(&tup![3]), None);
         assert!(!p.eval(&tup![3]));
-        // And negation flips it.
-        assert!(Predicate::Not(Box::new(p)).eval(&tup![3]));
+        // NOT UNKNOWN is still UNKNOWN — negation must not select either.
+        let not = Predicate::Not(Box::new(p));
+        assert_eq!(not.eval3(&tup![3]), None);
+        assert!(!not.eval(&tup![3]));
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown_under_not() {
+        // σ_¬(A < NULL): the comparison is UNKNOWN, so neither the
+        // predicate nor its negation selects the tuple.
+        let lt_null = Predicate::Cmp {
+            attr: 0,
+            op: CmpOp::Lt,
+            value: Value::Null,
+        };
+        let t = tup![3];
+        assert_eq!(lt_null.eval3(&t), None);
+        assert!(!lt_null.eval(&t));
+        let neg = Predicate::Not(Box::new(lt_null));
+        assert_eq!(neg.eval3(&t), None);
+        assert!(!neg.eval(&t));
+
+        // NULL attribute against a constant behaves the same.
+        let a_eq_3 = Predicate::Cmp {
+            attr: 0,
+            op: CmpOp::Eq,
+            value: Value::Int(3),
+        };
+        let null_tup = Tuple::new(vec![Value::Null]);
+        assert_eq!(a_eq_3.eval3(&null_tup), None);
+        assert!(!Predicate::Not(Box::new(a_eq_3)).eval(&null_tup));
+    }
+
+    #[test]
+    fn null_under_and_or_follows_kleene() {
+        let unknown = Predicate::Cmp {
+            attr: 0,
+            op: CmpOp::Eq,
+            value: Value::Null,
+        };
+        let yes = Predicate::True;
+        let no = Predicate::False;
+        let t = tup![1];
+
+        // AND: false dominates UNKNOWN; true AND UNKNOWN = UNKNOWN.
+        assert_eq!(
+            Predicate::And(vec![no.clone(), unknown.clone()]).eval3(&t),
+            Some(false)
+        );
+        assert_eq!(
+            Predicate::And(vec![yes.clone(), unknown.clone()]).eval3(&t),
+            None
+        );
+        assert!(!Predicate::And(vec![yes.clone(), unknown.clone()]).eval(&t));
+
+        // OR: true dominates UNKNOWN; false OR UNKNOWN = UNKNOWN (does
+        // not select).
+        assert_eq!(
+            Predicate::Or(vec![yes, unknown.clone()]).eval3(&t),
+            Some(true)
+        );
+        assert_eq!(Predicate::Or(vec![no, unknown.clone()]).eval3(&t), None);
+        assert!(!Predicate::Or(vec![Predicate::False, unknown.clone()]).eval(&t));
+
+        // De-Morgan-ish sanity: ¬(UNKNOWN OR false) is UNKNOWN too.
+        let neg = Predicate::Not(Box::new(Predicate::Or(vec![unknown, Predicate::False])));
+        assert_eq!(neg.eval3(&t), None);
+        assert!(!neg.eval(&t));
+    }
+
+    #[test]
+    fn attr_cmp_with_null_attr_is_unknown() {
+        let p = Predicate::AttrCmp {
+            left: 0,
+            op: CmpOp::Ne,
+            right: 1,
+        };
+        let t = Tuple::new(vec![Value::Int(1), Value::Null]);
+        assert_eq!(p.eval3(&t), None);
+        assert!(!p.eval(&t));
+        assert!(!Predicate::Not(Box::new(p)).eval(&t));
     }
 
     #[test]

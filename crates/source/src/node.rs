@@ -224,20 +224,33 @@ impl DataSource {
                 Ok(())
             }
             Message::SweepQuery(q) => {
-                // Use the maintained index when one serves this side.
-                let chosen = self.indexes.as_ref().and_then(|ix| match q.side {
-                    dw_relational::JoinSide::Right => ix.as_right_neighbor.as_ref(),
-                    dw_relational::JoinSide::Left => ix.as_left_neighbor.as_ref(),
-                });
-                let widened = match chosen {
-                    Some(ix) => extend_partial_indexed(&self.view, &q.partial, ix, q.side)?,
-                    None => extend_partial_observed(
-                        &self.view,
-                        &q.partial,
-                        self.relation.bag(),
-                        q.side,
-                        &self.obs,
-                    )?,
+                let widened = if let Some(pred) = &q.pred {
+                    // Pushed-down σ: restrict the local relation to the
+                    // qualifying tuples before joining, so only they
+                    // travel back. The maintained indexes cover the
+                    // *unfiltered* relation, so a pushed query always
+                    // takes the scan path.
+                    let full = self.relation.bag();
+                    let filtered = full.filter(|t| pred.eval(t));
+                    let dropped = full.distinct_len() - filtered.distinct_len();
+                    self.obs.add("source.pushdown_filtered", dropped as u64);
+                    extend_partial_observed(&self.view, &q.partial, &filtered, q.side, &self.obs)?
+                } else {
+                    // Use the maintained index when one serves this side.
+                    let chosen = self.indexes.as_ref().and_then(|ix| match q.side {
+                        dw_relational::JoinSide::Right => ix.as_right_neighbor.as_ref(),
+                        dw_relational::JoinSide::Left => ix.as_left_neighbor.as_ref(),
+                    });
+                    match chosen {
+                        Some(ix) => extend_partial_indexed(&self.view, &q.partial, ix, q.side)?,
+                        None => extend_partial_observed(
+                            &self.view,
+                            &q.partial,
+                            self.relation.bag(),
+                            q.side,
+                            &self.obs,
+                        )?,
+                    }
                 };
                 self.obs.add("source.queries_served", 1);
                 self.obs
@@ -396,6 +409,7 @@ mod tests {
             },
             side: JoinSide::Right,
             batch: 1,
+            pred: None,
         };
         src.handle(WAREHOUSE_NODE, Message::SweepQuery(q), &mut net)
             .unwrap();
@@ -405,6 +419,75 @@ mod tests {
                 assert_eq!(a.qid, 42);
                 assert_eq!(a.partial.bag, Bag::from_tuples([tup![1, 3, 3, 7]]));
                 assert_eq!((a.partial.lo, a.partial.hi), (0, 1));
+            }
+            other => panic!("expected SweepAnswer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pushed_predicate_filters_the_join_and_counts_drops() {
+        use dw_relational::{CmpOp, Predicate, Value};
+        let mut net: Network<Message> = Network::new(0);
+        let mut src = source1(); // R2 = {(3,7), (4,8)}
+        let (obs, rec) = dw_obs::Obs::trace();
+        src.set_observer(obs);
+        // Same partial as the unfiltered test, but σ_{D >= 8} drops the
+        // only join partner (3,7) — the answer must come back empty.
+        let q = SweepQuery {
+            qid: 43,
+            partial: PartialDelta {
+                lo: 0,
+                hi: 0,
+                bag: Bag::from_tuples([tup![1, 3]]),
+            },
+            side: JoinSide::Right,
+            batch: 1,
+            pred: Some(Predicate::Cmp {
+                attr: 1,
+                op: CmpOp::Ge,
+                value: Value::Int(8),
+            }),
+        };
+        src.handle(WAREHOUSE_NODE, Message::SweepQuery(q), &mut net)
+            .unwrap();
+        match net.next().unwrap().msg {
+            Message::SweepAnswer(a) => {
+                assert_eq!(a.qid, 43);
+                assert!(a.partial.bag.is_empty());
+                assert_eq!((a.partial.lo, a.partial.hi), (0, 1));
+            }
+            other => panic!("expected SweepAnswer, got {other:?}"),
+        }
+        let rec = rec.lock().unwrap();
+        assert_eq!(rec.counter("source.pushdown_filtered"), 1);
+        assert_eq!(rec.counter("source.queries_served"), 1);
+    }
+
+    #[test]
+    fn pushed_true_equivalent_when_all_tuples_qualify() {
+        use dw_relational::{CmpOp, Predicate, Value};
+        let mut net: Network<Message> = Network::new(0);
+        let mut src = source1();
+        let q = SweepQuery {
+            qid: 44,
+            partial: PartialDelta {
+                lo: 0,
+                hi: 0,
+                bag: Bag::from_tuples([tup![1, 3]]),
+            },
+            side: JoinSide::Right,
+            batch: 1,
+            pred: Some(Predicate::Cmp {
+                attr: 1,
+                op: CmpOp::Ge,
+                value: Value::Int(0),
+            }),
+        };
+        src.handle(WAREHOUSE_NODE, Message::SweepQuery(q), &mut net)
+            .unwrap();
+        match net.next().unwrap().msg {
+            Message::SweepAnswer(a) => {
+                assert_eq!(a.partial.bag, Bag::from_tuples([tup![1, 3, 3, 7]]));
             }
             other => panic!("expected SweepAnswer, got {other:?}"),
         }
@@ -497,6 +580,7 @@ mod indexed_tests {
             },
             side: JoinSide::Right,
             batch: 1,
+            pred: None,
         };
         assert_eq!(
             answer_of(&mut plain, q_right.clone()),
@@ -512,6 +596,7 @@ mod indexed_tests {
             },
             side: JoinSide::Left,
             batch: 1,
+            pred: None,
         };
         assert_eq!(
             answer_of(&mut plain, q_left.clone()),
@@ -546,6 +631,7 @@ mod indexed_tests {
             },
             side: JoinSide::Right,
             batch: 1,
+            pred: None,
         };
         assert_eq!(answer_of(&mut plain, q.clone()), answer_of(&mut fast, q));
     }

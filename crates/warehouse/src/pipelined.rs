@@ -139,6 +139,7 @@ impl PipelinedSweep {
                 partial: flight.dv.clone(),
                 side: flight.side,
                 batch: 1,
+                pred: None,
             }),
         );
         self.flights.insert(qid, flight);

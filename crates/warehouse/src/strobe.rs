@@ -138,6 +138,7 @@ impl Strobe {
                 partial: pd.clone(),
                 side,
                 batch: 1,
+                pred: None,
             }),
         );
         qid

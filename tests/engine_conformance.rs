@@ -86,6 +86,74 @@ fn sweep_conforms_across_backends() {
     }
 }
 
+/// Pushed vs unpushed σ: query pushdown is a *transport* optimization —
+/// on 128 seeded multi-view schedules (random spans, selections,
+/// projections, policies; shared and naive scheduling alternating) the
+/// pushed engine must produce, per view, the identical final bag and the
+/// identical install sequence, while never shipping more answer bytes.
+#[test]
+fn pushdown_conforms_to_unpushed_engine() {
+    const MV_SEEDS: u64 = 128;
+    for k in 0..MV_SEEDS {
+        let mv = MultiViewConfig {
+            stream: StreamConfig {
+                n_sources: 3,
+                initial_per_source: 15,
+                domain: 8,
+                updates: 3 + (k % 3) as usize,
+                mean_gap: 5_000,
+                keyed: true,
+                seed: SEED_BASE + 0x2000 + k,
+                ..Default::default()
+            },
+            n_views: 1 + (k % 3) as usize,
+            view_seed: k * 31 + 7,
+            full_span: false,
+        };
+        let scenario = mv.generate().unwrap();
+        let mode = if k % 2 == 0 {
+            SchedulerMode::Shared
+        } else {
+            SchedulerMode::Naive
+        };
+        let plain = MultiViewExperiment::new(scenario.clone())
+            .mode(mode)
+            .seed(k)
+            .run()
+            .unwrap();
+        let pushed = MultiViewExperiment::new(scenario)
+            .mode(mode)
+            .pushdown(true)
+            .seed(k)
+            .run()
+            .unwrap();
+        assert!(plain.quiescent && pushed.quiescent, "seed {k}");
+        // Same hop structure: pushdown changes payloads, never the
+        // number of query/answer messages.
+        assert_eq!(plain.query_messages(), pushed.query_messages(), "seed {k}");
+        assert_eq!(plain.views.len(), pushed.views.len(), "seed {k}");
+        for (a, b) in plain.views.iter().zip(&pushed.views) {
+            assert_eq!(
+                a.view, b.view,
+                "seed {k}: view '{}' diverged under pushdown",
+                a.name
+            );
+            assert_eq!(
+                install_fingerprint(&a.installs),
+                install_fingerprint(&b.installs),
+                "seed {k}: view '{}' install sequences differ",
+                a.name
+            );
+        }
+        // The reduction invariant E16 gates, checked across every seed:
+        // filtered answers can only shrink.
+        assert!(
+            pushed.net.label("answer").bytes <= plain.net.label("answer").bytes,
+            "seed {k}: pushdown increased answer bytes"
+        );
+    }
+}
+
 #[test]
 fn nested_sweep_conforms_across_backends() {
     for k in 0..SEEDS {

@@ -383,6 +383,77 @@ fn multiview_batched_sweep_converges_on_fault_schedules() {
     }
 }
 
+/// σ pushdown under hostile faults: on the same adversarial schedules
+/// (drops, duplication, reordering, a source crash/restart behind the
+/// transport), the pushed engine must stay delivery-for-delivery
+/// equivalent to the unpushed one — identical per-view final bags and
+/// install sequences — while every convergence guarantee still holds.
+#[test]
+fn multiview_pushdown_equivalent_on_fault_schedules() {
+    for case in 0..FAULT_CASES {
+        let mut r = Rng64::new(0xFF_0000 + case);
+        let cfg = fault_config(&mut r);
+        let plan = hostile_plan(&mut r, cfg.n_sources);
+        let mv = MultiViewConfig {
+            stream: cfg,
+            n_views: 1 + r.usize_below(3),
+            view_seed: r.next_u64(),
+            full_span: false,
+        };
+        let scenario = mv.generate().unwrap();
+        let latency = LatencyModel::Constant(r.u64_in(500, 3_000));
+        let net_seed = r.next_u64();
+        let plain = MultiViewExperiment::new(scenario.clone())
+            .latency(latency.clone())
+            .seed(net_seed)
+            .faults(plan.clone())
+            .transport_auto()
+            .run()
+            .unwrap();
+        let pushed = MultiViewExperiment::new(scenario)
+            .pushdown(true)
+            .latency(latency)
+            .seed(net_seed)
+            .faults(plan)
+            .transport_auto()
+            .run()
+            .unwrap();
+        assert!(plain.quiescent && pushed.quiescent, "case {case}");
+        for (a, b) in plain.views.iter().zip(&pushed.views) {
+            assert_eq!(
+                a.view, b.view,
+                "case {case}: view '{}' diverged under pushdown",
+                a.name
+            );
+            let fp = |installs: &[dwsweep::warehouse::InstallRecord]| -> Vec<Vec<_>> {
+                installs.iter().map(|rec| rec.consumed.clone()).collect()
+            };
+            assert_eq!(
+                fp(&a.installs),
+                fp(&b.installs),
+                "case {case}: view '{}' install sequences differ",
+                a.name
+            );
+            assert!(b.view.all_positive(), "case {case}: view '{}'", b.name);
+            let c = b.consistency.as_ref().unwrap();
+            assert!(
+                c.level >= ConsistencyLevel::Convergent,
+                "case {case}: view {} got {}: {}",
+                b.name,
+                c.level,
+                c.detail
+            );
+        }
+        if let Some(m) = &pushed.mutual {
+            assert!(m.final_agreement, "case {case}: {}", m.detail);
+        }
+        assert!(
+            pushed.net.label("answer").bytes <= plain.net.label("answer").bytes,
+            "case {case}: pushdown increased answer bytes"
+        );
+    }
+}
+
 /// The scenario *generator* (dw-workload's FaultScenarioConfig) also only
 /// produces schedules the transport can survive.
 #[test]
