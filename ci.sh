@@ -4,8 +4,17 @@
 # committed BENCH_report.json baseline. The workspace has zero external
 # dependencies, so everything here must pass with the registry
 # unreachable.
+#
+# `ci.sh --deep` additionally re-runs the seeded-schedule suites
+# (schedule_fuzz, recovery_equivalence) at 4x their default schedule
+# counts via the DW_FUZZ_SCHEDULES multiplier.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+DEEP=0
+if [[ "${1:-}" == "--deep" ]]; then
+  DEEP=1
+fi
 
 export CARGO_NET_OFFLINE=true
 
@@ -42,5 +51,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo "==> perf gate (vs committed BENCH_report.json)"
 cargo run -q --release -p dw-bench --bin perf_gate
+
+if [[ "$DEEP" == "1" ]]; then
+  echo "==> deep fuzz: schedule_fuzz + recovery_equivalence at 4x schedules"
+  DW_FUZZ_SCHEDULES=4 cargo test -q --release \
+    --test schedule_fuzz --test recovery_equivalence
+fi
 
 echo "==> ci.sh: all green"

@@ -1,4 +1,4 @@
-//! **The CI perf-regression gate.** Re-runs the E1/E6/E12/E14/E15/E16
+//! **The CI perf-regression gate.** Re-runs the E1/E6/E12/E14/E15/E16/E17
 //! scenarios in the same mode as the committed `BENCH_report.json` and
 //! diffs fresh against baseline (see `dw_bench::perf::gate` for the
 //! exact rules):
@@ -7,7 +7,9 @@
 //!   complete consistency, drained, logically pinned to `2(n−1)`, E15
 //!   batching on the exact `1 + ⌈(U−1)/k⌉` sweep schedule, E16 σ
 //!   pushdown never inflating the answers (and visibly shrinking them
-//!   on the selective workload);
+//!   on the selective workload), E17 crash recovery converging to the
+//!   fault-free run with a bounded staleness spike and replayed WAL
+//!   bytes monotone in the checkpoint interval;
 //! * no consistency downgrades against the baseline;
 //! * no >25 % regressions on tracked ratios (messages/update, installs,
 //!   staleness p95, wire inflation).
@@ -31,7 +33,7 @@ fn main() {
 
     let smoke = baseline.mode == "smoke";
     println!(
-        "perf gate: re-running E1/E6/E12/E14/E15/E16 in {} mode against {path}",
+        "perf gate: re-running E1/E6/E12/E14/E15/E16/E17 in {} mode against {path}",
         baseline.mode
     );
     let fresh = perf::collect(smoke);

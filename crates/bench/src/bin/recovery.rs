@@ -1,0 +1,92 @@
+//! **E17 — the price of surviving a warehouse crash**: the scheduler
+//! keeps a durable checkpoint + sweep-WAL store; a state-crash window
+//! wipes its volatile state mid-sweep and recovery replays the store,
+//! re-seeds the aborted sweep, and fences pre-crash stragglers behind an
+//! epoch bump and a qid floor. The knob is the checkpoint cadence: rare
+//! checkpoints mean cheap steady-state writes but a long WAL replay (and
+//! a longer staleness spike) at recovery; frequent checkpoints invert
+//! the trade. Every run must land on the *exact* fault-free bags and
+//! install fingerprints — the table only prices the recovery, never the
+//! answer.
+
+use dw_bench::perf::recovery_scenario;
+use dw_bench::TableWriter;
+use dw_core::MultiViewExperiment;
+use dw_simnet::FaultPlan;
+
+fn main() {
+    let args = dw_bench::BenchArgs::parse();
+    let cadences: &[usize] = args.pick(&[1, 16], &[1, 2, 4, 8, 16]);
+    let updates = args.pick(6, 12);
+    let n = 4;
+    let views = 2;
+    let scenario = recovery_scenario(n, updates, views);
+    let anchor = scenario.txns.last().unwrap().at;
+    let window = 3_000u64;
+    let down_at = anchor + 1_050;
+    let plan = FaultPlan::default().state_crash(0, down_at, down_at + window);
+    println!(
+        "crash recovery (n = {n}, {views} full-span views, {updates} sparse updates;\n\
+         warehouse state-crash window [{down_at}, {}]µs interrupts the last sweep mid-hop)\n",
+        down_at + window
+    );
+    let mut t = TableWriter::new([
+        "ckpt every",
+        "ckpts",
+        "WAL bytes",
+        "replayed B",
+        "replayed recs",
+        "reseeded",
+        "stale drops",
+        "recovery (ms)",
+        "max stale (ms)",
+        "equal",
+    ]);
+
+    for &k in cadences {
+        let clean = MultiViewExperiment::new(scenario.clone())
+            .transport_auto()
+            .durability(k)
+            .run()
+            .unwrap();
+        let crashed = MultiViewExperiment::new(scenario.clone())
+            .faults(plan.clone())
+            .transport_auto()
+            .durability(k)
+            .run()
+            .unwrap();
+        assert!(clean.quiescent && crashed.quiescent, "ckpt {k}: no drain");
+        assert!(crashed.recovery.recoveries >= 1, "ckpt {k}: crash missed");
+        let equal = clean
+            .views
+            .iter()
+            .zip(&crashed.views)
+            .all(|(a, b)| a.view == b.view);
+        t.row([
+            k.to_string(),
+            crashed.checkpoints_taken.to_string(),
+            crashed.wal_bytes_written.to_string(),
+            crashed.recovery.wal_bytes_replayed.to_string(),
+            crashed.recovery.wal_records_replayed.to_string(),
+            crashed.recovery.sweeps_reseeded.to_string(),
+            crashed.recovery.stale_answers_dropped.to_string(),
+            format!(
+                "{:.1}",
+                crashed.end_time.saturating_sub(clean.end_time) as f64 / 1_000.0
+            ),
+            format!(
+                "{:.1}",
+                crashed.staleness_percentile(100.0).unwrap_or(0) as f64 / 1_000.0
+            ),
+            equal.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper shape check: the paper assumes the warehouse never fails; here the\n\
+         failure is priced instead of assumed. Replayed WAL bytes fall as\n\
+         checkpoints get denser while the recovered answer never moves — the\n\
+         cadence trades recovery latency against steady-state checkpoint work,\n\
+         not correctness."
+    );
+}

@@ -1,12 +1,13 @@
 //! The perf-report / perf-gate pipeline.
 //!
-//! [`collect`] re-runs the six invariant-bearing experiments —
+//! [`collect`] re-runs the seven invariant-bearing experiments —
 //! **E1** (Table 1 algorithm comparison), **E6** (SWEEP's `2(n−1)` message
 //! linearity), **E12** (reliable-FIFO earned under faults), **E14**
 //! (shared-sweep cost independent of view count), **E15**
 //! (cross-update batching amortizes the sweep over queued same-source
-//! updates) and **E16** (σ query pushdown shrinks the answers selective
-//! views pull off the wire) — and
+//! updates), **E16** (σ query pushdown shrinks the answers selective
+//! views pull off the wire) and **E17** (crash recovery: a warehouse
+//! state crash replays checkpoint + WAL back to the fault-free run) — and
 //! condenses each into typed rows: messages per update, installs,
 //! staleness percentiles, consistency level, plus wall-clock per phase.
 //! The result serializes to `BENCH_report.json` (see [`crate::json`]),
@@ -24,7 +25,11 @@
 //!   exact `1 + ⌈(U−1)/k⌉` batching schedule or whose message cost rises
 //!   with the batch width, any E16 row where pushdown ships *more*
 //!   answer bytes than the unpushed run, changes the query/answer hop
-//!   count, or fails to show a reduction on the selective workload;
+//!   count, or fails to show a reduction on the selective workload, any
+//!   E17 row whose crashed run fails to recover to the fault-free bags
+//!   and fingerprints, whose recovery staleness spike leaves the recorded
+//!   bound, or whose replayed WAL bytes fail to grow monotonically with
+//!   the checkpoint interval;
 //! * **consistency downgrades** — a row whose verified consistency level
 //!   is weaker than the committed baseline's;
 //! * **>25 % regressions on tracked ratios** — messages/update and
@@ -46,8 +51,8 @@ use std::time::Instant;
 
 /// Schema version stamped into the report; bump when row fields change.
 /// v2 added the E14 multi-view block; v3 the E15 cross-update batching
-/// block; v4 the E16 σ-pushdown block.
-pub const SCHEMA_VERSION: u64 = 4;
+/// block; v4 the E16 σ-pushdown block; v5 the E17 crash-recovery block.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Relative regression tolerance on tracked ratios (25 %).
 pub const RATIO_TOLERANCE: f64 = 0.25;
@@ -229,6 +234,57 @@ pub struct E16Row {
     pub quiescent: bool,
 }
 
+/// One checkpoint-interval row of the E17 (crash recovery) phase.
+///
+/// Each row runs the *same* seeded sparse multi-view scenario twice —
+/// fault-free, then with a warehouse state-crash window interrupting the
+/// last update's sweep mid-hop — with durable checkpoints every
+/// `checkpoint_every` sweep commits. Recovery replays checkpoint + WAL,
+/// re-seeds the aborted sweep, and must land on the fault-free run's
+/// exact per-view bags and install fingerprints. Rows are ordered by
+/// rising `checkpoint_every`, so replayed WAL bytes must rise
+/// monotonically down the table (rarer checkpoints ⇒ longer replay).
+#[derive(Clone, Debug, PartialEq)]
+pub struct E17Row {
+    /// Durable checkpoint cadence (sweep commits per checkpoint).
+    pub checkpoint_every: u64,
+    /// Number of data sources in the base chain.
+    pub n: u64,
+    /// Number of registered views.
+    pub views: u64,
+    /// Updates the warehouse processed.
+    pub updates: u64,
+    /// Crashed run matched the fault-free run: per-view bags and install
+    /// fingerprints identical, both runs drained.
+    pub converged: bool,
+    /// State-crash recoveries the scheduler performed (≥ 1 by design).
+    pub recoveries: u64,
+    /// WAL records replayed across all recoveries.
+    pub wal_records_replayed: u64,
+    /// Modeled WAL bytes replayed across all recoveries.
+    pub wal_bytes_replayed: u64,
+    /// In-flight sweeps aborted by the crash and re-seeded from the
+    /// durable pending queue.
+    pub sweeps_reseeded: u64,
+    /// Pre-crash answers fenced off by the post-recovery qid floor.
+    pub stale_answers_dropped: u64,
+    /// Durable checkpoints taken over the crashed run.
+    pub checkpoints_taken: u64,
+    /// Total modeled WAL bytes appended over the crashed run.
+    pub wal_bytes_written: u64,
+    /// Extra virtual time the crashed run needed to drain, vs the
+    /// fault-free run (µs) — the recovery latency.
+    pub recovery_latency_us: u64,
+    /// Worst install staleness in the crashed run (µs).
+    pub stale_max_us: u64,
+    /// The recorded staleness budget: fault-free worst case + crash
+    /// window + retransmission allowance (µs). The spike must stay under
+    /// it.
+    pub stale_bound_us: u64,
+    /// Both runs drained to quiescence.
+    pub quiescent: bool,
+}
+
 /// The full report: one entry per phase plus host wall-clock timings.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PerfReport {
@@ -246,6 +302,8 @@ pub struct PerfReport {
     pub e15: Vec<E15Row>,
     /// E16 — σ-pushdown rows.
     pub e16: Vec<E16Row>,
+    /// E17 — crash-recovery rows.
+    pub e17: Vec<E17Row>,
     /// Host wall-clock per phase, milliseconds. Informational only.
     pub phase_wall_ms: Vec<(String, f64)>,
 }
@@ -290,6 +348,10 @@ pub fn collect(smoke: bool) -> PerfReport {
     let e16 = collect_e16(smoke);
     phase_wall_ms.push(("E16".to_string(), t0.elapsed().as_secs_f64() * 1e3));
 
+    let t0 = Instant::now();
+    let e17 = collect_e17(smoke);
+    phase_wall_ms.push(("E17".to_string(), t0.elapsed().as_secs_f64() * 1e3));
+
     PerfReport {
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         e1,
@@ -298,6 +360,7 @@ pub fn collect(smoke: bool) -> PerfReport {
         e14,
         e15,
         e16,
+        e17,
         phase_wall_ms,
     }
 }
@@ -685,6 +748,99 @@ pub fn selective_scenario(
     scenario
 }
 
+/// E17 — crash recovery (`recovery` binary's scenario). One seeded sparse
+/// workload, swept over checkpoint intervals; each row pairs a fault-free
+/// run against a run whose warehouse state-crashes mid-sweep on the last
+/// update. The crash window opens 50 µs after the last update's sweep
+/// launched (first query already in flight) and closes 3 ms later, so
+/// recovery must fence the in-flight answer, re-seed the aborted sweep
+/// from the durable pending queue, and replay exactly the WAL suffix the
+/// checkpoint cadence left behind.
+fn collect_e17(smoke: bool) -> Vec<E17Row> {
+    let n = 4usize;
+    let views = 2usize;
+    let cadences: &[usize] = crate::pick(smoke, &[1, 16], &[1, 4, 16]);
+    let updates = crate::pick(smoke, 6, 12);
+    let scenario = recovery_scenario(n, updates, views);
+    let anchor = scenario.txns.last().unwrap().at;
+    let window = 3_000u64;
+    let down_at = anchor + 1_050;
+    let plan = FaultPlan::default().state_crash(0, down_at, down_at + window);
+    // Slack for the transport to re-drive the fenced answer and the
+    // re-seeded sweep's round trips after the window closes.
+    let retransmit_allowance = 60_000u64;
+
+    cadences
+        .iter()
+        .map(|&k| {
+            let clean = MultiViewExperiment::new(scenario.clone())
+                .transport_auto()
+                .durability(k)
+                .run()
+                .unwrap();
+            let crashed = MultiViewExperiment::new(scenario.clone())
+                .faults(plan.clone())
+                .transport_auto()
+                .durability(k)
+                .run()
+                .unwrap();
+            let matched = clean.views.len() == crashed.views.len()
+                && clean.views.iter().zip(&crashed.views).all(|(a, b)| {
+                    a.view == b.view
+                        && a.installs
+                            .iter()
+                            .map(|r| &r.consumed)
+                            .eq(b.installs.iter().map(|r| &r.consumed))
+                });
+            let stale_max_us = crashed.staleness_percentile(100.0).unwrap_or(0);
+            let clean_max = clean.staleness_percentile(100.0).unwrap_or(0);
+            E17Row {
+                checkpoint_every: k as u64,
+                n: n as u64,
+                views: views as u64,
+                updates: crashed.scheduler_metrics.updates_received,
+                converged: matched && clean.quiescent && crashed.quiescent,
+                recoveries: crashed.recovery.recoveries,
+                wal_records_replayed: crashed.recovery.wal_records_replayed,
+                wal_bytes_replayed: crashed.recovery.wal_bytes_replayed,
+                sweeps_reseeded: crashed.recovery.sweeps_reseeded,
+                stale_answers_dropped: crashed.recovery.stale_answers_dropped,
+                checkpoints_taken: crashed.checkpoints_taken,
+                wal_bytes_written: crashed.wal_bytes_written,
+                recovery_latency_us: crashed.end_time.saturating_sub(clean.end_time),
+                stale_max_us,
+                stale_bound_us: clean_max + window + retransmit_allowance,
+                quiescent: clean.quiescent && crashed.quiescent,
+            }
+        })
+        .collect()
+}
+
+/// The E17 workload: `views` full-span SWEEP views over an `n`-source
+/// chain, constant 200 ms gaps — sparse enough that every sweep (even one
+/// interrupted by the crash window and re-driven through the transport)
+/// finishes before the next update arrives, which pins the install
+/// fingerprint on both the crashed and fault-free runs.
+pub fn recovery_scenario(n: usize, updates: usize, views: usize) -> dw_workload::MultiViewScenario {
+    let cfg = MultiViewConfig {
+        stream: StreamConfig {
+            n_sources: n,
+            initial_per_source: 20,
+            updates,
+            mean_gap: 200_000,
+            gap: dw_workload::GapKind::Constant,
+            domain: 10,
+            keyed: true,
+            seed: 0xE17,
+            ..Default::default()
+        },
+        n_views: views,
+        view_seed: 0xE17,
+        full_span: true,
+    };
+    cfg.generate().unwrap()
+}
+
 // ---------------------------------------------------------------- JSON
 
 impl PerfReport {
@@ -716,6 +872,10 @@ impl PerfReport {
             (
                 "e16_pushdown",
                 Json::Arr(self.e16.iter().map(e16_to_json).collect()),
+            ),
+            (
+                "e17_recovery",
+                Json::Arr(self.e17.iter().map(e17_to_json).collect()),
             ),
             (
                 "phase_wall_ms",
@@ -787,6 +947,13 @@ impl PerfReport {
             .iter()
             .map(e16_from_json)
             .collect::<Result<_, _>>()?;
+        let e17 = doc
+            .get("e17_recovery")
+            .and_then(Json::as_arr)
+            .ok_or("missing e17_recovery")?
+            .iter()
+            .map(e17_from_json)
+            .collect::<Result<_, _>>()?;
         let phase_wall_ms = match doc.get("phase_wall_ms") {
             Some(Json::Obj(fields)) => fields
                 .iter()
@@ -806,6 +973,7 @@ impl PerfReport {
             e14,
             e15,
             e16,
+            e17,
             phase_wall_ms,
         })
     }
@@ -1064,6 +1232,63 @@ fn e16_from_json(doc: &Json) -> Result<E16Row, String> {
             .get("mutual_agreement")
             .and_then(Json::as_bool)
             .ok_or("missing bool mutual_agreement")?,
+        quiescent: doc
+            .get("quiescent")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool quiescent")?,
+    })
+}
+
+fn e17_to_json(r: &E17Row) -> Json {
+    Json::obj(vec![
+        ("checkpoint_every", Json::Num(r.checkpoint_every as f64)),
+        ("n", Json::Num(r.n as f64)),
+        ("views", Json::Num(r.views as f64)),
+        ("updates", Json::Num(r.updates as f64)),
+        ("converged", Json::Bool(r.converged)),
+        ("recoveries", Json::Num(r.recoveries as f64)),
+        (
+            "wal_records_replayed",
+            Json::Num(r.wal_records_replayed as f64),
+        ),
+        ("wal_bytes_replayed", Json::Num(r.wal_bytes_replayed as f64)),
+        ("sweeps_reseeded", Json::Num(r.sweeps_reseeded as f64)),
+        (
+            "stale_answers_dropped",
+            Json::Num(r.stale_answers_dropped as f64),
+        ),
+        ("checkpoints_taken", Json::Num(r.checkpoints_taken as f64)),
+        ("wal_bytes_written", Json::Num(r.wal_bytes_written as f64)),
+        (
+            "recovery_latency_us",
+            Json::Num(r.recovery_latency_us as f64),
+        ),
+        ("stale_max_us", Json::Num(r.stale_max_us as f64)),
+        ("stale_bound_us", Json::Num(r.stale_bound_us as f64)),
+        ("quiescent", Json::Bool(r.quiescent)),
+    ])
+}
+
+fn e17_from_json(doc: &Json) -> Result<E17Row, String> {
+    Ok(E17Row {
+        checkpoint_every: uint(doc, "checkpoint_every")?,
+        n: uint(doc, "n")?,
+        views: uint(doc, "views")?,
+        updates: uint(doc, "updates")?,
+        converged: doc
+            .get("converged")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool converged")?,
+        recoveries: uint(doc, "recoveries")?,
+        wal_records_replayed: uint(doc, "wal_records_replayed")?,
+        wal_bytes_replayed: uint(doc, "wal_bytes_replayed")?,
+        sweeps_reseeded: uint(doc, "sweeps_reseeded")?,
+        stale_answers_dropped: uint(doc, "stale_answers_dropped")?,
+        checkpoints_taken: uint(doc, "checkpoints_taken")?,
+        wal_bytes_written: uint(doc, "wal_bytes_written")?,
+        recovery_latency_us: uint(doc, "recovery_latency_us")?,
+        stale_max_us: uint(doc, "stale_max_us")?,
+        stale_bound_us: uint(doc, "stale_bound_us")?,
         quiescent: doc
             .get("quiescent")
             .and_then(Json::as_bool)
@@ -1335,6 +1560,51 @@ pub fn invariant_violations(report: &PerfReport) -> Vec<String> {
             v.push(format!("E16 {}: a run did not drain", row.label));
         }
     }
+    for row in &report.e17 {
+        if !row.converged {
+            v.push(format!(
+                "E17 ckpt={}: crashed run did not converge to the fault-free bags and fingerprints",
+                row.checkpoint_every
+            ));
+        }
+        if row.recoveries == 0 {
+            v.push(format!(
+                "E17 ckpt={}: no recovery fired — the crash window missed the run",
+                row.checkpoint_every
+            ));
+        }
+        if row.stale_max_us > row.stale_bound_us {
+            v.push(format!(
+                "E17 ckpt={}: recovery staleness spike {}µs exceeds the recorded bound {}µs",
+                row.checkpoint_every, row.stale_max_us, row.stale_bound_us
+            ));
+        }
+        if row.wal_bytes_replayed > row.wal_bytes_written {
+            v.push(format!(
+                "E17 ckpt={}: replayed {} WAL bytes but only {} were ever written",
+                row.checkpoint_every, row.wal_bytes_replayed, row.wal_bytes_written
+            ));
+        }
+        if !row.quiescent {
+            v.push(format!(
+                "E17 ckpt={}: a run did not drain",
+                row.checkpoint_every
+            ));
+        }
+    }
+    for pair in report.e17.windows(2) {
+        if pair[1].checkpoint_every > pair[0].checkpoint_every
+            && pair[1].wal_bytes_replayed < pair[0].wal_bytes_replayed
+        {
+            v.push(format!(
+                "E17: replayed WAL bytes fell from {} (ckpt={}) to {} (ckpt={}) — rarer checkpoints must never shorten the replay",
+                pair[0].wal_bytes_replayed,
+                pair[0].checkpoint_every,
+                pair[1].wal_bytes_replayed,
+                pair[1].checkpoint_every
+            ));
+        }
+    }
     v
 }
 
@@ -1515,6 +1785,42 @@ pub fn gate(baseline: &PerfReport, fresh: &PerfReport) -> Vec<String> {
         );
     }
 
+    for base_row in &baseline.e17 {
+        let Some(row) = fresh
+            .e17
+            .iter()
+            .find(|r| r.checkpoint_every == base_row.checkpoint_every)
+        else {
+            v.push(format!(
+                "E17: ckpt={} missing from fresh report",
+                base_row.checkpoint_every
+            ));
+            continue;
+        };
+        let what = format!("E17 ckpt={}", row.checkpoint_every);
+        check_ratio(
+            &mut v,
+            &format!("{what} recovery latency"),
+            base_row.recovery_latency_us as f64,
+            row.recovery_latency_us as f64,
+            true,
+        );
+        check_ratio(
+            &mut v,
+            &format!("{what} replayed WAL bytes"),
+            base_row.wal_bytes_replayed as f64,
+            row.wal_bytes_replayed as f64,
+            true,
+        );
+        check_ratio(
+            &mut v,
+            &format!("{what} staleness spike"),
+            base_row.stale_max_us as f64,
+            row.stale_max_us as f64,
+            true,
+        );
+    }
+
     v
 }
 
@@ -1549,6 +1855,10 @@ pub struct InvariantDigest {
     pub e16_reduced: bool,
     /// Distinct weakest-view consistency levels across E16 rows.
     pub e16_levels: BTreeSet<String>,
+    /// Every E17 row recovers to the fault-free run (converged, drained,
+    /// ≥ 1 recovery), the staleness spike stays bounded, and replayed WAL
+    /// bytes are monotone in the checkpoint interval.
+    pub e17_recovered: bool,
 }
 
 impl InvariantDigest {
@@ -1610,6 +1920,15 @@ impl InvariantDigest {
                 .iter()
                 .map(|r| r.min_consistency.clone())
                 .collect(),
+            e17_recovered: report.e17.iter().all(|r| {
+                r.converged
+                    && r.quiescent
+                    && r.recoveries >= 1
+                    && r.stale_max_us <= r.stale_bound_us
+            }) && report.e17.windows(2).all(|p| {
+                p[1].checkpoint_every <= p[0].checkpoint_every
+                    || p[1].wal_bytes_replayed >= p[0].wal_bytes_replayed
+            }),
         }
     }
 }
@@ -1754,6 +2073,44 @@ mod tests {
                     answer_reduction_pct: 100.0 * 5_000.0 / 8_000.0,
                     min_consistency: "strong".to_string(),
                     mutual_agreement: true,
+                    quiescent: true,
+                },
+            ],
+            e17: vec![
+                E17Row {
+                    checkpoint_every: 1,
+                    n: 4,
+                    views: 2,
+                    updates: 6,
+                    converged: true,
+                    recoveries: 1,
+                    wal_records_replayed: 4,
+                    wal_bytes_replayed: 300,
+                    sweeps_reseeded: 1,
+                    stale_answers_dropped: 1,
+                    checkpoints_taken: 7,
+                    wal_bytes_written: 2_400,
+                    recovery_latency_us: 9_000,
+                    stale_max_us: 24_000,
+                    stale_bound_us: 75_000,
+                    quiescent: true,
+                },
+                E17Row {
+                    checkpoint_every: 16,
+                    n: 4,
+                    views: 2,
+                    updates: 6,
+                    converged: true,
+                    recoveries: 1,
+                    wal_records_replayed: 40,
+                    wal_bytes_replayed: 2_100,
+                    sweeps_reseeded: 1,
+                    stale_answers_dropped: 1,
+                    checkpoints_taken: 2,
+                    wal_bytes_written: 2_400,
+                    recovery_latency_us: 9_000,
+                    stale_max_us: 24_000,
+                    stale_bound_us: 75_000,
                     quiescent: true,
                 },
             ],
@@ -2007,6 +2364,81 @@ mod tests {
                 .iter()
                 .any(|v| v.contains("E16") && v.contains("missing")),
             "expected a missing-row violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn failed_recovery_fails_gate() {
+        // The acceptance demo for E17: a crashed run that no longer lands
+        // on the fault-free bags — a replay bug, a lost WAL suffix — must
+        // be caught even against a healthy baseline.
+        let mut fresh = healthy();
+        fresh.e17[0].converged = false;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations.iter().any(|v| v.contains("did not converge")),
+            "expected a convergence violation, got {violations:?}"
+        );
+
+        // A crash window that stops firing silently tests nothing.
+        let mut fresh = healthy();
+        fresh.e17[1].recoveries = 0;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations.iter().any(|v| v.contains("no recovery fired")),
+            "expected a no-recovery violation, got {violations:?}"
+        );
+
+        let mut fresh = healthy();
+        fresh.e17.remove(1);
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("E17") && v.contains("missing")),
+            "expected a missing-row violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn unbounded_staleness_spike_fails_gate() {
+        // Recovery taking pathologically long — the view staying stale
+        // past the recorded crash-window + retransmission budget — trips
+        // the gate.
+        let mut fresh = healthy();
+        fresh.e17[0].stale_max_us = fresh.e17[0].stale_bound_us + 1;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("staleness spike") && v.contains("exceeds")),
+            "expected a staleness-bound violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn nonmonotone_wal_replay_fails_gate() {
+        // Rarer checkpoints must replay at least as much WAL: if the
+        // ckpt=16 row replays *less* than ckpt=1, the WAL is being
+        // truncated somewhere other than checkpointing.
+        let mut fresh = healthy();
+        fresh.e17[1].wal_bytes_replayed = fresh.e17[0].wal_bytes_replayed - 1;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("must never shorten the replay")),
+            "expected a replay-monotonicity violation, got {violations:?}"
+        );
+
+        // Replaying more bytes than were ever appended is bookkeeping
+        // corruption, not a bigger replay.
+        let mut fresh = healthy();
+        fresh.e17[1].wal_bytes_replayed = fresh.e17[1].wal_bytes_written + 1;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations.iter().any(|v| v.contains("were ever written")),
+            "expected a replay-accounting violation, got {violations:?}"
         );
     }
 

@@ -14,7 +14,10 @@ use dw_consistency::{
     classify, mutual_consistency, remap_installs, ConsistencyLevel, ConsistencyReport,
     MutualReport, Recorder, ViewLog,
 };
-use dw_multiview::{EngineOptions, MaintenanceScheduler, MvError, SchedulerMode, ViewId};
+use dw_multiview::{
+    DurabilityConfig, EngineOptions, MaintenanceScheduler, MvError, RecoveryStats, SchedulerMode,
+    ViewId,
+};
 use dw_protocol::{node_source, source_node, Message, TransportConfig, UpdateId, WAREHOUSE_NODE};
 use dw_relational::{eval_view, Bag};
 use dw_simnet::{FaultPlan, LatencyModel, NetStats, NodeId, Time};
@@ -36,6 +39,7 @@ pub struct MultiViewExperiment {
     event_cap: u64,
     faults: FaultPlan,
     transport: Option<TransportConfig>,
+    durability: Option<DurabilityConfig>,
     obs: dw_obs::Obs,
 }
 
@@ -56,6 +60,7 @@ impl MultiViewExperiment {
             event_cap: 10_000_000,
             faults: FaultPlan::default(),
             transport: None,
+            durability: None,
             obs: dw_obs::Obs::off(),
         }
     }
@@ -149,12 +154,26 @@ impl MultiViewExperiment {
         self
     }
 
+    /// Arm warehouse crash recovery: durable checkpoints every
+    /// `checkpoint_every` sweep commits plus a sweep WAL. Required for
+    /// the scheduler to survive [`FaultPlan::state_crash`] windows —
+    /// the harness routes each state-crash restart into
+    /// `MaintenanceScheduler::crash_and_recover`.
+    pub fn durability(mut self, checkpoint_every: usize) -> Self {
+        self.durability = Some(DurabilityConfig { checkpoint_every });
+        self
+    }
+
     /// Run to network quiescence and report.
     pub fn run(self) -> Result<MultiViewReport, CoreError> {
         let scenario = &self.scenario;
         let base = scenario.base.clone();
         let n = base.num_relations();
 
+        if let Some(cfg) = &self.transport {
+            cfg.validate()
+                .map_err(|e| CoreError::Multi(e.to_string()))?;
+        }
         let mut sched = MaintenanceScheduler::with_options(base.clone(), self.mode, self.opts)?;
         sched.set_record_snapshots(self.record_snapshots);
         sched.set_observer(self.obs.clone());
@@ -174,6 +193,11 @@ impl MultiViewExperiment {
             }));
         }
         let spans: Vec<(usize, usize)> = scenario.views.iter().map(|s| (s.lo, s.hi)).collect();
+        // Durability arms after registration so the initial checkpoint
+        // already carries every view at its correct initial contents.
+        if let Some(cfg) = self.durability {
+            sched.enable_durability(cfg);
+        }
 
         let profile = NetProfile {
             latency: self.latency,
@@ -211,6 +235,16 @@ impl MultiViewExperiment {
         let mut delivery_log: Vec<(UpdateId, Time)> = Vec::new();
         harness.drive(|d, net| {
             if d.to == WAREHOUSE_NODE {
+                if matches!(d.msg, Message::Restart) {
+                    // A warehouse *state crash* just healed: volatile
+                    // scheduler state is gone, the durable store is not.
+                    // Recover instead of dispatching (the scheduler's
+                    // dispatcher rejects Restart as unexpected). With
+                    // durability unarmed this is a no-op — the amnesia
+                    // semantics the pre-recovery engine had.
+                    sched.crash_and_recover(net)?;
+                    return Ok(());
+                }
                 if let Message::Update(u) = &d.msg {
                     delivery_log.push((u.id, d.at));
                     // Each view's ground truth sees only in-span updates,
@@ -230,6 +264,11 @@ impl MultiViewExperiment {
                 }
                 sched.on_message(d, net)?;
             } else {
+                if matches!(d.msg, Message::Restart) {
+                    // A source's database is modeled durable already; a
+                    // state-crash restart needs no application action.
+                    return Ok(());
+                }
                 let idx = node_source(d.to);
                 let src = sources
                     .get_mut(idx)
@@ -280,6 +319,15 @@ impl MultiViewExperiment {
             mode: self.mode,
             views,
             scheduler_metrics: sched.metrics().clone(),
+            recovery: sched.recovery_stats(),
+            wal_bytes_written: sched
+                .durable_stats()
+                .map(|s| s.wal_bytes_written)
+                .unwrap_or(0),
+            checkpoints_taken: sched
+                .durable_stats()
+                .map(|s| s.checkpoints_taken)
+                .unwrap_or(0),
             mutual,
             net: harness.net.stats().clone(),
             quiescent: sched.is_quiescent() && transport_quiescent,
@@ -332,6 +380,14 @@ pub struct MultiViewReport {
     /// Aggregate scheduler counters (updates, queries, answers,
     /// compensations; installs are per view).
     pub scheduler_metrics: PolicyMetrics,
+    /// Accumulated crash-recovery statistics (zeros when durability was
+    /// off or no state crash fired).
+    pub recovery: RecoveryStats,
+    /// Total modeled WAL bytes appended over the run (0 with durability
+    /// off).
+    pub wal_bytes_written: u64,
+    /// Durable checkpoints taken over the run (0 with durability off).
+    pub checkpoints_taken: u64,
     /// Cross-view mutual consistency (when checking was enabled).
     pub mutual: Option<MutualReport>,
     /// Network-level accounting.

@@ -12,7 +12,7 @@
 use crate::experiment::CoreError;
 use dw_protocol::{Endpoint, Message, TransportConfig, TransportNet};
 use dw_simnet::{Delivery, FaultPlan, LatencyModel, NetHandle, Network, NodeId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Everything that shapes the simulated network, independent of which
 /// warehouse policy runs on it.
@@ -32,6 +32,10 @@ pub(crate) struct NetProfile {
 pub(crate) struct SimHarness {
     pub net: Network<Message>,
     endpoints: Option<HashMap<NodeId, Endpoint>>,
+    /// Nodes with scheduled *state* crashes: their `Restart` must reach
+    /// the application layer (for durable-store recovery) even when a
+    /// transport endpoint consumes the raw delivery first.
+    state_crash_nodes: HashSet<NodeId>,
     event_cap: u64,
     /// Deliveries processed so far.
     pub events: u64,
@@ -71,10 +75,24 @@ impl SimHarness {
                 net.inject(c.up_at, c.node, Message::Restart);
             }
         }
+        // State-crash restarts are injected with or without a transport:
+        // the *application* needs the signal to replay its durable store,
+        // not just the endpoint. ENV injections survive the crash window
+        // machinery, and `up_at` itself is already outside the window.
+        let state_crash_nodes: HashSet<NodeId> = profile
+            .faults
+            .state_crashes()
+            .iter()
+            .map(|c| c.node)
+            .collect();
+        for c in profile.faults.state_crashes() {
+            net.inject(c.up_at, c.node, Message::Restart);
+        }
 
         SimHarness {
             net,
             endpoints,
+            state_crash_nodes,
             event_cap: profile.event_cap,
             events: 0,
         }
@@ -102,11 +120,23 @@ impl SimHarness {
             match self.endpoints.as_mut() {
                 Some(eps) => {
                     let to = d.to;
+                    // The endpoint consumes a `Restart` outright (it
+                    // resyncs the transport and emits nothing); a
+                    // state-crash node's application must hear it too,
+                    // so re-synthesize the delivery past the endpoint.
+                    let restart = (matches!(d.msg, Message::Restart)
+                        && self.state_crash_nodes.contains(&to))
+                    .then_some(Delivery {
+                        at: d.at,
+                        from: d.from,
+                        to: d.to,
+                        msg: Message::Restart,
+                    });
                     let app_deliveries = eps
                         .get_mut(&to)
                         .ok_or(CoreError::NoSuchNode { node: to })?
                         .on_delivery(d, &mut self.net);
-                    for appd in app_deliveries {
+                    for appd in app_deliveries.into_iter().chain(restart) {
                         let ep = eps.get_mut(&to).expect("endpoint exists");
                         let mut tnet = TransportNet::new(ep, &mut self.net);
                         dispatch(appd, &mut tnet)?;

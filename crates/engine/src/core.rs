@@ -106,6 +106,13 @@ pub struct EngineCore {
     /// the source actually answered with, or the subtraction removes
     /// tuples the answer never contained.
     pub push_preds: Vec<Option<Predicate>>,
+    /// Sweep epoch, stamped onto every outgoing [`SweepQuery`]. Starts at
+    /// 0 and only moves when a crash-recovery replay bumps it
+    /// ([`EngineCore::bump_epoch`]): sources remember the highest epoch
+    /// they have served and drop queries from older ones, so a sweep
+    /// re-seeded after a warehouse state-crash never races its aborted
+    /// predecessor's stale in-flight queries.
+    pub epoch: u64,
     next_qid: u64,
 }
 
@@ -121,8 +128,29 @@ impl EngineCore {
             cur_span: SpanId::NONE,
             batch: 1,
             push_preds: Vec::new(),
+            epoch: 0,
             next_qid: 0,
         }
+    }
+
+    /// The next query id this core will allocate. Recovery journals it
+    /// (a `QuerySent` WAL record per allocation) so a restarted core
+    /// never re-issues a qid that may still have an answer in flight.
+    pub fn next_qid(&self) -> u64 {
+        self.next_qid
+    }
+
+    /// Restore the qid allocator after a checkpoint+WAL replay. Only
+    /// ever moves forward: a recovered core must allocate *fresh* qids.
+    pub fn restore_next_qid(&mut self, next: u64) {
+        self.next_qid = self.next_qid.max(next);
+    }
+
+    /// Enter the next sweep epoch (crash recovery). Queries sent from
+    /// here on carry the new epoch; sources drop stragglers from the old
+    /// one.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// The σ pushed to source `j` in the current sweep, if any.
@@ -182,6 +210,7 @@ impl EngineCore {
                 side,
                 batch: self.batch,
                 pred: self.push_pred(j).cloned(),
+                epoch: self.epoch,
             }),
         );
         (qid, HopSpan { outer, inner })
@@ -502,8 +531,9 @@ pub trait SweepPolicy {
     fn core(&mut self) -> &mut EngineCore;
 
     /// Strategy-specific bookkeeping on update arrival (global-txn tags,
-    /// per-view counters), before the update is queued.
-    fn note_update(&mut self, _u: &SourceUpdate) -> Result<(), Self::Err> {
+    /// per-view counters, durability journaling), before the update is
+    /// queued. `at` is the delivery time the update will be queued under.
+    fn note_update(&mut self, _u: &SourceUpdate, _at: Time) -> Result<(), Self::Err> {
         Ok(())
     }
 
@@ -530,7 +560,7 @@ pub fn dispatch<P: SweepPolicy + ?Sized>(
     match delivery.msg {
         Message::Update(u) => {
             policy.core().metrics.updates_received += 1;
-            policy.note_update(&u)?;
+            policy.note_update(&u, delivery.at)?;
             policy.core().queue.push(u, delivery.at);
             policy.kick(net)
         }

@@ -32,6 +32,13 @@ pub enum WarehouseError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A configuration is invalid at construction time (e.g. a zero
+    /// batch width). Raised before any message flows, so a bad knob
+    /// fails loudly instead of being silently clamped mid-run.
+    Config {
+        /// Which knob, and why it is rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for WarehouseError {
@@ -46,6 +53,7 @@ impl fmt::Display for WarehouseError {
                 write!(f, "{policy} cannot service message {label:?}")
             }
             WarehouseError::Precondition { reason } => write!(f, "precondition violated: {reason}"),
+            WarehouseError::Config { reason } => write!(f, "invalid configuration: {reason}"),
         }
     }
 }

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod core;
+pub mod durable;
 pub mod error;
 pub mod install;
 pub mod live;
@@ -48,6 +49,7 @@ pub use crate::core::{
     dispatch, merge_pivot, support, EngineCore, Frame, HopSpan, InstallSink, Leg, LegSlot,
     SpanLabels, SweepPolicy,
 };
+pub use durable::{DurabilityConfig, DurableStats, DurableStore, WalRecord};
 pub use error::WarehouseError;
 pub use install::InstallRecord;
 pub use live::{run_cluster, ClusterOutcome, LiveError, NodeRunner, ThreadNet};

@@ -298,6 +298,46 @@ mod tests {
         assert!(outcome.wall < Duration::from_secs(10));
     }
 
+    /// A node that *panics* (not merely errors) must surface as the same
+    /// typed [`LiveError::NodeFailed`] — never as a poisoned-lock cascade
+    /// or a hung drain. The runtime holds no shared locks (its shared
+    /// state is all atomics), so the only panic-visible path is the
+    /// thread join, and the drain loop must notice the dead thread
+    /// instead of waiting out the deadline.
+    #[test]
+    fn panicking_node_surfaces_as_node_failed() {
+        struct Explode;
+        impl NodeRunner for Explode {
+            fn handle(
+                &mut self,
+                _from: NodeId,
+                _at: Time,
+                _msg: Message,
+                _net: &mut ThreadNet,
+            ) -> Result<(), String> {
+                panic!("node blew up");
+            }
+        }
+        // Quiet the default panic printer for the duration: the panic is
+        // the expected behavior under test.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let res = run_cluster(
+            Counter(Arc::new(Mutex::new(0))),
+            vec![Explode],
+            vec![(0, 1, txn()), (100, 1, txn())],
+            1_000.0,
+            Duration::from_secs(5),
+        );
+        std::panic::set_hook(prev);
+        match res.err().expect("cluster must fail") {
+            LiveError::NodeFailed { what } => {
+                assert!(what.contains("panicked"), "got: {what}")
+            }
+            other => panic!("expected NodeFailed, got {other:?}"),
+        }
+    }
+
     #[test]
     fn failing_node_surfaces_as_node_failed() {
         struct Fail;

@@ -70,6 +70,22 @@ impl EngineOptions {
     pub fn batch_width(&self) -> usize {
         self.batch.max(1)
     }
+
+    /// Reject configurations that cannot mean anything: a batch width of
+    /// zero would let zero updates drive a sweep. Executors call this at
+    /// construction so the mistake surfaces as a typed
+    /// [`WarehouseError::Config`](crate::error::WarehouseError::Config)
+    /// instead of being clamped silently at
+    /// use sites ([`EngineOptions::batch_width`] stays as defense in
+    /// depth for options built after validation).
+    pub fn validate(&self) -> Result<(), crate::error::WarehouseError> {
+        if self.batch == 0 {
+            return Err(crate::error::WarehouseError::Config {
+                reason: "batch width must be at least 1 (got 0)".into(),
+            });
+        }
+        Ok(())
+    }
 }
 
 impl From<SweepOptions> for EngineOptions {
@@ -111,6 +127,27 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(o.batch_width(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_zero_batch_with_typed_error() {
+        let bad = EngineOptions {
+            batch: 0,
+            ..Default::default()
+        };
+        match bad.validate() {
+            Err(crate::error::WarehouseError::Config { reason }) => {
+                assert!(reason.contains("batch"));
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        assert!(EngineOptions::default().validate().is_ok());
+        assert!(EngineOptions {
+            batch: 16,
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]

@@ -123,6 +123,15 @@ impl UpdateQueue {
         (merged, ids)
     }
 
+    /// Remove the updates with the given ids, wherever they sit; every
+    /// other update keeps its queue position. Crash-recovery replay uses
+    /// this to re-apply a journaled task formation: the task's consumed
+    /// updates leave the rebuilt queue exactly as they did the first
+    /// time, regardless of which lookup originally took them.
+    pub fn remove_ids(&mut self, ids: &[UpdateId]) {
+        self.q.retain(|p| !ids.contains(&p.update.id));
+    }
+
     /// Does the queue hold any update from source `j`?
     pub fn has_from_source(&self, j: SourceIndex) -> bool {
         self.q.iter().any(|p| p.update.id.source == j)
@@ -294,6 +303,21 @@ mod tests {
         let (m, ids) = q.take_from_source_bounded(3, 8);
         assert!(m.is_empty());
         assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn remove_ids_targets_exactly_the_named_updates() {
+        let mut q = UpdateQueue::new();
+        q.push(upd(2, 0, 5), 1);
+        q.push(upd(1, 0, 6), 2);
+        q.push(upd(2, 1, 7), 3);
+        q.remove_ids(&[
+            UpdateId { source: 2, seq: 0 },
+            UpdateId { source: 2, seq: 1 },
+            UpdateId { source: 9, seq: 9 }, // absent: ignored
+        ]);
+        let left: Vec<UpdateId> = q.iter().map(|p| p.update.id).collect();
+        assert_eq!(left, vec![UpdateId { source: 1, seq: 0 }]);
     }
 
     #[test]

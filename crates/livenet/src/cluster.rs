@@ -48,6 +48,14 @@ impl NodeRunner for PolicyRunner {
         msg: Message,
         net: &mut ThreadNet,
     ) -> Result<(), String> {
+        // A restart notification is an orchestration signal, not a
+        // protocol message: the policies' dispatchers reject it as
+        // unexpected, and live single-view policies keep no durable
+        // store to replay. Tolerate it so a supervisor can broadcast
+        // restarts without faulting the warehouse thread.
+        if matches!(msg, Message::Restart) {
+            return Ok(());
+        }
         let d = dw_simnet::Delivery {
             at,
             from,
@@ -185,6 +193,78 @@ mod tests {
         assert!(report.quiescent);
         assert_eq!(report.view, expected_final(&scenario));
         assert_eq!(report.metrics.updates_received, scenario.txns.len() as u64);
+    }
+
+    /// A `Restart` landing on the live warehouse mid-schedule must be
+    /// swallowed, not turned into an `UnexpectedMessage` node failure —
+    /// and the run must still converge on ground truth.
+    #[test]
+    fn restart_mid_schedule_is_tolerated_and_converges() {
+        let scenario = StreamConfig {
+            n_sources: 3,
+            updates: 8,
+            mean_gap: 1_000,
+            seed: 7,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let mid = scenario.txns[scenario.txns.len() / 2].at + 1;
+        let report = run_live_with_extra(&scenario, vec![(mid, WAREHOUSE_NODE, Message::Restart)]);
+        assert!(report.quiescent);
+        assert_eq!(report.view, expected_final(&scenario));
+    }
+
+    /// Like `run_live` with SWEEP, but splicing extra injections into the
+    /// schedule (kept sorted by time, as `run_cluster` expects).
+    fn run_live_with_extra(
+        scenario: &GeneratedScenario,
+        extra: Vec<(Time, NodeId, Message)>,
+    ) -> LiveReport {
+        let refs: Vec<&dw_relational::Bag> = scenario.initial.iter().collect();
+        let initial_view = eval_view(&scenario.view, &refs).unwrap();
+        let policy: Box<dyn MaintenancePolicy> =
+            Box::new(Sweep::new(scenario.view.clone(), initial_view).unwrap());
+        let mut sources = Vec::new();
+        for i in 0..scenario.view.num_relations() {
+            let mut rel = BaseRelation::new(scenario.view.schema(i).clone());
+            rel.apply_delta(&scenario.initial[i]).unwrap();
+            sources.push(SourceRunner(DataSource::new(i, scenario.view.clone(), rel)));
+        }
+        let mut injections: Vec<(Time, NodeId, Message)> = scenario
+            .txns
+            .iter()
+            .map(|t| {
+                (
+                    t.at,
+                    source_node(t.source),
+                    Message::ApplyTxn {
+                        rel: t.source,
+                        delta: t.delta.clone(),
+                        global: t.global,
+                    },
+                )
+            })
+            .chain(extra)
+            .collect();
+        injections.sort_by_key(|(at, _, _)| *at);
+        let outcome = run_cluster(
+            PolicyRunner(policy),
+            sources,
+            injections,
+            20.0,
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        let policy = outcome.warehouse.0;
+        LiveReport {
+            view: policy.view().clone(),
+            installs: policy.installs().to_vec(),
+            metrics: policy.metrics().clone(),
+            policy: policy.name(),
+            quiescent: policy.is_quiescent(),
+            wall: outcome.wall,
+        }
     }
 
     #[test]

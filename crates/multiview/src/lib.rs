@@ -42,6 +42,6 @@
 mod registry;
 mod scheduler;
 
-pub use dw_engine::EngineOptions;
+pub use dw_engine::{DurabilityConfig, EngineOptions};
 pub use registry::{MvError, ViewId, ViewRegistry};
-pub use scheduler::{MaintenanceScheduler, SchedulerMode};
+pub use scheduler::{MaintenanceScheduler, RecoveryStats, SchedulerMode};

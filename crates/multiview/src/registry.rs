@@ -77,7 +77,9 @@ impl fmt::Display for ViewId {
     }
 }
 
-/// Everything the scheduler keeps per registered view.
+/// Everything the scheduler keeps per registered view. `Clone` because
+/// a durable checkpoint is a deep copy of every live runtime.
+#[derive(Clone)]
 pub(crate) struct ViewRuntime {
     pub(crate) name: String,
     pub(crate) lo: usize,
@@ -134,6 +136,12 @@ impl ViewRuntime {
             }
         }
         Ok(())
+    }
+
+    /// Is there an accumulated-but-uninstalled batch? (Durability logs a
+    /// `Flush` WAL record only for views where the flush will install.)
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.pending_consumed.is_empty()
     }
 
     /// Install whatever has accumulated (no-op when nothing is pending).
@@ -285,6 +293,18 @@ impl ViewRegistry {
 
     pub(crate) fn runtimes_mut(&mut self) -> impl Iterator<Item = &mut ViewRuntime> {
         self.slots.iter_mut().filter_map(|s| s.as_mut())
+    }
+
+    /// Deep copy of every slot — the registry half of a durable
+    /// checkpoint. Slot *positions* are part of the image so restored
+    /// [`ViewId`]s keep meaning.
+    pub(crate) fn snapshot_slots(&self) -> Vec<Option<ViewRuntime>> {
+        self.slots.clone()
+    }
+
+    /// Replace the live slots with a checkpoint image (crash recovery).
+    pub(crate) fn restore_slots(&mut self, slots: Vec<Option<ViewRuntime>>) {
+        self.slots = slots;
     }
 
     /// Display name of a view.

@@ -43,12 +43,28 @@
 //! Global transactions (update type 3) are out of scope for the
 //! multi-view layer — tags on incoming updates are ignored.
 //!
+//! **Crash recovery** ([`MaintenanceScheduler::enable_durability`]): the
+//! scheduler journals its sweep lifecycle into a [`DurableStore`] —
+//! update arrivals, task formation, query issue, hop completion, and one
+//! atomic commit record per finished sweep — and checkpoints the full
+//! volatile image every few commits. A warehouse *state crash*
+//! ([`MaintenanceScheduler::crash_and_recover`]) rebuilds volatile state
+//! from checkpoint + WAL replay: committed sweeps are re-applied from
+//! their logged deltas (no re-querying), the in-flight sweep — which
+//! never reached its commit record — is still durably *pending*, so it
+//! re-seeds through the ordinary `start_next` path with fresh query ids
+//! under a bumped epoch. Sources drop queries from superseded epochs and
+//! the scheduler drops answers below its post-replay qid floor, making
+//! the whole abort-and-reseed cycle idempotent. Off by default — with
+//! durability disabled the scheduler's wire behavior and installs are
+//! byte-identical to the pre-recovery engine.
+//!
 //! [`ViewPolicy`]: dw_workload::ViewPolicy
 
-use crate::registry::{MvError, ViewId, ViewRegistry};
+use crate::registry::{MvError, ViewId, ViewRegistry, ViewRuntime};
 use dw_engine::{
-    dispatch, merge_pivot, support, EngineCore, EngineOptions, Leg, LegSlot, PendingUpdate,
-    SpanLabels, SweepPolicy,
+    dispatch, merge_pivot, support, DurabilityConfig, DurableStats, DurableStore, EngineCore,
+    EngineOptions, Leg, LegSlot, PendingUpdate, SpanLabels, SweepPolicy, UpdateQueue, WalRecord,
 };
 use dw_obs::Obs;
 use dw_protocol::{Message, SourceUpdate, UpdateId};
@@ -102,7 +118,10 @@ impl SchedulerMode {
 }
 
 /// One unit of sweep work: the batch of updates it services, the span to
-/// cover, and the views fed by it.
+/// cover, and the views fed by it. `Clone` because a formed task is
+/// journaled verbatim — its consumed set is fixed at formation, so a
+/// crash-recovered re-run consumes exactly the same updates.
+#[derive(Clone)]
 struct SweepTask {
     /// The updates this sweep folds together, in per-source delivery
     /// order. One entry unless cross-update batching folded more in.
@@ -128,6 +147,106 @@ struct ActiveSweep {
     right_snaps: Vec<(ViewId, PartialDelta)>,
 }
 
+/// The durable image of the scheduler's volatile state, written whole at
+/// each checkpoint. The in-flight sweep is deliberately *absent*: a task
+/// leaves durable `pending_tasks` only at its commit record, so replay
+/// always finds an aborted sweep still queued at the front.
+#[derive(Clone)]
+struct MvCheckpoint {
+    epoch: u64,
+    next_qid: u64,
+    queue: UpdateQueue,
+    pending_tasks: VecDeque<SweepTask>,
+    slots: Vec<Option<ViewRuntime>>,
+    metrics: PolicyMetrics,
+}
+
+/// One view's share of a sweep commit: the finalized delta and the
+/// consumed updates, exactly as `apply_delta` will see them.
+#[derive(Clone)]
+struct ViewApply {
+    view: ViewId,
+    delta: Bag,
+    consumed: Vec<(UpdateId, Time)>,
+}
+
+/// Sweep lifecycle journal entries. Records are appended *before* the
+/// volatile action they describe takes effect (within one message
+/// handling, which is the crash atom in the simulator), so the WAL never
+/// under-describes the durable past.
+#[derive(Clone)]
+enum MvWalRecord {
+    /// An update entered the queue.
+    UpdateQueued { update: SourceUpdate, at: Time },
+    /// A sweep task was formed: its consumed updates leave the queue and
+    /// the task joins durable `pending_tasks`.
+    TaskFormed { task: SweepTask },
+    /// A sweep query was issued. Replay only restores qid monotonicity —
+    /// the message itself may or may not have survived the crash; the
+    /// re-seeded sweep supersedes it either way.
+    QuerySent { qid: u64 },
+    /// A hop's answer was folded in, with how many queued concurrent
+    /// updates were compensated. Replay ignores it (the sweep re-runs);
+    /// it exists for WAL-volume accounting and post-mortem traces.
+    HopDone { qid: u64, comps: u64 },
+    /// A sweep finished: every per-view finalized delta, applied
+    /// atomically. The *only* record that moves durable state forward.
+    TaskCommit { at: Time, applies: Vec<ViewApply> },
+    /// A policy-cadence drain flush installed view `view`'s accumulated
+    /// batch.
+    Flush { view: ViewId, at: Time },
+}
+
+impl WalRecord for MvWalRecord {
+    fn wal_bytes(&self) -> usize {
+        const HDR: usize = 16; // record tag + timestamp/qid slot
+        HDR + match self {
+            MvWalRecord::UpdateQueued { update, .. } => 16 + update.delta.size_bytes(),
+            MvWalRecord::TaskFormed { task } => {
+                32 + task.delta.size_bytes() + 24 * task.consumed.len() + 8 * task.views.len()
+            }
+            MvWalRecord::QuerySent { .. } => 0,
+            // 8 bytes per compensated concurrent update (its queue ref).
+            MvWalRecord::HopDone { comps, .. } => 8 + 8 * (*comps as usize),
+            MvWalRecord::TaskCommit { applies, .. } => applies
+                .iter()
+                .map(|a| 16 + a.delta.size_bytes() + 24 * a.consumed.len())
+                .sum::<usize>(),
+            MvWalRecord::Flush { .. } => 8,
+        }
+    }
+}
+
+/// What one recovery (or the accumulated total of several) replayed and
+/// re-seeded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Completed crash-recovery cycles.
+    pub recoveries: u64,
+    /// WAL records replayed across all recoveries.
+    pub wal_records_replayed: u64,
+    /// Modeled WAL bytes replayed across all recoveries.
+    pub wal_bytes_replayed: u64,
+    /// Sweep tasks found durably pending after replay — aborted in-flight
+    /// work plus never-started backlog, all re-seeded from scratch.
+    pub sweeps_reseeded: u64,
+    /// Answers dropped because their qid predates the recovery floor
+    /// (responses to queries a dead incarnation sent).
+    pub stale_answers_dropped: u64,
+}
+
+/// Durability state: the store plus the bookkeeping around it.
+struct DurableState {
+    cfg: DurabilityConfig,
+    store: DurableStore<MvCheckpoint, MvWalRecord>,
+    /// Commits since the last checkpoint (cadence counter).
+    committed_since_ckpt: usize,
+    /// Answers with `qid <` this floor are responses to a dead
+    /// incarnation's queries; they are dropped, not errors.
+    stale_floor: u64,
+    recovery: RecoveryStats,
+}
+
 /// The multi-view maintenance scheduler: owns the registry, the update
 /// queue, and the shared-sweep state machine. Speaks the same
 /// `SweepQuery`/`SweepAnswer` protocol as single-view SWEEP, so the
@@ -140,6 +259,7 @@ pub struct MaintenanceScheduler {
     pending_tasks: VecDeque<SweepTask>,
     active: Option<ActiveSweep>,
     record_snapshots: bool,
+    durable: Option<Box<DurableState>>,
 }
 
 impl MaintenanceScheduler {
@@ -158,6 +278,7 @@ impl MaintenanceScheduler {
         mode: SchedulerMode,
         opts: EngineOptions,
     ) -> Result<Self, MvError> {
+        opts.validate()?;
         let registry = ViewRegistry::new(base.clone())?;
         let labels = match mode {
             SchedulerMode::Shared => SHARED_LABELS,
@@ -171,6 +292,7 @@ impl MaintenanceScheduler {
             pending_tasks: VecDeque::new(),
             active: None,
             record_snapshots: true,
+            durable: None,
         })
     }
 
@@ -246,6 +368,182 @@ impl MaintenanceScheduler {
         self.core.set_observer(obs);
     }
 
+    /// Turn on durable checkpoints + sweep WAL. Call at setup, before
+    /// traffic: the initial checkpoint captures the current state, and a
+    /// sweep in flight at enable time would be invisible to it. From here
+    /// on [`MaintenanceScheduler::crash_and_recover`] can rebuild the
+    /// scheduler after a state crash.
+    pub fn enable_durability(&mut self, cfg: DurabilityConfig) {
+        debug_assert!(
+            self.active.is_none(),
+            "enable durability at a point with no sweep in flight"
+        );
+        let snap = self.snapshot();
+        let mut st = Box::new(DurableState {
+            cfg,
+            store: DurableStore::new(),
+            committed_since_ckpt: 0,
+            stale_floor: 0,
+            recovery: RecoveryStats::default(),
+        });
+        st.store.checkpoint(snap);
+        self.durable = Some(st);
+    }
+
+    /// Is crash recovery armed?
+    pub fn durability_enabled(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Durable-store write statistics (`None` until durability is
+    /// enabled).
+    pub fn durable_stats(&self) -> Option<DurableStats> {
+        self.durable.as_ref().map(|d| d.store.stats())
+    }
+
+    /// Accumulated recovery statistics (zeros until durability is
+    /// enabled or no crash has happened).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.durable
+            .as_ref()
+            .map(|d| d.recovery)
+            .unwrap_or_default()
+    }
+
+    /// A warehouse *state crash*: every volatile structure — queue,
+    /// pending tasks, the in-flight sweep, view contents, counters — is
+    /// lost; only the durable store survives. Rebuild from the last
+    /// checkpoint, replay the WAL (committed sweeps re-apply from their
+    /// logged deltas; the in-flight sweep is still durably pending),
+    /// fence the dead incarnation (answer floor at the replayed qid
+    /// high-water mark, query epoch bumped so sources drop re-delivered
+    /// stragglers), persist a fresh checkpoint, and resume by re-seeding
+    /// whatever is pending. Idempotent: recovering twice at the same
+    /// point replays a WAL the first recovery already truncated to empty.
+    ///
+    /// No-op (returning default stats) when durability is disabled —
+    /// that configuration models an amnesia crash, which this scheduler
+    /// does not survive alone.
+    pub fn crash_and_recover(
+        &mut self,
+        net: &mut dyn NetHandle<Message>,
+    ) -> Result<RecoveryStats, MvError> {
+        if self.durable.is_none() {
+            return Ok(RecoveryStats::default());
+        }
+        let (ckpt, wal_bytes, wal_records) = {
+            let d = self.durable.as_ref().expect("checked above");
+            let ckpt = d
+                .store
+                .checkpoint_ref()
+                .expect("durability always holds a checkpoint")
+                .clone();
+            (ckpt, d.store.wal_bytes() as u64, d.store.wal().to_vec())
+        };
+        // Volatile state dies with the crash; the checkpoint image
+        // replaces it wholesale.
+        self.active = None;
+        self.core.queue = ckpt.queue;
+        self.core.metrics = ckpt.metrics;
+        self.core.epoch = ckpt.epoch;
+        self.core.restore_next_qid(ckpt.next_qid);
+        self.pending_tasks = ckpt.pending_tasks;
+        self.registry.restore_slots(ckpt.slots);
+        // Roll the WAL forward.
+        let mut replayed = 0u64;
+        for rec in &wal_records {
+            replayed += 1;
+            match rec {
+                MvWalRecord::UpdateQueued { update, at } => {
+                    self.core.queue.push(update.clone(), *at);
+                }
+                MvWalRecord::TaskFormed { task } => {
+                    let ids: Vec<UpdateId> = task.consumed.iter().map(|&(id, _)| id).collect();
+                    self.core.queue.remove_ids(&ids);
+                    self.pending_tasks.push_back(task.clone());
+                }
+                MvWalRecord::QuerySent { qid } => {
+                    self.core.restore_next_qid(qid + 1);
+                }
+                MvWalRecord::HopDone { qid, comps: _ } => {
+                    // Redundant with the QuerySent record, but a hop
+                    // completion also proves the qid existed — keep the
+                    // floor right even if a QuerySent were ever elided.
+                    self.core.restore_next_qid(qid + 1);
+                }
+                MvWalRecord::TaskCommit { at, applies } => {
+                    for a in applies {
+                        self.registry.runtime_mut(a.view)?.apply_delta(
+                            &a.delta,
+                            &a.consumed,
+                            *at,
+                        )?;
+                    }
+                    if let Some(a) = applies.first() {
+                        self.core.record_batch(a.consumed.len());
+                    }
+                    self.pending_tasks.pop_front();
+                }
+                MvWalRecord::Flush { view, at } => {
+                    self.registry.runtime_mut(*view)?.flush(*at)?;
+                }
+            }
+        }
+        // Fence the dead incarnation, then persist the recovered image
+        // (which also truncates the replayed WAL — recovery is
+        // re-runnable).
+        self.core.bump_epoch();
+        let floor = self.core.next_qid();
+        let reseeded = self.pending_tasks.len() as u64;
+        let snap = self.snapshot();
+        let d = self.durable.as_mut().expect("checked above");
+        d.stale_floor = d.stale_floor.max(floor);
+        d.committed_since_ckpt = 0;
+        d.store.checkpoint(snap);
+        let this_recovery = RecoveryStats {
+            recoveries: 1,
+            wal_records_replayed: replayed,
+            wal_bytes_replayed: wal_bytes,
+            sweeps_reseeded: reseeded,
+            stale_answers_dropped: 0,
+        };
+        d.recovery.recoveries += 1;
+        d.recovery.wal_records_replayed += replayed;
+        d.recovery.wal_bytes_replayed += wal_bytes;
+        d.recovery.sweeps_reseeded += reseeded;
+        self.core.obs.add("mv.recovery.replays", 1);
+        self.core.obs.add("mv.recovery.wal_records", replayed);
+        self.core.obs.add("mv.recovery.wal_bytes", wal_bytes);
+        self.core.obs.add("mv.recovery.sweeps_reseeded", reseeded);
+        // Resume: re-seed the front pending task (fresh qids, new epoch).
+        if self.active.is_none() {
+            self.start_next(net)?;
+        }
+        Ok(this_recovery)
+    }
+
+    /// The full volatile image, cloned for a checkpoint. Only valid with
+    /// no sweep in flight (an active sweep is represented durably by its
+    /// still-pending task, not by leg state).
+    fn snapshot(&self) -> MvCheckpoint {
+        debug_assert!(self.active.is_none());
+        MvCheckpoint {
+            epoch: self.core.epoch,
+            next_qid: self.core.next_qid(),
+            queue: self.core.queue.clone(),
+            pending_tasks: self.pending_tasks.clone(),
+            slots: self.registry.snapshot_slots(),
+            metrics: self.core.metrics.clone(),
+        }
+    }
+
+    /// Append a WAL record (no-op when durability is off).
+    fn wal(&mut self, rec: MvWalRecord) {
+        if let Some(d) = self.durable.as_mut() {
+            d.store.append(rec);
+        }
+    }
+
     /// Handle one warehouse delivery.
     pub fn on_message(
         &mut self,
@@ -268,6 +566,13 @@ impl MaintenanceScheduler {
             let Some(PendingUpdate { update, arrived_at }) = self.core.queue.pop() else {
                 // Fully drained: install policy-pending batches.
                 let now = net.now();
+                if self.durable.is_some() {
+                    for id in self.registry.ids() {
+                        if self.registry.runtime(id)?.has_pending() {
+                            self.wal(MvWalRecord::Flush { view: id, at: now });
+                        }
+                    }
+                }
                 for rt in self.registry.runtimes_mut() {
                     rt.flush(now)?;
                 }
@@ -297,26 +602,34 @@ impl MaintenanceScheduler {
                         delta.merge(&folded);
                         consumed.extend(infos);
                     }
-                    self.pending_tasks.push_back(SweepTask {
+                    let task = SweepTask {
                         consumed,
                         j,
                         delta,
                         lo,
                         hi,
                         views: affected,
-                    });
+                    };
+                    if self.durable.is_some() {
+                        self.wal(MvWalRecord::TaskFormed { task: task.clone() });
+                    }
+                    self.pending_tasks.push_back(task);
                 }
                 SchedulerMode::Naive => {
                     for v in affected {
                         let (lo, hi) = self.registry.span(v)?;
-                        self.pending_tasks.push_back(SweepTask {
+                        let task = SweepTask {
                             consumed: vec![(update.id, arrived_at)],
                             j,
                             delta: update.delta.clone(),
                             lo,
                             hi,
                             views: vec![v],
-                        });
+                        };
+                        if self.durable.is_some() {
+                            self.wal(MvWalRecord::TaskFormed { task: task.clone() });
+                        }
+                        self.pending_tasks.push_back(task);
                     }
                 }
             }
@@ -360,6 +673,7 @@ impl MaintenanceScheduler {
         };
         snapshot(&self.registry, &mut active, j, JoinSide::Left, &left_seed)?;
         snapshot(&self.registry, &mut active, j, JoinSide::Right, &right_seed)?;
+        let first_qid = self.core.next_qid();
         if j > active.task.lo {
             active.left = LegSlot::Running(Leg::launch(
                 &mut self.core,
@@ -378,6 +692,11 @@ impl MaintenanceScheduler {
                 JoinSide::Right,
             ));
         }
+        if self.durable.is_some() {
+            for qid in first_qid..self.core.next_qid() {
+                self.wal(MvWalRecord::QuerySent { qid });
+            }
+        }
         if matches!(
             (&active.left, &active.right),
             (LegSlot::Done(_), LegSlot::Done(_))
@@ -395,6 +714,16 @@ impl MaintenanceScheduler {
         qid: u64,
         partial: PartialDelta,
     ) -> Result<(), MvError> {
+        if let Some(d) = self.durable.as_mut() {
+            if qid < d.stale_floor {
+                // An answer to a query a dead incarnation sent. The
+                // recovered scheduler superseded that sweep; silently
+                // absorbing the straggler is the idempotent move.
+                d.recovery.stale_answers_dropped += 1;
+                self.core.obs.add("mv.recovery.stale_answers_dropped", 1);
+                return Ok(());
+            }
+        }
         let Some(mut active) = self.active.take() else {
             return Err(MvError::Warehouse(
                 dw_warehouse::WarehouseError::UnknownQuery { qid },
@@ -421,7 +750,12 @@ impl MaintenanceScheduler {
         leg.dv = partial;
         let (k, side) = (leg.j, leg.side);
         let temp = leg.temp.clone();
+        let comps_before = self.core.metrics.local_compensations;
         self.core.compensate(&mut leg.dv, &temp, k, side)?;
+        if self.durable.is_some() {
+            let comps = self.core.metrics.local_compensations - comps_before;
+            self.wal(MvWalRecord::HopDone { qid, comps });
+        }
         // Views whose span ends exactly at this hop peel off the shared
         // partial *after* this hop's compensation.
         snapshot(&self.registry, &mut active, k, side, &leg.dv)?;
@@ -438,7 +772,11 @@ impl MaintenanceScheduler {
         };
         match next {
             Some(nj) => {
+                let next_qid = self.core.next_qid();
                 leg.advance(&mut self.core, net, nj, side);
+                if self.durable.is_some() {
+                    self.wal(MvWalRecord::QuerySent { qid: next_qid });
+                }
                 *slot = LegSlot::Running(leg);
             }
             None => *slot = LegSlot::Done(leg.dv),
@@ -463,6 +801,7 @@ impl MaintenanceScheduler {
     ) -> Result<(), MvError> {
         let now = net.now();
         let task = active.task;
+        let mut applies = Vec::with_capacity(task.views.len());
         for &v in &task.views {
             let left = active
                 .left_snaps
@@ -477,14 +816,51 @@ impl MaintenanceScheduler {
                 .map(|(_, p)| p)
                 .expect("right leg visited every affected span end");
             let merged = merge_pivot(&self.core.view, task.j, left, right);
-            let rt = self.registry.runtime_mut(v)?;
-            let delta = finalize_for_view(&rt.local, &merged)?;
-            rt.apply_delta(&delta, &task.consumed, now)?;
+            let delta = finalize_for_view(&self.registry.runtime(v)?.local, &merged)?;
+            applies.push((v, delta));
+        }
+        // One atomic commit record carrying every per-view delta: replay
+        // either re-applies the whole sweep or none of it, and only a
+        // committed task leaves durable `pending_tasks`.
+        if self.durable.is_some() {
+            let logged = applies
+                .iter()
+                .map(|(v, delta)| ViewApply {
+                    view: *v,
+                    delta: delta.clone(),
+                    consumed: task.consumed.clone(),
+                })
+                .collect();
+            self.wal(MvWalRecord::TaskCommit {
+                at: now,
+                applies: logged,
+            });
+        }
+        for (v, delta) in &applies {
+            self.registry
+                .runtime_mut(*v)?
+                .apply_delta(delta, &task.consumed, now)?;
         }
         self.core.record_batch(task.consumed.len());
         self.core.end_sweep(net.now());
         self.core.batch = 1;
         self.core.push_preds.clear();
+        // Checkpoint cadence: every `checkpoint_every` commits, replace
+        // the durable image and truncate the log. Safe here — the sweep
+        // just finished, so no in-flight state exists to miss.
+        let due = match self.durable.as_mut() {
+            Some(d) => {
+                d.committed_since_ckpt += 1;
+                d.committed_since_ckpt >= d.cfg.cadence()
+            }
+            None => false,
+        };
+        if due {
+            let snap = self.snapshot();
+            let d = self.durable.as_mut().expect("due implies enabled");
+            d.committed_since_ckpt = 0;
+            d.store.checkpoint(snap);
+        }
         Ok(())
     }
 
@@ -544,7 +920,15 @@ impl SweepPolicy for MaintenanceScheduler {
         &mut self.core
     }
 
-    fn note_update(&mut self, u: &SourceUpdate) -> Result<(), MvError> {
+    fn note_update(&mut self, u: &SourceUpdate, at: Time) -> Result<(), MvError> {
+        // Journal the arrival before it enters the volatile queue: an
+        // update the WAL knows about can never be lost to a crash.
+        if self.durable.is_some() {
+            self.wal(MvWalRecord::UpdateQueued {
+                update: u.clone(),
+                at,
+            });
+        }
         for id in self.registry.affected_by(u.id.source) {
             self.registry.runtime_mut(id)?.metrics.updates_received += 1;
         }

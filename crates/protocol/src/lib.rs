@@ -26,7 +26,7 @@ pub mod transport;
 use dw_relational::{Bag, PartialDelta, Predicate};
 use dw_simnet::{NodeId, Payload};
 
-pub use transport::{Endpoint, TransportConfig, TransportNet};
+pub use transport::{Endpoint, TransportConfig, TransportConfigError, TransportNet};
 
 /// Chain position of a data source, `0..n` (the paper's subscript `i`).
 pub type SourceIndex = usize;
@@ -107,6 +107,14 @@ pub struct SweepQuery {
     /// full relation (the pre-pushdown wire behavior). The predicate
     /// references attributes by position within the receiving relation.
     pub pred: Option<Predicate>,
+    /// Sweep epoch of the issuing warehouse. `0` until the warehouse
+    /// recovers from a state-crash for the first time; each recovery
+    /// bumps it. Sources remember the highest epoch they have served and
+    /// drop queries from older epochs, so a re-seeded sweep never races
+    /// the stale in-flight queries of its aborted predecessor. Counted
+    /// inside the query's fixed header ([`Payload::size_bytes`]), so the
+    /// wire accounting is unchanged from the pre-recovery protocol.
+    pub epoch: u64,
 }
 
 /// Answer to a [`SweepQuery`]: the widened partial delta.
@@ -249,6 +257,7 @@ impl Payload for Message {
         HDR + match self {
             Message::ApplyTxn { delta, .. } => delta.size_bytes(),
             Message::Update(u) => u.delta.size_bytes(),
+            // The fixed 16-byte query header covers qid/side/batch/epoch.
             Message::SweepQuery(q) => {
                 q.partial.bag.size_bytes() + 16 + q.pred.as_ref().map_or(0, Predicate::size_bytes)
             }
@@ -387,6 +396,7 @@ mod tests {
             side: JoinSide::Right,
             batch: 1,
             pred: None,
+            epoch: 0,
         });
         let full = Message::SweepQuery(SweepQuery {
             qid: 0,
@@ -398,6 +408,7 @@ mod tests {
             side: JoinSide::Right,
             batch: 1,
             pred: None,
+            epoch: 0,
         });
         assert!(full.size_bytes() > empty.size_bytes() + 1000);
     }

@@ -59,6 +59,54 @@ impl Default for TransportConfig {
     }
 }
 
+/// A rejected [`TransportConfig`]: which relation between the knobs is
+/// violated. Raised by [`TransportConfig::validate`] before any endpoint
+/// is built, so a nonsensical timer setup fails loudly at construction
+/// instead of silently mis-pacing retransmissions mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportConfigError {
+    /// `rto_max < rto_initial`: the backoff ceiling sits below the
+    /// starting timeout, so the very first doubling would *shrink* it.
+    BackoffCeilingBelowInitial {
+        /// Configured first timeout.
+        rto_initial: Time,
+        /// Configured (too-low) ceiling.
+        rto_max: Time,
+    },
+    /// `jitter >= rto_initial`: the random spread dominates the timeout
+    /// itself, so a timer can fire after up to twice its nominal RTO and
+    /// the backoff trajectory becomes noise.
+    JitterSwampsRto {
+        /// Configured first timeout.
+        rto_initial: Time,
+        /// Configured (too-large) jitter bound.
+        jitter: Time,
+    },
+}
+
+impl std::fmt::Display for TransportConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportConfigError::BackoffCeilingBelowInitial {
+                rto_initial,
+                rto_max,
+            } => write!(
+                f,
+                "transport config: rto_max ({rto_max}µs) is below rto_initial ({rto_initial}µs)"
+            ),
+            TransportConfigError::JitterSwampsRto {
+                rto_initial,
+                jitter,
+            } => write!(
+                f,
+                "transport config: jitter ({jitter}µs) must be below rto_initial ({rto_initial}µs)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransportConfigError {}
+
 impl TransportConfig {
     /// A config tuned to a link's mean latency: RTO of roughly three
     /// round trips, never below 4 ms.
@@ -70,6 +118,26 @@ impl TransportConfig {
             jitter: (rto / 8).max(500),
             resync_interval: rto,
         }
+    }
+
+    /// Reject configurations whose timers cannot behave: a backoff
+    /// ceiling below the initial timeout, or jitter at least as large as
+    /// the timeout it perturbs. [`TransportConfig::default`] and every
+    /// [`TransportConfig::for_latency_mean`] output validate cleanly.
+    pub fn validate(&self) -> Result<(), TransportConfigError> {
+        if self.rto_max < self.rto_initial {
+            return Err(TransportConfigError::BackoffCeilingBelowInitial {
+                rto_initial: self.rto_initial,
+                rto_max: self.rto_max,
+            });
+        }
+        if self.jitter >= self.rto_initial {
+            return Err(TransportConfigError::JitterSwampsRto {
+                rto_initial: self.rto_initial,
+                jitter: self.jitter,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -718,6 +786,38 @@ mod tests {
         assert_eq!(ep.outbox_len(1), 1);
         let d = net.next().unwrap();
         assert!(matches!(d.msg, Message::Frame { seq: 0, .. }));
+    }
+
+    #[test]
+    fn config_validation_rejects_inverted_backoff_and_dominant_jitter() {
+        assert!(TransportConfig::default().validate().is_ok());
+        for mean in [1.0, 100.0, 2_000.0, 1_000_000.0] {
+            assert!(
+                TransportConfig::for_latency_mean(mean).validate().is_ok(),
+                "for_latency_mean({mean}) must always be valid"
+            );
+        }
+        let inverted = TransportConfig {
+            rto_initial: 10_000,
+            rto_max: 9_999,
+            ..Default::default()
+        };
+        assert!(matches!(
+            inverted.validate(),
+            Err(TransportConfigError::BackoffCeilingBelowInitial { .. })
+        ));
+        let noisy = TransportConfig {
+            rto_initial: 5_000,
+            jitter: 5_000,
+            ..Default::default()
+        };
+        assert!(matches!(
+            noisy.validate(),
+            Err(TransportConfigError::JitterSwampsRto { .. })
+        ));
+        // Errors render their offending values.
+        let msg = inverted.validate().unwrap_err().to_string();
+        assert!(msg.contains("9999") && msg.contains("10000"), "got: {msg}");
     }
 
     #[test]

@@ -26,6 +26,15 @@
 //!   -local transactions) are still delivered: the database under a
 //!   source survives the crash of its network agent, which is what makes
 //!   crash-recovery via the transport's `Resync` handshake meaningful.
+//! * **State crash** — network-wise identical to a crash (same message
+//!   loss while down), but with the opposite *memory* contract: an
+//!   ordinary crash is an **amnesia** crash — the node restarts blank and
+//!   relies on peers re-sending — whereas a state-crash node owns a
+//!   durable store (checkpoint + write-ahead log) that survives, and on
+//!   restart it must *replay* that store back into volatile memory. The
+//!   distinction lives entirely in the restart orchestration (who
+//!   rebuilds state: the peers, or the node's own log); the network
+//!   treats both window kinds as one union via [`FaultPlan::node_down`].
 
 use crate::network::NodeId;
 use crate::Time;
@@ -96,6 +105,7 @@ pub struct FaultPlan {
     link_overrides: HashMap<(NodeId, NodeId), LinkFaults>,
     outages: Vec<Outage>,
     crashes: Vec<Crash>,
+    state_crashes: Vec<Crash>,
 }
 
 impl FaultPlan {
@@ -162,6 +172,21 @@ impl FaultPlan {
         self
     }
 
+    /// Crash `node` during `[down_at, up_at)` with its *durable store
+    /// intact*: volatile state is lost, but checkpoints and the
+    /// write-ahead log survive and are replayed at `up_at`. Contrast
+    /// [`FaultPlan::crash`], which is an amnesia crash (restart from
+    /// nothing, peers re-send). The network drops messages identically
+    /// for both; only restart orchestration differs.
+    pub fn state_crash(mut self, node: NodeId, down_at: Time, up_at: Time) -> Self {
+        self.state_crashes.push(Crash {
+            node,
+            down_at,
+            up_at,
+        });
+        self
+    }
+
     /// Fault rates in effect on a directed link.
     pub fn link_faults(&self, from: NodeId, to: NodeId) -> LinkFaults {
         self.link_overrides
@@ -177,17 +202,26 @@ impl FaultPlan {
             .any(|o| o.from == from && o.to == to && (o.start..o.end).contains(&at))
     }
 
-    /// Is the node inside a crash window at time `at`?
+    /// Is the node inside a crash window (amnesia *or* state-crash) at
+    /// time `at`? The network consults only this union: message loss
+    /// while down is identical for both kinds.
     pub fn node_down(&self, node: NodeId, at: Time) -> bool {
         self.crashes
             .iter()
+            .chain(self.state_crashes.iter())
             .any(|c| c.node == node && (c.down_at..c.up_at).contains(&at))
     }
 
-    /// All scheduled crash windows (the orchestrator injects restart
-    /// events at each `up_at`).
+    /// All scheduled amnesia-crash windows (the orchestrator injects
+    /// restart events at each `up_at`).
     pub fn crashes(&self) -> &[Crash] {
         &self.crashes
+    }
+
+    /// All scheduled state-crash windows (durable store survives; the
+    /// orchestrator triggers checkpoint+WAL replay at each `up_at`).
+    pub fn state_crashes(&self) -> &[Crash] {
+        &self.state_crashes
     }
 
     /// All scheduled outages.
@@ -202,6 +236,7 @@ impl FaultPlan {
             && self.link_overrides.values().all(LinkFaults::is_reliable)
             && self.outages.is_empty()
             && self.crashes.is_empty()
+            && self.state_crashes.is_empty()
     }
 }
 
@@ -261,6 +296,73 @@ mod tests {
         let plan = FaultPlan::default().partition(0, 1, 10, 20);
         assert!(plan.link_cut(0, 1, 15));
         assert!(plan.link_cut(1, 0, 15));
+    }
+
+    #[test]
+    fn state_crash_windows_count_as_down_and_nontrivial() {
+        let plan = FaultPlan::default().state_crash(0, 500, 900);
+        assert!(plan.node_down(0, 500));
+        assert!(plan.node_down(0, 899));
+        assert!(!plan.node_down(0, 900));
+        assert_eq!(plan.crashes().len(), 0, "state crashes are not amnesia");
+        assert_eq!(plan.state_crashes().len(), 1);
+        assert!(!plan.is_trivial());
+    }
+
+    /// Overlapping windows (even of different kinds, on the same node)
+    /// union cleanly: the node is down wherever *any* window covers.
+    #[test]
+    fn overlapping_crash_windows_union() {
+        let plan = FaultPlan::default()
+            .crash(1, 100, 300)
+            .state_crash(1, 200, 400);
+        for t in [100, 199, 200, 299, 300, 399] {
+            assert!(plan.node_down(1, t), "t={t} must be down");
+        }
+        assert!(!plan.node_down(1, 99));
+        assert!(!plan.node_down(1, 400));
+    }
+
+    /// Adjacent windows where one's `up_at` equals the next's `down_at`
+    /// leave no one-instant gap of liveness *and* no double-down overlap:
+    /// half-open intervals tile exactly.
+    #[test]
+    fn adjacent_crash_windows_tile_without_gap() {
+        let plan = FaultPlan::default().crash(2, 100, 200).crash(2, 200, 300);
+        assert!(plan.node_down(2, 199));
+        assert!(
+            plan.node_down(2, 200),
+            "restart instant of the first window is the down instant of the second"
+        );
+        assert!(plan.node_down(2, 299));
+        assert!(!plan.node_down(2, 300));
+    }
+
+    /// A crash starting at time 0 covers the very first instant — nothing
+    /// in the half-open arithmetic underflows or exempts t = 0.
+    #[test]
+    fn crash_starting_at_time_zero_covers_first_instant() {
+        let plan = FaultPlan::default().state_crash(0, 0, 50);
+        assert!(plan.node_down(0, 0));
+        assert!(plan.node_down(0, 49));
+        assert!(!plan.node_down(0, 50));
+    }
+
+    /// A restart landing exactly on a send instant: the node is *up* at
+    /// `up_at`, so a message sent at precisely that time must not be
+    /// treated as sent-while-down. This pins the boundary the restart
+    /// orchestrator relies on when it injects the restart event at
+    /// `up_at` and expects it (and anything after) to be delivered.
+    #[test]
+    fn restart_on_send_boundary_is_up() {
+        let plan = FaultPlan::default()
+            .crash(3, 1_000, 2_000)
+            .state_crash(3, 5_000, 6_000);
+        assert!(!plan.node_down(3, 2_000), "amnesia restart instant is up");
+        assert!(!plan.node_down(3, 6_000), "state restart instant is up");
+        // One instant earlier both are still down.
+        assert!(plan.node_down(3, 1_999));
+        assert!(plan.node_down(3, 5_999));
     }
 
     #[test]

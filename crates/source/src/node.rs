@@ -70,6 +70,17 @@ pub struct DataSource {
     /// Incrementally maintained join indexes (left-neighbor key,
     /// right-neighbor key), when enabled.
     indexes: Option<SourceIndexes>,
+    /// Highest sweep epoch seen on any query. A warehouse state-crash
+    /// recovery bumps the epoch of every query it issues; a query from
+    /// an *older* epoch belongs to a sweep the warehouse already
+    /// aborted, so answering it would only feed the recovered scheduler
+    /// an orphan. Dropping it here makes re-issued queries idempotent
+    /// end to end. Epoch 0 queries (the pre-recovery protocol) are never
+    /// dropped.
+    max_epoch_seen: u64,
+    /// Stale-epoch queries dropped (test/inspection hook; also counted
+    /// on `source.stale_epoch_dropped`).
+    stale_queries_dropped: u64,
     /// Observability handle (no-op unless a recorder is attached).
     obs: Obs,
 }
@@ -96,6 +107,8 @@ impl DataSource {
             next_seq: 0,
             txns_applied: 0,
             indexes: None,
+            max_epoch_seen: 0,
+            stale_queries_dropped: 0,
             obs: Obs::off(),
         }
     }
@@ -156,6 +169,8 @@ impl DataSource {
                 as_right_neighbor,
                 as_left_neighbor,
             }),
+            max_epoch_seen: 0,
+            stale_queries_dropped: 0,
             obs: Obs::off(),
         })
     }
@@ -178,6 +193,11 @@ impl DataSource {
     /// Number of transactions applied so far.
     pub fn txns_applied(&self) -> u64 {
         self.txns_applied
+    }
+
+    /// Queries dropped because they carried a stale sweep epoch.
+    pub fn stale_queries_dropped(&self) -> u64 {
+        self.stale_queries_dropped
     }
 
     /// Service one delivered event.
@@ -224,6 +244,17 @@ impl DataSource {
                 Ok(())
             }
             Message::SweepQuery(q) => {
+                if q.epoch < self.max_epoch_seen {
+                    // A sweep the warehouse aborted in a crash: its
+                    // recovery already re-seeded the work under a newer
+                    // epoch, so this straggler must not produce an
+                    // answer. Dropping is safe — nothing at the
+                    // warehouse is waiting on the stale qid.
+                    self.stale_queries_dropped += 1;
+                    self.obs.add("source.stale_epoch_dropped", 1);
+                    return Ok(());
+                }
+                self.max_epoch_seen = q.epoch;
                 let widened = if let Some(pred) = &q.pred {
                     // Pushed-down σ: restrict the local relation to the
                     // qualifying tuples before joining, so only they
@@ -409,6 +440,7 @@ mod tests {
             },
             side: JoinSide::Right,
             batch: 1,
+            epoch: 0,
             pred: None,
         };
         src.handle(WAREHOUSE_NODE, Message::SweepQuery(q), &mut net)
@@ -442,6 +474,7 @@ mod tests {
             },
             side: JoinSide::Right,
             batch: 1,
+            epoch: 0,
             pred: Some(Predicate::Cmp {
                 attr: 1,
                 op: CmpOp::Ge,
@@ -477,6 +510,7 @@ mod tests {
             },
             side: JoinSide::Right,
             batch: 1,
+            epoch: 0,
             pred: Some(Predicate::Cmp {
                 attr: 1,
                 op: CmpOp::Ge,
@@ -580,6 +614,7 @@ mod indexed_tests {
             },
             side: JoinSide::Right,
             batch: 1,
+            epoch: 0,
             pred: None,
         };
         assert_eq!(
@@ -596,6 +631,7 @@ mod indexed_tests {
             },
             side: JoinSide::Left,
             batch: 1,
+            epoch: 0,
             pred: None,
         };
         assert_eq!(
@@ -631,6 +667,7 @@ mod indexed_tests {
             },
             side: JoinSide::Right,
             batch: 1,
+            epoch: 0,
             pred: None,
         };
         assert_eq!(answer_of(&mut plain, q.clone()), answer_of(&mut fast, q));

@@ -139,6 +139,7 @@ impl CStrobe {
                     partial: q.pd.clone(),
                     side,
                     batch: 1,
+                    epoch: 0,
                     pred: None,
                 }),
             );

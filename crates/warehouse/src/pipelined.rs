@@ -139,6 +139,7 @@ impl PipelinedSweep {
                 partial: flight.dv.clone(),
                 side: flight.side,
                 batch: 1,
+                epoch: 0,
                 pred: None,
             }),
         );

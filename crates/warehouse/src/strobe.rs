@@ -138,6 +138,7 @@ impl Strobe {
                 partial: pd.clone(),
                 side,
                 batch: 1,
+                epoch: 0,
                 pred: None,
             }),
         );

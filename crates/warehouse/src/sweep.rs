@@ -381,7 +381,7 @@ impl SweepPolicy for Sweep {
         &mut self.core
     }
 
-    fn note_update(&mut self, u: &SourceUpdate) -> Result<(), WarehouseError> {
+    fn note_update(&mut self, u: &SourceUpdate, _at: Time) -> Result<(), WarehouseError> {
         if let Some(g) = u.global {
             self.global_tags.insert(u.id, g);
         }

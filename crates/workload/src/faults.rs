@@ -35,6 +35,11 @@ pub struct FaultScenarioConfig {
     pub partitions: usize,
     /// Number of source crash/restart cycles to schedule.
     pub crashes: usize,
+    /// Number of *warehouse state-crash* windows to schedule (node 0
+    /// loses its volatile state but keeps its durable store; see
+    /// [`FaultPlan::state_crash`]). Zero by default — only recovery
+    /// experiments opt in.
+    pub state_crashes: usize,
     /// Experiment horizon (µs); outage and crash windows fall inside it.
     pub horizon: Time,
 }
@@ -49,6 +54,7 @@ impl Default for FaultScenarioConfig {
             reorder_window: 10_000,
             partitions: 1,
             crashes: 1,
+            state_crashes: 0,
             horizon: 1_000_000,
         }
     }
@@ -80,6 +86,14 @@ impl FaultScenarioConfig {
             let down_at = rng.u64_below(self.horizon.max(1));
             let len = 1 + rng.u64_below((self.horizon / 4).max(1));
             plan = plan.crash(node, down_at, down_at.saturating_add(len));
+        }
+        for _ in 0..self.state_crashes {
+            // State crashes always hit the warehouse: sources model a
+            // durable DB already, so only node 0 has volatile sweep
+            // state worth losing.
+            let down_at = rng.u64_below(self.horizon.max(1));
+            let len = 1 + rng.u64_below((self.horizon / 4).max(1));
+            plan = plan.state_crash(0, down_at, down_at.saturating_add(len));
         }
         plan
     }
@@ -148,6 +162,27 @@ mod tests {
             let lf = plan.link_faults(0, 1);
             assert!(lf.drop_rate <= 0.1);
             assert_eq!(lf.dup_rate, 0.0);
+        }
+    }
+
+    #[test]
+    fn state_crashes_target_the_warehouse_only() {
+        let cfg = FaultScenarioConfig {
+            state_crashes: 4,
+            ..FaultScenarioConfig::default()
+        };
+        for seed in 0..50 {
+            let plan = cfg.generate(seed);
+            assert_eq!(plan.state_crashes().len(), 4, "seed {seed}");
+            for c in plan.state_crashes() {
+                assert_eq!(c.node, 0, "seed {seed}: state crash off-warehouse");
+                assert!(c.down_at < c.up_at);
+                assert!(c.down_at < cfg.horizon);
+            }
+            // Amnesia crashes still never touch the warehouse.
+            for c in plan.crashes() {
+                assert!(c.node >= 1);
+            }
         }
     }
 

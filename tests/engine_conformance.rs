@@ -12,6 +12,18 @@
 //! orders of magnitude above a thread-hop round trip. Every sweep
 //! completes before the next update arrives, on both backends, and the
 //! install sequence collapses to the injection order.
+//!
+//! That sparseness claim is a wall-clock claim, so it degrades under
+//! host load: on a busy machine a sweep's thread hops can stretch past
+//! the compressed gap, updates then legitimately arrive mid-sweep, and
+//! a timing-dependent fingerprint (Nested SWEEP dovetails them; plain
+//! SWEEP can see cross-source arrivals swap) differs from the
+//! simulator's without any engine bug. The live arm therefore retries
+//! with progressively *less* time compression — wider real gaps — and
+//! only a mismatch at every scale (including 1:1, where the gaps are a
+//! full 200 ms) is declared a conformance failure. A genuine
+//! transport-blindness bug is schedule-determined and fails at every
+//! scale.
 
 use dwsweep::livenet::run_live;
 use dwsweep::prelude::*;
@@ -39,7 +51,10 @@ fn sparse_scenario(seed: u64) -> GeneratedScenario {
     .unwrap()
 }
 
-const TIME_SCALE: f64 = 25.0;
+/// Escalating real-time widths for the live arm: start fast (8 ms real
+/// gaps), back off toward 1:1 (200 ms real gaps) only if host load made
+/// the fast run race.
+const TIME_SCALES: [f64; 3] = [25.0, 5.0, 1.0];
 const DEADLINE: Duration = Duration::from_secs(60);
 
 fn ground_truth(s: &GeneratedScenario) -> Bag {
@@ -67,13 +82,23 @@ fn sweep_conforms_across_backends() {
             .policy(PolicyKind::Sweep(Default::default()))
             .run()
             .unwrap();
-        let live = run_live(
-            &s,
-            |view, initial| Ok(Box::new(Sweep::new(view, initial)?)),
-            TIME_SCALE,
-            DEADLINE,
-        )
-        .unwrap();
+        let sim_fp = install_fingerprint(&sim.installs);
+        let mut live = None;
+        for &scale in &TIME_SCALES {
+            let r = run_live(
+                &s,
+                |view, initial| Ok(Box::new(Sweep::new(view, initial)?)),
+                scale,
+                DEADLINE,
+            )
+            .unwrap();
+            let matched = r.quiescent && install_fingerprint(&r.installs) == sim_fp;
+            live = Some(r);
+            if matched {
+                break;
+            }
+        }
+        let live = live.unwrap();
 
         assert!(sim.quiescent && live.quiescent, "seed {k}");
         assert_eq!(sim.view, truth, "seed {k}: simnet diverged from truth");
@@ -164,13 +189,23 @@ fn nested_sweep_conforms_across_backends() {
             .policy(PolicyKind::NestedSweep(Default::default()))
             .run()
             .unwrap();
-        let live = run_live(
-            &s,
-            |view, initial| Ok(Box::new(NestedSweep::new(view, initial)?)),
-            TIME_SCALE,
-            DEADLINE,
-        )
-        .unwrap();
+        let sim_fp = install_fingerprint(&sim.installs);
+        let mut live = None;
+        for &scale in &TIME_SCALES {
+            let r = run_live(
+                &s,
+                |view, initial| Ok(Box::new(NestedSweep::new(view, initial)?)),
+                scale,
+                DEADLINE,
+            )
+            .unwrap();
+            let matched = r.quiescent && install_fingerprint(&r.installs) == sim_fp;
+            live = Some(r);
+            if matched {
+                break;
+            }
+        }
+        let live = live.unwrap();
 
         assert!(sim.quiescent && live.quiescent, "seed {k}");
         assert_eq!(sim.view, truth, "seed {k}: simnet diverged from truth");

@@ -45,11 +45,27 @@ fn arb_config(r: &mut Rng64) -> StreamConfig {
     }
 }
 
-const CASES: u64 = 48;
+/// Clean-network schedule count: 48, scaled by the `DW_FUZZ_SCHEDULES`
+/// multiplier (`ci.sh --deep` sets it).
+fn cases() -> u64 {
+    48 * fuzz_scale()
+}
+
+/// Faulty-network schedule count: 128, scaled like [`cases`].
+fn fault_cases() -> u64 {
+    128 * fuzz_scale()
+}
+
+fn fuzz_scale() -> u64 {
+    std::env::var("DW_FUZZ_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(1, |m| m.max(1))
+}
 
 #[test]
 fn sweep_complete_on_random_schedules() {
-    for case in 0..CASES {
+    for case in 0..cases() {
         let mut r = Rng64::new(case);
         let cfg = arb_config(&mut r);
         let latency = arb_latency(&mut r);
@@ -82,7 +98,7 @@ fn sweep_complete_on_random_schedules() {
 
 #[test]
 fn nested_sweep_strong_on_random_schedules() {
-    for case in 0..CASES {
+    for case in 0..cases() {
         let mut r = Rng64::new(1_000 + case);
         let cfg = arb_config(&mut r);
         let latency = arb_latency(&mut r);
@@ -114,7 +130,7 @@ fn nested_sweep_strong_on_random_schedules() {
 
 #[test]
 fn sweep_parallel_equals_sequential() {
-    for case in 0..CASES {
+    for case in 0..cases() {
         let mut r = Rng64::new(2_000 + case);
         let cfg = arb_config(&mut r);
         let latency = arb_latency(&mut r);
@@ -148,7 +164,7 @@ fn sweep_parallel_equals_sequential() {
 
 #[test]
 fn pipelined_sweep_complete_on_random_schedules() {
-    for case in 0..CASES {
+    for case in 0..cases() {
         let mut r = Rng64::new(3_000 + case);
         let cfg = arb_config(&mut r);
         let latency = arb_latency(&mut r);
@@ -173,7 +189,7 @@ fn pipelined_sweep_complete_on_random_schedules() {
 
 #[test]
 fn short_circuit_preserves_completeness() {
-    for case in 0..CASES {
+    for case in 0..cases() {
         let mut r = Rng64::new(4_000 + case);
         let cfg = arb_config(&mut r);
         let net_seed = r.next_u64();
@@ -229,11 +245,9 @@ fn fault_config(r: &mut Rng64) -> StreamConfig {
     }
 }
 
-const FAULT_CASES: u64 = 128;
-
 #[test]
 fn sweep_complete_on_fault_schedules() {
-    for case in 0..FAULT_CASES {
+    for case in 0..fault_cases() {
         let mut r = Rng64::new(0xFA_0000 + case);
         let cfg = fault_config(&mut r);
         let plan = hostile_plan(&mut r, cfg.n_sources);
@@ -270,7 +284,7 @@ fn sweep_complete_on_fault_schedules() {
 
 #[test]
 fn nested_sweep_strong_on_fault_schedules() {
-    for case in 0..FAULT_CASES {
+    for case in 0..fault_cases() {
         let mut r = Rng64::new(0xFB_0000 + case);
         let cfg = fault_config(&mut r);
         let plan = hostile_plan(&mut r, cfg.n_sources);
@@ -304,7 +318,7 @@ fn nested_sweep_strong_on_fault_schedules() {
 /// own ground truth, and agree with its siblings on the shared sources.
 #[test]
 fn multiview_shared_sweep_converges_on_fault_schedules() {
-    for case in 0..FAULT_CASES {
+    for case in 0..fault_cases() {
         let mut r = Rng64::new(0xFD_0000 + case);
         let cfg = fault_config(&mut r);
         let plan = hostile_plan(&mut r, cfg.n_sources);
@@ -390,7 +404,7 @@ fn multiview_batched_sweep_converges_on_fault_schedules() {
 /// install sequences — while every convergence guarantee still holds.
 #[test]
 fn multiview_pushdown_equivalent_on_fault_schedules() {
-    for case in 0..FAULT_CASES {
+    for case in 0..fault_cases() {
         let mut r = Rng64::new(0xFF_0000 + case);
         let cfg = fault_config(&mut r);
         let plan = hostile_plan(&mut r, cfg.n_sources);
