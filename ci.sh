@@ -1,61 +1,179 @@
 #!/usr/bin/env bash
 # Tier-1 gate: offline release build, full test suite, formatting, docs,
-# clippy with warnings denied, and the perf-regression gate against the
-# committed BENCH_report.json baseline. The workspace has zero external
-# dependencies, so everything here must pass with the registry
-# unreachable.
+# clippy with warnings denied, repo-hygiene guards, and the
+# perf-regression gate against the committed BENCH_report.json baseline.
+# The workspace has zero external dependencies, so everything here must
+# pass with the registry unreachable.
 #
-# `ci.sh --deep` additionally re-runs the seeded-schedule suites
-# (schedule_fuzz, recovery_equivalence) at 4x their default schedule
-# counts via the DW_FUZZ_SCHEDULES multiplier.
-set -euo pipefail
+# Stages run *without* fail-fast: every stage executes, each is timed,
+# and a final PASS/FAIL table summarizes the run (exit 1 if any stage
+# failed). Flags:
+#
+#   --stage <name>   run exactly one stage (names as printed in the table)
+#   --deep           additionally re-run the seeded-schedule suites
+#                    (schedule_fuzz, recovery_equivalence — including
+#                    their sharded arms) at 4x their default schedule
+#                    counts via the DW_FUZZ_SCHEDULES multiplier
+set -uo pipefail
 cd "$(dirname "$0")"
 
 DEEP=0
-if [[ "${1:-}" == "--deep" ]]; then
-  DEEP=1
-fi
+ONLY_STAGE=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --deep) DEEP=1 ;;
+    --stage)
+      ONLY_STAGE="${2:?--stage needs a stage name}"
+      shift
+      ;;
+    -h|--help)
+      sed -n '2,17p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      echo "unknown argument: $1 (try --help)" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
 
 export CARGO_NET_OFFLINE=true
 
-echo "==> README crate table covers every workspace crate"
-for d in crates/*/; do
-  c="dw-$(basename "$d")"
-  if ! grep -Eq "^\| \`$c\`" README.md; then
-    echo "FAIL: $c is missing from the README crate-map table" >&2
-    exit 1
+STAGE_NAMES=()
+STAGE_STATUS=()
+STAGE_SECS=()
+ANY_FAILED=0
+STAGES_RUN=0
+
+# run_stage <name> <fn>: execute one stage, record PASS/FAIL and
+# wall-clock seconds; never aborts the script.
+run_stage() {
+  local name="$1" fn="$2" status t0
+  if [[ -n "$ONLY_STAGE" && "$name" != "$ONLY_STAGE" ]]; then
+    return 0
   fi
-done
+  STAGES_RUN=$((STAGES_RUN + 1))
+  echo "==> $name"
+  t0=$SECONDS
+  if "$fn"; then
+    status=PASS
+  else
+    status=FAIL
+    ANY_FAILED=1
+    echo "==> $name: FAILED (continuing to remaining stages)" >&2
+  fi
+  STAGE_NAMES+=("$name")
+  STAGE_STATUS+=("$status")
+  STAGE_SECS+=("$((SECONDS - t0))")
+}
 
-echo "==> engine boundary: adapters stay out of the queue's batching internals"
-if grep -rn "merged_from_source\|take_from_source" \
-    crates/warehouse/src crates/multiview/src crates/livenet/src; then
-  echo "FAIL: sweep adapters must go through dw-engine (fold_same_source), not the queue internals" >&2
-  exit 1
-fi
+# Every workspace crate must appear in the README crate-map table.
+stage_readme_crates() {
+  local d c ok=0
+  for d in crates/*/; do
+    c="dw-$(basename "$d")"
+    if ! grep -Eq "^\| \`$c\`" README.md; then
+      echo "FAIL: $c is missing from the README crate-map table" >&2
+      ok=1
+    fi
+  done
+  return $ok
+}
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
+# Adapters — warehouse executors, the multi-view and sharded schedulers,
+# the live runtime, everything outside dw-engine itself — must go
+# through dw-engine's public surface (fold_same_source), never the
+# queue's batching internals.
+stage_engine_boundary() {
+  local hits
+  hits=$(grep -rn "merged_from_source\|take_from_source" crates/*/src 2>/dev/null |
+    grep -v "^crates/engine/src" || true)
+  if [[ -n "$hits" ]]; then
+    echo "$hits"
+    echo "FAIL: sweep adapters must go through dw-engine (fold_same_source), not the queue internals" >&2
+    return 1
+  fi
+}
 
-echo "==> cargo build --release"
-cargo build --release --workspace
+# Every bench binary must carry an E<N> experiment marker in its doc
+# comment and EXPERIMENTS.md must have the matching '## E<N> —' section:
+# an experiment that isn't written up doesn't exist.
+stage_experiment_docs() {
+  local f tag ok=0
+  for f in crates/bench/src/bin/*.rs; do
+    tag=$(grep -o -m1 'E[0-9]\+' "$f" | head -1 || true)
+    if [[ -z "$tag" ]]; then
+      echo "FAIL: $f has no E<N> experiment marker in its doc comment" >&2
+      ok=1
+      continue
+    fi
+    if ! grep -Eq "^## $tag " EXPERIMENTS.md; then
+      echo "FAIL: $f claims $tag but EXPERIMENTS.md has no '## $tag —' section" >&2
+      ok=1
+    fi
+  done
+  return $ok
+}
 
-echo "==> cargo test -q"
-cargo test -q --workspace
+stage_fmt() {
+  cargo fmt --all --check
+}
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+stage_build() {
+  cargo build --release --workspace
+}
 
-echo "==> cargo doc --no-deps (warnings denied)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+stage_test() {
+  cargo test -q --workspace
+}
 
-echo "==> perf gate (vs committed BENCH_report.json)"
-cargo run -q --release -p dw-bench --bin perf_gate
+stage_clippy() {
+  cargo clippy --workspace --all-targets -- -D warnings
+}
 
-if [[ "$DEEP" == "1" ]]; then
-  echo "==> deep fuzz: schedule_fuzz + recovery_equivalence at 4x schedules"
+stage_doc() {
+  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+}
+
+stage_perf_gate() {
+  cargo run -q --release -p dw-bench --bin perf_gate
+}
+
+stage_deep_fuzz() {
   DW_FUZZ_SCHEDULES=4 cargo test -q --release \
     --test schedule_fuzz --test recovery_equivalence
+}
+
+run_stage readme-crates stage_readme_crates
+run_stage engine-boundary stage_engine_boundary
+run_stage experiment-docs stage_experiment_docs
+run_stage fmt stage_fmt
+run_stage build stage_build
+run_stage test stage_test
+run_stage clippy stage_clippy
+run_stage doc stage_doc
+run_stage perf-gate stage_perf_gate
+if [[ "$DEEP" == "1" ]]; then
+  run_stage deep-fuzz stage_deep_fuzz
 fi
 
+if [[ $STAGES_RUN -eq 0 ]]; then
+  echo "unknown stage: $ONLY_STAGE" >&2
+  echo "stages: readme-crates engine-boundary experiment-docs fmt build test clippy doc perf-gate deep-fuzz" >&2
+  exit 2
+fi
+
+echo
+printf '%-18s %-6s %8s\n' "stage" "result" "wall (s)"
+printf '%-18s %-6s %8s\n' "-----" "------" "--------"
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '%-18s %-6s %8s\n' "${STAGE_NAMES[$i]}" "${STAGE_STATUS[$i]}" "${STAGE_SECS[$i]}"
+done
+echo
+
+if [[ $ANY_FAILED -ne 0 ]]; then
+  echo "==> ci.sh: FAILED (see table above)"
+  exit 1
+fi
 echo "==> ci.sh: all green"

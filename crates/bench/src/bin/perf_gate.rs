@@ -1,4 +1,4 @@
-//! **The CI perf-regression gate.** Re-runs the E1/E6/E12/E14/E15/E16/E17
+//! **The CI perf-regression gate.** Re-runs the E1/E6/E12/E14/E15/E16/E17/E18
 //! scenarios in the same mode as the committed `BENCH_report.json` and
 //! diffs fresh against baseline (see `dw_bench::perf::gate` for the
 //! exact rules):
@@ -9,7 +9,9 @@
 //!   pushdown never inflating the answers (and visibly shrinking them
 //!   on the selective workload), E17 crash recovery converging to the
 //!   fault-free run with a bounded staleness spike and replayed WAL
-//!   bytes monotone in the checkpoint interval;
+//!   bytes monotone in the checkpoint interval, E18 sharded sweeps on the
+//!   same `2(n−1)` line with zero escalations, an install sequence
+//!   identical to the unsharded engine, and speedup ≥ `0.7·S`;
 //! * no consistency downgrades against the baseline;
 //! * no >25 % regressions on tracked ratios (messages/update, installs,
 //!   staleness p95, wire inflation).
@@ -33,7 +35,7 @@ fn main() {
 
     let smoke = baseline.mode == "smoke";
     println!(
-        "perf gate: re-running E1/E6/E12/E14/E15/E16/E17 in {} mode against {path}",
+        "perf gate: re-running E1/E6/E12/E14/E15/E16/E17/E18 in {} mode against {path}",
         baseline.mode
     );
     let fresh = perf::collect(smoke);

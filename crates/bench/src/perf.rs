@@ -1,13 +1,15 @@
 //! The perf-report / perf-gate pipeline.
 //!
-//! [`collect`] re-runs the seven invariant-bearing experiments —
+//! [`collect`] re-runs the eight invariant-bearing experiments —
 //! **E1** (Table 1 algorithm comparison), **E6** (SWEEP's `2(n−1)` message
 //! linearity), **E12** (reliable-FIFO earned under faults), **E14**
 //! (shared-sweep cost independent of view count), **E15**
 //! (cross-update batching amortizes the sweep over queued same-source
 //! updates), **E16** (σ query pushdown shrinks the answers selective
-//! views pull off the wire) and **E17** (crash recovery: a warehouse
-//! state crash replays checkpoint + WAL back to the fault-free run) — and
+//! views pull off the wire), **E17** (crash recovery: a warehouse
+//! state crash replays checkpoint + WAL back to the fault-free run) and
+//! **E18** (sharded scaling: S per-shard sweep lanes cut the maintenance
+//! makespan near-linearly while installing in the unsharded order) — and
 //! condenses each into typed rows: messages per update, installs,
 //! staleness percentiles, consistency level, plus wall-clock per phase.
 //! The result serializes to `BENCH_report.json` (see [`crate::json`]),
@@ -16,7 +18,10 @@
 //! [`gate`] is the pure checker the `perf_gate` binary (and its tests)
 //! run over a `(baseline, fresh)` pair. It fails on:
 //!
-//! * **invariant breaks** in the fresh run — any E6 row off the exact
+//! * **invariant breaks** in the fresh run — any E18 row whose
+//!   shard-local sweeps leave the `2(n−1)` line, escalate, diverge from
+//!   the unsharded engine's install sequence, or scale worse than
+//!   `0.7·S`, any E6 row off the exact
 //!   `2(n−1)` line, any E12 row that is not `complete` and quiescent or
 //!   whose *logical* messages per update leave `2(n−1)`, any E14 row
 //!   whose shared sweep leaves the `2(n−1)` line (it must not scale with
@@ -41,18 +46,19 @@
 //! the machine. Everything the gate enforces is exact.
 
 use crate::json::{self, Json};
-use dw_core::{Experiment, MultiViewExperiment, PolicyKind, RunReport};
+use dw_core::{Experiment, MultiViewExperiment, PolicyKind, RunReport, ShardedExperiment};
 use dw_multiview::SchedulerMode;
 use dw_relational::{CmpOp, Value};
 use dw_simnet::{FaultPlan, LatencyModel, LinkFaults};
-use dw_workload::{MultiViewConfig, StreamConfig, ViewSpec};
+use dw_workload::{MultiViewConfig, ShardedConfig, StreamConfig, ViewSpec};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// Schema version stamped into the report; bump when row fields change.
 /// v2 added the E14 multi-view block; v3 the E15 cross-update batching
-/// block; v4 the E16 σ-pushdown block; v5 the E17 crash-recovery block.
-pub const SCHEMA_VERSION: u64 = 5;
+/// block; v4 the E16 σ-pushdown block; v5 the E17 crash-recovery block;
+/// v6 the E18 sharded-scaling block.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Relative regression tolerance on tracked ratios (25 %).
 pub const RATIO_TOLERANCE: f64 = 0.25;
@@ -285,6 +291,49 @@ pub struct E17Row {
     pub quiescent: bool,
 }
 
+/// One shard-count row of the E18 (sharded scaling) phase.
+///
+/// Every row replays the *same* logical load — identical source count,
+/// update count and arrival gaps, seeded identically — banded for `S`
+/// shards, and runs it through the sharded scheduler. The `shards = 1`
+/// row is the serialization baseline the speedups divide. Makespan is
+/// deterministic **virtual time** (last install minus first arrival), so
+/// the speedup column is exact and machine-independent; the gate demands
+/// near-linear scaling (`≥ 0.7·S`) and that shard-local sweeps stay on
+/// the unsharded cost line: exactly `2(n−1)` messages per update, zero
+/// escalations, and an install sequence identical to the unsharded
+/// engine on the same scenario (`conforms`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct E18Row {
+    /// Shard count `S` (1 = the serialization baseline).
+    pub shards: u64,
+    /// Number of data sources in the base chain.
+    pub n: u64,
+    /// Number of registered full-span SWEEP views.
+    pub views: u64,
+    /// Updates the warehouse processed.
+    pub updates: u64,
+    /// Virtual-time maintenance makespan: last install − first arrival (µs).
+    pub makespan_us: u64,
+    /// `makespan(S = 1) / makespan(S)` — exact, deterministic.
+    pub speedup: f64,
+    /// The gated floor: `0.7·S` for `S > 1`, `1.0` for the baseline row.
+    pub expected_min_speedup: f64,
+    /// Measured query/answer messages per update.
+    pub msgs_per_update: f64,
+    /// The invariant: shard-local sweeps pay the same `2(n−1)`.
+    pub expected_msgs_per_update: f64,
+    /// Global sweeps forced by cross-shard updates (0 on this workload).
+    pub escalations: u64,
+    /// Peak concurrently in-flight sweep lanes.
+    pub max_lanes: u64,
+    /// Final bags, install fingerprints and query count all matched the
+    /// unsharded engine on the same scenario.
+    pub conforms: bool,
+    /// Run drained to quiescence.
+    pub quiescent: bool,
+}
+
 /// The full report: one entry per phase plus host wall-clock timings.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PerfReport {
@@ -304,6 +353,8 @@ pub struct PerfReport {
     pub e16: Vec<E16Row>,
     /// E17 — crash-recovery rows.
     pub e17: Vec<E17Row>,
+    /// E18 — sharded-scaling rows.
+    pub e18: Vec<E18Row>,
     /// Host wall-clock per phase, milliseconds. Informational only.
     pub phase_wall_ms: Vec<(String, f64)>,
 }
@@ -352,6 +403,10 @@ pub fn collect(smoke: bool) -> PerfReport {
     let e17 = collect_e17(smoke);
     phase_wall_ms.push(("E17".to_string(), t0.elapsed().as_secs_f64() * 1e3));
 
+    let t0 = Instant::now();
+    let e18 = collect_e18(smoke);
+    phase_wall_ms.push(("E18".to_string(), t0.elapsed().as_secs_f64() * 1e3));
+
     PerfReport {
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         e1,
@@ -361,6 +416,7 @@ pub fn collect(smoke: bool) -> PerfReport {
         e15,
         e16,
         e17,
+        e18,
         phase_wall_ms,
     }
 }
@@ -841,6 +897,79 @@ pub fn recovery_scenario(n: usize, updates: usize, views: usize) -> dw_workload:
     cfg.generate().unwrap()
 }
 
+/// E18 — sharded scaling (`sharded` binary's scenario). One logical load
+/// (same n, update count and constant arrival gaps), banded for each
+/// shard count; the `S = 1` run is the serialization baseline. Each
+/// sharded run is also pitted against the *unsharded* engine on the same
+/// scenario — final bags, install fingerprints and query counts must all
+/// match, which is the install-order-sequencer claim in miniature.
+fn collect_e18(smoke: bool) -> Vec<E18Row> {
+    let shard_counts: [usize; 3] = [1, 2, 4];
+    let updates = crate::pick(smoke, 24, 64);
+    let mut base_makespan = 0u64;
+    shard_counts
+        .iter()
+        .map(|&s| {
+            let generated = sharded_scenario(s, updates);
+            let n = generated.scenario.base.num_relations();
+            let views = generated.scenario.views.len();
+            let sharded = ShardedExperiment::new(generated.clone()).run().unwrap();
+            let flat = MultiViewExperiment::new(generated.scenario).run().unwrap();
+            let conforms = flat.quiescent
+                && sharded.install_fingerprint()
+                    == flat
+                        .views
+                        .iter()
+                        .map(|v| v.installs.iter().map(|r| r.consumed.clone()).collect())
+                        .collect::<Vec<Vec<_>>>()
+                && sharded
+                    .views
+                    .iter()
+                    .zip(&flat.views)
+                    .all(|(a, b)| a.view == b.view)
+                && sharded.query_messages() == flat.query_messages();
+            let makespan = sharded.makespan();
+            if s == 1 {
+                base_makespan = makespan;
+            }
+            E18Row {
+                shards: s as u64,
+                n: n as u64,
+                views: views as u64,
+                updates: sharded.scheduler_metrics.updates_received,
+                makespan_us: makespan,
+                speedup: base_makespan as f64 / makespan as f64,
+                expected_min_speedup: if s == 1 { 1.0 } else { 0.7 * s as f64 },
+                msgs_per_update: sharded.messages_per_update(),
+                expected_msgs_per_update: (2 * (n - 1)) as f64,
+                escalations: sharded.shard_stats.escalations,
+                max_lanes: sharded.shard_stats.max_concurrent_lanes as u64,
+                conforms,
+                quiescent: sharded.quiescent,
+            }
+        })
+        .collect()
+}
+
+/// The E18 workload: a banded chain whose updates are all shard-local
+/// (pure in one band), homes assigned round-robin so every lane carries
+/// an equal share, arriving every 300 µs — far faster than a sweep's
+/// round trips, so the S-lane engine overlaps what the 1-lane engine
+/// serializes.
+pub fn sharded_scenario(shards: usize, updates: usize) -> dw_workload::ShardedScenario {
+    ShardedConfig {
+        n_sources: 3,
+        shards,
+        updates,
+        mean_gap: 300,
+        cross_shard_frac: 0.0,
+        seed: 0xE18,
+        ..Default::default()
+    }
+    .generate()
+    .unwrap()
+}
+
 // ---------------------------------------------------------------- JSON
 
 impl PerfReport {
@@ -876,6 +1005,10 @@ impl PerfReport {
             (
                 "e17_recovery",
                 Json::Arr(self.e17.iter().map(e17_to_json).collect()),
+            ),
+            (
+                "e18_sharded",
+                Json::Arr(self.e18.iter().map(e18_to_json).collect()),
             ),
             (
                 "phase_wall_ms",
@@ -954,6 +1087,13 @@ impl PerfReport {
             .iter()
             .map(e17_from_json)
             .collect::<Result<_, _>>()?;
+        let e18 = doc
+            .get("e18_sharded")
+            .and_then(Json::as_arr)
+            .ok_or("missing e18_sharded")?
+            .iter()
+            .map(e18_from_json)
+            .collect::<Result<_, _>>()?;
         let phase_wall_ms = match doc.get("phase_wall_ms") {
             Some(Json::Obj(fields)) => fields
                 .iter()
@@ -974,6 +1114,7 @@ impl PerfReport {
             e15,
             e16,
             e17,
+            e18,
             phase_wall_ms,
         })
     }
@@ -1296,6 +1437,51 @@ fn e17_from_json(doc: &Json) -> Result<E17Row, String> {
     })
 }
 
+fn e18_to_json(r: &E18Row) -> Json {
+    Json::obj(vec![
+        ("shards", Json::Num(r.shards as f64)),
+        ("n", Json::Num(r.n as f64)),
+        ("views", Json::Num(r.views as f64)),
+        ("updates", Json::Num(r.updates as f64)),
+        ("makespan_us", Json::Num(r.makespan_us as f64)),
+        ("speedup", Json::Num(r.speedup)),
+        ("expected_min_speedup", Json::Num(r.expected_min_speedup)),
+        ("msgs_per_update", Json::Num(r.msgs_per_update)),
+        (
+            "expected_msgs_per_update",
+            Json::Num(r.expected_msgs_per_update),
+        ),
+        ("escalations", Json::Num(r.escalations as f64)),
+        ("max_lanes", Json::Num(r.max_lanes as f64)),
+        ("conforms", Json::Bool(r.conforms)),
+        ("quiescent", Json::Bool(r.quiescent)),
+    ])
+}
+
+fn e18_from_json(doc: &Json) -> Result<E18Row, String> {
+    Ok(E18Row {
+        shards: uint(doc, "shards")?,
+        n: uint(doc, "n")?,
+        views: uint(doc, "views")?,
+        updates: uint(doc, "updates")?,
+        makespan_us: uint(doc, "makespan_us")?,
+        speedup: num(doc, "speedup")?,
+        expected_min_speedup: num(doc, "expected_min_speedup")?,
+        msgs_per_update: num(doc, "msgs_per_update")?,
+        expected_msgs_per_update: num(doc, "expected_msgs_per_update")?,
+        escalations: uint(doc, "escalations")?,
+        max_lanes: uint(doc, "max_lanes")?,
+        conforms: doc
+            .get("conforms")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool conforms")?,
+        quiescent: doc
+            .get("quiescent")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool quiescent")?,
+    })
+}
+
 // ---------------------------------------------------------------- gate
 
 fn level_rank(level: &str) -> i32 {
@@ -1605,6 +1791,69 @@ pub fn invariant_violations(report: &PerfReport) -> Vec<String> {
             ));
         }
     }
+    let e18_base = report.e18.iter().find(|r| r.shards == 1);
+    for row in &report.e18 {
+        let expect = (2 * (row.n - 1)) as f64;
+        if (row.expected_msgs_per_update - expect).abs() > EXACT_EPS {
+            v.push(format!(
+                "E18 S={}: recorded expectation {} != 2(n-1) = {expect}",
+                row.shards, row.expected_msgs_per_update
+            ));
+        }
+        if (row.msgs_per_update - expect).abs() > EXACT_EPS {
+            v.push(format!(
+                "E18 S={}: msgs/update {} != 2(n-1) = {expect} — shard locality must buy concurrency, never extra traffic",
+                row.shards, row.msgs_per_update
+            ));
+        }
+        if row.escalations != 0 {
+            v.push(format!(
+                "E18 S={}: {} escalations on a shard-local workload — the partitioner misclassified pure updates",
+                row.shards, row.escalations
+            ));
+        }
+        let floor = if row.shards == 1 {
+            1.0
+        } else {
+            0.7 * row.shards as f64
+        };
+        if (row.expected_min_speedup - floor).abs() > EXACT_EPS {
+            v.push(format!(
+                "E18 S={}: recorded speedup floor {} != 0.7*S = {floor}",
+                row.shards, row.expected_min_speedup
+            ));
+        }
+        if row.speedup + EXACT_EPS < row.expected_min_speedup {
+            v.push(format!(
+                "E18 S={}: speedup {:.3} below the {:.2} near-linear floor — parallel lanes are not cutting the makespan",
+                row.shards, row.speedup, row.expected_min_speedup
+            ));
+        }
+        if let Some(base) = e18_base {
+            let expect_speedup = base.makespan_us as f64 / row.makespan_us as f64;
+            if (row.speedup - expect_speedup).abs() > EXACT_EPS {
+                v.push(format!(
+                    "E18 S={}: recorded speedup {} != makespan(1)/makespan(S) = {expect_speedup}",
+                    row.shards, row.speedup
+                ));
+            }
+        }
+        if row.shards > 1 && row.max_lanes < 2 {
+            v.push(format!(
+                "E18 S={}: lanes never overlapped — partitioning bought no concurrency",
+                row.shards
+            ));
+        }
+        if !row.conforms {
+            v.push(format!(
+                "E18 S={}: sharded run diverged from the unsharded engine (bags, install sequence or query count)",
+                row.shards
+            ));
+        }
+        if !row.quiescent {
+            v.push(format!("E18 S={}: run did not drain", row.shards));
+        }
+    }
     v
 }
 
@@ -1821,6 +2070,31 @@ pub fn gate(baseline: &PerfReport, fresh: &PerfReport) -> Vec<String> {
         );
     }
 
+    for base_row in &baseline.e18 {
+        let Some(row) = fresh.e18.iter().find(|r| r.shards == base_row.shards) else {
+            v.push(format!(
+                "E18: S={} missing from fresh report",
+                base_row.shards
+            ));
+            continue;
+        };
+        let what = format!("E18 S={}", row.shards);
+        check_ratio(
+            &mut v,
+            &format!("{what} speedup"),
+            base_row.speedup,
+            row.speedup,
+            false,
+        );
+        check_ratio(
+            &mut v,
+            &format!("{what} makespan"),
+            base_row.makespan_us as f64,
+            row.makespan_us as f64,
+            true,
+        );
+    }
+
     v
 }
 
@@ -1859,6 +2133,10 @@ pub struct InvariantDigest {
     /// ≥ 1 recovery), the staleness spike stays bounded, and replayed WAL
     /// bytes are monotone in the checkpoint interval.
     pub e17_recovered: bool,
+    /// Every E18 row stays on `2(n−1)` with zero escalations, clears its
+    /// `0.7·S` speedup floor, conforms to the unsharded install sequence,
+    /// and drains.
+    pub e18_scaled: bool,
 }
 
 impl InvariantDigest {
@@ -1928,6 +2206,13 @@ impl InvariantDigest {
             }) && report.e17.windows(2).all(|p| {
                 p[1].checkpoint_every <= p[0].checkpoint_every
                     || p[1].wal_bytes_replayed >= p[0].wal_bytes_replayed
+            }),
+            e18_scaled: report.e18.iter().all(|r| {
+                (r.msgs_per_update - (2 * (r.n - 1)) as f64).abs() < EXACT_EPS
+                    && r.escalations == 0
+                    && r.speedup + EXACT_EPS >= r.expected_min_speedup
+                    && r.conforms
+                    && r.quiescent
             }),
         }
     }
@@ -2111,6 +2396,53 @@ mod tests {
                     recovery_latency_us: 9_000,
                     stale_max_us: 24_000,
                     stale_bound_us: 75_000,
+                    quiescent: true,
+                },
+            ],
+            e18: vec![
+                E18Row {
+                    shards: 1,
+                    n: 3,
+                    views: 2,
+                    updates: 24,
+                    makespan_us: 96_000,
+                    speedup: 1.0,
+                    expected_min_speedup: 1.0,
+                    msgs_per_update: 4.0,
+                    expected_msgs_per_update: 4.0,
+                    escalations: 0,
+                    max_lanes: 1,
+                    conforms: true,
+                    quiescent: true,
+                },
+                E18Row {
+                    shards: 2,
+                    n: 3,
+                    views: 2,
+                    updates: 24,
+                    makespan_us: 48_000,
+                    speedup: 2.0,
+                    expected_min_speedup: 1.4,
+                    msgs_per_update: 4.0,
+                    expected_msgs_per_update: 4.0,
+                    escalations: 0,
+                    max_lanes: 2,
+                    conforms: true,
+                    quiescent: true,
+                },
+                E18Row {
+                    shards: 4,
+                    n: 3,
+                    views: 2,
+                    updates: 24,
+                    makespan_us: 24_000,
+                    speedup: 4.0,
+                    expected_min_speedup: 2.8,
+                    msgs_per_update: 4.0,
+                    expected_msgs_per_update: 4.0,
+                    escalations: 0,
+                    max_lanes: 4,
+                    conforms: true,
                     quiescent: true,
                 },
             ],
@@ -2439,6 +2771,78 @@ mod tests {
         assert!(
             violations.iter().any(|v| v.contains("were ever written")),
             "expected a replay-accounting violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn lost_sharded_scaling_fails_gate() {
+        // The acceptance demo for E18: a scheduler change that quietly
+        // serializes the lanes — speedup collapsing below 0.7·S — must be
+        // caught even against a healthy baseline. Keep the row internally
+        // consistent (speedup = m1/mS) so only the floor check fires.
+        let mut fresh = healthy();
+        fresh.e18[2].makespan_us = 64_000;
+        fresh.e18[2].speedup = 1.5;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("below the") && v.contains("near-linear floor")),
+            "expected a speedup-floor violation, got {violations:?}"
+        );
+
+        // A speedup column that stops agreeing with the recorded
+        // makespans is bookkeeping corruption, not a faster engine.
+        let mut fresh = healthy();
+        fresh.e18[2].speedup = 5.0;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("makespan(1)/makespan(S)")),
+            "expected a speedup-accounting violation, got {violations:?}"
+        );
+
+        // Shard-local sweeps paying extra messages breaks the 2(n−1)
+        // line.
+        let mut fresh = healthy();
+        fresh.e18[1].msgs_per_update = 5.0;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations.iter().any(|v| v.contains("never extra traffic")),
+            "expected a message-cost violation, got {violations:?}"
+        );
+
+        // Escalations on a shard-local workload mean the partitioner is
+        // misrouting pure updates through the global lane.
+        let mut fresh = healthy();
+        fresh.e18[1].escalations = 3;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations.iter().any(|v| v.contains("misclassified")),
+            "expected an escalation violation, got {violations:?}"
+        );
+
+        // Install order diverging from the unsharded engine kills the
+        // whole construction — concurrency must be invisible downstream.
+        let mut fresh = healthy();
+        fresh.e18[1].conforms = false;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("diverged from the unsharded engine")),
+            "expected a conformance violation, got {violations:?}"
+        );
+
+        let mut fresh = healthy();
+        fresh.e18.remove(2);
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("E18") && v.contains("missing")),
+            "expected a missing-row violation, got {violations:?}"
         );
     }
 

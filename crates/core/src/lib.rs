@@ -26,7 +26,9 @@ pub mod experiment;
 pub mod multi_experiment;
 pub mod report;
 mod runner;
+pub mod sharded_experiment;
 
 pub use experiment::{CoreError, Experiment, PolicyKind};
 pub use multi_experiment::{MultiViewExperiment, MultiViewReport, ViewOutcome};
 pub use report::RunReport;
+pub use sharded_experiment::{ShardedExperiment, ShardedReport};

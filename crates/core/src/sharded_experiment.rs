@@ -1,0 +1,504 @@
+//! Sharded experiment harness: partitioned sources, S concurrent
+//! per-shard sweep lanes, one install order.
+//!
+//! Mirrors [`MultiViewExperiment`](crate::MultiViewExperiment) but
+//! drives a [`ShardedScheduler`] over a [`dw_workload::ShardedScenario`]
+//! (or any [`MultiViewScenario`] plus an explicit [`ShardMap`]). On top
+//! of the multi-view report it accounts the sharding itself: lane
+//! concurrency, escalations, and — under a shard-scoped
+//! [`FaultPlan::state_crash`] window — crash/re-seed statistics.
+//!
+//! Shard-scoped state crashes (windows carrying a shard index) are
+//! routed to [`ShardedScheduler::crash_shard`] at their `up_at`: the
+//! affected lane re-seeds with fresh qids while every other lane keeps
+//! sweeping. Unscoped (whole-warehouse) state crashes are the unsharded
+//! recovery suite's subject and are not modeled here.
+
+use crate::experiment::CoreError;
+use crate::multi_experiment::ViewOutcome;
+use crate::runner::{NetProfile, SimHarness};
+use dw_consistency::{
+    classify, mutual_consistency, remap_installs, MutualReport, Recorder, ViewLog,
+};
+use dw_multiview::{EngineOptions, ShardStats, ShardedScheduler, ViewId};
+use dw_protocol::{node_source, source_node, Message, TransportConfig, UpdateId, WAREHOUSE_NODE};
+use dw_relational::{eval_view, Bag, ShardMap};
+use dw_simnet::{FaultPlan, LatencyModel, NetStats, NodeId, Time};
+use dw_source::DataSource;
+use dw_warehouse::PolicyMetrics;
+use dw_workload::{MultiViewScenario, ShardedScenario};
+
+/// A configured sharded experiment: scenario × partitioner × network
+/// profile.
+pub struct ShardedExperiment {
+    scenario: MultiViewScenario,
+    map: ShardMap,
+    opts: EngineOptions,
+    latency: LatencyModel,
+    link_overrides: Vec<(NodeId, NodeId, LatencyModel)>,
+    seed: u64,
+    check_consistency: bool,
+    record_snapshots: bool,
+    event_cap: u64,
+    faults: FaultPlan,
+    transport: Option<TransportConfig>,
+    obs: dw_obs::Obs,
+}
+
+impl ShardedExperiment {
+    /// New experiment over a generated sharded scenario.
+    pub fn new(generated: ShardedScenario) -> Self {
+        Self::with_map(generated.scenario, generated.map)
+    }
+
+    /// New experiment over any multi-view scenario with an explicit
+    /// partitioner (how the conformance suite pits sharded against
+    /// unsharded on identical inputs).
+    pub fn with_map(scenario: MultiViewScenario, map: ShardMap) -> Self {
+        ShardedExperiment {
+            scenario,
+            map,
+            opts: EngineOptions::default(),
+            latency: LatencyModel::Constant(1_000),
+            link_overrides: Vec::new(),
+            seed: 0,
+            check_consistency: true,
+            record_snapshots: true,
+            event_cap: 10_000_000,
+            faults: FaultPlan::default(),
+            transport: None,
+            obs: dw_obs::Obs::off(),
+        }
+    }
+
+    /// Attach an observability recorder.
+    pub fn observe(mut self, obs: dw_obs::Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Default latency model for every link.
+    pub fn latency(mut self, l: LatencyModel) -> Self {
+        self.latency = l;
+        self
+    }
+
+    /// Override one directed link's latency.
+    pub fn link_latency(mut self, from: NodeId, to: NodeId, l: LatencyModel) -> Self {
+        self.link_overrides.push((from, to, l));
+        self
+    }
+
+    /// Network RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disable ground-truth tracking and classification (for big runs).
+    pub fn check_consistency(mut self, on: bool) -> Self {
+        self.check_consistency = on;
+        self
+    }
+
+    /// Disable per-install view snapshots (for big runs).
+    pub fn record_snapshots(mut self, on: bool) -> Self {
+        self.record_snapshots = on;
+        self
+    }
+
+    /// Abort the run after this many deliveries (oscillation guard).
+    pub fn event_cap(mut self, cap: u64) -> Self {
+        self.event_cap = cap;
+        self
+    }
+
+    /// Install a fault plan. Shard-scoped state-crash windows
+    /// ([`FaultPlan::state_crash_shard`]) abort and re-seed one shard's
+    /// lane; link faults pair with [`ShardedExperiment::transport`].
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Run every node behind the reliability transport.
+    pub fn transport(mut self, cfg: TransportConfig) -> Self {
+        self.transport = Some(cfg);
+        self
+    }
+
+    /// Enable the transport with timing derived from the latency model.
+    pub fn transport_auto(mut self) -> Self {
+        self.transport = Some(TransportConfig::for_latency_mean(self.latency.mean()));
+        self
+    }
+
+    /// Run to network quiescence and report.
+    pub fn run(self) -> Result<ShardedReport, CoreError> {
+        let scenario = &self.scenario;
+        let base = scenario.base.clone();
+        let n = base.num_relations();
+
+        if let Some(cfg) = &self.transport {
+            cfg.validate()
+                .map_err(|e| CoreError::Multi(e.to_string()))?;
+        }
+        let mut sched = ShardedScheduler::with_options(base.clone(), self.map.clone(), self.opts)?;
+        sched.set_record_snapshots(self.record_snapshots);
+        sched.set_observer(self.obs.clone());
+        for bag in &scenario.initial {
+            sched.seed_groups(bag);
+        }
+
+        let mut ids: Vec<ViewId> = Vec::new();
+        let mut recorders: Vec<Option<Recorder>> = Vec::new();
+        for spec in &scenario.views {
+            let local = spec.compile(&base)?;
+            let refs: Vec<&Bag> = scenario.initial[spec.lo..=spec.hi].iter().collect();
+            let initial_view = eval_view(&local, &refs)?;
+            ids.push(sched.register(spec, initial_view)?);
+            recorders.push(self.check_consistency.then(|| {
+                Recorder::new(local.clone(), scenario.initial[spec.lo..=spec.hi].to_vec())
+            }));
+        }
+        let spans: Vec<(usize, usize)> = scenario.views.iter().map(|s| (s.lo, s.hi)).collect();
+
+        // Shard-scoped crash windows at the warehouse, keyed by their
+        // restart time: the drive loop turns each `Restart` into a
+        // `crash_shard` call on the matching shard.
+        let mut scoped_restarts: Vec<(Time, usize)> = self
+            .faults
+            .state_crashes()
+            .iter()
+            .filter(|c| c.node == WAREHOUSE_NODE)
+            .filter_map(|c| c.shard.map(|s| (c.up_at, s)))
+            .collect();
+
+        let profile = NetProfile {
+            latency: self.latency,
+            link_overrides: self.link_overrides,
+            seed: self.seed,
+            faults: self.faults,
+            transport: self.transport,
+            event_cap: self.event_cap,
+            trace: false,
+            obs: self.obs.clone(),
+        };
+        let mut harness = SimHarness::new(&profile, n + 1);
+
+        let mut sources: Vec<DataSource> = Vec::new();
+        for i in 0..n {
+            let mut r = dw_relational::BaseRelation::new(base.schema(i).clone());
+            r.apply_delta(&scenario.initial[i])?;
+            let mut src = DataSource::new(i, base.clone(), r);
+            src.set_observer(self.obs.clone());
+            sources.push(src);
+        }
+
+        for t in &scenario.txns {
+            harness.net.inject(
+                t.at,
+                source_node(t.source),
+                Message::ApplyTxn {
+                    rel: t.source,
+                    delta: t.delta.clone(),
+                    global: t.global,
+                },
+            );
+        }
+
+        let mut delivery_log: Vec<(UpdateId, Time)> = Vec::new();
+        harness.drive(|d, net| {
+            if d.to == WAREHOUSE_NODE {
+                if matches!(d.msg, Message::Restart) {
+                    if let Some(pos) = scoped_restarts.iter().position(|&(at, _)| at == d.at) {
+                        let (_, shard) = scoped_restarts.swap_remove(pos);
+                        sched.crash_shard(shard, net)?;
+                    }
+                    // Unscoped restarts: nothing durable to replay here.
+                    return Ok(());
+                }
+                if let Message::Update(u) = &d.msg {
+                    delivery_log.push((u.id, d.at));
+                    for (v, rec) in recorders.iter_mut().enumerate() {
+                        let (lo, hi) = spans[v];
+                        if let Some(rec) = rec.as_mut() {
+                            if lo <= u.id.source && u.id.source <= hi {
+                                let local_id = UpdateId {
+                                    source: u.id.source - lo,
+                                    seq: u.id.seq,
+                                };
+                                rec.record_delivery(local_id, d.at, u.delta.clone());
+                            }
+                        }
+                    }
+                }
+                sched.on_message(d, net)?;
+            } else {
+                if matches!(d.msg, Message::Restart) {
+                    return Ok(());
+                }
+                let idx = node_source(d.to);
+                let src = sources
+                    .get_mut(idx)
+                    .ok_or(CoreError::NoSuchNode { node: d.to })?;
+                src.handle(d.from, d.msg, net)?;
+            }
+            Ok(())
+        })?;
+
+        let mut views: Vec<ViewOutcome> = Vec::new();
+        for (v, &id) in ids.iter().enumerate() {
+            let installs = sched.views().install_log(id)?.to_vec();
+            let bag = sched.views().view_bag(id)?.clone();
+            let consistency = recorders[v].as_ref().map(|rec| {
+                let local_installs = remap_installs(&installs, spans[v].0);
+                classify(rec, &local_installs, &bag)
+            });
+            views.push(ViewOutcome {
+                name: sched.views().name(id)?.to_string(),
+                lo: spans[v].0,
+                hi: spans[v].1,
+                policy: sched.views().policy(id)?,
+                view: bag,
+                installs,
+                metrics: sched.views().metrics(id)?.clone(),
+                consistency,
+            });
+        }
+
+        let mutual = self.check_consistency.then(|| {
+            let logs: Vec<ViewLog<'_>> = views
+                .iter()
+                .map(|o| ViewLog {
+                    name: &o.name,
+                    lo: o.lo,
+                    hi: o.hi,
+                    installs: &o.installs,
+                })
+                .collect();
+            mutual_consistency(&logs)
+        });
+
+        let transport_quiescent = harness.transport_quiescent();
+
+        Ok(ShardedReport {
+            shards: self.map.shards(),
+            views,
+            scheduler_metrics: sched.metrics().clone(),
+            shard_stats: sched.stats().clone(),
+            mutual,
+            net: harness.net.stats().clone(),
+            quiescent: sched.is_quiescent() && transport_quiescent,
+            end_time: harness.net.now(),
+            events: harness.events,
+            delivery_log,
+        })
+    }
+}
+
+/// Everything observable from one sharded run.
+#[derive(Clone, Debug)]
+pub struct ShardedReport {
+    /// Shard count of the partitioner that ran.
+    pub shards: usize,
+    /// Per-view outcomes, in registration order.
+    pub views: Vec<ViewOutcome>,
+    /// Aggregate engine counters (shared across all lanes).
+    pub scheduler_metrics: PolicyMetrics,
+    /// Sharding counters: lane concurrency, escalations, crash/re-seed
+    /// accounting.
+    pub shard_stats: ShardStats,
+    /// Cross-view mutual consistency (when checking was enabled).
+    pub mutual: Option<MutualReport>,
+    /// Network-level accounting.
+    pub net: NetStats,
+    /// Scheduler and transport both drained at the end of the run.
+    pub quiescent: bool,
+    /// Simulation time at the end of the run (µs).
+    pub end_time: Time,
+    /// Deliveries processed.
+    pub events: u64,
+    /// Warehouse delivery log `(update, delivery time)` in delivery order.
+    pub delivery_log: Vec<(UpdateId, Time)>,
+}
+
+impl ShardedReport {
+    /// Query/answer round-trip messages (excludes the update stream).
+    pub fn query_messages(&self) -> u64 {
+        ["query", "answer"]
+            .iter()
+            .map(|l| self.net.label(l).messages)
+            .sum()
+    }
+
+    /// Query/answer messages per warehouse-received update. Shard-local
+    /// sweeps pay the same `2(n−1)` the unsharded engine pays — locality
+    /// buys concurrency, not extra traffic.
+    pub fn messages_per_update(&self) -> f64 {
+        if self.scheduler_metrics.updates_received == 0 {
+            return 0.0;
+        }
+        self.query_messages() as f64 / self.scheduler_metrics.updates_received as f64
+    }
+
+    /// Makespan of the maintenance work (µs): last install time minus
+    /// first transaction arrival — the virtual-time quantity E18's
+    /// speedup gate divides.
+    pub fn makespan(&self) -> Time {
+        let first = self.delivery_log.iter().map(|&(_, at)| at).min();
+        let last = self
+            .views
+            .iter()
+            .flat_map(|v| v.installs.iter().map(|r| r.at))
+            .max();
+        match (first, last) {
+            (Some(f), Some(l)) if l > f => l - f,
+            _ => 0,
+        }
+    }
+
+    /// Install fingerprint: per view, the sequence of consumed-update
+    /// sets in install order (what the conformance suite compares).
+    pub fn install_fingerprint(&self) -> Vec<Vec<Vec<UpdateId>>> {
+        self.views
+            .iter()
+            .map(|v| v.installs.iter().map(|r| r.consumed.clone()).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MultiViewExperiment;
+    use dw_consistency::ConsistencyLevel;
+    use dw_workload::ShardedConfig;
+
+    fn config(shards: usize, seed: u64) -> ShardedConfig {
+        ShardedConfig {
+            n_sources: 3,
+            shards,
+            updates: 18,
+            mean_gap: 300,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sharded_run_converges_with_concurrent_lanes() {
+        let report = ShardedExperiment::new(config(2, 1).generate().unwrap())
+            .run()
+            .unwrap();
+        assert!(report.quiescent);
+        assert!(
+            report.shard_stats.max_concurrent_lanes >= 2,
+            "bursty shard-local load must overlap lanes"
+        );
+        for v in &report.views {
+            let c = v.consistency.as_ref().unwrap();
+            assert!(
+                c.level >= ConsistencyLevel::Convergent,
+                "view '{}' classified {}: {}",
+                v.name,
+                c.level,
+                c.detail
+            );
+        }
+        assert!(report.mutual.unwrap().final_agreement);
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_installs_and_bags() {
+        let generated = config(4, 2).generate().unwrap();
+        let sharded = ShardedExperiment::new(generated.clone()).run().unwrap();
+        let flat = MultiViewExperiment::new(generated.scenario).run().unwrap();
+        assert!(sharded.quiescent && flat.quiescent);
+        assert_eq!(sharded.query_messages(), flat.query_messages());
+        for (s, f) in sharded.views.iter().zip(flat.views.iter()) {
+            assert_eq!(s.view, f.view, "view '{}'", s.name);
+            let fp = |o: &ViewOutcome| -> Vec<Vec<UpdateId>> {
+                o.installs.iter().map(|r| r.consumed.clone()).collect()
+            };
+            assert_eq!(fp(s), fp(f), "view '{}'", s.name);
+        }
+    }
+
+    #[test]
+    fn escalations_run_and_still_converge() {
+        let mut cfg = config(2, 3);
+        cfg.cross_shard_frac = 0.25;
+        let report = ShardedExperiment::new(cfg.generate().unwrap())
+            .run()
+            .unwrap();
+        assert!(report.quiescent);
+        assert!(report.shard_stats.escalations > 0);
+        for v in &report.views {
+            assert!(v.consistency.as_ref().unwrap().level >= ConsistencyLevel::Convergent);
+        }
+    }
+
+    #[test]
+    fn scoped_crash_reseeds_without_stopping_other_shards() {
+        let generated = config(2, 4).generate().unwrap();
+        // Anchor the window mid-run; up_at lands while sweeps overlap.
+        let crash_at = generated.scenario.txns[6].at;
+        let clean = ShardedExperiment::new(generated.clone()).run().unwrap();
+        let faulted = ShardedExperiment::new(generated)
+            .faults(FaultPlan::none().state_crash_shard(
+                WAREHOUSE_NODE,
+                crash_at,
+                crash_at + 1_200,
+                0,
+            ))
+            .run()
+            .unwrap();
+        assert!(faulted.quiescent);
+        assert_eq!(faulted.shard_stats.shard_crashes, 1);
+        // Identical outcome to the fault-free run.
+        assert_eq!(faulted.install_fingerprint(), clean.install_fingerprint());
+        for (f, c) in faulted.views.iter().zip(clean.views.iter()) {
+            assert_eq!(f.view, c.view);
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let r1 = ShardedExperiment::new(config(2, 6).generate().unwrap())
+            .seed(7)
+            .run()
+            .unwrap();
+        let r2 = ShardedExperiment::new(config(2, 6).generate().unwrap())
+            .seed(7)
+            .run()
+            .unwrap();
+        assert_eq!(r1.events, r2.events);
+        assert_eq!(r1.end_time, r2.end_time);
+        assert_eq!(r1.install_fingerprint(), r2.install_fingerprint());
+    }
+
+    #[test]
+    fn makespan_shrinks_with_shards() {
+        // Same logical load at S=1 and S=4: the sharded engine overlaps
+        // lanes, so its maintenance makespan must be meaningfully
+        // shorter. (E18 gates the precise speedup; this is the smoke
+        // version.)
+        let mk = |shards: usize| {
+            let mut cfg = config(shards, 8);
+            cfg.shards = shards;
+            cfg.updates = 16;
+            cfg.mean_gap = 200;
+            ShardedExperiment::new(cfg.generate().unwrap())
+                .run()
+                .unwrap()
+                .makespan()
+        };
+        let m1 = mk(1);
+        let m4 = mk(4);
+        assert!(
+            (m4 as f64) < 0.8 * m1 as f64,
+            "S=4 makespan {m4} not meaningfully below S=1 {m1}"
+        );
+    }
+}

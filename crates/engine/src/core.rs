@@ -33,7 +33,7 @@ use crate::view::MaterializedView;
 use dw_obs::{Obs, SpanId};
 use dw_protocol::{source_node, Message, SourceUpdate, SweepQuery, UpdateId, WAREHOUSE_NODE};
 use dw_relational::{
-    extend_partial, Bag, JoinSide, PartialDelta, Predicate, Tuple, Value, ViewDef,
+    extend_partial, Bag, JoinSide, PartialDelta, Predicate, ShardScope, Tuple, Value, ViewDef,
 };
 use dw_simnet::{Delivery, NetHandle, Time};
 use std::collections::HashMap;
@@ -113,6 +113,12 @@ pub struct EngineCore {
     /// re-seeded after a warehouse state-crash never races its aborted
     /// predecessor's stale in-flight queries.
     pub epoch: u64,
+    /// Ambient shard scope stamped onto every outgoing [`SweepQuery`].
+    /// `None` for every unsharded executor — the wire is then
+    /// byte-identical to the pre-sharding protocol. The sharded
+    /// scheduler sets it to the active lane's scope before each
+    /// launch/advance so sources join only the in-scope relation slices.
+    pub scope: Option<ShardScope>,
     next_qid: u64,
 }
 
@@ -129,6 +135,7 @@ impl EngineCore {
             batch: 1,
             push_preds: Vec::new(),
             epoch: 0,
+            scope: None,
             next_qid: 0,
         }
     }
@@ -211,6 +218,7 @@ impl EngineCore {
                 batch: self.batch,
                 pred: self.push_pred(j).cloned(),
                 epoch: self.epoch,
+                scope: self.scope.clone(),
             }),
         );
         (qid, HopSpan { outer, inner })

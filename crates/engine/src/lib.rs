@@ -43,6 +43,7 @@ pub mod metrics;
 pub mod options;
 pub mod policy;
 pub mod queue;
+pub mod sequencer;
 pub mod view;
 
 pub use crate::core::{
@@ -57,4 +58,5 @@ pub use metrics::PolicyMetrics;
 pub use options::{EngineOptions, NestedSweepOptions, SweepOptions};
 pub use policy::MaintenancePolicy;
 pub use queue::{PendingUpdate, UpdateQueue};
+pub use sequencer::{InstallSequencer, SequencedInstall};
 pub use view::MaterializedView;

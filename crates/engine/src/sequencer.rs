@@ -1,0 +1,145 @@
+//! The global install-order sequencer of the sharded warehouse.
+//!
+//! Per-shard sweeps *compute* view deltas concurrently, but the warehouse
+//! must *install* them in one global order — the sharded engine's
+//! conformance claim is that this order equals the unsharded engine's
+//! (update-arrival order). The sequencer enforces it mechanically:
+//!
+//! * a **ticket** is issued for every update the moment it arrives at the
+//!   warehouse (before any scheduling decision), so ticket order *is*
+//!   arrival order;
+//! * when an update's sweep completes — or the scheduler decides the
+//!   update affects no view — its ticket is **completed** with the
+//!   install payload (or `None`);
+//! * [`InstallSequencer::drain`] releases completed payloads in strict
+//!   ticket order, holding back everything behind the first still-running
+//!   ticket. A shard that finishes early buffers; a shard that finishes
+//!   late blocks only the tickets behind it.
+//!
+//! The payload speaks in plain view *indices* so the sequencer stays
+//! policy-agnostic (the multiview scheduler maps them to its `ViewId`s).
+
+use dw_protocol::UpdateId;
+use dw_relational::Bag;
+use dw_simnet::Time;
+use std::collections::BTreeMap;
+
+/// What a completed sweep hands the sequencer for one ticket: the
+/// consumed-update set (install fingerprint material) plus the final
+/// delta for every affected view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SequencedInstall {
+    /// The updates this install consumes, with their arrival times
+    /// (staleness accounting at the install site).
+    pub consumed: Vec<(UpdateId, Time)>,
+    /// Final view deltas, keyed by the registry's view index.
+    pub deltas: Vec<(usize, Bag)>,
+}
+
+/// Arrival-order install sequencer (see module docs).
+#[derive(Debug, Default)]
+pub struct InstallSequencer {
+    next_ticket: u64,
+    next_release: u64,
+    buffered: BTreeMap<u64, Option<SequencedInstall>>,
+}
+
+impl InstallSequencer {
+    /// A fresh sequencer with no tickets outstanding.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Issue the next ticket. Call at update arrival, never later: the
+    /// issue order is the install order.
+    pub fn issue(&mut self) -> u64 {
+        let t = self.next_ticket;
+        self.next_ticket += 1;
+        t
+    }
+
+    /// Complete a ticket with its install payload (`None` when the
+    /// update turned out to affect no view — the slot still releases, it
+    /// just installs nothing).
+    pub fn complete(&mut self, ticket: u64, payload: Option<SequencedInstall>) {
+        debug_assert!(ticket < self.next_ticket, "completing an unissued ticket");
+        debug_assert!(ticket >= self.next_release, "completing a released ticket");
+        let prev = self.buffered.insert(ticket, payload);
+        debug_assert!(prev.is_none(), "ticket completed twice");
+    }
+
+    /// Release every payload whose ticket is next in order, in order.
+    /// Empty slots (`None` payloads) are skipped over silently.
+    pub fn drain(&mut self) -> Vec<SequencedInstall> {
+        let mut out = Vec::new();
+        while let Some(payload) = self.buffered.remove(&self.next_release) {
+            self.next_release += 1;
+            if let Some(p) = payload {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// True when every issued ticket has been released.
+    pub fn is_drained(&self) -> bool {
+        self.next_release == self.next_ticket
+    }
+
+    /// Tickets issued but not yet released (completed-but-buffered ones
+    /// included).
+    pub fn outstanding(&self) -> u64 {
+        self.next_ticket - self.next_release
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn install(seq: u64) -> SequencedInstall {
+        SequencedInstall {
+            consumed: vec![(UpdateId { source: 0, seq }, 0)],
+            deltas: vec![],
+        }
+    }
+
+    #[test]
+    fn releases_in_ticket_order_despite_completion_order() {
+        let mut s = InstallSequencer::new();
+        let (t0, t1, t2) = (s.issue(), s.issue(), s.issue());
+        // t2 finishes first: nothing releases, it buffers behind t0.
+        s.complete(t2, Some(install(2)));
+        assert!(s.drain().is_empty());
+        assert_eq!(s.outstanding(), 3);
+        // t0 releases itself and nothing else (t1 still running).
+        s.complete(t0, Some(install(0)));
+        assert_eq!(s.drain(), vec![install(0)]);
+        // t1 unblocks the buffered t2 behind it.
+        s.complete(t1, Some(install(1)));
+        assert_eq!(s.drain(), vec![install(1), install(2)]);
+        assert!(s.is_drained());
+    }
+
+    #[test]
+    fn empty_slots_release_silently() {
+        let mut s = InstallSequencer::new();
+        let (t0, t1) = (s.issue(), s.issue());
+        s.complete(t0, None);
+        s.complete(t1, Some(install(1)));
+        assert_eq!(s.drain(), vec![install(1)]);
+        assert!(s.is_drained());
+    }
+
+    #[test]
+    fn drain_is_idempotent_when_blocked() {
+        let mut s = InstallSequencer::new();
+        let _t0 = s.issue();
+        let t1 = s.issue();
+        s.complete(t1, Some(install(1)));
+        assert!(s.drain().is_empty());
+        assert!(s.drain().is_empty());
+        assert!(!s.is_drained());
+        assert_eq!(s.outstanding(), 2);
+    }
+}

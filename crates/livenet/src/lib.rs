@@ -16,5 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod sharded;
 
 pub use cluster::{run_live, LiveError, LiveReport};
+pub use sharded::{run_live_sharded, LiveShardedReport, LiveViewOutcome};

@@ -41,7 +41,9 @@
 
 mod registry;
 mod scheduler;
+mod sharded;
 
 pub use dw_engine::{DurabilityConfig, EngineOptions};
 pub use registry::{MvError, ViewId, ViewRegistry};
 pub use scheduler::{MaintenanceScheduler, RecoveryStats, SchedulerMode};
+pub use sharded::{ShardStats, ShardedScheduler};

@@ -977,7 +977,10 @@ fn snapshot(
 /// offsets), then its residual predicate and projection. Sound because
 /// the shared sweep ran on unfiltered tuples and selection commutes
 /// with join; subtraction (compensation) distributes over the filter.
-fn finalize_for_view(local: &ViewDef, merged: &PartialDelta) -> Result<Bag, RelationalError> {
+pub(crate) fn finalize_for_view(
+    local: &ViewDef,
+    merged: &PartialDelta,
+) -> Result<Bag, RelationalError> {
     let mut bag = merged.bag.clone();
     for r in 0..local.num_relations() {
         let sel = local.local_select(r);

@@ -23,7 +23,7 @@
 
 pub mod transport;
 
-use dw_relational::{Bag, PartialDelta, Predicate};
+use dw_relational::{Bag, PartialDelta, Predicate, ShardScope};
 use dw_simnet::{NodeId, Payload};
 
 pub use transport::{Endpoint, TransportConfig, TransportConfigError, TransportNet};
@@ -115,6 +115,13 @@ pub struct SweepQuery {
     /// inside the query's fixed header ([`Payload::size_bytes`]), so the
     /// wire accounting is unchanged from the pre-recovery protocol.
     pub epoch: u64,
+    /// Shard scope of the issuing sweep, set only by the sharded
+    /// scheduler: the source joins against the union of its relation's
+    /// slices for the shards in `scope.mask` (plus the mixed slice of
+    /// impure tuples) instead of the full relation. `None` — every
+    /// unsharded executor — keeps the wire byte-identical to the
+    /// pre-sharding protocol.
+    pub scope: Option<ShardScope>,
 }
 
 /// Answer to a [`SweepQuery`]: the widened partial delta.
@@ -259,7 +266,10 @@ impl Payload for Message {
             Message::Update(u) => u.delta.size_bytes(),
             // The fixed 16-byte query header covers qid/side/batch/epoch.
             Message::SweepQuery(q) => {
-                q.partial.bag.size_bytes() + 16 + q.pred.as_ref().map_or(0, Predicate::size_bytes)
+                q.partial.bag.size_bytes()
+                    + 16
+                    + q.pred.as_ref().map_or(0, Predicate::size_bytes)
+                    + q.scope.as_ref().map_or(0, ShardScope::size_bytes)
             }
             Message::SweepAnswer(a) => a.partial.bag.size_bytes() + 16,
             Message::EcaQuery(q) => q
@@ -397,6 +407,7 @@ mod tests {
             batch: 1,
             pred: None,
             epoch: 0,
+            scope: None,
         });
         let full = Message::SweepQuery(SweepQuery {
             qid: 0,
@@ -409,6 +420,7 @@ mod tests {
             batch: 1,
             pred: None,
             epoch: 0,
+            scope: None,
         });
         assert!(full.size_bytes() > empty.size_bytes() + 1000);
     }

@@ -35,6 +35,7 @@ pub mod key;
 pub mod predicate;
 pub mod relation;
 pub mod schema;
+pub mod shard;
 pub mod sql;
 pub mod tuple;
 pub mod value;
@@ -48,6 +49,7 @@ pub use key::KeySpec;
 pub use predicate::{CmpOp, Predicate};
 pub use relation::BaseRelation;
 pub use schema::Schema;
+pub use shard::{DeltaClass, ShardMap, ShardScope, ShardedRelation};
 pub use sql::parse_view;
 pub use tuple::Tuple;
 pub use value::Value;

@@ -140,6 +140,7 @@ impl CStrobe {
                     side,
                     batch: 1,
                     epoch: 0,
+                    scope: None,
                     pred: None,
                 }),
             );

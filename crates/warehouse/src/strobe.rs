@@ -139,6 +139,7 @@ impl Strobe {
                 side,
                 batch: 1,
                 epoch: 0,
+                scope: None,
                 pred: None,
             }),
         );

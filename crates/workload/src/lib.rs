@@ -15,11 +15,13 @@
 pub mod faults;
 pub mod multiview;
 pub mod scenario;
+pub mod sharded;
 pub mod skew;
 pub mod stream;
 
 pub use faults::FaultScenarioConfig;
 pub use multiview::{MultiViewConfig, MultiViewScenario, ViewPolicy, ViewSpec};
 pub use scenario::{GeneratedScenario, ScheduledTxn};
+pub use sharded::{ShardedConfig, ShardedScenario};
 pub use skew::Zipf;
 pub use stream::{GapKind, SourcePick, StreamConfig};

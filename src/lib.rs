@@ -75,12 +75,15 @@ pub mod prelude {
     };
     pub use dw_core::{
         CoreError, Experiment, MultiViewExperiment, MultiViewReport, PolicyKind, RunReport,
-        ViewOutcome,
+        ShardedExperiment, ShardedReport, ViewOutcome,
     };
-    pub use dw_multiview::{MaintenanceScheduler, SchedulerMode, ViewId, ViewRegistry};
+    pub use dw_multiview::{
+        MaintenanceScheduler, SchedulerMode, ShardStats, ShardedScheduler, ViewId, ViewRegistry,
+    };
     pub use dw_protocol::TransportConfig;
     pub use dw_relational::{
-        tup, Bag, BaseRelation, CmpOp, KeySpec, Schema, Tuple, Value, ViewDef, ViewDefBuilder,
+        tup, Bag, BaseRelation, CmpOp, KeySpec, Schema, ShardMap, Tuple, Value, ViewDef,
+        ViewDefBuilder,
     };
     pub use dw_simnet::{Crash, FaultPlan, LatencyModel, LinkFaults, Network, Outage, Time};
     pub use dw_warehouse::{
@@ -88,6 +91,7 @@ pub mod prelude {
     };
     pub use dw_workload::{
         FaultScenarioConfig, GapKind, GeneratedScenario, MultiViewConfig, MultiViewScenario,
-        ScheduledTxn, SourcePick, StreamConfig, ViewPolicy, ViewSpec,
+        ScheduledTxn, ShardedConfig, ShardedScenario, SourcePick, StreamConfig, ViewPolicy,
+        ViewSpec,
     };
 }

@@ -179,6 +179,61 @@ fn pushdown_conforms_to_unpushed_engine() {
     }
 }
 
+/// Sharded vs unsharded: S concurrent per-shard sweep lanes behind one
+/// install sequencer must be *invisible downstream* — on 128 seeded
+/// banded schedules (shard counts 2 and 4, dense bursts that overlap
+/// lanes, half the seeds mixing in cross-shard escalations) the sharded
+/// engine must produce, per view, the identical final bag, the identical
+/// install sequence, and the identical query/answer message count as the
+/// unsharded shared-sweep engine on the same scenario. Every view runs
+/// the SWEEP cadence, so the fingerprint is a pure function of arrival
+/// order and the comparison is exact even under bursts.
+#[test]
+fn sharded_conforms_to_unsharded_engine() {
+    const MV_SEEDS: u64 = 128;
+    for k in 0..MV_SEEDS {
+        let generated = ShardedConfig {
+            n_sources: 3,
+            shards: if k % 2 == 0 { 2 } else { 4 },
+            updates: 8 + (k % 4) as usize,
+            mean_gap: 300 + 100 * (k % 3),
+            cross_shard_frac: if k % 4 == 3 { 0.3 } else { 0.0 },
+            seed: SEED_BASE + 0x3000 + k,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let sharded = ShardedExperiment::new(generated.clone())
+            .seed(k)
+            .run()
+            .unwrap();
+        let flat = MultiViewExperiment::new(generated.scenario)
+            .seed(k)
+            .run()
+            .unwrap();
+        assert!(sharded.quiescent && flat.quiescent, "seed {k}");
+        assert_eq!(
+            sharded.query_messages(),
+            flat.query_messages(),
+            "seed {k}: sharding changed the wire cost"
+        );
+        assert_eq!(sharded.views.len(), flat.views.len(), "seed {k}");
+        for (a, b) in sharded.views.iter().zip(&flat.views) {
+            assert_eq!(
+                a.view, b.view,
+                "seed {k}: view '{}' diverged under sharding",
+                a.name
+            );
+            assert_eq!(
+                install_fingerprint(&a.installs),
+                install_fingerprint(&b.installs),
+                "seed {k}: view '{}' install sequences differ",
+                a.name
+            );
+        }
+    }
+}
+
 #[test]
 fn nested_sweep_conforms_across_backends() {
     for k in 0..SEEDS {

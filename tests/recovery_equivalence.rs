@@ -215,6 +215,92 @@ fn durability_is_invisible_without_a_crash() {
     }
 }
 
+/// Shard-scoped crashes: a state-crash window confined to one shard of
+/// the sharded warehouse aborts and re-seeds *that lane only*. The
+/// other shards' sweeps must keep running straight through the window —
+/// provably overlapping the re-seeded lane's recovery — and the
+/// recovered run must still converge to the fault-free run's exact
+/// per-view bags and install fingerprints, with every pre-crash answer
+/// straggler fenced by the lane's fresh qids.
+#[test]
+fn shard_scoped_crashes_leave_surviving_shards_sweeping() {
+    let mut stale_drops = 0u64;
+    let mut reseeds = 0u64;
+    let mut survivor_overlapped = false;
+    let n_cases = cases(24);
+    for k in 0..n_cases {
+        let shards = if k.is_multiple_of(2) { 2 } else { 4 };
+        let generated = ShardedConfig {
+            n_sources: 3,
+            shards,
+            updates: 12,
+            mean_gap: 300,
+            seed: SEED_BASE + 0x300 + k,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let target = (k as usize) % shards;
+        // Anchor mid-run: with 1 ms links an update injected at `at`
+        // reaches the warehouse at `at + 1_000` and its first answers
+        // land at `at + 3_000`, so these offsets put `up_at` just after
+        // lane formation, mid-chain with an answer in flight, and near
+        // the likely commit.
+        let anchor = generated.scenario.txns[(4 + k % 4) as usize].at;
+        let down_at = anchor + [1_050, 2_500, 3_500][(k % 3) as usize];
+        let up_at = down_at + [400, 900, 1_600][(k % 3) as usize];
+        let plan = FaultPlan::default().state_crash_shard(0, down_at, up_at, target);
+
+        let clean = ShardedExperiment::new(generated.clone())
+            .seed(k)
+            .run()
+            .unwrap();
+        let crashed = ShardedExperiment::new(generated)
+            .seed(k)
+            .faults(plan)
+            .run()
+            .unwrap();
+
+        assert!(clean.quiescent && crashed.quiescent, "case {k}");
+        assert_eq!(crashed.shard_stats.shard_crashes, 1, "case {k}");
+        assert_eq!(
+            crashed.install_fingerprint(),
+            clean.install_fingerprint(),
+            "case {k}: shard {target} crash perturbed the install order"
+        );
+        for (a, b) in clean.views.iter().zip(&crashed.views) {
+            assert_eq!(
+                a.view, b.view,
+                "case {k}: view '{}' diverged after a shard-{target} crash",
+                a.name
+            );
+        }
+        stale_drops += crashed.shard_stats.stale_answers_dropped;
+        reseeds += crashed.shard_stats.sweeps_reseeded;
+        // Survivors keep sweeping: the re-seeded lane re-issues its
+        // queries at `up_at` and cannot complete before one full 2 ms
+        // round trip, so any lane completion inside (up_at, up_at+2ms)
+        // belongs to a *different* shard still making progress.
+        survivor_overlapped |= crashed
+            .shard_stats
+            .completions
+            .iter()
+            .any(|&(_, at)| at > up_at && at < up_at + 2_000);
+    }
+    assert!(
+        reseeds > 0,
+        "no window ever caught a lane in flight across {n_cases} cases"
+    );
+    assert!(
+        stale_drops > 0,
+        "no crashed lane ever had an answer fenced by its fresh qids"
+    );
+    assert!(
+        survivor_overlapped,
+        "no surviving shard ever completed a sweep during another shard's recovery"
+    );
+}
+
 /// The generated warehouse state-crash schedules from dw-workload's
 /// fault-scenario family also recover to the fault-free outcome. Crash
 /// placement here is random rather than anchored, and a window can

@@ -9,7 +9,10 @@
 //!   for Nested SWEEP;
 //! * and — with the reliability transport in front of a faulty network
 //!   (drops ≥ 10%, duplication, reordering, a source crash/restart) — all
-//!   of the above still hold, on hundreds of seeded fault schedules.
+//!   of the above still hold, on hundreds of seeded fault schedules;
+//! * the sharded warehouse (S concurrent per-shard lanes) converges to
+//!   the clean-network unsharded bags on those same hostile schedules,
+//!   even when one shard's lane additionally state-crashes mid-run.
 //!
 //! Seeded random loops; every failure message names the case seed for
 //! exact replay.
@@ -465,6 +468,70 @@ fn multiview_pushdown_equivalent_on_fault_schedules() {
             pushed.net.label("answer").bytes <= plain.net.label("answer").bytes,
             "case {case}: pushdown increased answer bytes"
         );
+    }
+}
+
+/// The sharded warehouse behind the transport on the same adversarial
+/// network: S concurrent per-shard lanes under drops, duplication,
+/// reordering, and a source crash/restart — half the cases additionally
+/// state-crash one shard's lane mid-run. Retransmission delays can
+/// legitimately permute cross-source arrival (and hence install) order,
+/// so this arm asserts the order-independent guarantees: every view
+/// drains, lands on exactly the clean-network unsharded engine's final
+/// bag, and stays a legal bag throughout.
+#[test]
+fn sharded_sweep_converges_on_fault_schedules() {
+    for case in 0..(32 * fuzz_scale()) {
+        let mut r = Rng64::new(0xF8_0000 + case);
+        let shards = [2, 4][r.usize_below(2)];
+        let generated = ShardedConfig {
+            n_sources: 3,
+            shards,
+            updates: 6 + r.usize_below(6),
+            mean_gap: r.u64_in(300, 2_000),
+            cross_shard_frac: if case % 3 == 0 { 0.3 } else { 0.0 },
+            seed: r.next_u64(),
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let mut plan = hostile_plan(&mut r, 3);
+        if case % 2 == 1 {
+            // Pile a shard-scoped warehouse crash on top of the link
+            // faults: one lane loses its volatile sweep, the rest don't.
+            let txns = &generated.scenario.txns;
+            let anchor = txns[r.usize_below(txns.len())].at;
+            let down_at = anchor + 1_000;
+            plan = plan.state_crash_shard(
+                0,
+                down_at,
+                down_at + r.u64_in(500, 3_000),
+                (case as usize) % shards,
+            );
+        }
+        let report = ShardedExperiment::new(generated.clone())
+            .latency(LatencyModel::Constant(r.u64_in(500, 3_000)))
+            .seed(r.next_u64())
+            .faults(plan)
+            .transport_auto()
+            .run()
+            .unwrap();
+        // Referee: the unsharded engine on a clean network. Final bags
+        // are arrival-order-independent, so they must agree exactly.
+        let clean = MultiViewExperiment::new(generated.scenario).run().unwrap();
+        assert!(report.quiescent && clean.quiescent, "case {case}");
+        assert_eq!(report.views.len(), clean.views.len(), "case {case}");
+        for (a, b) in report.views.iter().zip(&clean.views) {
+            assert_eq!(
+                a.view, b.view,
+                "case {case}: view '{}' diverged under faults + sharding",
+                a.name
+            );
+            assert!(a.view.all_positive(), "case {case}: view '{}'", a.name);
+        }
+        if let Some(m) = &report.mutual {
+            assert!(m.final_agreement, "case {case}: {}", m.detail);
+        }
     }
 }
 
