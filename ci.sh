@@ -10,12 +10,30 @@
 # failed). Flags:
 #
 #   --stage <name>   run exactly one stage (names as printed in the table)
+#   --list           print the stage names, one per line, and exit
 #   --deep           additionally re-run the seeded-schedule suites
-#                    (schedule_fuzz, recovery_equivalence — including
-#                    their sharded arms) at 4x their default schedule
-#                    counts via the DW_FUZZ_SCHEDULES multiplier
+#                    (schedule_fuzz, recovery_equivalence,
+#                    serve_equivalence — including their sharded arms) at
+#                    4x their default schedule counts via the
+#                    DW_FUZZ_SCHEDULES multiplier
 set -uo pipefail
 cd "$(dirname "$0")"
+
+# The single source of truth for stage names, in run order. --list prints
+# it, the unknown-stage error cites it, and the run_stage calls at the
+# bottom must stay in sync with it (checked at startup).
+STAGE_LIST=(
+  readme-crates
+  engine-boundary
+  experiment-docs
+  fmt
+  build
+  test
+  clippy
+  doc
+  perf-gate
+  deep-fuzz
+)
 
 DEEP=0
 ONLY_STAGE=""
@@ -26,8 +44,12 @@ while [[ $# -gt 0 ]]; do
       ONLY_STAGE="${2:?--stage needs a stage name}"
       shift
       ;;
+    --list)
+      printf '%s\n' "${STAGE_LIST[@]}"
+      exit 0
+      ;;
     -h|--help)
-      sed -n '2,17p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,19p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
@@ -37,6 +59,19 @@ while [[ $# -gt 0 ]]; do
   esac
   shift
 done
+
+# Fail fast on a typo'd --stage instead of silently running nothing.
+if [[ -n "$ONLY_STAGE" ]]; then
+  KNOWN=0
+  for s in "${STAGE_LIST[@]}"; do
+    [[ "$s" == "$ONLY_STAGE" ]] && KNOWN=1
+  done
+  if [[ $KNOWN -eq 0 ]]; then
+    echo "unknown stage: $ONLY_STAGE" >&2
+    echo "stages: ${STAGE_LIST[*]}" >&2
+    exit 2
+  fi
+fi
 
 export CARGO_NET_OFFLINE=true
 
@@ -84,16 +119,27 @@ stage_readme_crates() {
 # Adapters — warehouse executors, the multi-view and sharded schedulers,
 # the live runtime, everything outside dw-engine itself — must go
 # through dw-engine's public surface (fold_same_source), never the
-# queue's batching internals.
+# queue's batching internals. Likewise, the snapshot store is dw-serve's
+# private machinery: every other crate serves reads through ReadFrontend
+# and feeds installs through the publisher handle, never by constructing
+# or reaching into SnapshotStore directly.
 stage_engine_boundary() {
-  local hits
+  local hits ok=0
   hits=$(grep -rn "merged_from_source\|take_from_source" crates/*/src 2>/dev/null |
     grep -v "^crates/engine/src" || true)
   if [[ -n "$hits" ]]; then
     echo "$hits"
     echo "FAIL: sweep adapters must go through dw-engine (fold_same_source), not the queue internals" >&2
-    return 1
+    ok=1
   fi
+  hits=$(grep -rn "SnapshotStore" crates/*/src src examples 2>/dev/null |
+    grep -v "^crates/serve/src" || true)
+  if [[ -n "$hits" ]]; then
+    echo "$hits"
+    echo "FAIL: snapshots are dw-serve internals — consume them through ReadFrontend, never SnapshotStore" >&2
+    ok=1
+  fi
+  return $ok
 }
 
 # Every bench binary must carry an E<N> experiment marker in its doc
@@ -142,7 +188,7 @@ stage_perf_gate() {
 
 stage_deep_fuzz() {
   DW_FUZZ_SCHEDULES=4 cargo test -q --release \
-    --test schedule_fuzz --test recovery_equivalence
+    --test schedule_fuzz --test recovery_equivalence --test serve_equivalence
 }
 
 run_stage readme-crates stage_readme_crates
@@ -160,7 +206,7 @@ fi
 
 if [[ $STAGES_RUN -eq 0 ]]; then
   echo "unknown stage: $ONLY_STAGE" >&2
-  echo "stages: readme-crates engine-boundary experiment-docs fmt build test clippy doc perf-gate deep-fuzz" >&2
+  echo "stages: ${STAGE_LIST[*]}" >&2
   exit 2
 fi
 

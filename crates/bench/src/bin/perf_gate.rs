@@ -1,5 +1,6 @@
-//! **The CI perf-regression gate.** Re-runs the E1/E6/E12/E14/E15/E16/E17/E18
-//! scenarios in the same mode as the committed `BENCH_report.json` and
+//! **The CI perf-regression gate.** Re-runs the
+//! E1/E6/E12/E14/E15/E16/E17/E18/E19 scenarios in the same mode as the
+//! committed `BENCH_report.json` and
 //! diffs fresh against baseline (see `dw_bench::perf::gate` for the
 //! exact rules):
 //!
@@ -11,7 +12,11 @@
 //!   fault-free run with a bounded staleness spike and replayed WAL
 //!   bytes monotone in the checkpoint interval, E18 sharded sweeps on the
 //!   same `2(n−1)` line with zero escalations, an install sequence
-//!   identical to the unsharded engine, and speedup ≥ `0.7·S`;
+//!   identical to the unsharded engine, and speedup ≥ `0.7·S`, E19
+//!   snapshot-pinned reads with a maintenance makespan and message bill
+//!   identical to the no-reader referee, fresh-recompute answer
+//!   fidelity, and staleness rejections equal to the delivery-ledger
+//!   oracle's;
 //! * no consistency downgrades against the baseline;
 //! * no >25 % regressions on tracked ratios (messages/update, installs,
 //!   staleness p95, wire inflation).
@@ -35,7 +40,7 @@ fn main() {
 
     let smoke = baseline.mode == "smoke";
     println!(
-        "perf gate: re-running E1/E6/E12/E14/E15/E16/E17/E18 in {} mode against {path}",
+        "perf gate: re-running E1/E6/E12/E14/E15/E16/E17/E18/E19 in {} mode against {path}",
         baseline.mode
     );
     let fresh = perf::collect(smoke);

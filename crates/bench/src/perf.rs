@@ -1,15 +1,18 @@
 //! The perf-report / perf-gate pipeline.
 //!
-//! [`collect`] re-runs the eight invariant-bearing experiments —
+//! [`collect`] re-runs the nine invariant-bearing experiments —
 //! **E1** (Table 1 algorithm comparison), **E6** (SWEEP's `2(n−1)` message
 //! linearity), **E12** (reliable-FIFO earned under faults), **E14**
 //! (shared-sweep cost independent of view count), **E15**
 //! (cross-update batching amortizes the sweep over queued same-source
 //! updates), **E16** (σ query pushdown shrinks the answers selective
 //! views pull off the wire), **E17** (crash recovery: a warehouse
-//! state crash replays checkpoint + WAL back to the fault-free run) and
+//! state crash replays checkpoint + WAL back to the fault-free run),
 //! **E18** (sharded scaling: S per-shard sweep lanes cut the maintenance
-//! makespan near-linearly while installing in the unsharded order) — and
+//! makespan near-linearly while installing in the unsharded order) and
+//! **E19** (serving layer: snapshot-pinned reads answer at fresh-recompute
+//! fidelity, reject staleness bounds exactly per the delivery-ledger
+//! oracle, and never perturb the maintenance engine they read from) — and
 //! condenses each into typed rows: messages per update, installs,
 //! staleness percentiles, consistency level, plus wall-clock per phase.
 //! The result serializes to `BENCH_report.json` (see [`crate::json`]),
@@ -34,7 +37,11 @@
 //!   E17 row whose crashed run fails to recover to the fault-free bags
 //!   and fingerprints, whose recovery staleness spike leaves the recorded
 //!   bound, or whose replayed WAL bytes fail to grow monotonically with
-//!   the checkpoint interval;
+//!   the checkpoint interval, any E19 row whose maintenance makespan or
+//!   message cost moves at all under concurrent readers, whose answered
+//!   reads diverge from a fresh recompute at their pinned epoch, or
+//!   whose staleness rejections disagree with the delivery-ledger
+//!   oracle;
 //! * **consistency downgrades** — a row whose verified consistency level
 //!   is weaker than the committed baseline's;
 //! * **>25 % regressions on tracked ratios** — messages/update and
@@ -46,19 +53,22 @@
 //! the machine. Everything the gate enforces is exact.
 
 use crate::json::{self, Json};
-use dw_core::{Experiment, MultiViewExperiment, PolicyKind, RunReport, ShardedExperiment};
+use dw_core::{
+    audit_reads, Experiment, MultiViewExperiment, PolicyKind, RunReport, ServeExperiment,
+    ShardedExperiment,
+};
 use dw_multiview::SchedulerMode;
 use dw_relational::{CmpOp, Value};
 use dw_simnet::{FaultPlan, LatencyModel, LinkFaults};
-use dw_workload::{MultiViewConfig, ShardedConfig, StreamConfig, ViewSpec};
+use dw_workload::{MultiViewConfig, ReadMixConfig, ShardedConfig, StreamConfig, ViewSpec};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// Schema version stamped into the report; bump when row fields change.
 /// v2 added the E14 multi-view block; v3 the E15 cross-update batching
 /// block; v4 the E16 σ-pushdown block; v5 the E17 crash-recovery block;
-/// v6 the E18 sharded-scaling block.
-pub const SCHEMA_VERSION: u64 = 6;
+/// v6 the E18 sharded-scaling block; v7 the E19 serving block.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Relative regression tolerance on tracked ratios (25 %).
 pub const RATIO_TOLERANCE: f64 = 0.25;
@@ -334,6 +344,63 @@ pub struct E18Row {
     pub quiescent: bool,
 }
 
+/// One read-mix row of the E19 (serving layer) phase.
+///
+/// Each row replays the *same* seeded multi-view maintenance load with a
+/// different concurrent read mix resolved against the snapshot-pinned
+/// serving layer, and pairs it with a **no-reader referee**: the identical
+/// harness with an empty read schedule. Because reads resolve against
+/// immutable epoch snapshots at the warehouse, the maintenance engine must
+/// be bit-for-bit oblivious to them — same virtual-time makespan, same
+/// message cost. Every answered read is audited against a fresh recompute
+/// of its view at the pinned epoch, and every accept/reject verdict
+/// against the delivery-ledger staleness oracle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct E19Row {
+    /// Read-mix label ("point-heavy", "scan-heavy").
+    pub mix: String,
+    /// Number of data sources in the base chain.
+    pub n: u64,
+    /// Number of registered views.
+    pub views: u64,
+    /// Updates the warehouse processed.
+    pub updates: u64,
+    /// Point + scan reads issued (subscriptions excluded).
+    pub reads: u64,
+    /// Reads answered from a pinned epoch.
+    pub answered: u64,
+    /// Reads rejected with `TooStale`.
+    pub rejected: u64,
+    /// Rejections the delivery-ledger oracle demands. Must equal
+    /// `rejected` exactly.
+    pub expected_rejected: u64,
+    /// Answered reads per virtual second — the serving throughput the
+    /// gate tracks against the baseline.
+    pub read_qps: f64,
+    /// Virtual-time maintenance makespan under concurrent readers (µs).
+    pub makespan_us: u64,
+    /// The no-reader referee's makespan (µs). Must equal `makespan_us`
+    /// exactly: readers never block installs.
+    pub baseline_makespan_us: u64,
+    /// Query/answer messages per update under concurrent readers.
+    pub msgs_per_update: f64,
+    /// The no-reader referee's message cost. Must match exactly: reads
+    /// are warehouse-local and add zero network traffic.
+    pub baseline_msgs_per_update: f64,
+    /// Epoch snapshots published by the install pipeline.
+    pub snapshots_published: u64,
+    /// Unpinned snapshots garbage-collected.
+    pub snapshots_gced: u64,
+    /// Every answered read equaled a fresh recompute at its pinned epoch
+    /// and every verdict matched the staleness oracle.
+    pub reads_match_recompute: bool,
+    /// Every subscription stream replayed the install log exactly, in
+    /// ticket order.
+    pub subs_match_installs: bool,
+    /// Run drained to quiescence.
+    pub quiescent: bool,
+}
+
 /// The full report: one entry per phase plus host wall-clock timings.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PerfReport {
@@ -355,6 +422,8 @@ pub struct PerfReport {
     pub e17: Vec<E17Row>,
     /// E18 — sharded-scaling rows.
     pub e18: Vec<E18Row>,
+    /// E19 — serving-layer rows.
+    pub e19: Vec<E19Row>,
     /// Host wall-clock per phase, milliseconds. Informational only.
     pub phase_wall_ms: Vec<(String, f64)>,
 }
@@ -407,6 +476,10 @@ pub fn collect(smoke: bool) -> PerfReport {
     let e18 = collect_e18(smoke);
     phase_wall_ms.push(("E18".to_string(), t0.elapsed().as_secs_f64() * 1e3));
 
+    let t0 = Instant::now();
+    let e19 = collect_e19(smoke);
+    phase_wall_ms.push(("E19".to_string(), t0.elapsed().as_secs_f64() * 1e3));
+
     PerfReport {
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         e1,
@@ -417,6 +490,7 @@ pub fn collect(smoke: bool) -> PerfReport {
         e16,
         e17,
         e18,
+        e19,
         phase_wall_ms,
     }
 }
@@ -970,6 +1044,108 @@ pub fn sharded_scenario(shards: usize, updates: usize) -> dw_workload::ShardedSc
     .unwrap()
 }
 
+/// E19 — the serving layer (`serve` binary's scenario). One seeded
+/// multi-view maintenance load, replayed once per read mix with concurrent
+/// snapshot-pinned readers and once as a **no-reader referee**. The gated
+/// claims are exact: identical makespan and message cost with and without
+/// readers (reads resolve against frozen epochs at the warehouse — zero
+/// engine interference), answered reads bit-equal to a fresh recompute at
+/// their pinned epoch, and staleness rejections equal to the
+/// delivery-ledger oracle's count.
+fn collect_e19(smoke: bool) -> Vec<E19Row> {
+    let updates = crate::pick(smoke, 16, 48);
+    let scenario = serve_scenario(updates);
+    let n = scenario.base.num_relations();
+    let views = scenario.views.len();
+    let referee = ServeExperiment::new(scenario.clone()).run().unwrap();
+    let mixes: [(&str, f64, f64); 2] = [("point-heavy", 0.8, 0.15), ("scan-heavy", 0.15, 0.8)];
+    mixes
+        .into_iter()
+        .map(|(mix, point_frac, scan_frac)| {
+            let reads = serve_read_mix(smoke, views, point_frac, scan_frac);
+            let issued = reads
+                .iter()
+                .filter(|r| !matches!(r.kind, dw_workload::ReadKind::Subscribe))
+                .count() as u64;
+            let report = ServeExperiment::new(scenario.clone())
+                .reads(reads)
+                .run()
+                .unwrap();
+            let audit = audit_reads(&scenario, &report).unwrap();
+            debug_assert_eq!(audit.reads, issued);
+            E19Row {
+                mix: mix.to_string(),
+                n: n as u64,
+                views: views as u64,
+                updates: report.scheduler_metrics.updates_received,
+                reads: audit.reads,
+                answered: audit.answered,
+                rejected: audit.rejected,
+                expected_rejected: audit.expected_rejected,
+                read_qps: audit.answered as f64 * 1e6 / report.end_time.max(1) as f64,
+                makespan_us: report.makespan(),
+                baseline_makespan_us: referee.makespan(),
+                msgs_per_update: report.messages_per_update(),
+                baseline_msgs_per_update: referee.messages_per_update(),
+                snapshots_published: report.serve_stats.snapshots_published,
+                snapshots_gced: report.serve_stats.snapshots_gced,
+                reads_match_recompute: audit.clean(),
+                subs_match_installs: report.subscriptions_match_installs(),
+                quiescent: report.quiescent,
+            }
+        })
+        .collect()
+}
+
+/// The E19 maintenance load: `3` full-span SWEEP views over a 3-source
+/// chain, updates arriving faster than a sweep's round trips so the
+/// install queue (and therefore observable staleness) actually builds —
+/// tight read bounds then have something to reject.
+pub fn serve_scenario(updates: usize) -> dw_workload::MultiViewScenario {
+    MultiViewConfig {
+        stream: StreamConfig {
+            n_sources: 3,
+            initial_per_source: 20,
+            updates,
+            mean_gap: 1_500,
+            domain: 12,
+            keyed: true,
+            seed: 0xE19,
+            ..Default::default()
+        },
+        n_views: 3,
+        view_seed: 0xE19,
+        full_span: true,
+    }
+    .generate()
+    .unwrap()
+}
+
+/// The E19 read schedule: 4 readers issuing seeded point/scan reads over
+/// the scenario's span, half of them carrying a staleness bound tight
+/// enough to be rejected while the sweep queue is deep.
+pub fn serve_read_mix(
+    smoke: bool,
+    n_views: usize,
+    point_frac: f64,
+    scan_frac: f64,
+) -> Vec<dw_workload::ReadOp> {
+    ReadMixConfig {
+        readers: 4,
+        reads_per_reader: crate::pick(smoke, 8, 20),
+        start: 500,
+        mean_gap: 3_000,
+        n_views,
+        point_frac,
+        scan_frac,
+        bound_frac: 0.5,
+        bound_window: 2_500,
+        seed: 0xE19,
+        ..Default::default()
+    }
+    .generate()
+}
+
 // ---------------------------------------------------------------- JSON
 
 impl PerfReport {
@@ -1009,6 +1185,10 @@ impl PerfReport {
             (
                 "e18_sharded",
                 Json::Arr(self.e18.iter().map(e18_to_json).collect()),
+            ),
+            (
+                "e19_serve",
+                Json::Arr(self.e19.iter().map(e19_to_json).collect()),
             ),
             (
                 "phase_wall_ms",
@@ -1094,6 +1274,13 @@ impl PerfReport {
             .iter()
             .map(e18_from_json)
             .collect::<Result<_, _>>()?;
+        let e19 = doc
+            .get("e19_serve")
+            .and_then(Json::as_arr)
+            .ok_or("missing e19_serve")?
+            .iter()
+            .map(e19_from_json)
+            .collect::<Result<_, _>>()?;
         let phase_wall_ms = match doc.get("phase_wall_ms") {
             Some(Json::Obj(fields)) => fields
                 .iter()
@@ -1115,6 +1302,7 @@ impl PerfReport {
             e16,
             e17,
             e18,
+            e19,
             phase_wall_ms,
         })
     }
@@ -1475,6 +1663,70 @@ fn e18_from_json(doc: &Json) -> Result<E18Row, String> {
             .get("conforms")
             .and_then(Json::as_bool)
             .ok_or("missing bool conforms")?,
+        quiescent: doc
+            .get("quiescent")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool quiescent")?,
+    })
+}
+
+fn e19_to_json(r: &E19Row) -> Json {
+    Json::obj(vec![
+        ("mix", Json::Str(r.mix.clone())),
+        ("n", Json::Num(r.n as f64)),
+        ("views", Json::Num(r.views as f64)),
+        ("updates", Json::Num(r.updates as f64)),
+        ("reads", Json::Num(r.reads as f64)),
+        ("answered", Json::Num(r.answered as f64)),
+        ("rejected", Json::Num(r.rejected as f64)),
+        ("expected_rejected", Json::Num(r.expected_rejected as f64)),
+        ("read_qps", Json::Num(r.read_qps)),
+        ("makespan_us", Json::Num(r.makespan_us as f64)),
+        (
+            "baseline_makespan_us",
+            Json::Num(r.baseline_makespan_us as f64),
+        ),
+        ("msgs_per_update", Json::Num(r.msgs_per_update)),
+        (
+            "baseline_msgs_per_update",
+            Json::Num(r.baseline_msgs_per_update),
+        ),
+        (
+            "snapshots_published",
+            Json::Num(r.snapshots_published as f64),
+        ),
+        ("snapshots_gced", Json::Num(r.snapshots_gced as f64)),
+        ("reads_match_recompute", Json::Bool(r.reads_match_recompute)),
+        ("subs_match_installs", Json::Bool(r.subs_match_installs)),
+        ("quiescent", Json::Bool(r.quiescent)),
+    ])
+}
+
+fn e19_from_json(doc: &Json) -> Result<E19Row, String> {
+    Ok(E19Row {
+        mix: string(doc, "mix")?,
+        n: uint(doc, "n")?,
+        views: uint(doc, "views")?,
+        updates: uint(doc, "updates")?,
+        reads: uint(doc, "reads")?,
+        answered: uint(doc, "answered")?,
+        rejected: uint(doc, "rejected")?,
+        expected_rejected: uint(doc, "expected_rejected")?,
+        read_qps: num(doc, "read_qps")?,
+        makespan_us: uint(doc, "makespan_us")?,
+        baseline_makespan_us: uint(doc, "baseline_makespan_us")?,
+        msgs_per_update: num(doc, "msgs_per_update")?,
+        baseline_msgs_per_update: num(doc, "baseline_msgs_per_update")?,
+        snapshots_published: uint(doc, "snapshots_published")?,
+        snapshots_gced: uint(doc, "snapshots_gced")?,
+        reads_match_recompute: doc
+            .get("reads_match_recompute")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool reads_match_recompute")?,
+        subs_match_installs: doc
+            .get("subs_match_installs")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool subs_match_installs")?,
         quiescent: doc
             .get("quiescent")
             .and_then(Json::as_bool)
@@ -1854,6 +2106,66 @@ pub fn invariant_violations(report: &PerfReport) -> Vec<String> {
             v.push(format!("E18 S={}: run did not drain", row.shards));
         }
     }
+    let e19_mixes: BTreeSet<&str> = report.e19.iter().map(|r| r.mix.as_str()).collect();
+    if e19_mixes.len() < 2 {
+        v.push(format!(
+            "E19: serving must be exercised at >= 2 distinct read-mix levels, got {:?}",
+            e19_mixes
+        ));
+    }
+    for row in &report.e19 {
+        if row.makespan_us != row.baseline_makespan_us {
+            v.push(format!(
+                "E19 {}: readers must never block installs — makespan {}us under readers != {}us no-reader baseline",
+                row.mix, row.makespan_us, row.baseline_makespan_us
+            ));
+        }
+        if (row.msgs_per_update - row.baseline_msgs_per_update).abs() > EXACT_EPS {
+            v.push(format!(
+                "E19 {}: readers added network traffic — {} msgs/update under readers != {} no-reader baseline",
+                row.mix, row.msgs_per_update, row.baseline_msgs_per_update
+            ));
+        }
+        if row.answered + row.rejected != row.reads {
+            v.push(format!(
+                "E19 {}: answered {} + rejected {} != {} reads issued — reads went unaccounted",
+                row.mix, row.answered, row.rejected, row.reads
+            ));
+        }
+        if row.rejected != row.expected_rejected {
+            v.push(format!(
+                "E19 {}: staleness rejections {} diverged from the delivery-ledger oracle's {}",
+                row.mix, row.rejected, row.expected_rejected
+            ));
+        }
+        if !row.reads_match_recompute {
+            v.push(format!(
+                "E19 {}: an answered read diverged from fresh recompute at its pinned epoch",
+                row.mix
+            ));
+        }
+        if !row.subs_match_installs {
+            v.push(format!(
+                "E19 {}: a subscription stream did not replay the install log in ticket order",
+                row.mix
+            ));
+        }
+        if row.snapshots_published == 0 {
+            v.push(format!(
+                "E19 {}: the install pipeline published no snapshots — the serving layer saw nothing",
+                row.mix
+            ));
+        }
+        if row.answered == 0 || row.read_qps <= 0.0 {
+            v.push(format!(
+                "E19 {}: answered {} reads (read_qps {}) — the read path is dead",
+                row.mix, row.answered, row.read_qps
+            ));
+        }
+        if !row.quiescent {
+            v.push(format!("E19 {}: run did not drain", row.mix));
+        }
+    }
     v
 }
 
@@ -2095,6 +2407,31 @@ pub fn gate(baseline: &PerfReport, fresh: &PerfReport) -> Vec<String> {
         );
     }
 
+    for base_row in &baseline.e19 {
+        let Some(row) = fresh.e19.iter().find(|r| r.mix == base_row.mix) else {
+            v.push(format!(
+                "E19: mix '{}' missing from fresh report",
+                base_row.mix
+            ));
+            continue;
+        };
+        let what = format!("E19 {}", row.mix);
+        check_ratio(
+            &mut v,
+            &format!("{what} read qps"),
+            base_row.read_qps,
+            row.read_qps,
+            false,
+        );
+        check_ratio(
+            &mut v,
+            &format!("{what} makespan"),
+            base_row.makespan_us as f64,
+            row.makespan_us as f64,
+            true,
+        );
+    }
+
     v
 }
 
@@ -2137,6 +2474,11 @@ pub struct InvariantDigest {
     /// `0.7·S` speedup floor, conforms to the unsharded install sequence,
     /// and drains.
     pub e18_scaled: bool,
+    /// Every E19 row serves without perturbing maintenance (makespan and
+    /// message cost equal the no-reader referee), answers at
+    /// fresh-recompute fidelity, rejects exactly per the staleness
+    /// oracle, and replays installs to subscribers in ticket order.
+    pub e19_served: bool,
 }
 
 impl InvariantDigest {
@@ -2212,6 +2554,17 @@ impl InvariantDigest {
                     && r.escalations == 0
                     && r.speedup + EXACT_EPS >= r.expected_min_speedup
                     && r.conforms
+                    && r.quiescent
+            }),
+            e19_served: report.e19.iter().all(|r| {
+                r.makespan_us == r.baseline_makespan_us
+                    && (r.msgs_per_update - r.baseline_msgs_per_update).abs() < EXACT_EPS
+                    && r.answered + r.rejected == r.reads
+                    && r.rejected == r.expected_rejected
+                    && r.answered > 0
+                    && r.snapshots_published > 0
+                    && r.reads_match_recompute
+                    && r.subs_match_installs
                     && r.quiescent
             }),
         }
@@ -2443,6 +2796,48 @@ mod tests {
                     escalations: 0,
                     max_lanes: 4,
                     conforms: true,
+                    quiescent: true,
+                },
+            ],
+            e19: vec![
+                E19Row {
+                    mix: "point-heavy".to_string(),
+                    n: 3,
+                    views: 3,
+                    updates: 16,
+                    reads: 30,
+                    answered: 26,
+                    rejected: 4,
+                    expected_rejected: 4,
+                    read_qps: 260.0,
+                    makespan_us: 96_000,
+                    baseline_makespan_us: 96_000,
+                    msgs_per_update: 4.0,
+                    baseline_msgs_per_update: 4.0,
+                    snapshots_published: 48,
+                    snapshots_gced: 45,
+                    reads_match_recompute: true,
+                    subs_match_installs: true,
+                    quiescent: true,
+                },
+                E19Row {
+                    mix: "scan-heavy".to_string(),
+                    n: 3,
+                    views: 3,
+                    updates: 16,
+                    reads: 31,
+                    answered: 25,
+                    rejected: 6,
+                    expected_rejected: 6,
+                    read_qps: 250.0,
+                    makespan_us: 96_000,
+                    baseline_makespan_us: 96_000,
+                    msgs_per_update: 4.0,
+                    baseline_msgs_per_update: 4.0,
+                    snapshots_published: 48,
+                    snapshots_gced: 44,
+                    reads_match_recompute: true,
+                    subs_match_installs: true,
                     quiescent: true,
                 },
             ],
@@ -2843,6 +3238,119 @@ mod tests {
                 .iter()
                 .any(|v| v.contains("E18") && v.contains("missing")),
             "expected a missing-row violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn reader_interference_fails_gate() {
+        // The acceptance demo for E19: an install path that starts
+        // waiting on readers — the makespan moving at all under a read
+        // load — must be caught even against a healthy baseline.
+        let mut fresh = healthy();
+        fresh.e19[0].makespan_us = 97_000;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("readers must never block installs")),
+            "expected an interference violation, got {violations:?}"
+        );
+
+        // Reads leaking onto the wire breaks the warehouse-local claim.
+        let mut fresh = healthy();
+        fresh.e19[1].msgs_per_update = 4.5;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("readers added network traffic")),
+            "expected a traffic violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn serving_divergence_fails_gate() {
+        // A snapshot read that stops matching a fresh recompute at its
+        // pinned epoch is a torn or misapplied install.
+        let mut fresh = healthy();
+        fresh.e19[0].reads_match_recompute = false;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("diverged from fresh recompute")),
+            "expected a recompute violation, got {violations:?}"
+        );
+
+        // Staleness verdicts drifting off the delivery-ledger oracle —
+        // either spurious rejections or stale answers slipping through.
+        let mut fresh = healthy();
+        fresh.e19[1].rejected += 1;
+        fresh.e19[1].answered -= 1;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("diverged from the delivery-ledger oracle")),
+            "expected a staleness-oracle violation, got {violations:?}"
+        );
+
+        // A subscription stream skipping or reordering installs breaks
+        // the ticket-order push contract.
+        let mut fresh = healthy();
+        fresh.e19[0].subs_match_installs = false;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("did not replay the install log")),
+            "expected a subscription violation, got {violations:?}"
+        );
+
+        // The coverage floor: both read-mix levels must be present.
+        let mut fresh = healthy();
+        fresh.e19.remove(1);
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("E19") && v.contains("missing")),
+            "expected a missing-row violation, got {violations:?}"
+        );
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("2 distinct read-mix levels")),
+            "expected a mix-coverage violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn gate_reports_every_violation_in_one_pass() {
+        // One run, many regressions: the gate must list them all with
+        // expected-vs-actual values, not stop at the first.
+        let mut fresh = healthy();
+        fresh.e6[1].dense_msgs_per_update = 16.0;
+        fresh.e17[0].converged = false;
+        fresh.e18[1].escalations = 3;
+        fresh.e19[0].makespan_us = 97_000;
+        fresh.e1[1].msgs_per_update = healthy().e1[1].msgs_per_update * 1.3;
+        let violations = gate(&healthy(), &fresh);
+        for needle in [
+            "E6 n=8 (dense): msgs/update 16 != 2(n-1) = 14",
+            "E17 ckpt=1",
+            "E18 S=2: 3 escalations",
+            "E19 point-heavy: readers must never block installs — makespan 97000us under readers != 96000us no-reader baseline",
+            "E1 Strobe msgs/update",
+        ] {
+            assert!(
+                violations.iter().any(|v| v.contains(needle)),
+                "expected a violation containing {needle:?} in the single pass, got {violations:?}"
+            );
+        }
+        assert!(
+            violations.len() >= 5,
+            "expected all five independent violations at once, got {violations:?}"
         );
     }
 

@@ -26,9 +26,14 @@ pub mod experiment;
 pub mod multi_experiment;
 pub mod report;
 mod runner;
+pub mod serve_experiment;
 pub mod sharded_experiment;
 
 pub use experiment::{CoreError, Experiment, PolicyKind};
 pub use multi_experiment::{MultiViewExperiment, MultiViewReport, ViewOutcome};
 pub use report::RunReport;
+pub use serve_experiment::{
+    audit_reads, oracle_expects_rejection, oracle_view_at_epoch, OracleAudit, ReadOutcome,
+    ReadResult, ServeExperiment, ServeReport, SubscriptionOutcome,
+};
 pub use sharded_experiment::{ShardedExperiment, ShardedReport};

@@ -1,0 +1,1063 @@
+//! Serve experiment harness: maintenance plus a snapshot-pinned read
+//! path, driven off one virtual clock.
+//!
+//! Wraps either [`MaintenanceScheduler`] (flat, optionally durable) or
+//! [`ShardedScheduler`] (partitioned lanes) exactly the way
+//! [`MultiViewExperiment`](crate::MultiViewExperiment) and
+//! [`ShardedExperiment`](crate::ShardedExperiment) do, then attaches a
+//! [`ReadFrontend`] as the engine's install publisher: every committed
+//! install becomes an immutable epoch in the snapshot store, and a
+//! seeded [`ReadOp`] schedule from `dw_workload::serve` is resolved
+//! against the store *between* deliveries — a read issued at virtual
+//! time `t` observes exactly the epochs committed before `t`, never a
+//! torn sweep.
+//!
+//! The report carries enough provenance for an external oracle: each
+//! [`ReadOutcome`] records the epoch it was answered from and the
+//! length of the delivery-log prefix visible at issue time, so
+//! [`oracle_view_at_epoch`] can recompute the pinned contents from the
+//! scenario's initial relations and transaction stream, and
+//! [`oracle_expects_rejection`] can re-derive every staleness verdict.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::experiment::CoreError;
+use crate::multi_experiment::ViewOutcome;
+use crate::runner::{NetProfile, SimHarness};
+use dw_multiview::{
+    DurabilityConfig, EngineOptions, MaintenanceScheduler, RecoveryStats, SchedulerMode,
+    ShardStats, ShardedScheduler, ViewId, ViewRegistry,
+};
+use dw_protocol::{node_source, source_node, Message, TransportConfig, UpdateId, WAREHOUSE_NODE};
+use dw_relational::{eval_view, Bag, ShardMap, Tuple};
+use dw_serve::{InstallDelta, ReadFrontend, ServeError, ServeStats, StalenessBound};
+use dw_simnet::{FaultPlan, LatencyModel, NetStats, NodeId, Time};
+use dw_source::DataSource;
+use dw_warehouse::PolicyMetrics;
+use dw_workload::{MultiViewScenario, ReadKind, ReadOp};
+
+impl From<ServeError> for CoreError {
+    fn from(e: ServeError) -> Self {
+        CoreError::Multi(format!("serve: {e}"))
+    }
+}
+
+/// The maintenance engine under the serving layer.
+enum Engine {
+    Flat(Box<MaintenanceScheduler>),
+    Sharded(Box<ShardedScheduler>),
+}
+
+impl Engine {
+    fn views(&self) -> &ViewRegistry {
+        match self {
+            Engine::Flat(s) => s.views(),
+            Engine::Sharded(s) => s.views(),
+        }
+    }
+
+    fn metrics(&self) -> &PolicyMetrics {
+        match self {
+            Engine::Flat(s) => s.metrics(),
+            Engine::Sharded(s) => s.metrics(),
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        match self {
+            Engine::Flat(s) => s.is_quiescent(),
+            Engine::Sharded(s) => s.is_quiescent(),
+        }
+    }
+}
+
+/// A configured serve experiment: scenario × engine shape × read mix ×
+/// network profile.
+pub struct ServeExperiment {
+    scenario: MultiViewScenario,
+    map: Option<ShardMap>,
+    mode: SchedulerMode,
+    opts: EngineOptions,
+    reads: Vec<ReadOp>,
+    baseline_subs: bool,
+    latency: LatencyModel,
+    link_overrides: Vec<(NodeId, NodeId, LatencyModel)>,
+    seed: u64,
+    record_snapshots: bool,
+    event_cap: u64,
+    faults: FaultPlan,
+    transport: Option<TransportConfig>,
+    durability: Option<DurabilityConfig>,
+    obs: dw_obs::Obs,
+}
+
+impl ServeExperiment {
+    /// New serve experiment over a multi-view scenario, flat shared-sweep
+    /// engine, no reads yet (add them with
+    /// [`reads`](ServeExperiment::reads)).
+    pub fn new(scenario: MultiViewScenario) -> Self {
+        ServeExperiment {
+            scenario,
+            map: None,
+            mode: SchedulerMode::Shared,
+            opts: EngineOptions::default(),
+            reads: Vec::new(),
+            baseline_subs: true,
+            latency: LatencyModel::Constant(1_000),
+            link_overrides: Vec::new(),
+            seed: 0,
+            record_snapshots: true,
+            event_cap: 10_000_000,
+            faults: FaultPlan::default(),
+            transport: None,
+            durability: None,
+            obs: dw_obs::Obs::off(),
+        }
+    }
+
+    /// Drive a [`ShardedScheduler`] over this partitioner instead of the
+    /// flat engine. (Durability is a flat-engine feature and is ignored
+    /// when sharded; shard-scoped crash windows apply instead.)
+    pub fn sharded(mut self, map: ShardMap) -> Self {
+        self.map = Some(map);
+        self
+    }
+
+    /// Scheduler mode for the flat engine (ignored when sharded).
+    pub fn mode(mut self, mode: SchedulerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The read schedule to resolve against the snapshot store
+    /// (typically `ReadMixConfig::generate()`).
+    pub fn reads(mut self, reads: Vec<ReadOp>) -> Self {
+        self.reads = reads;
+        self.reads.sort_by_key(|op| (op.at, op.reader));
+        self
+    }
+
+    /// Register one subscription per view before traffic starts (on by
+    /// default) — their drained streams must replay the full install
+    /// fingerprint, which the equivalence suite asserts.
+    pub fn baseline_subscriptions(mut self, on: bool) -> Self {
+        self.baseline_subs = on;
+        self
+    }
+
+    /// Default latency model for every link.
+    pub fn latency(mut self, l: LatencyModel) -> Self {
+        self.latency = l;
+        self
+    }
+
+    /// Override one directed link's latency.
+    pub fn link_latency(mut self, from: NodeId, to: NodeId, l: LatencyModel) -> Self {
+        self.link_overrides.push((from, to, l));
+        self
+    }
+
+    /// Network RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disable per-install view snapshots (for big runs).
+    pub fn record_snapshots(mut self, on: bool) -> Self {
+        self.record_snapshots = on;
+        self
+    }
+
+    /// Abort the run after this many deliveries (oscillation guard).
+    pub fn event_cap(mut self, cap: u64) -> Self {
+        self.event_cap = cap;
+        self
+    }
+
+    /// Install a fault plan. Unscoped warehouse state crashes route to
+    /// `crash_and_recover` on the flat engine (arm
+    /// [`durability`](ServeExperiment::durability) to survive them);
+    /// shard-scoped windows route to `crash_shard` on the sharded one.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Run every node behind the reliability transport.
+    pub fn transport(mut self, cfg: TransportConfig) -> Self {
+        self.transport = Some(cfg);
+        self
+    }
+
+    /// Enable the transport with timing derived from the latency model.
+    pub fn transport_auto(mut self) -> Self {
+        self.transport = Some(TransportConfig::for_latency_mean(self.latency.mean()));
+        self
+    }
+
+    /// Arm flat-engine crash recovery (checkpoints + sweep WAL).
+    pub fn durability(mut self, checkpoint_every: usize) -> Self {
+        self.durability = Some(DurabilityConfig { checkpoint_every });
+        self
+    }
+
+    /// Run to network quiescence and report.
+    pub fn run(self) -> Result<ServeReport, CoreError> {
+        let scenario = &self.scenario;
+        let base = scenario.base.clone();
+        let n = base.num_relations();
+
+        if let Some(cfg) = &self.transport {
+            cfg.validate()
+                .map_err(|e| CoreError::Multi(e.to_string()))?;
+        }
+        let mut sched = match &self.map {
+            None => Engine::Flat(Box::new(MaintenanceScheduler::with_options(
+                base.clone(),
+                self.mode,
+                self.opts,
+            )?)),
+            Some(map) => Engine::Sharded(Box::new(ShardedScheduler::with_options(
+                base.clone(),
+                map.clone(),
+                self.opts,
+            )?)),
+        };
+        match &mut sched {
+            Engine::Flat(s) => {
+                s.set_record_snapshots(self.record_snapshots);
+                s.set_observer(self.obs.clone());
+            }
+            Engine::Sharded(s) => {
+                s.set_record_snapshots(self.record_snapshots);
+                s.set_observer(self.obs.clone());
+                for bag in &scenario.initial {
+                    s.seed_groups(bag);
+                }
+            }
+        }
+
+        // The serving layer: engine installs publish into the snapshot
+        // store; readers resolve against it. Frontend registration order
+        // must mirror scheduler registration order — the publisher keys
+        // epochs by registry slot.
+        let front = ReadFrontend::new();
+        match &mut sched {
+            Engine::Flat(s) => s.set_install_publisher(front.sink()),
+            Engine::Sharded(s) => s.set_install_publisher(front.sink()),
+        }
+
+        let mut ids: Vec<ViewId> = Vec::new();
+        for spec in &scenario.views {
+            let local = spec.compile(&base)?;
+            let refs: Vec<&Bag> = scenario.initial[spec.lo..=spec.hi].iter().collect();
+            let initial_view = eval_view(&local, &refs)?;
+            let id = match &mut sched {
+                Engine::Flat(s) => s.register(spec, initial_view.clone())?,
+                Engine::Sharded(s) => s.register(spec, initial_view.clone())?,
+            };
+            let slot = front.register_view(&spec.name, initial_view, 0);
+            debug_assert_eq!(slot, id.index(), "frontend/registry slot drift");
+            ids.push(id);
+        }
+        let spans: Vec<(usize, usize)> = scenario.views.iter().map(|s| (s.lo, s.hi)).collect();
+        // Durability arms after registration so the initial checkpoint
+        // already carries every view (flat engine only).
+        if let Engine::Flat(s) = &mut sched {
+            if let Some(cfg) = self.durability {
+                s.enable_durability(cfg);
+            }
+        }
+
+        // Baseline subscriptions from epoch 0: their streams must replay
+        // each view's full install fingerprint.
+        let mut subscriptions: Vec<SubscriptionOutcome> = Vec::new();
+        if self.baseline_subs {
+            for (v, spec) in scenario.views.iter().enumerate() {
+                let _ = spec;
+                subscriptions.push(SubscriptionOutcome {
+                    reader: usize::MAX,
+                    view: v,
+                    sub: front.subscribe(v)?,
+                    from_epoch: front.latest_epoch(v)?,
+                    stream: Vec::new(),
+                });
+            }
+        }
+
+        // Shard-scoped crash windows keyed by restart time (sharded
+        // engine); unscoped windows recover the flat engine.
+        let mut scoped_restarts: Vec<(Time, usize)> = self
+            .faults
+            .state_crashes()
+            .iter()
+            .filter(|c| c.node == WAREHOUSE_NODE)
+            .filter_map(|c| c.shard.map(|s| (c.up_at, s)))
+            .collect();
+
+        let profile = NetProfile {
+            latency: self.latency,
+            link_overrides: self.link_overrides,
+            seed: self.seed,
+            faults: self.faults,
+            transport: self.transport,
+            event_cap: self.event_cap,
+            trace: false,
+            obs: self.obs.clone(),
+        };
+        let mut harness = SimHarness::new(&profile, n + 1);
+
+        let mut sources: Vec<DataSource> = Vec::new();
+        for i in 0..n {
+            let mut r = dw_relational::BaseRelation::new(base.schema(i).clone());
+            r.apply_delta(&scenario.initial[i])?;
+            let mut src = DataSource::new(i, base.clone(), r);
+            src.set_observer(self.obs.clone());
+            sources.push(src);
+        }
+
+        for t in &scenario.txns {
+            harness.net.inject(
+                t.at,
+                source_node(t.source),
+                Message::ApplyTxn {
+                    rel: t.source,
+                    delta: t.delta.clone(),
+                    global: t.global,
+                },
+            );
+        }
+
+        let ops = self.reads;
+        let mut next_op = 0usize;
+        let mut reads: Vec<ReadOutcome> = Vec::new();
+        let mut delivery_log: Vec<(UpdateId, Time)> = Vec::new();
+
+        harness.drive(|d, net| {
+            // Readers run ahead of the engine: every op issued at or
+            // before this delivery's timestamp resolves against the
+            // store *now*, before the delivery can commit a new epoch.
+            // Installs therefore never block on, nor are observed
+            // mid-flight by, any read.
+            while next_op < ops.len() && ops[next_op].at <= d.at {
+                execute_read(
+                    &front,
+                    &ops[next_op],
+                    delivery_log.len(),
+                    &mut reads,
+                    &mut subscriptions,
+                )?;
+                next_op += 1;
+            }
+            if d.to == WAREHOUSE_NODE {
+                if matches!(d.msg, Message::Restart) {
+                    match &mut sched {
+                        Engine::Flat(s) => {
+                            s.crash_and_recover(net)?;
+                        }
+                        Engine::Sharded(s) => {
+                            if let Some(pos) =
+                                scoped_restarts.iter().position(|&(at, _)| at == d.at)
+                            {
+                                let (_, shard) = scoped_restarts.swap_remove(pos);
+                                s.crash_shard(shard, net)?;
+                            }
+                        }
+                    }
+                    return Ok(());
+                }
+                if let Message::Update(u) = &d.msg {
+                    delivery_log.push((u.id, d.at));
+                }
+                match &mut sched {
+                    Engine::Flat(s) => s.on_message(d, net)?,
+                    Engine::Sharded(s) => s.on_message(d, net)?,
+                }
+            } else {
+                if matches!(d.msg, Message::Restart) {
+                    return Ok(());
+                }
+                let idx = node_source(d.to);
+                let src = sources
+                    .get_mut(idx)
+                    .ok_or(CoreError::NoSuchNode { node: d.to })?;
+                src.handle(d.from, d.msg, net)?;
+            }
+            Ok(())
+        })?;
+
+        // Ops scheduled past the last delivery resolve at quiescence.
+        while next_op < ops.len() {
+            execute_read(
+                &front,
+                &ops[next_op],
+                delivery_log.len(),
+                &mut reads,
+                &mut subscriptions,
+            )?;
+            next_op += 1;
+        }
+
+        // Drain every subscription's pending install deltas.
+        for sub in &mut subscriptions {
+            sub.stream = front.poll(sub.sub)?;
+        }
+
+        let mut views: Vec<ViewOutcome> = Vec::new();
+        let mut retained: Vec<Vec<u64>> = Vec::new();
+        for (v, &id) in ids.iter().enumerate() {
+            let reg = sched.views();
+            views.push(ViewOutcome {
+                name: reg.name(id)?.to_string(),
+                lo: spans[v].0,
+                hi: spans[v].1,
+                policy: reg.policy(id)?,
+                view: reg.view_bag(id)?.clone(),
+                installs: reg.install_log(id)?.to_vec(),
+                metrics: reg.metrics(id)?.clone(),
+                consistency: None,
+            });
+            retained.push(front.retained_epochs(v)?);
+        }
+
+        let transport_quiescent = harness.transport_quiescent();
+
+        Ok(ServeReport {
+            sharded: matches!(sched, Engine::Sharded(_)),
+            quiescent: sched.is_quiescent() && transport_quiescent,
+            scheduler_metrics: sched.metrics().clone(),
+            recovery: match &sched {
+                Engine::Flat(s) => Some(s.recovery_stats()),
+                Engine::Sharded(_) => None,
+            },
+            shard_stats: match &sched {
+                Engine::Flat(_) => None,
+                Engine::Sharded(s) => Some(s.stats().clone()),
+            },
+            views,
+            serve_stats: front.stats(),
+            retained,
+            reads,
+            subscriptions,
+            net: harness.net.stats().clone(),
+            end_time: harness.net.now(),
+            events: harness.events,
+            delivery_log,
+        })
+    }
+}
+
+/// Resolve one read op against the frontend at its scheduled instant.
+fn execute_read(
+    front: &ReadFrontend,
+    op: &ReadOp,
+    deliveries_seen: usize,
+    reads: &mut Vec<ReadOutcome>,
+    subscriptions: &mut Vec<SubscriptionOutcome>,
+) -> Result<(), CoreError> {
+    if let ReadKind::Subscribe = op.kind {
+        let sub = front.subscribe(op.view)?;
+        let from_epoch = front.latest_epoch(op.view)?;
+        subscriptions.push(SubscriptionOutcome {
+            reader: op.reader,
+            view: op.view,
+            sub,
+            from_epoch,
+            stream: Vec::new(),
+        });
+        reads.push(ReadOutcome {
+            op: op.clone(),
+            epoch: from_epoch,
+            deliveries_seen,
+            result: ReadResult::Subscribed { sub },
+        });
+        return Ok(());
+    }
+    let pin = front.pin(op.view)?;
+    let epoch = pin.epoch();
+    let bound = op.bound_window.map(|w| StalenessBound {
+        reflect_before: op.at.saturating_sub(w),
+    });
+    let result = match &op.kind {
+        ReadKind::Point { column, key } => match front.read_point(&pin, *column, *key, bound) {
+            Ok(a) => ReadResult::Point {
+                multiplicity: a.multiplicity,
+                matches: a.matches,
+            },
+            Err(ServeError::TooStale {
+                required,
+                freshest_admissible,
+                ..
+            }) => ReadResult::Rejected {
+                required,
+                freshest_admissible,
+            },
+            Err(e) => return Err(e.into()),
+        },
+        ReadKind::Scan => match front.read_scan(&pin, bound) {
+            Ok(a) => ReadResult::Scan {
+                bag: (*a.bag).clone(),
+            },
+            Err(ServeError::TooStale {
+                required,
+                freshest_admissible,
+                ..
+            }) => ReadResult::Rejected {
+                required,
+                freshest_admissible,
+            },
+            Err(e) => return Err(e.into()),
+        },
+        ReadKind::Subscribe => unreachable!("handled above"),
+    };
+    front.unpin(pin)?;
+    reads.push(ReadOutcome {
+        op: op.clone(),
+        epoch,
+        deliveries_seen,
+        result,
+    });
+    Ok(())
+}
+
+/// What one resolved read observed.
+#[derive(Clone, Debug)]
+pub enum ReadResult {
+    /// Point lookup: total multiplicity plus the matching tuples.
+    Point {
+        /// Sum of matching multiplicities.
+        multiplicity: i64,
+        /// The matching `(tuple, multiplicity)` pairs, sorted.
+        matches: Vec<(Tuple, i64)>,
+    },
+    /// Full snapshot scan.
+    Scan {
+        /// The pinned epoch's contents.
+        bag: Bag,
+    },
+    /// The pinned epoch violated the op's staleness bound.
+    Rejected {
+        /// The bound's cutoff instant.
+        required: Time,
+        /// Freshest epoch that would have satisfied the bound, if any.
+        freshest_admissible: Option<u64>,
+    },
+    /// A subscription was registered.
+    Subscribed {
+        /// Subscription id (its stream lands in
+        /// [`ServeReport::subscriptions`]).
+        sub: u64,
+    },
+}
+
+/// One read op's resolution, with the provenance the oracle needs.
+#[derive(Clone, Debug)]
+pub struct ReadOutcome {
+    /// The scheduled op.
+    pub op: ReadOp,
+    /// Epoch the op was pinned to (the view's latest at issue time; for
+    /// subscriptions, the epoch the stream starts after).
+    pub epoch: u64,
+    /// Warehouse deliveries visible when the op resolved — a prefix
+    /// length into [`ServeReport::delivery_log`].
+    pub deliveries_seen: usize,
+    /// What happened.
+    pub result: ReadResult,
+}
+
+impl ReadOutcome {
+    /// Whether the read was answered (vs. rejected; subscriptions count
+    /// as answered).
+    pub fn answered(&self) -> bool {
+        !matches!(self.result, ReadResult::Rejected { .. })
+    }
+}
+
+/// One subscription's drained install stream.
+#[derive(Clone, Debug)]
+pub struct SubscriptionOutcome {
+    /// Issuing reader (`usize::MAX` for the experiment's baseline
+    /// subscriptions registered before traffic).
+    pub reader: usize,
+    /// Subscribed view (registry slot).
+    pub view: usize,
+    /// Subscription id.
+    pub sub: u64,
+    /// Epoch the subscription started after — the stream holds epochs
+    /// `from_epoch + 1 ..`.
+    pub from_epoch: u64,
+    /// Install deltas in publication (= install-ticket) order.
+    pub stream: Vec<InstallDelta>,
+}
+
+/// Everything observable from one serve run.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Whether the sharded engine ran underneath.
+    pub sharded: bool,
+    /// Per-view outcomes, in registration order (consistency left to
+    /// the serve oracle, so the field is `None`).
+    pub views: Vec<ViewOutcome>,
+    /// Aggregate engine counters.
+    pub scheduler_metrics: PolicyMetrics,
+    /// Flat-engine crash-recovery statistics (`None` when sharded).
+    pub recovery: Option<RecoveryStats>,
+    /// Sharding counters (`None` when flat).
+    pub shard_stats: Option<ShardStats>,
+    /// Snapshot-store counters (publications, GC, reads, pins,
+    /// subscription fan-out).
+    pub serve_stats: ServeStats,
+    /// Epochs still retained per view at quiescence.
+    pub retained: Vec<Vec<u64>>,
+    /// Every resolved read, in issue order.
+    pub reads: Vec<ReadOutcome>,
+    /// Every subscription's drained stream (baseline ones first).
+    pub subscriptions: Vec<SubscriptionOutcome>,
+    /// Network-level accounting.
+    pub net: NetStats,
+    /// Scheduler and transport both drained at the end of the run.
+    pub quiescent: bool,
+    /// Simulation time at the end of the run (µs).
+    pub end_time: Time,
+    /// Deliveries processed.
+    pub events: u64,
+    /// Warehouse delivery log `(update, delivery time)` in delivery order.
+    pub delivery_log: Vec<(UpdateId, Time)>,
+}
+
+impl ServeReport {
+    /// Answered (non-rejected) reads.
+    pub fn answered(&self) -> usize {
+        self.reads.iter().filter(|r| r.answered()).count()
+    }
+
+    /// Reads rejected for violating their staleness bound.
+    pub fn rejected(&self) -> usize {
+        self.reads.len() - self.answered()
+    }
+
+    /// Query/answer round-trip messages (excludes the update stream).
+    pub fn query_messages(&self) -> u64 {
+        ["query", "answer"]
+            .iter()
+            .map(|l| self.net.label(l).messages)
+            .sum()
+    }
+
+    /// Query/answer messages per warehouse-received update. Reads are
+    /// answered warehouse-locally, so this must equal the no-reader
+    /// baseline — E19's interference gate.
+    pub fn messages_per_update(&self) -> f64 {
+        if self.scheduler_metrics.updates_received == 0 {
+            return 0.0;
+        }
+        self.query_messages() as f64 / self.scheduler_metrics.updates_received as f64
+    }
+
+    /// Makespan of the maintenance work (µs): last install time minus
+    /// first delivery. Readers must not stretch it — the "reads never
+    /// block installs" invariant is gated as makespan equality against
+    /// a referee run with no reads.
+    pub fn makespan(&self) -> Time {
+        let first = self.delivery_log.iter().map(|&(_, at)| at).min();
+        let last = self
+            .views
+            .iter()
+            .flat_map(|v| v.installs.iter().map(|r| r.at))
+            .max();
+        match (first, last) {
+            (Some(f), Some(l)) if l > f => l - f,
+            _ => 0,
+        }
+    }
+
+    /// Install fingerprint: per view, the sequence of consumed-update
+    /// sets in install order.
+    pub fn install_fingerprint(&self) -> Vec<Vec<Vec<UpdateId>>> {
+        self.views
+            .iter()
+            .map(|v| v.installs.iter().map(|r| r.consumed.clone()).collect())
+            .collect()
+    }
+
+    /// Whether every subscription's stream replays exactly the install
+    /// fingerprint of its view from its start epoch: contiguous epochs,
+    /// matching consumed sets, matching deltas when snapshots were kept.
+    pub fn subscriptions_match_installs(&self) -> bool {
+        self.subscriptions.iter().all(|sub| {
+            let Some(v) = self.views.get(sub.view) else {
+                return false;
+            };
+            let expected = &v.installs[sub.from_epoch as usize..];
+            sub.stream.len() == expected.len()
+                && sub
+                    .stream
+                    .iter()
+                    .zip(expected)
+                    .enumerate()
+                    .all(|(i, (delta, inst))| {
+                        delta.view == sub.view
+                            && delta.epoch == sub.from_epoch + 1 + i as u64
+                            && delta.consumed == inst.consumed
+                            && delta.at == inst.at
+                    })
+        })
+    }
+}
+
+/// Aggregate verdict of [`audit_reads`]: every read in a report checked
+/// against the recompute and staleness oracles.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OracleAudit {
+    /// Reads audited (subscriptions excluded).
+    pub reads: u64,
+    /// Reads answered.
+    pub answered: u64,
+    /// Reads rejected as too stale.
+    pub rejected: u64,
+    /// Reads the staleness oracle says *should* have been rejected.
+    pub expected_rejected: u64,
+    /// Answered reads whose contents diverged from a fresh recompute at
+    /// their pinned epoch. Must be zero.
+    pub content_mismatches: u64,
+    /// Reads whose accept/reject verdict disagreed with the staleness
+    /// oracle. Must be zero.
+    pub verdict_mismatches: u64,
+}
+
+impl OracleAudit {
+    /// No divergence anywhere: contents and verdicts both exact.
+    pub fn clean(&self) -> bool {
+        self.content_mismatches == 0 && self.verdict_mismatches == 0
+    }
+}
+
+/// Audit every read in `report` against the oracles: answered point and
+/// scan reads must equal a fresh recompute of the view at their pinned
+/// epoch ([`oracle_view_at_epoch`]), and each accept/reject verdict
+/// must match [`oracle_expects_rejection`].
+pub fn audit_reads(
+    scenario: &MultiViewScenario,
+    report: &ServeReport,
+) -> Result<OracleAudit, CoreError> {
+    let mut audit = OracleAudit::default();
+    for read in &report.reads {
+        if matches!(read.result, ReadResult::Subscribed { .. }) {
+            continue;
+        }
+        audit.reads += 1;
+        let expect_reject = oracle_expects_rejection(scenario, report, read);
+        if expect_reject {
+            audit.expected_rejected += 1;
+        }
+        if read.answered() == expect_reject {
+            audit.verdict_mismatches += 1;
+        }
+        match &read.result {
+            ReadResult::Rejected { .. } => audit.rejected += 1,
+            ReadResult::Scan { bag } => {
+                audit.answered += 1;
+                let truth = oracle_view_at_epoch(
+                    scenario,
+                    read.op.view,
+                    &report.views[read.op.view].installs,
+                    read.epoch,
+                )?;
+                if bag != &truth {
+                    audit.content_mismatches += 1;
+                }
+            }
+            ReadResult::Point {
+                multiplicity,
+                matches,
+            } => {
+                audit.answered += 1;
+                let ReadKind::Point { column, key } = read.op.kind else {
+                    audit.content_mismatches += 1;
+                    continue;
+                };
+                let truth = oracle_view_at_epoch(
+                    scenario,
+                    read.op.view,
+                    &report.views[read.op.view].installs,
+                    read.epoch,
+                )?;
+                let want: Vec<(Tuple, i64)> = truth
+                    .to_sorted_vec()
+                    .into_iter()
+                    .filter(|(t, _)| t.at(column) == &dw_relational::Value::Int(key))
+                    .collect();
+                if matches != &want || *multiplicity != want.iter().map(|&(_, m)| m).sum::<i64>() {
+                    audit.content_mismatches += 1;
+                }
+            }
+            ReadResult::Subscribed { .. } => unreachable!("filtered above"),
+        }
+    }
+    Ok(audit)
+}
+
+/// Recompute a view's contents at epoch `e` from first principles: the
+/// scenario's initial relations with the deltas of every transaction
+/// consumed by installs `1..=e` applied, evaluated through the view
+/// definition. This is the ground truth a snapshot read at a pinned
+/// epoch must equal.
+pub fn oracle_view_at_epoch(
+    scenario: &MultiViewScenario,
+    view_index: usize,
+    installs: &[dw_warehouse::InstallRecord],
+    epoch: u64,
+) -> Result<Bag, CoreError> {
+    let spec = scenario
+        .views
+        .get(view_index)
+        .ok_or_else(|| CoreError::Multi(format!("oracle: no view {view_index}")))?;
+    let local = spec.compile(&scenario.base)?;
+    let mut shadows: Vec<Bag> = scenario.initial[spec.lo..=spec.hi].to_vec();
+    if epoch > 0 {
+        let deltas = txn_deltas(scenario);
+        for rec in installs.iter().take(epoch as usize) {
+            for id in &rec.consumed {
+                let delta = deltas.get(id).ok_or_else(|| {
+                    CoreError::Multi(format!("oracle: consumed unknown update {id:?}"))
+                })?;
+                shadows[id.source - spec.lo].merge(delta);
+            }
+        }
+    }
+    let refs: Vec<&Bag> = shadows.iter().collect();
+    Ok(eval_view(&local, &refs)?)
+}
+
+/// Whether the staleness oracle expects this read to have been
+/// rejected: some in-span update was delivered before the bound's
+/// cutoff (within the delivery prefix visible at issue time) yet was
+/// not consumed by any install up to the pinned epoch.
+pub fn oracle_expects_rejection(
+    scenario: &MultiViewScenario,
+    report: &ServeReport,
+    read: &ReadOutcome,
+) -> bool {
+    let Some(window) = read.op.bound_window else {
+        return false;
+    };
+    let Some(spec) = scenario.views.get(read.op.view) else {
+        return false;
+    };
+    let cutoff = read.op.at.saturating_sub(window);
+    // First delivery time per update within the visible prefix (the
+    // store also keeps the first).
+    let mut first_seen: HashMap<UpdateId, Time> = HashMap::new();
+    for &(id, at) in &report.delivery_log[..read.deliveries_seen] {
+        first_seen.entry(id).or_insert(at);
+    }
+    let consumed: HashSet<UpdateId> = report.views[read.op.view]
+        .installs
+        .iter()
+        .take(read.epoch as usize)
+        .flat_map(|r| r.consumed.iter().copied())
+        .collect();
+    first_seen.iter().any(|(id, &at)| {
+        spec.lo <= id.source && id.source <= spec.hi && at < cutoff && !consumed.contains(id)
+    })
+}
+
+/// Per-update transaction deltas, keyed by the `UpdateId` each source
+/// will stamp: sources emit one update per applied transaction, with
+/// per-source sequence numbers following injection (time) order.
+fn txn_deltas(scenario: &MultiViewScenario) -> HashMap<UpdateId, Bag> {
+    let mut next_seq: HashMap<usize, u64> = HashMap::new();
+    let mut map = HashMap::new();
+    let mut order: Vec<usize> = (0..scenario.txns.len()).collect();
+    order.sort_by_key(|&i| (scenario.txns[i].at, i));
+    for i in order {
+        let t = &scenario.txns[i];
+        let seq = next_seq.entry(t.source).or_insert(0);
+        map.insert(
+            UpdateId {
+                source: t.source,
+                seq: *seq,
+            },
+            t.delta.clone(),
+        );
+        *seq += 1;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_workload::{MultiViewConfig, ReadMixConfig, StreamConfig};
+
+    fn scenario(n_views: usize, seed: u64) -> MultiViewScenario {
+        MultiViewConfig {
+            stream: StreamConfig {
+                n_sources: 4,
+                updates: 20,
+                initial_per_source: 12,
+                domain: 8,
+                mean_gap: 500,
+                seed,
+                ..Default::default()
+            },
+            n_views,
+            view_seed: seed ^ 0xABCD,
+            full_span: false,
+        }
+        .generate()
+        .unwrap()
+    }
+
+    fn mix(n_views: usize, seed: u64) -> Vec<ReadOp> {
+        ReadMixConfig {
+            readers: 4,
+            reads_per_reader: 10,
+            n_views,
+            seed,
+            ..Default::default()
+        }
+        .generate()
+    }
+
+    fn check_against_oracle(scenario: &MultiViewScenario, report: &ServeReport) {
+        assert!(report.quiescent);
+        for read in &report.reads {
+            match &read.result {
+                ReadResult::Scan { bag } => {
+                    let truth = oracle_view_at_epoch(
+                        scenario,
+                        read.op.view,
+                        &report.views[read.op.view].installs,
+                        read.epoch,
+                    )
+                    .unwrap();
+                    assert_eq!(bag, &truth, "scan at epoch {} drifted", read.epoch);
+                    assert!(!oracle_expects_rejection(scenario, report, read));
+                }
+                ReadResult::Point {
+                    multiplicity,
+                    matches,
+                } => {
+                    let truth = oracle_view_at_epoch(
+                        scenario,
+                        read.op.view,
+                        &report.views[read.op.view].installs,
+                        read.epoch,
+                    )
+                    .unwrap();
+                    let ReadKind::Point { column, key } = read.op.kind else {
+                        panic!("point outcome from non-point op");
+                    };
+                    let want: Vec<(Tuple, i64)> = truth
+                        .to_sorted_vec()
+                        .into_iter()
+                        .filter(|(t, _)| t.at(column) == &dw_relational::Value::Int(key))
+                        .collect();
+                    assert_eq!(matches, &want);
+                    assert_eq!(*multiplicity, want.iter().map(|&(_, m)| m).sum::<i64>());
+                    assert!(!oracle_expects_rejection(scenario, report, read));
+                }
+                ReadResult::Rejected { .. } => {
+                    assert!(
+                        oracle_expects_rejection(scenario, report, read),
+                        "spurious rejection at epoch {} (op at {})",
+                        read.epoch,
+                        read.op.at
+                    );
+                }
+                ReadResult::Subscribed { .. } => {}
+            }
+        }
+        assert!(report.subscriptions_match_installs());
+    }
+
+    #[test]
+    fn flat_reads_match_oracle_and_subs_replay_installs() {
+        let sc = scenario(3, 11);
+        let reads = mix(3, 11);
+        let report = ServeExperiment::new(sc.clone()).reads(reads).run().unwrap();
+        assert!(report.serve_stats.snapshots_published > 0);
+        let installs: u64 = report.views.iter().map(|v| v.installs.len() as u64).sum();
+        assert_eq!(report.serve_stats.snapshots_published, installs);
+        assert!(report.answered() > 0);
+        check_against_oracle(&sc, &report);
+    }
+
+    #[test]
+    fn tight_bounds_reject_exactly_when_oracle_says() {
+        let sc = scenario(2, 12);
+        // Zero trailing window: the answer must reflect everything
+        // delivered before the read instant — mid-sweep reads reject.
+        let reads: Vec<ReadOp> = mix(2, 12)
+            .into_iter()
+            .map(|mut op| {
+                if !matches!(op.kind, ReadKind::Subscribe) {
+                    op.bound_window = Some(0);
+                }
+                op
+            })
+            .collect();
+        let report = ServeExperiment::new(sc.clone()).reads(reads).run().unwrap();
+        assert_eq!(
+            report.rejected() as u64,
+            report.serve_stats.reads_rejected,
+            "store counters disagree with outcomes"
+        );
+        check_against_oracle(&sc, &report);
+    }
+
+    #[test]
+    fn sharded_engine_serves_the_same_epochs() {
+        let sc = scenario(3, 13);
+        let map = ShardMap::hash(2);
+        let reads = mix(3, 13);
+        let flat = ServeExperiment::new(sc.clone())
+            .reads(reads.clone())
+            .run()
+            .unwrap();
+        let sharded = ServeExperiment::new(sc.clone())
+            .sharded(map)
+            .reads(reads)
+            .run()
+            .unwrap();
+        assert!(sharded.sharded && !flat.sharded);
+        check_against_oracle(&sc, &sharded);
+        assert_eq!(flat.install_fingerprint(), sharded.install_fingerprint());
+    }
+
+    #[test]
+    fn reads_survive_a_warehouse_crash_window() {
+        let sc = scenario(2, 14);
+        let crash_at = sc.txns[8].at;
+        let reads = mix(2, 14);
+        let report = ServeExperiment::new(sc.clone())
+            .reads(reads)
+            .durability(2)
+            .transport_auto()
+            .faults(FaultPlan::none().state_crash(WAREHOUSE_NODE, crash_at, crash_at + 2_000))
+            .run()
+            .unwrap();
+        assert!(report.recovery.as_ref().unwrap().recoveries >= 1);
+        // Every read resolved — none was lost to the crash window.
+        assert_eq!(report.reads.len(), report.answered() + report.rejected());
+        check_against_oracle(&sc, &report);
+    }
+
+    #[test]
+    fn no_reader_referee_has_identical_maintenance() {
+        let sc = scenario(3, 15);
+        let with_reads = ServeExperiment::new(sc.clone())
+            .reads(mix(3, 15))
+            .run()
+            .unwrap();
+        let referee = ServeExperiment::new(sc).run().unwrap();
+        assert_eq!(with_reads.makespan(), referee.makespan());
+        assert_eq!(with_reads.query_messages(), referee.query_messages());
+        assert_eq!(
+            with_reads.install_fingerprint(),
+            referee.install_fingerprint()
+        );
+    }
+}

@@ -479,6 +479,9 @@ pub struct InstallSink {
     /// Whether install records capture full view snapshots (needed by
     /// the consistency checker; costly for big runs).
     pub record_snapshots: bool,
+    /// Optional serving-layer hook: every committed install is also
+    /// published as an epoch-stamped [`crate::InstallEvent`].
+    publisher: Option<crate::SharedInstallPublisher>,
 }
 
 impl InstallSink {
@@ -488,7 +491,14 @@ impl InstallSink {
             view: MaterializedView::new(initial)?,
             log: Vec::new(),
             record_snapshots: true,
+            publisher: None,
         })
+    }
+
+    /// Attach a serving-layer publisher; installs committed from now on
+    /// are published as epoch-stamped events (epoch = install ordinal).
+    pub fn set_publisher(&mut self, p: crate::SharedInstallPublisher) {
+        self.publisher = Some(p);
     }
 
     /// The current view contents.
@@ -520,6 +530,17 @@ impl InstallSink {
             consumed: consumed.iter().map(|&(id, _)| id).collect(),
             view_after: self.record_snapshots.then(|| self.view.bag().clone()),
         });
+        if let Some(p) = &self.publisher {
+            p.lock()
+                .expect("publisher lock")
+                .publish(crate::InstallEvent {
+                    view_index: 0,
+                    epoch: self.log.len() as u64,
+                    at: now,
+                    consumed: consumed.iter().map(|&(id, _)| id).collect(),
+                    delta: delta.clone(),
+                });
+        }
         Ok(())
     }
 }

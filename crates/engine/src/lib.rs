@@ -42,6 +42,7 @@ pub mod live;
 pub mod metrics;
 pub mod options;
 pub mod policy;
+pub mod publish;
 pub mod queue;
 pub mod sequencer;
 pub mod view;
@@ -57,6 +58,7 @@ pub use live::{run_cluster, ClusterOutcome, LiveError, NodeRunner, ThreadNet};
 pub use metrics::PolicyMetrics;
 pub use options::{EngineOptions, NestedSweepOptions, SweepOptions};
 pub use policy::MaintenancePolicy;
+pub use publish::{InstallEvent, InstallPublisher, SharedInstallPublisher};
 pub use queue::{PendingUpdate, UpdateQueue};
 pub use sequencer::{InstallSequencer, SequencedInstall};
 pub use view::MaterializedView;

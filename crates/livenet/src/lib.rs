@@ -16,7 +16,9 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod serve;
 pub mod sharded;
 
 pub use cluster::{run_live, LiveError, LiveReport};
+pub use serve::{run_live_serve, LiveServeReport};
 pub use sharded::{run_live_sharded, LiveShardedReport, LiveViewOutcome};

@@ -1,6 +1,7 @@
 //! The runtime view registry: per-view materialized state, policy
 //! cadence, metrics and install logs, keyed by stable [`ViewId`]s.
 
+use dw_engine::{InstallEvent, SharedInstallPublisher};
 use dw_protocol::UpdateId;
 use dw_relational::{Bag, RelationalError, ViewDef};
 use dw_simnet::Time;
@@ -97,6 +98,14 @@ pub(crate) struct ViewRuntime {
     pub(crate) pending_consumed: Vec<(UpdateId, Time)>,
     pub(crate) since_flush: usize,
     pub(crate) record_snapshots: bool,
+    /// This runtime's registry slot index — the coordinate install
+    /// events are published under.
+    pub(crate) slot: usize,
+    /// Where committed installs are announced (e.g. a `dw-serve`
+    /// snapshot store). Shared handle: checkpoint clones keep feeding
+    /// the same consumer, which deduplicates recovery replays on
+    /// `(slot, epoch)`.
+    pub(crate) publisher: Option<SharedInstallPublisher>,
 }
 
 impl ViewRuntime {
@@ -123,6 +132,7 @@ impl ViewRuntime {
                     consumed: consumed.iter().map(|&(id, _)| id).collect(),
                     view_after: self.record_snapshots.then(|| self.view.bag().clone()),
                 });
+                self.publish_install(delta, consumed, now);
             }
             ViewPolicy::NestedSweep | ViewPolicy::Deferred { .. } => {
                 self.pending_delta.merge(delta);
@@ -159,10 +169,30 @@ impl ViewRuntime {
             consumed: self.pending_consumed.iter().map(|&(id, _)| id).collect(),
             view_after: self.record_snapshots.then(|| self.view.bag().clone()),
         });
+        self.publish_install(&self.pending_delta, &self.pending_consumed, now);
         self.pending_delta = Bag::new();
         self.pending_consumed.clear();
         self.since_flush = 0;
         Ok(())
+    }
+
+    /// Announce the install just logged (no-op without a publisher). The
+    /// epoch is the install-log length *after* the push — a 1-based
+    /// install ordinal, with epoch 0 reserved for the registered initial
+    /// contents — so a crash-recovery replay of the same install carries
+    /// the same epoch and consumers can deduplicate.
+    fn publish_install(&self, delta: &Bag, consumed: &[(UpdateId, Time)], now: Time) {
+        if let Some(p) = &self.publisher {
+            p.lock()
+                .expect("install publisher poisoned")
+                .publish(InstallEvent {
+                    view_index: self.slot,
+                    epoch: self.install_log.len() as u64,
+                    at: now,
+                    consumed: consumed.iter().map(|&(id, _)| id).collect(),
+                    delta: delta.clone(),
+                });
+        }
     }
 }
 
@@ -174,6 +204,9 @@ impl ViewRuntime {
 pub struct ViewRegistry {
     base: ViewDef,
     slots: Vec<Option<ViewRuntime>>,
+    /// Attached install publisher, propagated to every current and
+    /// future runtime (and re-attached across checkpoint restores).
+    publisher: Option<SharedInstallPublisher>,
 }
 
 impl ViewRegistry {
@@ -199,6 +232,7 @@ impl ViewRegistry {
         Ok(ViewRegistry {
             base,
             slots: Vec::new(),
+            publisher: None,
         })
     }
 
@@ -228,6 +262,8 @@ impl ViewRegistry {
             pending_consumed: Vec::new(),
             since_flush: 0,
             record_snapshots: true,
+            slot: id.0,
+            publisher: self.publisher.clone(),
         }));
         Ok(id)
     }
@@ -303,8 +339,30 @@ impl ViewRegistry {
     }
 
     /// Replace the live slots with a checkpoint image (crash recovery).
+    /// The attached publisher survives the restore even when the
+    /// checkpoint predates the attachment.
     pub(crate) fn restore_slots(&mut self, slots: Vec<Option<ViewRuntime>>) {
         self.slots = slots;
+        if let Some(p) = self.publisher.clone() {
+            for rt in self.runtimes_mut() {
+                rt.publisher = Some(p.clone());
+            }
+        }
+    }
+
+    /// Attach an install publisher: every current and future runtime
+    /// announces its committed installs (and crash-recovery replays of
+    /// them) through this handle.
+    pub(crate) fn set_install_publisher(&mut self, p: SharedInstallPublisher) {
+        for rt in self.runtimes_mut() {
+            rt.publisher = Some(p.clone());
+        }
+        self.publisher = Some(p);
+    }
+
+    /// The attached publisher handle, if any.
+    pub(crate) fn install_publisher(&self) -> Option<&SharedInstallPublisher> {
+        self.publisher.as_ref()
     }
 
     /// Display name of a view.

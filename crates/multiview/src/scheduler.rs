@@ -360,6 +360,17 @@ impl MaintenanceScheduler {
         }
     }
 
+    /// Attach an install publisher (e.g. a `dw-serve` snapshot store's
+    /// sink): every committed install of every current and future view
+    /// is announced through it, in install order, keyed by the view's
+    /// registry slot — and update arrivals are forwarded as delivery
+    /// notices so the consumer can account staleness. Crash recovery
+    /// replays committed installs through the same handle with their
+    /// original epochs; consumers deduplicate on `(view, epoch)`.
+    pub fn set_install_publisher(&mut self, p: dw_engine::SharedInstallPublisher) {
+        self.registry.set_install_publisher(p);
+    }
+
     /// Attach an observability recorder: `mv.sweep`/`mv.hop` spans plus
     /// `mv.shared_queries`/`mv.naive_queries`/`mv.compensations`
     /// counters. Per-view staleness histograms live in the registry's
@@ -931,6 +942,11 @@ impl SweepPolicy for MaintenanceScheduler {
         }
         for id in self.registry.affected_by(u.id.source) {
             self.registry.runtime_mut(id)?.metrics.updates_received += 1;
+            if let Some(p) = self.registry.install_publisher() {
+                p.lock()
+                    .expect("install publisher poisoned")
+                    .note_delivery(id.index(), u.id, at);
+            }
         }
         Ok(())
     }

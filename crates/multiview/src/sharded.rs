@@ -309,6 +309,14 @@ impl ShardedScheduler {
         self.core.set_observer(obs);
     }
 
+    /// Attach an install publisher (same contract as the unsharded
+    /// scheduler's `set_install_publisher`). Installs are announced when
+    /// the sequencer releases them, so the published epoch stream is in
+    /// install-ticket order even though lanes complete out of order.
+    pub fn set_install_publisher(&mut self, p: dw_engine::SharedInstallPublisher) {
+        self.registry.set_install_publisher(p);
+    }
+
     /// Handle one delivery addressed to the warehouse.
     pub fn on_message(
         &mut self,
@@ -758,13 +766,17 @@ impl SweepPolicy for ShardedScheduler {
     }
 
     fn note_update(&mut self, u: &SourceUpdate, at: Time) -> Result<(), MvError> {
-        let _ = at;
         // The ticket at arrival IS the install order — issued before any
         // scheduling decision, claimed at launch, released in order.
         let ticket = self.sequencer.issue();
         self.tickets.insert(u.id, ticket);
         for id in self.registry.affected_by(u.id.source) {
             self.registry.runtime_mut(id)?.metrics.updates_received += 1;
+            if let Some(p) = self.registry.install_publisher() {
+                p.lock()
+                    .expect("install publisher poisoned")
+                    .note_delivery(id.index(), u.id, at);
+            }
         }
         Ok(())
     }

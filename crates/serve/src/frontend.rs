@@ -1,0 +1,509 @@
+//! The reader-facing API: pinned epochs, point/scan reads with optional
+//! staleness bounds, and subscription handles.
+//!
+//! A [`ReadFrontend`] is a cheap `Clone` handle — every clone shares one
+//! [`SnapshotStore`] behind a mutex, so a
+//! thread-per-reader deployment hands each reader its own clone. The
+//! mutex guards only the store's *index* (epoch maps, pin counts);
+//! snapshot bags come out as `Arc`s, so readers evaluate queries against
+//! frozen data entirely outside the lock and an install can never block
+//! on a long-running read.
+//!
+//! The maintenance side connects through [`ReadFrontend::sink`], which
+//! hands the engine a [`dw_engine::SharedInstallPublisher`] onto the
+//! same store.
+
+use crate::store::SnapshotStore;
+use dw_engine::SharedInstallPublisher;
+use dw_relational::{Bag, Tuple, Value};
+use dw_simnet::Time;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A per-query freshness requirement: the answering epoch must reflect
+/// every source update delivered to the warehouse before `reflect_before`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StalenessBound {
+    /// Exclusive delivery-time horizon the answer must cover.
+    pub reflect_before: Time,
+}
+
+/// Everything the serve layer can refuse to do, typed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// No view registered at this slot.
+    NoSuchView {
+        /// The offending slot index.
+        view: usize,
+    },
+    /// The epoch was never published or has been garbage-collected.
+    NoSuchEpoch {
+        /// View slot.
+        view: usize,
+        /// The missing epoch.
+        epoch: u64,
+    },
+    /// Unpin of an epoch that holds no pin.
+    NotPinned {
+        /// View slot.
+        view: usize,
+        /// The epoch without a pin.
+        epoch: u64,
+    },
+    /// Poll of a subscription id never issued.
+    NoSuchSubscription {
+        /// The unknown subscription id.
+        sub: u64,
+    },
+    /// The chosen epoch does not satisfy the query's [`StalenessBound`]:
+    /// some update delivered before `required` is not yet reflected.
+    TooStale {
+        /// View slot.
+        view: usize,
+        /// The epoch that was asked to answer.
+        epoch: u64,
+        /// The bound it failed (`reflect_before`).
+        required: Time,
+        /// Freshest retained epoch that *does* satisfy the bound, if any
+        /// exists yet — callers can re-pin it or wait.
+        freshest_admissible: Option<u64>,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoSuchView { view } => write!(f, "no view registered at slot {view}"),
+            Self::NoSuchEpoch { view, epoch } => {
+                write!(f, "view {view} has no retained epoch {epoch}")
+            }
+            Self::NotPinned { view, epoch } => {
+                write!(f, "view {view} epoch {epoch} holds no pin")
+            }
+            Self::NoSuchSubscription { sub } => write!(f, "unknown subscription {sub}"),
+            Self::TooStale {
+                view,
+                epoch,
+                required,
+                freshest_admissible,
+            } => write!(
+                f,
+                "view {view} epoch {epoch} is too stale for bound {required} \
+                 (freshest admissible epoch: {})",
+                match freshest_admissible {
+                    Some(e) => e.to_string(),
+                    None => "none yet".to_string(),
+                }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A held pin on one epoch of one view. The snapshot it names cannot be
+/// garbage-collected until released through [`ReadFrontend::unpin`].
+#[derive(Debug, PartialEq, Eq)]
+#[must_use = "a pin retains a snapshot until released with unpin()"]
+pub struct PinnedEpoch {
+    view: usize,
+    epoch: u64,
+}
+
+impl PinnedEpoch {
+    /// The pinned view slot.
+    pub fn view(&self) -> usize {
+        self.view
+    }
+
+    /// The pinned epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// Answer to a point read: the tuples of the pinned snapshot whose
+/// `column` equals the queried key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PointAnswer {
+    /// View slot answered from.
+    pub view: usize,
+    /// Epoch answered from.
+    pub epoch: u64,
+    /// Total multiplicity over all matching tuples.
+    pub multiplicity: i64,
+    /// The matching tuples with their multiplicities, sorted.
+    pub matches: Vec<(Tuple, i64)>,
+}
+
+/// Answer to a scan: the whole pinned snapshot, zero-copy.
+#[derive(Clone, Debug)]
+pub struct ScanAnswer {
+    /// View slot answered from.
+    pub view: usize,
+    /// Epoch answered from.
+    pub epoch: u64,
+    /// Install time of the answering epoch.
+    pub at: Time,
+    /// The frozen snapshot itself (shared, never copied).
+    pub bag: Arc<Bag>,
+}
+
+/// The serve layer's public face (see module docs).
+#[derive(Clone, Default)]
+pub struct ReadFrontend {
+    state: Arc<Mutex<SnapshotStore>>,
+}
+
+impl ReadFrontend {
+    /// A frontend over a fresh, empty snapshot store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SnapshotStore> {
+        self.state.lock().expect("snapshot store poisoned")
+    }
+
+    /// The publisher handle to hand the maintenance side (e.g.
+    /// `MaintenanceScheduler::set_install_publisher`). Every install the
+    /// scheduler commits lands in this frontend's store.
+    pub fn sink(&self) -> SharedInstallPublisher {
+        self.state.clone()
+    }
+
+    /// Register the next view slot with its initial contents as epoch 0.
+    /// Call in scheduler-registry order so slot indices line up.
+    pub fn register_view(&self, name: &str, initial: Bag, at: Time) -> usize {
+        self.lock().register_view(name, initial, at)
+    }
+
+    /// Number of registered views.
+    pub fn view_count(&self) -> usize {
+        self.lock().view_count()
+    }
+
+    /// Name a view slot was registered under.
+    pub fn view_name(&self, view: usize) -> Result<String, ServeError> {
+        Ok(self.lock().view_name(view)?.to_string())
+    }
+
+    /// The latest published epoch of `view`.
+    pub fn latest_epoch(&self, view: usize) -> Result<u64, ServeError> {
+        self.lock().latest_epoch(view)
+    }
+
+    /// Pin the latest epoch of `view`.
+    pub fn pin(&self, view: usize) -> Result<PinnedEpoch, ServeError> {
+        let mut s = self.lock();
+        let epoch = s.latest_epoch(view)?;
+        s.pin(view, epoch)?;
+        Ok(PinnedEpoch { view, epoch })
+    }
+
+    /// Pin a specific retained epoch of `view` (errors if already
+    /// garbage-collected).
+    pub fn pin_epoch(&self, view: usize, epoch: u64) -> Result<PinnedEpoch, ServeError> {
+        self.lock().pin(view, epoch)?;
+        Ok(PinnedEpoch { view, epoch })
+    }
+
+    /// Release a pin, letting GC reclaim the epoch once unreferenced.
+    pub fn unpin(&self, pin: PinnedEpoch) -> Result<(), ServeError> {
+        self.lock().unpin(pin.view, pin.epoch)
+    }
+
+    /// Point read at a pinned epoch: every tuple whose `column` is
+    /// `Int(key)`, with an optional staleness bound.
+    pub fn read_point(
+        &self,
+        pin: &PinnedEpoch,
+        column: usize,
+        key: i64,
+        bound: Option<StalenessBound>,
+    ) -> Result<PointAnswer, ServeError> {
+        let bag = self.admitted_bag(pin, bound)?.bag;
+        let want = Value::Int(key);
+        let mut matches: Vec<(Tuple, i64)> = bag
+            .iter()
+            .filter(|(t, _)| t.at(column) == &want)
+            .map(|(t, m)| (t.clone(), m))
+            .collect();
+        matches.sort();
+        Ok(PointAnswer {
+            view: pin.view,
+            epoch: pin.epoch,
+            multiplicity: matches.iter().map(|&(_, m)| m).sum(),
+            matches,
+        })
+    }
+
+    /// Full scan at a pinned epoch, with an optional staleness bound.
+    /// Zero-copy: the returned bag is the frozen snapshot itself.
+    pub fn read_scan(
+        &self,
+        pin: &PinnedEpoch,
+        bound: Option<StalenessBound>,
+    ) -> Result<ScanAnswer, ServeError> {
+        self.admitted_bag(pin, bound)
+    }
+
+    /// Shared admission path for reads: resolve the pinned snapshot,
+    /// enforce the bound, bump the answered/rejected counters.
+    fn admitted_bag(
+        &self,
+        pin: &PinnedEpoch,
+        bound: Option<StalenessBound>,
+    ) -> Result<ScanAnswer, ServeError> {
+        let mut s = self.lock();
+        if let Some(b) = bound {
+            if !s.admissible(pin.view, pin.epoch, b.reflect_before)? {
+                let freshest = s.freshest_admissible(pin.view, b.reflect_before)?;
+                s.stats_mut().reads_rejected += 1;
+                return Err(ServeError::TooStale {
+                    view: pin.view,
+                    epoch: pin.epoch,
+                    required: b.reflect_before,
+                    freshest_admissible: freshest,
+                });
+            }
+        }
+        let snap = s.epoch(pin.view, pin.epoch)?;
+        let answer = ScanAnswer {
+            view: pin.view,
+            epoch: pin.epoch,
+            at: snap.at,
+            bag: snap.bag.clone(),
+        };
+        s.stats_mut().reads_answered += 1;
+        Ok(answer)
+    }
+
+    /// The consumed-update ids of one retained epoch (provenance; equals
+    /// the corresponding install record's consumed set).
+    pub fn epoch_consumed(
+        &self,
+        view: usize,
+        epoch: u64,
+    ) -> Result<Vec<dw_protocol::UpdateId>, ServeError> {
+        Ok(self.lock().epoch(view, epoch)?.consumed.clone())
+    }
+
+    /// Subscribe to `view`'s future installs (from its current latest
+    /// epoch). Returns the subscription id to [`poll`](Self::poll).
+    pub fn subscribe(&self, view: usize) -> Result<u64, ServeError> {
+        self.lock().subscribe(view)
+    }
+
+    /// Drain a subscription's pending install deltas, oldest first.
+    pub fn poll(&self, sub: u64) -> Result<Vec<crate::InstallDelta>, ServeError> {
+        self.lock().poll(sub)
+    }
+
+    /// Snapshot of the store's counters.
+    pub fn stats(&self) -> crate::ServeStats {
+        self.lock().stats().clone()
+    }
+
+    /// Retained epoch numbers of `view` (diagnostics / GC inspection).
+    pub fn retained_epochs(&self, view: usize) -> Result<Vec<u64>, ServeError> {
+        self.lock().retained_epochs(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_engine::InstallEvent;
+    use dw_protocol::UpdateId;
+    use dw_relational::tup;
+
+    fn id(seq: u64) -> UpdateId {
+        UpdateId { source: 0, seq }
+    }
+
+    /// Drive one install through the engine-facing sink, exactly as a
+    /// scheduler hook would.
+    fn install(front: &ReadFrontend, view: usize, epoch: u64, at: Time, key: i64) {
+        front.sink().lock().unwrap().publish(InstallEvent {
+            view_index: view,
+            epoch,
+            at,
+            consumed: vec![id(epoch)],
+            delta: Bag::singleton(tup![key, epoch as i64], 1),
+        });
+    }
+
+    #[test]
+    fn installs_through_the_sink_become_readable_epochs() {
+        let front = ReadFrontend::new();
+        let v = front.register_view("V", Bag::singleton(tup![1, 0], 1), 0);
+        install(&front, v, 1, 10, 2);
+        install(&front, v, 2, 20, 1);
+        assert_eq!(front.latest_epoch(v).unwrap(), 2);
+
+        let pin = front.pin(v).unwrap();
+        let scan = front.read_scan(&pin, None).unwrap();
+        assert_eq!(scan.epoch, 2);
+        assert_eq!(scan.at, 20);
+        assert_eq!(
+            scan.bag.to_sorted_vec(),
+            vec![(tup![1, 0], 1), (tup![1, 2], 1), (tup![2, 1], 1)]
+        );
+
+        let point = front.read_point(&pin, 0, 1, None).unwrap();
+        assert_eq!(point.multiplicity, 2);
+        assert_eq!(point.matches, vec![(tup![1, 0], 1), (tup![1, 2], 1)]);
+        front.unpin(pin).unwrap();
+        assert_eq!(front.stats().reads_answered, 2);
+    }
+
+    #[test]
+    fn pinned_epoch_survives_later_installs_and_gc_reclaims_on_unpin() {
+        let front = ReadFrontend::new();
+        let v = front.register_view("V", Bag::new(), 0);
+        install(&front, v, 1, 10, 7);
+        let pin = front.pin(v).unwrap();
+        assert_eq!(pin.epoch(), 1);
+
+        // Two more installs; the pinned epoch must stay retained and
+        // byte-identical, the unpinned intermediate must be collected.
+        install(&front, v, 2, 20, 8);
+        install(&front, v, 3, 30, 9);
+        assert_eq!(front.retained_epochs(v).unwrap(), vec![1, 3]);
+        let scan = front.read_scan(&pin, None).unwrap();
+        assert_eq!(scan.bag.to_sorted_vec(), vec![(tup![7, 1], 1)]);
+
+        front.unpin(pin).unwrap();
+        assert_eq!(front.retained_epochs(v).unwrap(), vec![3]);
+        let stats = front.stats();
+        assert_eq!(stats.snapshots_published, 3);
+        // Dropped: epoch 0 at the first install, epoch 2 once epoch 3
+        // superseded it, epoch 1 at unpin.
+        assert_eq!(stats.snapshots_gced, 3);
+        assert!(front.pin_epoch(v, 1).is_err(), "collected epoch unpinnable");
+    }
+
+    #[test]
+    fn staleness_bound_rejects_with_freshest_admissible() {
+        let front = ReadFrontend::new();
+        let v = front.register_view("V", Bag::new(), 0);
+        {
+            let sink = front.sink();
+            let mut s = sink.lock().unwrap();
+            s.note_delivery(v, id(1), 5);
+            s.note_delivery(v, id(2), 15);
+        }
+        install(&front, v, 1, 10, 1); // consumes id(1)
+
+        let pin = front.pin(v).unwrap();
+        // Bound 12: everything delivered before t=12 (just id(1)) is in
+        // epoch 1 — admissible.
+        assert!(front
+            .read_scan(&pin, Some(StalenessBound { reflect_before: 12 }))
+            .is_ok());
+        // Bound 20: id(2) (delivered at 15) is unconsumed — too stale,
+        // and no retained epoch admits the bound yet.
+        let err = front
+            .read_scan(&pin, Some(StalenessBound { reflect_before: 20 }))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::TooStale {
+                view: v,
+                epoch: 1,
+                required: 20,
+                freshest_admissible: None,
+            }
+        );
+
+        // Epoch 2 consumes id(2): the same bound is now satisfied, and a
+        // stale pin's error names epoch 2 as the freshest admissible.
+        front.sink().lock().unwrap().publish(InstallEvent {
+            view_index: v,
+            epoch: 2,
+            at: 30,
+            consumed: vec![id(2)],
+            delta: Bag::new(),
+        });
+        let err = front
+            .read_scan(&pin, Some(StalenessBound { reflect_before: 20 }))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::TooStale {
+                view: v,
+                epoch: 1,
+                required: 20,
+                freshest_admissible: Some(2),
+            }
+        );
+        let fresh = front.pin_epoch(v, 2).unwrap();
+        assert!(front
+            .read_scan(&fresh, Some(StalenessBound { reflect_before: 20 }))
+            .is_ok());
+        assert_eq!(front.stats().reads_rejected, 2);
+        front.unpin(pin).unwrap();
+        front.unpin(fresh).unwrap();
+    }
+
+    #[test]
+    fn recovery_replays_are_invisible_to_readers_and_subscribers() {
+        let front = ReadFrontend::new();
+        let v = front.register_view("V", Bag::new(), 0);
+        let sub = front.subscribe(v).unwrap();
+        install(&front, v, 1, 10, 1);
+        install(&front, v, 2, 20, 2);
+        // Crash recovery replays both installs through the same hook.
+        install(&front, v, 1, 10, 1);
+        install(&front, v, 2, 20, 2);
+
+        assert_eq!(front.latest_epoch(v).unwrap(), 2);
+        let stats = front.stats();
+        assert_eq!(stats.snapshots_published, 2);
+        assert_eq!(stats.republished_ignored, 2);
+        let stream = front.poll(sub).unwrap();
+        assert_eq!(
+            stream.iter().map(|d| d.epoch).collect::<Vec<_>>(),
+            vec![1, 2],
+            "subscriber saw each install exactly once"
+        );
+        let pin = front.pin(v).unwrap();
+        assert_eq!(
+            front.read_scan(&pin, None).unwrap().bag.to_sorted_vec(),
+            vec![(tup![1, 1], 1), (tup![2, 2], 1)]
+        );
+        front.unpin(pin).unwrap();
+    }
+
+    #[test]
+    fn errors_are_typed_and_printable() {
+        let front = ReadFrontend::new();
+        assert_eq!(
+            front.latest_epoch(3).unwrap_err(),
+            ServeError::NoSuchView { view: 3 }
+        );
+        let v = front.register_view("V", Bag::new(), 0);
+        assert_eq!(
+            front.pin_epoch(v, 9).unwrap_err(),
+            ServeError::NoSuchEpoch { view: v, epoch: 9 }
+        );
+        assert_eq!(
+            front.unpin(PinnedEpoch { view: v, epoch: 0 }).unwrap_err(),
+            ServeError::NotPinned { view: v, epoch: 0 }
+        );
+        assert_eq!(
+            front.poll(42).unwrap_err(),
+            ServeError::NoSuchSubscription { sub: 42 }
+        );
+        let msg = ServeError::TooStale {
+            view: 0,
+            epoch: 1,
+            required: 20,
+            freshest_admissible: Some(2),
+        }
+        .to_string();
+        assert!(msg.contains("too stale"), "{msg}");
+        assert!(msg.contains("freshest admissible epoch: 2"), "{msg}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Reactive subscriptions: install deltas pushed to registered readers
+//! in install order.
+//!
+//! A subscription is a per-view cursor plus a queue. When the store
+//! accepts epoch `e` of view `v`, every subscription on `v` whose cursor
+//! is behind `e` gets the delta appended and its cursor advanced —
+//! installs reach every subscriber exactly once, in the order they
+//! committed. Under the sharded scheduler that order is the
+//! [`dw_engine::InstallSequencer`] ticket order, so the concatenated
+//! consumed-sets of a subscription stream equal the view's install
+//! fingerprint exactly (asserted by `tests/serve_equivalence.rs`).
+
+use dw_protocol::UpdateId;
+use dw_relational::Bag;
+use dw_simnet::Time;
+use std::collections::VecDeque;
+
+/// One install delta as seen by a subscriber.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstallDelta {
+    /// The view (registry slot index).
+    pub view: usize,
+    /// Epoch this delta produced: `view(epoch) = view(epoch−1) + delta`.
+    pub epoch: u64,
+    /// Install time.
+    pub at: Time,
+    /// Updates newly incorporated, in consumption order — identical to
+    /// the install record's consumed set.
+    pub consumed: Vec<UpdateId>,
+    /// The installed delta.
+    pub delta: Bag,
+}
+
+struct Subscription {
+    id: u64,
+    view: usize,
+    /// Last epoch appended to the queue; new installs append only when
+    /// strictly newer (replayed installs after a crash recovery are
+    /// filtered by the store, this cursor guards the hub independently).
+    delivered_through: u64,
+    queue: VecDeque<InstallDelta>,
+}
+
+/// The fan-out registry (see module docs). Owned by the snapshot store;
+/// reached through [`crate::ReadFrontend::subscribe`] / `poll`.
+#[derive(Default)]
+pub struct SubscriptionHub {
+    next_id: u64,
+    subs: Vec<Subscription>,
+}
+
+impl SubscriptionHub {
+    /// A hub with no subscribers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a subscriber on `view`, receiving every install *after*
+    /// `from_epoch` (pass the view's current latest epoch to stream only
+    /// the future; pass 0 to replay nothing and still see everything
+    /// published after registration).
+    pub fn subscribe(&mut self, view: usize, from_epoch: u64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.subs.push(Subscription {
+            id,
+            view,
+            delivered_through: from_epoch,
+            queue: VecDeque::new(),
+        });
+        id
+    }
+
+    /// Fan one accepted install out to its view's subscribers. Returns
+    /// how many subscriber queues it reached.
+    pub fn publish(&mut self, delta: &InstallDelta) -> u64 {
+        let mut reached = 0;
+        for sub in &mut self.subs {
+            if sub.view == delta.view && delta.epoch > sub.delivered_through {
+                sub.delivered_through = delta.epoch;
+                sub.queue.push_back(delta.clone());
+                reached += 1;
+            }
+        }
+        reached
+    }
+
+    /// Drain a subscriber's pending deltas (oldest first). `None` for an
+    /// unknown id.
+    pub fn poll(&mut self, id: u64) -> Option<Vec<InstallDelta>> {
+        let sub = self.subs.iter_mut().find(|s| s.id == id)?;
+        Some(sub.queue.drain(..).collect())
+    }
+
+    /// Number of registered subscribers.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// True when nobody subscribed.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(view: usize, epoch: u64) -> InstallDelta {
+        InstallDelta {
+            view,
+            epoch,
+            at: epoch * 10,
+            consumed: vec![UpdateId {
+                source: view,
+                seq: epoch,
+            }],
+            delta: Bag::new(),
+        }
+    }
+
+    #[test]
+    fn installs_reach_only_matching_views_in_order() {
+        let mut hub = SubscriptionHub::new();
+        let a = hub.subscribe(0, 0);
+        let b = hub.subscribe(1, 0);
+        hub.publish(&delta(0, 1));
+        hub.publish(&delta(1, 1));
+        hub.publish(&delta(0, 2));
+        assert_eq!(
+            hub.poll(a).unwrap(),
+            vec![delta(0, 1), delta(0, 2)],
+            "view-0 stream"
+        );
+        assert_eq!(hub.poll(b).unwrap(), vec![delta(1, 1)]);
+        // Drained; nothing left.
+        assert!(hub.poll(a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn from_epoch_skips_already_seen_installs() {
+        let mut hub = SubscriptionHub::new();
+        let late = hub.subscribe(0, 2);
+        hub.publish(&delta(0, 2)); // replay of something pre-subscription
+        hub.publish(&delta(0, 3));
+        assert_eq!(hub.poll(late).unwrap(), vec![delta(0, 3)]);
+    }
+
+    #[test]
+    fn duplicate_epochs_are_not_redelivered() {
+        let mut hub = SubscriptionHub::new();
+        let s = hub.subscribe(0, 0);
+        assert_eq!(hub.publish(&delta(0, 1)), 1);
+        assert_eq!(hub.publish(&delta(0, 1)), 0, "replayed install refused");
+        assert_eq!(hub.poll(s).unwrap(), vec![delta(0, 1)]);
+    }
+
+    #[test]
+    fn unknown_subscriber_polls_none() {
+        let mut hub = SubscriptionHub::new();
+        assert!(hub.poll(99).is_none());
+        assert!(hub.is_empty());
+        hub.subscribe(0, 0);
+        assert_eq!(hub.len(), 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! The epoch-stamped snapshot store behind the read frontend.
+//!
+//! One [`SnapshotStore`] holds every registered view's retained epochs.
+//! Epoch `e` of view `v` is the immutable contents of `v` after exactly
+//! `e` installs (epoch 0 is the registered initial contents). The store
+//! is fed through [`dw_engine::InstallPublisher`]: the schedulers call
+//! `note_delivery` when an update reaches the warehouse and `publish`
+//! at every committed install, so the store's epoch sequence *is* the
+//! install log — same consumed sets, same order, one bag per record.
+//!
+//! **Retention.** Readers hold epochs through pins; the store keeps the
+//! latest epoch plus every pinned one and garbage-collects the rest at
+//! publish and unpin. Snapshot bags are `Arc`-shared: pinning costs a
+//! refcount, never a copy, and an install can never mutate what a
+//! reader is looking at (copy-on-write at epoch granularity — a new
+//! epoch clones the latest bag, merges the delta, and freezes).
+//!
+//! **Staleness.** The store tracks, per view, every delivered update
+//! and which epoch (if any) consumed it. An epoch `e` *admits* a bound
+//! `T` iff no update delivered before `T` is still unconsumed at `e` —
+//! checked exactly, against the same delivery times `dw-obs`' staleness
+//! histograms are built from.
+//!
+//! **Replays.** Crash recovery re-publishes installs that predate the
+//! crash; the store ignores any epoch at or below its high-water mark
+//! (`republished_ignored` counts them), so recovery never disturbs
+//! readers or subscribers.
+
+use crate::frontend::ServeError;
+use crate::hub::{InstallDelta, SubscriptionHub};
+use dw_engine::{InstallEvent, InstallPublisher};
+use dw_protocol::UpdateId;
+use dw_relational::Bag;
+use dw_simnet::Time;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// One frozen epoch of one view.
+pub(crate) struct EpochSnapshot {
+    pub(crate) at: Time,
+    pub(crate) consumed: Vec<UpdateId>,
+    pub(crate) bag: Arc<Bag>,
+}
+
+struct DeliveredUpdate {
+    delivered_at: Time,
+    /// Epoch that consumed this update; `None` while still pending.
+    consumed_in: Option<u64>,
+}
+
+struct ViewState {
+    name: String,
+    /// Retained epochs, keyed by epoch number. Always contains `latest`;
+    /// older entries only while pinned.
+    epochs: BTreeMap<u64, EpochSnapshot>,
+    latest: u64,
+    delivered: HashMap<UpdateId, DeliveredUpdate>,
+    pins: HashMap<u64, usize>,
+}
+
+/// Counters the store keeps about its own traffic. All exact.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Update deliveries noted (per affected view).
+    pub deliveries_noted: u64,
+    /// Installs accepted as new epochs.
+    pub snapshots_published: u64,
+    /// Replayed installs ignored at the high-water mark (crash recovery).
+    pub republished_ignored: u64,
+    /// Unpinned non-latest epochs dropped by GC.
+    pub snapshots_gced: u64,
+    /// Reads answered (point + scan).
+    pub reads_answered: u64,
+    /// Reads rejected with `TooStale`.
+    pub reads_rejected: u64,
+    /// Pins taken.
+    pub pins_taken: u64,
+    /// Pins released.
+    pub pins_released: u64,
+    /// Install deltas enqueued across all subscribers.
+    pub sub_events: u64,
+}
+
+/// The store itself (see module docs). Consumers never construct or
+/// hold one directly — [`crate::ReadFrontend`] owns it behind a mutex
+/// and hands the engine a publisher handle onto it.
+#[derive(Default)]
+pub struct SnapshotStore {
+    views: Vec<ViewState>,
+    hub: SubscriptionHub,
+    stats: ServeStats,
+}
+
+impl SnapshotStore {
+    /// Register view slot `views.len()` with its initial contents as
+    /// epoch 0. Must be called in registry order: slot indices here must
+    /// equal the scheduler registry's, or published events land on the
+    /// wrong view.
+    pub(crate) fn register_view(&mut self, name: &str, initial: Bag, at: Time) -> usize {
+        let mut epochs = BTreeMap::new();
+        epochs.insert(
+            0,
+            EpochSnapshot {
+                at,
+                consumed: Vec::new(),
+                bag: Arc::new(initial),
+            },
+        );
+        self.views.push(ViewState {
+            name: name.to_string(),
+            epochs,
+            latest: 0,
+            delivered: HashMap::new(),
+            pins: HashMap::new(),
+        });
+        self.views.len() - 1
+    }
+
+    pub(crate) fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    pub(crate) fn view_name(&self, view: usize) -> Result<&str, ServeError> {
+        Ok(&self.view(view)?.name)
+    }
+
+    fn view(&self, view: usize) -> Result<&ViewState, ServeError> {
+        self.views.get(view).ok_or(ServeError::NoSuchView { view })
+    }
+
+    fn view_mut(&mut self, view: usize) -> Result<&mut ViewState, ServeError> {
+        self.views
+            .get_mut(view)
+            .ok_or(ServeError::NoSuchView { view })
+    }
+
+    pub(crate) fn latest_epoch(&self, view: usize) -> Result<u64, ServeError> {
+        Ok(self.view(view)?.latest)
+    }
+
+    pub(crate) fn epoch(&self, view: usize, epoch: u64) -> Result<&EpochSnapshot, ServeError> {
+        self.view(view)?
+            .epochs
+            .get(&epoch)
+            .ok_or(ServeError::NoSuchEpoch { view, epoch })
+    }
+
+    /// Does `epoch` of `view` reflect every update delivered before
+    /// `bound`? Exact: scans the per-view delivery ledger for an update
+    /// with `delivered_at < bound` not consumed by any epoch ≤ `epoch`.
+    pub(crate) fn admissible(
+        &self,
+        view: usize,
+        epoch: u64,
+        bound: Time,
+    ) -> Result<bool, ServeError> {
+        let v = self.view(view)?;
+        Ok(!v
+            .delivered
+            .values()
+            .any(|d| d.delivered_at < bound && d.consumed_in.is_none_or(|e| e > epoch)))
+    }
+
+    /// The freshest epoch admitting `bound`, if any. Admissibility is
+    /// monotone in the epoch number (later epochs consume supersets), so
+    /// this is the latest epoch or nothing.
+    pub(crate) fn freshest_admissible(
+        &self,
+        view: usize,
+        bound: Time,
+    ) -> Result<Option<u64>, ServeError> {
+        let latest = self.latest_epoch(view)?;
+        Ok(self.admissible(view, latest, bound)?.then_some(latest))
+    }
+
+    pub(crate) fn pin(&mut self, view: usize, epoch: u64) -> Result<(), ServeError> {
+        // Existence check first: pinning a GC'd epoch is an error, not a
+        // resurrection.
+        self.epoch(view, epoch)?;
+        *self.view_mut(view)?.pins.entry(epoch).or_insert(0) += 1;
+        self.stats.pins_taken += 1;
+        Ok(())
+    }
+
+    pub(crate) fn unpin(&mut self, view: usize, epoch: u64) -> Result<(), ServeError> {
+        let v = self.view_mut(view)?;
+        match v.pins.get_mut(&epoch) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                v.pins.remove(&epoch);
+            }
+            None => return Err(ServeError::NotPinned { view, epoch }),
+        }
+        self.stats.pins_released += 1;
+        self.gc(view);
+        Ok(())
+    }
+
+    /// Drop unpinned non-latest epochs of `view`.
+    fn gc(&mut self, view: usize) {
+        let Some(v) = self.views.get_mut(view) else {
+            return;
+        };
+        let latest = v.latest;
+        let pins = &v.pins;
+        let before = v.epochs.len();
+        v.epochs
+            .retain(|&e, _| e == latest || pins.get(&e).is_some_and(|&n| n > 0));
+        self.stats.snapshots_gced += (before - v.epochs.len()) as u64;
+    }
+
+    pub(crate) fn subscribe(&mut self, view: usize) -> Result<u64, ServeError> {
+        let from = self.latest_epoch(view)?;
+        Ok(self.hub.subscribe(view, from))
+    }
+
+    pub(crate) fn poll(&mut self, sub: u64) -> Result<Vec<InstallDelta>, ServeError> {
+        self.hub
+            .poll(sub)
+            .ok_or(ServeError::NoSuchSubscription { sub })
+    }
+
+    pub(crate) fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut ServeStats {
+        &mut self.stats
+    }
+
+    /// Retained epoch numbers of `view` (diagnostics, GC tests).
+    pub(crate) fn retained_epochs(&self, view: usize) -> Result<Vec<u64>, ServeError> {
+        Ok(self.view(view)?.epochs.keys().copied().collect())
+    }
+}
+
+impl InstallPublisher for SnapshotStore {
+    fn note_delivery(&mut self, view_index: usize, id: UpdateId, delivered_at: Time) {
+        let Some(v) = self.views.get_mut(view_index) else {
+            return;
+        };
+        // Idempotent: a transport may redeliver after a crash; the first
+        // noted time stands (it is the time staleness accounts against).
+        v.delivered.entry(id).or_insert(DeliveredUpdate {
+            delivered_at,
+            consumed_in: None,
+        });
+        self.stats.deliveries_noted += 1;
+    }
+
+    fn publish(&mut self, event: InstallEvent) {
+        let Some(v) = self.views.get_mut(event.view_index) else {
+            return;
+        };
+        if event.epoch <= v.latest {
+            // WAL replay after a crash re-runs the apply path; readers
+            // already have these epochs.
+            self.stats.republished_ignored += 1;
+            return;
+        }
+        debug_assert_eq!(
+            event.epoch,
+            v.latest + 1,
+            "install events must arrive contiguously per view"
+        );
+        let epoch = v.latest + 1;
+        for id in &event.consumed {
+            // `or_insert` covers adapters that publish without delivery
+            // notices (single-view warehouse policies): the install time
+            // then stands in for the delivery time.
+            v.delivered
+                .entry(*id)
+                .or_insert(DeliveredUpdate {
+                    delivered_at: event.at,
+                    consumed_in: None,
+                })
+                .consumed_in = Some(epoch);
+        }
+        let mut bag = (*v.epochs[&v.latest].bag).clone();
+        bag.merge(&event.delta);
+        v.epochs.insert(
+            epoch,
+            EpochSnapshot {
+                at: event.at,
+                consumed: event.consumed.clone(),
+                bag: Arc::new(bag),
+            },
+        );
+        v.latest = epoch;
+        self.stats.snapshots_published += 1;
+        self.gc(event.view_index);
+        self.stats.sub_events += self.hub.publish(&InstallDelta {
+            view: event.view_index,
+            epoch,
+            at: event.at,
+            consumed: event.consumed,
+            delta: event.delta,
+        });
+    }
+}

@@ -15,6 +15,7 @@
 pub mod faults;
 pub mod multiview;
 pub mod scenario;
+pub mod serve;
 pub mod sharded;
 pub mod skew;
 pub mod stream;
@@ -22,6 +23,7 @@ pub mod stream;
 pub use faults::FaultScenarioConfig;
 pub use multiview::{MultiViewConfig, MultiViewScenario, ViewPolicy, ViewSpec};
 pub use scenario::{GeneratedScenario, ScheduledTxn};
+pub use serve::{ReadKind, ReadMixConfig, ReadOp};
 pub use sharded::{ShardedConfig, ShardedScenario};
 pub use skew::Zipf;
 pub use stream::{GapKind, SourcePick, StreamConfig};

@@ -49,6 +49,7 @@
 //! | [`consistency`] | `dw-consistency` | ground truth + classification |
 //! | [`workload`] | `dw-workload` | scenario/stream generators |
 //! | [`multiview`] | `dw-multiview` | view registry + shared-sweep scheduler |
+//! | [`serve`] | `dw-serve` | snapshot-pinned read path + subscriptions |
 //! | [`livenet`] | `dw-livenet` | thread-per-node live runtime |
 //! | [`core`] | `dw-core` | experiments and reports |
 
@@ -62,6 +63,7 @@ pub use dw_multiview as multiview;
 pub use dw_protocol as protocol;
 pub use dw_relational as relational;
 pub use dw_rng as rng;
+pub use dw_serve as serve;
 pub use dw_simnet as simnet;
 pub use dw_source as source;
 pub use dw_warehouse as warehouse;
@@ -74,8 +76,10 @@ pub mod prelude {
         Recorder, ViewLog,
     };
     pub use dw_core::{
-        CoreError, Experiment, MultiViewExperiment, MultiViewReport, PolicyKind, RunReport,
-        ShardedExperiment, ShardedReport, ViewOutcome,
+        audit_reads, oracle_expects_rejection, oracle_view_at_epoch, CoreError, Experiment,
+        MultiViewExperiment, MultiViewReport, OracleAudit, PolicyKind, ReadOutcome, ReadResult,
+        RunReport, ServeExperiment, ServeReport, ShardedExperiment, ShardedReport,
+        SubscriptionOutcome, ViewOutcome,
     };
     pub use dw_multiview::{
         MaintenanceScheduler, SchedulerMode, ShardStats, ShardedScheduler, ViewId, ViewRegistry,
@@ -85,13 +89,17 @@ pub mod prelude {
         tup, Bag, BaseRelation, CmpOp, KeySpec, Schema, ShardMap, Tuple, Value, ViewDef,
         ViewDefBuilder,
     };
+    pub use dw_serve::{
+        InstallDelta, PinnedEpoch, PointAnswer, ReadFrontend, ScanAnswer, ServeError, ServeStats,
+        StalenessBound,
+    };
     pub use dw_simnet::{Crash, FaultPlan, LatencyModel, LinkFaults, Network, Outage, Time};
     pub use dw_warehouse::{
         MaintenancePolicy, NestedSweep, NestedSweepOptions, Sweep, SweepOptions,
     };
     pub use dw_workload::{
         FaultScenarioConfig, GapKind, GeneratedScenario, MultiViewConfig, MultiViewScenario,
-        ScheduledTxn, ShardedConfig, ShardedScenario, SourcePick, StreamConfig, ViewPolicy,
-        ViewSpec,
+        ReadKind, ReadMixConfig, ReadOp, ScheduledTxn, ShardedConfig, ShardedScenario, SourcePick,
+        StreamConfig, ViewPolicy, ViewSpec,
     };
 }
