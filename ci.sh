@@ -139,6 +139,13 @@ stage_engine_boundary() {
     echo "FAIL: snapshots are dw-serve internals — consume them through ReadFrontend, never SnapshotStore" >&2
     ok=1
   fi
+  hits=$(grep -rn "GroupState" crates/*/src src examples 2>/dev/null |
+    grep -v "^crates/relational/src" || true)
+  if [[ -n "$hits" ]]; then
+    echo "$hits"
+    echo "FAIL: aggregate group accumulators are dw-relational internals — fold deltas through AggregateState, never GroupState" >&2
+    ok=1
+  fi
   return $ok
 }
 

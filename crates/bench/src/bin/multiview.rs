@@ -54,6 +54,8 @@ fn main() {
             n_views: views,
             view_seed: 0xE14 ^ views as u64,
             full_span: true,
+            n_derived: 0,
+            derived_seed: 0,
         };
         let shared = run(&cfg, SchedulerMode::Shared);
         let naive = run(&cfg, SchedulerMode::Naive);

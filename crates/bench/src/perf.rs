@@ -1,6 +1,6 @@
 //! The perf-report / perf-gate pipeline.
 //!
-//! [`collect`] re-runs the nine invariant-bearing experiments —
+//! [`collect`] re-runs the ten invariant-bearing experiments —
 //! **E1** (Table 1 algorithm comparison), **E6** (SWEEP's `2(n−1)` message
 //! linearity), **E12** (reliable-FIFO earned under faults), **E14**
 //! (shared-sweep cost independent of view count), **E15**
@@ -12,8 +12,13 @@
 //! makespan near-linearly while installing in the unsharded order) and
 //! **E19** (serving layer: snapshot-pinned reads answer at fresh-recompute
 //! fidelity, reject staleness bounds exactly per the delivery-ledger
-//! oracle, and never perturb the maintenance engine they read from) — and
-//! condenses each into typed rows: messages per update, installs,
+//! oracle, and never perturb the maintenance engine they read from) and
+//! **E20** (maintenance DAG: view-over-view stacks are fed locally by the
+//! parent's committed install delta — the source-message bill is paid
+//! once at the base layer, children cost exactly zero source messages,
+//! identical sibling derivations share one evaluation, and every derived
+//! view matches a fresh recompute over its parent at every install
+//! epoch) — and condenses each into typed rows: messages per update, installs,
 //! staleness percentiles, consistency level, plus wall-clock per phase.
 //! The result serializes to `BENCH_report.json` (see [`crate::json`]),
 //! which is committed as the baseline the CI gate diffs against.
@@ -41,7 +46,10 @@
 //!   message cost moves at all under concurrent readers, whose answered
 //!   reads diverge from a fresh recompute at their pinned epoch, or
 //!   whose staleness rejections disagree with the delivery-ledger
-//!   oracle;
+//!   oracle, any E20 row whose base bill leaves the exact `2(n−1)` line,
+//!   whose derived maintenance adds even one source message over the
+//!   stack-free referee, whose sibling memo stops sharing, or whose
+//!   derived views diverge from the fresh-recompute oracle;
 //! * **consistency downgrades** — a row whose verified consistency level
 //!   is weaker than the committed baseline's;
 //! * **>25 % regressions on tracked ratios** — messages/update and
@@ -58,17 +66,20 @@ use dw_core::{
     ShardedExperiment,
 };
 use dw_multiview::SchedulerMode;
-use dw_relational::{CmpOp, Value};
+use dw_relational::{AggFn, AggregateSpec, CmpOp, Value};
 use dw_simnet::{FaultPlan, LatencyModel, LinkFaults};
-use dw_workload::{MultiViewConfig, ReadMixConfig, ShardedConfig, StreamConfig, ViewSpec};
+use dw_workload::{
+    DerivedOp, DerivedSpec, MultiViewConfig, ReadMixConfig, ShardedConfig, StreamConfig, ViewSpec,
+};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// Schema version stamped into the report; bump when row fields change.
 /// v2 added the E14 multi-view block; v3 the E15 cross-update batching
 /// block; v4 the E16 σ-pushdown block; v5 the E17 crash-recovery block;
-/// v6 the E18 sharded-scaling block; v7 the E19 serving block.
-pub const SCHEMA_VERSION: u64 = 7;
+/// v6 the E18 sharded-scaling block; v7 the E19 serving block; v8 the
+/// E20 maintenance-DAG block.
+pub const SCHEMA_VERSION: u64 = 8;
 
 /// Relative regression tolerance on tracked ratios (25 %).
 pub const RATIO_TOLERANCE: f64 = 0.25;
@@ -401,6 +412,53 @@ pub struct E19Row {
     pub quiescent: bool,
 }
 
+/// One stack-shape row of the E20 (maintenance DAG) phase.
+///
+/// Each row replays the *same* seeded base-view maintenance load with a
+/// handwritten view-over-view stack registered on top, and pairs it with
+/// a **stack-free referee**: the identical scenario with no derived
+/// views. Derived views are fed locally by the cascade from the parent's
+/// committed install delta, so the source-message bill must be
+/// byte-identical — the `2(n−1)` toll is paid exactly once at the base
+/// layer, and child maintenance costs exactly zero source messages.
+/// Every derived view is audited per install epoch against a fresh
+/// recompute of its operator over the parent's same-epoch snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct E20Row {
+    /// Stack-shape label ("sibling-fanout", "deep-stack").
+    pub label: String,
+    /// Number of data sources in the base chain.
+    pub n: u64,
+    /// Registered base views.
+    pub views: u64,
+    /// Registered derived views in the stack.
+    pub derived: u64,
+    /// Updates the warehouse processed.
+    pub updates: u64,
+    /// The paper line the base bill must sit on: `2(n−1)`.
+    pub expected_msgs_per_update: f64,
+    /// Query/answer messages per update with the stack registered.
+    pub msgs_per_update: f64,
+    /// The stack-free referee's message cost. Must match exactly.
+    pub baseline_msgs_per_update: f64,
+    /// |query messages with stack − without stack|. Must be exactly 0:
+    /// child maintenance never touches a source.
+    pub derived_source_msgs: u64,
+    /// Child installs the cascade performed.
+    pub child_installs: u64,
+    /// Linear sibling derivations served from the shared memo.
+    pub shared_derivations: u64,
+    /// Linear derivations evaluated fresh.
+    pub linear_evals: u64,
+    /// shared/(shared+fresh) — the sweep-sharing ratio the gate tracks.
+    pub sharing_ratio: f64,
+    /// Every derived view (σ/Π and Σ alike) matched the fresh-recompute
+    /// oracle at every audited install epoch and at quiescence.
+    pub aggregate_fidelity: bool,
+    /// Both runs drained to quiescence.
+    pub quiescent: bool,
+}
+
 /// The full report: one entry per phase plus host wall-clock timings.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PerfReport {
@@ -424,6 +482,8 @@ pub struct PerfReport {
     pub e18: Vec<E18Row>,
     /// E19 — serving-layer rows.
     pub e19: Vec<E19Row>,
+    /// E20 — maintenance-DAG rows.
+    pub e20: Vec<E20Row>,
     /// Host wall-clock per phase, milliseconds. Informational only.
     pub phase_wall_ms: Vec<(String, f64)>,
 }
@@ -480,6 +540,10 @@ pub fn collect(smoke: bool) -> PerfReport {
     let e19 = collect_e19(smoke);
     phase_wall_ms.push(("E19".to_string(), t0.elapsed().as_secs_f64() * 1e3));
 
+    let t0 = Instant::now();
+    let e20 = collect_e20(smoke);
+    phase_wall_ms.push(("E20".to_string(), t0.elapsed().as_secs_f64() * 1e3));
+
     PerfReport {
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         e1,
@@ -491,6 +555,7 @@ pub fn collect(smoke: bool) -> PerfReport {
         e17,
         e18,
         e19,
+        e20,
         phase_wall_ms,
     }
 }
@@ -662,6 +727,8 @@ fn collect_e14(smoke: bool) -> Vec<E14Row> {
                 n_views: views,
                 view_seed: 0xE14 ^ views as u64,
                 full_span: true,
+                n_derived: 0,
+                derived_seed: 0,
             };
             let shared = MultiViewExperiment::new(cfg.generate().unwrap())
                 .latency(LatencyModel::Constant(2_000))
@@ -756,6 +823,8 @@ pub fn burst_scenario(n: usize, updates: usize) -> dw_workload::MultiViewScenari
         n_views: 2,
         view_seed: 0xE15,
         full_span: true,
+        n_derived: 0,
+        derived_seed: 0,
     };
     let mut scenario = cfg.generate().unwrap();
     scenario.views = vec![
@@ -860,6 +929,8 @@ pub fn selective_scenario(
         n_views: views,
         view_seed: 0xE16,
         full_span: true,
+        n_derived: 0,
+        derived_seed: 0,
     };
     let mut scenario = cfg.generate().unwrap();
     scenario.views = (0..views)
@@ -967,6 +1038,8 @@ pub fn recovery_scenario(n: usize, updates: usize, views: usize) -> dw_workload:
         n_views: views,
         view_seed: 0xE17,
         full_span: true,
+        n_derived: 0,
+        derived_seed: 0,
     };
     cfg.generate().unwrap()
 }
@@ -1116,6 +1189,8 @@ pub fn serve_scenario(updates: usize) -> dw_workload::MultiViewScenario {
         n_views: 3,
         view_seed: 0xE19,
         full_span: true,
+        n_derived: 0,
+        derived_seed: 0,
     }
     .generate()
     .unwrap()
@@ -1144,6 +1219,132 @@ pub fn serve_read_mix(
         ..Default::default()
     }
     .generate()
+}
+
+/// E20 — the maintenance DAG (`dag` binary's scenario). One seeded
+/// base-view load, replayed once per stack shape with the stack
+/// registered and once as a **stack-free referee**. The gated claims are
+/// exact: the base bill sits on `2(n−1)` and is byte-identical with and
+/// without the stack (children are fed locally by the cascade — zero
+/// source messages), identical sibling σ/Π derivations share one
+/// evaluation per epoch, and every derived view — aggregates included —
+/// equals a fresh recompute over its parent at every install epoch.
+fn collect_e20(smoke: bool) -> Vec<E20Row> {
+    let updates = crate::pick(smoke, 14, 40);
+    ["sibling-fanout", "deep-stack"]
+        .into_iter()
+        .map(|label| {
+            let scenario = dag_scenario(updates, label);
+            let n = scenario.base.num_relations();
+            let views = scenario.views.len();
+            let derived = scenario.derived.len();
+            let mut referee_scenario = scenario.clone();
+            referee_scenario.derived.clear();
+            let report = MultiViewExperiment::new(scenario)
+                .latency(LatencyModel::Constant(2_000))
+                .run()
+                .unwrap();
+            let referee = MultiViewExperiment::new(referee_scenario)
+                .latency(LatencyModel::Constant(2_000))
+                .run()
+                .unwrap();
+            E20Row {
+                label: label.to_string(),
+                n: n as u64,
+                views: views as u64,
+                derived: derived as u64,
+                updates: report.scheduler_metrics.updates_received,
+                expected_msgs_per_update: (2 * (n - 1)) as f64,
+                msgs_per_update: report.messages_per_update(),
+                baseline_msgs_per_update: referee.messages_per_update(),
+                derived_source_msgs: report.query_messages().abs_diff(referee.query_messages()),
+                child_installs: report.cascade.child_installs,
+                shared_derivations: report.cascade.shared_derivations,
+                linear_evals: report.cascade.linear_evals,
+                sharing_ratio: report.sharing_ratio(),
+                aggregate_fidelity: report.derived_clean(),
+                quiescent: report.quiescent && referee.quiescent,
+            }
+        })
+        .collect()
+}
+
+/// The E20 maintenance load: one full-span SWEEP base view over a
+/// 3-source chain, with the named stack registered on top.
+pub fn dag_scenario(updates: usize, stack: &str) -> dw_workload::MultiViewScenario {
+    let mut scenario = MultiViewConfig {
+        stream: StreamConfig {
+            n_sources: 3,
+            initial_per_source: 20,
+            updates,
+            mean_gap: 1_200,
+            domain: 10,
+            keyed: true,
+            seed: 0xE20,
+            ..Default::default()
+        },
+        n_views: 1,
+        view_seed: 0xE20,
+        full_span: true,
+        n_derived: 0,
+        derived_seed: 0,
+    }
+    .generate()
+    .unwrap();
+    scenario.derived = dag_stack(stack);
+    scenario
+}
+
+/// The two stack shapes E20 measures. `sibling-fanout`: three
+/// *identical* σ/Π siblings of the base view — the cascade's shared memo
+/// must pay one evaluation and two hits per epoch (shared = 2·fresh,
+/// checked exactly by the gate) — plus one Σ/group-by sibling.
+/// `deep-stack`: σ → Σ → σ, three layers of view-over-view with the
+/// aggregate in the middle.
+pub fn dag_stack(label: &str) -> Vec<DerivedSpec> {
+    let hot = |name: &str, parent: &str| DerivedSpec {
+        name: name.to_string(),
+        parent: parent.to_string(),
+        op: DerivedOp::Select {
+            selects: vec![(0, CmpOp::Ge, Value::Int(2))],
+            projection: Some(vec![0, 1]),
+        },
+    };
+    match label {
+        "sibling-fanout" => vec![
+            hot("hot-a", "V0"),
+            hot("hot-b", "V0"),
+            hot("hot-c", "V0"),
+            DerivedSpec {
+                name: "counts".to_string(),
+                parent: "V0".to_string(),
+                op: DerivedOp::Aggregate(AggregateSpec {
+                    group_by: vec![0],
+                    aggs: vec![AggFn::CountRows, AggFn::Sum(1)],
+                }),
+            },
+        ],
+        "deep-stack" => vec![
+            hot("hot", "V0"),
+            DerivedSpec {
+                name: "counts".to_string(),
+                parent: "hot".to_string(),
+                op: DerivedOp::Aggregate(AggregateSpec {
+                    group_by: vec![0],
+                    aggs: vec![AggFn::CountRows, AggFn::Max(1)],
+                }),
+            },
+            DerivedSpec {
+                name: "busy".to_string(),
+                parent: "counts".to_string(),
+                op: DerivedOp::Select {
+                    selects: vec![(1, CmpOp::Ge, Value::Int(2))],
+                    projection: None,
+                },
+            },
+        ],
+        other => panic!("unknown E20 stack shape '{other}'"),
+    }
 }
 
 // ---------------------------------------------------------------- JSON
@@ -1189,6 +1390,10 @@ impl PerfReport {
             (
                 "e19_serve",
                 Json::Arr(self.e19.iter().map(e19_to_json).collect()),
+            ),
+            (
+                "e20_dag",
+                Json::Arr(self.e20.iter().map(e20_to_json).collect()),
             ),
             (
                 "phase_wall_ms",
@@ -1281,6 +1486,13 @@ impl PerfReport {
             .iter()
             .map(e19_from_json)
             .collect::<Result<_, _>>()?;
+        let e20 = doc
+            .get("e20_dag")
+            .and_then(Json::as_arr)
+            .ok_or("missing e20_dag")?
+            .iter()
+            .map(e20_from_json)
+            .collect::<Result<_, _>>()?;
         let phase_wall_ms = match doc.get("phase_wall_ms") {
             Some(Json::Obj(fields)) => fields
                 .iter()
@@ -1303,6 +1515,7 @@ impl PerfReport {
             e17,
             e18,
             e19,
+            e20,
             phase_wall_ms,
         })
     }
@@ -1727,6 +1940,61 @@ fn e19_from_json(doc: &Json) -> Result<E19Row, String> {
             .get("subs_match_installs")
             .and_then(Json::as_bool)
             .ok_or("missing bool subs_match_installs")?,
+        quiescent: doc
+            .get("quiescent")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool quiescent")?,
+    })
+}
+
+fn e20_to_json(r: &E20Row) -> Json {
+    Json::obj(vec![
+        ("label", Json::Str(r.label.clone())),
+        ("n", Json::Num(r.n as f64)),
+        ("views", Json::Num(r.views as f64)),
+        ("derived", Json::Num(r.derived as f64)),
+        ("updates", Json::Num(r.updates as f64)),
+        (
+            "expected_msgs_per_update",
+            Json::Num(r.expected_msgs_per_update),
+        ),
+        ("msgs_per_update", Json::Num(r.msgs_per_update)),
+        (
+            "baseline_msgs_per_update",
+            Json::Num(r.baseline_msgs_per_update),
+        ),
+        (
+            "derived_source_msgs",
+            Json::Num(r.derived_source_msgs as f64),
+        ),
+        ("child_installs", Json::Num(r.child_installs as f64)),
+        ("shared_derivations", Json::Num(r.shared_derivations as f64)),
+        ("linear_evals", Json::Num(r.linear_evals as f64)),
+        ("sharing_ratio", Json::Num(r.sharing_ratio)),
+        ("aggregate_fidelity", Json::Bool(r.aggregate_fidelity)),
+        ("quiescent", Json::Bool(r.quiescent)),
+    ])
+}
+
+fn e20_from_json(doc: &Json) -> Result<E20Row, String> {
+    Ok(E20Row {
+        label: string(doc, "label")?,
+        n: uint(doc, "n")?,
+        views: uint(doc, "views")?,
+        derived: uint(doc, "derived")?,
+        updates: uint(doc, "updates")?,
+        expected_msgs_per_update: num(doc, "expected_msgs_per_update")?,
+        msgs_per_update: num(doc, "msgs_per_update")?,
+        baseline_msgs_per_update: num(doc, "baseline_msgs_per_update")?,
+        derived_source_msgs: uint(doc, "derived_source_msgs")?,
+        child_installs: uint(doc, "child_installs")?,
+        shared_derivations: uint(doc, "shared_derivations")?,
+        linear_evals: uint(doc, "linear_evals")?,
+        sharing_ratio: num(doc, "sharing_ratio")?,
+        aggregate_fidelity: doc
+            .get("aggregate_fidelity")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool aggregate_fidelity")?,
         quiescent: doc
             .get("quiescent")
             .and_then(Json::as_bool)
@@ -2166,6 +2434,67 @@ pub fn invariant_violations(report: &PerfReport) -> Vec<String> {
             v.push(format!("E19 {}: run did not drain", row.mix));
         }
     }
+    let e20_labels: BTreeSet<&str> = report.e20.iter().map(|r| r.label.as_str()).collect();
+    if e20_labels.len() < 2 {
+        v.push(format!(
+            "E20: the DAG must be exercised at >= 2 distinct stack shapes, got {:?}",
+            e20_labels
+        ));
+    }
+    for row in &report.e20 {
+        let expect = (2 * (row.n - 1)) as f64;
+        if (row.expected_msgs_per_update - expect).abs() > EXACT_EPS {
+            v.push(format!(
+                "E20 {}: recorded expectation {} != 2(n-1) = {expect}",
+                row.label, row.expected_msgs_per_update
+            ));
+        }
+        if (row.msgs_per_update - expect).abs() > EXACT_EPS {
+            v.push(format!(
+                "E20 {}: base maintenance left the 2(n-1) line — {} msgs/update != {expect}",
+                row.label, row.msgs_per_update
+            ));
+        }
+        if (row.msgs_per_update - row.baseline_msgs_per_update).abs() > EXACT_EPS
+            || row.derived_source_msgs != 0
+        {
+            v.push(format!(
+                "E20 {}: derived maintenance touched the sources — {} msgs/update with the \
+                 stack vs {} without ({} extra source messages); children must be fed \
+                 locally by the cascade",
+                row.label,
+                row.msgs_per_update,
+                row.baseline_msgs_per_update,
+                row.derived_source_msgs
+            ));
+        }
+        if row.derived == 0 {
+            v.push(format!("E20 {}: no derived stack registered", row.label));
+        }
+        if row.child_installs == 0 {
+            v.push(format!(
+                "E20 {}: the cascade never fed a child — derived views went unmaintained",
+                row.label
+            ));
+        }
+        if !row.aggregate_fidelity {
+            v.push(format!(
+                "E20 {}: a derived view diverged from fresh recompute over its parent at \
+                 an install epoch",
+                row.label
+            ));
+        }
+        if row.label == "sibling-fanout" && row.shared_derivations != 2 * row.linear_evals {
+            v.push(format!(
+                "E20 {}: the sibling memo broke — {} shared derivations != 2 x {} fresh \
+                 evaluations for 3 identical siblings",
+                row.label, row.shared_derivations, row.linear_evals
+            ));
+        }
+        if !row.quiescent {
+            v.push(format!("E20 {}: run did not drain", row.label));
+        }
+    }
     v
 }
 
@@ -2432,6 +2761,31 @@ pub fn gate(baseline: &PerfReport, fresh: &PerfReport) -> Vec<String> {
         );
     }
 
+    for base_row in &baseline.e20 {
+        let Some(row) = fresh.e20.iter().find(|r| r.label == base_row.label) else {
+            v.push(format!(
+                "E20: stack '{}' missing from fresh report",
+                base_row.label
+            ));
+            continue;
+        };
+        let what = format!("E20 {}", row.label);
+        check_ratio(
+            &mut v,
+            &format!("{what} sharing ratio"),
+            base_row.sharing_ratio,
+            row.sharing_ratio,
+            false,
+        );
+        check_ratio(
+            &mut v,
+            &format!("{what} child installs"),
+            base_row.child_installs as f64,
+            row.child_installs as f64,
+            false,
+        );
+    }
+
     v
 }
 
@@ -2479,6 +2833,12 @@ pub struct InvariantDigest {
     /// fresh-recompute fidelity, rejects exactly per the staleness
     /// oracle, and replays installs to subscribers in ticket order.
     pub e19_served: bool,
+    /// Every E20 row keeps the base bill on the exact `2(n−1)` line and
+    /// byte-identical to the stack-free referee (derived maintenance
+    /// costs zero source messages), feeds every child through the
+    /// cascade, keeps the sibling memo sharing, and holds fresh-recompute
+    /// fidelity for the whole stack.
+    pub e20_dag: bool,
 }
 
 impl InvariantDigest {
@@ -2565,6 +2925,16 @@ impl InvariantDigest {
                     && r.snapshots_published > 0
                     && r.reads_match_recompute
                     && r.subs_match_installs
+                    && r.quiescent
+            }),
+            e20_dag: report.e20.iter().all(|r| {
+                (r.msgs_per_update - (2 * (r.n - 1)) as f64).abs() < EXACT_EPS
+                    && (r.msgs_per_update - r.baseline_msgs_per_update).abs() < EXACT_EPS
+                    && r.derived_source_msgs == 0
+                    && r.derived > 0
+                    && r.child_installs > 0
+                    && (r.label != "sibling-fanout" || r.shared_derivations == 2 * r.linear_evals)
+                    && r.aggregate_fidelity
                     && r.quiescent
             }),
         }
@@ -2838,6 +3208,42 @@ mod tests {
                     snapshots_gced: 44,
                     reads_match_recompute: true,
                     subs_match_installs: true,
+                    quiescent: true,
+                },
+            ],
+            e20: vec![
+                E20Row {
+                    label: "sibling-fanout".to_string(),
+                    n: 3,
+                    views: 1,
+                    derived: 4,
+                    updates: 14,
+                    expected_msgs_per_update: 4.0,
+                    msgs_per_update: 4.0,
+                    baseline_msgs_per_update: 4.0,
+                    derived_source_msgs: 0,
+                    child_installs: 56,
+                    shared_derivations: 28,
+                    linear_evals: 14,
+                    sharing_ratio: 2.0 / 3.0,
+                    aggregate_fidelity: true,
+                    quiescent: true,
+                },
+                E20Row {
+                    label: "deep-stack".to_string(),
+                    n: 3,
+                    views: 1,
+                    derived: 3,
+                    updates: 14,
+                    expected_msgs_per_update: 4.0,
+                    msgs_per_update: 4.0,
+                    baseline_msgs_per_update: 4.0,
+                    derived_source_msgs: 0,
+                    child_installs: 42,
+                    shared_derivations: 0,
+                    linear_evals: 28,
+                    sharing_ratio: 0.0,
+                    aggregate_fidelity: true,
                     quiescent: true,
                 },
             ],
@@ -3326,6 +3732,89 @@ mod tests {
     }
 
     #[test]
+    fn derived_source_bill_fails_gate() {
+        // The acceptance demo for E20: a cascade regression that starts
+        // paying source round-trips for child maintenance — even one
+        // extra message over the stack-free referee — must be caught.
+        let mut fresh = healthy();
+        fresh.e20[0].derived_source_msgs = 2;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("derived maintenance touched the sources")),
+            "expected a source-bill violation, got {violations:?}"
+        );
+
+        // The base bill drifting off 2(n−1) is the same failure seen
+        // from the other side.
+        let mut fresh = healthy();
+        fresh.e20[1].msgs_per_update = 6.0;
+        fresh.e20[1].baseline_msgs_per_update = 6.0;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("left the 2(n-1) line")),
+            "expected a base-bill violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn dag_divergence_fails_gate() {
+        // A derived view (aggregate state or linear delta) drifting off
+        // the fresh-recompute oracle at any epoch.
+        let mut fresh = healthy();
+        fresh.e20[0].aggregate_fidelity = false;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("diverged from fresh recompute over its parent")),
+            "expected a fidelity violation, got {violations:?}"
+        );
+
+        // The sibling memo silently degrading to per-child evaluation:
+        // message-neutral, fidelity-neutral, but the exact 1-eval-2-hits
+        // schedule for 3 identical siblings breaks.
+        let mut fresh = healthy();
+        fresh.e20[0].shared_derivations = 0;
+        fresh.e20[0].linear_evals = 42;
+        fresh.e20[0].sharing_ratio = 0.0;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations.iter().any(|v| v.contains("sibling memo broke")),
+            "expected a memo violation, got {violations:?}"
+        );
+
+        // A dead cascade: the stack registered but never fed.
+        let mut fresh = healthy();
+        fresh.e20[1].child_installs = 0;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations.iter().any(|v| v.contains("never fed a child")),
+            "expected a dead-cascade violation, got {violations:?}"
+        );
+
+        // The coverage floor: both stack shapes must be present.
+        let mut fresh = healthy();
+        fresh.e20.remove(1);
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("E20") && v.contains("missing")),
+            "expected a missing-row violation, got {violations:?}"
+        );
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("2 distinct stack shapes")),
+            "expected a shape-coverage violation, got {violations:?}"
+        );
+    }
+
+    #[test]
     fn gate_reports_every_violation_in_one_pass() {
         // One run, many regressions: the gate must list them all with
         // expected-vs-actual values, not stop at the first.
@@ -3334,6 +3823,7 @@ mod tests {
         fresh.e17[0].converged = false;
         fresh.e18[1].escalations = 3;
         fresh.e19[0].makespan_us = 97_000;
+        fresh.e20[0].derived_source_msgs = 1;
         fresh.e1[1].msgs_per_update = healthy().e1[1].msgs_per_update * 1.3;
         let violations = gate(&healthy(), &fresh);
         for needle in [
@@ -3341,6 +3831,7 @@ mod tests {
             "E17 ckpt=1",
             "E18 S=2: 3 escalations",
             "E19 point-heavy: readers must never block installs — makespan 97000us under readers != 96000us no-reader baseline",
+            "E20 sibling-fanout: derived maintenance touched the sources",
             "E1 Strobe msgs/update",
         ] {
             assert!(
@@ -3349,8 +3840,8 @@ mod tests {
             );
         }
         assert!(
-            violations.len() >= 5,
-            "expected all five independent violations at once, got {violations:?}"
+            violations.len() >= 6,
+            "expected all six independent violations at once, got {violations:?}"
         );
     }
 

@@ -30,7 +30,7 @@ pub mod serve_experiment;
 pub mod sharded_experiment;
 
 pub use experiment::{CoreError, Experiment, PolicyKind};
-pub use multi_experiment::{MultiViewExperiment, MultiViewReport, ViewOutcome};
+pub use multi_experiment::{DerivedOutcome, MultiViewExperiment, MultiViewReport, ViewOutcome};
 pub use report::RunReport;
 pub use serve_experiment::{
     audit_reads, oracle_expects_rejection, oracle_view_at_epoch, OracleAudit, ReadOutcome,

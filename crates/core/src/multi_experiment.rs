@@ -15,8 +15,8 @@ use dw_consistency::{
     MutualReport, Recorder, ViewLog,
 };
 use dw_multiview::{
-    DurabilityConfig, EngineOptions, MaintenanceScheduler, MvError, RecoveryStats, SchedulerMode,
-    ViewId,
+    CascadeStats, DurabilityConfig, EngineOptions, MaintenanceScheduler, MvError, RecoveryStats,
+    SchedulerMode, ViewId, ViewRegistry,
 };
 use dw_protocol::{node_source, source_node, Message, TransportConfig, UpdateId, WAREHOUSE_NODE};
 use dw_relational::{eval_view, Bag};
@@ -193,6 +193,10 @@ impl MultiViewExperiment {
             }));
         }
         let spans: Vec<(usize, usize)> = scenario.views.iter().map(|s| (s.lo, s.hi)).collect();
+        // Derived (view-over-view) registrations go on top of the base
+        // set; order-independent resolution handles stacks given in any
+        // order and rejects cycles/unknown parents up front.
+        let derived_ids = sched.register_derived_many(&scenario.derived)?;
         // Durability arms after registration so the initial checkpoint
         // already carries every view at its correct initial contents.
         if let Some(cfg) = self.durability {
@@ -300,6 +304,8 @@ impl MultiViewExperiment {
             });
         }
 
+        let derived = derived_outcomes(sched.views(), &derived_ids)?;
+
         let mutual = self.check_consistency.then(|| {
             let logs: Vec<ViewLog<'_>> = views
                 .iter()
@@ -318,6 +324,8 @@ impl MultiViewExperiment {
         Ok(MultiViewReport {
             mode: self.mode,
             views,
+            derived,
+            cascade: sched.views().cascade_stats(),
             scheduler_metrics: sched.metrics().clone(),
             recovery: sched.recovery_stats(),
             wal_bytes_written: sched
@@ -346,6 +354,84 @@ impl From<MvError> for CoreError {
             other => CoreError::Multi(other.to_string()),
         }
     }
+}
+
+/// Build end-of-run outcomes for every derived view, auditing each
+/// install epoch against a fresh recompute of the operator over the
+/// parent's snapshot at the *same* epoch. The cascade consumes the same
+/// update ids as the parent install, so the two logs align 1:1 — any
+/// length difference is itself counted as a mismatch.
+pub(crate) fn derived_outcomes(
+    reg: &ViewRegistry,
+    ids: &[ViewId],
+) -> Result<Vec<DerivedOutcome>, CoreError> {
+    let mut out = Vec::new();
+    for &id in ids {
+        let parent = reg
+            .parent_of(id)?
+            .expect("outcome requested for a base view");
+        let op = reg
+            .derived_op(id)?
+            .expect("derived view carries its operator")
+            .clone();
+        let installs = reg.install_log(id)?.to_vec();
+        let parent_installs = reg.install_log(parent)?;
+        let mut epochs_audited = 0usize;
+        let mut epoch_mismatches = installs.len().abs_diff(parent_installs.len());
+        for (mine, theirs) in installs.iter().zip(parent_installs.iter()) {
+            if let (Some(child_after), Some(parent_after)) = (&mine.view_after, &theirs.view_after)
+            {
+                epochs_audited += 1;
+                if *child_after != op.eval(parent_after)? {
+                    epoch_mismatches += 1;
+                }
+            }
+        }
+        let final_matches_oracle = *reg.view_bag(id)? == op.eval(reg.view_bag(parent)?)?;
+        out.push(DerivedOutcome {
+            name: reg.name(id)?.to_string(),
+            parent: reg.name(parent)?.to_string(),
+            op: op.name().to_string(),
+            linear: op.is_linear(),
+            view: reg.view_bag(id)?.clone(),
+            installs,
+            metrics: reg.metrics(id)?.clone(),
+            epochs_audited,
+            epoch_mismatches,
+            final_matches_oracle,
+        });
+    }
+    Ok(out)
+}
+
+/// One derived (view-over-view) view's end-of-run state, plus its
+/// fresh-recompute oracle audit.
+#[derive(Clone, Debug)]
+pub struct DerivedOutcome {
+    /// Display name from the spec.
+    pub name: String,
+    /// The parent view this one derives from.
+    pub parent: String,
+    /// Operator kind (`"select"` or `"aggregate"`).
+    pub op: String,
+    /// Whether the operator is linear (child delta = op on parent delta).
+    pub linear: bool,
+    /// Final materialized contents.
+    pub view: Bag,
+    /// Install log; consumed ids mirror the parent's epochs 1:1.
+    pub installs: Vec<InstallRecord>,
+    /// Per-view counters (installs, staleness histogram, …).
+    pub metrics: PolicyMetrics,
+    /// Install epochs whose snapshots were compared against the oracle
+    /// (0 when snapshot recording was off).
+    pub epochs_audited: usize,
+    /// Audited epochs where the incremental contents differed from a
+    /// fresh recompute over the parent's same-epoch snapshot, plus any
+    /// epoch-count misalignment with the parent. Must be 0.
+    pub epoch_mismatches: usize,
+    /// Final contents equal the operator freshly evaluated over the
+    /// parent's final contents (checked even with snapshots off).
+    pub final_matches_oracle: bool,
 }
 
 /// One registered view's end-of-run state.
@@ -377,6 +463,13 @@ pub struct MultiViewReport {
     pub mode: SchedulerMode,
     /// Per-view outcomes, in registration order.
     pub views: Vec<ViewOutcome>,
+    /// Derived (view-over-view) outcomes, in registration order. Their
+    /// maintenance is fed locally by the cascade, never by source
+    /// round-trips, so they appear nowhere in the message accounting.
+    pub derived: Vec<DerivedOutcome>,
+    /// Cascade counters: child installs, memoized sibling derivations,
+    /// and fresh linear evaluations.
+    pub cascade: CascadeStats,
     /// Aggregate scheduler counters (updates, queries, answers,
     /// compensations; installs are per view).
     pub scheduler_metrics: PolicyMetrics,
@@ -439,6 +532,26 @@ impl MultiViewReport {
         self.logical_query_messages() as f64 / self.scheduler_metrics.updates_received as f64
     }
 
+    /// Every derived view passed its oracle audit: zero per-epoch
+    /// mismatches and final contents equal to a fresh recompute over the
+    /// parent.
+    pub fn derived_clean(&self) -> bool {
+        self.derived
+            .iter()
+            .all(|d| d.epoch_mismatches == 0 && d.final_matches_oracle)
+    }
+
+    /// Fraction of linear child derivations served from the shared
+    /// sibling memo rather than freshly evaluated (the E20 sweep-sharing
+    /// ratio); 0 when no linear derivation ran.
+    pub fn sharing_ratio(&self) -> f64 {
+        let total = self.cascade.shared_derivations + self.cascade.linear_evals;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cascade.shared_derivations as f64 / total as f64
+    }
+
     /// The weakest per-view consistency level (None when checking was
     /// off). The run is as good as its worst view.
     pub fn min_consistency(&self) -> Option<ConsistencyLevel> {
@@ -479,6 +592,16 @@ mod tests {
             n_views,
             view_seed: seed ^ 0xABCD,
             full_span: false,
+            n_derived: 0,
+            derived_seed: 0,
+        }
+    }
+
+    fn config_with_derived(n_views: usize, n_derived: usize, seed: u64) -> MultiViewConfig {
+        MultiViewConfig {
+            n_derived,
+            derived_seed: seed ^ 0xD0D0,
+            ..config(n_views, seed)
         }
     }
 
@@ -596,6 +719,80 @@ mod tests {
         assert!(report.quiescent);
         assert_eq!(report.query_messages(), 0);
         assert_eq!(report.messages_per_update(), 0.0);
+    }
+
+    #[test]
+    fn derived_views_track_their_oracle_at_every_epoch() {
+        for seed in [11u64, 12, 13] {
+            let scenario = config_with_derived(3, 4, seed).generate().unwrap();
+            let n_derived = scenario.derived.len();
+            let report = MultiViewExperiment::new(scenario).run().unwrap();
+            assert!(report.quiescent);
+            assert_eq!(report.derived.len(), n_derived);
+            for d in &report.derived {
+                assert!(d.epochs_audited > 0, "derived '{}' never audited", d.name);
+                assert_eq!(d.epoch_mismatches, 0, "derived '{}'", d.name);
+                assert!(d.final_matches_oracle, "derived '{}'", d.name);
+            }
+            assert!(report.derived_clean());
+            assert!(report.cascade.child_installs > 0);
+        }
+    }
+
+    #[test]
+    fn derived_views_cost_zero_extra_source_messages() {
+        // The whole point of the DAG scheduler: children are fed locally
+        // from the parent's committed install delta, so the source-side
+        // message bill is identical with or without derived views.
+        let with = config_with_derived(3, 5, 14).generate().unwrap();
+        let mut without = with.clone();
+        without.derived.clear();
+        let r_with = MultiViewExperiment::new(with).run().unwrap();
+        let r_without = MultiViewExperiment::new(without).run().unwrap();
+        assert!(!r_with.derived.is_empty());
+        assert_eq!(r_with.query_messages(), r_without.query_messages());
+        assert_eq!(
+            r_with.messages_per_update(),
+            r_without.messages_per_update()
+        );
+        // Base-view outcomes are untouched by the extra registrations.
+        for (a, b) in r_with.views.iter().zip(r_without.views.iter()) {
+            assert_eq!(a.view, b.view, "view '{}'", a.name);
+        }
+    }
+
+    #[test]
+    fn derived_epochs_align_with_parent_logs() {
+        let scenario = config_with_derived(2, 3, 15).generate().unwrap();
+        let report = MultiViewExperiment::new(scenario).run().unwrap();
+        for d in &report.derived {
+            let parent_installs = report
+                .views
+                .iter()
+                .map(|v| (&v.name, &v.installs))
+                .chain(report.derived.iter().map(|o| (&o.name, &o.installs)))
+                .find(|(n, _)| **n == d.parent)
+                .map(|(_, i)| i.clone())
+                .expect("parent appears in the report");
+            assert_eq!(d.installs.len(), parent_installs.len(), "'{}'", d.name);
+            for (mine, theirs) in d.installs.iter().zip(parent_installs.iter()) {
+                assert_eq!(mine.consumed, theirs.consumed, "'{}'", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn derived_survive_crash_recovery_with_oracle_intact() {
+        let scenario = config_with_derived(3, 4, 16).generate().unwrap();
+        let report = MultiViewExperiment::new(scenario)
+            .faults(FaultPlan::default().state_crash(WAREHOUSE_NODE, 3_000, 6_000))
+            .transport_auto()
+            .durability(2)
+            .run()
+            .unwrap();
+        assert!(report.quiescent);
+        assert!(report.recovery.recoveries > 0);
+        assert!(report.derived_clean());
     }
 
     #[test]

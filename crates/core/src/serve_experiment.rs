@@ -22,11 +22,11 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::experiment::CoreError;
-use crate::multi_experiment::ViewOutcome;
+use crate::multi_experiment::{derived_outcomes, DerivedOutcome, ViewOutcome};
 use crate::runner::{NetProfile, SimHarness};
 use dw_multiview::{
-    DurabilityConfig, EngineOptions, MaintenanceScheduler, RecoveryStats, SchedulerMode,
-    ShardStats, ShardedScheduler, ViewId, ViewRegistry,
+    CascadeStats, DurabilityConfig, EngineOptions, MaintenanceScheduler, RecoveryStats,
+    SchedulerMode, ShardStats, ShardedScheduler, ViewId, ViewRegistry,
 };
 use dw_protocol::{node_source, source_node, Message, TransportConfig, UpdateId, WAREHOUSE_NODE};
 use dw_relational::{eval_view, Bag, ShardMap, Tuple};
@@ -262,6 +262,22 @@ impl ServeExperiment {
             ids.push(id);
         }
         let spans: Vec<(usize, usize)> = scenario.views.iter().map(|s| (s.lo, s.hi)).collect();
+
+        // Derived views ride the cascade: register the stack with the
+        // engine, then mirror it into the frontend in ascending slot
+        // order so published events land on the right snapshots.
+        let mut derived_ids = match &mut sched {
+            Engine::Flat(s) => s.register_derived_many(&scenario.derived)?,
+            Engine::Sharded(s) => s.register_derived_many(&scenario.derived)?,
+        };
+        derived_ids.sort_by_key(|id| id.index());
+        for &id in &derived_ids {
+            let reg = sched.views();
+            let (name, initial) = (reg.name(id)?.to_string(), reg.view_bag(id)?.clone());
+            let slot = front.register_view(&name, initial, 0);
+            debug_assert_eq!(slot, id.index(), "frontend/registry slot drift (derived)");
+        }
+
         // Durability arms after registration so the initial checkpoint
         // already carries every view (flat engine only).
         if let Engine::Flat(s) = &mut sched {
@@ -271,11 +287,10 @@ impl ServeExperiment {
         }
 
         // Baseline subscriptions from epoch 0: their streams must replay
-        // each view's full install fingerprint.
+        // each view's full install fingerprint — derived slots included.
         let mut subscriptions: Vec<SubscriptionOutcome> = Vec::new();
         if self.baseline_subs {
-            for (v, spec) in scenario.views.iter().enumerate() {
-                let _ = spec;
+            for v in 0..front.view_count() {
                 subscriptions.push(SubscriptionOutcome {
                     reader: usize::MAX,
                     view: v,
@@ -420,6 +435,10 @@ impl ServeExperiment {
             });
             retained.push(front.retained_epochs(v)?);
         }
+        let derived = derived_outcomes(sched.views(), &derived_ids)?;
+        for &id in &derived_ids {
+            retained.push(front.retained_epochs(id.index())?);
+        }
 
         let transport_quiescent = harness.transport_quiescent();
 
@@ -436,8 +455,11 @@ impl ServeExperiment {
                 Engine::Sharded(s) => Some(s.stats().clone()),
             },
             views,
+            derived,
+            cascade: sched.views().cascade_stats(),
             serve_stats: front.stats(),
             retained,
+            publication_log: front.publication_log(),
             reads,
             subscriptions,
             net: harness.net.stats().clone(),
@@ -599,6 +621,11 @@ pub struct ServeReport {
     /// Per-view outcomes, in registration order (consistency left to
     /// the serve oracle, so the field is `None`).
     pub views: Vec<ViewOutcome>,
+    /// Derived (cascade-fed) views, ascending slot order — their slots
+    /// follow the base views', so slot `views.len() + k` is `derived[k]`.
+    pub derived: Vec<DerivedOutcome>,
+    /// Cascade counters (child installs, memo hits, fresh evals).
+    pub cascade: CascadeStats,
     /// Aggregate engine counters.
     pub scheduler_metrics: PolicyMetrics,
     /// Flat-engine crash-recovery statistics (`None` when sharded).
@@ -608,8 +635,14 @@ pub struct ServeReport {
     /// Snapshot-store counters (publications, GC, reads, pins,
     /// subscription fan-out).
     pub serve_stats: ServeStats,
-    /// Epochs still retained per view at quiescence.
+    /// Epochs still retained per view at quiescence (base slots first,
+    /// then derived slots).
     pub retained: Vec<Vec<u64>>,
+    /// Every accepted install as `(view slot, epoch)` in publication
+    /// order — the global install-ticket order. A base install and its
+    /// cascaded derived descendants form one contiguous block (children
+    /// ascending by slot, depth-first); replays never re-enter it.
+    pub publication_log: Vec<(usize, u64)>,
     /// Every resolved read, in issue order.
     pub reads: Vec<ReadOutcome>,
     /// Every subscription's drained stream (baseline ones first).
@@ -681,15 +714,27 @@ impl ServeReport {
             .collect()
     }
 
+    /// The install log backing slot `slot` — a base view's outcome for
+    /// the leading slots, a derived view's for the trailing ones.
+    pub fn installs_for_slot(&self, slot: usize) -> Option<&[dw_warehouse::InstallRecord]> {
+        if let Some(v) = self.views.get(slot) {
+            return Some(&v.installs);
+        }
+        self.derived
+            .get(slot - self.views.len())
+            .map(|d| d.installs.as_slice())
+    }
+
     /// Whether every subscription's stream replays exactly the install
-    /// fingerprint of its view from its start epoch: contiguous epochs,
-    /// matching consumed sets, matching deltas when snapshots were kept.
+    /// fingerprint of its view (base or derived) from its start epoch:
+    /// contiguous epochs, matching consumed sets, matching deltas when
+    /// snapshots were kept.
     pub fn subscriptions_match_installs(&self) -> bool {
         self.subscriptions.iter().all(|sub| {
-            let Some(v) = self.views.get(sub.view) else {
+            let Some(installs) = self.installs_for_slot(sub.view) else {
                 return false;
             };
-            let expected = &v.installs[sub.from_epoch as usize..];
+            let expected = &installs[sub.from_epoch as usize..];
             sub.stream.len() == expected.len()
                 && sub
                     .stream
@@ -703,6 +748,14 @@ impl ServeReport {
                             && delta.at == inst.at
                     })
         })
+    }
+
+    /// All derived views audited clean: every install epoch matched the
+    /// fresh-recompute oracle over the parent, final state included.
+    pub fn derived_clean(&self) -> bool {
+        self.derived
+            .iter()
+            .all(|d| d.epoch_mismatches == 0 && d.final_matches_oracle)
     }
 }
 
@@ -905,6 +958,8 @@ mod tests {
             n_views,
             view_seed: seed ^ 0xABCD,
             full_span: false,
+            n_derived: 0,
+            derived_seed: 0,
         }
         .generate()
         .unwrap()

@@ -15,12 +15,12 @@
 //! recovery suite's subject and are not modeled here.
 
 use crate::experiment::CoreError;
-use crate::multi_experiment::ViewOutcome;
+use crate::multi_experiment::{derived_outcomes, DerivedOutcome, ViewOutcome};
 use crate::runner::{NetProfile, SimHarness};
 use dw_consistency::{
     classify, mutual_consistency, remap_installs, MutualReport, Recorder, ViewLog,
 };
-use dw_multiview::{EngineOptions, ShardStats, ShardedScheduler, ViewId};
+use dw_multiview::{CascadeStats, EngineOptions, ShardStats, ShardedScheduler, ViewId};
 use dw_protocol::{node_source, source_node, Message, TransportConfig, UpdateId, WAREHOUSE_NODE};
 use dw_relational::{eval_view, Bag, ShardMap};
 use dw_simnet::{FaultPlan, LatencyModel, NetStats, NodeId, Time};
@@ -162,6 +162,9 @@ impl ShardedExperiment {
             }));
         }
         let spans: Vec<(usize, usize)> = scenario.views.iter().map(|s| (s.lo, s.hi)).collect();
+        // Derived views stack on top; their maintenance rides the
+        // sequenced install releases, never the shard lanes.
+        let derived_ids = sched.register_derived_many(&scenario.derived)?;
 
         // Shard-scoped crash windows at the warehouse, keyed by their
         // restart time: the drive loop turns each `Restart` into a
@@ -267,6 +270,8 @@ impl ShardedExperiment {
             });
         }
 
+        let derived = derived_outcomes(sched.views(), &derived_ids)?;
+
         let mutual = self.check_consistency.then(|| {
             let logs: Vec<ViewLog<'_>> = views
                 .iter()
@@ -285,6 +290,8 @@ impl ShardedExperiment {
         Ok(ShardedReport {
             shards: self.map.shards(),
             views,
+            derived,
+            cascade: sched.views().cascade_stats(),
             scheduler_metrics: sched.metrics().clone(),
             shard_stats: sched.stats().clone(),
             mutual,
@@ -304,6 +311,12 @@ pub struct ShardedReport {
     pub shards: usize,
     /// Per-view outcomes, in registration order.
     pub views: Vec<ViewOutcome>,
+    /// Derived (view-over-view) outcomes, maintained by the cascade at
+    /// sequenced install release — zero lane or source traffic.
+    pub derived: Vec<DerivedOutcome>,
+    /// Cascade counters: child installs, memoized sibling derivations,
+    /// and fresh linear evaluations.
+    pub cascade: CascadeStats,
     /// Aggregate engine counters (shared across all lanes).
     pub scheduler_metrics: PolicyMetrics,
     /// Sharding counters: lane concurrency, escalations, crash/re-seed
@@ -342,6 +355,15 @@ impl ShardedReport {
         self.query_messages() as f64 / self.scheduler_metrics.updates_received as f64
     }
 
+    /// Every derived view passed its oracle audit: zero per-epoch
+    /// mismatches and final contents equal to a fresh recompute over the
+    /// parent.
+    pub fn derived_clean(&self) -> bool {
+        self.derived
+            .iter()
+            .all(|d| d.epoch_mismatches == 0 && d.final_matches_oracle)
+    }
+
     /// Makespan of the maintenance work (µs): last install time minus
     /// first transaction arrival — the virtual-time quantity E18's
     /// speedup gate divides.
@@ -373,7 +395,40 @@ mod tests {
     use super::*;
     use crate::MultiViewExperiment;
     use dw_consistency::ConsistencyLevel;
-    use dw_workload::ShardedConfig;
+    use dw_relational::{AggFn, AggregateSpec, CmpOp, Value};
+    use dw_workload::{DerivedOp, DerivedSpec, ShardedConfig};
+
+    /// A small handwritten stack over the generated base views: one σ/Π
+    /// child of V0, one Σ/group-by child of V0, and a grandchild σ over
+    /// the aggregate.
+    fn stack_on_v0() -> Vec<DerivedSpec> {
+        vec![
+            DerivedSpec {
+                name: "hot".into(),
+                parent: "V0".into(),
+                op: DerivedOp::Select {
+                    selects: vec![(0, CmpOp::Ge, Value::Int(1))],
+                    projection: None,
+                },
+            },
+            DerivedSpec {
+                name: "counts".into(),
+                parent: "V0".into(),
+                op: DerivedOp::Aggregate(AggregateSpec {
+                    group_by: vec![0],
+                    aggs: vec![AggFn::CountRows],
+                }),
+            },
+            DerivedSpec {
+                name: "busy".into(),
+                parent: "counts".into(),
+                op: DerivedOp::Select {
+                    selects: vec![(1, CmpOp::Ge, Value::Int(2))],
+                    projection: None,
+                },
+            },
+        ]
+    }
 
     fn config(shards: usize, seed: u64) -> ShardedConfig {
         ShardedConfig {
@@ -461,6 +516,42 @@ mod tests {
         for (f, c) in faulted.views.iter().zip(clean.views.iter()) {
             assert_eq!(f.view, c.view);
         }
+    }
+
+    #[test]
+    fn sharded_derived_match_flat_derived_and_oracle() {
+        let mut generated = config(3, 5).generate().unwrap();
+        generated.scenario.derived = stack_on_v0();
+        let sharded = ShardedExperiment::new(generated.clone()).run().unwrap();
+        let flat = MultiViewExperiment::new(generated.scenario).run().unwrap();
+        assert!(sharded.quiescent && flat.quiescent);
+        assert_eq!(sharded.derived.len(), 3);
+        assert!(sharded.derived_clean());
+        assert!(flat.derived_clean());
+        // Derived views add no source traffic under either engine.
+        assert_eq!(sharded.query_messages(), flat.query_messages());
+        for (s, f) in sharded.derived.iter().zip(flat.derived.iter()) {
+            assert_eq!(s.view, f.view, "derived '{}'", s.name);
+        }
+    }
+
+    #[test]
+    fn scoped_crash_keeps_derived_oracle_clean() {
+        let mut generated = config(2, 4).generate().unwrap();
+        generated.scenario.derived = stack_on_v0();
+        let crash_at = generated.scenario.txns[6].at;
+        let report = ShardedExperiment::new(generated)
+            .faults(FaultPlan::none().state_crash_shard(
+                WAREHOUSE_NODE,
+                crash_at,
+                crash_at + 1_200,
+                0,
+            ))
+            .run()
+            .unwrap();
+        assert!(report.quiescent);
+        assert_eq!(report.shard_stats.shard_crashes, 1);
+        assert!(report.derived_clean());
     }
 
     #[test]

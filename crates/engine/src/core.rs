@@ -287,7 +287,7 @@ impl EngineCore {
     }
 
     fn apply_compensation(&mut self, dv: &mut PartialDelta, err: &PartialDelta) {
-        dv.bag.subtract(&err.bag);
+        dv.compensate(err);
         self.metrics.local_compensations += 1;
         self.obs.add(self.labels.compensations, 1);
         self.obs.add("engine.compensations", 1);

@@ -1,7 +1,7 @@
 //! The materialized view store.
 
 use crate::error::WarehouseError;
-use dw_relational::Bag;
+use dw_relational::{Bag, DeltaRelation};
 use std::fmt;
 
 /// The warehouse's materialized view: a counted bag of projected tuples
@@ -47,16 +47,17 @@ impl MaterializedView {
     }
 
     /// `V ← V + ΔV`, validating that no count goes negative. Atomic:
-    /// either the whole change applies or none of it.
+    /// either the whole change applies or none of it. Routed through the
+    /// signed-delta calculus, so inserts and deletes are one code path.
     pub fn install(&mut self, delta: &Bag) -> Result<(), WarehouseError> {
-        for (t, c) in delta.iter() {
-            if self.bag.count(t) + c < 0 {
-                return Err(WarehouseError::InconsistentInstall {
-                    tuple: format!("{t}"),
-                });
-            }
-        }
-        self.bag.merge(delta);
+        DeltaRelation::from_bag(delta.clone())
+            .apply_to(&mut self.bag)
+            .map_err(|e| match e {
+                dw_relational::RelationalError::NegativeMultiplicity { tuple, .. } => {
+                    WarehouseError::InconsistentInstall { tuple }
+                }
+                other => WarehouseError::Relational(other),
+            })?;
         self.installs += 1;
         Ok(())
     }

@@ -371,6 +371,8 @@ mod tests {
             n_views: 3,
             view_seed: 31 ^ 0xABCD,
             full_span: false,
+            n_derived: 0,
+            derived_seed: 0,
         }
         .generate()
         .unwrap();

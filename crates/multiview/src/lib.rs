@@ -21,10 +21,27 @@
 //!   relation's columns; per-view σ/Π are applied at the warehouse.
 //!   The paper's on-line error correction (§4) runs once per hop on the
 //!   shared partial, so every view inherits it.
+//! * a **maintenance DAG** — derived views registered *over* other views
+//!   ([`ViewRegistry::register_derived`], specs from
+//!   [`dw_workload::DerivedSpec`]): σ/Π and Σ/group-by operators, stacks
+//!   over stacks, cycles and unknown parents rejected deterministically
+//!   at registration. Derived views are **never swept**: when a parent
+//!   commits an install, the signed delta cascades to each child locally
+//!   at the warehouse — children ascending by slot, depth-first, each
+//!   child's install consuming the *same* update ids as the parent so
+//!   the install logs stay 1:1 epoch-aligned. Identical sibling σ/Π
+//!   derivations are evaluated once and shared ([`CascadeStats`] counts
+//!   the memo hits); aggregate children each fold the delta into their
+//!   own accumulators (group state mutates exactly once, so Σ work is
+//!   never shared). The cascade rides the sharded engine's sequenced
+//!   install releases and the durability WAL replay unchanged.
 //!
 //! The message-cost win (experiment E14): a shared sweep costs at most
 //! `2(n−1)` messages per update **regardless of how many views**
 //! reference `R_j`, where naive per-view maintenance costs `V·2(n−1)`.
+//! The DAG extends it (experiment E20): a derived stack of any depth
+//! adds **zero** source messages — the `2(n−1)` toll is paid exactly
+//! once at the base layer.
 //!
 //! ## Why span snapshots are sound
 //!
@@ -44,6 +61,6 @@ mod scheduler;
 mod sharded;
 
 pub use dw_engine::{DurabilityConfig, EngineOptions};
-pub use registry::{MvError, ViewId, ViewRegistry};
+pub use registry::{CascadeStats, MvError, ViewId, ViewRegistry};
 pub use scheduler::{MaintenanceScheduler, RecoveryStats, SchedulerMode};
 pub use sharded::{ShardStats, ShardedScheduler};

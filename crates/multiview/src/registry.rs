@@ -1,12 +1,27 @@
 //! The runtime view registry: per-view materialized state, policy
 //! cadence, metrics and install logs, keyed by stable [`ViewId`]s.
+//!
+//! Since PR 9 the registry is a **maintenance DAG**, not a flat list:
+//! a view may be *derived* — defined over another registered view by a
+//! σ/Π or Σ/group-by operator ([`dw_workload::DerivedSpec`]). Derived
+//! views are never swept: when a parent commits an install, the
+//! committed delta is fed locally to each child (σ/Π: re-evaluate the
+//! linear operator on the delta; Σ: fold the signed delta into the
+//! child's [`dw_relational::AggregateState`]), the child installs, and
+//! the cascade recurses — depth-first, children in ascending slot
+//! order, so the install/publication order is deterministic and
+//! documented. A derived view therefore costs **zero source messages**
+//! per update; the paper's `2(n−1)` bill is paid once, at the base
+//! layer. Identical σ/Π operators across sibling children are evaluated
+//! once per parent delta and shared (the Mistry/Roy/Ramamritham common
+//! subexpression idea, applied to the delta stream).
 
 use dw_engine::{InstallEvent, SharedInstallPublisher};
 use dw_protocol::UpdateId;
-use dw_relational::{Bag, RelationalError, ViewDef};
+use dw_relational::{AggregateState, Bag, DeltaRelation, RelationalError, ViewDef};
 use dw_simnet::Time;
 use dw_warehouse::{InstallRecord, MaterializedView, PolicyMetrics, WarehouseError};
-use dw_workload::{ViewPolicy, ViewSpec};
+use dw_workload::{DerivedOp, DerivedSpec, ViewPolicy, ViewSpec};
 use std::fmt;
 
 /// Errors raised by the multi-view layer.
@@ -27,6 +42,27 @@ pub enum MvError {
         /// The view's display name.
         name: String,
     },
+    /// A derived spec names a parent that is not registered (and, for a
+    /// batch registration, not registrable from the batch either).
+    UnknownParent {
+        /// The derived view's display name.
+        name: String,
+        /// The parent name it failed to resolve.
+        parent: String,
+    },
+    /// A batch of derived specs contains a dependency cycle.
+    DependencyCycle {
+        /// Display name of the first spec (in given order) stuck on the
+        /// cycle — deterministic, for actionable error messages.
+        name: String,
+    },
+    /// The view still has derived children and cannot be deregistered.
+    HasChildren {
+        /// The view's display name.
+        name: String,
+        /// Display names of its live children, in slot order.
+        children: Vec<String>,
+    },
 }
 
 impl fmt::Display for MvError {
@@ -39,6 +75,24 @@ impl fmt::Display for MvError {
                 write!(
                     f,
                     "view '{name}' has a sweep in flight; drain before deregistering"
+                )
+            }
+            MvError::UnknownParent { name, parent } => {
+                write!(f, "derived view '{name}' names unknown parent '{parent}'")
+            }
+            MvError::DependencyCycle { name } => {
+                write!(
+                    f,
+                    "derived view '{name}' sits on a dependency cycle; \
+                     the maintenance DAG must be acyclic"
+                )
+            }
+            MvError::HasChildren { name, children } => {
+                write!(
+                    f,
+                    "view '{name}' still feeds derived children [{}]; \
+                     deregister them first",
+                    children.join(", ")
                 )
             }
         }
@@ -78,6 +132,48 @@ impl fmt::Display for ViewId {
     }
 }
 
+/// How a registered view is maintained: from base-source sweeps, or
+/// locally from a parent view's committed install deltas.
+#[derive(Clone)]
+pub(crate) enum ViewKind {
+    /// Maintained by SWEEP over the base chain span `[lo, hi]`.
+    Base,
+    /// Maintained by the cascade: fed its parent's install deltas.
+    Derived {
+        /// The parent's slot index.
+        parent: usize,
+        /// The operator over the parent's rows.
+        op: DerivedOp,
+        /// Incremental Σ state — `Some` iff the op is an aggregate. Rides
+        /// checkpoint clones, so crash recovery restores group
+        /// accumulators (and MIN/MAX support multisets) exactly.
+        agg: Option<AggregateState>,
+    },
+}
+
+/// Counters for the cascade machinery (registry-level, not
+/// checkpointed: fault-free runs measure them; recovery replays rebuild
+/// view state, not bookkeeping).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CascadeStats {
+    /// Child installs performed by the cascade (one per child per parent
+    /// install, including empty deltas — epochs stay 1:1 aligned).
+    pub child_installs: u64,
+    /// Child deltas answered from a sibling's memoized σ/Π evaluation
+    /// instead of re-evaluating the shared operator.
+    pub shared_derivations: u64,
+    /// σ/Π delta evaluations actually performed (the memo's miss count).
+    pub linear_evals: u64,
+}
+
+/// A committed install: the delta that landed and the update ids it
+/// consumed — exactly what the cascade feeds to derived children.
+#[derive(Clone)]
+pub(crate) struct Installed {
+    pub(crate) delta: Bag,
+    pub(crate) consumed: Vec<(UpdateId, Time)>,
+}
+
 /// Everything the scheduler keeps per registered view. `Clone` because
 /// a durable checkpoint is a deep copy of every live runtime.
 #[derive(Clone)]
@@ -101,6 +197,13 @@ pub(crate) struct ViewRuntime {
     /// This runtime's registry slot index — the coordinate install
     /// events are published under.
     pub(crate) slot: usize,
+    /// Base (swept) or derived (cascade-fed) maintenance.
+    pub(crate) kind: ViewKind,
+    /// Slot indices of direct derived children, ascending (registration
+    /// order) — the documented cascade order.
+    pub(crate) children: Vec<usize>,
+    /// Width of this view's output rows (what children validate against).
+    pub(crate) out_width: usize,
     /// Where committed installs are announced (e.g. a `dw-serve`
     /// snapshot store). Shared handle: checkpoint clones keep feeding
     /// the same consumer, which deduplicates recovery replays on
@@ -114,12 +217,19 @@ impl ViewRuntime {
     /// (one entry unless cross-update batching folded several in), in
     /// per-source delivery order. Empty deltas are still *consumed* so
     /// install logs keep the per-source prefix discipline.
+    ///
+    /// Returns what was actually **installed** this call — `Some` with
+    /// the committed delta and its consumed ids (the Sweep path installs
+    /// immediately; a Deferred auto-flush installs the whole pending
+    /// batch), `None` when the delta merely accumulated. The cascade
+    /// feeds the returned delta, never the argument: children must see
+    /// exactly what the parent committed.
     pub(crate) fn apply_delta(
         &mut self,
         delta: &Bag,
         consumed: &[(UpdateId, Time)],
         now: Time,
-    ) -> Result<(), WarehouseError> {
+    ) -> Result<Option<Installed>, WarehouseError> {
         match self.policy {
             ViewPolicy::Sweep => {
                 self.view.install(delta)?;
@@ -133,6 +243,10 @@ impl ViewRuntime {
                     view_after: self.record_snapshots.then(|| self.view.bag().clone()),
                 });
                 self.publish_install(delta, consumed, now);
+                Ok(Some(Installed {
+                    delta: delta.clone(),
+                    consumed: consumed.to_vec(),
+                }))
             }
             ViewPolicy::NestedSweep | ViewPolicy::Deferred { .. } => {
                 self.pending_delta.merge(delta);
@@ -140,12 +254,12 @@ impl ViewRuntime {
                 self.since_flush += consumed.len();
                 if let ViewPolicy::Deferred { batch } = self.policy {
                     if self.since_flush >= batch {
-                        self.flush(now)?;
+                        return self.flush(now);
                     }
                 }
+                Ok(None)
             }
         }
-        Ok(())
     }
 
     /// Is there an accumulated-but-uninstalled batch? (Durability logs a
@@ -155,9 +269,11 @@ impl ViewRuntime {
     }
 
     /// Install whatever has accumulated (no-op when nothing is pending).
-    pub(crate) fn flush(&mut self, now: Time) -> Result<(), WarehouseError> {
+    /// Returns the installed delta and consumed ids, like
+    /// [`ViewRuntime::apply_delta`].
+    pub(crate) fn flush(&mut self, now: Time) -> Result<Option<Installed>, WarehouseError> {
         if self.pending_consumed.is_empty() {
-            return Ok(());
+            return Ok(None);
         }
         self.view.install(&self.pending_delta)?;
         self.metrics.installs += 1;
@@ -170,10 +286,12 @@ impl ViewRuntime {
             view_after: self.record_snapshots.then(|| self.view.bag().clone()),
         });
         self.publish_install(&self.pending_delta, &self.pending_consumed, now);
-        self.pending_delta = Bag::new();
-        self.pending_consumed.clear();
+        let installed = Installed {
+            delta: std::mem::take(&mut self.pending_delta),
+            consumed: std::mem::take(&mut self.pending_consumed),
+        };
         self.since_flush = 0;
-        Ok(())
+        Ok(Some(installed))
     }
 
     /// Announce the install just logged (no-op without a publisher). The
@@ -207,6 +325,8 @@ pub struct ViewRegistry {
     /// Attached install publisher, propagated to every current and
     /// future runtime (and re-attached across checkpoint restores).
     publisher: Option<SharedInstallPublisher>,
+    /// Cascade bookkeeping (child installs, shared σ/Π evaluations).
+    stats: CascadeStats,
 }
 
 impl ViewRegistry {
@@ -233,6 +353,7 @@ impl ViewRegistry {
             base,
             slots: Vec::new(),
             publisher: None,
+            stats: CascadeStats::default(),
         })
     }
 
@@ -247,6 +368,7 @@ impl ViewRegistry {
     /// of the sources' current state).
     pub fn register(&mut self, spec: &ViewSpec, initial: Bag) -> Result<ViewId, MvError> {
         let local = spec.compile(&self.base)?;
+        let out_width = local.projection().len();
         let view = MaterializedView::new(initial)?;
         let id = ViewId(self.slots.len());
         self.slots.push(Some(ViewRuntime {
@@ -263,21 +385,164 @@ impl ViewRegistry {
             since_flush: 0,
             record_snapshots: true,
             slot: id.0,
+            kind: ViewKind::Base,
+            children: Vec::new(),
+            out_width,
             publisher: self.publisher.clone(),
         }));
         Ok(id)
     }
 
+    /// Register a derived view over an already-registered parent (base or
+    /// derived — stacks compose). The initial contents are computed here,
+    /// by evaluating the operator over the parent's *current* bag, so
+    /// registration at any quiescent point is consistent by construction.
+    ///
+    /// The parent reference is resolved by name among live views; because
+    /// a child can only name an existing view and ids are never reused,
+    /// single registrations cannot create cycles — the batch form
+    /// ([`ViewRegistry::register_derived_many`]) is where cycle rejection
+    /// has teeth.
+    pub fn register_derived(&mut self, spec: &DerivedSpec) -> Result<ViewId, MvError> {
+        let parent_slot = self
+            .resolve(&spec.parent)
+            .ok_or_else(|| MvError::UnknownParent {
+                name: spec.name.clone(),
+                parent: spec.parent.clone(),
+            })?
+            .0;
+        let (parent_bag, parent_width, lo, hi) = {
+            let rt = self.slots[parent_slot].as_ref().expect("resolved slot");
+            (rt.view.bag().clone(), rt.out_width, rt.lo, rt.hi)
+        };
+        spec.op.validate(parent_width)?;
+        let initial = spec.op.eval(&parent_bag)?;
+        let agg = match &spec.op {
+            DerivedOp::Aggregate(aspec) => {
+                let mut state = AggregateState::new(aspec.clone());
+                state.apply(&DeltaRelation::from_bag(parent_bag))?;
+                debug_assert_eq!(state.current(), initial);
+                Some(state)
+            }
+            DerivedOp::Select { .. } => None,
+        };
+        let id = ViewId(self.slots.len());
+        self.slots.push(Some(ViewRuntime {
+            name: spec.name.clone(),
+            lo,
+            hi,
+            // The span-local join definition is the parent's chain; the
+            // derived operator lives in `kind`. Derived views are never
+            // swept, so this is only carried for display/span accounting.
+            local: self.slots[parent_slot]
+                .as_ref()
+                .expect("live")
+                .local
+                .clone(),
+            // Derived views install at every parent install: the cascade
+            // is the cadence, so the policy is pinned to Sweep.
+            policy: ViewPolicy::Sweep,
+            view: MaterializedView::new(initial)?,
+            metrics: PolicyMetrics::default(),
+            install_log: Vec::new(),
+            pending_delta: Bag::new(),
+            pending_consumed: Vec::new(),
+            since_flush: 0,
+            record_snapshots: true,
+            slot: id.0,
+            kind: ViewKind::Derived {
+                parent: parent_slot,
+                op: spec.op.clone(),
+                agg,
+            },
+            children: Vec::new(),
+            out_width: spec.op.output_width(parent_width),
+            publisher: self.publisher.clone(),
+        }));
+        self.slots[parent_slot]
+            .as_mut()
+            .expect("live")
+            .children
+            .push(id.0);
+        Ok(id)
+    }
+
+    /// Register a batch of derived specs, topologically: each pass
+    /// registers every spec whose parent is already live, in given
+    /// order, until the batch drains. A spec whose parent is neither
+    /// live nor in the batch fails with [`MvError::UnknownParent`]; a
+    /// batch where a pass makes no progress while specs remain (and all
+    /// parents are batch-internal) is a cycle, reported deterministically
+    /// as the first stuck spec in given order.
+    pub fn register_derived_many(&mut self, specs: &[DerivedSpec]) -> Result<Vec<ViewId>, MvError> {
+        let mut ids: Vec<Option<ViewId>> = vec![None; specs.len()];
+        let mut remaining: Vec<usize> = (0..specs.len()).collect();
+        while !remaining.is_empty() {
+            let mut registered_this_pass = Vec::new();
+            for &i in &remaining {
+                if self.resolve(&specs[i].parent).is_some() {
+                    ids[i] = Some(self.register_derived(&specs[i])?);
+                    registered_this_pass.push(i);
+                }
+            }
+            if registered_this_pass.is_empty() {
+                let first = remaining[0];
+                let batch_has_parent = remaining
+                    .iter()
+                    .any(|&j| specs[j].name == specs[first].parent);
+                return Err(if batch_has_parent {
+                    MvError::DependencyCycle {
+                        name: specs[first].name.clone(),
+                    }
+                } else {
+                    MvError::UnknownParent {
+                        name: specs[first].name.clone(),
+                        parent: specs[first].parent.clone(),
+                    }
+                });
+            }
+            remaining.retain(|i| !registered_this_pass.contains(i));
+        }
+        Ok(ids
+            .into_iter()
+            .map(|i| i.expect("all registered"))
+            .collect())
+    }
+
+    /// Resolve a live view by display name (first match in slot order).
+    pub fn resolve(&self, name: &str) -> Option<ViewId> {
+        self.slots.iter().enumerate().find_map(|(i, s)| match s {
+            Some(rt) if rt.name == name => Some(ViewId(i)),
+            _ => None,
+        })
+    }
+
     /// Remove a view. The scheduler's wrapper refuses while the view has
-    /// a sweep in flight; the bare registry removal always succeeds for
-    /// a live id.
+    /// a sweep in flight; the bare registry removal refuses only while
+    /// the view still feeds live derived children (deregister leaves
+    /// first).
     pub fn deregister(&mut self, id: ViewId) -> Result<(), MvError> {
-        let slot = self
-            .slots
-            .get_mut(id.0)
-            .ok_or(MvError::UnknownView { index: id.0 })?;
-        if slot.take().is_none() {
-            return Err(MvError::UnknownView { index: id.0 });
+        let rt = self.runtime(id)?;
+        let live_children: Vec<String> = rt
+            .children
+            .iter()
+            .filter_map(|&c| self.slots[c].as_ref().map(|child| child.name.clone()))
+            .collect();
+        if !live_children.is_empty() {
+            return Err(MvError::HasChildren {
+                name: rt.name.clone(),
+                children: live_children,
+            });
+        }
+        let parent = match rt.kind {
+            ViewKind::Derived { parent, .. } => Some(parent),
+            ViewKind::Base => None,
+        };
+        self.slots[id.0] = None;
+        if let Some(p) = parent {
+            if let Some(prt) = self.slots[p].as_mut() {
+                prt.children.retain(|&c| c != id.0);
+            }
         }
         Ok(())
     }
@@ -301,15 +566,45 @@ impl ViewRegistry {
         self.len() == 0
     }
 
-    /// Live views whose span contains base relation `j`.
+    /// Live **base** views whose span contains base relation `j` — the
+    /// views a source update's sweep must service. Derived views are
+    /// excluded by construction: they are maintained by the cascade, not
+    /// by sweeps, and must never contribute to sweep formation or the
+    /// source-message bill.
     pub fn affected_by(&self, j: usize) -> Vec<ViewId> {
         self.slots
             .iter()
             .enumerate()
             .filter_map(|(i, s)| match s {
-                Some(rt) if rt.lo <= j && j <= rt.hi => Some(ViewId(i)),
+                Some(rt) if matches!(rt.kind, ViewKind::Base) && rt.lo <= j && j <= rt.hi => {
+                    Some(ViewId(i))
+                }
                 _ => None,
             })
+            .collect()
+    }
+
+    /// [`ViewRegistry::affected_by`] plus the transitive derived
+    /// descendants of every affected base view, deduplicated, ascending
+    /// by slot. This is the *delivery* footprint of an update: an update
+    /// that changes a parent logically reaches its children too (the
+    /// serve layer's staleness ledger needs delivery entries for derived
+    /// views, even though no source message is ever sent on their
+    /// behalf).
+    pub fn affected_with_descendants(&self, j: usize) -> Vec<ViewId> {
+        let mut hit = vec![false; self.slots.len()];
+        let mut stack: Vec<usize> = self.affected_by(j).iter().map(|id| id.0).collect();
+        while let Some(slot) = stack.pop() {
+            if std::mem::replace(&mut hit[slot], true) {
+                continue;
+            }
+            if let Some(rt) = &self.slots[slot] {
+                stack.extend(rt.children.iter().copied());
+            }
+        }
+        hit.iter()
+            .enumerate()
+            .filter_map(|(i, &h)| h.then_some(ViewId(i)))
             .collect()
     }
 
@@ -329,6 +624,145 @@ impl ViewRegistry {
 
     pub(crate) fn runtimes_mut(&mut self) -> impl Iterator<Item = &mut ViewRuntime> {
         self.slots.iter_mut().filter_map(|s| s.as_mut())
+    }
+
+    /// Apply a finalized sweep delta to `id` and, if it installed,
+    /// cascade the committed delta through the view's derived
+    /// descendants. Every install site in the schedulers routes through
+    /// here so children can never be skipped.
+    pub(crate) fn apply_with_cascade(
+        &mut self,
+        id: ViewId,
+        delta: &Bag,
+        consumed: &[(UpdateId, Time)],
+        now: Time,
+    ) -> Result<(), MvError> {
+        if let Some(installed) = self.runtime_mut(id)?.apply_delta(delta, consumed, now)? {
+            self.cascade_children(id.index(), &installed, now)?;
+        }
+        Ok(())
+    }
+
+    /// Flush `id`'s accumulated batch and cascade the installed delta.
+    pub(crate) fn flush_with_cascade(&mut self, id: ViewId, now: Time) -> Result<(), MvError> {
+        if let Some(installed) = self.runtime_mut(id)?.flush(now)? {
+            self.cascade_children(id.index(), &installed, now)?;
+        }
+        Ok(())
+    }
+
+    /// Flush every live view (registration order), cascading each
+    /// install. Derived views have nothing pending by construction
+    /// (their cadence is the cascade itself), so this only ever installs
+    /// at base views and recurses downward.
+    pub(crate) fn flush_all_with_cascade(&mut self, now: Time) -> Result<(), MvError> {
+        for id in self.ids() {
+            self.flush_with_cascade(id, now)?;
+        }
+        Ok(())
+    }
+
+    /// Feed a committed parent install to every direct child — ascending
+    /// slot order, depth-first recursion — installing each child's delta
+    /// with the *same consumed ids* so child epochs stay 1:1 aligned
+    /// with the parent's (empty deltas included). σ/Π children reuse a
+    /// sibling's evaluation when the operators are identical; Σ children
+    /// each fold the delta into their own [`AggregateState`] (group
+    /// accumulators must mutate exactly once, so aggregate work is never
+    /// shared).
+    fn cascade_children(
+        &mut self,
+        parent_slot: usize,
+        installed: &Installed,
+        now: Time,
+    ) -> Result<(), MvError> {
+        let children = match &self.slots[parent_slot] {
+            Some(rt) if !rt.children.is_empty() => rt.children.clone(),
+            _ => return Ok(()),
+        };
+        let mut memo: Vec<(DerivedOp, Bag)> = Vec::new();
+        for child_slot in children {
+            let (child_delta, linear_hit) = {
+                let rt = match self.slots[child_slot].as_mut() {
+                    Some(rt) => rt,
+                    None => continue, // child deregistered: nothing to feed
+                };
+                match &mut rt.kind {
+                    ViewKind::Derived {
+                        agg: Some(state), ..
+                    } => (
+                        state.apply(&DeltaRelation::from_bag(installed.delta.clone()))?,
+                        None,
+                    ),
+                    ViewKind::Derived { op, agg: None, .. } => {
+                        if let Some((_, shared)) = memo.iter().find(|(o, _)| o == op) {
+                            (shared.clone(), Some(true))
+                        } else {
+                            let fresh = op.eval(&installed.delta)?;
+                            memo.push((op.clone(), fresh.clone()));
+                            (fresh, Some(false))
+                        }
+                    }
+                    ViewKind::Base => unreachable!("base view listed as a derived child"),
+                }
+            };
+            match linear_hit {
+                Some(true) => self.stats.shared_derivations += 1,
+                Some(false) => self.stats.linear_evals += 1,
+                None => {}
+            }
+            self.stats.child_installs += 1;
+            let child_installed = self.slots[child_slot]
+                .as_mut()
+                .expect("checked live above")
+                .apply_delta(&child_delta, &installed.consumed, now)?;
+            if let Some(inst) = child_installed {
+                self.cascade_children(child_slot, &inst, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Cascade counters accumulated so far.
+    pub fn cascade_stats(&self) -> CascadeStats {
+        self.stats
+    }
+
+    /// Is the view derived (cascade-fed) rather than swept?
+    pub fn is_derived(&self, id: ViewId) -> Result<bool, MvError> {
+        Ok(matches!(self.runtime(id)?.kind, ViewKind::Derived { .. }))
+    }
+
+    /// The view's parent in the maintenance DAG (`None` for base views).
+    pub fn parent_of(&self, id: ViewId) -> Result<Option<ViewId>, MvError> {
+        Ok(match self.runtime(id)?.kind {
+            ViewKind::Derived { parent, .. } => Some(ViewId(parent)),
+            ViewKind::Base => None,
+        })
+    }
+
+    /// Live direct children, ascending slot order (the cascade order).
+    pub fn children_of(&self, id: ViewId) -> Result<Vec<ViewId>, MvError> {
+        Ok(self
+            .runtime(id)?
+            .children
+            .iter()
+            .filter(|&&c| self.slots[c].is_some())
+            .map(|&c| ViewId(c))
+            .collect())
+    }
+
+    /// The derived operator (`None` for base views).
+    pub fn derived_op(&self, id: ViewId) -> Result<Option<&DerivedOp>, MvError> {
+        Ok(match &self.runtime(id)?.kind {
+            ViewKind::Derived { op, .. } => Some(op),
+            ViewKind::Base => None,
+        })
+    }
+
+    /// Width of the view's output rows.
+    pub fn out_width(&self, id: ViewId) -> Result<usize, MvError> {
+        Ok(self.runtime(id)?.out_width)
     }
 
     /// Deep copy of every slot — the registry half of a durable
@@ -482,5 +916,192 @@ mod tests {
         let mut reg = ViewRegistry::new(base3()).unwrap();
         let bad = Bag::from_pairs([(tup![1, 2, 2, 3, 3, 4], -1)]);
         assert!(reg.register(&ViewSpec::full("neg", 3), bad).is_err());
+    }
+
+    use dw_relational::{AggFn, AggregateSpec, CmpOp, Value};
+
+    fn seeded_base(reg: &mut ViewRegistry) -> ViewId {
+        let initial = Bag::from_tuples([tup![1, 2, 2, 3, 3, 4], tup![5, 6, 6, 7, 7, 8]]);
+        reg.register(&ViewSpec::full("base", 3), initial).unwrap()
+    }
+
+    fn hot_spec() -> DerivedSpec {
+        DerivedSpec {
+            name: "hot".into(),
+            parent: "base".into(),
+            op: DerivedOp::Select {
+                selects: vec![(0, CmpOp::Ge, Value::Int(3))],
+                projection: Some(vec![0, 5]),
+            },
+        }
+    }
+
+    fn counts_spec() -> DerivedSpec {
+        DerivedSpec {
+            name: "counts".into(),
+            parent: "base".into(),
+            op: DerivedOp::Aggregate(AggregateSpec {
+                group_by: vec![0],
+                aggs: vec![AggFn::CountRows],
+            }),
+        }
+    }
+
+    #[test]
+    fn derived_initial_contents_evaluate_over_parent() {
+        let mut reg = ViewRegistry::new(base3()).unwrap();
+        seeded_base(&mut reg);
+        let ids = reg
+            .register_derived_many(&[hot_spec(), counts_spec()])
+            .unwrap();
+        assert_eq!(
+            reg.view_bag(ids[0]).unwrap(),
+            &Bag::from_tuples([tup![5, 8]])
+        );
+        assert_eq!(
+            reg.view_bag(ids[1]).unwrap(),
+            &Bag::from_tuples([tup![1, 1], tup![5, 1]])
+        );
+        assert!(reg.is_derived(ids[0]).unwrap());
+        assert_eq!(reg.parent_of(ids[0]).unwrap(), reg.resolve("base"));
+    }
+
+    #[test]
+    fn cascade_feeds_children_with_aligned_epochs() {
+        let mut reg = ViewRegistry::new(base3()).unwrap();
+        let base = seeded_base(&mut reg);
+        let ids = reg
+            .register_derived_many(&[hot_spec(), counts_spec()])
+            .unwrap();
+        let delta = Bag::from_pairs([(tup![5, 6, 6, 7, 7, 8], -1), (tup![9, 2, 2, 3, 3, 4], 1)]);
+        let upd = UpdateId { source: 0, seq: 0 };
+        reg.apply_with_cascade(base, &delta, &[(upd, 10)], 20)
+            .unwrap();
+        // σ/Π child: linear, so its contents are eval over the new parent bag.
+        assert_eq!(
+            reg.view_bag(ids[0]).unwrap(),
+            &Bag::from_tuples([tup![9, 4]])
+        );
+        // Σ child: group 5 retracted to zero rows, group 9 appears.
+        assert_eq!(
+            reg.view_bag(ids[1]).unwrap(),
+            &Bag::from_tuples([tup![1, 1], tup![9, 1]])
+        );
+        // Epochs stay 1:1 aligned, children consume the same update ids.
+        for &id in std::iter::once(&base).chain(ids.iter()) {
+            let log = reg.install_log(id).unwrap();
+            assert_eq!(log.len(), 1, "{}", reg.name(id).unwrap());
+            assert_eq!(log[0].consumed, vec![upd]);
+        }
+        assert_eq!(reg.cascade_stats().child_installs, 2);
+    }
+
+    #[test]
+    fn identical_sibling_selects_share_one_evaluation() {
+        let mut reg = ViewRegistry::new(base3()).unwrap();
+        let base = seeded_base(&mut reg);
+        let twin = DerivedSpec {
+            name: "hot2".into(),
+            ..hot_spec()
+        };
+        reg.register_derived_many(&[hot_spec(), twin]).unwrap();
+        let delta = Bag::from_tuples([tup![7, 2, 2, 3, 3, 4]]);
+        reg.apply_with_cascade(base, &delta, &[(UpdateId { source: 0, seq: 0 }, 5)], 9)
+            .unwrap();
+        let stats = reg.cascade_stats();
+        assert_eq!(stats.linear_evals, 1, "first sibling evaluates");
+        assert_eq!(stats.shared_derivations, 1, "second reuses the memo");
+        assert_eq!(
+            reg.view_bag(reg.resolve("hot").unwrap()).unwrap(),
+            reg.view_bag(reg.resolve("hot2").unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn stacked_derivation_cascades_transitively() {
+        let mut reg = ViewRegistry::new(base3()).unwrap();
+        let base = seeded_base(&mut reg);
+        // counts over base, then a σ over counts (a view over a view).
+        let over_counts = DerivedSpec {
+            name: "busy".into(),
+            parent: "counts".into(),
+            op: DerivedOp::Select {
+                selects: vec![(1, CmpOp::Ge, Value::Int(2))],
+                projection: None,
+            },
+        };
+        // Given out of order: the batch registration topo-sorts.
+        let ids = reg
+            .register_derived_many(&[over_counts, counts_spec()])
+            .unwrap();
+        let delta = Bag::from_tuples([tup![1, 6, 6, 7, 7, 8]]);
+        reg.apply_with_cascade(base, &delta, &[(UpdateId { source: 1, seq: 0 }, 3)], 7)
+            .unwrap();
+        // Group 1 now has 2 rows, so it crosses the σ threshold.
+        assert_eq!(
+            reg.view_bag(ids[0]).unwrap(),
+            &Bag::from_tuples([tup![1, 2]])
+        );
+        assert_eq!(reg.install_log(ids[0]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cycle_and_unknown_parent_rejected_deterministically() {
+        let mut reg = ViewRegistry::new(base3()).unwrap();
+        seeded_base(&mut reg);
+        let a = DerivedSpec {
+            name: "a".into(),
+            parent: "b".into(),
+            op: hot_spec().op,
+        };
+        let b = DerivedSpec {
+            name: "b".into(),
+            parent: "a".into(),
+            op: hot_spec().op,
+        };
+        assert_eq!(
+            reg.register_derived_many(&[a.clone(), b]),
+            Err(MvError::DependencyCycle { name: "a".into() })
+        );
+        assert_eq!(
+            reg.register_derived_many(&[a]),
+            Err(MvError::UnknownParent {
+                name: "a".into(),
+                parent: "b".into(),
+            })
+        );
+        assert!(matches!(
+            reg.register_derived(&DerivedSpec {
+                name: "self".into(),
+                parent: "self".into(),
+                op: hot_spec().op,
+            }),
+            Err(MvError::UnknownParent { .. })
+        ));
+    }
+
+    #[test]
+    fn deregister_refuses_while_children_live() {
+        let mut reg = ViewRegistry::new(base3()).unwrap();
+        let base = seeded_base(&mut reg);
+        let hot = reg.register_derived(&hot_spec()).unwrap();
+        assert!(matches!(
+            reg.deregister(base),
+            Err(MvError::HasChildren { .. })
+        ));
+        reg.deregister(hot).unwrap();
+        reg.deregister(base).unwrap();
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn affected_by_excludes_derived_views() {
+        let mut reg = ViewRegistry::new(base3()).unwrap();
+        let base = seeded_base(&mut reg);
+        let hot = reg.register_derived(&hot_spec()).unwrap();
+        for j in 0..3 {
+            assert_eq!(reg.affected_by(j), vec![base], "source {j}");
+            assert_eq!(reg.affected_with_descendants(j), vec![base, hot]);
+        }
     }
 }

@@ -71,7 +71,7 @@ use dw_protocol::{Message, SourceUpdate, UpdateId};
 use dw_relational::{Bag, JoinSide, PartialDelta, Predicate, RelationalError, ViewDef};
 use dw_simnet::{Delivery, NetHandle, Time};
 use dw_warehouse::PolicyMetrics;
-use dw_workload::ViewSpec;
+use dw_workload::{DerivedSpec, ViewSpec};
 use std::collections::VecDeque;
 
 /// The scheduler's trace vocabulary in shared mode.
@@ -318,6 +318,28 @@ impl MaintenanceScheduler {
         Ok(id)
     }
 
+    /// Register a derived view over an already-registered parent. The
+    /// initial contents are evaluated from the parent's current bag, so
+    /// (like [`MaintenanceScheduler::register`]) call at a quiescent
+    /// point. Derived views are maintained by the install cascade — they
+    /// never join sweeps and never cost source messages.
+    pub fn register_derived(&mut self, spec: &DerivedSpec) -> Result<ViewId, MvError> {
+        let id = self.registry.register_derived(spec)?;
+        self.registry.runtime_mut(id)?.record_snapshots = self.record_snapshots;
+        Ok(id)
+    }
+
+    /// Register a batch of derived specs in dependency order (the
+    /// registry topologically sorts and rejects cycles and unknown
+    /// parents deterministically).
+    pub fn register_derived_many(&mut self, specs: &[DerivedSpec]) -> Result<Vec<ViewId>, MvError> {
+        let ids = self.registry.register_derived_many(specs)?;
+        for &id in &ids {
+            self.registry.runtime_mut(id)?.record_snapshots = self.record_snapshots;
+        }
+        Ok(ids)
+    }
+
     /// Deregister a view. Fails with [`MvError::ViewBusy`] while a sweep
     /// feeding the view is in flight or queued — drain first.
     pub fn deregister(&mut self, id: ViewId) -> Result<(), MvError> {
@@ -483,12 +505,13 @@ impl MaintenanceScheduler {
                     self.core.restore_next_qid(qid + 1);
                 }
                 MvWalRecord::TaskCommit { at, applies } => {
+                    // Derived children are deliberately absent from the
+                    // record: the cascade recomputes them deterministically
+                    // from the checkpointed state, so replay re-derives
+                    // exactly the installs the dead incarnation made.
                     for a in applies {
-                        self.registry.runtime_mut(a.view)?.apply_delta(
-                            &a.delta,
-                            &a.consumed,
-                            *at,
-                        )?;
+                        self.registry
+                            .apply_with_cascade(a.view, &a.delta, &a.consumed, *at)?;
                     }
                     if let Some(a) = applies.first() {
                         self.core.record_batch(a.consumed.len());
@@ -496,7 +519,7 @@ impl MaintenanceScheduler {
                     self.pending_tasks.pop_front();
                 }
                 MvWalRecord::Flush { view, at } => {
-                    self.registry.runtime_mut(*view)?.flush(*at)?;
+                    self.registry.flush_with_cascade(*view, *at)?;
                 }
             }
         }
@@ -584,9 +607,7 @@ impl MaintenanceScheduler {
                         }
                     }
                 }
-                for rt in self.registry.runtimes_mut() {
-                    rt.flush(now)?;
-                }
+                self.registry.flush_all_with_cascade(now)?;
                 return Ok(());
             };
             let j = update.id.source;
@@ -849,8 +870,7 @@ impl MaintenanceScheduler {
         }
         for (v, delta) in &applies {
             self.registry
-                .runtime_mut(*v)?
-                .apply_delta(delta, &task.consumed, now)?;
+                .apply_with_cascade(*v, delta, &task.consumed, now)?;
         }
         self.core.record_batch(task.consumed.len());
         self.core.end_sweep(net.now());
@@ -940,7 +960,11 @@ impl SweepPolicy for MaintenanceScheduler {
                 at,
             });
         }
-        for id in self.registry.affected_by(u.id.source) {
+        // Delivery footprint includes derived descendants: a source
+        // update logically reaches them (the serve layer's staleness
+        // ledger needs their delivery entries), even though only base
+        // views join the sweep.
+        for id in self.registry.affected_with_descendants(u.id.source) {
             self.registry.runtime_mut(id)?.metrics.updates_received += 1;
             if let Some(p) = self.registry.install_publisher() {
                 p.lock()

@@ -61,7 +61,7 @@ use dw_protocol::{Message, SourceUpdate, UpdateId};
 use dw_relational::{Bag, DeltaClass, JoinSide, PartialDelta, ShardMap, ShardScope, ViewDef};
 use dw_simnet::{Delivery, NetHandle, Time};
 use dw_warehouse::PolicyMetrics;
-use dw_workload::ViewSpec;
+use dw_workload::{DerivedSpec, ViewSpec};
 use std::collections::{HashMap, HashSet};
 
 /// The sharded scheduler's trace vocabulary.
@@ -252,6 +252,24 @@ impl ShardedScheduler {
         let id = self.registry.register(spec, initial)?;
         self.registry.runtime_mut(id)?.record_snapshots = self.record_snapshots;
         Ok(id)
+    }
+
+    /// Register a derived view (same contract as the unsharded
+    /// scheduler's `register_derived`): children are fed by the install
+    /// cascade when the sequencer releases their parent's install.
+    pub fn register_derived(&mut self, spec: &DerivedSpec) -> Result<ViewId, MvError> {
+        let id = self.registry.register_derived(spec)?;
+        self.registry.runtime_mut(id)?.record_snapshots = self.record_snapshots;
+        Ok(id)
+    }
+
+    /// Register a batch of derived specs in dependency order.
+    pub fn register_derived_many(&mut self, specs: &[DerivedSpec]) -> Result<Vec<ViewId>, MvError> {
+        let ids = self.registry.register_derived_many(specs)?;
+        for &id in &ids {
+            self.registry.runtime_mut(id)?.record_snapshots = self.record_snapshots;
+        }
+        Ok(ids)
     }
 
     /// Deregister a view. Refused until fully drained — with concurrent
@@ -740,15 +758,16 @@ impl ShardedScheduler {
                     .into_iter()
                     .find(|v| v.index() == index)
                     .ok_or(MvError::UnknownView { index })?;
+                // Cascade inside the sequenced release: derived children
+                // install immediately after their parent, still inside
+                // this ticket's slot, so the global install order is
+                // parent-then-children per released ticket.
                 self.registry
-                    .runtime_mut(id)?
-                    .apply_delta(&delta, &consumed, now)?;
+                    .apply_with_cascade(id, &delta, &consumed, now)?;
             }
         }
         if self.is_quiescent() {
-            for rt in self.registry.runtimes_mut() {
-                rt.flush(now)?;
-            }
+            self.registry.flush_all_with_cascade(now)?;
         }
         Ok(())
     }
@@ -770,7 +789,7 @@ impl SweepPolicy for ShardedScheduler {
         // scheduling decision, claimed at launch, released in order.
         let ticket = self.sequencer.issue();
         self.tickets.insert(u.id, ticket);
-        for id in self.registry.affected_by(u.id.source) {
+        for id in self.registry.affected_with_descendants(u.id.source) {
             self.registry.runtime_mut(id)?.metrics.updates_received += 1;
             if let Some(p) = self.registry.install_publisher() {
                 p.lock()

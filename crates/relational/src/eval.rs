@@ -99,6 +99,22 @@ impl PartialDelta {
         let filtered = self.bag.filter(|t| residual.eval(t));
         Ok(filtered.map_tuples(|t| t.project(view.projection())))
     }
+
+    /// The per-hop on-line correction: subtract an error term computed
+    /// from a concurrent source update, `ΔV ← ΔV − err` (Figure 4's
+    /// `ΔV − ΔR_j ⋈ TempView`). Both sides are signed deltas over the
+    /// same range, so the subtraction is one composition in the delta
+    /// calculus — there is no insert/delete case split.
+    pub fn compensate(&mut self, err: &PartialDelta) {
+        debug_assert_eq!(
+            (self.lo, self.hi),
+            (err.lo, err.hi),
+            "compensation term must cover the partial's range"
+        );
+        let mut delta = crate::delta::DeltaRelation::from_bag(std::mem::take(&mut self.bag));
+        delta.compensate(&crate::delta::DeltaRelation::from_bag(err.bag.clone()));
+        self.bag = delta.into_bag();
+    }
 }
 
 fn check_rel_index(view: &ViewDef, i: usize) -> Result<(), RelationalError> {

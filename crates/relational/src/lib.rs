@@ -27,7 +27,9 @@
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod bag;
+pub mod delta;
 pub mod error;
 pub mod eval;
 pub mod index;
@@ -41,7 +43,9 @@ pub mod tuple;
 pub mod value;
 pub mod view;
 
+pub use aggregate::{AggFn, AggregateSpec, AggregateState};
 pub use bag::Bag;
+pub use delta::DeltaRelation;
 pub use error::RelationalError;
 pub use eval::{eval_view, extend_partial, extend_partial_observed, JoinSide, PartialDelta};
 pub use index::{extend_partial_indexed, JoinIndex};

@@ -105,18 +105,12 @@ impl BaseRelation {
     /// assumption of the paper's §2, including multi-tuple *source local
     /// transactions*.
     pub fn apply_delta(&mut self, delta: &Bag) -> Result<(), RelationalError> {
-        // Validate first (atomicity), then commit.
-        for (t, c) in delta.iter() {
+        // Arity first, then the checked signed application (atomic: the
+        // delta calculus validates every count before mutating).
+        for (t, _) in delta.iter() {
             self.check_arity(t, "apply_delta")?;
-            let next = self.bag.count(t) + c;
-            if next < 0 {
-                return Err(RelationalError::NegativeMultiplicity {
-                    tuple: format!("{t}"),
-                    resulting: next,
-                });
-            }
         }
-        self.bag.merge(delta);
+        crate::delta::DeltaRelation::from_bag(delta.clone()).apply_to(&mut self.bag)?;
         debug_assert!(self.bag.all_positive());
         Ok(())
     }

@@ -89,6 +89,15 @@ pub struct SnapshotStore {
     views: Vec<ViewState>,
     hub: SubscriptionHub,
     stats: ServeStats,
+    /// Every accepted install as `(view slot, epoch)`, in publication
+    /// order — the documented global ticket order. Under the flat engine
+    /// that is apply order; under the sharded engine it is
+    /// [`dw_engine::InstallSequencer`] ticket order. A cascaded derived
+    /// child's install is published immediately after its parent's,
+    /// children in ascending slot order, depth-first — so a base install
+    /// and its derived descendants always form one contiguous block.
+    /// Replays (crash recovery) are ignored and never re-enter the log.
+    publication_log: Vec<(usize, u64)>,
 }
 
 impl SnapshotStore {
@@ -232,6 +241,11 @@ impl SnapshotStore {
     pub(crate) fn retained_epochs(&self, view: usize) -> Result<Vec<u64>, ServeError> {
         Ok(self.view(view)?.epochs.keys().copied().collect())
     }
+
+    /// The global publication ledger (see the field docs).
+    pub(crate) fn publication_log(&self) -> &[(usize, u64)] {
+        &self.publication_log
+    }
 }
 
 impl InstallPublisher for SnapshotStore {
@@ -287,6 +301,7 @@ impl InstallPublisher for SnapshotStore {
             },
         );
         v.latest = epoch;
+        self.publication_log.push((event.view_index, epoch));
         self.stats.snapshots_published += 1;
         self.gc(event.view_index);
         self.stats.sub_events += self.hub.publish(&InstallDelta {

@@ -38,8 +38,12 @@ pub struct AggregateViewDef {
     pub aggregates: Vec<AggFn>,
 }
 
+/// Per-group COUNT/SUM accumulators for the ΔV-stream fold. Distinct
+/// from `dw_relational`'s Σ-operator group internals (which stay private
+/// to that crate, enforced by the CI boundary guard): this one carries
+/// float sums and derives AVG, and only ever sees installed view deltas.
 #[derive(Clone, Debug, Default, PartialEq)]
-struct GroupState {
+struct GroupAccumulator {
     count: i64,
     /// One accumulator per `Sum`/`Avg` column (deduplicated by position).
     sums: Vec<f64>,
@@ -51,7 +55,7 @@ pub struct AggregateView {
     def: AggregateViewDef,
     /// Distinct summed columns, in first-mention order.
     sum_cols: Vec<usize>,
-    groups: HashMap<Vec<Value>, GroupState>,
+    groups: HashMap<Vec<Value>, GroupAccumulator>,
 }
 
 impl AggregateView {
@@ -111,7 +115,7 @@ impl AggregateView {
             let entry = self
                 .groups
                 .entry(key.clone())
-                .or_insert_with(|| GroupState {
+                .or_insert_with(|| GroupAccumulator {
                     count: 0,
                     sums: vec![0.0; self.sum_cols.len()],
                 });

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod derived;
 pub mod faults;
 pub mod multiview;
 pub mod scenario;
@@ -20,6 +21,7 @@ pub mod sharded;
 pub mod skew;
 pub mod stream;
 
+pub use derived::{DerivedOp, DerivedSpec};
 pub use faults::FaultScenarioConfig;
 pub use multiview::{MultiViewConfig, MultiViewScenario, ViewPolicy, ViewSpec};
 pub use scenario::{GeneratedScenario, ScheduledTxn};

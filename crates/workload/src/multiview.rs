@@ -10,9 +10,12 @@
 //! stream, then seeds a random (but always valid) set of view specs on
 //! top.
 
+use crate::derived::{DerivedOp, DerivedSpec};
 use crate::scenario::ScheduledTxn;
 use crate::stream::StreamConfig;
-use dw_relational::{Bag, CmpOp, KeySpec, RelationalError, Value, ViewDef, ViewDefBuilder};
+use dw_relational::{
+    AggFn, AggregateSpec, Bag, CmpOp, KeySpec, RelationalError, Value, ViewDef, ViewDefBuilder,
+};
 use dw_rng::Rng64;
 
 /// How a registered view wants its maintenance installed.
@@ -152,6 +155,10 @@ pub struct MultiViewScenario {
     pub txns: Vec<ScheduledTxn>,
     /// Registered views.
     pub views: Vec<ViewSpec>,
+    /// Derived views stacked on top (registered after `views`, in order —
+    /// each parent precedes its children, so registration order is a
+    /// valid topological order).
+    pub derived: Vec<DerivedSpec>,
 }
 
 impl MultiViewScenario {
@@ -173,6 +180,11 @@ pub struct MultiViewConfig {
     /// When true every view spans the full chain (the E14 message-cost
     /// setup); otherwise spans are random contiguous sub-chains.
     pub full_span: bool,
+    /// How many derived (view-over-view) specs to stack on top of the
+    /// base views. Zero keeps the flat PR 3 scenario shape.
+    pub n_derived: usize,
+    /// Seed for the derived-view draw (independent of `view_seed`).
+    pub derived_seed: u64,
 }
 
 impl Default for MultiViewConfig {
@@ -182,6 +194,8 @@ impl Default for MultiViewConfig {
             n_views: 3,
             view_seed: 7,
             full_span: false,
+            n_derived: 0,
+            derived_seed: 7,
         }
     }
 }
@@ -210,9 +224,32 @@ impl MultiViewConfig {
         let base = b.build()?;
 
         let mut r = Rng64::new(self.view_seed ^ 0x5EED_B00C);
-        let views = (0..self.n_views)
+        let views: Vec<ViewSpec> = (0..self.n_views)
             .map(|v| self.arb_view(&mut r, &base, v))
             .collect();
+
+        // Candidate parents for derived views: every base view's output
+        // width, then each derived view as it is drawn (stacks compose).
+        let mut parents: Vec<(String, usize)> = Vec::new();
+        for spec in &views {
+            let width = spec.compile(&base)?.projection().len();
+            parents.push((spec.name.clone(), width));
+        }
+        let mut rd = Rng64::new(self.derived_seed ^ 0x0DA6_0DA6);
+        let mut derived = Vec::new();
+        for d in 0..self.n_derived {
+            if parents.is_empty() {
+                break;
+            }
+            let spec = self.arb_derived(&mut rd, &parents, d);
+            let parent_width = parents
+                .iter()
+                .find(|(n, _)| *n == spec.parent)
+                .map(|(_, w)| *w)
+                .expect("parent drawn from the candidate list");
+            parents.push((spec.name.clone(), spec.op.output_width(parent_width)));
+            derived.push(spec);
+        }
 
         Ok(MultiViewScenario {
             base,
@@ -220,7 +257,52 @@ impl MultiViewConfig {
             initial: single.initial,
             txns: single.txns,
             views,
+            derived,
         })
+    }
+
+    /// Draw one derived spec over a random already-known parent: half σ/Π
+    /// (linear — the child's delta is the operator on the parent's
+    /// delta), half Σ/group-by (stateful — COUNT plus one of
+    /// SUM/MIN/MAX over a random column).
+    fn arb_derived(&self, r: &mut Rng64, parents: &[(String, usize)], d: usize) -> DerivedSpec {
+        let (parent, width) = parents[r.usize_below(parents.len())].clone();
+        let op = if r.usize_below(2) == 0 {
+            let mut selects = Vec::new();
+            if r.usize_below(2) == 0 {
+                let col = r.usize_below(width);
+                let threshold = r.i64_in(0, (self.stream.domain / 3).max(1) as i64);
+                selects.push((col, CmpOp::Ge, Value::Int(threshold)));
+            }
+            let projection = if r.usize_below(2) == 0 {
+                None
+            } else {
+                let mut cols: Vec<usize> = (0..width).filter(|_| r.usize_below(2) == 0).collect();
+                if cols.is_empty() {
+                    cols.push(0);
+                }
+                Some(cols)
+            };
+            DerivedOp::Select {
+                selects,
+                projection,
+            }
+        } else {
+            let group_by = vec![r.usize_below(width)];
+            let mut aggs = vec![AggFn::CountRows];
+            let col = r.usize_below(width);
+            match r.usize_below(3) {
+                0 => aggs.push(AggFn::Sum(col)),
+                1 => aggs.push(AggFn::Min(col)),
+                _ => aggs.push(AggFn::Max(col)),
+            }
+            DerivedOp::Aggregate(AggregateSpec { group_by, aggs })
+        };
+        DerivedSpec {
+            name: format!("D{d}"),
+            parent,
+            op,
+        }
     }
 
     fn arb_view(&self, r: &mut Rng64, base: &ViewDef, v: usize) -> ViewSpec {

@@ -189,6 +189,7 @@ impl ShardedConfig {
                 initial,
                 txns,
                 views,
+                derived: Vec::new(),
             },
             map,
         })

@@ -24,6 +24,8 @@ fn main() {
         n_views: 3,
         view_seed: 42,
         full_span: true,
+        n_derived: 0,
+        derived_seed: 0,
     }
     .generate()
     .unwrap();

@@ -48,7 +48,7 @@
 //! | [`engine`] | `dw-engine` | the one transport-blind sweep loop every executor adapts |
 //! | [`consistency`] | `dw-consistency` | ground truth + classification |
 //! | [`workload`] | `dw-workload` | scenario/stream generators |
-//! | [`multiview`] | `dw-multiview` | view registry + shared-sweep scheduler |
+//! | [`multiview`] | `dw-multiview` | view registry + shared-sweep scheduler + derived-view DAG cascade |
 //! | [`serve`] | `dw-serve` | snapshot-pinned read path + subscriptions |
 //! | [`livenet`] | `dw-livenet` | thread-per-node live runtime |
 //! | [`core`] | `dw-core` | experiments and reports |
@@ -76,18 +76,19 @@ pub mod prelude {
         Recorder, ViewLog,
     };
     pub use dw_core::{
-        audit_reads, oracle_expects_rejection, oracle_view_at_epoch, CoreError, Experiment,
-        MultiViewExperiment, MultiViewReport, OracleAudit, PolicyKind, ReadOutcome, ReadResult,
-        RunReport, ServeExperiment, ServeReport, ShardedExperiment, ShardedReport,
+        audit_reads, oracle_expects_rejection, oracle_view_at_epoch, CoreError, DerivedOutcome,
+        Experiment, MultiViewExperiment, MultiViewReport, OracleAudit, PolicyKind, ReadOutcome,
+        ReadResult, RunReport, ServeExperiment, ServeReport, ShardedExperiment, ShardedReport,
         SubscriptionOutcome, ViewOutcome,
     };
     pub use dw_multiview::{
-        MaintenanceScheduler, SchedulerMode, ShardStats, ShardedScheduler, ViewId, ViewRegistry,
+        CascadeStats, MaintenanceScheduler, SchedulerMode, ShardStats, ShardedScheduler, ViewId,
+        ViewRegistry,
     };
     pub use dw_protocol::TransportConfig;
     pub use dw_relational::{
-        tup, Bag, BaseRelation, CmpOp, KeySpec, Schema, ShardMap, Tuple, Value, ViewDef,
-        ViewDefBuilder,
+        tup, AggFn, AggregateSpec, AggregateState, Bag, BaseRelation, CmpOp, DeltaRelation,
+        KeySpec, Schema, ShardMap, Tuple, Value, ViewDef, ViewDefBuilder,
     };
     pub use dw_serve::{
         InstallDelta, PinnedEpoch, PointAnswer, ReadFrontend, ScanAnswer, ServeError, ServeStats,
@@ -98,8 +99,8 @@ pub mod prelude {
         MaintenancePolicy, NestedSweep, NestedSweepOptions, Sweep, SweepOptions,
     };
     pub use dw_workload::{
-        FaultScenarioConfig, GapKind, GeneratedScenario, MultiViewConfig, MultiViewScenario,
-        ReadKind, ReadMixConfig, ReadOp, ScheduledTxn, ShardedConfig, ShardedScenario, SourcePick,
-        StreamConfig, ViewPolicy, ViewSpec,
+        DerivedOp, DerivedSpec, FaultScenarioConfig, GapKind, GeneratedScenario, MultiViewConfig,
+        MultiViewScenario, ReadKind, ReadMixConfig, ReadOp, ScheduledTxn, ShardedConfig,
+        ShardedScenario, SourcePick, StreamConfig, ViewPolicy, ViewSpec,
     };
 }

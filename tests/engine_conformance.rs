@@ -134,6 +134,8 @@ fn pushdown_conforms_to_unpushed_engine() {
             n_views: 1 + (k % 3) as usize,
             view_seed: k * 31 + 7,
             full_span: false,
+            n_derived: 0,
+            derived_seed: 0,
         };
         let scenario = mv.generate().unwrap();
         let mode = if k % 2 == 0 {

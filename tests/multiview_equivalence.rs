@@ -44,6 +44,8 @@ fn arb_multiview(r: &mut Rng64) -> MultiViewConfig {
         // Mix: 1/3 of cases use the E14 full-span setup, the rest draw
         // random contiguous sub-chains.
         full_span: r.usize_below(3) == 0,
+        n_derived: 0,
+        derived_seed: 0,
     }
 }
 

@@ -330,6 +330,8 @@ fn multiview_shared_sweep_converges_on_fault_schedules() {
             n_views: 1 + r.usize_below(3),
             view_seed: r.next_u64(),
             full_span: false,
+            n_derived: 0,
+            derived_seed: 0,
         };
         let report = MultiViewExperiment::new(mv.generate().unwrap())
             .latency(LatencyModel::Constant(r.u64_in(500, 3_000)))
@@ -373,6 +375,8 @@ fn multiview_batched_sweep_converges_on_fault_schedules() {
             n_views: 1 + r.usize_below(3),
             view_seed: r.next_u64(),
             full_span: false,
+            n_derived: 0,
+            derived_seed: 0,
         };
         let report = MultiViewExperiment::new(mv.generate().unwrap())
             .batch(4)
@@ -416,6 +420,8 @@ fn multiview_pushdown_equivalent_on_fault_schedules() {
             n_views: 1 + r.usize_below(3),
             view_seed: r.next_u64(),
             full_span: false,
+            n_derived: 0,
+            derived_seed: 0,
         };
         let scenario = mv.generate().unwrap();
         let latency = LatencyModel::Constant(r.u64_in(500, 3_000));

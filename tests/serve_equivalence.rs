@@ -49,6 +49,8 @@ fn dense_scenario(k: u64) -> MultiViewScenario {
         n_views: 1 + (k % 3) as usize,
         view_seed: k * 41 + 13,
         full_span: false,
+        n_derived: 0,
+        derived_seed: 0,
     }
     .generate()
     .unwrap()
@@ -73,6 +75,8 @@ fn sparse_scenario(k: u64) -> MultiViewScenario {
         n_views: 1 + (k % 3) as usize,
         view_seed: k * 37 + 11,
         full_span: false,
+        n_derived: 0,
+        derived_seed: 0,
     }
     .generate()
     .unwrap()
