@@ -146,6 +146,13 @@ stage_engine_boundary() {
     echo "FAIL: aggregate group accumulators are dw-relational internals — fold deltas through AggregateState, never GroupState" >&2
     ok=1
   fi
+  hits=$(grep -rn "bag)\.clone()\|\.bag\.clone()" crates/serve/src 2>/dev/null |
+    grep -v "freeze-step" || true)
+  if [[ -n "$hits" ]]; then
+    echo "$hits"
+    echo "FAIL: dw-serve never deep-copies a bag outside the publish freeze step — reads ride the Arc (mark a legitimate freeze copy with // freeze-step)" >&2
+    ok=1
+  fi
   return $ok
 }
 

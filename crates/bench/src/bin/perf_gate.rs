@@ -1,6 +1,6 @@
 //! **The CI perf-regression gate.** Re-runs the
-//! E1/E6/E12/E14/E15/E16/E17/E18/E19 scenarios in the same mode as the
-//! committed `BENCH_report.json` and
+//! E1/E6/E12/E14/E15/E16/E17/E18/E19/E20/E21 scenarios in the same mode
+//! as the committed `BENCH_report.json` and
 //! diffs fresh against baseline (see `dw_bench::perf::gate` for the
 //! exact rules):
 //!
@@ -16,7 +16,10 @@
 //!   snapshot-pinned reads with a maintenance makespan and message bill
 //!   identical to the no-reader referee, fresh-recompute answer
 //!   fidelity, and staleness rejections equal to the delivery-ledger
-//!   oracle's;
+//!   oracle's, E21 accelerated point reads byte-identical to the
+//!   linear-scan arm at ≥ 5× less deterministic work on the skewed mix,
+//!   exactly one serve-side bag copy per install, and every lagged
+//!   subscriber recovering a stream-equivalent history;
 //! * no consistency downgrades against the baseline;
 //! * no >25 % regressions on tracked ratios (messages/update, installs,
 //!   staleness p95, wire inflation).
@@ -40,7 +43,7 @@ fn main() {
 
     let smoke = baseline.mode == "smoke";
     println!(
-        "perf gate: re-running E1/E6/E12/E14/E15/E16/E17/E18/E19 in {} mode against {path}",
+        "perf gate: re-running E1/E6/E12/E14/E15/E16/E17/E18/E19/E20/E21 in {} mode against {path}",
         baseline.mode
     );
     let fresh = perf::collect(smoke);

@@ -2,7 +2,8 @@
 //! (E1 Table 1, E6 message linearity, E12 faults + transport, E14
 //! multi-view sharing, E15 cross-update batching, E16 σ pushdown, E17
 //! crash recovery, E18 sharded scaling, E19 serving layer, E20
-//! maintenance DAG) and write a machine-readable `BENCH_report.json`.
+//! maintenance DAG, E21 serve at scale) and write a machine-readable
+//! `BENCH_report.json`.
 //! The committed copy is the baseline `perf_gate` diffs against in CI.
 //!
 //! Usage: `perf_report [--smoke] [PATH]`
@@ -33,7 +34,7 @@ fn main() {
         .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
 
     println!(
-        "wrote {path} (mode = {}, {} E1 rows, {} E6 rows, {} E12 rows, {} E14 rows, {} E15 rows, {} E16 rows, {} E17 rows, {} E18 rows, {} E19 rows, {} E20 rows)",
+        "wrote {path} (mode = {}, {} E1 rows, {} E6 rows, {} E12 rows, {} E14 rows, {} E15 rows, {} E16 rows, {} E17 rows, {} E18 rows, {} E19 rows, {} E20 rows, {} E21 rows)",
         report.mode,
         report.e1.len(),
         report.e6.len(),
@@ -44,12 +45,13 @@ fn main() {
         report.e17.len(),
         report.e18.len(),
         report.e19.len(),
-        report.e20.len()
+        report.e20.len(),
+        report.e21.len()
     );
     for (phase, ms) in &report.phase_wall_ms {
         println!("  {phase}: {ms:.0} ms wall-clock");
     }
     println!(
-        "invariants verified: E6 exactly 2(n\u{2212}1); E12 complete & drained at every loss rate; E14 shared sweep view-count independent; E15 batching on the 1 + \u{2308}(U\u{2212}1)/k\u{2309} sweep schedule; E16 \u{3c3} pushdown never inflates the answers; E17 crash recovery converges with a bounded staleness spike; E18 sharded sweeps scale \u{2265} 0.7\u{b7}S in the unsharded install order; E19 snapshot-pinned reads answer at fresh-recompute fidelity with zero install interference and oracle-exact staleness rejections; E20 derived stacks add exactly zero source messages at fresh-recompute fidelity"
+        "invariants verified: E6 exactly 2(n\u{2212}1); E12 complete & drained at every loss rate; E14 shared sweep view-count independent; E15 batching on the 1 + \u{2308}(U\u{2212}1)/k\u{2309} sweep schedule; E16 \u{3c3} pushdown never inflates the answers; E17 crash recovery converges with a bounded staleness spike; E18 sharded sweeps scale \u{2265} 0.7\u{b7}S in the unsharded install order; E19 snapshot-pinned reads answer at fresh-recompute fidelity with zero install interference and oracle-exact staleness rejections; E20 derived stacks add exactly zero source messages at fresh-recompute fidelity; E21 indexed+cached point reads byte-identical to linear scans at \u{2265} 5\u{d7} less work with one bag copy per install and stream-equivalent lag recovery"
     );
 }

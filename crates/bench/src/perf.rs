@@ -62,8 +62,8 @@
 
 use crate::json::{self, Json};
 use dw_core::{
-    audit_reads, Experiment, MultiViewExperiment, PolicyKind, RunReport, ServeExperiment,
-    ShardedExperiment,
+    audit_lag_recoveries, audit_reads, Experiment, MultiViewExperiment, PolicyKind, RunReport,
+    ServeExperiment, ShardedExperiment,
 };
 use dw_multiview::SchedulerMode;
 use dw_relational::{AggFn, AggregateSpec, CmpOp, Value};
@@ -78,8 +78,9 @@ use std::time::Instant;
 /// v2 added the E14 multi-view block; v3 the E15 cross-update batching
 /// block; v4 the E16 σ-pushdown block; v5 the E17 crash-recovery block;
 /// v6 the E18 sharded-scaling block; v7 the E19 serving block; v8 the
-/// E20 maintenance-DAG block.
-pub const SCHEMA_VERSION: u64 = 8;
+/// E20 maintenance-DAG block; v9 the E21 serve-at-scale block (point
+/// indexes, answer cache, subscriber backpressure).
+pub const SCHEMA_VERSION: u64 = 9;
 
 /// Relative regression tolerance on tracked ratios (25 %).
 pub const RATIO_TOLERANCE: f64 = 0.25;
@@ -459,6 +460,86 @@ pub struct E20Row {
     pub quiescent: bool,
 }
 
+/// One key-distribution row of the E21 (serve at scale) phase.
+///
+/// Each row replays the *same* seeded maintenance load under a
+/// point-heavy read mix twice: a **linear-scan arm** (point index off,
+/// cache off — every point read walks the whole pinned bag) and an
+/// **accelerated arm** (per-epoch point indexes plus the read-through
+/// answer cache). Cost is a deterministic work proxy — tuples examined —
+/// never wall-clock: linear scans bill the bag's distinct size, index
+/// builds bill the bag walked once, incremental derives bill the
+/// delta-touched groups, group walks bill the group length, cache hits
+/// bill zero. The two arms must return byte-identical answers; the
+/// accelerated arm must clear `expected_min_speedup` on total work. A
+/// third **lag arm** runs bounded subscriptions with polls under the
+/// same load and proves every overflowed subscriber's
+/// deltas-plus-resume-snapshot history equivalent to the unbounded
+/// stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct E21Row {
+    /// Key-distribution label ("hot-key-skew", "uniform").
+    pub mix: String,
+    /// Number of data sources in the base chain.
+    pub n: u64,
+    /// Number of registered views.
+    pub views: u64,
+    /// Updates the warehouse processed.
+    pub updates: u64,
+    /// Point reads issued (both arms see the identical schedule).
+    pub point_reads: u64,
+    /// Total tuples examined by the linear-scan arm (reads + index
+    /// maintenance, the latter zero by construction).
+    pub linear_work_tuples: u64,
+    /// Total tuples examined by the accelerated arm (group walks, index
+    /// builds, incremental derives; cache hits are free).
+    pub accel_work_tuples: u64,
+    /// `linear_work_tuples / max(1, accel_work_tuples)` — the gated
+    /// point-read speedup.
+    pub speedup: f64,
+    /// The floor `speedup` must clear (5.0 on the skewed mix).
+    pub expected_min_speedup: f64,
+    /// Full index builds in the accelerated arm (first point read on a
+    /// `(view, epoch, column)`).
+    pub index_builds: u64,
+    /// Incremental index derivations at publish.
+    pub index_derives: u64,
+    /// Point reads answered through an already-present index.
+    pub index_hits: u64,
+    /// Answer-cache hits in the accelerated arm.
+    pub cache_hits: u64,
+    /// Answer-cache misses in the accelerated arm.
+    pub cache_misses: u64,
+    /// Answer-cache entries evicted at capacity.
+    pub cache_evictions: u64,
+    /// hits/(hits+misses) — the cache effectiveness ratio the gate
+    /// tracks against the baseline.
+    pub cache_hit_ratio: f64,
+    /// Serve-side bag deep copies in the accelerated arm. Must equal
+    /// `snapshots_published` exactly: one per install's freeze step,
+    /// zero per read — the zero-copy promise, enforced.
+    pub bags_deep_cloned: u64,
+    /// Epoch snapshots published by the install pipeline.
+    pub snapshots_published: u64,
+    /// Both arms returned byte-identical answers for every read.
+    pub answers_match: bool,
+    /// Virtual-time maintenance makespan under the accelerated arm (µs).
+    pub makespan_us: u64,
+    /// The no-reader referee's makespan (µs). Must equal `makespan_us`
+    /// exactly: acceleration changes read cost, never maintenance.
+    pub baseline_makespan_us: u64,
+    /// Bounded subscriptions that overflowed their `max_lag` bound in
+    /// the lag arm. Must be ≥ 1: the backpressure path was exercised.
+    pub lag_events: u64,
+    /// Snapshot resumes taken by lagged subscribers.
+    pub lag_resumes: u64,
+    /// Every lagged subscriber's delivered-deltas-plus-resume-snapshot
+    /// history reconstructed the unbounded stream exactly.
+    pub lag_stream_equivalent: bool,
+    /// All three arms drained to quiescence.
+    pub quiescent: bool,
+}
+
 /// The full report: one entry per phase plus host wall-clock timings.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PerfReport {
@@ -484,6 +565,8 @@ pub struct PerfReport {
     pub e19: Vec<E19Row>,
     /// E20 — maintenance-DAG rows.
     pub e20: Vec<E20Row>,
+    /// E21 — serve-at-scale rows.
+    pub e21: Vec<E21Row>,
     /// Host wall-clock per phase, milliseconds. Informational only.
     pub phase_wall_ms: Vec<(String, f64)>,
 }
@@ -544,6 +627,10 @@ pub fn collect(smoke: bool) -> PerfReport {
     let e20 = collect_e20(smoke);
     phase_wall_ms.push(("E20".to_string(), t0.elapsed().as_secs_f64() * 1e3));
 
+    let t0 = Instant::now();
+    let e21 = collect_e21(smoke);
+    phase_wall_ms.push(("E21".to_string(), t0.elapsed().as_secs_f64() * 1e3));
+
     PerfReport {
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         e1,
@@ -556,6 +643,7 @@ pub fn collect(smoke: bool) -> PerfReport {
         e18,
         e19,
         e20,
+        e21,
         phase_wall_ms,
     }
 }
@@ -1347,6 +1435,155 @@ pub fn dag_stack(label: &str) -> Vec<DerivedSpec> {
     }
 }
 
+/// E21 — serve at scale (`serve_scale` binary's scenario). The E19
+/// maintenance load replayed under a point-heavy read schedule, once
+/// with the serving accelerators off (linear-scan arm) and once with
+/// per-epoch point indexes plus the answer cache on (accelerated arm),
+/// per key distribution. The gated claims: byte-identical answers, a
+/// deterministic-work speedup of ≥ 5× on the skewed mix, exactly one
+/// serve-side bag deep copy per install (the zero-copy promise),
+/// maintenance makespan equal to the no-reader referee, and — in the
+/// bounded-subscription lag arm — every overflowed subscriber recovering
+/// a provably equivalent stream through its resume snapshot.
+fn collect_e21(smoke: bool) -> Vec<E21Row> {
+    let updates = crate::pick(smoke, 16, 48);
+    let scenario = serve_scenario(updates);
+    let n = scenario.base.num_relations();
+    let views = scenario.views.len();
+    let referee = ServeExperiment::new(scenario.clone()).run().unwrap();
+    let mixes: [(&str, f64, f64); 2] = [("hot-key-skew", 1.1, 5.0), ("uniform", 0.0, 1.0)];
+    mixes
+        .into_iter()
+        .map(|(mix, zipf_theta, expected_min_speedup)| {
+            let reads = scale_read_mix(smoke, views, zipf_theta);
+            let point_reads = reads
+                .iter()
+                .filter(|r| matches!(r.kind, dw_workload::ReadKind::Point { .. }))
+                .count() as u64;
+            let linear = ServeExperiment::new(scenario.clone())
+                .reads(reads.clone())
+                .point_index(false)
+                .run()
+                .unwrap();
+            let accel = ServeExperiment::new(scenario.clone())
+                .reads(reads)
+                .answer_cache(64)
+                .run()
+                .unwrap();
+            let linear_work =
+                linear.serve_stats.read_work_tuples + linear.serve_stats.index_maintenance_tuples;
+            let accel_work =
+                accel.serve_stats.read_work_tuples + accel.serve_stats.index_maintenance_tuples;
+            let cache_lookups = accel.serve_stats.cache_hits + accel.serve_stats.cache_misses;
+
+            // The lag arm: the same maintenance load under a poll-heavy
+            // mix with one bounded subscription (max_lag = 1) per view.
+            let lag_reads = dw_workload::ReadMixConfig {
+                n_views: views,
+                ..dw_workload::ReadMixConfig::laggy_subscribers(
+                    4,
+                    crate::pick(smoke, 10, 24),
+                    0xE21,
+                )
+            }
+            .generate();
+            let lagged = ServeExperiment::new(scenario.clone())
+                .reads(lag_reads)
+                .bounded_subscriptions(1)
+                .run()
+                .unwrap();
+            let lag_audit = audit_lag_recoveries(&scenario, &lagged).unwrap();
+
+            E21Row {
+                mix: mix.to_string(),
+                n: n as u64,
+                views: views as u64,
+                updates: accel.scheduler_metrics.updates_received,
+                point_reads,
+                linear_work_tuples: linear_work,
+                accel_work_tuples: accel_work,
+                speedup: linear_work as f64 / accel_work.max(1) as f64,
+                expected_min_speedup,
+                index_builds: accel.serve_stats.point_index_builds,
+                index_derives: accel.serve_stats.point_index_derived,
+                index_hits: accel.serve_stats.point_index_hits,
+                cache_hits: accel.serve_stats.cache_hits,
+                cache_misses: accel.serve_stats.cache_misses,
+                cache_evictions: accel.serve_stats.cache_evictions,
+                cache_hit_ratio: accel.serve_stats.cache_hits as f64 / cache_lookups.max(1) as f64,
+                bags_deep_cloned: accel.serve_stats.bags_deep_cloned,
+                snapshots_published: accel.serve_stats.snapshots_published,
+                answers_match: serve_answers_identical(&linear, &accel),
+                makespan_us: accel.makespan(),
+                baseline_makespan_us: referee.makespan(),
+                lag_events: lag_audit.lag_events,
+                lag_resumes: lag_audit.resumes,
+                lag_stream_equivalent: lag_audit.clean(),
+                quiescent: linear.quiescent && accel.quiescent && lagged.quiescent,
+            }
+        })
+        .collect()
+}
+
+/// The E21 read schedule: 6 readers hammering point lookups over a
+/// 64-key domain at the given zipf skew — the mix where per-epoch
+/// indexes and the answer cache earn their keep.
+pub fn scale_read_mix(smoke: bool, n_views: usize, zipf_theta: f64) -> Vec<dw_workload::ReadOp> {
+    ReadMixConfig {
+        n_views,
+        zipf_theta,
+        ..ReadMixConfig::hot_key_points(6, crate::pick(smoke, 24, 60), 0xE21)
+    }
+    .generate()
+}
+
+/// Byte-equality of two runs' read outcomes, field-wise (`Bag` wraps a
+/// HashMap, so Debug-string comparison would be iteration-order noise).
+fn serve_answers_identical(a: &dw_core::ServeReport, b: &dw_core::ServeReport) -> bool {
+    use dw_core::ReadResult;
+    a.reads.len() == b.reads.len()
+        && a.reads.iter().zip(&b.reads).all(|(x, y)| {
+            x.op == y.op
+                && x.epoch == y.epoch
+                && x.deliveries_seen == y.deliveries_seen
+                && match (&x.result, &y.result) {
+                    (
+                        ReadResult::Point {
+                            multiplicity: m1,
+                            matches: t1,
+                        },
+                        ReadResult::Point {
+                            multiplicity: m2,
+                            matches: t2,
+                        },
+                    ) => m1 == m2 && t1 == t2,
+                    (ReadResult::Scan { bag: b1 }, ReadResult::Scan { bag: b2 }) => b1 == b2,
+                    (
+                        ReadResult::Rejected {
+                            required: r1,
+                            freshest_admissible: f1,
+                        },
+                        ReadResult::Rejected {
+                            required: r2,
+                            freshest_admissible: f2,
+                        },
+                    ) => r1 == r2 && f1 == f2,
+                    (ReadResult::Subscribed { .. }, ReadResult::Subscribed { .. }) => true,
+                    (
+                        ReadResult::Polled {
+                            delivered: d1,
+                            resumed: p1,
+                        },
+                        ReadResult::Polled {
+                            delivered: d2,
+                            resumed: p2,
+                        },
+                    ) => d1 == d2 && p1 == p2,
+                    _ => false,
+                }
+        })
+}
+
 // ---------------------------------------------------------------- JSON
 
 impl PerfReport {
@@ -1394,6 +1631,10 @@ impl PerfReport {
             (
                 "e20_dag",
                 Json::Arr(self.e20.iter().map(e20_to_json).collect()),
+            ),
+            (
+                "e21_serve_scale",
+                Json::Arr(self.e21.iter().map(e21_to_json).collect()),
             ),
             (
                 "phase_wall_ms",
@@ -1493,6 +1734,13 @@ impl PerfReport {
             .iter()
             .map(e20_from_json)
             .collect::<Result<_, _>>()?;
+        let e21 = doc
+            .get("e21_serve_scale")
+            .and_then(Json::as_arr)
+            .ok_or("missing e21_serve_scale")?
+            .iter()
+            .map(e21_from_json)
+            .collect::<Result<_, _>>()?;
         let phase_wall_ms = match doc.get("phase_wall_ms") {
             Some(Json::Obj(fields)) => fields
                 .iter()
@@ -1516,6 +1764,7 @@ impl PerfReport {
             e18,
             e19,
             e20,
+            e21,
             phase_wall_ms,
         })
     }
@@ -1995,6 +2244,81 @@ fn e20_from_json(doc: &Json) -> Result<E20Row, String> {
             .get("aggregate_fidelity")
             .and_then(Json::as_bool)
             .ok_or("missing bool aggregate_fidelity")?,
+        quiescent: doc
+            .get("quiescent")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool quiescent")?,
+    })
+}
+
+fn e21_to_json(r: &E21Row) -> Json {
+    Json::obj(vec![
+        ("mix", Json::Str(r.mix.clone())),
+        ("n", Json::Num(r.n as f64)),
+        ("views", Json::Num(r.views as f64)),
+        ("updates", Json::Num(r.updates as f64)),
+        ("point_reads", Json::Num(r.point_reads as f64)),
+        ("linear_work_tuples", Json::Num(r.linear_work_tuples as f64)),
+        ("accel_work_tuples", Json::Num(r.accel_work_tuples as f64)),
+        ("speedup", Json::Num(r.speedup)),
+        ("expected_min_speedup", Json::Num(r.expected_min_speedup)),
+        ("index_builds", Json::Num(r.index_builds as f64)),
+        ("index_derives", Json::Num(r.index_derives as f64)),
+        ("index_hits", Json::Num(r.index_hits as f64)),
+        ("cache_hits", Json::Num(r.cache_hits as f64)),
+        ("cache_misses", Json::Num(r.cache_misses as f64)),
+        ("cache_evictions", Json::Num(r.cache_evictions as f64)),
+        ("cache_hit_ratio", Json::Num(r.cache_hit_ratio)),
+        ("bags_deep_cloned", Json::Num(r.bags_deep_cloned as f64)),
+        (
+            "snapshots_published",
+            Json::Num(r.snapshots_published as f64),
+        ),
+        ("answers_match", Json::Bool(r.answers_match)),
+        ("makespan_us", Json::Num(r.makespan_us as f64)),
+        (
+            "baseline_makespan_us",
+            Json::Num(r.baseline_makespan_us as f64),
+        ),
+        ("lag_events", Json::Num(r.lag_events as f64)),
+        ("lag_resumes", Json::Num(r.lag_resumes as f64)),
+        ("lag_stream_equivalent", Json::Bool(r.lag_stream_equivalent)),
+        ("quiescent", Json::Bool(r.quiescent)),
+    ])
+}
+
+fn e21_from_json(doc: &Json) -> Result<E21Row, String> {
+    Ok(E21Row {
+        mix: string(doc, "mix")?,
+        n: uint(doc, "n")?,
+        views: uint(doc, "views")?,
+        updates: uint(doc, "updates")?,
+        point_reads: uint(doc, "point_reads")?,
+        linear_work_tuples: uint(doc, "linear_work_tuples")?,
+        accel_work_tuples: uint(doc, "accel_work_tuples")?,
+        speedup: num(doc, "speedup")?,
+        expected_min_speedup: num(doc, "expected_min_speedup")?,
+        index_builds: uint(doc, "index_builds")?,
+        index_derives: uint(doc, "index_derives")?,
+        index_hits: uint(doc, "index_hits")?,
+        cache_hits: uint(doc, "cache_hits")?,
+        cache_misses: uint(doc, "cache_misses")?,
+        cache_evictions: uint(doc, "cache_evictions")?,
+        cache_hit_ratio: num(doc, "cache_hit_ratio")?,
+        bags_deep_cloned: uint(doc, "bags_deep_cloned")?,
+        snapshots_published: uint(doc, "snapshots_published")?,
+        answers_match: doc
+            .get("answers_match")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool answers_match")?,
+        makespan_us: uint(doc, "makespan_us")?,
+        baseline_makespan_us: uint(doc, "baseline_makespan_us")?,
+        lag_events: uint(doc, "lag_events")?,
+        lag_resumes: uint(doc, "lag_resumes")?,
+        lag_stream_equivalent: doc
+            .get("lag_stream_equivalent")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool lag_stream_equivalent")?,
         quiescent: doc
             .get("quiescent")
             .and_then(Json::as_bool)
@@ -2495,6 +2819,79 @@ pub fn invariant_violations(report: &PerfReport) -> Vec<String> {
             v.push(format!("E20 {}: run did not drain", row.label));
         }
     }
+    let e21_mixes: BTreeSet<&str> = report.e21.iter().map(|r| r.mix.as_str()).collect();
+    if e21_mixes.len() < 2 {
+        v.push(format!(
+            "E21: serving scale must be exercised at >= 2 distinct key distributions, got {:?}",
+            e21_mixes
+        ));
+    }
+    for row in &report.e21 {
+        if !row.answers_match {
+            v.push(format!(
+                "E21 {}: the accelerated arm's answers diverged from the linear-scan arm — \
+                 the index or cache is visible to correctness",
+                row.mix
+            ));
+        }
+        if row.speedup + EXACT_EPS < row.expected_min_speedup {
+            v.push(format!(
+                "E21 {}: point-read speedup {:.2} below the {}x floor — {} linear work tuples \
+                 vs {} accelerated",
+                row.mix,
+                row.speedup,
+                row.expected_min_speedup,
+                row.linear_work_tuples,
+                row.accel_work_tuples
+            ));
+        }
+        if row.bags_deep_cloned != row.snapshots_published {
+            v.push(format!(
+                "E21 {}: {} serve-side bag deep copies != {} installs — the read path broke \
+                 the one-copy-per-freeze promise",
+                row.mix, row.bags_deep_cloned, row.snapshots_published
+            ));
+        }
+        if row.makespan_us != row.baseline_makespan_us {
+            v.push(format!(
+                "E21 {}: accelerated readers perturbed maintenance — makespan {}us != {}us \
+                 no-reader baseline",
+                row.mix, row.makespan_us, row.baseline_makespan_us
+            ));
+        }
+        if row.index_builds == 0 || row.index_hits == 0 {
+            v.push(format!(
+                "E21 {}: the point index never engaged ({} builds, {} hits)",
+                row.mix, row.index_builds, row.index_hits
+            ));
+        }
+        if row.cache_hits == 0 {
+            v.push(format!(
+                "E21 {}: the answer cache never hit — the read-through path is dead",
+                row.mix
+            ));
+        }
+        if row.lag_events == 0 || row.lag_resumes == 0 {
+            v.push(format!(
+                "E21 {}: backpressure never fired ({} lag events, {} resumes) — the bounded \
+                 subscription arm is dead",
+                row.mix, row.lag_events, row.lag_resumes
+            ));
+        }
+        if !row.lag_stream_equivalent {
+            v.push(format!(
+                "E21 {}: a lagged subscriber's resumed stream diverged from the unbounded \
+                 stream — Stale View Cleaning recovery is broken",
+                row.mix
+            ));
+        }
+        if row.point_reads == 0 {
+            v.push(format!("E21 {}: no point reads issued", row.mix));
+        }
+        if !row.quiescent {
+            v.push(format!("E21 {}: run did not drain", row.mix));
+        }
+    }
     v
 }
 
@@ -2786,6 +3183,38 @@ pub fn gate(baseline: &PerfReport, fresh: &PerfReport) -> Vec<String> {
         );
     }
 
+    for base_row in &baseline.e21 {
+        let Some(row) = fresh.e21.iter().find(|r| r.mix == base_row.mix) else {
+            v.push(format!(
+                "E21: mix '{}' missing from fresh report",
+                base_row.mix
+            ));
+            continue;
+        };
+        let what = format!("E21 {}", row.mix);
+        check_ratio(
+            &mut v,
+            &format!("{what} point-read speedup"),
+            base_row.speedup,
+            row.speedup,
+            false,
+        );
+        check_ratio(
+            &mut v,
+            &format!("{what} cache hit ratio"),
+            base_row.cache_hit_ratio,
+            row.cache_hit_ratio,
+            false,
+        );
+        check_ratio(
+            &mut v,
+            &format!("{what} accelerated work"),
+            base_row.accel_work_tuples as f64,
+            row.accel_work_tuples as f64,
+            true,
+        );
+    }
+
     v
 }
 
@@ -2839,6 +3268,12 @@ pub struct InvariantDigest {
     /// cascade, keeps the sibling memo sharing, and holds fresh-recompute
     /// fidelity for the whole stack.
     pub e20_dag: bool,
+    /// Every E21 row answers byte-identically with and without the
+    /// accelerators, clears its speedup floor, keeps exactly one
+    /// serve-side bag deep copy per install, leaves maintenance
+    /// untouched, and recovers every lagged subscriber through an
+    /// equivalent resumed stream.
+    pub e21_scaled: bool,
 }
 
 impl InvariantDigest {
@@ -2935,6 +3370,17 @@ impl InvariantDigest {
                     && r.child_installs > 0
                     && (r.label != "sibling-fanout" || r.shared_derivations == 2 * r.linear_evals)
                     && r.aggregate_fidelity
+                    && r.quiescent
+            }),
+            e21_scaled: report.e21.iter().all(|r| {
+                r.answers_match
+                    && r.speedup + EXACT_EPS >= r.expected_min_speedup
+                    && r.bags_deep_cloned == r.snapshots_published
+                    && r.makespan_us == r.baseline_makespan_us
+                    && r.index_builds > 0
+                    && r.cache_hits > 0
+                    && r.lag_events > 0
+                    && r.lag_stream_equivalent
                     && r.quiescent
             }),
         }
@@ -3244,6 +3690,62 @@ mod tests {
                     linear_evals: 28,
                     sharing_ratio: 0.0,
                     aggregate_fidelity: true,
+                    quiescent: true,
+                },
+            ],
+            e21: vec![
+                E21Row {
+                    mix: "hot-key-skew".to_string(),
+                    n: 3,
+                    views: 3,
+                    updates: 16,
+                    point_reads: 130,
+                    linear_work_tuples: 8_200,
+                    accel_work_tuples: 640,
+                    speedup: 8_200.0 / 640.0,
+                    expected_min_speedup: 5.0,
+                    index_builds: 3,
+                    index_derives: 90,
+                    index_hits: 120,
+                    cache_hits: 70,
+                    cache_misses: 60,
+                    cache_evictions: 4,
+                    cache_hit_ratio: 70.0 / 130.0,
+                    bags_deep_cloned: 48,
+                    snapshots_published: 48,
+                    answers_match: true,
+                    makespan_us: 96_000,
+                    baseline_makespan_us: 96_000,
+                    lag_events: 3,
+                    lag_resumes: 3,
+                    lag_stream_equivalent: true,
+                    quiescent: true,
+                },
+                E21Row {
+                    mix: "uniform".to_string(),
+                    n: 3,
+                    views: 3,
+                    updates: 16,
+                    point_reads: 128,
+                    linear_work_tuples: 8_000,
+                    accel_work_tuples: 1_900,
+                    speedup: 8_000.0 / 1_900.0,
+                    expected_min_speedup: 1.0,
+                    index_builds: 3,
+                    index_derives: 90,
+                    index_hits: 118,
+                    cache_hits: 12,
+                    cache_misses: 116,
+                    cache_evictions: 30,
+                    cache_hit_ratio: 12.0 / 128.0,
+                    bags_deep_cloned: 48,
+                    snapshots_published: 48,
+                    answers_match: true,
+                    makespan_us: 96_000,
+                    baseline_makespan_us: 96_000,
+                    lag_events: 3,
+                    lag_resumes: 3,
+                    lag_stream_equivalent: true,
                     quiescent: true,
                 },
             ],
@@ -3815,6 +4317,85 @@ mod tests {
     }
 
     #[test]
+    fn serve_scale_regressions_fail_gate() {
+        // The acceptance demo for E21: the accelerated read path slipping
+        // below its 5x deterministic-work speedup floor on the skewed mix.
+        let mut fresh = healthy();
+        fresh.e21[0].accel_work_tuples = 4_000;
+        fresh.e21[0].speedup = 8_200.0 / 4_000.0;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations.iter().any(|v| v.contains("below the 5x floor")),
+            "expected a speedup violation, got {violations:?}"
+        );
+
+        // The index or cache becoming visible to correctness — answers
+        // that differ between the arms by even one byte.
+        let mut fresh = healthy();
+        fresh.e21[1].answers_match = false;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("diverged from the linear-scan arm")),
+            "expected an answer-divergence violation, got {violations:?}"
+        );
+
+        // The zero-copy promise breaking: a read path that deep-copies a
+        // bag shows up as clones exceeding installs.
+        let mut fresh = healthy();
+        fresh.e21[0].bags_deep_cloned += 5;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("one-copy-per-freeze promise")),
+            "expected a zero-copy violation, got {violations:?}"
+        );
+
+        // A lagged subscriber resuming into a wrong snapshot or missing
+        // deltas — recovery no longer stream-equivalent.
+        let mut fresh = healthy();
+        fresh.e21[0].lag_stream_equivalent = false;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("Stale View Cleaning recovery is broken")),
+            "expected a lag-equivalence violation, got {violations:?}"
+        );
+
+        // Backpressure silently never firing means the arm proved nothing.
+        let mut fresh = healthy();
+        fresh.e21[1].lag_events = 0;
+        fresh.e21[1].lag_resumes = 0;
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("backpressure never fired")),
+            "expected a dead-arm violation, got {violations:?}"
+        );
+
+        // The coverage floor: both key distributions must be present.
+        let mut fresh = healthy();
+        fresh.e21.remove(1);
+        let violations = gate(&healthy(), &fresh);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("E21") && v.contains("missing")),
+            "expected a missing-row violation, got {violations:?}"
+        );
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("2 distinct key distributions")),
+            "expected a distribution-coverage violation, got {violations:?}"
+        );
+    }
+
+    #[test]
     fn gate_reports_every_violation_in_one_pass() {
         // One run, many regressions: the gate must list them all with
         // expected-vs-actual values, not stop at the first.
@@ -3824,6 +4405,7 @@ mod tests {
         fresh.e18[1].escalations = 3;
         fresh.e19[0].makespan_us = 97_000;
         fresh.e20[0].derived_source_msgs = 1;
+        fresh.e21[0].bags_deep_cloned = 60;
         fresh.e1[1].msgs_per_update = healthy().e1[1].msgs_per_update * 1.3;
         let violations = gate(&healthy(), &fresh);
         for needle in [
@@ -3832,6 +4414,7 @@ mod tests {
             "E18 S=2: 3 escalations",
             "E19 point-heavy: readers must never block installs — makespan 97000us under readers != 96000us no-reader baseline",
             "E20 sibling-fanout: derived maintenance touched the sources",
+            "E21 hot-key-skew: 60 serve-side bag deep copies != 48 installs",
             "E1 Strobe msgs/update",
         ] {
             assert!(
@@ -3840,8 +4423,8 @@ mod tests {
             );
         }
         assert!(
-            violations.len() >= 6,
-            "expected all six independent violations at once, got {violations:?}"
+            violations.len() >= 7,
+            "expected all seven independent violations at once, got {violations:?}"
         );
     }
 

@@ -33,7 +33,8 @@ pub use experiment::{CoreError, Experiment, PolicyKind};
 pub use multi_experiment::{DerivedOutcome, MultiViewExperiment, MultiViewReport, ViewOutcome};
 pub use report::RunReport;
 pub use serve_experiment::{
-    audit_reads, oracle_expects_rejection, oracle_view_at_epoch, OracleAudit, ReadOutcome,
-    ReadResult, ServeExperiment, ServeReport, SubscriptionOutcome,
+    audit_lag_recoveries, audit_reads, oracle_expects_rejection, oracle_view_at_epoch, LagAudit,
+    LagEvent, LagSubscription, OracleAudit, ReadOutcome, ReadResult, ServeExperiment, ServeReport,
+    SubscriptionOutcome,
 };
 pub use sharded_experiment::{ShardedExperiment, ShardedReport};

@@ -80,6 +80,9 @@ pub struct ServeExperiment {
     opts: EngineOptions,
     reads: Vec<ReadOp>,
     baseline_subs: bool,
+    point_index: bool,
+    cache_capacity: usize,
+    bounded_sub_lag: Option<usize>,
     latency: LatencyModel,
     link_overrides: Vec<(NodeId, NodeId, LatencyModel)>,
     seed: u64,
@@ -103,6 +106,9 @@ impl ServeExperiment {
             opts: EngineOptions::default(),
             reads: Vec::new(),
             baseline_subs: true,
+            point_index: true,
+            cache_capacity: 0,
+            bounded_sub_lag: None,
             latency: LatencyModel::Constant(1_000),
             link_overrides: Vec::new(),
             seed: 0,
@@ -142,6 +148,34 @@ impl ServeExperiment {
     /// fingerprint, which the equivalence suite asserts.
     pub fn baseline_subscriptions(mut self, on: bool) -> Self {
         self.baseline_subs = on;
+        self
+    }
+
+    /// Enable/disable the store's per-epoch point indexes (on by
+    /// default). The off arm linearly scans every point read — the E21
+    /// baseline, byte-identical in answers to the indexed arm.
+    pub fn point_index(mut self, on: bool) -> Self {
+        self.point_index = on;
+        self
+    }
+
+    /// Capacity of the read-through answer cache (entries; 0 — the
+    /// default — disables it). Deterministic FIFO eviction; invisible to
+    /// every answer, which the equivalence suite asserts byte-for-byte.
+    pub fn answer_cache(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Register one *bounded* subscription per base view before traffic
+    /// starts, with the given `max_lag` queue bound. `ReadKind::Poll`
+    /// ops in the read mix drain them mid-run; an overflowed one is
+    /// resumed through the snapshot-at-`resume_epoch` recovery path and
+    /// its full event history lands in [`ServeReport::lag`], where
+    /// [`audit_lag_recoveries`] proves it equivalent to the unbounded
+    /// stream.
+    pub fn bounded_subscriptions(mut self, max_lag: usize) -> Self {
+        self.bounded_sub_lag = Some(max_lag);
         self
     }
 
@@ -243,6 +277,9 @@ impl ServeExperiment {
         // must mirror scheduler registration order — the publisher keys
         // epochs by registry slot.
         let front = ReadFrontend::new();
+        front.set_point_index(self.point_index);
+        front.set_answer_cache_capacity(self.cache_capacity);
+        front.set_observer(self.obs.clone());
         match &mut sched {
             Engine::Flat(s) => s.set_install_publisher(front.sink()),
             Engine::Sharded(s) => s.set_install_publisher(front.sink()),
@@ -297,6 +334,26 @@ impl ServeExperiment {
                     sub: front.subscribe(v)?,
                     from_epoch: front.latest_epoch(v)?,
                     stream: Vec::new(),
+                });
+            }
+        }
+
+        // Bounded subscriptions (lag arm): one per base view, drained by
+        // `ReadKind::Poll` ops mid-run and at quiescence. Base views
+        // only — their resume snapshots are auditable against
+        // [`oracle_view_at_epoch`].
+        let mut lag: Vec<LagSubscription> = Vec::new();
+        let mut lag_by_view: HashMap<usize, usize> = HashMap::new();
+        if let Some(max_lag) = self.bounded_sub_lag {
+            for v in 0..scenario.views.len() {
+                let sub = front.subscribe_bounded(v, max_lag)?;
+                lag_by_view.insert(v, lag.len());
+                lag.push(LagSubscription {
+                    view: v,
+                    sub,
+                    max_lag,
+                    from_epoch: front.latest_epoch(v)?,
+                    events: Vec::new(),
                 });
             }
         }
@@ -362,6 +419,8 @@ impl ServeExperiment {
                     delivery_log.len(),
                     &mut reads,
                     &mut subscriptions,
+                    &mut lag,
+                    &lag_by_view,
                 )?;
                 next_op += 1;
             }
@@ -410,6 +469,8 @@ impl ServeExperiment {
                 delivery_log.len(),
                 &mut reads,
                 &mut subscriptions,
+                &mut lag,
+                &lag_by_view,
             )?;
             next_op += 1;
         }
@@ -417,6 +478,28 @@ impl ServeExperiment {
         // Drain every subscription's pending install deltas.
         for sub in &mut subscriptions {
             sub.stream = front.poll(sub.sub)?;
+        }
+
+        // Bounded subscriptions catch all the way up at quiescence: a
+        // still-lagged one resumes (snapshot at its resume epoch), then
+        // drains whatever queued after. Two rounds always suffice — no
+        // installs arrive during the drain.
+        for entry in &mut lag {
+            loop {
+                match front.poll(entry.sub) {
+                    Ok(deltas) => {
+                        entry
+                            .events
+                            .extend(deltas.into_iter().map(LagEvent::Delivered));
+                        break;
+                    }
+                    Err(ServeError::Lagged { resume_epoch, .. }) => {
+                        entry.events.push(LagEvent::Lagged { resume_epoch });
+                        resume_lagged(&front, entry)?;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
         }
 
         let mut views: Vec<ViewOutcome> = Vec::new();
@@ -462,6 +545,7 @@ impl ServeExperiment {
             publication_log: front.publication_log(),
             reads,
             subscriptions,
+            lag,
             net: harness.net.stats().clone(),
             end_time: harness.net.now(),
             events: harness.events,
@@ -477,7 +561,51 @@ fn execute_read(
     deliveries_seen: usize,
     reads: &mut Vec<ReadOutcome>,
     subscriptions: &mut Vec<SubscriptionOutcome>,
+    lag: &mut [LagSubscription],
+    lag_by_view: &HashMap<usize, usize>,
 ) -> Result<(), CoreError> {
+    if let ReadKind::Poll = op.kind {
+        // Drain the view's bounded subscription (a no-op result when the
+        // lag arm is off). A lagged one resumes through the
+        // snapshot-at-resume-epoch path right here, mid-run.
+        let result = match lag_by_view.get(&op.view) {
+            None => ReadResult::Polled {
+                delivered: 0,
+                resumed: false,
+            },
+            Some(&i) => {
+                let entry = &mut lag[i];
+                match front.poll(entry.sub) {
+                    Ok(deltas) => {
+                        let delivered = deltas.len();
+                        entry
+                            .events
+                            .extend(deltas.into_iter().map(LagEvent::Delivered));
+                        ReadResult::Polled {
+                            delivered,
+                            resumed: false,
+                        }
+                    }
+                    Err(ServeError::Lagged { resume_epoch, .. }) => {
+                        entry.events.push(LagEvent::Lagged { resume_epoch });
+                        resume_lagged(front, entry)?;
+                        ReadResult::Polled {
+                            delivered: 0,
+                            resumed: true,
+                        }
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        };
+        reads.push(ReadOutcome {
+            op: op.clone(),
+            epoch: front.latest_epoch(op.view)?,
+            deliveries_seen,
+            result,
+        });
+        return Ok(());
+    }
     if let ReadKind::Subscribe = op.kind {
         let sub = front.subscribe(op.view)?;
         let from_epoch = front.latest_epoch(op.view)?;
@@ -505,7 +633,7 @@ fn execute_read(
         ReadKind::Point { column, key } => match front.read_point(&pin, *column, *key, bound) {
             Ok(a) => ReadResult::Point {
                 multiplicity: a.multiplicity,
-                matches: a.matches,
+                matches: (*a.matches).clone(),
             },
             Err(ServeError::TooStale {
                 required,
@@ -531,7 +659,7 @@ fn execute_read(
             },
             Err(e) => return Err(e.into()),
         },
-        ReadKind::Subscribe => unreachable!("handled above"),
+        ReadKind::Subscribe | ReadKind::Poll => unreachable!("handled above"),
     };
     front.unpin(pin)?;
     reads.push(ReadOutcome {
@@ -540,6 +668,19 @@ fn execute_read(
         deliveries_seen,
         result,
     });
+    Ok(())
+}
+
+/// Recover one lagged bounded subscription: flip it live (pinning its
+/// resume epoch atomically), read the resume snapshot, release the pin,
+/// and log the `Resumed` event carrying the snapshot for the audit.
+fn resume_lagged(front: &ReadFrontend, entry: &mut LagSubscription) -> Result<(), CoreError> {
+    let pin = front.resume(entry.sub)?;
+    let snap = front.read_scan(&pin, None)?;
+    let epoch = pin.epoch();
+    let snapshot = (*snap.bag).clone();
+    front.unpin(pin)?;
+    entry.events.push(LagEvent::Resumed { epoch, snapshot });
     Ok(())
 }
 
@@ -571,6 +712,15 @@ pub enum ReadResult {
         /// [`ServeReport::subscriptions`]).
         sub: u64,
     },
+    /// A bounded subscription was polled (lag arm; a no-op when the arm
+    /// is off). Full event detail lands in [`ServeReport::lag`].
+    Polled {
+        /// Install deltas drained by this poll.
+        delivered: usize,
+        /// Whether the poll found the subscription lagged and resumed it
+        /// through the snapshot-at-resume-epoch path.
+        resumed: bool,
+    },
 }
 
 /// One read op's resolution, with the provenance the oracle needs.
@@ -594,6 +744,44 @@ impl ReadOutcome {
     pub fn answered(&self) -> bool {
         !matches!(self.result, ReadResult::Rejected { .. })
     }
+}
+
+/// One observable event in a bounded subscription's lifetime, in order.
+#[derive(Clone, Debug)]
+pub enum LagEvent {
+    /// A poll drained this install delta while the subscription was live.
+    Delivered(InstallDelta),
+    /// A poll found the subscription lagged past its `max_lag` bound
+    /// (its queue had been dropped at overflow time).
+    Lagged {
+        /// The epoch recovery will resume from.
+        resume_epoch: u64,
+    },
+    /// The subscription resumed: the snapshot pinned and read at the
+    /// resume epoch. Subsequent `Delivered` events continue from
+    /// `epoch + 1`.
+    Resumed {
+        /// The resume epoch.
+        epoch: u64,
+        /// The snapshot's contents — audited against the recompute
+        /// oracle by [`audit_lag_recoveries`].
+        snapshot: Bag,
+    },
+}
+
+/// One bounded subscription's full event history (lag arm).
+#[derive(Clone, Debug)]
+pub struct LagSubscription {
+    /// Subscribed base view (registry slot).
+    pub view: usize,
+    /// Subscription id.
+    pub sub: u64,
+    /// The queue bound it was registered with.
+    pub max_lag: usize,
+    /// Epoch the subscription started after.
+    pub from_epoch: u64,
+    /// Everything that happened to it, in order.
+    pub events: Vec<LagEvent>,
 }
 
 /// One subscription's drained install stream.
@@ -647,6 +835,9 @@ pub struct ServeReport {
     pub reads: Vec<ReadOutcome>,
     /// Every subscription's drained stream (baseline ones first).
     pub subscriptions: Vec<SubscriptionOutcome>,
+    /// Bounded-subscription event histories (empty unless the lag arm —
+    /// [`ServeExperiment::bounded_subscriptions`] — is on).
+    pub lag: Vec<LagSubscription>,
     /// Network-level accounting.
     pub net: NetStats,
     /// Scheduler and transport both drained at the end of the run.
@@ -796,7 +987,10 @@ pub fn audit_reads(
 ) -> Result<OracleAudit, CoreError> {
     let mut audit = OracleAudit::default();
     for read in &report.reads {
-        if matches!(read.result, ReadResult::Subscribed { .. }) {
+        if matches!(
+            read.result,
+            ReadResult::Subscribed { .. } | ReadResult::Polled { .. }
+        ) {
             continue;
         }
         audit.reads += 1;
@@ -845,7 +1039,97 @@ pub fn audit_reads(
                     audit.content_mismatches += 1;
                 }
             }
-            ReadResult::Subscribed { .. } => unreachable!("filtered above"),
+            ReadResult::Subscribed { .. } | ReadResult::Polled { .. } => {
+                unreachable!("filtered above")
+            }
+        }
+    }
+    Ok(audit)
+}
+
+/// Aggregate verdict of [`audit_lag_recoveries`]: every bounded
+/// subscription's event history checked for stream equivalence — the
+/// deltas it received plus the snapshots it resumed through must
+/// reconstruct exactly what an unbounded subscriber saw.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LagAudit {
+    /// Bounded subscriptions audited.
+    pub subs: u64,
+    /// Install deltas delivered across them.
+    pub delivered: u64,
+    /// Lag conditions observed (polls that found a dropped queue).
+    pub lag_events: u64,
+    /// Snapshot resumes taken.
+    pub resumes: u64,
+    /// Epoch-contiguity violations inside live stretches. Must be zero.
+    pub gap_violations: u64,
+    /// Resume snapshots that diverged from the recompute oracle at
+    /// their epoch. Must be zero.
+    pub snapshot_mismatches: u64,
+    /// Subscriptions whose folded history (deltas + resume snapshots)
+    /// missed the view's final contents, or stopped short of its final
+    /// epoch. Must be zero.
+    pub final_mismatches: u64,
+}
+
+impl LagAudit {
+    /// Every bounded subscription reconstructed the unbounded stream.
+    pub fn clean(&self) -> bool {
+        self.gap_violations == 0 && self.snapshot_mismatches == 0 && self.final_mismatches == 0
+    }
+}
+
+/// Audit every bounded subscription in `report` for recovery
+/// equivalence: fold its event history — merging delivered deltas,
+/// substituting the resume snapshot at each `Resumed` — and require (a)
+/// contiguous epochs within each live stretch, (b) every resume
+/// snapshot equal to [`oracle_view_at_epoch`] at its epoch, and (c) the
+/// folded end state equal to the oracle at the view's final epoch. That
+/// is exactly "resumed stream + snapshot == full stream".
+pub fn audit_lag_recoveries(
+    scenario: &MultiViewScenario,
+    report: &ServeReport,
+) -> Result<LagAudit, CoreError> {
+    let mut audit = LagAudit::default();
+    for sub in &report.lag {
+        audit.subs += 1;
+        let installs = report
+            .installs_for_slot(sub.view)
+            .ok_or_else(|| CoreError::Multi(format!("lag audit: no slot {}", sub.view)))?;
+        let mut running = oracle_view_at_epoch(scenario, sub.view, installs, sub.from_epoch)?;
+        let mut next = sub.from_epoch + 1;
+        for ev in &sub.events {
+            match ev {
+                LagEvent::Delivered(d) => {
+                    audit.delivered += 1;
+                    if d.view != sub.view || d.epoch != next {
+                        audit.gap_violations += 1;
+                    }
+                    running.merge(&d.delta);
+                    next = d.epoch + 1;
+                }
+                LagEvent::Lagged { .. } => audit.lag_events += 1,
+                LagEvent::Resumed { epoch, snapshot } => {
+                    audit.resumes += 1;
+                    let truth = oracle_view_at_epoch(scenario, sub.view, installs, *epoch)?;
+                    if snapshot != &truth {
+                        audit.snapshot_mismatches += 1;
+                    }
+                    running = snapshot.clone();
+                    next = epoch + 1;
+                }
+            }
+        }
+        // The quiescence drain catches every bounded subscription up to
+        // the view's final epoch; anything short is a lost suffix.
+        let last = next - 1;
+        if last != installs.len() as u64 {
+            audit.final_mismatches += 1;
+            continue;
+        }
+        let truth = oracle_view_at_epoch(scenario, sub.view, installs, last)?;
+        if running != truth {
+            audit.final_mismatches += 1;
         }
     }
     Ok(audit)
@@ -1022,7 +1306,7 @@ mod tests {
                         read.op.at
                     );
                 }
-                ReadResult::Subscribed { .. } => {}
+                ReadResult::Subscribed { .. } | ReadResult::Polled { .. } => {}
             }
         }
         assert!(report.subscriptions_match_installs());
@@ -1098,6 +1382,125 @@ mod tests {
         // Every read resolved — none was lost to the crash window.
         assert_eq!(report.reads.len(), report.answered() + report.rejected());
         check_against_oracle(&sc, &report);
+    }
+
+    /// Field-wise byte-equality of two runs' read outcomes (Bag hides a
+    /// HashMap, so Debug-string comparison would be order-unstable).
+    fn assert_reads_identical(a: &ServeReport, b: &ServeReport) {
+        assert_eq!(a.reads.len(), b.reads.len());
+        for (x, y) in a.reads.iter().zip(&b.reads) {
+            assert_eq!(x.op, y.op);
+            assert_eq!(x.epoch, y.epoch);
+            assert_eq!(x.deliveries_seen, y.deliveries_seen);
+            match (&x.result, &y.result) {
+                (
+                    ReadResult::Point {
+                        multiplicity: m1,
+                        matches: t1,
+                    },
+                    ReadResult::Point {
+                        multiplicity: m2,
+                        matches: t2,
+                    },
+                ) => {
+                    assert_eq!(m1, m2);
+                    assert_eq!(t1, t2);
+                }
+                (ReadResult::Scan { bag: b1 }, ReadResult::Scan { bag: b2 }) => {
+                    assert_eq!(b1, b2)
+                }
+                (
+                    ReadResult::Rejected {
+                        required: r1,
+                        freshest_admissible: f1,
+                    },
+                    ReadResult::Rejected {
+                        required: r2,
+                        freshest_admissible: f2,
+                    },
+                ) => {
+                    assert_eq!(r1, r2);
+                    assert_eq!(f1, f2);
+                }
+                (ReadResult::Subscribed { .. }, ReadResult::Subscribed { .. }) => {}
+                (
+                    ReadResult::Polled {
+                        delivered: d1,
+                        resumed: r1,
+                    },
+                    ReadResult::Polled {
+                        delivered: d2,
+                        resumed: r2,
+                    },
+                ) => {
+                    assert_eq!(d1, d2);
+                    assert_eq!(r1, r2);
+                }
+                (x, y) => panic!("outcome shape diverged: {x:?} vs {y:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn index_and_cache_arms_are_invisible_to_answers() {
+        let sc = scenario(2, 16);
+        let reads = ReadMixConfig::hot_key_points(4, 16, 16);
+        let reads = ReadMixConfig {
+            n_views: 2,
+            ..reads
+        }
+        .generate();
+        let indexed = ServeExperiment::new(sc.clone())
+            .reads(reads.clone())
+            .run()
+            .unwrap();
+        let linear = ServeExperiment::new(sc.clone())
+            .reads(reads.clone())
+            .point_index(false)
+            .run()
+            .unwrap();
+        let cached = ServeExperiment::new(sc.clone())
+            .reads(reads)
+            .answer_cache(32)
+            .run()
+            .unwrap();
+        assert_reads_identical(&indexed, &linear);
+        assert_reads_identical(&indexed, &cached);
+        check_against_oracle(&sc, &indexed);
+        // The arms really engaged: the indexed run built indexes and did
+        // strictly less per-read work than the linear one; the cached
+        // run hit its cache on the hot keys.
+        assert!(indexed.serve_stats.point_index_builds > 0);
+        assert_eq!(linear.serve_stats.point_index_builds, 0);
+        assert!(indexed.serve_stats.read_work_tuples < linear.serve_stats.read_work_tuples);
+        assert!(cached.serve_stats.cache_hits > 0);
+    }
+
+    #[test]
+    fn lagged_subscriptions_recover_equivalently() {
+        // Seed 20 deals both views a Sweep policy (12 and 11 installs) —
+        // plenty of publish pressure for a queue bound of 1.
+        let sc = scenario(2, 20);
+        let reads = ReadMixConfig {
+            n_views: 2,
+            ..ReadMixConfig::laggy_subscribers(4, 20, 20)
+        }
+        .generate();
+        let report = ServeExperiment::new(sc.clone())
+            .reads(reads)
+            .bounded_subscriptions(1)
+            .run()
+            .unwrap();
+        check_against_oracle(&sc, &report);
+        let audit = audit_lag_recoveries(&sc, &report).unwrap();
+        assert_eq!(audit.subs, 2);
+        assert!(
+            audit.lag_events >= 1 && audit.resumes >= 1,
+            "max_lag=1 under ~a dozen installs per view must overflow: {audit:?}"
+        );
+        assert!(audit.clean(), "{audit:?}");
+        assert_eq!(report.serve_stats.subs_lagged, audit.lag_events);
+        assert_eq!(report.serve_stats.subs_resumed, audit.resumes);
     }
 
     #[test]

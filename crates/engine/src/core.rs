@@ -538,7 +538,7 @@ impl InstallSink {
                     epoch: self.log.len() as u64,
                     at: now,
                     consumed: consumed.iter().map(|&(id, _)| id).collect(),
-                    delta: delta.clone(),
+                    delta: std::sync::Arc::new(delta.clone()),
                 });
         }
         Ok(())

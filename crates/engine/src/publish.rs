@@ -41,8 +41,11 @@ pub struct InstallEvent {
     /// Updates whose effects this install newly incorporated, in
     /// consumption order (equal to the install record's consumed set).
     pub consumed: Vec<UpdateId>,
-    /// The installed delta: `view(e) = view(e−1) + delta`.
-    pub delta: Bag,
+    /// The installed delta: `view(e) = view(e−1) + delta`. `Arc`-shared
+    /// so the serving layer can fan one install out to any number of
+    /// subscriber queues at refcount cost — the publisher freezes the
+    /// delta once; nobody downstream ever deep-copies it.
+    pub delta: Arc<Bag>,
 }
 
 /// Receiver of delivery notices and committed installs.
@@ -94,7 +97,7 @@ mod tests {
             epoch: 1,
             at: 9,
             consumed: vec![id],
-            delta: Bag::new(),
+            delta: Arc::new(Bag::new()),
         });
         // The concrete handle sees what went through the trait object
         // (the live runtime clones the Arc into the warehouse thread).

@@ -216,7 +216,7 @@ pub fn run_live_serve(
                             observed: Observed::Point {
                                 column,
                                 key,
-                                matches: a.matches,
+                                matches: (*a.matches).clone(),
                             },
                         });
                     }

@@ -308,7 +308,7 @@ impl ViewRuntime {
                     epoch: self.install_log.len() as u64,
                     at: now,
                     consumed: consumed.iter().map(|&(id, _)| id).collect(),
-                    delta: delta.clone(),
+                    delta: std::sync::Arc::new(delta.clone()),
                 });
         }
     }

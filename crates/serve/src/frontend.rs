@@ -1,5 +1,5 @@
 //! The reader-facing API: pinned epochs, point/scan reads with optional
-//! staleness bounds, and subscription handles.
+//! staleness bounds, and subscription handles with lag recovery.
 //!
 //! A [`ReadFrontend`] is a cheap `Clone` handle — every clone shares one
 //! [`SnapshotStore`] behind a mutex, so a
@@ -55,6 +55,29 @@ pub enum ServeError {
         /// The unknown subscription id.
         sub: u64,
     },
+    /// Poll of a subscription id that was explicitly unsubscribed —
+    /// distinguishable from [`NoSuchSubscription`](Self::NoSuchSubscription)
+    /// because ids are never reused.
+    Unsubscribed {
+        /// The dropped subscription id.
+        sub: u64,
+    },
+    /// The subscription fell more than its `max_lag` bound behind; its
+    /// queue was dropped. Recover through [`ReadFrontend::resume`]: pin
+    /// and read the snapshot at `resume_epoch`, then keep polling — the
+    /// combined history equals the stream an unbounded subscriber saw.
+    Lagged {
+        /// The lagged subscription id.
+        sub: u64,
+        /// Latest epoch published to the subscribed view — the snapshot
+        /// to catch up from.
+        resume_epoch: u64,
+    },
+    /// [`ReadFrontend::resume`] on a subscription that is not lagged.
+    NotLagged {
+        /// The live subscription id.
+        sub: u64,
+    },
     /// The chosen epoch does not satisfy the query's [`StalenessBound`]:
     /// some update delivered before `required` is not yet reflected.
     TooStale {
@@ -81,6 +104,14 @@ impl fmt::Display for ServeError {
                 write!(f, "view {view} epoch {epoch} holds no pin")
             }
             Self::NoSuchSubscription { sub } => write!(f, "unknown subscription {sub}"),
+            Self::Unsubscribed { sub } => write!(f, "subscription {sub} was unsubscribed"),
+            Self::Lagged { sub, resume_epoch } => write!(
+                f,
+                "subscription {sub} lagged past its bound; resume from epoch {resume_epoch}"
+            ),
+            Self::NotLagged { sub } => {
+                write!(f, "subscription {sub} is live, nothing to resume")
+            }
             Self::TooStale {
                 view,
                 epoch,
@@ -123,7 +154,9 @@ impl PinnedEpoch {
 }
 
 /// Answer to a point read: the tuples of the pinned snapshot whose
-/// `column` equals the queried key.
+/// `column` equals the queried key. The match group is `Arc`-shared with
+/// the epoch's point index (or the answer cache) — a point read never
+/// copies the snapshot, and a hot key's answers all alias one group.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PointAnswer {
     /// View slot answered from.
@@ -132,8 +165,9 @@ pub struct PointAnswer {
     pub epoch: u64,
     /// Total multiplicity over all matching tuples.
     pub multiplicity: i64,
-    /// The matching tuples with their multiplicities, sorted.
-    pub matches: Vec<(Tuple, i64)>,
+    /// The matching tuples with their multiplicities, sorted (shared,
+    /// never copied).
+    pub matches: Arc<Vec<(Tuple, i64)>>,
 }
 
 /// Answer to a scan: the whole pinned snapshot, zero-copy.
@@ -178,6 +212,26 @@ impl ReadFrontend {
         self.lock().register_view(name, initial, at)
     }
 
+    /// Enable/disable per-epoch point indexes (on by default). Off means
+    /// every point read linearly scans its frozen bag — the E21 baseline
+    /// arm, and provably answer-identical to the indexed path.
+    pub fn set_point_index(&self, on: bool) {
+        self.lock().set_point_index(on)
+    }
+
+    /// Set the read-through answer cache's capacity (entries; 0 — the
+    /// default — disables it). Eviction is deterministic FIFO.
+    pub fn set_answer_cache_capacity(&self, capacity: usize) {
+        self.lock().set_cache_capacity(capacity)
+    }
+
+    /// Attach an observability handle: index hit/miss/build/derive and
+    /// cache hit/miss counters flow to it alongside
+    /// [`ServeStats`](crate::ServeStats).
+    pub fn set_observer(&self, obs: dw_obs::Obs) {
+        self.lock().set_observer(obs)
+    }
+
     /// Number of registered views.
     pub fn view_count(&self) -> usize {
         self.lock().view_count()
@@ -214,7 +268,10 @@ impl ReadFrontend {
     }
 
     /// Point read at a pinned epoch: every tuple whose `column` is
-    /// `Int(key)`, with an optional staleness bound.
+    /// `Int(key)`, with an optional staleness bound. Routes through the
+    /// answer cache and the epoch's point index (see the store docs):
+    /// the frozen bag is never cloned, and with the index on only the
+    /// matching group is examined.
     pub fn read_point(
         &self,
         pin: &PinnedEpoch,
@@ -222,40 +279,49 @@ impl ReadFrontend {
         key: i64,
         bound: Option<StalenessBound>,
     ) -> Result<PointAnswer, ServeError> {
-        let bag = self.admitted_bag(pin, bound)?.bag;
-        let want = Value::Int(key);
-        let mut matches: Vec<(Tuple, i64)> = bag
-            .iter()
-            .filter(|(t, _)| t.at(column) == &want)
-            .map(|(t, m)| (t.clone(), m))
-            .collect();
-        matches.sort();
+        let mut s = self.lock();
+        self.admit(&mut s, pin, bound)?;
+        let (multiplicity, matches) =
+            s.point_lookup(pin.view, pin.epoch, column, Value::Int(key))?;
+        s.stats_mut().reads_answered += 1;
         Ok(PointAnswer {
             view: pin.view,
             epoch: pin.epoch,
-            multiplicity: matches.iter().map(|&(_, m)| m).sum(),
+            multiplicity,
             matches,
         })
     }
 
     /// Full scan at a pinned epoch, with an optional staleness bound.
-    /// Zero-copy: the returned bag is the frozen snapshot itself.
+    /// Zero-copy: the returned bag *is* the frozen snapshot, shared by
+    /// `Arc` — asserted by the `bags_deep_cloned` counter staying at one
+    /// per install no matter how many scans run.
     pub fn read_scan(
         &self,
         pin: &PinnedEpoch,
         bound: Option<StalenessBound>,
     ) -> Result<ScanAnswer, ServeError> {
-        self.admitted_bag(pin, bound)
+        let mut s = self.lock();
+        self.admit(&mut s, pin, bound)?;
+        let snap = s.epoch(pin.view, pin.epoch)?;
+        let answer = ScanAnswer {
+            view: pin.view,
+            epoch: pin.epoch,
+            at: snap.at,
+            bag: Arc::clone(&snap.bag),
+        };
+        s.stats_mut().reads_answered += 1;
+        Ok(answer)
     }
 
-    /// Shared admission path for reads: resolve the pinned snapshot,
-    /// enforce the bound, bump the answered/rejected counters.
-    fn admitted_bag(
+    /// Shared admission path for reads: enforce the bound against the
+    /// pinned epoch, bumping the rejected counter on refusal.
+    fn admit(
         &self,
+        s: &mut SnapshotStore,
         pin: &PinnedEpoch,
         bound: Option<StalenessBound>,
-    ) -> Result<ScanAnswer, ServeError> {
-        let mut s = self.lock();
+    ) -> Result<(), ServeError> {
         if let Some(b) = bound {
             if !s.admissible(pin.view, pin.epoch, b.reflect_before)? {
                 let freshest = s.freshest_admissible(pin.view, b.reflect_before)?;
@@ -268,15 +334,7 @@ impl ReadFrontend {
                 });
             }
         }
-        let snap = s.epoch(pin.view, pin.epoch)?;
-        let answer = ScanAnswer {
-            view: pin.view,
-            epoch: pin.epoch,
-            at: snap.at,
-            bag: snap.bag.clone(),
-        };
-        s.stats_mut().reads_answered += 1;
-        Ok(answer)
+        Ok(())
     }
 
     /// The consumed-update ids of one retained epoch (provenance; equals
@@ -290,14 +348,42 @@ impl ReadFrontend {
     }
 
     /// Subscribe to `view`'s future installs (from its current latest
-    /// epoch). Returns the subscription id to [`poll`](Self::poll).
+    /// epoch), with an unbounded queue. Returns the subscription id to
+    /// [`poll`](Self::poll).
     pub fn subscribe(&self, view: usize) -> Result<u64, ServeError> {
-        self.lock().subscribe(view)
+        self.lock().subscribe(view, None)
     }
 
-    /// Drain a subscription's pending install deltas, oldest first.
+    /// Subscribe with a bounded queue: once more than `max_lag` installs
+    /// pile up undrained, the subscription lags (queue dropped, typed
+    /// [`ServeError::Lagged`] on poll) and must [`resume`](Self::resume).
+    pub fn subscribe_bounded(&self, view: usize, max_lag: usize) -> Result<u64, ServeError> {
+        self.lock().subscribe(view, Some(max_lag))
+    }
+
+    /// Remove a subscription, freeing its queue immediately. Polling the
+    /// id afterwards reports [`ServeError::Unsubscribed`] — never
+    /// confusable with an id that was never issued.
+    pub fn unsubscribe(&self, sub: u64) -> Result<(), ServeError> {
+        self.lock().unsubscribe(sub)
+    }
+
+    /// Drain a subscription's pending install deltas, oldest first. A
+    /// lagged subscription returns [`ServeError::Lagged`] with the epoch
+    /// to resume from.
     pub fn poll(&self, sub: u64) -> Result<Vec<crate::InstallDelta>, ServeError> {
         self.lock().poll(sub)
+    }
+
+    /// Recover a lagged subscription: atomically flip it live (streaming
+    /// strictly after its `resume_epoch`) and pin that epoch, returning
+    /// the pin. Read the pinned snapshot, then keep polling — snapshot +
+    /// resumed stream is equivalent to the stream an unbounded
+    /// subscriber received. The flip and the pin share one store lock,
+    /// so the resume snapshot can never be collected in between.
+    pub fn resume(&self, sub: u64) -> Result<PinnedEpoch, ServeError> {
+        let (view, epoch) = self.lock().resume(sub)?;
+        Ok(PinnedEpoch { view, epoch })
     }
 
     /// Snapshot of the store's counters.
@@ -340,7 +426,7 @@ mod tests {
             epoch,
             at,
             consumed: vec![id(epoch)],
-            delta: Bag::singleton(tup![key, epoch as i64], 1),
+            delta: Arc::new(Bag::singleton(tup![key, epoch as i64], 1)),
         });
     }
 
@@ -363,9 +449,124 @@ mod tests {
 
         let point = front.read_point(&pin, 0, 1, None).unwrap();
         assert_eq!(point.multiplicity, 2);
-        assert_eq!(point.matches, vec![(tup![1, 0], 1), (tup![1, 2], 1)]);
+        assert_eq!(*point.matches, vec![(tup![1, 0], 1), (tup![1, 2], 1)]);
         front.unpin(pin).unwrap();
         assert_eq!(front.stats().reads_answered, 2);
+    }
+
+    #[test]
+    fn reads_never_deep_copy_the_snapshot() {
+        let front = ReadFrontend::new();
+        let v = front.register_view("V", Bag::singleton(tup![1, 0], 1), 0);
+        install(&front, v, 1, 10, 1);
+        install(&front, v, 2, 20, 2);
+        let pin = front.pin(v).unwrap();
+        for _ in 0..50 {
+            let scan = front.read_scan(&pin, None).unwrap();
+            assert!(!scan.bag.is_empty());
+            let point = front.read_point(&pin, 0, 1, None).unwrap();
+            assert!(point.multiplicity > 0);
+        }
+        front.unpin(pin).unwrap();
+        let stats = front.stats();
+        // The freeze step deep-copies exactly once per accepted install;
+        // 100 reads added zero copies. This is the "zero-copy promise"
+        // the docs make, held as a counter rather than a comment.
+        assert_eq!(stats.bags_deep_cloned, stats.snapshots_published);
+        assert_eq!(stats.reads_answered, 100);
+    }
+
+    #[test]
+    fn point_reads_build_then_ride_the_epoch_index() {
+        let front = ReadFrontend::new();
+        let v = front.register_view("V", Bag::singleton(tup![1, 0], 1), 0);
+        install(&front, v, 1, 10, 1);
+        let pin = front.pin(v).unwrap();
+        let a = front.read_point(&pin, 0, 1, None).unwrap();
+        let b = front.read_point(&pin, 0, 1, None).unwrap();
+        assert_eq!(a, b);
+        let stats = front.stats();
+        assert_eq!(stats.point_index_builds, 1, "first read builds");
+        assert_eq!(stats.point_index_misses, 1);
+        assert_eq!(stats.point_index_hits, 1, "second read rides it");
+        // The two answers alias one index group — shared, not re-collected.
+        assert!(Arc::ptr_eq(&a.matches, &b.matches));
+
+        // A new install derives the successor index incrementally.
+        install(&front, v, 2, 20, 1);
+        let pin2 = front.pin(v).unwrap();
+        let c = front.read_point(&pin2, 0, 1, None).unwrap();
+        assert_eq!(c.multiplicity, 3);
+        let stats = front.stats();
+        assert_eq!(stats.point_index_derived, 1, "publish derived the index");
+        assert_eq!(stats.point_index_builds, 1, "no second full build");
+        front.unpin(pin).unwrap();
+        front.unpin(pin2).unwrap();
+    }
+
+    #[test]
+    fn index_on_and_off_agree_exactly() {
+        let build = |indexed: bool| {
+            let front = ReadFrontend::new();
+            front.set_point_index(indexed);
+            let v = front.register_view("V", Bag::singleton(tup![3, 9], 2), 0);
+            for e in 1..=5 {
+                install(&front, v, e, e * 10, (e % 3) as i64);
+            }
+            let pin = front.pin(v).unwrap();
+            let answers: Vec<PointAnswer> = (0..4)
+                .map(|k| front.read_point(&pin, 0, k, None).unwrap())
+                .collect();
+            front.unpin(pin).unwrap();
+            (answers, front.stats())
+        };
+        let (indexed, si) = build(true);
+        let (linear, sl) = build(false);
+        assert_eq!(indexed, linear, "index must be answer-invisible");
+        assert!(si.point_index_builds > 0);
+        assert_eq!(sl.point_index_builds, 0);
+        assert!(
+            sl.read_work_tuples > si.read_work_tuples,
+            "linear scans examine more tuples ({} vs {})",
+            sl.read_work_tuples,
+            si.read_work_tuples
+        );
+    }
+
+    #[test]
+    fn answer_cache_is_invisible_and_evicts_fifo() {
+        let run = |capacity: usize| {
+            let front = ReadFrontend::new();
+            front.set_answer_cache_capacity(capacity);
+            let v = front.register_view("V", Bag::new(), 0);
+            for e in 1..=4 {
+                install(&front, v, e, e * 10, (e % 2) as i64);
+            }
+            let pin = front.pin(v).unwrap();
+            let mut answers = Vec::new();
+            for _ in 0..3 {
+                for k in 0..3 {
+                    answers.push(front.read_point(&pin, 0, k, None).unwrap());
+                }
+            }
+            front.unpin(pin).unwrap();
+            (answers, front.stats())
+        };
+        let (cached, sc) = run(8);
+        let (uncached, su) = run(0);
+        assert_eq!(cached, uncached, "cache must be answer-invisible");
+        assert!(
+            sc.cache_hits >= 6,
+            "repeat keys hit ({} hits)",
+            sc.cache_hits
+        );
+        assert_eq!(su.cache_hits + su.cache_misses, 0, "disabled cache is free");
+
+        // Capacity 2 over 3 distinct keys: FIFO eviction cycles, still
+        // correct, evictions counted.
+        let (small, ss) = run(2);
+        assert_eq!(small, uncached);
+        assert!(ss.cache_evictions > 0);
     }
 
     #[test]
@@ -434,7 +635,7 @@ mod tests {
             epoch: 2,
             at: 30,
             consumed: vec![id(2)],
-            delta: Bag::new(),
+            delta: Arc::new(Bag::new()),
         });
         let err = front
             .read_scan(&pin, Some(StalenessBound { reflect_before: 20 }))
@@ -487,6 +688,69 @@ mod tests {
     }
 
     #[test]
+    fn lagged_subscriber_resumes_equivalently() {
+        let front = ReadFrontend::new();
+        let v = front.register_view("V", Bag::new(), 0);
+        let unbounded = front.subscribe(v).unwrap();
+        let bounded = front.subscribe_bounded(v, 2).unwrap();
+        for e in 1..=5 {
+            install(&front, v, e, e * 10, e as i64);
+        }
+        // Epochs 1–2 queued; 3 overflowed (queue dropped); 4–5 only
+        // advanced the resume point.
+        let err = front.poll(bounded).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Lagged {
+                sub: bounded,
+                resume_epoch: 5
+            }
+        );
+        let pin = front.resume(bounded).unwrap();
+        assert_eq!(pin.epoch(), 5);
+        let snap = front.read_scan(&pin, None).unwrap();
+
+        // Equivalence: the resume snapshot plus the post-resume stream
+        // equals folding the unbounded subscriber's full stream.
+        install(&front, v, 6, 60, 6);
+        let mut from_snapshot = (*snap.bag).clone(); // freeze-step exempt: test oracle
+        for d in front.poll(bounded).unwrap() {
+            from_snapshot.merge(&d.delta);
+        }
+        let mut from_stream = Bag::new();
+        for d in front.poll(unbounded).unwrap() {
+            from_stream.merge(&d.delta);
+        }
+        assert_eq!(from_snapshot, from_stream);
+        let stats = front.stats();
+        assert_eq!(stats.subs_lagged, 1);
+        assert_eq!(stats.subs_resumed, 1);
+        front.unpin(pin).unwrap();
+    }
+
+    #[test]
+    fn unsubscribe_frees_the_slot_with_typed_errors() {
+        let front = ReadFrontend::new();
+        let v = front.register_view("V", Bag::new(), 0);
+        let sub = front.subscribe(v).unwrap();
+        install(&front, v, 1, 10, 1);
+        front.unsubscribe(sub).unwrap();
+        assert_eq!(
+            front.poll(sub).unwrap_err(),
+            ServeError::Unsubscribed { sub }
+        );
+        assert_eq!(
+            front.unsubscribe(sub).unwrap_err(),
+            ServeError::Unsubscribed { sub }
+        );
+        // Installs after the unsubscribe fan out to nobody.
+        install(&front, v, 2, 20, 2);
+        let stats = front.stats();
+        assert_eq!(stats.sub_events, 1);
+        assert_eq!(stats.subs_unsubscribed, 1);
+    }
+
+    #[test]
     fn errors_are_typed_and_printable() {
         let front = ReadFrontend::new();
         assert_eq!(
@@ -506,6 +770,11 @@ mod tests {
             front.poll(42).unwrap_err(),
             ServeError::NoSuchSubscription { sub: 42 }
         );
+        let sub = front.subscribe(v).unwrap();
+        assert_eq!(
+            front.resume(sub).unwrap_err(),
+            ServeError::NotLagged { sub }
+        );
         let msg = ServeError::TooStale {
             view: 0,
             epoch: 1,
@@ -515,5 +784,14 @@ mod tests {
         .to_string();
         assert!(msg.contains("too stale"), "{msg}");
         assert!(msg.contains("freshest admissible epoch: 2"), "{msg}");
+        let msg = ServeError::Lagged {
+            sub: 7,
+            resume_epoch: 9,
+        }
+        .to_string();
+        assert!(msg.contains("resume from epoch 9"), "{msg}");
+        assert!(ServeError::Unsubscribed { sub: 7 }
+            .to_string()
+            .contains("unsubscribed"));
     }
 }

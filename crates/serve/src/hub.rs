@@ -1,5 +1,5 @@
 //! Reactive subscriptions: install deltas pushed to registered readers
-//! in install order.
+//! in install order, with bounded-queue backpressure.
 //!
 //! A subscription is a per-view cursor plus a queue. When the store
 //! accepts epoch `e` of view `v`, every subscription on `v` whose cursor
@@ -9,13 +9,35 @@
 //! [`dw_engine::InstallSequencer`] ticket order, so the concatenated
 //! consumed-sets of a subscription stream equal the view's install
 //! fingerprint exactly (asserted by `tests/serve_equivalence.rs`).
+//!
+//! **Backpressure.** A subscription registered with a `max_lag` bound
+//! never queues more than `max_lag` undrained deltas. The install that
+//! would overflow the queue instead *lags* the subscription: the queue
+//! is dropped on the spot (no memory held for a reader that stopped
+//! reading) and the subscription remembers only a `resume_epoch` — the
+//! latest epoch published to its view, kept current while lagged.
+//! Polling a lagged subscription reports the lag as a typed condition;
+//! the reader recovers by pinning the snapshot at `resume_epoch` and
+//! streaming deltas from there — the stale-snapshot + delta-stream
+//! recovery of the Stale View Cleaning line of work, so a bounded
+//! subscriber's view history is provably equivalent to the unbounded
+//! stream it missed.
+//!
+//! **Lifecycle.** Ids are allocated monotonically and never reused, so
+//! an unsubscribed id stays distinguishable from one never issued:
+//! `poll` reports `Unsubscribed` for the former, `Unknown` for the
+//! latter. `publish` is O(subscribers-on-that-view); `poll` and
+//! `unsubscribe` are O(1) hash lookups.
 
 use dw_protocol::UpdateId;
 use dw_relational::Bag;
 use dw_simnet::Time;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
 
-/// One install delta as seen by a subscriber.
+/// One install delta as seen by a subscriber. The delta bag is
+/// `Arc`-shared with the publisher and every other subscriber: fan-out
+/// costs a refcount per queue, never a copy of the data.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct InstallDelta {
     /// The view (registry slot index).
@@ -27,18 +49,49 @@ pub struct InstallDelta {
     /// Updates newly incorporated, in consumption order — identical to
     /// the install record's consumed set.
     pub consumed: Vec<UpdateId>,
-    /// The installed delta.
-    pub delta: Bag,
+    /// The installed delta (shared, never copied).
+    pub delta: Arc<Bag>,
+}
+
+/// Delivery state of one subscription.
+enum SubState {
+    /// Keeping up: deltas queue until polled.
+    Live {
+        /// Last epoch appended to the queue; new installs append only
+        /// when strictly newer (replayed installs after a crash recovery
+        /// are filtered by the store, this cursor guards the hub
+        /// independently).
+        delivered_through: u64,
+        queue: VecDeque<InstallDelta>,
+    },
+    /// Fell more than `max_lag` installs behind; queue dropped. Tracks
+    /// the latest epoch published to the view so recovery can pin it.
+    Lagged { resume_epoch: u64 },
 }
 
 struct Subscription {
-    id: u64,
     view: usize,
-    /// Last epoch appended to the queue; new installs append only when
-    /// strictly newer (replayed installs after a crash recovery are
-    /// filtered by the store, this cursor guards the hub independently).
-    delivered_through: u64,
-    queue: VecDeque<InstallDelta>,
+    /// Queue bound; `None` = unbounded (never lags).
+    max_lag: Option<usize>,
+    state: SubState,
+}
+
+/// What polling a subscription yields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HubPoll {
+    /// The pending deltas, oldest first (possibly empty).
+    Deltas(Vec<InstallDelta>),
+    /// The subscription overflowed its `max_lag` bound; its queue was
+    /// dropped. Recover by reading the snapshot at `resume_epoch` and
+    /// resuming the stream from there.
+    Lagged {
+        /// Latest epoch published to the subscribed view.
+        resume_epoch: u64,
+    },
+    /// The id was valid once but has been unsubscribed.
+    Unsubscribed,
+    /// The id was never issued.
+    Unknown,
 }
 
 /// The fan-out registry (see module docs). Owned by the snapshot store;
@@ -46,7 +99,19 @@ struct Subscription {
 #[derive(Default)]
 pub struct SubscriptionHub {
     next_id: u64,
-    subs: Vec<Subscription>,
+    subs: HashMap<u64, Subscription>,
+    /// Per-view subscriber ids, ordered — publish fan-out must be
+    /// deterministic across runs.
+    by_view: HashMap<usize, BTreeSet<u64>>,
+}
+
+/// Counters returned by one [`SubscriptionHub::publish`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PublishOutcome {
+    /// Queues the delta was appended to.
+    pub reached: u64,
+    /// Subscriptions this install tipped over their `max_lag` bound.
+    pub newly_lagged: u64,
 }
 
 impl SubscriptionHub {
@@ -58,38 +123,119 @@ impl SubscriptionHub {
     /// Register a subscriber on `view`, receiving every install *after*
     /// `from_epoch` (pass the view's current latest epoch to stream only
     /// the future; pass 0 to replay nothing and still see everything
-    /// published after registration).
-    pub fn subscribe(&mut self, view: usize, from_epoch: u64) -> u64 {
+    /// published after registration). `max_lag` bounds the undrained
+    /// queue; `None` never lags.
+    pub fn subscribe(&mut self, view: usize, from_epoch: u64, max_lag: Option<usize>) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.subs.push(Subscription {
+        self.subs.insert(
             id,
-            view,
-            delivered_through: from_epoch,
-            queue: VecDeque::new(),
-        });
+            Subscription {
+                view,
+                max_lag,
+                state: SubState::Live {
+                    delivered_through: from_epoch,
+                    queue: VecDeque::new(),
+                },
+            },
+        );
+        self.by_view.entry(view).or_default().insert(id);
         id
     }
 
-    /// Fan one accepted install out to its view's subscribers. Returns
-    /// how many subscriber queues it reached.
-    pub fn publish(&mut self, delta: &InstallDelta) -> u64 {
-        let mut reached = 0;
-        for sub in &mut self.subs {
-            if sub.view == delta.view && delta.epoch > sub.delivered_through {
-                sub.delivered_through = delta.epoch;
-                sub.queue.push_back(delta.clone());
-                reached += 1;
+    /// Remove a subscription, freeing its queue. `HubPoll::Unsubscribed`
+    /// if already removed, `HubPoll::Unknown` if never issued (returned
+    /// as the error side so callers type their responses).
+    pub fn unsubscribe(&mut self, id: u64) -> Result<(), HubPoll> {
+        match self.subs.remove(&id) {
+            Some(sub) => {
+                if let Some(set) = self.by_view.get_mut(&sub.view) {
+                    set.remove(&id);
+                }
+                Ok(())
             }
+            None if id < self.next_id => Err(HubPoll::Unsubscribed),
+            None => Err(HubPoll::Unknown),
         }
-        reached
     }
 
-    /// Drain a subscriber's pending deltas (oldest first). `None` for an
-    /// unknown id.
-    pub fn poll(&mut self, id: u64) -> Option<Vec<InstallDelta>> {
-        let sub = self.subs.iter_mut().find(|s| s.id == id)?;
-        Some(sub.queue.drain(..).collect())
+    /// Fan one accepted install out to its view's subscribers — live
+    /// ones queue it (or tip into lagged), already-lagged ones just
+    /// advance their `resume_epoch`. Unsubscribed ids are long gone from
+    /// the per-view set, so they cost nothing here.
+    pub fn publish(&mut self, delta: &InstallDelta) -> PublishOutcome {
+        let mut out = PublishOutcome::default();
+        let Some(ids) = self.by_view.get(&delta.view) else {
+            return out;
+        };
+        for id in ids {
+            let sub = self.subs.get_mut(id).expect("by_view/subs drift");
+            match &mut sub.state {
+                SubState::Live {
+                    delivered_through,
+                    queue,
+                } => {
+                    if delta.epoch <= *delivered_through {
+                        continue; // replayed install (crash recovery)
+                    }
+                    if sub.max_lag.is_some_and(|m| queue.len() >= m) {
+                        // Overflow: drop the queue, remember only where
+                        // to resume from.
+                        sub.state = SubState::Lagged {
+                            resume_epoch: delta.epoch,
+                        };
+                        out.newly_lagged += 1;
+                        continue;
+                    }
+                    *delivered_through = delta.epoch;
+                    queue.push_back(delta.clone());
+                    out.reached += 1;
+                }
+                SubState::Lagged { resume_epoch } => {
+                    // Keep the resume point at the view's latest epoch:
+                    // the latest snapshot is the one retention guarantees
+                    // to still exist when the reader comes back.
+                    *resume_epoch = (*resume_epoch).max(delta.epoch);
+                }
+            }
+        }
+        out
+    }
+
+    /// Drain a subscriber's pending deltas (oldest first), or report its
+    /// lag / lifecycle state. O(1).
+    pub fn poll(&mut self, id: u64) -> HubPoll {
+        match self.subs.get_mut(&id) {
+            Some(sub) => match &mut sub.state {
+                SubState::Live { queue, .. } => HubPoll::Deltas(queue.drain(..).collect()),
+                SubState::Lagged { resume_epoch } => HubPoll::Lagged {
+                    resume_epoch: *resume_epoch,
+                },
+            },
+            None if id < self.next_id => HubPoll::Unsubscribed,
+            None => HubPoll::Unknown,
+        }
+    }
+
+    /// Flip a lagged subscription back to live, streaming from
+    /// `resume_epoch`. Returns `(view, resume_epoch)` so the caller can
+    /// pin the snapshot it must read to catch up; errors with the
+    /// subscription's poll state when it is not lagged.
+    pub fn resume(&mut self, id: u64) -> Result<(usize, u64), HubPoll> {
+        match self.subs.get_mut(&id) {
+            Some(sub) => match sub.state {
+                SubState::Lagged { resume_epoch } => {
+                    sub.state = SubState::Live {
+                        delivered_through: resume_epoch,
+                        queue: VecDeque::new(),
+                    };
+                    Ok((sub.view, resume_epoch))
+                }
+                SubState::Live { .. } => Err(HubPoll::Deltas(Vec::new())),
+            },
+            None if id < self.next_id => Err(HubPoll::Unsubscribed),
+            None => Err(HubPoll::Unknown),
+        }
     }
 
     /// Number of registered subscribers.
@@ -116,52 +262,113 @@ mod tests {
                 source: view,
                 seq: epoch,
             }],
-            delta: Bag::new(),
+            delta: Arc::new(Bag::new()),
+        }
+    }
+
+    fn drained(hub: &mut SubscriptionHub, id: u64) -> Vec<InstallDelta> {
+        match hub.poll(id) {
+            HubPoll::Deltas(v) => v,
+            other => panic!("expected deltas, got {other:?}"),
         }
     }
 
     #[test]
     fn installs_reach_only_matching_views_in_order() {
         let mut hub = SubscriptionHub::new();
-        let a = hub.subscribe(0, 0);
-        let b = hub.subscribe(1, 0);
+        let a = hub.subscribe(0, 0, None);
+        let b = hub.subscribe(1, 0, None);
         hub.publish(&delta(0, 1));
         hub.publish(&delta(1, 1));
         hub.publish(&delta(0, 2));
         assert_eq!(
-            hub.poll(a).unwrap(),
+            drained(&mut hub, a),
             vec![delta(0, 1), delta(0, 2)],
             "view-0 stream"
         );
-        assert_eq!(hub.poll(b).unwrap(), vec![delta(1, 1)]);
+        assert_eq!(drained(&mut hub, b), vec![delta(1, 1)]);
         // Drained; nothing left.
-        assert!(hub.poll(a).unwrap().is_empty());
+        assert!(drained(&mut hub, a).is_empty());
     }
 
     #[test]
     fn from_epoch_skips_already_seen_installs() {
         let mut hub = SubscriptionHub::new();
-        let late = hub.subscribe(0, 2);
+        let late = hub.subscribe(0, 2, None);
         hub.publish(&delta(0, 2)); // replay of something pre-subscription
         hub.publish(&delta(0, 3));
-        assert_eq!(hub.poll(late).unwrap(), vec![delta(0, 3)]);
+        assert_eq!(drained(&mut hub, late), vec![delta(0, 3)]);
     }
 
     #[test]
     fn duplicate_epochs_are_not_redelivered() {
         let mut hub = SubscriptionHub::new();
-        let s = hub.subscribe(0, 0);
-        assert_eq!(hub.publish(&delta(0, 1)), 1);
-        assert_eq!(hub.publish(&delta(0, 1)), 0, "replayed install refused");
-        assert_eq!(hub.poll(s).unwrap(), vec![delta(0, 1)]);
+        let s = hub.subscribe(0, 0, None);
+        assert_eq!(hub.publish(&delta(0, 1)).reached, 1);
+        assert_eq!(
+            hub.publish(&delta(0, 1)).reached,
+            0,
+            "replayed install refused"
+        );
+        assert_eq!(drained(&mut hub, s), vec![delta(0, 1)]);
     }
 
     #[test]
-    fn unknown_subscriber_polls_none() {
+    fn unknown_unsubscribed_and_live_ids_are_distinguishable() {
         let mut hub = SubscriptionHub::new();
-        assert!(hub.poll(99).is_none());
+        assert_eq!(hub.poll(99), HubPoll::Unknown);
         assert!(hub.is_empty());
-        hub.subscribe(0, 0);
+        let s = hub.subscribe(0, 0, None);
         assert_eq!(hub.len(), 1);
+        hub.unsubscribe(s).unwrap();
+        assert!(hub.is_empty());
+        assert_eq!(hub.poll(s), HubPoll::Unsubscribed, "dropped ≠ never issued");
+        assert_eq!(hub.unsubscribe(s), Err(HubPoll::Unsubscribed));
+        assert_eq!(hub.unsubscribe(77), Err(HubPoll::Unknown));
+    }
+
+    #[test]
+    fn publish_skips_unsubscribed_slots_without_leaking() {
+        let mut hub = SubscriptionHub::new();
+        let gone = hub.subscribe(0, 0, None);
+        let kept = hub.subscribe(0, 0, None);
+        hub.publish(&delta(0, 1));
+        hub.unsubscribe(gone).unwrap();
+        // Fan-out reaches only the survivor; the dropped queue is freed.
+        assert_eq!(hub.publish(&delta(0, 2)).reached, 1);
+        assert_eq!(drained(&mut hub, kept), vec![delta(0, 1), delta(0, 2)]);
+        assert_eq!(hub.poll(gone), HubPoll::Unsubscribed);
+    }
+
+    #[test]
+    fn overflow_lags_drops_the_queue_and_tracks_resume_epoch() {
+        let mut hub = SubscriptionHub::new();
+        let s = hub.subscribe(0, 0, Some(2));
+        assert_eq!(hub.publish(&delta(0, 1)).reached, 1);
+        assert_eq!(hub.publish(&delta(0, 2)).reached, 1);
+        // Third undrained install overflows max_lag = 2.
+        let out = hub.publish(&delta(0, 3));
+        assert_eq!((out.reached, out.newly_lagged), (0, 1));
+        assert_eq!(hub.poll(s), HubPoll::Lagged { resume_epoch: 3 });
+        // While lagged, later installs only advance the resume point.
+        let out = hub.publish(&delta(0, 4));
+        assert_eq!((out.reached, out.newly_lagged), (0, 0));
+        assert_eq!(hub.poll(s), HubPoll::Lagged { resume_epoch: 4 });
+        // Resume: live again, streaming strictly after resume_epoch.
+        assert_eq!(hub.resume(s), Ok((0, 4)));
+        hub.publish(&delta(0, 5));
+        assert_eq!(drained(&mut hub, s), vec![delta(0, 5)]);
+        // Resuming a live subscription is a typed error.
+        assert_eq!(hub.resume(s), Err(HubPoll::Deltas(Vec::new())));
+    }
+
+    #[test]
+    fn polling_keeps_a_bounded_subscription_live() {
+        let mut hub = SubscriptionHub::new();
+        let s = hub.subscribe(0, 0, Some(1));
+        for e in 1..=6 {
+            hub.publish(&delta(0, e));
+            assert_eq!(drained(&mut hub, s), vec![delta(0, e)], "epoch {e}");
+        }
     }
 }

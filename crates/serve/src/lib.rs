@@ -19,10 +19,21 @@
 //!   source update delivered before `T`"); a violating epoch returns a
 //!   typed [`ServeError::TooStale`] naming the freshest admissible
 //!   epoch, so callers can retry against it or relax the bound;
+//! * point reads route through per-`(view, epoch, column)` **secondary
+//!   hash indexes** — lazily built on first touch, incrementally derived
+//!   at every publish — with an optional read-through **answer cache**
+//!   (`(view, epoch, column, key)`-keyed, FIFO-bounded), so a hot-key
+//!   lookup is `O(|group|)` instead of `O(|bag|)` and both layers are
+//!   provably invisible to correctness;
 //! * a [`SubscriptionHub`] pushes install deltas to registered readers
 //!   in install order — under the sharded scheduler that order is the
 //!   [`dw_engine::InstallSequencer`] ticket order, so subscription
-//!   streams are byte-identical to the install sequence.
+//!   streams are byte-identical to the install sequence. A subscriber
+//!   registered with a `max_lag` bound that stops draining is *lagged*
+//!   (queue dropped, typed [`ServeError::Lagged`] on poll) and recovers
+//!   by [`ReadFrontend::resume`]: pin the snapshot at `resume_epoch`,
+//!   read it, stream deltas from there — equivalent to the unbounded
+//!   stream it missed.
 //!
 //! Old epochs are retained only while pinned (plus the latest); garbage
 //! collection runs at publish and unpin. Crash recovery replays installs
@@ -44,5 +55,5 @@ pub mod store;
 pub use frontend::{
     PinnedEpoch, PointAnswer, ReadFrontend, ScanAnswer, ServeError, StalenessBound,
 };
-pub use hub::{InstallDelta, SubscriptionHub};
+pub use hub::{HubPoll, InstallDelta, PublishOutcome, SubscriptionHub};
 pub use store::{ServeStats, SnapshotStore};

@@ -13,7 +13,28 @@
 //! publish and unpin. Snapshot bags are `Arc`-shared: pinning costs a
 //! refcount, never a copy, and an install can never mutate what a
 //! reader is looking at (copy-on-write at epoch granularity — a new
-//! epoch clones the latest bag, merges the delta, and freezes).
+//! epoch clones the latest bag once at the freeze step, merges the
+//! delta, and freezes; that is the *only* deep copy on the serve side,
+//! counted by `bags_deep_cloned` and grepped for in CI).
+//!
+//! **Point indexes.** Each frozen epoch can carry secondary hash
+//! indexes, one per read column, mapping a key value to the sorted
+//! matching `(tuple, multiplicity)` group. The first point read on a
+//! `(view, epoch, column)` builds the index with one full scan; every
+//! later epoch *derives* its index incrementally from the predecessor's
+//! (clone the `Arc`'d groups, rebuild only the keys the install delta
+//! touched), so steady-state point reads examine `O(|group|)` tuples
+//! instead of `O(|bag|)`. `read_work_tuples` /
+//! `index_maintenance_tuples` count exactly how many tuples each path
+//! examined — the deterministic work proxy E21 gates its speedup on.
+//!
+//! **Answer cache.** An optional read-through cache keyed
+//! `(view, epoch, column, key)` memoizes point answers with FIFO
+//! eviction at a fixed capacity. Epochs are immutable, so a cached
+//! answer can never go stale; entries die with their epoch at GC.
+//! Capacity 0 (the default) disables it — correctness never depends on
+//! it, which `tests/serve_equivalence.rs` proves by byte-comparing
+//! cache-on and cache-off runs.
 //!
 //! **Staleness.** The store tracks, per view, every delivered update
 //! and which epoch (if any) consumed it. An epoch `e` *admits* a bound
@@ -27,19 +48,100 @@
 //! readers or subscribers.
 
 use crate::frontend::ServeError;
-use crate::hub::{InstallDelta, SubscriptionHub};
+use crate::hub::{HubPoll, InstallDelta, SubscriptionHub};
 use dw_engine::{InstallEvent, InstallPublisher};
+use dw_obs::Obs;
 use dw_protocol::UpdateId;
-use dw_relational::Bag;
+use dw_relational::{Bag, Tuple, Value};
 use dw_simnet::Time;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
+
+/// A secondary hash index of one frozen epoch on one column: key value →
+/// sorted matching `(tuple, multiplicity)` group, `Arc`-shared so a
+/// point answer hands the group out without copying it.
+pub(crate) struct PointIndex {
+    groups: HashMap<Value, Arc<Vec<(Tuple, i64)>>>,
+}
+
+impl PointIndex {
+    /// Build from a full scan of `bag`. Returns the index and the number
+    /// of tuples examined (= `bag.len()`).
+    fn build(bag: &Bag, column: usize) -> (Self, u64) {
+        let mut raw: HashMap<Value, Vec<(Tuple, i64)>> = HashMap::new();
+        let mut work = 0u64;
+        for (t, m) in bag.iter() {
+            raw.entry(t.at(column).clone())
+                .or_default()
+                .push((t.clone(), m));
+            work += 1;
+        }
+        let groups = raw
+            .into_iter()
+            .map(|(k, mut v)| {
+                v.sort();
+                (k, Arc::new(v))
+            })
+            .collect();
+        (PointIndex { groups }, work)
+    }
+
+    /// Derive the successor epoch's index from this one plus the install
+    /// delta: `Arc`-clone every untouched group, rebuild only the keys
+    /// the delta mentions (summing multiplicities, dropping zeros —
+    /// exactly [`Bag::merge`] semantics). Returns the new index and the
+    /// tuples examined.
+    fn derive(&self, delta: &Bag, column: usize) -> (Self, u64) {
+        let mut groups = self.groups.clone();
+        let mut touched: HashMap<Value, Vec<(Tuple, i64)>> = HashMap::new();
+        let mut work = 0u64;
+        for (t, m) in delta.iter() {
+            touched
+                .entry(t.at(column).clone())
+                .or_default()
+                .push((t.clone(), m));
+            work += 1;
+        }
+        for (key, delta_entries) in touched {
+            let mut counts: HashMap<Tuple, i64> = HashMap::new();
+            if let Some(old) = groups.get(&key) {
+                work += old.len() as u64;
+                for (t, m) in old.iter() {
+                    counts.insert(t.clone(), *m);
+                }
+            }
+            for (t, m) in delta_entries {
+                let c = counts.entry(t).or_insert(0);
+                *c += m;
+            }
+            let mut merged: Vec<(Tuple, i64)> =
+                counts.into_iter().filter(|&(_, m)| m != 0).collect();
+            if merged.is_empty() {
+                groups.remove(&key);
+            } else {
+                merged.sort();
+                groups.insert(key, Arc::new(merged));
+            }
+        }
+        (PointIndex { groups }, work)
+    }
+
+    /// The matching group for `key` (empty when absent).
+    fn group(&self, key: &Value) -> Arc<Vec<(Tuple, i64)>> {
+        self.groups
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| Arc::new(Vec::new()))
+    }
+}
 
 /// One frozen epoch of one view.
 pub(crate) struct EpochSnapshot {
     pub(crate) at: Time,
     pub(crate) consumed: Vec<UpdateId>,
     pub(crate) bag: Arc<Bag>,
+    /// Lazily built / incrementally derived point indexes, per column.
+    indexes: HashMap<usize, Arc<PointIndex>>,
 }
 
 struct DeliveredUpdate {
@@ -79,16 +181,99 @@ pub struct ServeStats {
     pub pins_released: u64,
     /// Install deltas enqueued across all subscribers.
     pub sub_events: u64,
+    /// Subscriptions that overflowed their `max_lag` bound.
+    pub subs_lagged: u64,
+    /// Lagged subscriptions resumed from their resume epoch.
+    pub subs_resumed: u64,
+    /// Subscriptions removed through `unsubscribe`.
+    pub subs_unsubscribed: u64,
+    /// Point reads answered through an already-present index.
+    pub point_index_hits: u64,
+    /// Point reads that found no index for their `(epoch, column)`.
+    pub point_index_misses: u64,
+    /// Full index builds (first point read on a column).
+    pub point_index_builds: u64,
+    /// Incremental index derivations at publish.
+    pub point_index_derived: u64,
+    /// Answer-cache hits.
+    pub cache_hits: u64,
+    /// Answer-cache misses (cache enabled, entry absent).
+    pub cache_misses: u64,
+    /// Answer-cache entries evicted at capacity.
+    pub cache_evictions: u64,
+    /// Tuples examined answering point reads (linear scans, index
+    /// builds, and group walks; cache hits examine none).
+    pub read_work_tuples: u64,
+    /// Tuples examined deriving successor indexes at publish.
+    pub index_maintenance_tuples: u64,
+    /// Bag deep copies taken on the serve side — exactly one per
+    /// accepted install (the freeze step). Reads never bump this.
+    pub bags_deep_cloned: u64,
+}
+
+type CacheKey = (usize, u64, usize, Value);
+
+/// A cached (or index-served) point answer: total multiplicity plus the
+/// `Arc`-shared match group — cloning one is a refcount bump.
+type PointHit = (i64, Arc<Vec<(Tuple, i64)>>);
+
+/// Read-through point-answer cache with deterministic FIFO eviction.
+/// Epochs are immutable, so entries never go stale; they are purged when
+/// their epoch is garbage-collected.
+#[derive(Default)]
+struct AnswerCache {
+    capacity: usize,
+    map: HashMap<CacheKey, PointHit>,
+    fifo: VecDeque<CacheKey>,
+}
+
+impl AnswerCache {
+    fn get(&self, key: &CacheKey) -> Option<PointHit> {
+        self.map.get(key).map(|(m, v)| (*m, Arc::clone(v)))
+    }
+
+    /// Insert, evicting oldest-first at capacity. Returns evictions.
+    fn insert(&mut self, key: CacheKey, mult: i64, matches: Arc<Vec<(Tuple, i64)>>) -> u64 {
+        if self.capacity == 0 || self.map.contains_key(&key) {
+            return 0;
+        }
+        let mut evicted = 0;
+        while self.map.len() >= self.capacity {
+            let Some(old) = self.fifo.pop_front() else {
+                break;
+            };
+            if self.map.remove(&old).is_some() {
+                evicted += 1;
+            }
+        }
+        self.fifo.push_back(key.clone());
+        self.map.insert(key, (mult, matches));
+        evicted
+    }
+
+    /// Drop every entry answered from `(view, epoch)` (its snapshot is
+    /// being garbage-collected).
+    fn purge_epoch(&mut self, view: usize, epoch: u64) {
+        if self.map.is_empty() {
+            return;
+        }
+        self.fifo.retain(|k| !(k.0 == view && k.1 == epoch));
+        self.map.retain(|k, _| !(k.0 == view && k.1 == epoch));
+    }
 }
 
 /// The store itself (see module docs). Consumers never construct or
 /// hold one directly — [`crate::ReadFrontend`] owns it behind a mutex
 /// and hands the engine a publisher handle onto it.
-#[derive(Default)]
 pub struct SnapshotStore {
     views: Vec<ViewState>,
     hub: SubscriptionHub,
     stats: ServeStats,
+    /// Per-epoch secondary indexing on point-read columns (on by
+    /// default; off = every point read is a linear scan).
+    index_enabled: bool,
+    cache: AnswerCache,
+    obs: Obs,
     /// Every accepted install as `(view slot, epoch)`, in publication
     /// order — the documented global ticket order. Under the flat engine
     /// that is apply order; under the sharded engine it is
@@ -98,6 +283,20 @@ pub struct SnapshotStore {
     /// and its derived descendants always form one contiguous block.
     /// Replays (crash recovery) are ignored and never re-enter the log.
     publication_log: Vec<(usize, u64)>,
+}
+
+impl Default for SnapshotStore {
+    fn default() -> Self {
+        SnapshotStore {
+            views: Vec::new(),
+            hub: SubscriptionHub::new(),
+            stats: ServeStats::default(),
+            index_enabled: true,
+            cache: AnswerCache::default(),
+            obs: Obs::off(),
+            publication_log: Vec::new(),
+        }
+    }
 }
 
 impl SnapshotStore {
@@ -113,6 +312,7 @@ impl SnapshotStore {
                 at,
                 consumed: Vec::new(),
                 bag: Arc::new(initial),
+                indexes: HashMap::new(),
             },
         );
         self.views.push(ViewState {
@@ -123,6 +323,18 @@ impl SnapshotStore {
             pins: HashMap::new(),
         });
         self.views.len() - 1
+    }
+
+    pub(crate) fn set_point_index(&mut self, on: bool) {
+        self.index_enabled = on;
+    }
+
+    pub(crate) fn set_cache_capacity(&mut self, capacity: usize) {
+        self.cache.capacity = capacity;
+    }
+
+    pub(crate) fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     pub(crate) fn view_count(&self) -> usize {
@@ -152,6 +364,80 @@ impl SnapshotStore {
             .epochs
             .get(&epoch)
             .ok_or(ServeError::NoSuchEpoch { view, epoch })
+    }
+
+    /// Answer a point read: the sorted matching group for `key` on
+    /// `column` at the pinned epoch, plus its total multiplicity. Routes
+    /// cache → index → linear scan, in that order, bumping the exact
+    /// work and hit/miss counters each path costs. Never copies the bag:
+    /// the group is `Arc`-shared with the index (or freshly collected by
+    /// the linear fallback, allocating only the matches).
+    pub(crate) fn point_lookup(
+        &mut self,
+        view: usize,
+        epoch: u64,
+        column: usize,
+        key: Value,
+    ) -> Result<PointHit, ServeError> {
+        // Existence check up front so cache/index paths can assume it.
+        self.epoch(view, epoch)?;
+
+        let cache_key: CacheKey = (view, epoch, column, key);
+        if self.cache.capacity > 0 {
+            if let Some((mult, matches)) = self.cache.get(&cache_key) {
+                self.stats.cache_hits += 1;
+                self.obs.add("serve.cache.hit", 1);
+                return Ok((mult, matches));
+            }
+            self.stats.cache_misses += 1;
+            self.obs.add("serve.cache.miss", 1);
+        }
+        let key = cache_key.3.clone();
+
+        let matches: Arc<Vec<(Tuple, i64)>> = if self.index_enabled {
+            let snap = self
+                .views
+                .get_mut(view)
+                .and_then(|v| v.epochs.get_mut(&epoch))
+                .expect("checked above");
+            let index = match snap.indexes.get(&column) {
+                Some(idx) => {
+                    self.stats.point_index_hits += 1;
+                    self.obs.add("serve.index.hit", 1);
+                    Arc::clone(idx)
+                }
+                None => {
+                    self.stats.point_index_misses += 1;
+                    self.obs.add("serve.index.miss", 1);
+                    let (idx, work) = PointIndex::build(&snap.bag, column);
+                    let idx = Arc::new(idx);
+                    snap.indexes.insert(column, Arc::clone(&idx));
+                    self.stats.point_index_builds += 1;
+                    self.stats.read_work_tuples += work;
+                    self.obs.add("serve.index.build", 1);
+                    idx
+                }
+            };
+            let group = index.group(&key);
+            self.stats.read_work_tuples += group.len() as u64;
+            group
+        } else {
+            // Linear fallback: one pass over the frozen bag, allocating
+            // only the matches.
+            let snap = self.epoch(view, epoch)?;
+            let mut found: Vec<(Tuple, i64)> = snap
+                .bag
+                .iter()
+                .filter(|(t, _)| t.at(column) == &key)
+                .map(|(t, m)| (t.clone(), m))
+                .collect();
+            found.sort();
+            self.stats.read_work_tuples += self.epoch(view, epoch)?.bag.distinct_len() as u64;
+            Arc::new(found)
+        };
+        let mult = matches.iter().map(|&(_, m)| m).sum();
+        self.stats.cache_evictions += self.cache.insert(cache_key, mult, Arc::clone(&matches));
+        Ok((mult, matches))
     }
 
     /// Does `epoch` of `view` reflect every update delivered before
@@ -205,28 +491,77 @@ impl SnapshotStore {
         Ok(())
     }
 
-    /// Drop unpinned non-latest epochs of `view`.
+    /// Drop unpinned non-latest epochs of `view`, along with their
+    /// cached answers (their indexes die with the snapshot).
     fn gc(&mut self, view: usize) {
         let Some(v) = self.views.get_mut(view) else {
             return;
         };
         let latest = v.latest;
         let pins = &v.pins;
-        let before = v.epochs.len();
-        v.epochs
-            .retain(|&e, _| e == latest || pins.get(&e).is_some_and(|&n| n > 0));
-        self.stats.snapshots_gced += (before - v.epochs.len()) as u64;
+        let mut dropped: Vec<u64> = Vec::new();
+        v.epochs.retain(|&e, _| {
+            let keep = e == latest || pins.get(&e).is_some_and(|&n| n > 0);
+            if !keep {
+                dropped.push(e);
+            }
+            keep
+        });
+        self.stats.snapshots_gced += dropped.len() as u64;
+        for e in dropped {
+            self.cache.purge_epoch(view, e);
+        }
     }
 
-    pub(crate) fn subscribe(&mut self, view: usize) -> Result<u64, ServeError> {
+    pub(crate) fn subscribe(
+        &mut self,
+        view: usize,
+        max_lag: Option<usize>,
+    ) -> Result<u64, ServeError> {
         let from = self.latest_epoch(view)?;
-        Ok(self.hub.subscribe(view, from))
+        Ok(self.hub.subscribe(view, from, max_lag))
+    }
+
+    pub(crate) fn unsubscribe(&mut self, sub: u64) -> Result<(), ServeError> {
+        match self.hub.unsubscribe(sub) {
+            Ok(()) => {
+                self.stats.subs_unsubscribed += 1;
+                Ok(())
+            }
+            Err(state) => Err(Self::sub_error(sub, state)),
+        }
     }
 
     pub(crate) fn poll(&mut self, sub: u64) -> Result<Vec<InstallDelta>, ServeError> {
-        self.hub
-            .poll(sub)
-            .ok_or(ServeError::NoSuchSubscription { sub })
+        match self.hub.poll(sub) {
+            HubPoll::Deltas(v) => Ok(v),
+            state => Err(Self::sub_error(sub, state)),
+        }
+    }
+
+    /// Flip a lagged subscription live again and pin the snapshot it
+    /// must read to catch up — one atomic step, so the resume epoch can
+    /// never be garbage-collected between the flip and the read.
+    pub(crate) fn resume(&mut self, sub: u64) -> Result<(usize, u64), ServeError> {
+        match self.hub.resume(sub) {
+            Ok((view, epoch)) => {
+                // The resume epoch tracks the view's latest, which
+                // retention always keeps — the pin cannot fail.
+                self.pin(view, epoch)?;
+                self.stats.subs_resumed += 1;
+                Ok((view, epoch))
+            }
+            Err(HubPoll::Deltas(_)) => Err(ServeError::NotLagged { sub }),
+            Err(state) => Err(Self::sub_error(sub, state)),
+        }
+    }
+
+    fn sub_error(sub: u64, state: HubPoll) -> ServeError {
+        match state {
+            HubPoll::Lagged { resume_epoch } => ServeError::Lagged { sub, resume_epoch },
+            HubPoll::Unsubscribed => ServeError::Unsubscribed { sub },
+            _ => ServeError::NoSuchSubscription { sub },
+        }
     }
 
     pub(crate) fn stats(&self) -> &ServeStats {
@@ -263,6 +598,7 @@ impl InstallPublisher for SnapshotStore {
     }
 
     fn publish(&mut self, event: InstallEvent) {
+        let index_enabled = self.index_enabled;
         let Some(v) = self.views.get_mut(event.view_index) else {
             return;
         };
@@ -290,26 +626,53 @@ impl InstallPublisher for SnapshotStore {
                 })
                 .consumed_in = Some(epoch);
         }
-        let mut bag = (*v.epochs[&v.latest].bag).clone();
+        let prev = &v.epochs[&v.latest];
+        // Successor indexes derive incrementally from the predecessor's:
+        // only delta-touched groups are rebuilt, everything else rides
+        // the Arc. (Skipped when indexing is off or nothing was built.)
+        let mut indexes = HashMap::new();
+        let mut derive_work = 0u64;
+        let mut derived = 0u64;
+        if index_enabled {
+            for (&column, idx) in &prev.indexes {
+                let (next, work) = idx.derive(&event.delta, column);
+                indexes.insert(column, Arc::new(next));
+                derive_work += work;
+                derived += 1;
+            }
+        }
+        // freeze-step: the one permitted serve-side bag deep copy — COW
+        // at epoch granularity, counted so tests can assert reads stay
+        // copy-free.
+        let mut bag = (*prev.bag).clone(); // freeze-step
         bag.merge(&event.delta);
+        self.stats.bags_deep_cloned += 1;
+        self.stats.index_maintenance_tuples += derive_work;
+        self.stats.point_index_derived += derived;
+        if derived > 0 {
+            self.obs.add("serve.index.derive", derived);
+        }
         v.epochs.insert(
             epoch,
             EpochSnapshot {
                 at: event.at,
                 consumed: event.consumed.clone(),
                 bag: Arc::new(bag),
+                indexes,
             },
         );
         v.latest = epoch;
         self.publication_log.push((event.view_index, epoch));
         self.stats.snapshots_published += 1;
         self.gc(event.view_index);
-        self.stats.sub_events += self.hub.publish(&InstallDelta {
+        let out = self.hub.publish(&InstallDelta {
             view: event.view_index,
             epoch,
             at: event.at,
             consumed: event.consumed,
             delta: event.delta,
         });
+        self.stats.sub_events += out.reached;
+        self.stats.subs_lagged += out.newly_lagged;
     }
 }

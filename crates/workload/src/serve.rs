@@ -30,6 +30,10 @@ pub enum ReadKind {
     /// Register a subscription on the view (delivered install deltas are
     /// drained at quiescence by the experiment).
     Subscribe,
+    /// Poll the reader's standing bounded subscription on the view for
+    /// queued install deltas — the op that can observe `Lagged` when
+    /// backpressure dropped the queue.
+    Poll,
 }
 
 /// One scheduled read operation.
@@ -66,8 +70,12 @@ pub struct ReadMixConfig {
     pub n_views: usize,
     /// Fraction of ops that are point lookups.
     pub point_frac: f64,
-    /// Fraction of ops that are scans (the rest subscribe).
+    /// Fraction of ops that are scans.
     pub scan_frac: f64,
+    /// Fraction of ops that poll a standing bounded subscription (the
+    /// remainder after point + scan + poll subscribes). Zero by default
+    /// so existing mixes are byte-identical.
+    pub poll_frac: f64,
     /// Fraction of point/scan ops carrying a staleness bound.
     pub bound_frac: f64,
     /// Trailing staleness window (µs) for bounded ops.
@@ -93,6 +101,7 @@ impl Default for ReadMixConfig {
             n_views: 1,
             point_frac: 0.5,
             scan_frac: 0.4,
+            poll_frac: 0.0,
             bound_frac: 0.3,
             bound_window: 2_000,
             point_column: 0,
@@ -104,6 +113,42 @@ impl Default for ReadMixConfig {
 }
 
 impl ReadMixConfig {
+    /// Point-heavy, zipf-skewed preset: almost all ops are lookups over
+    /// a wide key domain with θ high enough that a handful of hot keys
+    /// absorb most of the traffic. This is the mix where an epoch point
+    /// index and a read-through answer cache pay off; E21 runs it with
+    /// the serving-layer machinery on and off.
+    pub fn hot_key_points(readers: usize, reads_per_reader: usize, seed: u64) -> Self {
+        ReadMixConfig {
+            readers,
+            reads_per_reader,
+            point_frac: 0.92,
+            scan_frac: 0.04,
+            poll_frac: 0.0,
+            bound_frac: 0.2,
+            keys: (0..64).collect(),
+            zipf_theta: 1.1,
+            seed,
+            ..ReadMixConfig::default()
+        }
+    }
+
+    /// Subscriber-heavy preset with a steady poll pulse: every reader
+    /// keeps a standing bounded subscription and polls it between
+    /// lookups, so slow pollers under a tight `max_lag` trip the hub's
+    /// backpressure and have to recover through a snapshot resume.
+    pub fn laggy_subscribers(readers: usize, reads_per_reader: usize, seed: u64) -> Self {
+        ReadMixConfig {
+            readers,
+            reads_per_reader,
+            point_frac: 0.3,
+            scan_frac: 0.1,
+            poll_frac: 0.5,
+            seed,
+            ..ReadMixConfig::default()
+        }
+    }
+
     /// Generate the full schedule, sorted by issue time (ties broken by
     /// reader index so the order is total and deterministic).
     pub fn generate(&self) -> Vec<ReadOp> {
@@ -125,10 +170,12 @@ impl ReadMixConfig {
                     }
                 } else if roll < self.point_frac + self.scan_frac {
                     ReadKind::Scan
+                } else if roll < self.point_frac + self.scan_frac + self.poll_frac {
+                    ReadKind::Poll
                 } else {
                     ReadKind::Subscribe
                 };
-                let bound_window = (!matches!(kind, ReadKind::Subscribe)
+                let bound_window = (!matches!(kind, ReadKind::Subscribe | ReadKind::Poll)
                     && rng.chance(self.bound_frac))
                 .then_some(self.bound_window);
                 ops.push(ReadOp {
@@ -191,6 +238,40 @@ mod tests {
         assert!(
             ops.iter().all(|op| op.bound_window.is_none()),
             "subscriptions never carry staleness bounds"
+        );
+    }
+
+    #[test]
+    fn poll_fraction_emits_unbounded_poll_ops() {
+        let cfg = ReadMixConfig::laggy_subscribers(6, 40, 11);
+        let ops = cfg.generate();
+        let polls = ops
+            .iter()
+            .filter(|op| matches!(op.kind, ReadKind::Poll))
+            .count();
+        assert!(polls > 0, "poll_frac=0.5 must schedule polls");
+        assert!(ops
+            .iter()
+            .filter(|op| matches!(op.kind, ReadKind::Poll | ReadKind::Subscribe))
+            .all(|op| op.bound_window.is_none()));
+        // poll_frac defaults to zero: legacy mixes are untouched.
+        assert!(ReadMixConfig::default()
+            .generate()
+            .iter()
+            .all(|op| !matches!(op.kind, ReadKind::Poll)));
+    }
+
+    #[test]
+    fn hot_key_preset_is_point_dominated() {
+        let ops = ReadMixConfig::hot_key_points(8, 64, 3).generate();
+        let points = ops
+            .iter()
+            .filter(|op| matches!(op.kind, ReadKind::Point { .. }))
+            .count();
+        assert!(
+            points as f64 / ops.len() as f64 > 0.85,
+            "point share {points}/{}",
+            ops.len()
         );
     }
 

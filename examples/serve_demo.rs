@@ -74,6 +74,9 @@ fn main() {
                 "TOO STALE (needs {required} us, freshest admissible epoch: {freshest_admissible:?})"
             ),
             ReadResult::Subscribed { sub } => format!("subscribed (#{sub})"),
+            ReadResult::Polled { delivered, resumed } => {
+                format!("polled -> {delivered} deltas (resumed: {resumed})")
+            }
         };
         println!(
             "  t={:>6} reader {} view {} @epoch {:>2}: {}",

@@ -76,9 +76,10 @@ pub mod prelude {
         Recorder, ViewLog,
     };
     pub use dw_core::{
-        audit_reads, oracle_expects_rejection, oracle_view_at_epoch, CoreError, DerivedOutcome,
-        Experiment, MultiViewExperiment, MultiViewReport, OracleAudit, PolicyKind, ReadOutcome,
-        ReadResult, RunReport, ServeExperiment, ServeReport, ShardedExperiment, ShardedReport,
+        audit_lag_recoveries, audit_reads, oracle_expects_rejection, oracle_view_at_epoch,
+        CoreError, DerivedOutcome, Experiment, LagAudit, LagEvent, LagSubscription,
+        MultiViewExperiment, MultiViewReport, OracleAudit, PolicyKind, ReadOutcome, ReadResult,
+        RunReport, ServeExperiment, ServeReport, ShardedExperiment, ShardedReport,
         SubscriptionOutcome, ViewOutcome,
     };
     pub use dw_multiview::{
@@ -91,8 +92,8 @@ pub mod prelude {
         KeySpec, Schema, ShardMap, Tuple, Value, ViewDef, ViewDefBuilder,
     };
     pub use dw_serve::{
-        InstallDelta, PinnedEpoch, PointAnswer, ReadFrontend, ScanAnswer, ServeError, ServeStats,
-        StalenessBound,
+        HubPoll, InstallDelta, PinnedEpoch, PointAnswer, PublishOutcome, ReadFrontend, ScanAnswer,
+        ServeError, ServeStats, StalenessBound,
     };
     pub use dw_simnet::{Crash, FaultPlan, LatencyModel, LinkFaults, Network, Outage, Time};
     pub use dw_warehouse::{

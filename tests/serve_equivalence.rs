@@ -223,6 +223,150 @@ fn reads_during_crash_recovery_answer_from_last_committed_epoch() {
     assert!(in_window_reads > 0);
 }
 
+/// Field-wise byte-equality of two runs' read outcomes. (`Bag` wraps a
+/// HashMap, so comparing Debug strings would be iteration-order noise;
+/// the comparison has to be structural.)
+fn assert_identical_answers(a: &ServeReport, b: &ServeReport, k: u64, arm: &str) {
+    assert_eq!(a.reads.len(), b.reads.len(), "case {k} ({arm})");
+    for (x, y) in a.reads.iter().zip(&b.reads) {
+        assert_eq!(x.op, y.op, "case {k} ({arm}): schedules diverged");
+        assert_eq!(x.epoch, y.epoch, "case {k} ({arm}): pinned epoch drifted");
+        assert_eq!(x.deliveries_seen, y.deliveries_seen, "case {k} ({arm})");
+        let same = match (&x.result, &y.result) {
+            (
+                ReadResult::Point {
+                    multiplicity: m1,
+                    matches: t1,
+                },
+                ReadResult::Point {
+                    multiplicity: m2,
+                    matches: t2,
+                },
+            ) => m1 == m2 && t1 == t2,
+            (ReadResult::Scan { bag: b1 }, ReadResult::Scan { bag: b2 }) => b1 == b2,
+            (
+                ReadResult::Rejected {
+                    required: r1,
+                    freshest_admissible: f1,
+                },
+                ReadResult::Rejected {
+                    required: r2,
+                    freshest_admissible: f2,
+                },
+            ) => r1 == r2 && f1 == f2,
+            (ReadResult::Subscribed { .. }, ReadResult::Subscribed { .. }) => true,
+            (
+                ReadResult::Polled {
+                    delivered: d1,
+                    resumed: r1,
+                },
+                ReadResult::Polled {
+                    delivered: d2,
+                    resumed: r2,
+                },
+            ) => d1 == d2 && r1 == r2,
+            _ => false,
+        };
+        assert!(
+            same,
+            "case {k} ({arm}): answer diverged at t={}: {:?} vs {:?}",
+            x.op.at, x.result, y.result
+        );
+    }
+}
+
+/// The point index and the answer cache are pure accelerators: across
+/// 128 seeded schedules — flat, sharded, and durable-crash-window runs
+/// alternating — the indexed arm, the linear-scan arm, and the cached
+/// arm return byte-identical answers for every read, while the stats
+/// prove each accelerator actually engaged somewhere in the sweep.
+#[test]
+fn index_and_cache_arms_answer_byte_identically_across_schedules() {
+    let n_cases = cases(128);
+    let (mut index_builds, mut cache_hits, mut crash_runs) = (0u64, 0u64, 0u64);
+    for k in 0..n_cases {
+        // Every third case aims a durable crash window mid-stream so the
+        // equality also holds for reads answered during recovery.
+        let crashed = k % 3 == 1;
+        let scenario = if crashed {
+            sparse_scenario(k)
+        } else {
+            dense_scenario(k)
+        };
+        let reads = read_mix(k, &scenario);
+        let build = |scenario: &MultiViewScenario, reads: &[ReadOp]| {
+            let mut exp = ServeExperiment::new(scenario.clone())
+                .reads(reads.to_vec())
+                .seed(k);
+            if crashed {
+                let anchor = scenario.txns[(k % scenario.txns.len() as u64) as usize].at;
+                exp = exp
+                    .transport_auto()
+                    .durability(1 + (k % 3) as usize)
+                    .faults(FaultPlan::default().state_crash(0, anchor + 1_050, anchor + 4_050));
+            } else if k % 3 == 2 {
+                exp = exp.sharded(ShardMap::hash(2));
+            }
+            exp
+        };
+        let indexed = build(&scenario, &reads).run().unwrap();
+        let linear = build(&scenario, &reads).point_index(false).run().unwrap();
+        let cached = build(&scenario, &reads).answer_cache(16).run().unwrap();
+        check(&scenario, &indexed, k);
+        assert_identical_answers(&indexed, &linear, k, "index on/off");
+        assert_identical_answers(&indexed, &cached, k, "cache on/off");
+        assert_eq!(
+            linear.serve_stats.point_index_builds, 0,
+            "case {k}: the off arm built an index"
+        );
+        index_builds += indexed.serve_stats.point_index_builds;
+        cache_hits += cached.serve_stats.cache_hits;
+        crash_runs += u64::from(crashed);
+    }
+    assert!(index_builds > 0, "no schedule ever built a point index");
+    assert!(cache_hits > 0, "no schedule ever hit the answer cache");
+    assert!(crash_runs > 0, "no schedule ever crossed a crash window");
+}
+
+/// Bounded subscriptions with a queue bound of 1 under dense install
+/// traffic: overflowed subscribers receive the typed `Lagged` signal,
+/// resume from the snapshot at `resume_epoch`, and — per
+/// [`audit_lag_recoveries`] — their delivered-deltas-plus-resume-snapshot
+/// history reconstructs exactly the stream an unbounded subscriber saw.
+#[test]
+fn lagged_subscribers_recover_equivalent_streams_across_schedules() {
+    let n_cases = cases(32);
+    let (mut lag_events, mut resumes) = (0u64, 0u64);
+    for k in 0..n_cases {
+        let scenario = dense_scenario(0x80 + k);
+        let reads = ReadMixConfig {
+            n_views: scenario.views.len(),
+            ..ReadMixConfig::laggy_subscribers(3, 12, SEED_BASE + k)
+        }
+        .generate();
+        let report = ServeExperiment::new(scenario.clone())
+            .reads(reads)
+            .seed(k)
+            .bounded_subscriptions(1 + (k % 2) as usize)
+            .run()
+            .unwrap();
+        check(&scenario, &report, k);
+        let audit = audit_lag_recoveries(&scenario, &report).unwrap();
+        assert!(audit.clean(), "case {k}: {audit:?}");
+        assert_eq!(
+            report.serve_stats.subs_lagged, audit.lag_events,
+            "case {k}: store lag counter disagrees with the event history"
+        );
+        lag_events += audit.lag_events;
+        resumes += audit.resumes;
+    }
+    assert!(
+        lag_events > 0 && resumes > 0,
+        "no schedule ever overflowed a bounded subscription \
+         ({lag_events} lag events, {resumes} resumes)"
+    );
+}
+
 /// Shard-scoped crash windows on the partitioned engine: one lane aborts
 /// and re-seeds while the survivors keep sweeping — reads during the
 /// window still resolve against committed epochs only, and the oracle
